@@ -1,0 +1,41 @@
+// Shared helpers for the table/figure bench binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/logging.h"
+#include "train/experiment.h"
+
+namespace cppflare::bench {
+
+/// Banner + scale dump shared by the experiment benches.
+inline void print_header(const std::string& title,
+                         const train::ExperimentScale& scale) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==============================================================\n");
+  std::printf(
+      "reproduction scale (override via REPRO_* env vars):\n"
+      "  patients=%lld (paper: 8638)  pretrain_seqs=%lld (paper: 453377)\n"
+      "  clients=%lld  fl_rounds=%lld  local_epochs=%lld  batch=%lld (rnn) / "
+      "%lld (transformer)  lr=%g\n"
+      "  max_seq_len=%lld  vocab~=%lld\n\n",
+      static_cast<long long>(scale.num_patients),
+      static_cast<long long>(scale.pretrain_sequences),
+      static_cast<long long>(scale.num_clients),
+      static_cast<long long>(scale.fl_rounds),
+      static_cast<long long>(scale.local_epochs),
+      static_cast<long long>(scale.batch_size),
+      static_cast<long long>(scale.transformer_batch_size), scale.lr,
+      static_cast<long long>(scale.max_seq_len),
+      static_cast<long long>(scale.num_drugs + scale.num_diagnoses +
+                             scale.num_procedures + 2));
+}
+
+/// Silence the NVFlare-style component logs during measurement loops.
+inline void quiet_logs() {
+  core::LogConfig::instance().set_threshold(core::LogLevel::kWarn);
+}
+
+}  // namespace cppflare::bench

@@ -1,0 +1,68 @@
+// Fig. 3 reproduction — live demonstration of the NVFlare-style pipeline.
+//
+// Runs the full federation with verbose logging so the output mirrors the
+// paper's screenshot: simulator start, client registration with tokens,
+// per-site local epochs with train_loss/valid_acc, aggregation lines, and
+// the round loop. Also measures the paper's quoted "12.7 sec/local epoch"
+// statistic for this reproduction.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "flare/simulator.h"
+#include "models/lstm_classifier.h"
+#include "train/clinical_learner.h"
+#include "train/experiment.h"
+#include "train/metrics.h"
+
+int main() {
+  using namespace cppflare;
+
+  train::ExperimentScale scale = train::ExperimentScale::from_env();
+  // The demo keeps the federation small so the log stays readable.
+  scale.num_patients = std::min<std::int64_t>(scale.num_patients, 600);
+  scale.fl_rounds = std::min<std::int64_t>(scale.fl_rounds, 2);
+  bench::print_header("Fig. 3 — demonstration of BERT fine-tuning under cppflare",
+                      scale);
+  core::LogConfig::instance().set_threshold(core::LogLevel::kInfo);
+
+  const train::ClassificationData data = train::prepare_classification_data(scale);
+  const models::ModelConfig mconfig = models::ModelConfig::bert_mini(
+      data.tokenizer->vocab().size(), data.tokenizer->max_seq_len());
+
+  core::Rng init_rng(scale.seed);
+  models::BertForClassification initial(mconfig, init_rng);
+
+  flare::SimulatorConfig sim;
+  sim.num_clients = scale.num_clients;
+  sim.num_rounds = scale.fl_rounds;
+  sim.persist_path = "/tmp/cppflare_fig3_global_model.bin";
+
+  train::LearnerOptions lopts;
+  lopts.local_epochs = scale.local_epochs;
+  lopts.batch_size = scale.batch_size;
+  lopts.lr = scale.lr;
+  lopts.verbose = true;  // the CiBertLearner lines of Fig. 3
+
+  flare::SimulatorRunner runner(
+      sim, initial.state_dict(), std::make_unique<flare::FedAvgAggregator>(true),
+      [&](std::int64_t site, const std::string& name) {
+        core::Rng site_rng(scale.seed + 100 + site);
+        auto model = std::make_shared<models::BertForClassification>(mconfig,
+                                                                     site_rng);
+        return std::make_shared<train::ClinicalLearner>(
+            name, std::move(model), data.shards[static_cast<std::size_t>(site)],
+            data.valid, lopts);
+      });
+  const flare::SimulationResult result = runner.run();
+
+  const double total_local_epochs = static_cast<double>(
+      scale.num_clients * scale.fl_rounds * scale.local_epochs);
+  std::printf("\nTraining cost: %.1f sec/local epoch (paper: 12.7 sec on 4x RTX "
+              "2080 Ti; this run: one CPU core)\n",
+              result.wall_seconds / total_local_epochs);
+  std::printf("final global valid_acc (client-reported, sample-weighted): %.3f\n",
+              result.history.back().valid_acc);
+  std::printf("global model persisted to %s\n", sim.persist_path.c_str());
+  std::printf("[fig3] done\n");
+  return 0;
+}

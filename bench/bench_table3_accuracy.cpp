@@ -1,0 +1,120 @@
+// Table III reproduction — top-1 accuracy of the three models under
+// centralized, federated, and standalone training.
+//
+// Paper values (%):
+//   scheme/model   BERT   BERT-mini   LSTM
+//   centralized    80.1   72.7        87.9
+//   standalone     72.2   68.5        67.3
+//   FL             80.1   72.3        87.5
+//
+// We do not target the absolute numbers (synthetic cohort, scaled-down
+// training on one CPU core) but the *shape*: FL ~= centralized >>
+// standalone for every model, and LSTM > BERT > BERT-mini.
+//
+// Scale knobs: REPRO_NUM_PATIENTS, REPRO_FL_ROUNDS, REPRO_EPOCHS_CENTRALIZED,
+// REPRO_MODELS (comma list, default "lstm,bert-mini,bert"), etc.
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "bench_common.h"
+#include "train/experiment.h"
+
+int main() {
+  using namespace cppflare;
+  using train::SchemeResult;
+
+  const train::ExperimentScale scale = train::ExperimentScale::from_env();
+  bench::print_header("Table III — top-1 accuracy across training schemes", scale);
+  bench::quiet_logs();
+
+  std::vector<std::string> model_names;
+  {
+    const char* env = std::getenv("REPRO_MODELS");
+    std::stringstream ss(env != nullptr ? env : "lstm,bert-mini,bert");
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      if (!item.empty()) model_names.push_back(item);
+    }
+  }
+
+  const train::ClassificationData data = train::prepare_classification_data(scale);
+  std::printf("cohort: %lld train / %lld valid, positive rate %.1f%%\n",
+              static_cast<long long>(data.train.size()),
+              static_cast<long long>(data.valid.size()),
+              100.0 * data.train.positive_rate());
+  std::printf("shards (imbalanced %s label skew alpha=%.2f):", "0.29..0.02,",
+              scale.label_skew_alpha);
+  for (const auto& shard : data.shards) {
+    std::printf(" %lld(%.0f%%+)", static_cast<long long>(shard.size()),
+                100.0 * shard.positive_rate());
+  }
+  std::printf("\n\n");
+
+  const std::map<std::string, std::map<std::string, double>> paper = {
+      {"bert", {{"centralized", 80.1}, {"standalone", 72.2}, {"fl", 80.1}}},
+      {"bert-mini", {{"centralized", 72.7}, {"standalone", 68.5}, {"fl", 72.3}}},
+      {"lstm", {{"centralized", 87.9}, {"standalone", 67.3}, {"fl", 87.5}}},
+  };
+
+  std::map<std::string, std::map<std::string, SchemeResult>> results;
+  for (const std::string& model : model_names) {
+    std::printf("--- %s ---\n", model.c_str());
+    // The 12-layer BERT is ~20x the LSTM's cost per sample on one core and
+    // flat-lines at the majority rate from epoch 1 (as in the paper, where
+    // it lands at the cohort's majority rate); give it a reduced budget so
+    // the default suite stays tractable. REPRO_BERT_FULL=1 disables this.
+    train::ExperimentScale model_scale = scale;
+    if (model == "bert" && std::getenv("REPRO_BERT_FULL") == nullptr) {
+      model_scale.epochs_centralized = std::min<std::int64_t>(2, scale.epochs_centralized);
+      model_scale.epochs_standalone = std::min<std::int64_t>(2, scale.epochs_standalone);
+      model_scale.fl_rounds = std::min<std::int64_t>(3, scale.fl_rounds);
+      std::printf("  (reduced budget: %lld/%lld epochs, %lld rounds)\n",
+                  static_cast<long long>(model_scale.epochs_centralized),
+                  static_cast<long long>(model_scale.epochs_standalone),
+                  static_cast<long long>(model_scale.fl_rounds));
+    }
+    SchemeResult c = train::run_centralized(model, data, model_scale);
+    std::printf("  centralized: acc=%.1f%%  (%.0f s)\n", 100.0 * c.accuracy,
+                c.seconds);
+    SchemeResult s = train::run_standalone(model, data, model_scale);
+    std::printf("  standalone : acc=%.1f%%  (%.0f s, mean over %zu sites)\n",
+                100.0 * s.accuracy, s.seconds, data.shards.size());
+    train::FederatedOptions fopts;
+    fopts.select_best = true;  // the paper's "optimal global models"
+    SchemeResult f = train::run_federated(model, data, model_scale, fopts);
+    std::printf("  federated  : acc=%.1f%%  (%.0f s, %lld rounds)\n",
+                100.0 * f.accuracy, f.seconds,
+                static_cast<long long>(scale.fl_rounds));
+    results[model] = {{"centralized", c}, {"standalone", s}, {"fl", f}};
+  }
+
+  std::printf("\nTable III analog — top-1 accuracy %% (measured | paper):\n");
+  std::printf("%-13s", "scheme/model");
+  for (const auto& m : model_names) std::printf(" | %-15s", m.c_str());
+  std::printf("\n");
+  for (const char* scheme : {"centralized", "standalone", "fl"}) {
+    std::printf("%-13s", scheme);
+    for (const auto& m : model_names) {
+      const double measured = 100.0 * results[m][scheme].accuracy;
+      const double ref = paper.count(m) ? paper.at(m).at(scheme) : 0.0;
+      std::printf(" | %5.1f  (%5.1f) ", measured, ref);
+    }
+    std::printf("\n");
+  }
+
+  // Shape checks the paper's conclusions rest on.
+  std::printf("\nshape checks:\n");
+  for (const auto& m : model_names) {
+    const double c = results[m]["centralized"].accuracy;
+    const double s = results[m]["standalone"].accuracy;
+    const double f = results[m]["fl"].accuracy;
+    std::printf("  %-10s FL within 5pp of centralized: %s ; FL > standalone: %s\n",
+                m.c_str(), std::fabs(f - c) < 0.05 ? "yes" : "NO",
+                f > s ? "yes" : "NO");
+  }
+  std::printf("[table3] done\n");
+  return 0;
+}

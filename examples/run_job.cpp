@@ -1,0 +1,80 @@
+// Config-driven federation runner — the analogue of submitting an NVFlare
+// job config. Every knob of the federation is a key=value argument; no
+// recompilation needed to change the model, aggregation rule, privacy
+// filters, or scale.
+//
+//   ./examples/run_job model=lstm rounds=6 clients=8 \
+//       aggregator=weighted dp_sigma=0 fedprox_mu=0 secure_masking=false \
+//       select_best=true patients=1000 use_tcp=false
+//
+// Prints the resolved job spec, runs the federation, and reports global
+// accuracy plus clinical metrics (AUROC, sensitivity/specificity, F1).
+#include <cstdio>
+
+#include "core/config.h"
+#include "core/logging.h"
+#include "models/lstm_classifier.h"
+#include "train/clinical_metrics.h"
+#include "train/experiment.h"
+
+int main(int argc, char** argv) {
+  using namespace cppflare;
+
+  core::Config config = core::Config::from_args(
+      std::vector<std::string>(argv + 1, argv + argc));
+
+  train::ExperimentScale scale = train::ExperimentScale::from_env();
+  scale.num_patients = config.get_int("patients", scale.num_patients);
+  scale.num_clients = config.get_int("clients", scale.num_clients);
+  scale.fl_rounds = config.get_int("rounds", scale.fl_rounds);
+  scale.local_epochs = config.get_int("local_epochs", scale.local_epochs);
+  scale.lr = config.get_double("lr", scale.lr);
+  scale.label_skew_alpha = config.get_double("skew_alpha", scale.label_skew_alpha);
+
+  train::FederatedOptions options;
+  options.weighted_aggregation = config.get("aggregator", "weighted") == "weighted";
+  options.dp_sigma = config.get_double("dp_sigma", 0.0);
+  options.fedprox_mu = config.get_double("fedprox_mu", 0.0);
+  options.secure_masking = config.get_bool("secure_masking", false);
+  options.select_best = config.get_bool("select_best", true);
+  options.send_diff = config.get_bool("send_diff", false);
+  options.use_tcp = config.get_bool("use_tcp", false);
+  const std::string model = config.get("model", "lstm");
+
+  std::printf("job spec:\n");
+  std::printf("  model=%s clients=%lld rounds=%lld local_epochs=%lld lr=%g\n",
+              model.c_str(), static_cast<long long>(scale.num_clients),
+              static_cast<long long>(scale.fl_rounds),
+              static_cast<long long>(scale.local_epochs), scale.lr);
+  std::printf(
+      "  aggregator=%s dp_sigma=%g fedprox_mu=%g secure_masking=%d "
+      "select_best=%d send_diff=%d use_tcp=%d\n\n",
+      options.weighted_aggregation ? "weighted" : "uniform", options.dp_sigma,
+      options.fedprox_mu, options.secure_masking ? 1 : 0,
+      options.select_best ? 1 : 0, options.send_diff ? 1 : 0,
+      options.use_tcp ? 1 : 0);
+
+  core::LogConfig::instance().set_threshold(core::LogLevel::kWarn);
+  const train::ClassificationData data = train::prepare_classification_data(scale);
+  const train::SchemeResult result =
+      train::run_federated(model, data, scale, options);
+
+  std::printf("federated result: accuracy=%.1f%% loss=%.3f (%.0f s)\n",
+              100.0 * result.accuracy, result.loss, result.seconds);
+
+  // Clinical metrics of the trained global model on the validation pool.
+  core::Rng rng(scale.seed + 123);
+  auto global = models::make_classifier(
+      models::ModelConfig::by_name(model, data.tokenizer->vocab().size(),
+                                   data.tokenizer->max_seq_len()),
+      rng);
+  global->load_state_dict(result.trained_model);
+  const train::ScoredPredictions preds =
+      train::score_dataset(*global, data.valid, scale.batch_size);
+  const train::ConfusionMatrix cm = train::confusion_at(preds.scores, preds.labels);
+  std::printf("\nglobal model, clinical metrics on validation:\n");
+  std::printf("  AUROC=%.3f  sensitivity=%.3f  specificity=%.3f  F1=%.3f\n",
+              train::auroc(preds.scores, preds.labels), cm.sensitivity(),
+              cm.specificity(), cm.f1());
+  return 0;
+}

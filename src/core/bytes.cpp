@@ -1,0 +1,138 @@
+#include "core/bytes.h"
+
+namespace cppflare::core {
+
+namespace {
+
+// Sanity bound on decoded container lengths: rejects absurd sizes coming
+// from corrupt or hostile payloads before we try to allocate them.
+constexpr std::uint64_t kMaxContainerElems = 1ull << 32;
+
+}  // namespace
+
+void ByteWriter::write_u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void ByteWriter::write_u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::write_u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::write_f32(float v) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  write_u32(bits);
+}
+
+void ByteWriter::write_f64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  write_u64(bits);
+}
+
+void ByteWriter::write_string(const std::string& s) {
+  write_u32(static_cast<std::uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void ByteWriter::write_f32_vector(const std::vector<float>& v) {
+  write_u64(v.size());
+  const std::size_t off = buf_.size();
+  buf_.resize(off + v.size() * sizeof(float));
+  // Little-endian hosts can bulk-copy; the per-element path below is the
+  // portable fallback and produces identical bytes on such hosts.
+  std::memcpy(buf_.data() + off, v.data(), v.size() * sizeof(float));
+}
+
+void ByteWriter::write_i64_vector(const std::vector<std::int64_t>& v) {
+  write_u64(v.size());
+  for (std::int64_t x : v) write_i64(x);
+}
+
+void ByteWriter::write_raw(const std::uint8_t* data, std::size_t n) {
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+std::uint8_t ByteReader::read_u8() {
+  require(1);
+  return data_[pos_++];
+}
+
+std::uint16_t ByteReader::read_u16() {
+  require(2);
+  std::uint16_t v = static_cast<std::uint16_t>(data_[pos_]) |
+                    static_cast<std::uint16_t>(data_[pos_ + 1]) << 8;
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t ByteReader::read_u32() {
+  require(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::read_u64() {
+  require(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+float ByteReader::read_f32() {
+  std::uint32_t bits = read_u32();
+  float v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+double ByteReader::read_f64() {
+  std::uint64_t bits = read_u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string ByteReader::read_string() {
+  std::uint32_t n = read_u32();
+  require(n);
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+std::vector<float> ByteReader::read_f32_vector() {
+  std::uint64_t n = read_u64();
+  if (n > kMaxContainerElems) throw SerializationError("f32 vector too large");
+  require(n * sizeof(float));
+  std::vector<float> v(n);
+  std::memcpy(v.data(), data_ + pos_, n * sizeof(float));
+  pos_ += n * sizeof(float);
+  return v;
+}
+
+std::vector<std::int64_t> ByteReader::read_i64_vector() {
+  std::uint64_t n = read_u64();
+  if (n > kMaxContainerElems) throw SerializationError("i64 vector too large");
+  std::vector<std::int64_t> v;
+  v.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) v.push_back(read_i64());
+  return v;
+}
+
+std::vector<std::uint8_t> ByteReader::read_raw(std::size_t n) {
+  require(n);
+  std::vector<std::uint8_t> out(data_ + pos_, data_ + pos_ + n);
+  pos_ += n;
+  return out;
+}
+
+}  // namespace cppflare::core

@@ -1,0 +1,127 @@
+#include "core/config.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+namespace cppflare::core {
+
+Config Config::from_args(const std::vector<std::string>& args) {
+  Config c;
+  for (const std::string& arg : args) {
+    const std::size_t eq = arg.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw ConfigError("expected key=value, got '" + arg + "'");
+    }
+    c.set(arg.substr(0, eq), arg.substr(eq + 1));
+  }
+  return c;
+}
+
+void Config::set(const std::string& key, const std::string& value) {
+  kv_[key] = value;
+}
+
+void Config::set_int(const std::string& key, std::int64_t value) {
+  kv_[key] = std::to_string(value);
+}
+
+void Config::set_double(const std::string& key, double value) {
+  std::ostringstream os;
+  os << value;
+  kv_[key] = os.str();
+}
+
+void Config::set_bool(const std::string& key, bool value) {
+  kv_[key] = value ? "true" : "false";
+}
+
+bool Config::has(const std::string& key) const { return kv_.count(key) != 0; }
+
+std::string Config::get(const std::string& key, const std::string& fallback) const {
+  auto it = kv_.find(key);
+  return it == kv_.end() ? fallback : it->second;
+}
+
+namespace {
+
+std::int64_t parse_int(const std::string& key, const std::string& value) {
+  try {
+    std::size_t consumed = 0;
+    const std::int64_t v = std::stoll(value, &consumed);
+    if (consumed != value.size()) throw std::invalid_argument(value);
+    return v;
+  } catch (const std::exception&) {
+    throw ConfigError("key '" + key + "' is not an integer: '" + value + "'");
+  }
+}
+
+double parse_double(const std::string& key, const std::string& value) {
+  try {
+    std::size_t consumed = 0;
+    const double v = std::stod(value, &consumed);
+    if (consumed != value.size()) throw std::invalid_argument(value);
+    return v;
+  } catch (const std::exception&) {
+    throw ConfigError("key '" + key + "' is not a number: '" + value + "'");
+  }
+}
+
+}  // namespace
+
+std::int64_t Config::get_int(const std::string& key, std::int64_t fallback) const {
+  auto it = kv_.find(key);
+  return it == kv_.end() ? fallback : parse_int(key, it->second);
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  auto it = kv_.find(key);
+  return it == kv_.end() ? fallback : parse_double(key, it->second);
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  throw ConfigError("key '" + key + "' is not a boolean: '" + v + "'");
+}
+
+std::string Config::require(const std::string& key) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) throw ConfigError("missing required key '" + key + "'");
+  return it->second;
+}
+
+std::int64_t Config::require_int(const std::string& key) const {
+  return parse_int(key, require(key));
+}
+
+double Config::require_double(const std::string& key) const {
+  return parse_double(key, require(key));
+}
+
+void Config::merge(const Config& other) {
+  for (const auto& [k, v] : other.kv_) kv_[k] = v;
+}
+
+void Config::apply_env_overrides(const std::string& prefix) {
+  for (auto& [key, value] : kv_) {
+    std::string env_name = prefix;
+    for (char c : key) {
+      env_name.push_back(c == '.' ? '_' : static_cast<char>(std::toupper(c)));
+    }
+    if (const char* env = std::getenv(env_name.c_str()); env != nullptr) {
+      value = env;
+    }
+  }
+}
+
+std::string Config::to_string() const {
+  std::ostringstream os;
+  for (const auto& [k, v] : kv_) os << k << '=' << v << '\n';
+  return os.str();
+}
+
+}  // namespace cppflare::core

@@ -1,0 +1,62 @@
+// Flat key/value configuration.
+//
+// Experiments, jobs, and benches are parameterized through `Config`:
+// string keys with typed accessors, populated from explicit `set` calls,
+// "key=value" argument lists, or environment-variable overrides. This is
+// the C++ analogue of NVFlare's JSON job configs, kept flat on purpose —
+// every knob in this reproduction is a scalar.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/error.h"
+
+namespace cppflare::core {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses tokens of the form "key=value"; throws ConfigError otherwise.
+  static Config from_args(const std::vector<std::string>& args);
+
+  void set(const std::string& key, const std::string& value);
+  void set_int(const std::string& key, std::int64_t value);
+  void set_double(const std::string& key, double value);
+  void set_bool(const std::string& key, bool value);
+
+  bool has(const std::string& key) const;
+
+  /// Typed getters with defaults. The throwing variants (`require_*`) are
+  /// for keys that have no sensible fallback.
+  std::string get(const std::string& key, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  std::string require(const std::string& key) const;
+  std::int64_t require_int(const std::string& key) const;
+  double require_double(const std::string& key) const;
+
+  /// Overlays `other` on top of *this (other wins on conflicts).
+  void merge(const Config& other);
+
+  /// For every existing key, if an environment variable named
+  /// `prefix + UPPERCASED_KEY` (dots → underscores) is set, it overrides
+  /// the stored value. Lets benches be rescaled without recompiling.
+  void apply_env_overrides(const std::string& prefix);
+
+  const std::map<std::string, std::string>& entries() const { return kv_; }
+
+  /// Renders "key=value" lines sorted by key, for logging.
+  std::string to_string() const;
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+}  // namespace cppflare::core

@@ -1,0 +1,51 @@
+// Error types used across the cppflare library.
+//
+// Conventions (see C++ Core Guidelines E.14): throw a type specific to the
+// failing subsystem, derived from `cppflare::Error`, so callers can catch
+// either the broad family or the precise condition.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace cppflare {
+
+/// Root of the library's exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Shape mismatch, bad axis, out-of-range index in the tensor engine.
+class ShapeError : public Error {
+ public:
+  explicit ShapeError(const std::string& what) : Error("shape error: " + what) {}
+};
+
+/// Malformed or truncated serialized payloads.
+class SerializationError : public Error {
+ public:
+  explicit SerializationError(const std::string& what)
+      : Error("serialization error: " + what) {}
+};
+
+/// Configuration errors: missing keys, unparsable values.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error("config error: " + what) {}
+};
+
+/// Federated-protocol violations: bad tokens, unknown clients, signature
+/// mismatches, out-of-order rounds.
+class ProtocolError : public Error {
+ public:
+  explicit ProtocolError(const std::string& what) : Error("protocol error: " + what) {}
+};
+
+/// Transport-level failures (socket errors, closed channels).
+class TransportError : public Error {
+ public:
+  explicit TransportError(const std::string& what) : Error("transport error: " + what) {}
+};
+
+}  // namespace cppflare

@@ -1,0 +1,75 @@
+#include "core/logging.h"
+
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <iostream>
+
+namespace cppflare::core {
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+LogConfig& LogConfig::instance() {
+  static LogConfig config;
+  return config;
+}
+
+void LogConfig::set_threshold(LogLevel level) {
+  std::lock_guard<std::mutex> lock(mu_);
+  threshold_ = level;
+}
+
+LogLevel LogConfig::threshold() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return threshold_;
+}
+
+void LogConfig::set_sink(std::ostream* sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_ = sink;
+}
+
+void LogConfig::write_line(const std::string& line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostream& out = sink_ != nullptr ? *sink_ : std::clog;
+  out << line << '\n';
+  out.flush();
+}
+
+void Logger::log(LogLevel level, const std::string& message) const {
+  if (level < LogConfig::instance().threshold()) return;
+  std::string line = timestamp_now();
+  line += " - ";
+  line += name_;
+  line += " - ";
+  line += log_level_name(level);
+  line += ": ";
+  line += message;
+  LogConfig::instance().write_line(line);
+}
+
+std::string timestamp_now() {
+  using namespace std::chrono;
+  const auto now = system_clock::now();
+  const auto ms = duration_cast<milliseconds>(now.time_since_epoch()) % 1000;
+  const std::time_t t = system_clock::to_time_t(now);
+  std::tm tm_buf{};
+  localtime_r(&t, &tm_buf);
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:%02d,%03d",
+                tm_buf.tm_year + 1900, tm_buf.tm_mon + 1, tm_buf.tm_mday,
+                tm_buf.tm_hour, tm_buf.tm_min, tm_buf.tm_sec,
+                static_cast<int>(ms.count()));
+  return buf;
+}
+
+}  // namespace cppflare::core

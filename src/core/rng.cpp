@@ -1,0 +1,4 @@
+#include "core/rng.h"
+
+// Rng is header-only today; this translation unit anchors the target and
+// reserves a home for future out-of-line helpers.

@@ -1,0 +1,205 @@
+#include "data/clinical_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.h"
+
+namespace cppflare::data {
+
+namespace {
+
+// Clinically named codes; the rest of the universe is synthetic filler so
+// the MLM vocabulary has realistic size.
+const char* kNamedDrugs[] = {
+    "RX:clopidogrel", "RX:omeprazole", "RX:esomeprazole", "RX:pantoprazole",
+    "RX:aspirin",     "RX:atorvastatin", "RX:warfarin",   "RX:ibuprofen",
+    "RX:metformin",   "RX:insulin"};
+const char* kNamedDiagnoses[] = {
+    "DX:mi",  "DX:stroke", "DX:diabetes", "DX:ckd", "DX:hypertension",
+    "DX:afib", "DX:stent_thrombosis", "DX:hyperlipidemia"};
+const char* kNamedProcedures[] = {"PX:pci", "PX:cabg", "PX:angiography"};
+const char* kGenotypeLof = "GX:cyp2c19_lof";
+const char* kGenotypeNormal = "GX:cyp2c19_normal";
+
+constexpr const char* kClopidogrel = "RX:clopidogrel";
+
+double sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+}  // namespace
+
+ClinicalCohortGenerator::ClinicalCohortGenerator(ClinicalGenConfig config)
+    : config_(config) {
+  // ---- code universe -----------------------------------------------------
+  for (const char* c : kNamedDrugs) universe_.emplace_back(c);
+  for (std::int64_t i = static_cast<std::int64_t>(std::size(kNamedDrugs));
+       i < config_.num_drugs; ++i) {
+    universe_.push_back("RX:drug" + std::to_string(i));
+  }
+  for (const char* c : kNamedDiagnoses) universe_.emplace_back(c);
+  for (std::int64_t i = static_cast<std::int64_t>(std::size(kNamedDiagnoses));
+       i < config_.num_diagnoses; ++i) {
+    universe_.push_back("DX:code" + std::to_string(i));
+  }
+  for (const char* c : kNamedProcedures) universe_.emplace_back(c);
+  for (std::int64_t i = static_cast<std::int64_t>(std::size(kNamedProcedures));
+       i < config_.num_procedures; ++i) {
+    universe_.push_back("PX:proc" + std::to_string(i));
+  }
+  universe_.emplace_back(kGenotypeLof);
+  universe_.emplace_back(kGenotypeNormal);
+
+  // ---- risk rules ----------------------------------------------------------
+  // Ordered motifs (the signal a recurrent reader exploits): a
+  // proton-pump inhibitor or interacting drug dispensed after clopidogrel
+  // raises failure risk; protective co-therapy after clopidogrel lowers it.
+  rules_ = {
+      {kClopidogrel, "RX:omeprazole", +1.8},
+      {kClopidogrel, "RX:esomeprazole", +1.6},
+      {kClopidogrel, "RX:pantoprazole", +1.2},
+      {kClopidogrel, "RX:ibuprofen", +1.0},
+      {kClopidogrel, "RX:warfarin", +1.2},
+      {"DX:diabetes", kClopidogrel, +0.7},
+      {"DX:ckd", kClopidogrel, +0.9},
+      {kClopidogrel, "RX:atorvastatin", -0.8},
+      {kClopidogrel, "RX:aspirin", -0.5},
+      // Unordered presence signals (bag-of-words learnable).
+      {"", kGenotypeLof, +2.0},
+      {"", "DX:afib", +0.4},
+      {"", "PX:cabg", +0.3},
+      {"", "DX:stent_thrombosis", +0.8},
+  };
+  for (RiskRule& rule : rules_) rule.weight *= config_.risk_scale;
+
+  // ---- latent phenotype profiles -------------------------------------------
+  // Each profile is a categorical distribution over the universe. Named
+  // codes get a strong boost (they must occur often enough for the motifs
+  // to fire); filler codes get log-normal weights for a long-tailed,
+  // Zipf-like usage pattern.
+  core::Rng rng(config_.seed);
+  const std::size_t named_count = std::size(kNamedDrugs) + std::size(kNamedDiagnoses) +
+                                  std::size(kNamedProcedures);
+  profile_weights_.resize(static_cast<std::size_t>(config_.num_profiles));
+  for (auto& weights : profile_weights_) {
+    weights.resize(universe_.size());
+    for (std::size_t i = 0; i < universe_.size(); ++i) {
+      const double base = std::exp(rng.normal(0.0, 1.0));
+      const bool named = i < named_count;
+      const bool genotype = universe_[i][0] == 'G';
+      // Genotype codes are injected explicitly in sample_sequence, never
+      // drawn from the profile mixture. Named codes are heavily boosted:
+      // the cohort is selected around clopidogrel therapy, so interacting
+      // drugs and cardiovascular diagnoses dominate real records too, and
+      // the risk motifs must fire often enough to be learnable.
+      weights[i] = genotype ? 0.0 : base * (named ? 14.0 : 1.0);
+    }
+  }
+
+  // ---- calibrate the label bias --------------------------------------------
+  // Choose bias_ so that E[sigmoid(score + bias + eps)] over a calibration
+  // sample matches the paper's positive rate (21.1%).
+  core::Rng cal_rng(config_.seed ^ 0x9e3779b97f4a7c15ull);
+  constexpr std::int64_t kCalSamples = 4000;
+  std::vector<double> scores;
+  scores.reserve(kCalSamples);
+  for (std::int64_t i = 0; i < kCalSamples; ++i) {
+    core::Rng r = cal_rng.fork();
+    scores.push_back(risk_score(sample_sequence(r)) +
+                     cal_rng.normal(0.0, config_.label_noise_std));
+  }
+  double lo = -12.0, hi = 12.0;
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    double mean = 0.0;
+    for (double s : scores) mean += sigmoid(s + mid);
+    mean /= static_cast<double>(scores.size());
+    if (mean < config_.positive_rate) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  bias_ = 0.5 * (lo + hi);
+}
+
+std::vector<std::string> ClinicalCohortGenerator::sample_sequence(
+    core::Rng& rng) const {
+  const std::int64_t len = rng.uniform_int(config_.min_events, config_.max_events);
+  const auto& weights =
+      profile_weights_[static_cast<std::size_t>(rng.uniform_int(
+          0, config_.num_profiles - 1))];
+
+  std::vector<std::string> codes;
+  codes.reserve(static_cast<std::size_t>(len) + 2);
+  for (std::int64_t i = 0; i < len; ++i) {
+    codes.push_back(universe_[rng.categorical(weights)]);
+  }
+
+  // Every patient in the cohort has a clopidogrel prescription; place it
+  // somewhere in the first two thirds so "after clopidogrel" motifs can
+  // plausibly fire.
+  const auto clop_pos = static_cast<std::size_t>(
+      rng.uniform_int(len / 5, std::max<std::int64_t>(len * 2 / 3, len / 5)));
+  codes.insert(codes.begin() + static_cast<std::ptrdiff_t>(clop_pos), kClopidogrel);
+
+  // 30% of patients have a pharmacogenomic test on file; of those, 25%
+  // carry the CYP2C19 loss-of-function marker. Genotype is known up front,
+  // so it heads the record.
+  if (rng.bernoulli(0.30)) {
+    codes.insert(codes.begin(),
+                 rng.bernoulli(0.25) ? kGenotypeLof : kGenotypeNormal);
+  }
+  return codes;
+}
+
+double ClinicalCohortGenerator::risk_score(
+    const std::vector<std::string>& codes) const {
+  double score = 0.0;
+  for (const RiskRule& rule : rules_) {
+    if (rule.first.empty()) {
+      if (std::find(codes.begin(), codes.end(), rule.second) != codes.end()) {
+        score += rule.weight;
+      }
+      continue;
+    }
+    const auto first_it = std::find(codes.begin(), codes.end(), rule.first);
+    if (first_it == codes.end()) continue;
+    if (std::find(first_it + 1, codes.end(), rule.second) != codes.end()) {
+      score += rule.weight;
+    }
+  }
+  return score;
+}
+
+std::vector<PatientRecord> ClinicalCohortGenerator::generate_labeled(
+    std::int64_t n, std::uint64_t seed) const {
+  core::Rng rng(seed);
+  std::vector<PatientRecord> records;
+  records.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    PatientRecord rec;
+    rec.codes = sample_sequence(rng);
+    const double logit = risk_score(rec.codes) + bias_ +
+                         rng.normal(0.0, config_.label_noise_std);
+    rec.label = rng.bernoulli(sigmoid(logit)) ? 1 : 0;
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+std::vector<std::vector<std::string>> ClinicalCohortGenerator::generate_unlabeled(
+    std::int64_t n, std::uint64_t seed) const {
+  core::Rng rng(seed);
+  std::vector<std::vector<std::string>> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) out.push_back(sample_sequence(rng));
+  return out;
+}
+
+Vocabulary ClinicalCohortGenerator::build_vocabulary() const {
+  Vocabulary v;
+  for (const std::string& code : universe_) v.add(code);
+  return v;
+}
+
+}  // namespace cppflare::data

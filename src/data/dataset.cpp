@@ -1,0 +1,122 @@
+#include "data/dataset.h"
+
+#include <numeric>
+
+#include "core/error.h"
+
+namespace cppflare::data {
+
+ClinicalTokenizer::ClinicalTokenizer(Vocabulary vocab, std::int64_t max_seq_len)
+    : vocab_(std::move(vocab)), max_seq_len_(max_seq_len) {
+  if (max_seq_len_ < 2) throw Error("ClinicalTokenizer: max_seq_len too small");
+}
+
+Sample ClinicalTokenizer::encode(const std::vector<std::string>& codes,
+                                 std::int64_t label) const {
+  Sample s;
+  s.ids.reserve(static_cast<std::size_t>(max_seq_len_));
+  s.ids.push_back(Vocabulary::kCls);
+  for (const std::string& code : codes) {
+    if (static_cast<std::int64_t>(s.ids.size()) >= max_seq_len_) break;
+    s.ids.push_back(vocab_.id_of(code));
+  }
+  s.length = static_cast<std::int64_t>(s.ids.size());
+  s.ids.resize(static_cast<std::size_t>(max_seq_len_), Vocabulary::kPad);
+  s.label = label;
+  return s;
+}
+
+std::vector<Sample> ClinicalTokenizer::encode_all(
+    const std::vector<PatientRecord>& records) const {
+  std::vector<Sample> out;
+  out.reserve(records.size());
+  for (const PatientRecord& r : records) out.push_back(encode(r.codes, r.label));
+  return out;
+}
+
+std::vector<Sample> ClinicalTokenizer::encode_all(
+    const std::vector<std::vector<std::string>>& sequences) const {
+  std::vector<Sample> out;
+  out.reserve(sequences.size());
+  for (const auto& seq : sequences) out.push_back(encode(seq, 0));
+  return out;
+}
+
+double Dataset::positive_rate() const {
+  if (samples_.empty()) return 0.0;
+  std::int64_t pos = 0;
+  for (const Sample& s : samples_) pos += s.label;
+  return static_cast<double>(pos) / static_cast<double>(samples_.size());
+}
+
+Dataset Dataset::subset(const std::vector<std::int64_t>& indices) const {
+  std::vector<Sample> out;
+  out.reserve(indices.size());
+  for (std::int64_t i : indices) {
+    if (i < 0 || i >= size()) {
+      throw Error("Dataset::subset: index " + std::to_string(i) + " out of range");
+    }
+    out.push_back(samples_[static_cast<std::size_t>(i)]);
+  }
+  return Dataset(std::move(out));
+}
+
+std::pair<Dataset, Dataset> Dataset::split(std::int64_t first_size,
+                                           core::Rng& rng) const {
+  if (first_size < 0 || first_size > size()) {
+    throw Error("Dataset::split: bad first_size " + std::to_string(first_size));
+  }
+  std::vector<std::int64_t> order(static_cast<std::size_t>(size()));
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  std::vector<std::int64_t> a(order.begin(), order.begin() + first_size);
+  std::vector<std::int64_t> b(order.begin() + first_size, order.end());
+  return {subset(a), subset(b)};
+}
+
+DataLoader::DataLoader(const Dataset& dataset, std::int64_t batch_size, bool shuffle,
+                       core::Rng rng)
+    : dataset_(dataset), batch_size_(batch_size), shuffle_(shuffle), rng_(rng) {
+  if (batch_size_ <= 0) throw Error("DataLoader: batch_size must be positive");
+}
+
+std::vector<Batch> DataLoader::epoch() {
+  std::vector<std::int64_t> order(static_cast<std::size_t>(dataset_.size()));
+  std::iota(order.begin(), order.end(), 0);
+  if (shuffle_) rng_.shuffle(order);
+
+  std::vector<Batch> batches;
+  for (std::int64_t begin = 0; begin < dataset_.size(); begin += batch_size_) {
+    const std::int64_t end = std::min(begin + batch_size_, dataset_.size());
+    batches.push_back(collate(dataset_.samples(), order, begin, end));
+  }
+  return batches;
+}
+
+std::int64_t DataLoader::batches_per_epoch() const {
+  return (dataset_.size() + batch_size_ - 1) / batch_size_;
+}
+
+Batch collate(const std::vector<Sample>& samples,
+              const std::vector<std::int64_t>& order, std::int64_t begin,
+              std::int64_t end) {
+  if (begin >= end) throw Error("collate: empty range");
+  Batch batch;
+  batch.batch_size = end - begin;
+  batch.seq_len = static_cast<std::int64_t>(
+      samples[static_cast<std::size_t>(order[static_cast<std::size_t>(begin)])]
+          .ids.size());
+  batch.ids.reserve(static_cast<std::size_t>(batch.batch_size * batch.seq_len));
+  for (std::int64_t i = begin; i < end; ++i) {
+    const Sample& s = samples[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])];
+    if (static_cast<std::int64_t>(s.ids.size()) != batch.seq_len) {
+      throw Error("collate: ragged sample lengths");
+    }
+    batch.ids.insert(batch.ids.end(), s.ids.begin(), s.ids.end());
+    batch.lengths.push_back(s.length);
+    batch.labels.push_back(s.label);
+  }
+  return batch;
+}
+
+}  // namespace cppflare::data

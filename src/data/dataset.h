@@ -1,0 +1,102 @@
+// Tokenized datasets and batching.
+//
+// A `Sample` is one patient record tokenized to fixed length: a [CLS]
+// prefix, the event codes, then [PAD] to max_seq_len. `Batch` flattens B
+// samples for the models: ids are row-major [B * T].
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.h"
+#include "data/clinical_gen.h"
+#include "data/vocab.h"
+
+namespace cppflare::data {
+
+struct Sample {
+  std::vector<std::int64_t> ids;  // length == max_seq_len, padded
+  std::int64_t length = 0;        // valid prefix length (incl. [CLS])
+  std::int64_t label = 0;
+};
+
+struct Batch {
+  std::vector<std::int64_t> ids;      // [B * T]
+  std::vector<std::int64_t> lengths;  // [B]
+  std::vector<std::int64_t> labels;   // [B]
+  std::int64_t batch_size = 0;
+  std::int64_t seq_len = 0;
+};
+
+/// Encodes event codes to a fixed-length id sequence.
+class ClinicalTokenizer {
+ public:
+  ClinicalTokenizer(Vocabulary vocab, std::int64_t max_seq_len);
+
+  /// Tokenizes one record; truncates to max_seq_len (keeping the prefix).
+  Sample encode(const std::vector<std::string>& codes, std::int64_t label = 0) const;
+
+  std::vector<Sample> encode_all(const std::vector<PatientRecord>& records) const;
+  std::vector<Sample> encode_all(
+      const std::vector<std::vector<std::string>>& sequences) const;
+
+  const Vocabulary& vocab() const { return vocab_; }
+  std::int64_t max_seq_len() const { return max_seq_len_; }
+
+ private:
+  Vocabulary vocab_;
+  std::int64_t max_seq_len_;
+};
+
+/// In-memory dataset with shuffled mini-batch iteration.
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::vector<Sample> samples) : samples_(std::move(samples)) {}
+
+  std::int64_t size() const { return static_cast<std::int64_t>(samples_.size()); }
+  bool empty() const { return samples_.empty(); }
+  const Sample& operator[](std::int64_t i) const {
+    return samples_[static_cast<std::size_t>(i)];
+  }
+  const std::vector<Sample>& samples() const { return samples_; }
+
+  void add(Sample s) { samples_.push_back(std::move(s)); }
+
+  /// Fraction of label-1 samples.
+  double positive_rate() const;
+
+  /// Subset by indices (bounds-checked).
+  Dataset subset(const std::vector<std::int64_t>& indices) const;
+
+  /// Deterministic split into [0, n) and [n, size) after a seeded shuffle.
+  std::pair<Dataset, Dataset> split(std::int64_t first_size, core::Rng& rng) const;
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+/// Assembles shuffled mini-batches. The final short batch is kept.
+class DataLoader {
+ public:
+  DataLoader(const Dataset& dataset, std::int64_t batch_size, bool shuffle,
+             core::Rng rng);
+
+  /// Batches for one epoch (reshuffled every call when shuffle is on).
+  std::vector<Batch> epoch();
+
+  std::int64_t batches_per_epoch() const;
+
+ private:
+  const Dataset& dataset_;
+  std::int64_t batch_size_;
+  bool shuffle_;
+  core::Rng rng_;
+};
+
+/// Collates samples [begin, end) into one Batch.
+Batch collate(const std::vector<Sample>& samples,
+              const std::vector<std::int64_t>& order, std::int64_t begin,
+              std::int64_t end);
+
+}  // namespace cppflare::data

@@ -1,0 +1,62 @@
+#include "data/mlm.h"
+
+#include "core/error.h"
+
+namespace cppflare::data {
+
+MlmMasker::MlmMasker(std::int64_t vocab_size, Options options)
+    : vocab_size_(vocab_size), options_(options) {
+  if (vocab_size_ <= Vocabulary::kNumSpecial) {
+    throw Error("MlmMasker: vocabulary has no regular tokens");
+  }
+  if (options_.mask_prob <= 0.0 || options_.mask_prob >= 1.0) {
+    throw Error("MlmMasker: mask_prob must be in (0,1)");
+  }
+  if (options_.replace_mask + options_.replace_random > 1.0) {
+    throw Error("MlmMasker: replace fractions exceed 1");
+  }
+}
+
+MlmExample MlmMasker::mask(const Sample& sample, core::Rng& rng) const {
+  MlmExample ex;
+  ex.input_ids = sample.ids;
+  ex.targets.assign(sample.ids.size(), kIgnore);
+  for (std::int64_t i = 0; i < sample.length; ++i) {
+    const std::int64_t id = sample.ids[static_cast<std::size_t>(i)];
+    if (Vocabulary::is_special(id)) continue;
+    if (!rng.bernoulli(options_.mask_prob)) continue;
+    ex.targets[static_cast<std::size_t>(i)] = id;
+    const double u = rng.uniform();
+    if (u < options_.replace_mask) {
+      ex.input_ids[static_cast<std::size_t>(i)] = Vocabulary::kMask;
+    } else if (u < options_.replace_mask + options_.replace_random) {
+      ex.input_ids[static_cast<std::size_t>(i)] =
+          rng.uniform_int(Vocabulary::first_regular_id(), vocab_size_ - 1);
+    }
+    // else: token kept, target still set (regularizing per the paper).
+  }
+  return ex;
+}
+
+MlmMasker::MaskedBatch MlmMasker::mask_batch(const Batch& batch,
+                                             core::Rng& rng) const {
+  MaskedBatch out;
+  out.batch_size = batch.batch_size;
+  out.seq_len = batch.seq_len;
+  out.lengths = batch.lengths;
+  out.input_ids.reserve(batch.ids.size());
+  out.targets.reserve(batch.ids.size());
+  for (std::int64_t b = 0; b < batch.batch_size; ++b) {
+    Sample view;
+    view.ids.assign(batch.ids.begin() + b * batch.seq_len,
+                    batch.ids.begin() + (b + 1) * batch.seq_len);
+    view.length = batch.lengths[static_cast<std::size_t>(b)];
+    MlmExample ex = mask(view, rng);
+    out.input_ids.insert(out.input_ids.end(), ex.input_ids.begin(),
+                         ex.input_ids.end());
+    out.targets.insert(out.targets.end(), ex.targets.begin(), ex.targets.end());
+  }
+  return out;
+}
+
+}  // namespace cppflare::data

@@ -1,0 +1,60 @@
+// Masked-language-model sample preparation (BERT pretraining objective).
+//
+// Following the paper (Sec. III-B) and Devlin et al.: each non-special
+// token is selected with probability p = 0.15; of the selected tokens 80%
+// are replaced by [MASK], 10% by a random regular token, and 10% are left
+// unchanged but still included in the loss. Targets carry the original id
+// at selected positions and `kIgnore` elsewhere.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.h"
+#include "data/dataset.h"
+#include "data/vocab.h"
+
+namespace cppflare::data {
+
+struct MlmExample {
+  std::vector<std::int64_t> input_ids;  // [T], corrupted
+  std::vector<std::int64_t> targets;    // [T], original id or kIgnore
+};
+
+class MlmMasker {
+ public:
+  static constexpr std::int64_t kIgnore = -100;
+
+  struct Options {
+    double mask_prob = 0.15;     // selection probability
+    double replace_mask = 0.80;  // of selected: -> [MASK]
+    double replace_random = 0.10;  // of selected: -> random token
+    // remaining 0.10: keep original token, still in the loss
+  };
+
+  explicit MlmMasker(std::int64_t vocab_size) : MlmMasker(vocab_size, Options{}) {}
+  MlmMasker(std::int64_t vocab_size, Options options);
+
+  /// Masks one padded sample. Only positions in [0, length) that hold
+  /// non-special tokens are candidates; padding is never selected.
+  MlmExample mask(const Sample& sample, core::Rng& rng) const;
+
+  /// Collates masked examples for a model step: flattened [B*T] inputs and
+  /// targets plus per-row lengths.
+  struct MaskedBatch {
+    std::vector<std::int64_t> input_ids;
+    std::vector<std::int64_t> targets;
+    std::vector<std::int64_t> lengths;
+    std::int64_t batch_size = 0;
+    std::int64_t seq_len = 0;
+  };
+  MaskedBatch mask_batch(const Batch& batch, core::Rng& rng) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  std::int64_t vocab_size_;
+  Options options_;
+};
+
+}  // namespace cppflare::data

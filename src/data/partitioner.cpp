@@ -1,0 +1,141 @@
+#include "data/partitioner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/error.h"
+
+namespace cppflare::data {
+
+const std::vector<double>& paper_imbalanced_ratios() {
+  static const std::vector<double> kRatios = {0.29, 0.22, 0.17, 0.14,
+                                              0.09, 0.04, 0.03, 0.02};
+  return kRatios;
+}
+
+namespace {
+
+std::vector<std::int64_t> shard_sizes(std::int64_t total,
+                                      const std::vector<double>& ratios) {
+  std::vector<std::int64_t> sizes(ratios.size());
+  std::int64_t assigned = 0;
+  for (std::size_t i = 0; i < ratios.size(); ++i) {
+    sizes[i] = static_cast<std::int64_t>(
+        std::floor(ratios[i] * static_cast<double>(total)));
+    assigned += sizes[i];
+  }
+  // Distribute the rounding remainder to the largest shards first.
+  std::vector<std::size_t> order(ratios.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return ratios[a] > ratios[b]; });
+  for (std::size_t i = 0; assigned < total; ++i, ++assigned) {
+    sizes[order[i % order.size()]] += 1;
+  }
+  return sizes;
+}
+
+double sample_beta(core::Rng& rng, double alpha) {
+  std::gamma_distribution<double> gamma(alpha, 1.0);
+  const double a = gamma(rng.engine());
+  const double b = gamma(rng.engine());
+  if (a + b == 0.0) return 0.5;
+  return a / (a + b);
+}
+
+}  // namespace
+
+std::vector<Dataset> partition(const Dataset& dataset, const PartitionOptions& opts) {
+  if (opts.num_clients <= 0) throw Error("partition: num_clients must be positive");
+  std::vector<double> ratios = opts.size_ratios;
+  if (ratios.empty()) {
+    ratios.assign(static_cast<std::size_t>(opts.num_clients),
+                  1.0 / static_cast<double>(opts.num_clients));
+  }
+  if (static_cast<std::int64_t>(ratios.size()) != opts.num_clients) {
+    throw Error("partition: ratios size " + std::to_string(ratios.size()) +
+                " vs num_clients " + std::to_string(opts.num_clients));
+  }
+  const double sum = std::accumulate(ratios.begin(), ratios.end(), 0.0);
+  if (std::abs(sum - 1.0) > 1e-6) {
+    throw Error("partition: size ratios sum to " + std::to_string(sum));
+  }
+  if (dataset.size() < opts.num_clients) {
+    throw Error("partition: fewer samples than clients");
+  }
+
+  core::Rng rng(opts.seed);
+  const std::vector<std::int64_t> sizes = shard_sizes(dataset.size(), ratios);
+
+  if (opts.label_skew_alpha <= 0.0) {
+    // IID assignment: one global shuffle, contiguous shards.
+    std::vector<std::int64_t> order(static_cast<std::size_t>(dataset.size()));
+    std::iota(order.begin(), order.end(), 0);
+    rng.shuffle(order);
+    std::vector<Dataset> shards;
+    std::int64_t offset = 0;
+    for (std::int64_t size : sizes) {
+      std::vector<std::int64_t> idx(order.begin() + offset,
+                                    order.begin() + offset + size);
+      shards.push_back(dataset.subset(idx));
+      offset += size;
+    }
+    return shards;
+  }
+
+  // Label-skewed assignment: per-client positive fraction ~ Beta(alpha,
+  // alpha), greedily drawn from per-label pools; when a pool runs dry the
+  // other label fills the remainder, so every sample is assigned.
+  std::vector<std::int64_t> pos_pool, neg_pool;
+  for (std::int64_t i = 0; i < dataset.size(); ++i) {
+    (dataset[i].label == 1 ? pos_pool : neg_pool).push_back(i);
+  }
+  rng.shuffle(pos_pool);
+  rng.shuffle(neg_pool);
+
+  std::vector<Dataset> shards;
+  std::size_t pos_next = 0, neg_next = 0;
+  for (std::int64_t c = 0; c < opts.num_clients; ++c) {
+    const std::int64_t size = sizes[static_cast<std::size_t>(c)];
+    const double want_pos_frac = sample_beta(rng, opts.label_skew_alpha);
+    std::int64_t want_pos = static_cast<std::int64_t>(
+        std::llround(want_pos_frac * static_cast<double>(size)));
+    want_pos = std::min<std::int64_t>(
+        want_pos, static_cast<std::int64_t>(pos_pool.size() - pos_next));
+    std::int64_t want_neg = size - want_pos;
+    const auto neg_avail = static_cast<std::int64_t>(neg_pool.size() - neg_next);
+    if (want_neg > neg_avail) {
+      want_pos += want_neg - neg_avail;
+      want_neg = neg_avail;
+      want_pos = std::min<std::int64_t>(
+          want_pos, static_cast<std::int64_t>(pos_pool.size() - pos_next));
+    }
+    std::vector<std::int64_t> idx;
+    idx.reserve(static_cast<std::size_t>(size));
+    for (std::int64_t i = 0; i < want_pos; ++i) idx.push_back(pos_pool[pos_next++]);
+    for (std::int64_t i = 0; i < want_neg; ++i) idx.push_back(neg_pool[neg_next++]);
+    rng.shuffle(idx);
+    shards.push_back(dataset.subset(idx));
+  }
+  // Any stragglers from rounding go to the last shard.
+  std::vector<std::int64_t> rest;
+  while (pos_next < pos_pool.size()) rest.push_back(pos_pool[pos_next++]);
+  while (neg_next < neg_pool.size()) rest.push_back(neg_pool[neg_next++]);
+  if (!rest.empty()) {
+    Dataset& last = shards.back();
+    for (std::int64_t i : rest) last.add(dataset[i]);
+  }
+  return shards;
+}
+
+std::vector<ShardStats> shard_stats(const std::vector<Dataset>& shards) {
+  std::vector<ShardStats> stats;
+  stats.reserve(shards.size());
+  for (const Dataset& d : shards) {
+    stats.push_back({d.size(), d.positive_rate()});
+  }
+  return stats;
+}
+
+}  // namespace cppflare::data

@@ -1,0 +1,60 @@
+#include "data/vocab.h"
+
+#include "core/error.h"
+
+namespace cppflare::data {
+
+Vocabulary::Vocabulary() {
+  for (const char* s : {"[PAD]", "[UNK]", "[CLS]", "[SEP]", "[MASK]"}) {
+    add(s);
+  }
+}
+
+std::int64_t Vocabulary::add(const std::string& token) {
+  auto it = index_.find(token);
+  if (it != index_.end()) return it->second;
+  const std::int64_t id = size();
+  tokens_.push_back(token);
+  index_.emplace(token, id);
+  return id;
+}
+
+std::int64_t Vocabulary::id_of(const std::string& token) const {
+  auto it = index_.find(token);
+  return it == index_.end() ? kUnk : it->second;
+}
+
+const std::string& Vocabulary::token_of(std::int64_t id) const {
+  if (id < 0 || id >= size()) {
+    throw Error("Vocabulary: id " + std::to_string(id) + " out of range");
+  }
+  return tokens_[static_cast<std::size_t>(id)];
+}
+
+bool Vocabulary::contains(const std::string& token) const {
+  return index_.count(token) != 0;
+}
+
+void Vocabulary::serialize(core::ByteWriter& writer) const {
+  writer.write_u32(static_cast<std::uint32_t>(tokens_.size()));
+  for (const std::string& t : tokens_) writer.write_string(t);
+}
+
+Vocabulary Vocabulary::deserialize(core::ByteReader& reader) {
+  const std::uint32_t n = reader.read_u32();
+  if (n < kNumSpecial) throw SerializationError("Vocabulary: too few tokens");
+  Vocabulary v;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::string t = reader.read_string();
+    if (i < kNumSpecial) {
+      if (t != v.token_of(static_cast<std::int64_t>(i))) {
+        throw SerializationError("Vocabulary: special token mismatch");
+      }
+    } else {
+      v.add(t);
+    }
+  }
+  return v;
+}
+
+}  // namespace cppflare::data

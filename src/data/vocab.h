@@ -1,0 +1,58 @@
+// Token vocabulary over clinical event codes.
+//
+// Tokens are strings such as "RX:clopidogrel" (prescription) or "DX:I21.4"
+// (diagnosis code). Ids 0..4 are reserved for the special tokens BERT-style
+// models need; everything else is assigned in insertion order so a vocabulary
+// built from the same corpus is deterministic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/bytes.h"
+
+namespace cppflare::data {
+
+class Vocabulary {
+ public:
+  // Reserved ids.
+  static constexpr std::int64_t kPad = 0;
+  static constexpr std::int64_t kUnk = 1;
+  static constexpr std::int64_t kCls = 2;
+  static constexpr std::int64_t kSep = 3;
+  static constexpr std::int64_t kMask = 4;
+  static constexpr std::int64_t kNumSpecial = 5;
+
+  Vocabulary();
+
+  /// Adds `token` if absent; returns its id either way.
+  std::int64_t add(const std::string& token);
+
+  /// Id for `token`, or kUnk if unknown.
+  std::int64_t id_of(const std::string& token) const;
+
+  /// Token string for `id`; throws on out-of-range.
+  const std::string& token_of(std::int64_t id) const;
+
+  bool contains(const std::string& token) const;
+
+  std::int64_t size() const { return static_cast<std::int64_t>(tokens_.size()); }
+
+  /// True for ids that must never be masked or predicted by MLM.
+  static bool is_special(std::int64_t id) { return id < kNumSpecial; }
+
+  /// First non-special id; the MLM random-replacement draw uses
+  /// [first_regular_id, size).
+  static std::int64_t first_regular_id() { return kNumSpecial; }
+
+  void serialize(core::ByteWriter& writer) const;
+  static Vocabulary deserialize(core::ByteReader& reader);
+
+ private:
+  std::vector<std::string> tokens_;
+  std::unordered_map<std::string, std::int64_t> index_;
+};
+
+}  // namespace cppflare::data

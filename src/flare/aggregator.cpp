@@ -1,0 +1,96 @@
+#include "flare/aggregator.h"
+
+#include "core/error.h"
+#include "core/logging.h"
+
+namespace cppflare::flare {
+
+namespace {
+const core::Logger& logger() {
+  static core::Logger log("DXOAggregator");
+  return log;
+}
+}  // namespace
+
+void FedAvgAggregator::reset(const nn::StateDict& global, std::int64_t round) {
+  global_ = global;
+  round_kind_.reset();
+  accum_ = nn::StateDict{};
+  weight_sum_ = 0.0;
+  loss_weight_sum_ = 0.0;
+  contributors_.clear();
+  metrics_ = RoundMetrics{};
+  metrics_.round = round;
+}
+
+bool FedAvgAggregator::accept(const std::string& site, const Dxo& contribution) {
+  if (contribution.kind() == DxoKind::kMetrics) {
+    logger().warn("Rejecting metrics-only contribution from " + site);
+    return false;
+  }
+  if (contributors_.count(site) != 0) {
+    logger().warn("Duplicate contribution from " + site + " ignored");
+    return false;
+  }
+  if (round_kind_.has_value() && *round_kind_ != contribution.kind()) {
+    logger().warn("Mixed DXO kinds in one round; rejecting " + site);
+    return false;
+  }
+  if (!contribution.data().congruent_with(global_)) {
+    logger().warn("Incongruent model from " + site + " rejected");
+    return false;
+  }
+
+  const auto samples = contribution.meta_int(Dxo::kMetaNumSamples, 1);
+  const double w = weighted_ ? static_cast<double>(samples) : 1.0;
+  if (w <= 0.0) {
+    logger().warn("Non-positive weight from " + site + " rejected");
+    return false;
+  }
+
+  round_kind_ = contribution.kind();
+  if (accum_.empty()) accum_ = contribution.data().zeros_like();
+  accum_.axpy(static_cast<float>(w), contribution.data());
+  weight_sum_ += w;
+  contributors_.emplace(site, w);
+
+  metrics_.num_contributions += 1;
+  metrics_.total_samples += samples;
+  if (contribution.has_meta(Dxo::kMetaTrainLoss)) {
+    metrics_.train_loss += w * contribution.meta_double(Dxo::kMetaTrainLoss);
+    metrics_.valid_acc += w * contribution.meta_double(Dxo::kMetaValidAcc);
+    metrics_.valid_loss += w * contribution.meta_double(Dxo::kMetaValidLoss);
+    loss_weight_sum_ += w;
+  }
+  logger().info("Contribution from " + site + " ACCEPTED by the aggregator at round " +
+                std::to_string(metrics_.round) + ".");
+  return true;
+}
+
+nn::StateDict FedAvgAggregator::aggregate() {
+  if (weight_sum_ <= 0.0 || !round_kind_.has_value()) {
+    throw Error("FedAvgAggregator: no contributions to aggregate");
+  }
+  logger().info("aggregating " + std::to_string(metrics_.num_contributions) +
+                " update(s) at round " + std::to_string(metrics_.round));
+  accum_.scale(static_cast<float>(1.0 / weight_sum_));
+  if (loss_weight_sum_ > 0.0) {
+    metrics_.train_loss /= loss_weight_sum_;
+    metrics_.valid_acc /= loss_weight_sum_;
+    metrics_.valid_loss /= loss_weight_sum_;
+  }
+  if (*round_kind_ == DxoKind::kWeightDiff) {
+    nn::StateDict next = global_;
+    next.axpy(1.0f, accum_);
+    return next;
+  }
+  return accum_;
+}
+
+std::int64_t FedAvgAggregator::accepted_count() const {
+  return metrics_.num_contributions;
+}
+
+RoundMetrics FedAvgAggregator::metrics() const { return metrics_; }
+
+}  // namespace cppflare::flare

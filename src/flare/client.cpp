@@ -1,0 +1,95 @@
+#include "flare/client.h"
+
+#include <chrono>
+#include <thread>
+
+#include "core/error.h"
+#include "core/logging.h"
+
+namespace cppflare::flare {
+
+namespace {
+const core::Logger& logger() {
+  static core::Logger log("FederatedClient");
+  return log;
+}
+}  // namespace
+
+FederatedClient::FederatedClient(ClientConfig config, Credential credential,
+                                 std::unique_ptr<Connection> connection,
+                                 std::shared_ptr<Learner> learner)
+    : config_(std::move(config)),
+      credential_(std::move(credential)),
+      connection_(std::move(connection)),
+      learner_(std::move(learner)) {
+  if (!connection_) throw Error("FederatedClient: connection required");
+  if (!learner_) throw Error("FederatedClient: learner required");
+}
+
+std::vector<std::uint8_t> FederatedClient::call(
+    const std::vector<std::uint8_t>& frame) {
+  const std::vector<std::uint8_t> sealed =
+      seal(credential_.name, credential_.secret, seq_.next(), frame);
+  const std::vector<std::uint8_t> sealed_response = connection_->call(sealed);
+  const Envelope env = open(sealed_response, credential_.secret);
+  if (env.sender != "server") {
+    throw ProtocolError("response not from server but '" + env.sender + "'");
+  }
+  server_seq_.check_and_advance(env.sender, env.sequence);
+  if (peek_type(env.payload) == MsgType::kError) {
+    throw ProtocolError("server error: " + decode_error(env.payload).message);
+  }
+  return env.payload;
+}
+
+void FederatedClient::run() {
+  // ---- register ----------------------------------------------------------
+  const RegisterAck ack = decode_register_ack(
+      call(pack(RegisterRequest{credential_.name, credential_.token})));
+  if (!ack.accepted) {
+    throw ProtocolError("registration rejected for " + credential_.name + ": " +
+                        ack.message);
+  }
+  session_id_ = ack.session_id;
+  logger().info("Successfully registered client:" + credential_.name +
+                " for project " + config_.job_id + ". Token:" + credential_.token);
+
+  // ---- task loop ----------------------------------------------------------
+  std::int64_t idle_ms = 0;
+  for (;;) {
+    const TaskMessage task = decode_task(call(pack(GetTaskRequest{session_id_})));
+    if (task.task == TaskKind::kStop) {
+      logger().info(credential_.name + " received stop; shutting down");
+      return;
+    }
+    if (task.task == TaskKind::kNone) {
+      if (config_.max_idle_ms > 0 && idle_ms >= config_.max_idle_ms) {
+        throw TransportError(credential_.name + " idle for too long; aborting");
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(config_.poll_interval_ms));
+      idle_ms += config_.poll_interval_ms;
+      continue;
+    }
+    idle_ms = 0;
+
+    FLContext ctx;
+    ctx.job_id = config_.job_id;
+    ctx.site_name = credential_.name;
+    ctx.current_round = task.round;
+    ctx.total_rounds = task.total_rounds;
+
+    Dxo update = learner_->train(task.payload, ctx);
+    outbound_filters_.process(update, ctx);
+
+    const SubmitAck submit_ack = decode_submit_ack(
+        call(pack(SubmitUpdateRequest{session_id_, task.round, update})));
+    if (!submit_ack.accepted) {
+      logger().warn(credential_.name + " contribution rejected: " +
+                    submit_ack.message);
+    } else {
+      rounds_participated_ += 1;
+    }
+  }
+}
+
+}  // namespace cppflare::flare

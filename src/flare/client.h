@@ -1,0 +1,61 @@
+// The federated client runtime.
+//
+// Owns a transport connection, the site credential, and a `Learner`. The
+// `run()` loop is the client half of Fig. 3: register (token handshake),
+// poll for tasks, run local training, pass the result through the outbound
+// filter chain, submit, repeat until the server says stop.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "flare/filters.h"
+#include "flare/learner.h"
+#include "flare/messages.h"
+#include "flare/provision.h"
+#include "flare/secure_channel.h"
+#include "flare/transport.h"
+
+namespace cppflare::flare {
+
+struct ClientConfig {
+  std::string job_id = "simulator_server";
+  /// Sleep between polls when no task is available.
+  std::int64_t poll_interval_ms = 5;
+  /// Give up if the server stays silent this long (0 = never).
+  std::int64_t max_idle_ms = 60000;
+};
+
+class FederatedClient {
+ public:
+  FederatedClient(ClientConfig config, Credential credential,
+                  std::unique_ptr<Connection> connection,
+                  std::shared_ptr<Learner> learner);
+
+  /// Filters applied to every outbound contribution (privacy lives here).
+  FilterChain& outbound_filters() { return outbound_filters_; }
+
+  /// Blocking: registers and participates until the server stops the run.
+  /// Throws ProtocolError/TransportError on unrecoverable failures.
+  void run();
+
+  std::int64_t rounds_participated() const { return rounds_participated_; }
+  const std::string& site_name() const { return credential_.name; }
+
+ private:
+  /// One authenticated round trip: seal, call, open, verify, unwrap errors.
+  std::vector<std::uint8_t> call(const std::vector<std::uint8_t>& frame);
+
+  ClientConfig config_;
+  Credential credential_;
+  std::unique_ptr<Connection> connection_;
+  std::shared_ptr<Learner> learner_;
+  FilterChain outbound_filters_;
+  SequenceSource seq_;
+  SequenceTracker server_seq_;
+  std::string session_id_;
+  std::int64_t rounds_participated_ = 0;
+};
+
+}  // namespace cppflare::flare

@@ -1,0 +1,46 @@
+#include "flare/filters.h"
+
+#include <cmath>
+
+namespace cppflare::flare {
+
+void FilterChain::process(Dxo& dxo, const FLContext& ctx) const {
+  for (const auto& f : filters_) f->process(dxo, ctx);
+}
+
+void GaussianPrivacyFilter::process(Dxo& dxo, const FLContext&) {
+  if (dxo.kind() == DxoKind::kMetrics) return;
+  for (auto& [name, blob] : dxo.data().entries()) {
+    for (float& v : blob.values) {
+      v += static_cast<float>(rng_.normal(0.0, sigma_));
+    }
+  }
+}
+
+void NormClipFilter::process(Dxo& dxo, const FLContext&) {
+  if (dxo.kind() == DxoKind::kMetrics) return;
+  double sq = 0.0;
+  for (const auto& [name, blob] : dxo.data().entries()) {
+    for (float v : blob.values) sq += static_cast<double>(v) * v;
+  }
+  const double norm = std::sqrt(sq);
+  if (norm <= max_norm_ || norm == 0.0) return;
+  const float scale = static_cast<float>(max_norm_ / norm);
+  for (auto& [name, blob] : dxo.data().entries()) {
+    for (float& v : blob.values) v *= scale;
+  }
+}
+
+void ExcludeVarsFilter::process(Dxo& dxo, const FLContext&) {
+  if (dxo.kind() == DxoKind::kMetrics) return;
+  auto& entries = dxo.data().entries();
+  for (auto it = entries.begin(); it != entries.end();) {
+    if (it->first.rfind(prefix_, 0) == 0) {
+      it = entries.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace cppflare::flare

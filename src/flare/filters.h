@@ -1,0 +1,77 @@
+// DXO filters — the privacy/robustness pipeline applied to contributions.
+//
+// NVFlare passes every task result through a configurable filter chain
+// before it reaches the aggregator; this module reproduces the three
+// standard ones the paper's privacy claims rest on: Gaussian perturbation
+// (differential-privacy style noise), update-norm clipping, and variable
+// exclusion. Filters mutate the DXO in place and are composable.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "flare/dxo.h"
+#include "flare/fl_context.h"
+
+namespace cppflare::flare {
+
+class Filter {
+ public:
+  virtual ~Filter() = default;
+  virtual void process(Dxo& dxo, const FLContext& ctx) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Applies all filters in order.
+class FilterChain {
+ public:
+  void add(std::shared_ptr<Filter> filter) { filters_.push_back(std::move(filter)); }
+  void process(Dxo& dxo, const FLContext& ctx) const;
+  std::size_t size() const { return filters_.size(); }
+
+ private:
+  std::vector<std::shared_ptr<Filter>> filters_;
+};
+
+/// Adds i.i.d. N(0, sigma^2) noise to every weight value.
+class GaussianPrivacyFilter : public Filter {
+ public:
+  GaussianPrivacyFilter(double sigma, std::uint64_t seed)
+      : sigma_(sigma), rng_(seed) {}
+  void process(Dxo& dxo, const FLContext& ctx) override;
+  std::string name() const override { return "GaussianPrivacy"; }
+  double sigma() const { return sigma_; }
+
+ private:
+  double sigma_;
+  core::Rng rng_;
+};
+
+/// Rescales the payload so its global L2 norm is at most `max_norm`
+/// (typically used on kWeightDiff contributions).
+class NormClipFilter : public Filter {
+ public:
+  explicit NormClipFilter(double max_norm) : max_norm_(max_norm) {}
+  void process(Dxo& dxo, const FLContext& ctx) override;
+  std::string name() const override { return "NormClip"; }
+
+ private:
+  double max_norm_;
+};
+
+/// Drops parameters whose dotted name starts with `prefix` (NVFlare's
+/// ExcludeVars): e.g. keep a site-specific head local by excluding "head.".
+class ExcludeVarsFilter : public Filter {
+ public:
+  explicit ExcludeVarsFilter(std::string prefix) : prefix_(std::move(prefix)) {}
+  void process(Dxo& dxo, const FLContext& ctx) override;
+  std::string name() const override { return "ExcludeVars(" + prefix_ + ")"; }
+
+ private:
+  std::string prefix_;
+};
+
+}  // namespace cppflare::flare

@@ -1,0 +1,32 @@
+#include "flare/fl_context.h"
+
+namespace cppflare::flare {
+
+const char* event_type_name(EventType type) {
+  switch (type) {
+    case EventType::kStartRun: return "START_RUN";
+    case EventType::kRoundStarted: return "ROUND_STARTED";
+    case EventType::kBeforeAggregation: return "BEFORE_AGGREGATION";
+    case EventType::kAfterAggregation: return "AFTER_AGGREGATION";
+    case EventType::kRoundDone: return "ROUND_DONE";
+    case EventType::kEndRun: return "END_RUN";
+  }
+  return "?";
+}
+
+void EventBus::subscribe(EventType type, Handler handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  handlers_[type].push_back(std::move(handler));
+}
+
+void EventBus::fire(EventType type, const FLContext& ctx) {
+  std::vector<Handler> to_run;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = handlers_.find(type);
+    if (it != handlers_.end()) to_run = it->second;
+  }
+  for (const Handler& h : to_run) h(ctx);
+}
+
+}  // namespace cppflare::flare

@@ -1,0 +1,54 @@
+// Run context and event system.
+//
+// `FLContext` carries the identifiers and knobs a component needs to act in
+// a run (mirrors NVFlare's FLContext, flattened to the fields this system
+// uses). `EventBus` lets components observe workflow milestones without
+// coupling to the controller — the simulator uses it to collect per-round
+// metrics, and tests use it to assert ordering.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+
+namespace cppflare::flare {
+
+struct FLContext {
+  std::string job_id;
+  std::string site_name;       // "" on the server
+  std::int64_t current_round = 0;
+  std::int64_t total_rounds = 0;
+  core::Config props;          // job-level knobs (lr, epochs, ...)
+};
+
+enum class EventType {
+  kStartRun = 0,
+  kRoundStarted,
+  kBeforeAggregation,
+  kAfterAggregation,
+  kRoundDone,
+  kEndRun,
+};
+
+const char* event_type_name(EventType type);
+
+class EventBus {
+ public:
+  using Handler = std::function<void(const FLContext&)>;
+
+  /// Registers a handler; handlers run synchronously in subscription order.
+  void subscribe(EventType type, Handler handler);
+
+  void fire(EventType type, const FLContext& ctx);
+
+ private:
+  std::mutex mu_;
+  std::map<EventType, std::vector<Handler>> handlers_;
+};
+
+}  // namespace cppflare::flare

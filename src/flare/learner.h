@@ -1,0 +1,28 @@
+// The client-side executor interface.
+//
+// A `Learner` is what a site plugs into the federated client: given the
+// round's global model it runs local training and returns a contribution
+// DXO (weights or diff + sample count + local metrics). This is the C++
+// analogue of the paper's `CiBertLearner` running under NVFlare's executor.
+#pragma once
+
+#include <string>
+
+#include "flare/dxo.h"
+#include "flare/fl_context.h"
+
+namespace cppflare::flare {
+
+class Learner {
+ public:
+  virtual ~Learner() = default;
+
+  /// Runs local training from `global_model` (kind kWeights) and returns
+  /// the contribution. Implementations set kMetaNumSamples and metric meta.
+  virtual Dxo train(const Dxo& global_model, const FLContext& ctx) = 0;
+
+  /// Site name for logs.
+  virtual std::string site_name() const = 0;
+};
+
+}  // namespace cppflare::flare

@@ -1,0 +1,151 @@
+#include "flare/messages.h"
+
+#include "core/error.h"
+
+namespace cppflare::flare {
+
+namespace {
+
+core::ByteWriter begin(MsgType type) {
+  core::ByteWriter w;
+  w.write_u8(static_cast<std::uint8_t>(type));
+  return w;
+}
+
+core::ByteReader expect(const std::vector<std::uint8_t>& frame, MsgType type) {
+  core::ByteReader r(frame);
+  const std::uint8_t tag = r.read_u8();
+  if (tag != static_cast<std::uint8_t>(type)) {
+    throw ProtocolError("expected message type " +
+                        std::to_string(static_cast<int>(type)) + ", got " +
+                        std::to_string(static_cast<int>(tag)));
+  }
+  return r;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> pack(const RegisterRequest& m) {
+  core::ByteWriter w = begin(MsgType::kRegister);
+  w.write_string(m.site_name);
+  w.write_string(m.token);
+  return w.take();
+}
+
+std::vector<std::uint8_t> pack(const RegisterAck& m) {
+  core::ByteWriter w = begin(MsgType::kRegisterAck);
+  w.write_bool(m.accepted);
+  w.write_string(m.session_id);
+  w.write_string(m.message);
+  return w.take();
+}
+
+std::vector<std::uint8_t> pack(const GetTaskRequest& m) {
+  core::ByteWriter w = begin(MsgType::kGetTask);
+  w.write_string(m.session_id);
+  return w.take();
+}
+
+std::vector<std::uint8_t> pack(const TaskMessage& m) {
+  core::ByteWriter w = begin(MsgType::kTask);
+  w.write_u8(static_cast<std::uint8_t>(m.task));
+  w.write_i64(m.round);
+  w.write_i64(m.total_rounds);
+  m.payload.serialize(w);
+  return w.take();
+}
+
+std::vector<std::uint8_t> pack(const SubmitUpdateRequest& m) {
+  core::ByteWriter w = begin(MsgType::kSubmitUpdate);
+  w.write_string(m.session_id);
+  w.write_i64(m.round);
+  m.payload.serialize(w);
+  return w.take();
+}
+
+std::vector<std::uint8_t> pack(const SubmitAck& m) {
+  core::ByteWriter w = begin(MsgType::kSubmitAck);
+  w.write_bool(m.accepted);
+  w.write_string(m.message);
+  return w.take();
+}
+
+std::vector<std::uint8_t> pack(const ErrorMessage& m) {
+  core::ByteWriter w = begin(MsgType::kError);
+  w.write_string(m.message);
+  return w.take();
+}
+
+MsgType peek_type(const std::vector<std::uint8_t>& frame) {
+  if (frame.empty()) throw ProtocolError("empty frame");
+  const std::uint8_t tag = frame[0];
+  if (tag < static_cast<std::uint8_t>(MsgType::kRegister) ||
+      tag > static_cast<std::uint8_t>(MsgType::kError)) {
+    throw ProtocolError("unknown message tag " + std::to_string(tag));
+  }
+  return static_cast<MsgType>(tag);
+}
+
+RegisterRequest decode_register(const std::vector<std::uint8_t>& frame) {
+  core::ByteReader r = expect(frame, MsgType::kRegister);
+  RegisterRequest m;
+  m.site_name = r.read_string();
+  m.token = r.read_string();
+  return m;
+}
+
+RegisterAck decode_register_ack(const std::vector<std::uint8_t>& frame) {
+  core::ByteReader r = expect(frame, MsgType::kRegisterAck);
+  RegisterAck m;
+  m.accepted = r.read_bool();
+  m.session_id = r.read_string();
+  m.message = r.read_string();
+  return m;
+}
+
+GetTaskRequest decode_get_task(const std::vector<std::uint8_t>& frame) {
+  core::ByteReader r = expect(frame, MsgType::kGetTask);
+  GetTaskRequest m;
+  m.session_id = r.read_string();
+  return m;
+}
+
+TaskMessage decode_task(const std::vector<std::uint8_t>& frame) {
+  core::ByteReader r = expect(frame, MsgType::kTask);
+  TaskMessage m;
+  const std::uint8_t kind = r.read_u8();
+  if (kind > static_cast<std::uint8_t>(TaskKind::kStop)) {
+    throw ProtocolError("bad task kind");
+  }
+  m.task = static_cast<TaskKind>(kind);
+  m.round = r.read_i64();
+  m.total_rounds = r.read_i64();
+  m.payload = Dxo::deserialize(r);
+  return m;
+}
+
+SubmitUpdateRequest decode_submit(const std::vector<std::uint8_t>& frame) {
+  core::ByteReader r = expect(frame, MsgType::kSubmitUpdate);
+  SubmitUpdateRequest m;
+  m.session_id = r.read_string();
+  m.round = r.read_i64();
+  m.payload = Dxo::deserialize(r);
+  return m;
+}
+
+SubmitAck decode_submit_ack(const std::vector<std::uint8_t>& frame) {
+  core::ByteReader r = expect(frame, MsgType::kSubmitAck);
+  SubmitAck m;
+  m.accepted = r.read_bool();
+  m.message = r.read_string();
+  return m;
+}
+
+ErrorMessage decode_error(const std::vector<std::uint8_t>& frame) {
+  core::ByteReader r = expect(frame, MsgType::kError);
+  ErrorMessage m;
+  m.message = r.read_string();
+  return m;
+}
+
+}  // namespace cppflare::flare

@@ -1,0 +1,94 @@
+// Wire protocol between federated clients and the server.
+//
+// Clients drive the protocol (as in NVFlare): they register, then poll for
+// tasks and submit results. Every message is a tagged body; the secure
+// channel (secure_channel.h) wraps the tagged bytes with sender identity and
+// an HMAC before they reach a transport.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/bytes.h"
+#include "flare/dxo.h"
+
+namespace cppflare::flare {
+
+enum class MsgType : std::uint8_t {
+  kRegister = 1,
+  kRegisterAck = 2,
+  kGetTask = 3,
+  kTask = 4,
+  kSubmitUpdate = 5,
+  kSubmitAck = 6,
+  kError = 7,
+};
+
+/// What the server asks a polling client to do.
+enum class TaskKind : std::uint8_t {
+  kNone = 0,   // nothing right now; poll again
+  kTrain = 1,  // run local training on the attached global model
+  kStop = 2,   // the run is over; shut down
+};
+
+struct RegisterRequest {
+  std::string site_name;
+  std::string token;
+};
+
+struct RegisterAck {
+  bool accepted = false;
+  std::string session_id;
+  std::string message;
+};
+
+struct GetTaskRequest {
+  std::string session_id;
+};
+
+struct TaskMessage {
+  TaskKind task = TaskKind::kNone;
+  std::int64_t round = 0;
+  std::int64_t total_rounds = 0;
+  Dxo payload;  // global model for kTrain; empty otherwise
+};
+
+struct SubmitUpdateRequest {
+  std::string session_id;
+  std::int64_t round = 0;
+  Dxo payload;
+};
+
+struct SubmitAck {
+  bool accepted = false;
+  std::string message;
+};
+
+struct ErrorMessage {
+  std::string message;
+};
+
+// ---- encoding -----------------------------------------------------------
+// pack_* produce a full tagged frame; `peek_type` reads the tag; decode_*
+// expect the matching tag and throw ProtocolError otherwise.
+
+std::vector<std::uint8_t> pack(const RegisterRequest& m);
+std::vector<std::uint8_t> pack(const RegisterAck& m);
+std::vector<std::uint8_t> pack(const GetTaskRequest& m);
+std::vector<std::uint8_t> pack(const TaskMessage& m);
+std::vector<std::uint8_t> pack(const SubmitUpdateRequest& m);
+std::vector<std::uint8_t> pack(const SubmitAck& m);
+std::vector<std::uint8_t> pack(const ErrorMessage& m);
+
+MsgType peek_type(const std::vector<std::uint8_t>& frame);
+
+RegisterRequest decode_register(const std::vector<std::uint8_t>& frame);
+RegisterAck decode_register_ack(const std::vector<std::uint8_t>& frame);
+GetTaskRequest decode_get_task(const std::vector<std::uint8_t>& frame);
+TaskMessage decode_task(const std::vector<std::uint8_t>& frame);
+SubmitUpdateRequest decode_submit(const std::vector<std::uint8_t>& frame);
+SubmitAck decode_submit_ack(const std::vector<std::uint8_t>& frame);
+ErrorMessage decode_error(const std::vector<std::uint8_t>& frame);
+
+}  // namespace cppflare::flare

@@ -1,0 +1,61 @@
+#include "flare/model_selector.h"
+
+#include "core/error.h"
+#include "core/logging.h"
+
+namespace cppflare::flare {
+
+namespace {
+const core::Logger& logger() {
+  static core::Logger log("IntimeModelSelector");
+  return log;
+}
+}  // namespace
+
+double BestModelSelector::score_of(const RoundMetrics& metrics) const {
+  switch (criterion_) {
+    case Criterion::kMaxValidAccuracy:
+      return metrics.valid_acc;
+    case Criterion::kMinValidLoss:
+      return -metrics.valid_loss;
+  }
+  return 0.0;
+}
+
+void BestModelSelector::observe(std::int64_t round, const nn::StateDict& model,
+                                const RoundMetrics& metrics) {
+  const double score = score_of(metrics);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!best_.has_value() || score > best_score_) {
+    best_ = model;
+    best_round_ = round;
+    best_metrics_ = metrics;
+    best_score_ = score;
+    logger().info("New best global model at round " + std::to_string(round) +
+                  " (valid_acc=" + std::to_string(metrics.valid_acc) +
+                  ", valid_loss=" + std::to_string(metrics.valid_loss) + ")");
+  }
+}
+
+bool BestModelSelector::has_best() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return best_.has_value();
+}
+
+nn::StateDict BestModelSelector::best_model() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!best_.has_value()) throw Error("BestModelSelector: no rounds observed");
+  return *best_;
+}
+
+std::int64_t BestModelSelector::best_round() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return best_round_;
+}
+
+RoundMetrics BestModelSelector::best_metrics() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return best_metrics_;
+}
+
+}  // namespace cppflare::flare

@@ -1,0 +1,57 @@
+// Best-global-model selection (NVFlare's IntimeModelSelector).
+//
+// FedAvg's final round is not necessarily its best: with non-IID clients
+// the global validation metric oscillates. The selector watches every
+// aggregated round and keeps a copy of the best model by the clients'
+// sample-weighted validation accuracy (or lowest validation loss).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+
+#include "flare/aggregator.h"
+#include "flare/server.h"
+
+namespace cppflare::flare {
+
+class BestModelSelector {
+ public:
+  enum class Criterion {
+    kMaxValidAccuracy,
+    kMinValidLoss,
+  };
+
+  explicit BestModelSelector(Criterion criterion = Criterion::kMaxValidAccuracy)
+      : criterion_(criterion) {}
+
+  /// Registers this selector on the server. The selector must outlive the
+  /// server's run.
+  void attach(FederatedServer& server) {
+    server.add_round_observer(
+        [this](std::int64_t round, const nn::StateDict& model,
+               const RoundMetrics& metrics) { observe(round, model, metrics); });
+  }
+
+  /// Feeds one aggregated round. Thread-safe.
+  void observe(std::int64_t round, const nn::StateDict& model,
+               const RoundMetrics& metrics);
+
+  bool has_best() const;
+  /// Best model so far; throws if no round was observed.
+  nn::StateDict best_model() const;
+  std::int64_t best_round() const;
+  RoundMetrics best_metrics() const;
+
+ private:
+  double score_of(const RoundMetrics& metrics) const;
+
+  Criterion criterion_;
+  mutable std::mutex mu_;
+  std::optional<nn::StateDict> best_;
+  std::int64_t best_round_ = -1;
+  RoundMetrics best_metrics_{};
+  double best_score_ = 0.0;
+};
+
+}  // namespace cppflare::flare

@@ -1,0 +1,51 @@
+#include "flare/persistor.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "core/bytes.h"
+#include "core/error.h"
+
+namespace cppflare::flare {
+
+namespace {
+constexpr std::uint32_t kCheckpointMagic = 0x43504b31;  // "CPK1"
+}
+
+void ModelPersistor::save(const Checkpoint& checkpoint) const {
+  core::ByteWriter w;
+  w.write_u32(kCheckpointMagic);
+  w.write_string(checkpoint.job_id);
+  w.write_i64(checkpoint.round);
+  checkpoint.model.serialize(w);
+
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw Error("ModelPersistor: cannot open '" + tmp + "'");
+    out.write(reinterpret_cast<const char*>(w.bytes().data()),
+              static_cast<std::streamsize>(w.size()));
+    if (!out) throw Error("ModelPersistor: write failed for '" + tmp + "'");
+  }
+  std::filesystem::rename(tmp, path_);
+}
+
+std::optional<Checkpoint> ModelPersistor::load() const {
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  core::ByteReader r(bytes);
+  if (r.read_u32() != kCheckpointMagic) {
+    throw SerializationError("ModelPersistor: bad checkpoint magic in '" + path_ +
+                             "'");
+  }
+  Checkpoint cp;
+  cp.job_id = r.read_string();
+  cp.round = r.read_i64();
+  cp.model = nn::StateDict::deserialize(r);
+  return cp;
+}
+
+}  // namespace cppflare::flare

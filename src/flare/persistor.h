@@ -1,0 +1,38 @@
+// Model persistence (NVFlare's "persist model on server" step).
+//
+// Saves the global StateDict plus round/job metadata to a single binary
+// file, atomically (write to a temp file, then rename), so a crashed run
+// never leaves a torn checkpoint behind.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "nn/state_dict.h"
+
+namespace cppflare::flare {
+
+struct Checkpoint {
+  std::string job_id;
+  std::int64_t round = 0;
+  nn::StateDict model;
+};
+
+class ModelPersistor {
+ public:
+  explicit ModelPersistor(std::string path) : path_(std::move(path)) {}
+
+  /// Atomically writes the checkpoint.
+  void save(const Checkpoint& checkpoint) const;
+
+  /// Loads the checkpoint; std::nullopt if the file does not exist.
+  std::optional<Checkpoint> load() const;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace cppflare::flare

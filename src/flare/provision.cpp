@@ -1,0 +1,44 @@
+#include "flare/provision.h"
+
+#include <cstdio>
+
+namespace cppflare::flare {
+
+Provisioner::Provisioner(std::string project_name, std::uint64_t seed)
+    : project_name_(std::move(project_name)), seed_(seed) {}
+
+Credential Provisioner::provision(const std::string& participant_name) const {
+  // Both artifacts are domain-separated digests of (project, seed, name).
+  const std::string base =
+      project_name_ + "\x1f" + std::to_string(seed_) + "\x1f" + participant_name;
+  const core::Digest token_digest = core::Sha256::hash("token:" + base);
+  const core::Digest secret_digest = core::Sha256::hash("secret:" + base);
+
+  Credential cred;
+  cred.name = participant_name;
+  cred.token = format_uuid(token_digest.data());
+  cred.secret.assign(secret_digest.begin(), secret_digest.end());
+  return cred;
+}
+
+std::map<std::string, Credential> Provisioner::provision_sites(
+    std::int64_t num_sites) const {
+  std::map<std::string, Credential> registry;
+  for (std::int64_t i = 1; i <= num_sites; ++i) {
+    const std::string name = "site-" + std::to_string(i);
+    registry.emplace(name, provision(name));
+  }
+  registry.emplace("server", provision("server"));
+  return registry;
+}
+
+std::string format_uuid(const std::uint8_t* b) {
+  char buf[37];
+  std::snprintf(buf, sizeof(buf),
+                "%02x%02x%02x%02x-%02x%02x-%02x%02x-%02x%02x-%02x%02x%02x%02x%02x%02x",
+                b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7], b[8], b[9], b[10],
+                b[11], b[12], b[13], b[14], b[15]);
+  return buf;
+}
+
+}  // namespace cppflare::flare

@@ -1,0 +1,119 @@
+#include "flare/robust_aggregator.h"
+
+#include <algorithm>
+
+#include "core/error.h"
+#include "core/logging.h"
+
+namespace cppflare::flare {
+
+namespace {
+const core::Logger& logger() {
+  static core::Logger log("RobustAggregator");
+  return log;
+}
+}  // namespace
+
+void BufferingAggregator::reset(const nn::StateDict& global, std::int64_t round) {
+  global_ = global;
+  round_kind_.reset();
+  contributions_.clear();
+  metrics_ = RoundMetrics{};
+  metrics_.round = round;
+  loss_weight_sum_ = 0.0;
+}
+
+bool BufferingAggregator::accept(const std::string& site, const Dxo& contribution) {
+  if (contribution.kind() == DxoKind::kMetrics) return false;
+  if (contributions_.count(site) != 0) {
+    logger().warn("Duplicate contribution from " + site + " ignored");
+    return false;
+  }
+  if (round_kind_.has_value() && *round_kind_ != contribution.kind()) {
+    logger().warn("Mixed DXO kinds in one round; rejecting " + site);
+    return false;
+  }
+  if (!contribution.data().congruent_with(global_)) {
+    logger().warn("Incongruent model from " + site + " rejected");
+    return false;
+  }
+  round_kind_ = contribution.kind();
+  contributions_.emplace(site, contribution.data());
+
+  metrics_.num_contributions += 1;
+  const auto samples = contribution.meta_int(Dxo::kMetaNumSamples, 1);
+  metrics_.total_samples += samples;
+  if (contribution.has_meta(Dxo::kMetaTrainLoss)) {
+    const double w = static_cast<double>(samples);
+    metrics_.train_loss += w * contribution.meta_double(Dxo::kMetaTrainLoss);
+    metrics_.valid_acc += w * contribution.meta_double(Dxo::kMetaValidAcc);
+    metrics_.valid_loss += w * contribution.meta_double(Dxo::kMetaValidLoss);
+    loss_weight_sum_ += w;
+  }
+  return true;
+}
+
+nn::StateDict BufferingAggregator::aggregate() {
+  if (contributions_.empty()) {
+    throw Error("BufferingAggregator: no contributions to aggregate");
+  }
+  if (loss_weight_sum_ > 0.0) {
+    metrics_.train_loss /= loss_weight_sum_;
+    metrics_.valid_acc /= loss_weight_sum_;
+    metrics_.valid_loss /= loss_weight_sum_;
+  }
+  logger().info("robust-aggregating " + std::to_string(contributions_.size()) +
+                " update(s) at round " + std::to_string(metrics_.round));
+
+  nn::StateDict out = global_;  // structure template
+  std::vector<float> column(contributions_.size());
+  for (auto& [name, blob] : out.entries()) {
+    // Hoist the per-blob lookups out of the per-coordinate loop.
+    std::vector<const std::vector<float>*> sources;
+    sources.reserve(contributions_.size());
+    for (const auto& [site, dict] : contributions_) {
+      sources.push_back(&dict.at(name).values);
+    }
+    for (std::size_t i = 0; i < blob.values.size(); ++i) {
+      for (std::size_t c = 0; c < sources.size(); ++c) {
+        column[c] = (*sources[c])[i];
+      }
+      blob.values[i] = combine(column);
+    }
+  }
+  if (*round_kind_ == DxoKind::kWeightDiff) {
+    nn::StateDict next = global_;
+    next.axpy(1.0f, out);
+    return next;
+  }
+  return out;
+}
+
+std::int64_t BufferingAggregator::accepted_count() const {
+  return metrics_.num_contributions;
+}
+
+RoundMetrics BufferingAggregator::metrics() const { return metrics_; }
+
+float MedianAggregator::combine(std::vector<float>& values) const {
+  const std::size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + mid, values.end());
+  if (values.size() % 2 == 1) return values[mid];
+  const float hi = values[mid];
+  const float lo = *std::max_element(values.begin(), values.begin() + mid);
+  return 0.5f * (lo + hi);
+}
+
+float TrimmedMeanAggregator::combine(std::vector<float>& values) const {
+  const auto n = static_cast<std::int64_t>(values.size());
+  if (n <= 2 * trim_) {
+    throw Error("TrimmedMean: need more than " + std::to_string(2 * trim_) +
+                " contributions, got " + std::to_string(n));
+  }
+  std::sort(values.begin(), values.end());
+  double acc = 0.0;
+  for (std::int64_t i = trim_; i < n - trim_; ++i) acc += values[i];
+  return static_cast<float>(acc / static_cast<double>(n - 2 * trim_));
+}
+
+}  // namespace cppflare::flare

@@ -1,0 +1,71 @@
+// Byzantine-robust aggregation.
+//
+// FedAvg is a single faulty or malicious clinic away from a corrupted
+// global model. These aggregators bound that influence with classic
+// coordinate-wise robust statistics (Yin et al., ICML'18):
+//
+//  * MedianAggregator      — coordinate-wise median of contributions;
+//  * TrimmedMeanAggregator — drop the k largest and k smallest values per
+//    coordinate, average the rest.
+//
+// Both ignore sample weights (robustness and weighting conflict: a
+// malicious client could claim a huge sample count). Contributions are
+// buffered per round, so memory is O(clients * model size).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "flare/aggregator.h"
+
+namespace cppflare::flare {
+
+/// Shared buffering logic for aggregate-at-end robust rules.
+class BufferingAggregator : public Aggregator {
+ public:
+  void reset(const nn::StateDict& global, std::int64_t round) override;
+  bool accept(const std::string& site, const Dxo& contribution) override;
+  nn::StateDict aggregate() override;
+  std::int64_t accepted_count() const override;
+  RoundMetrics metrics() const override;
+
+ protected:
+  /// Combines one coordinate's sorted values into the aggregate value.
+  virtual float combine(std::vector<float>& values) const = 0;
+
+ private:
+  nn::StateDict global_;
+  std::optional<DxoKind> round_kind_;
+  std::map<std::string, nn::StateDict> contributions_;
+  RoundMetrics metrics_{};
+  double loss_weight_sum_ = 0.0;
+};
+
+class MedianAggregator : public BufferingAggregator {
+ public:
+  std::string name() const override { return "CoordinateMedian"; }
+
+ protected:
+  float combine(std::vector<float>& values) const override;
+};
+
+class TrimmedMeanAggregator : public BufferingAggregator {
+ public:
+  /// Trims `trim` values from each tail per coordinate. Requires
+  /// contributions > 2*trim at aggregate time.
+  explicit TrimmedMeanAggregator(std::int64_t trim) : trim_(trim) {}
+  std::string name() const override {
+    return "TrimmedMean(k=" + std::to_string(trim_) + ")";
+  }
+
+ protected:
+  float combine(std::vector<float>& values) const override;
+
+ private:
+  std::int64_t trim_;
+};
+
+}  // namespace cppflare::flare

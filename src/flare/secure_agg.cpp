@@ -1,0 +1,65 @@
+#include "flare/secure_agg.h"
+
+#include <algorithm>
+
+#include "core/error.h"
+#include "core/rng.h"
+#include "core/sha256.h"
+
+namespace cppflare::flare {
+
+std::vector<std::uint8_t> SecureAggregationDealer::pair_key(
+    const std::string& site_a, const std::string& site_b) const {
+  if (site_a == site_b) throw Error("pair_key: a pair needs two distinct sites");
+  const std::string lo = std::min(site_a, site_b);
+  const std::string hi = std::max(site_a, site_b);
+  const core::Digest digest = core::Sha256::hash(
+      "pairkey:" + project_name_ + "\x1f" + std::to_string(seed_) + "\x1f" + lo +
+      "\x1f" + hi);
+  return std::vector<std::uint8_t>(digest.begin(), digest.end());
+}
+
+SecureAggMaskFilter::SecureAggMaskFilter(std::string self_site,
+                                         std::vector<std::string> all_sites,
+                                         const SecureAggregationDealer& dealer,
+                                         double mask_stddev)
+    : self_site_(std::move(self_site)), mask_stddev_(mask_stddev) {
+  bool found_self = false;
+  for (const std::string& site : all_sites) {
+    if (site == self_site_) {
+      found_self = true;
+      continue;
+    }
+    other_sites_.push_back(site);
+    pair_keys_.push_back(dealer.pair_key(self_site_, site));
+  }
+  if (!found_self) {
+    throw Error("SecureAggMaskFilter: self site '" + self_site_ +
+                "' not in participant list");
+  }
+  if (other_sites_.empty()) {
+    throw Error("SecureAggMaskFilter: need at least two sites");
+  }
+}
+
+void SecureAggMaskFilter::process(Dxo& dxo, const FLContext& ctx) {
+  if (dxo.kind() == DxoKind::kMetrics) return;
+  for (std::size_t p = 0; p < other_sites_.size(); ++p) {
+    // Both pair members derive the same seed; the lexicographically
+    // smaller site adds the stream, the larger subtracts it.
+    const float sign = self_site_ < other_sites_[p] ? 1.0f : -1.0f;
+    std::uint64_t seed = 0x5ec0de;
+    for (std::uint8_t b : pair_keys_[p]) seed = seed * 131 + b;
+    seed ^= static_cast<std::uint64_t>(ctx.current_round) * 0x9e3779b97f4a7c15ull;
+    core::Rng stream(seed);
+    // Iterate blobs in map order (deterministic and identical across the
+    // pair because the dicts are congruent by protocol).
+    for (auto& [name, blob] : dxo.data().entries()) {
+      for (float& v : blob.values) {
+        v += sign * static_cast<float>(stream.normal(0.0, mask_stddev_));
+      }
+    }
+  }
+}
+
+}  // namespace cppflare::flare

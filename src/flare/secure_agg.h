@@ -1,0 +1,63 @@
+// Secure aggregation by pairwise additive masking.
+//
+// Threat model: honest-but-curious server. Each pair of sites (a, b)
+// receives a shared pairwise key at provisioning time (trusted-dealer
+// setup; production systems derive it with Diffie-Hellman). Before
+// uploading, site s adds to its update, for every other site o, a
+// pseudorandom mask stream seeded by (pair key, round), with sign +1 if
+// s < o lexicographically and -1 otherwise. Summing all contributions
+// cancels every mask exactly, so the server learns only the aggregate:
+//
+//   sum_s (x_s + m_s) = sum_s x_s          since  sum_s m_s = 0.
+//
+// Cancellation requires an unweighted sum, so pair this filter with
+// FedAvgAggregator(weighted=false) (clients with equal shards), or have
+// clients pre-scale their update by the known sample weight.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "flare/filters.h"
+#include "flare/provision.h"
+
+namespace cppflare::flare {
+
+/// Deals deterministic symmetric pairwise keys for a project. The server
+/// must never be given the dealer (only sites hold their pairwise keys).
+class SecureAggregationDealer {
+ public:
+  SecureAggregationDealer(std::string project_name, std::uint64_t seed)
+      : project_name_(std::move(project_name)), seed_(seed) {}
+
+  /// 32-byte key shared by exactly the pair {a, b}; symmetric in a/b.
+  std::vector<std::uint8_t> pair_key(const std::string& site_a,
+                                     const std::string& site_b) const;
+
+ private:
+  std::string project_name_;
+  std::uint64_t seed_;
+};
+
+/// Client-side filter that applies the pairwise masks for `self_site`
+/// against every other site in `all_sites`. The mask stream is a
+/// unit-normal PRG expansion of (pair key, round), so both members of a
+/// pair generate identical values and opposite signs.
+class SecureAggMaskFilter : public Filter {
+ public:
+  SecureAggMaskFilter(std::string self_site, std::vector<std::string> all_sites,
+                      const SecureAggregationDealer& dealer,
+                      double mask_stddev = 1.0);
+
+  void process(Dxo& dxo, const FLContext& ctx) override;
+  std::string name() const override { return "SecureAggMask(" + self_site_ + ")"; }
+
+ private:
+  std::string self_site_;
+  std::vector<std::string> other_sites_;
+  std::vector<std::vector<std::uint8_t>> pair_keys_;  // parallel to other_sites_
+  double mask_stddev_;
+};
+
+}  // namespace cppflare::flare

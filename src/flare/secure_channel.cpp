@@ -1,0 +1,91 @@
+#include "flare/secure_channel.h"
+
+#include <algorithm>
+
+#include "core/bytes.h"
+#include "core/error.h"
+
+namespace cppflare::flare {
+
+namespace {
+constexpr std::uint32_t kEnvelopeMagic = 0x46454e56;  // "FENV"
+
+core::Digest compute_mac(const std::vector<std::uint8_t>& secret,
+                         const std::string& sender, std::uint64_t sequence,
+                         const std::vector<std::uint8_t>& payload) {
+  core::ByteWriter macd;
+  macd.write_string(sender);
+  macd.write_u64(sequence);
+  macd.write_u64(payload.size());
+  macd.write_raw(payload.data(), payload.size());
+  return core::hmac_sha256(secret, macd.bytes());
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> seal(const std::string& sender,
+                               const std::vector<std::uint8_t>& secret,
+                               std::uint64_t sequence,
+                               const std::vector<std::uint8_t>& payload) {
+  const core::Digest mac = compute_mac(secret, sender, sequence, payload);
+  core::ByteWriter w;
+  w.write_u32(kEnvelopeMagic);
+  w.write_string(sender);
+  w.write_u64(sequence);
+  w.write_u64(payload.size());
+  w.write_raw(payload.data(), payload.size());
+  w.write_raw(mac.data(), mac.size());
+  return w.take();
+}
+
+namespace {
+
+Envelope parse(const std::vector<std::uint8_t>& sealed, core::Digest* mac_out) {
+  core::ByteReader r(sealed);
+  if (r.read_u32() != kEnvelopeMagic) throw ProtocolError("envelope: bad magic");
+  Envelope env;
+  env.sender = r.read_string();
+  env.sequence = r.read_u64();
+  const std::uint64_t n = r.read_u64();
+  if (r.remaining() < n + 32) throw ProtocolError("envelope: truncated");
+  env.payload = r.read_raw(static_cast<std::size_t>(n));
+  const std::vector<std::uint8_t> mac_bytes = r.read_raw(mac_out->size());
+  std::copy(mac_bytes.begin(), mac_bytes.end(), mac_out->begin());
+  if (!r.exhausted()) throw ProtocolError("envelope: trailing bytes");
+  return env;
+}
+
+}  // namespace
+
+Envelope open(const std::vector<std::uint8_t>& sealed,
+              const std::vector<std::uint8_t>& secret) {
+  core::Digest mac;
+  Envelope env = parse(sealed, &mac);
+  const core::Digest expect = compute_mac(secret, env.sender, env.sequence,
+                                          env.payload);
+  if (!core::digests_equal(mac, expect)) {
+    throw ProtocolError("envelope: MAC verification failed for sender '" +
+                        env.sender + "'");
+  }
+  return env;
+}
+
+std::string peek_sender(const std::vector<std::uint8_t>& sealed) {
+  core::ByteReader r(sealed);
+  if (r.read_u32() != kEnvelopeMagic) throw ProtocolError("envelope: bad magic");
+  return r.read_string();
+}
+
+void SequenceTracker::check_and_advance(const std::string& sender,
+                                        std::uint64_t sequence) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = last_.try_emplace(sender, 0).first;
+  // Fresh senders start at 0, so any valid sequence is >= 1.
+  if (sequence <= it->second) {
+    throw ProtocolError("envelope: replayed or stale sequence from '" + sender +
+                        "'");
+  }
+  it->second = sequence;
+}
+
+}  // namespace cppflare::flare

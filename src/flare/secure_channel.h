@@ -1,0 +1,64 @@
+// Authenticated message envelopes.
+//
+// Every protocol frame is wrapped in an envelope carrying the sender name, a
+// strictly increasing sequence number, the payload, and an HMAC-SHA256 over
+// all of it keyed by the sender's provisioned secret. The receiver verifies
+// the MAC (constant time) and enforces sequence monotonicity per sender,
+// which defeats tampering and replay on an untrusted transport — the role
+// TLS plays in a production NVFlare deployment.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "flare/provision.h"
+
+namespace cppflare::flare {
+
+struct Envelope {
+  std::string sender;
+  std::uint64_t sequence = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Wraps `payload` in a MAC'd envelope as `sender` with `sequence`.
+std::vector<std::uint8_t> seal(const std::string& sender,
+                               const std::vector<std::uint8_t>& secret,
+                               std::uint64_t sequence,
+                               const std::vector<std::uint8_t>& payload);
+
+/// Parses and verifies an envelope against `secret`. Throws ProtocolError on
+/// malformed input or MAC mismatch. Does NOT check the sequence; callers
+/// with per-sender state use `SequenceTracker`.
+Envelope open(const std::vector<std::uint8_t>& sealed,
+              const std::vector<std::uint8_t>& secret);
+
+/// Parses only the sender name (needed to look up the right secret before
+/// verification).
+std::string peek_sender(const std::vector<std::uint8_t>& sealed);
+
+/// Enforces strictly increasing sequence numbers per sender. Thread-safe.
+class SequenceTracker {
+ public:
+  /// Throws ProtocolError if `sequence` is not strictly greater than the
+  /// last accepted value for `sender`.
+  void check_and_advance(const std::string& sender, std::uint64_t sequence);
+
+ private:
+  std::mutex mu_;
+  std::map<std::string, std::uint64_t> last_;
+};
+
+/// Client-side sequence source.
+class SequenceSource {
+ public:
+  std::uint64_t next() { return ++value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+}  // namespace cppflare::flare

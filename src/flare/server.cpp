@@ -1,0 +1,302 @@
+#include "flare/server.h"
+
+#include <chrono>
+
+#include "core/error.h"
+#include "core/logging.h"
+#include "core/rng.h"
+
+namespace cppflare::flare {
+
+namespace {
+const core::Logger& client_manager_log() {
+  static core::Logger log("ClientManager");
+  return log;
+}
+const core::Logger& sag_log() {
+  static core::Logger log("ScatterAndGather");
+  return log;
+}
+}  // namespace
+
+FederatedServer::FederatedServer(ServerConfig config,
+                                 std::map<std::string, Credential> registry,
+                                 nn::StateDict initial_model,
+                                 std::unique_ptr<Aggregator> aggregator,
+                                 std::shared_ptr<ModelPersistor> persistor)
+    : config_(std::move(config)),
+      registry_(std::move(registry)),
+      persistor_(std::move(persistor)),
+      global_(std::move(initial_model)),
+      aggregator_(std::move(aggregator)) {
+  if (!aggregator_) throw Error("FederatedServer: aggregator required");
+  if (config_.num_rounds <= 0) throw Error("FederatedServer: num_rounds must be > 0");
+  aggregator_->reset(global_, 0);
+}
+
+Dispatcher FederatedServer::dispatcher() {
+  return [this](const std::vector<std::uint8_t>& request) {
+    return handle_sealed(request);
+  };
+}
+
+std::vector<std::uint8_t> FederatedServer::handle_sealed(
+    const std::vector<std::uint8_t>& request) {
+  std::string sender;
+  try {
+    sender = peek_sender(request);
+    auto cred_it = registry_.find(sender);
+    if (cred_it == registry_.end()) {
+      throw ProtocolError("unknown participant '" + sender + "'");
+    }
+    const Envelope env = open(request, cred_it->second.secret);
+    inbound_seq_.check_and_advance(sender, env.sequence);
+    const std::vector<std::uint8_t> response = handle_frame(sender, env.payload);
+    std::uint64_t seq;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      seq = ++outbound_seq_[sender];
+    }
+    return seal("server", cred_it->second.secret, seq, response);
+  } catch (const std::exception& e) {
+    // Errors to authenticated-but-misbehaving peers are sealed too when we
+    // know the key; otherwise send a plain error envelope under an empty
+    // key (the client will fail verification, which is the right outcome
+    // for an unknown sender).
+    const std::vector<std::uint8_t> body = pack(ErrorMessage{e.what()});
+    auto cred_it = registry_.find(sender);
+    const std::vector<std::uint8_t> key =
+        cred_it == registry_.end() ? std::vector<std::uint8_t>{}
+                                   : cred_it->second.secret;
+    std::uint64_t seq;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      seq = ++outbound_seq_[sender];
+    }
+    return seal("server", key, seq, body);
+  }
+}
+
+std::vector<std::uint8_t> FederatedServer::handle_frame(
+    const std::string& sender, const std::vector<std::uint8_t>& frame) {
+  switch (peek_type(frame)) {
+    case MsgType::kRegister:
+      return on_register(sender, decode_register(frame));
+    case MsgType::kGetTask:
+      return on_get_task(sender, decode_get_task(frame));
+    case MsgType::kSubmitUpdate:
+      return on_submit(sender, decode_submit(frame));
+    default:
+      throw ProtocolError("unexpected message type from '" + sender + "'");
+  }
+}
+
+std::vector<std::uint8_t> FederatedServer::on_register(const std::string& sender,
+                                                       const RegisterRequest& req) {
+  if (req.site_name != sender) {
+    throw ProtocolError("register: site name does not match envelope sender");
+  }
+  const Credential& cred = registry_.at(sender);
+  if (req.token != cred.token) {
+    client_manager_log().warn("Client " + sender + " presented a bad token");
+    return pack(RegisterAck{false, "", "invalid token"});
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string session =
+      "sess-" + std::to_string(++session_counter_) + "-" + sender;
+  sessions_[sender] = session;
+  client_manager_log().info(
+      "Client: New client " + sender + "@127.0.0.1 joined. Sent token: " +
+      cred.token + ". Total clients: " + std::to_string(sessions_.size()));
+  if (!started_ &&
+      static_cast<std::int64_t>(sessions_.size()) >= config_.expected_clients) {
+    started_ = true;
+    round_start_ = std::chrono::steady_clock::now();
+    sample_round_participants_locked();
+    sag_log().info("Round " + std::to_string(round_) + " started.");
+    events_.fire(EventType::kStartRun, make_context_locked());
+    events_.fire(EventType::kRoundStarted, make_context_locked());
+  }
+  return pack(RegisterAck{
+      true, session,
+      "Successfully registered client:" + sender + " for project " +
+          config_.job_id + ". Token:" + cred.token});
+}
+
+std::vector<std::uint8_t> FederatedServer::on_get_task(const std::string& sender,
+                                                       const GetTaskRequest& req) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(sender);
+  if (it == sessions_.end() || it->second != req.session_id) {
+    throw ProtocolError("get_task: no active session for '" + sender + "'");
+  }
+  maybe_close_round_locked();
+  TaskMessage task;
+  task.total_rounds = config_.num_rounds;
+  task.round = round_;
+  if (finished_) {
+    task.task = TaskKind::kStop;
+  } else if (!started_ || submitted_.count(sender) != 0 ||
+             !participates_locked(sender)) {
+    task.task = TaskKind::kNone;
+  } else {
+    task.task = TaskKind::kTrain;
+    task.payload = Dxo(DxoKind::kWeights, global_);
+    task.payload.set_meta_int(Dxo::kMetaRound, round_);
+  }
+  return pack(task);
+}
+
+std::vector<std::uint8_t> FederatedServer::on_submit(const std::string& sender,
+                                                     const SubmitUpdateRequest& req) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(sender);
+  if (it == sessions_.end() || it->second != req.session_id) {
+    throw ProtocolError("submit: no active session for '" + sender + "'");
+  }
+  if (finished_) return pack(SubmitAck{false, "run already finished"});
+  if (req.round != round_) {
+    sag_log().warn("Stale contribution from " + sender + " for round " +
+                   std::to_string(req.round) + " (current " +
+                   std::to_string(round_) + ")");
+    return pack(SubmitAck{false, "stale round"});
+  }
+  if (submitted_.count(sender) != 0) {
+    return pack(SubmitAck{false, "duplicate contribution"});
+  }
+  if (!participates_locked(sender)) {
+    return pack(SubmitAck{false, "not sampled for this round"});
+  }
+
+  Dxo contribution = req.payload;
+  const FLContext ctx = make_context_locked();
+  inbound_filters_.process(contribution, ctx);
+  if (!aggregator_->accept(sender, contribution)) {
+    return pack(SubmitAck{false, "rejected by aggregator"});
+  }
+  submitted_.insert(sender);
+  if (aggregator_->accepted_count() >= round_quorum_locked()) {
+    finish_round_locked();
+  } else {
+    maybe_close_round_locked();
+  }
+  return pack(SubmitAck{true, "accepted"});
+}
+
+FLContext FederatedServer::make_context_locked() const {
+  FLContext ctx;
+  ctx.job_id = config_.job_id;
+  ctx.current_round = round_;
+  ctx.total_rounds = config_.num_rounds;
+  return ctx;
+}
+
+void FederatedServer::finish_round_locked() {
+  events_.fire(EventType::kBeforeAggregation, make_context_locked());
+  sag_log().info("End aggregation.");
+  global_ = aggregator_->aggregate();
+  history_.push_back(aggregator_->metrics());
+  events_.fire(EventType::kAfterAggregation, make_context_locked());
+  for (const RoundObserver& observer : round_observers_) {
+    observer(round_, global_, history_.back());
+  }
+
+  if (persistor_) {
+    sag_log().info("Start persist model on server.");
+    persistor_->save({config_.job_id, round_, global_});
+    sag_log().info("End persist model on server.");
+  }
+  sag_log().info("Round " + std::to_string(round_) + " finished.");
+  events_.fire(EventType::kRoundDone, make_context_locked());
+
+  submitted_.clear();
+  round_ += 1;
+  if (round_ >= config_.num_rounds) {
+    finished_ = true;
+    events_.fire(EventType::kEndRun, make_context_locked());
+    finished_cv_.notify_all();
+  } else {
+    aggregator_->reset(global_, round_);
+    round_start_ = std::chrono::steady_clock::now();
+    sample_round_participants_locked();
+    sag_log().info("Round " + std::to_string(round_) + " started.");
+    events_.fire(EventType::kRoundStarted, make_context_locked());
+  }
+}
+
+void FederatedServer::maybe_close_round_locked() {
+  if (finished_ || !started_ || config_.round_deadline_ms <= 0) return;
+  if (aggregator_->accepted_count() < config_.min_clients) return;
+  if (aggregator_->accepted_count() >= round_quorum_locked()) return;  // closes anyway
+  const auto age = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - round_start_)
+                       .count();
+  if (age < config_.round_deadline_ms) return;
+  sag_log().warn("Round " + std::to_string(round_) + " deadline exceeded; closing with " +
+                 std::to_string(aggregator_->accepted_count()) + " of " +
+                 std::to_string(round_quorum_locked()) + " contributions");
+  finish_round_locked();
+}
+
+void FederatedServer::sample_round_participants_locked() {
+  sampled_.clear();
+  if (config_.clients_per_round <= 0 ||
+      config_.clients_per_round >= static_cast<std::int64_t>(sessions_.size())) {
+    return;  // empty set means "everyone participates"
+  }
+  std::vector<std::string> sites;
+  sites.reserve(sessions_.size());
+  for (const auto& [site, session] : sessions_) sites.push_back(site);
+  core::Rng rng(config_.sampling_seed ^
+                (static_cast<std::uint64_t>(round_) * 0x9e3779b97f4a7c15ull));
+  rng.shuffle(sites);
+  for (std::int64_t i = 0; i < config_.clients_per_round; ++i) {
+    sampled_.insert(sites[static_cast<std::size_t>(i)]);
+  }
+  std::string names;
+  for (const std::string& s : sampled_) names += (names.empty() ? "" : ", ") + s;
+  sag_log().info("Round " + std::to_string(round_) + " sampled participants: " +
+                 names);
+}
+
+bool FederatedServer::participates_locked(const std::string& site) const {
+  return sampled_.empty() || sampled_.count(site) != 0;
+}
+
+std::int64_t FederatedServer::round_quorum_locked() const {
+  if (!sampled_.empty()) return static_cast<std::int64_t>(sampled_.size());
+  return config_.min_clients;
+}
+
+bool FederatedServer::finished() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return finished_;
+}
+
+bool FederatedServer::wait_until_finished(std::int64_t timeout_ms) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return finished_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                               [this] { return finished_; });
+}
+
+nn::StateDict FederatedServer::global_model() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return global_;
+}
+
+std::vector<RoundMetrics> FederatedServer::history() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return history_;
+}
+
+std::int64_t FederatedServer::current_round() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return round_;
+}
+
+std::int64_t FederatedServer::registered_clients() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<std::int64_t>(sessions_.size());
+}
+
+}  // namespace cppflare::flare

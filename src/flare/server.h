@@ -1,0 +1,133 @@
+// The federated server: client manager + ScatterAndGather controller.
+//
+// Implements the server half of the paper's Fig. 1/Fig. 3 pipeline:
+// provisioned clients register with their tokens, then for E rounds the
+// server hands out the global model as a train task, collects contributions
+// through the filter chain into the aggregator, aggregates when everyone
+// has reported, persists the model, and advances. All entry points are
+// thread-safe; transports call `dispatcher()` from any number of threads.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "flare/aggregator.h"
+#include "flare/filters.h"
+#include "flare/fl_context.h"
+#include "flare/messages.h"
+#include "flare/persistor.h"
+#include "flare/provision.h"
+#include "flare/secure_channel.h"
+#include "flare/transport.h"
+
+namespace cppflare::flare {
+
+struct ServerConfig {
+  std::string job_id = "simulator_server";
+  std::int64_t num_rounds = 10;
+  /// Contributions required to close a round; normally the client count.
+  std::int64_t min_clients = 8;
+  /// Clients that must register before train tasks are issued.
+  std::int64_t expected_clients = 8;
+  /// Partial participation: when > 0, each round samples this many of the
+  /// registered clients (seeded, without replacement); only they receive
+  /// train tasks and the round closes after that many contributions.
+  std::int64_t clients_per_round = 0;
+  std::uint64_t sampling_seed = 1337;
+  /// Straggler handling: when > 0, a round older than this may close with
+  /// only `min_clients` contributions instead of waiting for everyone.
+  /// Checked lazily on client traffic (no timer thread).
+  std::int64_t round_deadline_ms = 0;
+};
+
+class FederatedServer {
+ public:
+  FederatedServer(ServerConfig config, std::map<std::string, Credential> registry,
+                  nn::StateDict initial_model,
+                  std::unique_ptr<Aggregator> aggregator,
+                  std::shared_ptr<ModelPersistor> persistor = nullptr);
+
+  /// The sealed-bytes entry point for transports. The returned callable
+  /// keeps *this alive only as long as the server object; do not use it
+  /// after destruction.
+  Dispatcher dispatcher();
+
+  /// Filters applied to every inbound contribution before aggregation.
+  FilterChain& inbound_filters() { return inbound_filters_; }
+
+  EventBus& events() { return events_; }
+
+  /// Called after every aggregation with the round index, a copy of the new
+  /// global model, and the round's metrics. Observers run in registration
+  /// order on the submitting client's dispatch path while the server lock
+  /// is held: keep them cheap and never call back into the server from one.
+  using RoundObserver =
+      std::function<void(std::int64_t, const nn::StateDict&, const RoundMetrics&)>;
+  void add_round_observer(RoundObserver observer) {
+    round_observers_.push_back(std::move(observer));
+  }
+  /// Backwards-compatible alias for a single observer.
+  void set_round_observer(RoundObserver observer) {
+    add_round_observer(std::move(observer));
+  }
+
+  bool finished() const;
+  /// Blocks until the run completes. Returns false on timeout.
+  bool wait_until_finished(std::int64_t timeout_ms) const;
+
+  nn::StateDict global_model() const;
+  std::vector<RoundMetrics> history() const;
+  std::int64_t current_round() const;
+  std::int64_t registered_clients() const;
+
+ private:
+  std::vector<std::uint8_t> handle_sealed(const std::vector<std::uint8_t>& request);
+  std::vector<std::uint8_t> handle_frame(const std::string& sender,
+                                         const std::vector<std::uint8_t>& frame);
+
+  std::vector<std::uint8_t> on_register(const std::string& sender,
+                                        const RegisterRequest& req);
+  std::vector<std::uint8_t> on_get_task(const std::string& sender,
+                                        const GetTaskRequest& req);
+  std::vector<std::uint8_t> on_submit(const std::string& sender,
+                                      const SubmitUpdateRequest& req);
+
+  FLContext make_context_locked() const;
+  void finish_round_locked();
+  void maybe_close_round_locked();
+  void sample_round_participants_locked();
+  bool participates_locked(const std::string& site) const;
+  std::int64_t round_quorum_locked() const;
+
+  ServerConfig config_;
+  std::map<std::string, Credential> registry_;
+  std::vector<RoundObserver> round_observers_;
+  FilterChain inbound_filters_;
+  EventBus events_;
+  std::shared_ptr<ModelPersistor> persistor_;
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable finished_cv_;
+  nn::StateDict global_;
+  std::unique_ptr<Aggregator> aggregator_;
+  std::map<std::string, std::string> sessions_;  // site -> session id
+  std::set<std::string> submitted_;              // sites done this round
+  std::set<std::string> sampled_;                // this round's participants
+  std::int64_t round_ = 0;
+  std::chrono::steady_clock::time_point round_start_{};
+  bool started_ = false;
+  bool finished_ = false;
+  std::vector<RoundMetrics> history_;
+  SequenceTracker inbound_seq_;
+  std::map<std::string, std::uint64_t> outbound_seq_;
+  std::uint64_t session_counter_ = 0;
+};
+
+}  // namespace cppflare::flare

@@ -1,0 +1,107 @@
+#include "flare/simulator.h"
+
+#include <chrono>
+#include <thread>
+
+#include "core/error.h"
+#include "core/logging.h"
+#include "flare/tcp.h"
+
+namespace cppflare::flare {
+
+namespace {
+const core::Logger& logger() {
+  static core::Logger log("SimulatorRunner");
+  return log;
+}
+}  // namespace
+
+SimulatorRunner::SimulatorRunner(SimulatorConfig config, nn::StateDict initial_model,
+                                 std::unique_ptr<Aggregator> aggregator,
+                                 LearnerFactory factory)
+    : config_(std::move(config)), factory_(std::move(factory)) {
+  if (!factory_) throw Error("SimulatorRunner: learner factory required");
+  const Provisioner provisioner(config_.job_id, config_.seed);
+  registry_ = provisioner.provision_sites(config_.num_clients);
+  if (!config_.persist_path.empty()) {
+    persistor_ = std::make_shared<ModelPersistor>(config_.persist_path);
+  }
+  ServerConfig server_config;
+  server_config.job_id = config_.job_id;
+  server_config.num_rounds = config_.num_rounds;
+  server_config.min_clients = config_.num_clients;
+  server_config.expected_clients = config_.num_clients;
+  server_config.clients_per_round = config_.clients_per_round;
+  server_config.sampling_seed = config_.seed ^ 0xc11e;
+  server_ = std::make_unique<FederatedServer>(server_config, registry_,
+                                              std::move(initial_model),
+                                              std::move(aggregator), persistor_);
+}
+
+SimulationResult SimulatorRunner::run() {
+  const auto start = std::chrono::steady_clock::now();
+  logger().info("Create the simulate clients.");
+
+  std::unique_ptr<TcpServer> tcp_server;
+  if (config_.use_tcp) {
+    tcp_server = std::make_unique<TcpServer>(0, server_->dispatcher());
+    logger().info("TCP transport listening on 127.0.0.1:" +
+                  std::to_string(tcp_server->port()));
+  }
+
+  auto make_connection = [&]() -> std::unique_ptr<Connection> {
+    if (config_.use_tcp) {
+      return std::make_unique<TcpConnection>("127.0.0.1", tcp_server->port());
+    }
+    return std::make_unique<InProcConnection>(server_->dispatcher());
+  };
+
+  std::vector<std::unique_ptr<FederatedClient>> clients;
+  for (std::int64_t i = 0; i < config_.num_clients; ++i) {
+    const std::string name = "site-" + std::to_string(i + 1);
+    ClientConfig client_config;
+    client_config.job_id = config_.job_id;
+    client_config.max_idle_ms = config_.timeout_ms;
+    auto client = std::make_unique<FederatedClient>(
+        client_config, registry_.at(name), make_connection(), factory_(i, name));
+    if (customizer_) customizer_(*client);
+    clients.push_back(std::move(client));
+  }
+
+  // One thread per site, as SimulatorRunner multiplexes clients.
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> failures(clients.size());
+  threads.reserve(clients.size());
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    threads.emplace_back([&, i] {
+      try {
+        clients[i]->run();
+      } catch (...) {
+        failures[i] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (std::size_t i = 0; i < failures.size(); ++i) {
+    if (failures[i]) {
+      logger().error("client " + clients[i]->site_name() + " failed");
+      std::rethrow_exception(failures[i]);
+    }
+  }
+  if (!server_->wait_until_finished(config_.timeout_ms)) {
+    throw Error("SimulatorRunner: run did not finish within timeout");
+  }
+  if (tcp_server) tcp_server->stop();
+
+  SimulationResult result;
+  result.final_model = server_->global_model();
+  result.history = server_->history();
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  logger().info("Simulation finished in " + std::to_string(result.wall_seconds) +
+                " s over " + std::to_string(config_.num_rounds) + " rounds");
+  return result;
+}
+
+}  // namespace cppflare::flare

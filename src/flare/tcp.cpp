@@ -1,0 +1,202 @@
+#include "flare/tcp.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "core/error.h"
+#include "core/logging.h"
+
+namespace cppflare::flare {
+
+namespace {
+
+const core::Logger& logger() {
+  static core::Logger log("TcpTransport");
+  return log;
+}
+
+void write_all(int fd, const std::uint8_t* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t written = ::send(fd, data, n, MSG_NOSIGNAL);
+    if (written <= 0) {
+      if (written < 0 && errno == EINTR) continue;
+      throw TransportError("send failed: " + std::string(std::strerror(errno)));
+    }
+    data += written;
+    n -= static_cast<std::size_t>(written);
+  }
+}
+
+void read_all(int fd, std::uint8_t* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t got = ::recv(fd, data, n, 0);
+    if (got == 0) throw TransportError("peer closed connection");
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      throw TransportError("recv failed: " + std::string(std::strerror(errno)));
+    }
+    data += got;
+    n -= static_cast<std::size_t>(got);
+  }
+}
+
+}  // namespace
+
+void write_frame(int fd, const std::vector<std::uint8_t>& payload) {
+  if (payload.size() > kMaxFrameBytes) throw TransportError("frame too large");
+  std::uint8_t header[4];
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) header[i] = static_cast<std::uint8_t>(len >> (8 * i));
+  write_all(fd, header, 4);
+  write_all(fd, payload.data(), payload.size());
+}
+
+std::vector<std::uint8_t> read_frame(int fd) {
+  std::uint8_t header[4];
+  read_all(fd, header, 4);
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) len |= static_cast<std::uint32_t>(header[i]) << (8 * i);
+  if (len > kMaxFrameBytes) throw TransportError("oversized frame announced");
+  std::vector<std::uint8_t> payload(len);
+  read_all(fd, payload.data(), len);
+  return payload;
+}
+
+TcpServer::TcpServer(std::uint16_t port, Dispatcher dispatcher)
+    : dispatcher_(std::move(dispatcher)) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw TransportError("socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(listen_fd_);
+    throw TransportError("bind failed: " + std::string(std::strerror(errno)));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(listen_fd_);
+    throw TransportError("getsockname failed");
+  }
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, 64) != 0) {
+    ::close(listen_fd_);
+    throw TransportError("listen failed");
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+TcpServer::~TcpServer() { stop(); }
+
+void TcpServer::stop() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) {
+    // Already stopping; just make sure the accept thread is joined once.
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int fd : conn_fds_) {
+      ::shutdown(fd, SHUT_RDWR);
+      ::close(fd);
+    }
+    conn_fds_.clear();
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    to_join.swap(conn_threads_);
+  }
+  for (std::thread& t : to_join) t.join();
+}
+
+void TcpServer::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_) return;
+      if (errno == EINTR) continue;
+      logger().warn("accept failed: " + std::string(std::strerror(errno)));
+      return;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      ::close(fd);
+      return;
+    }
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] { serve_connection(fd); });
+  }
+}
+
+void TcpServer::serve_connection(int fd) {
+  try {
+    for (;;) {
+      const std::vector<std::uint8_t> request = read_frame(fd);
+      const std::vector<std::uint8_t> response = dispatcher_(request);
+      write_frame(fd, response);
+    }
+  } catch (const TransportError&) {
+    // Normal teardown path: peer closed or server stopping.
+  } catch (const std::exception& e) {
+    logger().warn(std::string("connection handler error: ") + e.what());
+  }
+  // The fd is closed by stop() or here if the peer went away first.
+  if (!stopping_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = conn_fds_.begin(); it != conn_fds_.end(); ++it) {
+      if (*it == fd) {
+        ::close(fd);
+        conn_fds_.erase(it);
+        break;
+      }
+    }
+  }
+}
+
+TcpConnection::TcpConnection(const std::string& host, std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw TransportError("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    throw TransportError("bad host address '" + host + "'");
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd_);
+    throw TransportError("connect to " + host + ":" + std::to_string(port) +
+                         " failed: " + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+TcpConnection::~TcpConnection() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::vector<std::uint8_t> TcpConnection::call(
+    const std::vector<std::uint8_t>& request) {
+  write_frame(fd_, request);
+  return read_frame(fd_);
+}
+
+}  // namespace cppflare::flare

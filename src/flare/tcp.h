@@ -1,0 +1,75 @@
+// TCP transport: length-prefixed frames over POSIX sockets.
+//
+// This is the "two Linux machines" path of the paper's Table I setup — the
+// same sealed protocol bytes as the in-process simulator, but carried over
+// real sockets so server and sites can run in separate processes or hosts.
+// Framing: u32 little-endian payload length, then the payload. A frame is
+// one sealed envelope; the server responds with exactly one frame per
+// request.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "flare/transport.h"
+
+namespace cppflare::flare {
+
+/// Maximum accepted frame size (64 MiB) — a sanity bound against corrupt
+/// length prefixes.
+constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+/// Serves a Dispatcher on a TCP port. Each accepted connection gets a
+/// handler thread; connections are persistent (many request/response
+/// exchanges). Destruction stops the listener and joins every thread.
+class TcpServer {
+ public:
+  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port; see port()).
+  TcpServer(std::uint16_t port, Dispatcher dispatcher);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  std::uint16_t port() const { return port_; }
+  void stop();
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+
+  Dispatcher dispatcher_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::mutex mu_;
+  std::vector<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+};
+
+/// Client connection to a TcpServer. `call` is blocking and NOT
+/// thread-safe; use one connection per client thread.
+class TcpConnection : public Connection {
+ public:
+  TcpConnection(const std::string& host, std::uint16_t port);
+  ~TcpConnection() override;
+
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  std::vector<std::uint8_t> call(const std::vector<std::uint8_t>& request) override;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Frame helpers shared by both ends (exposed for tests).
+void write_frame(int fd, const std::vector<std::uint8_t>& payload);
+std::vector<std::uint8_t> read_frame(int fd);
+
+}  // namespace cppflare::flare

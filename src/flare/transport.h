@@ -1,0 +1,44 @@
+// Client->server request/response transports.
+//
+// The protocol layer only needs one primitive: a blocking `call` that
+// delivers sealed request bytes and returns sealed response bytes. Two
+// implementations exist:
+//  * InProcTransport — function call into the server's dispatcher, used by
+//    the simulator (NVFlare SimulatorRunner equivalent);
+//  * TcpConnection/TcpServer (tcp.h) — real sockets for multi-process runs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace cppflare::flare {
+
+/// Server-side entry point: sealed request bytes -> sealed response bytes.
+/// Must be thread-safe; multiple client connections call concurrently.
+using Dispatcher =
+    std::function<std::vector<std::uint8_t>(const std::vector<std::uint8_t>&)>;
+
+class Connection {
+ public:
+  virtual ~Connection() = default;
+  virtual std::vector<std::uint8_t> call(const std::vector<std::uint8_t>& request) = 0;
+};
+
+/// Zero-copy in-process connection: `call` invokes the dispatcher directly
+/// on the caller's thread.
+class InProcConnection : public Connection {
+ public:
+  explicit InProcConnection(Dispatcher dispatcher)
+      : dispatcher_(std::move(dispatcher)) {}
+
+  std::vector<std::uint8_t> call(const std::vector<std::uint8_t>& request) override {
+    return dispatcher_(request);
+  }
+
+ private:
+  Dispatcher dispatcher_;
+};
+
+}  // namespace cppflare::flare

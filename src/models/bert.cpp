@@ -1,0 +1,108 @@
+#include "models/bert.h"
+
+#include "tensor/ops.h"
+
+namespace cppflare::models {
+
+using tensor::Tensor;
+
+BertEncoder::BertEncoder(const ModelConfig& config, core::Rng& rng)
+    : config_(config) {
+  if (config_.vocab_size <= 0 || config_.max_seq_len <= 0) {
+    throw ConfigError("BertEncoder: vocab_size and max_seq_len must be set");
+  }
+  tok_emb_ = register_module<nn::Embedding>("tok_emb", config_.vocab_size,
+                                            config_.hidden, rng);
+  pos_emb_ = register_module<nn::Embedding>("pos_emb", config_.max_seq_len,
+                                            config_.hidden, rng);
+  emb_ln_ = register_module<nn::LayerNorm>("emb_ln", config_.hidden);
+  layers_.reserve(static_cast<std::size_t>(config_.layers));
+  for (std::int64_t l = 0; l < config_.layers; ++l) {
+    layers_.push_back(register_module<nn::TransformerEncoderLayer>(
+        "layer" + std::to_string(l), config_.hidden, config_.heads,
+        config_.head_dim, config_.ffn_dim, config_.dropout, rng));
+  }
+}
+
+Tensor BertEncoder::encode(const std::vector<std::int64_t>& ids,
+                           const std::vector<std::int64_t>& lengths,
+                           std::int64_t batch_size, std::int64_t seq_len,
+                           core::Rng& rng) const {
+  using namespace tensor;
+  if (static_cast<std::int64_t>(ids.size()) != batch_size * seq_len) {
+    throw ShapeError("BertEncoder::encode: ids size mismatch");
+  }
+  if (seq_len > config_.max_seq_len) {
+    throw ShapeError("BertEncoder::encode: seq_len " + std::to_string(seq_len) +
+                     " exceeds max " + std::to_string(config_.max_seq_len));
+  }
+
+  std::vector<std::int64_t> pos_ids(ids.size());
+  for (std::int64_t b = 0; b < batch_size; ++b) {
+    for (std::int64_t t = 0; t < seq_len; ++t) {
+      pos_ids[static_cast<std::size_t>(b * seq_len + t)] = t;
+    }
+  }
+
+  Tensor x = add(tok_emb_->forward(ids), pos_emb_->forward(pos_ids));
+  x = emb_ln_->forward(x);
+  const float p = effective_dropout(config_.dropout);
+  if (p > 0.0f) x = dropout(x, p, rng);
+  x = reshape(x, {batch_size, seq_len, config_.hidden});
+
+  const Tensor mask = nn::make_padding_mask(lengths, seq_len, config_.heads);
+  for (const auto& layer : layers_) x = layer->forward(x, mask, rng);
+  return x;
+}
+
+BertForPretraining::BertForPretraining(const ModelConfig& config, core::Rng& rng) {
+  encoder_ = register_module<BertEncoder>("encoder", config, rng);
+  mlm_head_ = register_module<nn::Linear>("mlm_head", config.hidden,
+                                          config.vocab_size, rng);
+}
+
+Tensor BertForPretraining::mlm_loss(const data::MlmMasker::MaskedBatch& batch,
+                                    core::Rng& rng) const {
+  using namespace tensor;
+  const auto& cfg = encoder_->config();
+  Tensor h = encoder_->encode(batch.input_ids, batch.lengths, batch.batch_size,
+                              batch.seq_len, rng);
+  h = reshape(h, {batch.batch_size * batch.seq_len, cfg.hidden});
+  const Tensor logits = mlm_head_->forward(h);
+  return cross_entropy(logits, batch.targets, data::MlmMasker::kIgnore);
+}
+
+BertForClassification::BertForClassification(const ModelConfig& config,
+                                             core::Rng& rng) {
+  encoder_ = register_module<BertEncoder>("encoder", config, rng);
+  pooler_ = register_module<nn::Linear>("pooler", config.hidden, config.hidden, rng);
+  head_ = register_module<nn::Linear>("head", config.hidden, config.num_classes, rng);
+}
+
+Tensor BertForClassification::class_logits(const data::Batch& batch,
+                                           core::Rng& rng) const {
+  using namespace tensor;
+  Tensor h = encoder_->encode(batch.ids, batch.lengths, batch.batch_size,
+                              batch.seq_len, rng);
+  // BERT pooling: the [CLS] position (index 0) through a tanh projection.
+  Tensor cls = select_dim1(h, 0);
+  cls = tanh_op(pooler_->forward(cls));
+  return head_->forward(cls);
+}
+
+void BertForClassification::load_encoder_from(const BertForPretraining& pretrained) {
+  // Encoder parameter names line up one-to-one between the two models
+  // ("encoder.*"); copy those and leave pooler/head at fresh init.
+  const nn::StateDict src = pretrained.state_dict();
+  auto named = named_parameters();
+  for (auto& [name, t] : named) {
+    if (name.rfind("encoder.", 0) != 0) continue;
+    const nn::ParamBlob& blob = src.at(name);
+    if (blob.shape != t.shape()) {
+      throw Error("load_encoder_from: shape mismatch for '" + name + "'");
+    }
+    t.vec() = blob.values;
+  }
+}
+
+}  // namespace cppflare::models

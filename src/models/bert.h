@@ -1,0 +1,75 @@
+// BERT-style bidirectional transformer encoder with MLM-pretraining and
+// sequence-classification heads.
+#pragma once
+
+#include <memory>
+
+#include "data/dataset.h"
+#include "data/mlm.h"
+#include "models/classifier.h"
+#include "models/model_config.h"
+#include "nn/lstm.h"
+#include "nn/transformer.h"
+
+namespace cppflare::models {
+
+/// Token + learned positional embeddings, embedding LayerNorm/dropout, and a
+/// stack of post-LN encoder layers.
+class BertEncoder : public nn::Module {
+ public:
+  BertEncoder(const ModelConfig& config, core::Rng& rng);
+
+  /// ids: flattened [B*T]; lengths: [B]. Returns hidden states [B, T, H].
+  tensor::Tensor encode(const std::vector<std::int64_t>& ids,
+                        const std::vector<std::int64_t>& lengths,
+                        std::int64_t batch_size, std::int64_t seq_len,
+                        core::Rng& rng) const;
+
+  const ModelConfig& config() const { return config_; }
+
+ private:
+  ModelConfig config_;
+  std::shared_ptr<nn::Embedding> tok_emb_;
+  std::shared_ptr<nn::Embedding> pos_emb_;
+  std::shared_ptr<nn::LayerNorm> emb_ln_;
+  std::vector<std::shared_ptr<nn::TransformerEncoderLayer>> layers_;
+};
+
+/// Encoder + vocabulary projection, trained with the masked-LM objective.
+class BertForPretraining : public nn::Module {
+ public:
+  BertForPretraining(const ModelConfig& config, core::Rng& rng);
+
+  /// Mean MLM cross-entropy over the masked positions of the batch.
+  tensor::Tensor mlm_loss(const data::MlmMasker::MaskedBatch& batch,
+                          core::Rng& rng) const;
+
+  /// The shared encoder (e.g. to transplant into a classifier after
+  /// pretraining).
+  const std::shared_ptr<BertEncoder>& encoder() const { return encoder_; }
+
+ private:
+  std::shared_ptr<BertEncoder> encoder_;
+  std::shared_ptr<nn::Linear> mlm_head_;
+};
+
+/// Encoder + [CLS] pooler + binary classification head (ADR detection).
+class BertForClassification : public SequenceClassifier {
+ public:
+  BertForClassification(const ModelConfig& config, core::Rng& rng);
+
+  tensor::Tensor class_logits(const data::Batch& batch, core::Rng& rng) const override;
+  const ModelConfig& config() const override { return encoder_->config(); }
+
+  /// Copies encoder parameters from a pretrained model (the fine-tuning
+  /// path of the paper's pipeline). Head parameters stay freshly
+  /// initialized.
+  void load_encoder_from(const BertForPretraining& pretrained);
+
+ private:
+  std::shared_ptr<BertEncoder> encoder_;
+  std::shared_ptr<nn::Linear> pooler_;
+  std::shared_ptr<nn::Linear> head_;
+};
+
+}  // namespace cppflare::models

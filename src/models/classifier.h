@@ -1,0 +1,24 @@
+// Common interface for the paper's sequence classifiers (BERT, BERT-mini,
+// LSTM). Trainers and federated learners program against this interface, so
+// the same training loop serves every model/scheme combination in Table III.
+#pragma once
+
+#include "core/rng.h"
+#include "data/dataset.h"
+#include "models/model_config.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace cppflare::models {
+
+class SequenceClassifier : public nn::Module {
+ public:
+  /// Class logits [B, num_classes] for a collated batch. `rng` drives
+  /// dropout; switch the module to eval mode for deterministic inference.
+  virtual tensor::Tensor class_logits(const data::Batch& batch,
+                                      core::Rng& rng) const = 0;
+
+  virtual const ModelConfig& config() const = 0;
+};
+
+}  // namespace cppflare::models

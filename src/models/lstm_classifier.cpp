@@ -1,0 +1,74 @@
+#include "models/lstm_classifier.h"
+
+#include "models/bert.h"
+#include "tensor/ops.h"
+
+namespace cppflare::models {
+
+using tensor::Tensor;
+
+LstmClassifier::LstmClassifier(const ModelConfig& config, core::Rng& rng)
+    : config_(config) {
+  if (config_.vocab_size <= 0) throw ConfigError("LstmClassifier: vocab_size unset");
+  // PyTorch's nn.Embedding initializes N(0,1); the recurrent models train
+  // their embeddings from scratch and need that scale to propagate signal
+  // (BERT keeps its conventional 0.02 because it pairs with LayerNorm).
+  emb_ = register_module<nn::Embedding>("emb", config_.vocab_size, config_.hidden,
+                                        rng, /*init_stddev=*/1.0f);
+  lstm_ = register_module<nn::Lstm>("lstm", config_.hidden, config_.hidden,
+                                    config_.layers, config_.dropout, rng);
+  head_ = register_module<nn::Linear>("head", config_.hidden, config_.num_classes,
+                                      rng);
+}
+
+Tensor LstmClassifier::class_logits(const data::Batch& batch, core::Rng& rng) const {
+  using namespace tensor;
+  Tensor x = emb_->forward(batch.ids);
+  x = reshape(x, {batch.batch_size, batch.seq_len, config_.hidden});
+  Tensor h = lstm_->forward(x, rng);  // [B, T, H]
+  // Read each sequence's last valid state (padding carries no information).
+  std::vector<std::int64_t> last(batch.lengths.size());
+  for (std::size_t i = 0; i < batch.lengths.size(); ++i) {
+    last[i] = std::max<std::int64_t>(batch.lengths[i] - 1, 0);
+  }
+  return head_->forward(gather_dim1(h, last));
+}
+
+GruClassifier::GruClassifier(const ModelConfig& config, core::Rng& rng)
+    : config_(config) {
+  if (config_.vocab_size <= 0) throw ConfigError("GruClassifier: vocab_size unset");
+  emb_ = register_module<nn::Embedding>("emb", config_.vocab_size, config_.hidden,
+                                        rng, /*init_stddev=*/1.0f);
+  gru_ = register_module<nn::Gru>("gru", config_.hidden, config_.hidden,
+                                  config_.layers, config_.dropout, rng);
+  head_ = register_module<nn::Linear>("head", config_.hidden, config_.num_classes,
+                                      rng);
+}
+
+Tensor GruClassifier::class_logits(const data::Batch& batch, core::Rng& rng) const {
+  using namespace tensor;
+  Tensor x = emb_->forward(batch.ids);
+  x = reshape(x, {batch.batch_size, batch.seq_len, config_.hidden});
+  Tensor h = gru_->forward(x, rng);
+  std::vector<std::int64_t> last(batch.lengths.size());
+  for (std::size_t i = 0; i < batch.lengths.size(); ++i) {
+    last[i] = std::max<std::int64_t>(batch.lengths[i] - 1, 0);
+  }
+  return head_->forward(gather_dim1(h, last));
+}
+
+std::shared_ptr<SequenceClassifier> make_classifier(const ModelConfig& config,
+                                                    core::Rng& rng) {
+  switch (config.kind) {
+    case ModelKind::kBert:
+    case ModelKind::kBertMini:
+      return std::make_shared<BertForClassification>(config, rng);
+    case ModelKind::kLstm:
+      return std::make_shared<LstmClassifier>(config, rng);
+    case ModelKind::kGru:
+      return std::make_shared<GruClassifier>(config, rng);
+  }
+  throw ConfigError("make_classifier: unknown model kind");
+}
+
+}  // namespace cppflare::models

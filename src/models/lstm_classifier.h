@@ -1,0 +1,47 @@
+// The paper's "recursive" model: embedding -> 3-layer LSTM -> linear head
+// reading the last valid hidden state of each sequence.
+#pragma once
+
+#include <memory>
+
+#include "models/classifier.h"
+#include "nn/layers.h"
+#include "nn/gru.h"
+#include "nn/lstm.h"
+
+namespace cppflare::models {
+
+class LstmClassifier : public SequenceClassifier {
+ public:
+  LstmClassifier(const ModelConfig& config, core::Rng& rng);
+
+  tensor::Tensor class_logits(const data::Batch& batch, core::Rng& rng) const override;
+  const ModelConfig& config() const override { return config_; }
+
+ private:
+  ModelConfig config_;
+  std::shared_ptr<nn::Embedding> emb_;
+  std::shared_ptr<nn::Lstm> lstm_;
+  std::shared_ptr<nn::Linear> head_;
+};
+
+/// GRU counterpart of LstmClassifier (extension beyond the paper).
+class GruClassifier : public SequenceClassifier {
+ public:
+  GruClassifier(const ModelConfig& config, core::Rng& rng);
+
+  tensor::Tensor class_logits(const data::Batch& batch, core::Rng& rng) const override;
+  const ModelConfig& config() const override { return config_; }
+
+ private:
+  ModelConfig config_;
+  std::shared_ptr<nn::Embedding> emb_;
+  std::shared_ptr<nn::Gru> gru_;
+  std::shared_ptr<nn::Linear> head_;
+};
+
+/// Builds the classifier matching `config.kind` (Table II spec).
+std::shared_ptr<SequenceClassifier> make_classifier(const ModelConfig& config,
+                                                    core::Rng& rng);
+
+}  // namespace cppflare::models

@@ -1,0 +1,68 @@
+#include "models/model_config.h"
+
+namespace cppflare::models {
+
+namespace {
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) { return (a + b - 1) / b; }
+}  // namespace
+
+ModelConfig ModelConfig::bert(std::int64_t vocab_size, std::int64_t max_seq_len) {
+  ModelConfig c;
+  c.kind = ModelKind::kBert;
+  c.name = "bert";
+  c.vocab_size = vocab_size;
+  c.max_seq_len = max_seq_len;
+  c.hidden = 128;
+  c.heads = 6;
+  c.layers = 12;
+  c.head_dim = ceil_div(c.hidden, c.heads);
+  c.ffn_dim = 4 * c.hidden;
+  return c;
+}
+
+ModelConfig ModelConfig::bert_mini(std::int64_t vocab_size, std::int64_t max_seq_len) {
+  ModelConfig c;
+  c.kind = ModelKind::kBertMini;
+  c.name = "bert-mini";
+  c.vocab_size = vocab_size;
+  c.max_seq_len = max_seq_len;
+  c.hidden = 50;
+  c.heads = 2;
+  c.layers = 6;
+  c.head_dim = ceil_div(c.hidden, c.heads);
+  c.ffn_dim = 4 * c.hidden;
+  return c;
+}
+
+ModelConfig ModelConfig::lstm(std::int64_t vocab_size, std::int64_t max_seq_len) {
+  ModelConfig c;
+  c.kind = ModelKind::kLstm;
+  c.name = "lstm";
+  c.vocab_size = vocab_size;
+  c.max_seq_len = max_seq_len;
+  c.hidden = 128;
+  c.heads = 0;
+  c.layers = 3;
+  c.head_dim = 0;
+  c.ffn_dim = 0;
+  return c;
+}
+
+ModelConfig ModelConfig::gru(std::int64_t vocab_size, std::int64_t max_seq_len) {
+  ModelConfig c = lstm(vocab_size, max_seq_len);
+  c.kind = ModelKind::kGru;
+  c.name = "gru";
+  return c;
+}
+
+ModelConfig ModelConfig::by_name(const std::string& name, std::int64_t vocab_size,
+                                 std::int64_t max_seq_len) {
+  if (name == "bert") return bert(vocab_size, max_seq_len);
+  if (name == "bert-mini") return bert_mini(vocab_size, max_seq_len);
+  if (name == "lstm") return lstm(vocab_size, max_seq_len);
+  if (name == "gru") return gru(vocab_size, max_seq_len);
+  throw ConfigError("unknown model '" + name +
+                    "' (expected bert|bert-mini|lstm|gru)");
+}
+
+}  // namespace cppflare::models

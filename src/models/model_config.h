@@ -1,0 +1,48 @@
+// Model hyperparameters for the three NLP models of Table II.
+//
+// | Spec                  | BERT | BERT-mini | LSTM |
+// | hidden dimension      | 128  | 50        | 128  |
+// | # of attention heads  | 6    | 2         | -    |
+// | # of hidden layers    | 12   | 6         | 3    |
+//
+// The per-head dimension follows the x-transformers convention of being
+// decoupled from the model width (ceil(hidden/heads)), which also handles
+// BERT's 128/6 non-divisible pairing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/error.h"
+
+namespace cppflare::models {
+
+enum class ModelKind { kBert, kBertMini, kLstm, kGru };
+
+struct ModelConfig {
+  ModelKind kind = ModelKind::kBert;
+  std::string name = "bert";
+  std::int64_t vocab_size = 0;
+  std::int64_t max_seq_len = 0;
+  std::int64_t hidden = 128;
+  std::int64_t heads = 6;      // 0 for LSTM
+  std::int64_t layers = 12;
+  std::int64_t head_dim = 22;  // ceil(hidden / heads)
+  std::int64_t ffn_dim = 512;  // 4 * hidden
+  float dropout = 0.1f;
+  std::int64_t num_classes = 2;  // ADR binary classification
+
+  static ModelConfig bert(std::int64_t vocab_size, std::int64_t max_seq_len);
+  static ModelConfig bert_mini(std::int64_t vocab_size, std::int64_t max_seq_len);
+  static ModelConfig lstm(std::int64_t vocab_size, std::int64_t max_seq_len);
+  /// Extension beyond the paper: a GRU with the LSTM's dimensions, for the
+  /// recursive-model comparisons the paper lists as future work.
+  static ModelConfig gru(std::int64_t vocab_size, std::int64_t max_seq_len);
+
+  /// Lookup by the names used in benches/configs: "bert", "bert-mini",
+  /// "lstm", "gru". Throws ConfigError for anything else.
+  static ModelConfig by_name(const std::string& name, std::int64_t vocab_size,
+                             std::int64_t max_seq_len);
+};
+
+}  // namespace cppflare::models

@@ -1,0 +1,73 @@
+#include "nn/gru.h"
+
+#include <cmath>
+
+namespace cppflare::nn {
+
+using tensor::Tensor;
+
+GruLayer::GruLayer(std::int64_t input_dim, std::int64_t hidden_dim, core::Rng& rng)
+    : hidden_(hidden_dim) {
+  const float bound = 1.0f / std::sqrt(static_cast<float>(hidden_dim));
+  auto make = [&](tensor::Shape shape) {
+    Tensor t = Tensor::zeros(std::move(shape), true);
+    init_uniform(t, rng, bound);
+    return t;
+  };
+  w_ih_ = register_parameter("w_ih", make({3 * hidden_dim, input_dim}));
+  w_hh_ = register_parameter("w_hh", make({3 * hidden_dim, hidden_dim}));
+  b_ih_ = register_parameter("b_ih", make({3 * hidden_dim}));
+  b_hh_ = register_parameter("b_hh", make({3 * hidden_dim}));
+}
+
+Tensor GruLayer::step(const Tensor& x_t, const Tensor& h) const {
+  using namespace tensor;
+  const std::int64_t hd = hidden_;
+  const Tensor gi = linear(x_t, w_ih_, b_ih_);
+  const Tensor gh = linear(h, w_hh_, b_hh_);
+  const Tensor r = sigmoid(add(slice_cols(gi, 0, hd), slice_cols(gh, 0, hd)));
+  const Tensor z = sigmoid(add(slice_cols(gi, hd, hd), slice_cols(gh, hd, hd)));
+  const Tensor n =
+      tanh_op(add(slice_cols(gi, 2 * hd, hd), mul(r, slice_cols(gh, 2 * hd, hd))));
+  // h' = (1 - z) * n + z * h  ==  n + z * (h - n)
+  return add(n, mul(z, sub(h, n)));
+}
+
+Gru::Gru(std::int64_t input_dim, std::int64_t hidden_dim, std::int64_t num_layers,
+         float dropout_p, core::Rng& rng)
+    : hidden_(hidden_dim), dropout_p_(dropout_p) {
+  if (num_layers < 1) throw Error("Gru: need at least one layer");
+  layers_.reserve(static_cast<std::size_t>(num_layers));
+  for (std::int64_t l = 0; l < num_layers; ++l) {
+    const std::int64_t in = l == 0 ? input_dim : hidden_dim;
+    layers_.push_back(
+        register_module<GruLayer>("layer" + std::to_string(l), in, hidden_dim, rng));
+  }
+}
+
+Tensor Gru::forward(const Tensor& x, core::Rng& rng) const {
+  using namespace tensor;
+  const std::int64_t b = x.size(0), t = x.size(1);
+  const float p = effective_dropout(dropout_p_);
+
+  std::vector<Tensor> inputs;
+  inputs.reserve(static_cast<std::size_t>(t));
+  for (std::int64_t ti = 0; ti < t; ++ti) inputs.push_back(select_dim1(x, ti));
+
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    Tensor h = Tensor::zeros({b, hidden_}, false);
+    std::vector<Tensor> outputs;
+    outputs.reserve(inputs.size());
+    for (const Tensor& x_t : inputs) {
+      h = layers_[l]->step(x_t, h);
+      outputs.push_back(h);
+    }
+    if (p > 0.0f && l + 1 < layers_.size()) {
+      for (Tensor& o : outputs) o = dropout(o, p, rng);
+    }
+    inputs = std::move(outputs);
+  }
+  return stack_dim1(inputs);
+}
+
+}  // namespace cppflare::nn

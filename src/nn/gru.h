@@ -1,0 +1,50 @@
+// Multi-layer GRU — a second "recursive model" baseline beyond the paper's
+// LSTM (its future-work section asks how recursive models behave across
+// tasks/dataset sizes; the GRU gives that comparison a second point).
+//
+// Gate layout follows PyTorch: the 3*H rows of W_ih/W_hh are
+// [reset | update | new].
+#pragma once
+
+#include <memory>
+
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace cppflare::nn {
+
+class GruLayer : public Module {
+ public:
+  GruLayer(std::int64_t input_dim, std::int64_t hidden_dim, core::Rng& rng);
+
+  /// One step: x_t [B, input], h [B, hidden] -> new h.
+  tensor::Tensor step(const tensor::Tensor& x_t, const tensor::Tensor& h) const;
+
+  std::int64_t hidden_dim() const { return hidden_; }
+
+ private:
+  std::int64_t hidden_;
+  tensor::Tensor w_ih_;  // [3H, input]
+  tensor::Tensor w_hh_;  // [3H, H]
+  tensor::Tensor b_ih_;  // [3H]
+  tensor::Tensor b_hh_;  // [3H]
+};
+
+class Gru : public Module {
+ public:
+  Gru(std::int64_t input_dim, std::int64_t hidden_dim, std::int64_t num_layers,
+      float dropout_p, core::Rng& rng);
+
+  /// x: [B, T, input] -> top-layer hidden states [B, T, hidden].
+  tensor::Tensor forward(const tensor::Tensor& x, core::Rng& rng) const;
+
+  std::int64_t hidden_dim() const { return hidden_; }
+  std::int64_t num_layers() const { return static_cast<std::int64_t>(layers_.size()); }
+
+ private:
+  std::int64_t hidden_;
+  float dropout_p_;
+  std::vector<std::shared_ptr<GruLayer>> layers_;
+};
+
+}  // namespace cppflare::nn

@@ -1,0 +1,45 @@
+#include "nn/layers.h"
+
+namespace cppflare::nn {
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features, core::Rng& rng,
+               bool bias, float init_stddev)
+    : in_(in_features), out_(out_features) {
+  tensor::Tensor w = tensor::Tensor::zeros({out_features, in_features}, true);
+  init_normal(w, rng, init_stddev);
+  weight_ = register_parameter("weight", std::move(w));
+  if (bias) {
+    tensor::Tensor b = tensor::Tensor::zeros({out_features}, true);
+    bias_ = register_parameter("bias", std::move(b));
+  }
+}
+
+tensor::Tensor Linear::forward(const tensor::Tensor& x) const {
+  return tensor::linear(x, weight_, bias_);
+}
+
+Embedding::Embedding(std::int64_t vocab, std::int64_t hidden, core::Rng& rng,
+                     float init_stddev)
+    : vocab_(vocab), hidden_(hidden) {
+  tensor::Tensor w = tensor::Tensor::zeros({vocab, hidden}, true);
+  init_normal(w, rng, init_stddev);
+  weight_ = register_parameter("weight", std::move(w));
+}
+
+tensor::Tensor Embedding::forward(const std::vector<std::int64_t>& ids) const {
+  return tensor::embedding(weight_, ids);
+}
+
+LayerNorm::LayerNorm(std::int64_t hidden, float eps) : eps_(eps) {
+  tensor::Tensor g = tensor::Tensor::zeros({hidden}, true);
+  init_constant(g, 1.0f);
+  gamma_ = register_parameter("gamma", std::move(g));
+  tensor::Tensor b = tensor::Tensor::zeros({hidden}, true);
+  beta_ = register_parameter("beta", std::move(b));
+}
+
+tensor::Tensor LayerNorm::forward(const tensor::Tensor& x) const {
+  return tensor::layer_norm(x, gamma_, beta_, eps_);
+}
+
+}  // namespace cppflare::nn

@@ -1,0 +1,59 @@
+// Elementary trainable layers: Linear, Embedding, LayerNorm.
+#pragma once
+
+#include "nn/module.h"
+#include "tensor/ops.h"
+
+namespace cppflare::nn {
+
+/// Affine layer, y = x W^T + b, PyTorch weight layout [out, in].
+class Linear : public Module {
+ public:
+  Linear(std::int64_t in_features, std::int64_t out_features, core::Rng& rng,
+         bool bias = true, float init_stddev = 0.02f);
+
+  /// x: [M, in] -> [M, out]
+  tensor::Tensor forward(const tensor::Tensor& x) const;
+
+  std::int64_t in_features() const { return in_; }
+  std::int64_t out_features() const { return out_; }
+
+ private:
+  std::int64_t in_;
+  std::int64_t out_;
+  tensor::Tensor weight_;
+  tensor::Tensor bias_;  // undefined when bias == false
+};
+
+/// Token embedding table [vocab, hidden].
+class Embedding : public Module {
+ public:
+  Embedding(std::int64_t vocab, std::int64_t hidden, core::Rng& rng,
+            float init_stddev = 0.02f);
+
+  /// ids (length N) -> [N, hidden]
+  tensor::Tensor forward(const std::vector<std::int64_t>& ids) const;
+
+  std::int64_t vocab() const { return vocab_; }
+  std::int64_t hidden() const { return hidden_; }
+
+ private:
+  std::int64_t vocab_;
+  std::int64_t hidden_;
+  tensor::Tensor weight_;
+};
+
+/// Layer normalization over the last axis with learnable gain/offset.
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(std::int64_t hidden, float eps = 1e-5f);
+
+  tensor::Tensor forward(const tensor::Tensor& x) const;
+
+ private:
+  float eps_;
+  tensor::Tensor gamma_;
+  tensor::Tensor beta_;
+};
+
+}  // namespace cppflare::nn

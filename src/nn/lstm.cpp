@@ -1,0 +1,78 @@
+#include "nn/lstm.h"
+
+#include <cmath>
+
+namespace cppflare::nn {
+
+using tensor::Tensor;
+
+LstmLayer::LstmLayer(std::int64_t input_dim, std::int64_t hidden_dim, core::Rng& rng)
+    : hidden_(hidden_dim) {
+  const float bound = 1.0f / std::sqrt(static_cast<float>(hidden_dim));
+  auto make = [&](tensor::Shape shape) {
+    Tensor t = Tensor::zeros(std::move(shape), true);
+    init_uniform(t, rng, bound);
+    return t;
+  };
+  w_ih_ = register_parameter("w_ih", make({4 * hidden_dim, input_dim}));
+  w_hh_ = register_parameter("w_hh", make({4 * hidden_dim, hidden_dim}));
+  b_ih_ = register_parameter("b_ih", make({4 * hidden_dim}));
+  b_hh_ = register_parameter("b_hh", make({4 * hidden_dim}));
+}
+
+std::pair<Tensor, Tensor> LstmLayer::step(const Tensor& x_t, const Tensor& h,
+                                          const Tensor& c) const {
+  using namespace tensor;
+  const std::int64_t hd = hidden_;
+  Tensor gates = add(linear(x_t, w_ih_, b_ih_), linear(h, w_hh_, b_hh_));
+  const Tensor i = sigmoid(slice_cols(gates, 0, hd));
+  const Tensor f = sigmoid(slice_cols(gates, hd, hd));
+  const Tensor g = tanh_op(slice_cols(gates, 2 * hd, hd));
+  const Tensor o = sigmoid(slice_cols(gates, 3 * hd, hd));
+  Tensor c_new = add(mul(f, c), mul(i, g));
+  Tensor h_new = mul(o, tanh_op(c_new));
+  return {std::move(h_new), std::move(c_new)};
+}
+
+Lstm::Lstm(std::int64_t input_dim, std::int64_t hidden_dim, std::int64_t num_layers,
+           float dropout_p, core::Rng& rng)
+    : hidden_(hidden_dim), dropout_p_(dropout_p) {
+  if (num_layers < 1) throw Error("Lstm: need at least one layer");
+  layers_.reserve(static_cast<std::size_t>(num_layers));
+  for (std::int64_t l = 0; l < num_layers; ++l) {
+    const std::int64_t in = l == 0 ? input_dim : hidden_dim;
+    layers_.push_back(
+        register_module<LstmLayer>("layer" + std::to_string(l), in, hidden_dim, rng));
+  }
+}
+
+Tensor Lstm::forward(const Tensor& x, core::Rng& rng) const {
+  using namespace tensor;
+  const std::int64_t b = x.size(0), t = x.size(1);
+  const float p = effective_dropout(dropout_p_);
+
+  // Pre-slice the input once per timestep.
+  std::vector<Tensor> inputs;
+  inputs.reserve(static_cast<std::size_t>(t));
+  for (std::int64_t ti = 0; ti < t; ++ti) inputs.push_back(select_dim1(x, ti));
+
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    Tensor h = Tensor::zeros({b, hidden_}, false);
+    Tensor c = Tensor::zeros({b, hidden_}, false);
+    std::vector<Tensor> outputs;
+    outputs.reserve(inputs.size());
+    for (const Tensor& x_t : inputs) {
+      auto [h_new, c_new] = layers_[l]->step(x_t, h, c);
+      h = h_new;
+      c = c_new;
+      outputs.push_back(h);
+    }
+    if (p > 0.0f && l + 1 < layers_.size()) {
+      for (Tensor& o : outputs) o = dropout(o, p, rng);
+    }
+    inputs = std::move(outputs);
+  }
+  return stack_dim1(inputs);
+}
+
+}  // namespace cppflare::nn

@@ -1,0 +1,53 @@
+// Multi-layer LSTM (the "recursive model" of the paper's title).
+//
+// Gate layout follows PyTorch: the 4*H rows of W_ih/W_hh are
+// [input | forget | cell | output]. The forward unrolls over time with the
+// autograd ops, so backpropagation-through-time falls out of the tape.
+#pragma once
+
+#include <memory>
+
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace cppflare::nn {
+
+/// One LSTM layer's parameters; used internally by `Lstm`.
+class LstmLayer : public Module {
+ public:
+  LstmLayer(std::int64_t input_dim, std::int64_t hidden_dim, core::Rng& rng);
+
+  /// One step: x_t [B, input], h/c [B, hidden] -> new (h, c).
+  std::pair<tensor::Tensor, tensor::Tensor> step(const tensor::Tensor& x_t,
+                                                 const tensor::Tensor& h,
+                                                 const tensor::Tensor& c) const;
+
+  std::int64_t hidden_dim() const { return hidden_; }
+
+ private:
+  std::int64_t hidden_;
+  tensor::Tensor w_ih_;  // [4H, input]
+  tensor::Tensor w_hh_;  // [4H, H]
+  tensor::Tensor b_ih_;  // [4H]
+  tensor::Tensor b_hh_;  // [4H]
+};
+
+class Lstm : public Module {
+ public:
+  Lstm(std::int64_t input_dim, std::int64_t hidden_dim, std::int64_t num_layers,
+       float dropout_p, core::Rng& rng);
+
+  /// x: [B, T, input] -> top-layer hidden states [B, T, hidden].
+  /// Initial h/c are zero. `rng` drives inter-layer dropout.
+  tensor::Tensor forward(const tensor::Tensor& x, core::Rng& rng) const;
+
+  std::int64_t hidden_dim() const { return hidden_; }
+  std::int64_t num_layers() const { return static_cast<std::int64_t>(layers_.size()); }
+
+ private:
+  std::int64_t hidden_;
+  float dropout_p_;
+  std::vector<std::shared_ptr<LstmLayer>> layers_;
+};
+
+}  // namespace cppflare::nn

@@ -1,0 +1,102 @@
+#include "nn/module.h"
+
+#include <algorithm>
+
+#include "core/error.h"
+
+namespace cppflare::nn {
+
+std::vector<tensor::Tensor> Module::parameters() const {
+  std::vector<tensor::Tensor> out;
+  for (const auto& [name, t] : named_parameters()) out.push_back(t);
+  return out;
+}
+
+std::vector<std::pair<std::string, tensor::Tensor>> Module::named_parameters() const {
+  std::vector<std::pair<std::string, tensor::Tensor>> out;
+  collect("", out);
+  return out;
+}
+
+void Module::collect(const std::string& prefix,
+                     std::vector<std::pair<std::string, tensor::Tensor>>& out) const {
+  for (const auto& [name, t] : params_) {
+    out.emplace_back(prefix.empty() ? name : prefix + "." + name, t);
+  }
+  for (const auto& [name, child] : children_) {
+    child->collect(prefix.empty() ? name : prefix + "." + name, out);
+  }
+}
+
+std::int64_t Module::num_parameters() const {
+  std::int64_t n = 0;
+  for (const auto& t : parameters()) n += t.numel();
+  return n;
+}
+
+StateDict Module::state_dict() const {
+  StateDict dict;
+  for (const auto& [name, t] : named_parameters()) {
+    ParamBlob blob;
+    blob.shape = t.shape();
+    blob.values = t.vec();
+    dict.insert(name, std::move(blob));
+  }
+  return dict;
+}
+
+void Module::load_state_dict(const StateDict& dict) {
+  auto named = named_parameters();
+  if (dict.size() != named.size()) {
+    throw Error("load_state_dict: dict has " + std::to_string(dict.size()) +
+                " entries, model has " + std::to_string(named.size()));
+  }
+  for (auto& [name, t] : named) {
+    const ParamBlob& blob = dict.at(name);
+    if (blob.shape != t.shape()) {
+      throw Error("load_state_dict: shape mismatch for '" + name + "': " +
+                  tensor::shape_to_string(blob.shape) + " vs " +
+                  tensor::shape_to_string(t.shape()));
+    }
+    t.vec() = blob.values;
+  }
+}
+
+void Module::zero_grad() {
+  for (auto& t : parameters()) t.zero_grad();
+}
+
+void Module::set_training(bool training) {
+  training_ = training;
+  for (auto& [name, child] : children_) child->set_training(training);
+}
+
+tensor::Tensor& Module::register_parameter(const std::string& name, tensor::Tensor t) {
+  if (!t.requires_grad()) {
+    throw Error("register_parameter('" + name + "'): tensor must require grad");
+  }
+  params_.emplace_back(name, std::move(t));
+  return params_.back().second;
+}
+
+void Module::register_child(const std::string& name, std::shared_ptr<Module> child) {
+  children_.emplace_back(name, std::move(child));
+}
+
+void init_normal(tensor::Tensor& t, core::Rng& rng, float stddev) {
+  for (float& v : t.vec()) v = static_cast<float>(rng.normal(0.0, stddev));
+}
+
+void init_uniform(tensor::Tensor& t, core::Rng& rng, float bound) {
+  for (float& v : t.vec()) v = static_cast<float>(rng.uniform(-bound, bound));
+}
+
+void init_zeros(tensor::Tensor& t) {
+  std::fill(t.vec().begin(), t.vec().end(), 0.0f);
+}
+
+void init_constant(tensor::Tensor& t, float value) {
+  std::fill(t.vec().begin(), t.vec().end(), value);
+}
+
+}  // namespace cppflare::nn

@@ -1,0 +1,90 @@
+// Base class for neural network modules.
+//
+// A `Module` owns named parameters (autograd leaf tensors) and named child
+// modules; the tree yields dotted parameter names ("encoder.layer0.attn.wq")
+// used by StateDict import/export. Forward signatures are defined by each
+// concrete module — there is no virtual `forward` because inputs differ
+// (sequences, ids, masks); the base class only handles parameter plumbing
+// and train/eval mode.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/rng.h"
+#include "nn/state_dict.h"
+#include "tensor/tensor.h"
+
+namespace cppflare::nn {
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All parameters of this module and its descendants (registration order).
+  std::vector<tensor::Tensor> parameters() const;
+
+  /// Dotted-name parameter listing, e.g. {"wq", t} under "attn" becomes
+  /// "attn.wq" when the parent collects it.
+  std::vector<std::pair<std::string, tensor::Tensor>> named_parameters() const;
+
+  /// Total scalar count across all parameters.
+  std::int64_t num_parameters() const;
+
+  /// Copies current parameter values into a StateDict (detached).
+  StateDict state_dict() const;
+
+  /// Loads values from `dict`; every parameter must be present with a
+  /// matching shape. Extra keys in `dict` are an error (they indicate a
+  /// model-config mismatch between federation participants).
+  void load_state_dict(const StateDict& dict);
+
+  /// Zeroes the gradient buffers of all parameters.
+  void zero_grad();
+
+  /// Recursively switches train/eval mode (controls dropout).
+  void set_training(bool training);
+  bool training() const { return training_; }
+
+ protected:
+  Module() = default;
+
+  tensor::Tensor& register_parameter(const std::string& name, tensor::Tensor t);
+
+  template <typename M, typename... Args>
+  std::shared_ptr<M> register_module(const std::string& name, Args&&... args) {
+    auto child = std::make_shared<M>(std::forward<Args>(args)...);
+    children_.emplace_back(name, child);
+    return child;
+  }
+
+  void register_child(const std::string& name, std::shared_ptr<Module> child);
+
+  /// Effective dropout probability: 0 in eval mode.
+  float effective_dropout(float p) const { return training_ ? p : 0.0f; }
+
+ private:
+  void collect(const std::string& prefix,
+               std::vector<std::pair<std::string, tensor::Tensor>>& out) const;
+
+  std::vector<std::pair<std::string, tensor::Tensor>> params_;
+  std::vector<std::pair<std::string, std::shared_ptr<Module>>> children_;
+  bool training_ = true;
+};
+
+// ---- weight initializers ----------------------------------------------------
+/// Fills with N(0, stddev^2); BERT-style init uses stddev = 0.02.
+void init_normal(tensor::Tensor& t, core::Rng& rng, float stddev);
+/// Fills with U(-bound, bound); LSTM-style init uses bound = 1/sqrt(hidden).
+void init_uniform(tensor::Tensor& t, core::Rng& rng, float bound);
+/// Fills with zeros.
+void init_zeros(tensor::Tensor& t);
+/// Fills with a constant.
+void init_constant(tensor::Tensor& t, float value);
+
+}  // namespace cppflare::nn

@@ -1,0 +1,110 @@
+#include "nn/transformer.h"
+
+#include <cmath>
+
+namespace cppflare::nn {
+
+using tensor::Tensor;
+
+tensor::Tensor make_padding_mask(const std::vector<std::int64_t>& lengths,
+                                 std::int64_t seq_len, std::int64_t heads) {
+  const std::int64_t b = static_cast<std::int64_t>(lengths.size());
+  Tensor mask = Tensor::zeros({b * heads, seq_len, seq_len}, false);
+  float* m = mask.data();
+  constexpr float kNegInf = -1e9f;
+  for (std::int64_t bi = 0; bi < b; ++bi) {
+    const std::int64_t valid = std::min(lengths[bi], seq_len);
+    for (std::int64_t h = 0; h < heads; ++h) {
+      float* plane = m + (bi * heads + h) * seq_len * seq_len;
+      for (std::int64_t q = 0; q < seq_len; ++q) {
+        for (std::int64_t k = valid; k < seq_len; ++k) {
+          plane[q * seq_len + k] = kNegInf;
+        }
+      }
+    }
+  }
+  return mask;
+}
+
+MultiHeadSelfAttention::MultiHeadSelfAttention(std::int64_t hidden,
+                                               std::int64_t heads,
+                                               std::int64_t head_dim,
+                                               float dropout_p, core::Rng& rng)
+    : hidden_(hidden), heads_(heads), head_dim_(head_dim), dropout_p_(dropout_p) {
+  const std::int64_t inner = heads * head_dim;
+  wq_ = register_module<Linear>("wq", hidden, inner, rng);
+  wk_ = register_module<Linear>("wk", hidden, inner, rng);
+  wv_ = register_module<Linear>("wv", hidden, inner, rng);
+  wo_ = register_module<Linear>("wo", inner, hidden, rng);
+}
+
+Tensor MultiHeadSelfAttention::forward(const Tensor& x, const Tensor& mask,
+                                       core::Rng& rng) const {
+  using namespace tensor;
+  const std::int64_t b = x.size(0), t = x.size(1), h = x.size(2);
+  if (h != hidden_) {
+    throw ShapeError("attention: input hidden " + std::to_string(h) + " vs " +
+                     std::to_string(hidden_));
+  }
+  const std::int64_t inner = heads_ * head_dim_;
+
+  // Project as one flat [B*T, hidden] matrix, then split heads.
+  const Tensor flat = reshape(x, {b * t, h});
+  auto split_heads = [&](const Tensor& proj) {
+    // [B*T, inner] -> [B, T, heads, dh] -> [B, heads, T, dh] -> [B*heads, T, dh]
+    Tensor y = reshape(proj, {b, t, heads_, head_dim_});
+    y = permute(y, {0, 2, 1, 3});
+    return reshape(y, {b * heads_, t, head_dim_});
+  };
+  const Tensor q = split_heads(wq_->forward(flat));
+  const Tensor k = split_heads(wk_->forward(flat));
+  const Tensor v = split_heads(wv_->forward(flat));
+
+  Tensor scores = mul_scalar(bmm_nt(q, k),
+                             1.0f / std::sqrt(static_cast<float>(head_dim_)));
+  if (mask.defined()) scores = add(scores, mask);
+  Tensor attn = softmax_lastdim(scores);
+  const float p = effective_dropout(dropout_p_);
+  if (p > 0.0f) attn = dropout(attn, p, rng);
+
+  Tensor ctx = bmm(attn, v);  // [B*heads, T, dh]
+  ctx = reshape(ctx, {b, heads_, t, head_dim_});
+  ctx = permute(ctx, {0, 2, 1, 3});  // [B, T, heads, dh]
+  ctx = reshape(ctx, {b * t, inner});
+  return reshape(wo_->forward(ctx), {b, t, hidden_});
+}
+
+TransformerEncoderLayer::TransformerEncoderLayer(std::int64_t hidden,
+                                                 std::int64_t heads,
+                                                 std::int64_t head_dim,
+                                                 std::int64_t ffn_dim,
+                                                 float dropout_p, core::Rng& rng)
+    : dropout_p_(dropout_p) {
+  attn_ = register_module<MultiHeadSelfAttention>("attn", hidden, heads, head_dim,
+                                                  dropout_p, rng);
+  ln1_ = register_module<LayerNorm>("ln1", hidden);
+  ln2_ = register_module<LayerNorm>("ln2", hidden);
+  ffn_in_ = register_module<Linear>("ffn_in", hidden, ffn_dim, rng);
+  ffn_out_ = register_module<Linear>("ffn_out", ffn_dim, hidden, rng);
+}
+
+Tensor TransformerEncoderLayer::forward(const Tensor& x, const Tensor& mask,
+                                        core::Rng& rng) const {
+  using namespace tensor;
+  const std::int64_t b = x.size(0), t = x.size(1), h = x.size(2);
+  const float p = effective_dropout(dropout_p_);
+
+  Tensor attn_out = attn_->forward(x, mask, rng);
+  if (p > 0.0f) attn_out = dropout(attn_out, p, rng);
+  Tensor y = ln1_->forward(add(x, attn_out));
+
+  Tensor ff = reshape(y, {b * t, h});
+  ff = ffn_in_->forward(ff);
+  ff = gelu(ff);
+  ff = ffn_out_->forward(ff);
+  ff = reshape(ff, {b, t, h});
+  if (p > 0.0f) ff = dropout(ff, p, rng);
+  return ln2_->forward(add(y, ff));
+}
+
+}  // namespace cppflare::nn

@@ -1,0 +1,62 @@
+// Multi-head self-attention and the transformer encoder layer.
+//
+// Following x-transformers (which the paper's software stack lists), the
+// per-head dimension is decoupled from the model width: attention projects
+// hidden -> heads * head_dim and back. This also accommodates Table II's
+// BERT spec (hidden 128, 6 heads), where hidden is not divisible by the
+// head count.
+#pragma once
+
+#include <memory>
+
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace cppflare::nn {
+
+/// Builds an additive attention mask of shape [batch*heads, seq, seq]:
+/// 0 where the key position is within `lengths[b]`, -1e9 where padded.
+/// The mask is a constant (no gradient).
+tensor::Tensor make_padding_mask(const std::vector<std::int64_t>& lengths,
+                                 std::int64_t seq_len, std::int64_t heads);
+
+class MultiHeadSelfAttention : public Module {
+ public:
+  MultiHeadSelfAttention(std::int64_t hidden, std::int64_t heads,
+                         std::int64_t head_dim, float dropout_p, core::Rng& rng);
+
+  /// x: [B, T, hidden]; mask: additive [B*heads, T, T] or undefined.
+  /// rng drives attention dropout (ignored in eval mode).
+  tensor::Tensor forward(const tensor::Tensor& x, const tensor::Tensor& mask,
+                         core::Rng& rng) const;
+
+  std::int64_t heads() const { return heads_; }
+  std::int64_t head_dim() const { return head_dim_; }
+
+ private:
+  std::int64_t hidden_;
+  std::int64_t heads_;
+  std::int64_t head_dim_;
+  float dropout_p_;
+  std::shared_ptr<Linear> wq_, wk_, wv_, wo_;
+};
+
+/// Post-LN transformer encoder layer (BERT style):
+///   x = LN(x + Attn(x)); x = LN(x + FFN(x)), FFN = Linear-GELU-Linear.
+class TransformerEncoderLayer : public Module {
+ public:
+  TransformerEncoderLayer(std::int64_t hidden, std::int64_t heads,
+                          std::int64_t head_dim, std::int64_t ffn_dim,
+                          float dropout_p, core::Rng& rng);
+
+  tensor::Tensor forward(const tensor::Tensor& x, const tensor::Tensor& mask,
+                         core::Rng& rng) const;
+
+ private:
+  float dropout_p_;
+  std::shared_ptr<MultiHeadSelfAttention> attn_;
+  std::shared_ptr<LayerNorm> ln1_, ln2_;
+  std::shared_ptr<Linear> ffn_in_, ffn_out_;
+};
+
+}  // namespace cppflare::nn

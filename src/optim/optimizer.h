@@ -1,0 +1,117 @@
+// First-order optimizers over parameter tensors.
+//
+// Optimizers hold references to the model's parameter tensors (leaf autograd
+// nodes) and update data in place from the accumulated gradients. The paper
+// trains with Adam at lr = 1e-2 (Table I).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace cppflare::optim {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<tensor::Tensor> params, float lr);
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Applies one update from the current gradients.
+  virtual void step() = 0;
+
+  /// Zeroes all parameter gradients (call after step()).
+  void zero_grad();
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+
+  /// Global gradient L2 norm across all parameters.
+  float grad_norm() const;
+
+  /// Rescales gradients so the global norm is at most `max_norm`.
+  /// Returns the pre-clip norm.
+  float clip_grad_norm(float max_norm);
+
+ protected:
+  std::vector<tensor::Tensor> params_;
+  float lr_;
+};
+
+/// Plain SGD with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<tensor::Tensor> params, float lr, float momentum = 0.0f);
+  void step() override;
+
+ private:
+  float momentum_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+/// Adam (Kingma & Ba, 2015) with bias correction.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<tensor::Tensor> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+  void step() override;
+
+  std::int64_t steps_taken() const { return t_; }
+
+ private:
+  float beta1_, beta2_, eps_, weight_decay_;
+  std::int64_t t_ = 0;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+};
+
+// ---- learning-rate schedules -----------------------------------------------
+
+/// Interface: maps a 0-based step index to a learning rate.
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  virtual float lr_at(std::int64_t step) const = 0;
+
+  /// Convenience: sets `opt`'s lr for `step`.
+  void apply(Optimizer& opt, std::int64_t step) const { opt.set_lr(lr_at(step)); }
+};
+
+class ConstantLr : public LrSchedule {
+ public:
+  explicit ConstantLr(float lr) : lr_(lr) {}
+  float lr_at(std::int64_t) const override { return lr_; }
+
+ private:
+  float lr_;
+};
+
+/// Multiplies by `gamma` every `step_size` steps.
+class StepDecayLr : public LrSchedule {
+ public:
+  StepDecayLr(float base_lr, std::int64_t step_size, float gamma);
+  float lr_at(std::int64_t step) const override;
+
+ private:
+  float base_lr_;
+  std::int64_t step_size_;
+  float gamma_;
+};
+
+/// Linear warmup to base_lr over `warmup` steps, then linear decay to zero
+/// at `total` steps (the schedule BERT pretraining uses).
+class WarmupLinearLr : public LrSchedule {
+ public:
+  WarmupLinearLr(float base_lr, std::int64_t warmup, std::int64_t total);
+  float lr_at(std::int64_t step) const override;
+
+ private:
+  float base_lr_;
+  std::int64_t warmup_;
+  std::int64_t total_;
+};
+
+}  // namespace cppflare::optim

@@ -1,0 +1,71 @@
+#include "tensor/kernels.h"
+
+namespace cppflare::tensor {
+
+void gemm_nn(const float* a, const float* b, float* c, std::int64_t m,
+             std::int64_t k, std::int64_t n) {
+  // i-k-j order: for fixed (i,k) the inner loop streams B row k and C row i.
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    const float* arow = a + i * k;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float aik = arow[kk];
+      if (aik == 0.0f) continue;
+      const float* brow = b + kk * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+void gemm_nt(const float* a, const float* b, float* c, std::int64_t m,
+             std::int64_t k, std::int64_t n) {
+  // Dot products of contiguous rows. Four B rows are consumed per pass so
+  // each load of the A row feeds four independent accumulator chains —
+  // without this the loop is latency-bound on one serial reduction.
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    std::int64_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const float* b0 = b + j * k;
+      const float* b1 = b0 + k;
+      const float* b2 = b1 + k;
+      const float* b3 = b2 + k;
+      float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const float av = arow[kk];
+        acc0 += av * b0[kk];
+        acc1 += av * b1[kk];
+        acc2 += av * b2[kk];
+        acc3 += av * b3[kk];
+      }
+      crow[j] += acc0;
+      crow[j + 1] += acc1;
+      crow[j + 2] += acc2;
+      crow[j + 3] += acc3;
+    }
+    for (; j < n; ++j) {
+      const float* brow = b + j * k;
+      float acc = 0.0f;
+      for (std::int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      crow[j] += acc;
+    }
+  }
+}
+
+void gemm_tn(const float* a, const float* b, float* c, std::int64_t m,
+             std::int64_t k, std::int64_t n) {
+  // m-k-j order: inner loop streams B row i and C row kk.
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    const float* brow = b + i * n;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float aik = arow[kk];
+      if (aik == 0.0f) continue;
+      float* crow = c + kk * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+}  // namespace cppflare::tensor

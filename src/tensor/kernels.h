@@ -1,0 +1,25 @@
+// Raw GEMM kernels on contiguous row-major float buffers.
+//
+// All kernels *accumulate* into C (C += op(A) * op(B)); callers zero C when
+// they want a plain product. Accumulating form is what autograd needs when
+// several edges contribute to one gradient buffer. Loop orders are chosen so
+// the innermost loop walks contiguous memory and vectorizes under -O3.
+#pragma once
+
+#include <cstdint>
+
+namespace cppflare::tensor {
+
+/// C[M,N] += A[M,K] * B[K,N]
+void gemm_nn(const float* a, const float* b, float* c, std::int64_t m,
+             std::int64_t k, std::int64_t n);
+
+/// C[M,N] += A[M,K] * B[N,K]^T   (i.e. C[i,j] += dot(A row i, B row j))
+void gemm_nt(const float* a, const float* b, float* c, std::int64_t m,
+             std::int64_t k, std::int64_t n);
+
+/// C[K,N] += A[M,K]^T * B[M,N]
+void gemm_tn(const float* a, const float* b, float* c, std::int64_t m,
+             std::int64_t k, std::int64_t n);
+
+}  // namespace cppflare::tensor

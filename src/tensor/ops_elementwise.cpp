@@ -1,0 +1,237 @@
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "tensor/ops_common.h"
+
+namespace cppflare::tensor {
+
+using detail::make_result;
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  check_same_shape("add", a, b);
+  TensorImpl* pa = a.impl().get();
+  TensorImpl* pb = b.impl().get();
+  Tensor out = make_result(a.shape(), {a.impl(), b.impl()},
+                           [pa, pb](const TensorImpl& self) {
+                             for (std::size_t i = 0; i < self.grad.size(); ++i) {
+                               pa->grad[i] += self.grad[i];
+                               pb->grad[i] += self.grad[i];
+                             }
+                           });
+  const float* da = a.data();
+  const float* db = b.data();
+  float* dst = out.data();
+  for (std::int64_t i = 0; i < out.numel(); ++i) dst[i] = da[i] + db[i];
+  return out;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  check_same_shape("sub", a, b);
+  TensorImpl* pa = a.impl().get();
+  TensorImpl* pb = b.impl().get();
+  Tensor out = make_result(a.shape(), {a.impl(), b.impl()},
+                           [pa, pb](const TensorImpl& self) {
+                             for (std::size_t i = 0; i < self.grad.size(); ++i) {
+                               pa->grad[i] += self.grad[i];
+                               pb->grad[i] -= self.grad[i];
+                             }
+                           });
+  const float* da = a.data();
+  const float* db = b.data();
+  float* dst = out.data();
+  for (std::int64_t i = 0; i < out.numel(); ++i) dst[i] = da[i] - db[i];
+  return out;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  check_same_shape("mul", a, b);
+  TensorImpl* pa = a.impl().get();
+  TensorImpl* pb = b.impl().get();
+  Tensor out = make_result(a.shape(), {a.impl(), b.impl()},
+                           [pa, pb](const TensorImpl& self) {
+                             for (std::size_t i = 0; i < self.grad.size(); ++i) {
+                               pa->grad[i] += self.grad[i] * pb->data[i];
+                               pb->grad[i] += self.grad[i] * pa->data[i];
+                             }
+                           });
+  const float* da = a.data();
+  const float* db = b.data();
+  float* dst = out.data();
+  for (std::int64_t i = 0; i < out.numel(); ++i) dst[i] = da[i] * db[i];
+  return out;
+}
+
+Tensor add_scalar(const Tensor& a, float s) {
+  TensorImpl* pa = a.impl().get();
+  Tensor out = make_result(a.shape(), {a.impl()}, [pa](const TensorImpl& self) {
+    for (std::size_t i = 0; i < self.grad.size(); ++i) pa->grad[i] += self.grad[i];
+  });
+  const float* da = a.data();
+  float* dst = out.data();
+  for (std::int64_t i = 0; i < out.numel(); ++i) dst[i] = da[i] + s;
+  return out;
+}
+
+Tensor mul_scalar(const Tensor& a, float s) {
+  TensorImpl* pa = a.impl().get();
+  Tensor out = make_result(a.shape(), {a.impl()}, [pa, s](const TensorImpl& self) {
+    for (std::size_t i = 0; i < self.grad.size(); ++i) pa->grad[i] += self.grad[i] * s;
+  });
+  const float* da = a.data();
+  float* dst = out.data();
+  for (std::int64_t i = 0; i < out.numel(); ++i) dst[i] = da[i] * s;
+  return out;
+}
+
+Tensor neg(const Tensor& a) { return mul_scalar(a, -1.0f); }
+
+Tensor add_bias(const Tensor& x, const Tensor& bias) {
+  if (bias.dim() != 1 || x.dim() < 1 || x.size(-1) != bias.size(0)) {
+    throw ShapeError("add_bias: x " + shape_to_string(x.shape()) + " vs bias " +
+                     shape_to_string(bias.shape()));
+  }
+  const std::int64_t n = bias.size(0);
+  const std::int64_t rows = x.numel() / n;
+  TensorImpl* px = x.impl().get();
+  TensorImpl* pb = bias.impl().get();
+  Tensor out = make_result(x.shape(), {x.impl(), bias.impl()},
+                           [px, pb, rows, n](const TensorImpl& self) {
+                             for (std::int64_t r = 0; r < rows; ++r) {
+                               const float* g = self.grad.data() + r * n;
+                               for (std::int64_t j = 0; j < n; ++j) {
+                                 px->grad[r * n + j] += g[j];
+                                 pb->grad[j] += g[j];
+                               }
+                             }
+                           });
+  const float* dx = x.data();
+  const float* db = bias.data();
+  float* dst = out.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t j = 0; j < n; ++j) dst[r * n + j] = dx[r * n + j] + db[j];
+  }
+  return out;
+}
+
+Tensor relu(const Tensor& a) {
+  TensorImpl* pa = a.impl().get();
+  Tensor out = make_result(a.shape(), {a.impl()}, [pa](const TensorImpl& self) {
+    for (std::size_t i = 0; i < self.grad.size(); ++i) {
+      if (pa->data[i] > 0.0f) pa->grad[i] += self.grad[i];
+    }
+  });
+  const float* da = a.data();
+  float* dst = out.data();
+  for (std::int64_t i = 0; i < out.numel(); ++i) dst[i] = da[i] > 0.0f ? da[i] : 0.0f;
+  return out;
+}
+
+Tensor tanh_op(const Tensor& a) {
+  Tensor out = make_result(a.shape(), {a.impl()}, nullptr);
+  const float* da = a.data();
+  float* dst = out.data();
+  for (std::int64_t i = 0; i < out.numel(); ++i) dst[i] = std::tanh(da[i]);
+  // dtanh = 1 - y^2; uses the result values, available through `self`.
+  TensorImpl* pa = a.impl().get();
+  if (out.impl()->parents.size() == 1) {
+    out.impl()->backward_fn = [pa](const TensorImpl& self) {
+      for (std::size_t i = 0; i < self.grad.size(); ++i) {
+        const float y = self.data[i];
+        pa->grad[i] += self.grad[i] * (1.0f - y * y);
+      }
+    };
+  }
+  return out;
+}
+
+Tensor sigmoid(const Tensor& a) {
+  Tensor out = make_result(a.shape(), {a.impl()}, nullptr);
+  const float* da = a.data();
+  float* dst = out.data();
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
+    dst[i] = 1.0f / (1.0f + std::exp(-da[i]));
+  }
+  TensorImpl* pa = a.impl().get();
+  if (out.impl()->parents.size() == 1) {
+    out.impl()->backward_fn = [pa](const TensorImpl& self) {
+      for (std::size_t i = 0; i < self.grad.size(); ++i) {
+        const float y = self.data[i];
+        pa->grad[i] += self.grad[i] * y * (1.0f - y);
+      }
+    };
+  }
+  return out;
+}
+
+namespace {
+constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+constexpr float kGeluA = 0.044715f;
+}  // namespace
+
+Tensor gelu(const Tensor& a) {
+  TensorImpl* pa = a.impl().get();
+  Tensor out = make_result(a.shape(), {a.impl()}, [pa](const TensorImpl& self) {
+    for (std::size_t i = 0; i < self.grad.size(); ++i) {
+      const float x = pa->data[i];
+      const float u = kGeluC * (x + kGeluA * x * x * x);
+      const float t = std::tanh(u);
+      const float du = kGeluC * (1.0f + 3.0f * kGeluA * x * x);
+      const float dy = 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * du;
+      pa->grad[i] += self.grad[i] * dy;
+    }
+  });
+  const float* da = a.data();
+  float* dst = out.data();
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
+    const float x = da[i];
+    dst[i] = 0.5f * x * (1.0f + std::tanh(kGeluC * (x + kGeluA * x * x * x)));
+  }
+  return out;
+}
+
+Tensor dropout(const Tensor& a, float p, core::Rng& rng) {
+  if (p <= 0.0f) return mul_scalar(a, 1.0f);  // keeps graph shape uniform
+  if (p >= 1.0f) throw Error("dropout: p must be < 1");
+  auto mask = std::make_shared<std::vector<float>>(a.numel());
+  const float keep_scale = 1.0f / (1.0f - p);
+  for (float& m : *mask) m = rng.bernoulli(p) ? 0.0f : keep_scale;
+  TensorImpl* pa = a.impl().get();
+  Tensor out = make_result(a.shape(), {a.impl()}, [pa, mask](const TensorImpl& self) {
+    for (std::size_t i = 0; i < self.grad.size(); ++i) {
+      pa->grad[i] += self.grad[i] * (*mask)[i];
+    }
+  });
+  const float* da = a.data();
+  float* dst = out.data();
+  for (std::int64_t i = 0; i < out.numel(); ++i) dst[i] = da[i] * (*mask)[i];
+  return out;
+}
+
+Tensor sum_all(const Tensor& a) {
+  TensorImpl* pa = a.impl().get();
+  Tensor out = make_result({}, {a.impl()}, [pa](const TensorImpl& self) {
+    const float g = self.grad[0];
+    for (float& gi : pa->grad) gi += g;
+  });
+  double acc = 0.0;
+  const float* da = a.data();
+  for (std::int64_t i = 0; i < a.numel(); ++i) acc += da[i];
+  out.data()[0] = static_cast<float>(acc);
+  return out;
+}
+
+Tensor mean_all(const Tensor& a) {
+  const float inv = 1.0f / static_cast<float>(a.numel());
+  TensorImpl* pa = a.impl().get();
+  Tensor out = make_result({}, {a.impl()}, [pa, inv](const TensorImpl& self) {
+    const float g = self.grad[0] * inv;
+    for (float& gi : pa->grad) gi += g;
+  });
+  double acc = 0.0;
+  const float* da = a.data();
+  for (std::int64_t i = 0; i < a.numel(); ++i) acc += da[i];
+  out.data()[0] = static_cast<float>(acc) * inv;
+  return out;
+}
+
+}  // namespace cppflare::tensor

@@ -1,0 +1,212 @@
+#include <cmath>
+#include <memory>
+
+#include "tensor/ops.h"
+#include "tensor/ops_common.h"
+
+namespace cppflare::tensor {
+
+using detail::make_result;
+
+Tensor softmax_lastdim(const Tensor& a) {
+  if (a.dim() < 1) throw ShapeError("softmax_lastdim: rank-0 input");
+  const std::int64_t n = a.size(-1);
+  const std::int64_t rows = a.numel() / n;
+  TensorImpl* pa = a.impl().get();
+  Tensor out = make_result(a.shape(), {a.impl()},
+                           [pa, rows, n](const TensorImpl& self) {
+                             // dx = y * (dy - sum(dy * y)) per row.
+                             for (std::int64_t r = 0; r < rows; ++r) {
+                               const float* y = self.data.data() + r * n;
+                               const float* dy = self.grad.data() + r * n;
+                               float dot = 0.0f;
+                               for (std::int64_t j = 0; j < n; ++j) dot += dy[j] * y[j];
+                               float* dx = pa->grad.data() + r * n;
+                               for (std::int64_t j = 0; j < n; ++j) {
+                                 dx[j] += y[j] * (dy[j] - dot);
+                               }
+                             }
+                           });
+  const float* src = a.data();
+  float* dst = out.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* x = src + r * n;
+    float* y = dst + r * n;
+    float mx = x[0];
+    for (std::int64_t j = 1; j < n; ++j) mx = std::max(mx, x[j]);
+    float sum = 0.0f;
+    for (std::int64_t j = 0; j < n; ++j) {
+      y[j] = std::exp(x[j] - mx);
+      sum += y[j];
+    }
+    const float inv = 1.0f / sum;
+    for (std::int64_t j = 0; j < n; ++j) y[j] *= inv;
+  }
+  return out;
+}
+
+Tensor layer_norm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                  float eps) {
+  if (x.dim() < 1) throw ShapeError("layer_norm: rank-0 input");
+  const std::int64_t h = x.size(-1);
+  if (gamma.dim() != 1 || gamma.size(0) != h || beta.dim() != 1 || beta.size(0) != h) {
+    throw ShapeError("layer_norm: gamma/beta must be [" + std::to_string(h) + "]");
+  }
+  const std::int64_t rows = x.numel() / h;
+
+  // Save per-row mean and reciprocal stddev for the backward pass.
+  auto mean = std::make_shared<std::vector<float>>(rows);
+  auto rstd = std::make_shared<std::vector<float>>(rows);
+
+  TensorImpl* px = x.impl().get();
+  TensorImpl* pg = gamma.impl().get();
+  TensorImpl* pb = beta.impl().get();
+  Tensor out = make_result(
+      x.shape(), {x.impl(), gamma.impl(), beta.impl()},
+      [px, pg, pb, mean, rstd, rows, h](const TensorImpl& self) {
+        for (std::int64_t r = 0; r < rows; ++r) {
+          const float* xr = px->data.data() + r * h;
+          const float* dy = self.grad.data() + r * h;
+          const float mu = (*mean)[r];
+          const float rs = (*rstd)[r];
+          // xhat = (x - mu) * rs ;  y = xhat * gamma + beta
+          float sum_dyg = 0.0f;
+          float sum_dyg_xhat = 0.0f;
+          for (std::int64_t j = 0; j < h; ++j) {
+            const float xhat = (xr[j] - mu) * rs;
+            const float dyg = dy[j] * pg->data[j];
+            sum_dyg += dyg;
+            sum_dyg_xhat += dyg * xhat;
+            pg->grad[j] += dy[j] * xhat;
+            pb->grad[j] += dy[j];
+          }
+          const float inv_h = 1.0f / static_cast<float>(h);
+          float* dx = px->grad.data() + r * h;
+          for (std::int64_t j = 0; j < h; ++j) {
+            const float xhat = (xr[j] - mu) * rs;
+            const float dyg = dy[j] * pg->data[j];
+            dx[j] += rs * (dyg - inv_h * sum_dyg - xhat * inv_h * sum_dyg_xhat);
+          }
+        }
+      });
+
+  const float* src = x.data();
+  const float* g = gamma.data();
+  const float* b = beta.data();
+  float* dst = out.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* xr = src + r * h;
+    float mu = 0.0f;
+    for (std::int64_t j = 0; j < h; ++j) mu += xr[j];
+    mu /= static_cast<float>(h);
+    float var = 0.0f;
+    for (std::int64_t j = 0; j < h; ++j) {
+      const float d = xr[j] - mu;
+      var += d * d;
+    }
+    var /= static_cast<float>(h);
+    const float rs = 1.0f / std::sqrt(var + eps);
+    (*mean)[r] = mu;
+    (*rstd)[r] = rs;
+    float* y = dst + r * h;
+    for (std::int64_t j = 0; j < h; ++j) y[j] = (xr[j] - mu) * rs * g[j] + b[j];
+  }
+  return out;
+}
+
+Tensor embedding(const Tensor& weight, const std::vector<std::int64_t>& ids) {
+  if (weight.dim() != 2) {
+    throw ShapeError("embedding: weight must be 2D, got " +
+                     shape_to_string(weight.shape()));
+  }
+  const std::int64_t v = weight.size(0), h = weight.size(1);
+  const std::int64_t n = static_cast<std::int64_t>(ids.size());
+  for (std::int64_t id : ids) {
+    if (id < 0 || id >= v) {
+      throw ShapeError("embedding: id " + std::to_string(id) + " out of vocab " +
+                       std::to_string(v));
+    }
+  }
+  TensorImpl* pw = weight.impl().get();
+  auto ids_copy = std::make_shared<std::vector<std::int64_t>>(ids);
+  Tensor out = make_result({n, h}, {weight.impl()},
+                           [pw, ids_copy, h](const TensorImpl& self) {
+                             for (std::size_t i = 0; i < ids_copy->size(); ++i) {
+                               const float* g = self.grad.data() + i * h;
+                               float* wg = pw->grad.data() + (*ids_copy)[i] * h;
+                               for (std::int64_t j = 0; j < h; ++j) wg[j] += g[j];
+                             }
+                           });
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = weight.data() + ids[i] * h;
+    std::copy(row, row + h, out.data() + i * h);
+  }
+  return out;
+}
+
+Tensor cross_entropy(const Tensor& logits, const std::vector<std::int64_t>& targets,
+                     std::int64_t ignore_index) {
+  if (logits.dim() != 2) {
+    throw ShapeError("cross_entropy: logits must be 2D, got " +
+                     shape_to_string(logits.shape()));
+  }
+  const std::int64_t n = logits.size(0), c = logits.size(1);
+  if (static_cast<std::int64_t>(targets.size()) != n) {
+    throw ShapeError("cross_entropy: " + std::to_string(targets.size()) +
+                     " targets for " + std::to_string(n) + " rows");
+  }
+  std::int64_t active = 0;
+  for (std::int64_t t : targets) {
+    if (t == ignore_index) continue;
+    if (t < 0 || t >= c) {
+      throw ShapeError("cross_entropy: target " + std::to_string(t) +
+                       " out of range [0," + std::to_string(c) + ")");
+    }
+    ++active;
+  }
+  if (active == 0) throw Error("cross_entropy: all targets ignored");
+
+  // Cache the row-wise softmax for the backward pass.
+  auto probs = std::make_shared<std::vector<float>>(
+      static_cast<std::size_t>(n) * static_cast<std::size_t>(c));
+  auto tgt = std::make_shared<std::vector<std::int64_t>>(targets);
+
+  const float* x = logits.data();
+  double loss_acc = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = x + i * c;
+    float* p = probs->data() + i * c;
+    float mx = row[0];
+    for (std::int64_t j = 1; j < c; ++j) mx = std::max(mx, row[j]);
+    float sum = 0.0f;
+    for (std::int64_t j = 0; j < c; ++j) {
+      p[j] = std::exp(row[j] - mx);
+      sum += p[j];
+    }
+    const float inv = 1.0f / sum;
+    for (std::int64_t j = 0; j < c; ++j) p[j] *= inv;
+    if ((*tgt)[i] != ignore_index) {
+      const float pt = std::max(p[(*tgt)[i]], 1e-12f);
+      loss_acc -= std::log(pt);
+    }
+  }
+
+  TensorImpl* pl = logits.impl().get();
+  const float inv_active = 1.0f / static_cast<float>(active);
+  Tensor out = make_result(
+      {}, {logits.impl()},
+      [pl, probs, tgt, n, c, ignore_index, inv_active](const TensorImpl& self) {
+        const float g = self.grad[0] * inv_active;
+        for (std::int64_t i = 0; i < n; ++i) {
+          if ((*tgt)[i] == ignore_index) continue;
+          const float* p = probs->data() + i * c;
+          float* dl = pl->grad.data() + i * c;
+          for (std::int64_t j = 0; j < c; ++j) dl[j] += g * p[j];
+          dl[(*tgt)[i]] -= g;
+        }
+      });
+  out.data()[0] = static_cast<float>(loss_acc) * inv_active;
+  return out;
+}
+
+}  // namespace cppflare::tensor

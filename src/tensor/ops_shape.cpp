@@ -1,0 +1,270 @@
+#include <numeric>
+
+#include "tensor/ops.h"
+#include "tensor/ops_common.h"
+
+namespace cppflare::tensor {
+
+using detail::make_result;
+
+Tensor reshape(const Tensor& a, Shape shape) {
+  if (numel_of(shape) != a.numel()) {
+    throw ShapeError("reshape: cannot view " + shape_to_string(a.shape()) + " as " +
+                     shape_to_string(shape));
+  }
+  TensorImpl* pa = a.impl().get();
+  Tensor out = make_result(std::move(shape), {a.impl()},
+                           [pa](const TensorImpl& self) {
+                             for (std::size_t i = 0; i < self.grad.size(); ++i) {
+                               pa->grad[i] += self.grad[i];
+                             }
+                           });
+  out.vec() = a.vec();
+  return out;
+}
+
+namespace {
+
+/// Row-major strides for a shape.
+std::vector<std::int64_t> strides_of(const Shape& shape) {
+  std::vector<std::int64_t> strides(shape.size(), 1);
+  for (std::size_t i = shape.size(); i-- > 1;) {
+    strides[i - 1] = strides[i] * shape[i];
+  }
+  return strides;
+}
+
+/// Copies `src` (laid out as `src_shape`) into `dst` permuted by `perm`:
+/// dst index (i_perm[0], ..., i_perm[r-1]) = src index (i_0, ..., i_{r-1}).
+/// When `transpose_direction` is true the roles are swapped, which realizes
+/// the inverse permutation without computing it explicitly.
+void permute_copy(const float* src, float* dst, const Shape& src_shape,
+                  const std::vector<std::int64_t>& perm, bool inverse) {
+  const std::size_t rank = src_shape.size();
+  Shape dst_shape(rank);
+  for (std::size_t i = 0; i < rank; ++i) dst_shape[i] = src_shape[perm[i]];
+  const auto dst_strides = strides_of(dst_shape);
+
+  // Walk the source linearly; compute the destination offset incrementally.
+  std::vector<std::int64_t> idx(rank, 0);
+  const std::int64_t total = numel_of(src_shape);
+  // dst position of source axis k is perm^{-1}(k); precompute the stride the
+  // destination offset moves by when source index k increments.
+  std::vector<std::int64_t> dst_stride_for_src_axis(rank, 0);
+  for (std::size_t d = 0; d < rank; ++d) {
+    dst_stride_for_src_axis[perm[d]] = dst_strides[d];
+  }
+  std::int64_t dst_off = 0;
+  for (std::int64_t linear = 0; linear < total; ++linear) {
+    if (inverse) {
+      dst[linear] += src[dst_off];
+    } else {
+      dst[dst_off] = src[linear];
+    }
+    // Increment the multi-index (row-major, last axis fastest).
+    for (std::size_t k = rank; k-- > 0;) {
+      idx[k] += 1;
+      dst_off += dst_stride_for_src_axis[k];
+      if (idx[k] < src_shape[k]) break;
+      dst_off -= dst_stride_for_src_axis[k] * src_shape[k];
+      idx[k] = 0;
+    }
+  }
+}
+
+}  // namespace
+
+Tensor permute(const Tensor& a, const std::vector<std::int64_t>& perm) {
+  const std::size_t rank = a.shape().size();
+  if (perm.size() != rank) {
+    throw ShapeError("permute: perm size " + std::to_string(perm.size()) +
+                     " vs rank " + std::to_string(rank));
+  }
+  std::vector<bool> seen(rank, false);
+  Shape out_shape(rank);
+  for (std::size_t i = 0; i < rank; ++i) {
+    const std::int64_t p = perm[i];
+    if (p < 0 || p >= static_cast<std::int64_t>(rank) || seen[p]) {
+      throw ShapeError("permute: invalid permutation");
+    }
+    seen[p] = true;
+    out_shape[i] = a.shape()[p];
+  }
+  TensorImpl* pa = a.impl().get();
+  const Shape src_shape = a.shape();
+  Tensor out = make_result(out_shape, {a.impl()},
+                           [pa, src_shape, perm](const TensorImpl& self) {
+                             permute_copy(self.grad.data(), pa->grad.data(),
+                                          src_shape, perm, /*inverse=*/true);
+                           });
+  permute_copy(a.data(), out.data(), src_shape, perm, /*inverse=*/false);
+  return out;
+}
+
+Tensor select_dim1(const Tensor& x, std::int64_t index) {
+  if (x.dim() != 3) {
+    throw ShapeError("select_dim1: expected 3D, got " + shape_to_string(x.shape()));
+  }
+  const std::int64_t b = x.size(0), t = x.size(1), h = x.size(2);
+  if (index < 0 || index >= t) {
+    throw ShapeError("select_dim1: index " + std::to_string(index) + " out of [0," +
+                     std::to_string(t) + ")");
+  }
+  TensorImpl* px = x.impl().get();
+  Tensor out = make_result({b, h}, {x.impl()},
+                           [px, b, t, h, index](const TensorImpl& self) {
+                             for (std::int64_t i = 0; i < b; ++i) {
+                               float* g = px->grad.data() + (i * t + index) * h;
+                               const float* s = self.grad.data() + i * h;
+                               for (std::int64_t j = 0; j < h; ++j) g[j] += s[j];
+                             }
+                           });
+  for (std::int64_t i = 0; i < b; ++i) {
+    const float* src = x.data() + (i * t + index) * h;
+    float* dst = out.data() + i * h;
+    std::copy(src, src + h, dst);
+  }
+  return out;
+}
+
+Tensor slice_cols(const Tensor& x, std::int64_t start, std::int64_t len) {
+  if (x.dim() != 2) {
+    throw ShapeError("slice_cols: expected 2D, got " + shape_to_string(x.shape()));
+  }
+  const std::int64_t m = x.size(0), n = x.size(1);
+  if (start < 0 || len <= 0 || start + len > n) {
+    throw ShapeError("slice_cols: range [" + std::to_string(start) + ", " +
+                     std::to_string(start + len) + ") out of " + std::to_string(n));
+  }
+  TensorImpl* px = x.impl().get();
+  Tensor out = make_result({m, len}, {x.impl()},
+                           [px, m, n, start, len](const TensorImpl& self) {
+                             for (std::int64_t i = 0; i < m; ++i) {
+                               float* g = px->grad.data() + i * n + start;
+                               const float* s = self.grad.data() + i * len;
+                               for (std::int64_t j = 0; j < len; ++j) g[j] += s[j];
+                             }
+                           });
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* src = x.data() + i * n + start;
+    std::copy(src, src + len, out.data() + i * len);
+  }
+  return out;
+}
+
+Tensor concat_cols(const std::vector<Tensor>& parts) {
+  if (parts.empty()) throw ShapeError("concat_cols: no inputs");
+  const std::int64_t m = parts[0].size(0);
+  std::int64_t total = 0;
+  std::vector<ImplPtr> parents;
+  parents.reserve(parts.size());
+  for (const Tensor& p : parts) {
+    if (p.dim() != 2 || p.size(0) != m) {
+      throw ShapeError("concat_cols: inconsistent shapes");
+    }
+    total += p.size(1);
+    parents.push_back(p.impl());
+  }
+  std::vector<TensorImpl*> raw;
+  std::vector<std::int64_t> widths;
+  raw.reserve(parts.size());
+  for (const Tensor& p : parts) {
+    raw.push_back(p.impl().get());
+    widths.push_back(p.size(1));
+  }
+  Tensor out = make_result({m, total}, std::move(parents),
+                           [raw, widths, m, total](const TensorImpl& self) {
+                             std::int64_t off = 0;
+                             for (std::size_t pi = 0; pi < raw.size(); ++pi) {
+                               const std::int64_t w = widths[pi];
+                               for (std::int64_t i = 0; i < m; ++i) {
+                                 const float* s = self.grad.data() + i * total + off;
+                                 float* g = raw[pi]->grad.data() + i * w;
+                                 for (std::int64_t j = 0; j < w; ++j) g[j] += s[j];
+                               }
+                               off += w;
+                             }
+                           });
+  std::int64_t off = 0;
+  for (const Tensor& p : parts) {
+    const std::int64_t w = p.size(1);
+    for (std::int64_t i = 0; i < m; ++i) {
+      std::copy(p.data() + i * w, p.data() + (i + 1) * w,
+                out.data() + i * total + off);
+    }
+    off += w;
+  }
+  return out;
+}
+
+Tensor stack_dim1(const std::vector<Tensor>& steps) {
+  if (steps.empty()) throw ShapeError("stack_dim1: no inputs");
+  const std::int64_t b = steps[0].size(0), h = steps[0].size(1);
+  const std::int64_t t = static_cast<std::int64_t>(steps.size());
+  std::vector<ImplPtr> parents;
+  std::vector<TensorImpl*> raw;
+  parents.reserve(steps.size());
+  raw.reserve(steps.size());
+  for (const Tensor& s : steps) {
+    if (s.dim() != 2 || s.size(0) != b || s.size(1) != h) {
+      throw ShapeError("stack_dim1: inconsistent step shapes");
+    }
+    parents.push_back(s.impl());
+    raw.push_back(s.impl().get());
+  }
+  Tensor out = make_result({b, t, h}, std::move(parents),
+                           [raw, b, t, h](const TensorImpl& self) {
+                             for (std::int64_t ti = 0; ti < t; ++ti) {
+                               for (std::int64_t bi = 0; bi < b; ++bi) {
+                                 const float* g =
+                                     self.grad.data() + (bi * t + ti) * h;
+                                 float* pg = raw[ti]->grad.data() + bi * h;
+                                 for (std::int64_t j = 0; j < h; ++j) pg[j] += g[j];
+                               }
+                             }
+                           });
+  for (std::int64_t ti = 0; ti < t; ++ti) {
+    for (std::int64_t bi = 0; bi < b; ++bi) {
+      const float* src = steps[ti].data() + bi * h;
+      std::copy(src, src + h, out.data() + (bi * t + ti) * h);
+    }
+  }
+  return out;
+}
+
+Tensor gather_dim1(const Tensor& x, const std::vector<std::int64_t>& idx) {
+  if (x.dim() != 3) {
+    throw ShapeError("gather_dim1: expected 3D, got " + shape_to_string(x.shape()));
+  }
+  const std::int64_t b = x.size(0), t = x.size(1), h = x.size(2);
+  if (static_cast<std::int64_t>(idx.size()) != b) {
+    throw ShapeError("gather_dim1: " + std::to_string(idx.size()) +
+                     " indices for batch " + std::to_string(b));
+  }
+  for (std::int64_t i : idx) {
+    if (i < 0 || i >= t) {
+      throw ShapeError("gather_dim1: index " + std::to_string(i) + " out of [0," +
+                       std::to_string(t) + ")");
+    }
+  }
+  TensorImpl* px = x.impl().get();
+  auto idx_copy = std::make_shared<std::vector<std::int64_t>>(idx);
+  Tensor out = make_result({b, h}, {x.impl()},
+                           [px, idx_copy, t, h](const TensorImpl& self) {
+                             for (std::size_t bi = 0; bi < idx_copy->size(); ++bi) {
+                               const float* g = self.grad.data() + bi * h;
+                               float* pg = px->grad.data() +
+                                           (static_cast<std::int64_t>(bi) * t +
+                                            (*idx_copy)[bi]) *
+                                               h;
+                               for (std::int64_t j = 0; j < h; ++j) pg[j] += g[j];
+                             }
+                           });
+  for (std::int64_t bi = 0; bi < b; ++bi) {
+    const float* src = x.data() + (bi * t + idx[bi]) * h;
+    std::copy(src, src + h, out.data() + bi * h);
+  }
+  return out;
+}
+
+}  // namespace cppflare::tensor

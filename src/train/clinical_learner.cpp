@@ -1,0 +1,153 @@
+#include "train/clinical_learner.h"
+
+#include <cstdio>
+
+#include "core/error.h"
+#include "core/logging.h"
+
+namespace cppflare::train {
+
+namespace {
+
+const core::Logger& learner_log() {
+  static core::Logger log("CiBertLearner");
+  return log;
+}
+
+/// global - reference, producing a kWeightDiff payload.
+nn::StateDict diff_of(const nn::StateDict& updated, const nn::StateDict& reference) {
+  nn::StateDict diff = updated;
+  diff.axpy(-1.0f, reference);
+  return diff;
+}
+
+}  // namespace
+
+ClinicalLearner::ClinicalLearner(std::string site_name,
+                                 std::shared_ptr<models::SequenceClassifier> model,
+                                 data::Dataset local_train, data::Dataset valid_set,
+                                 LearnerOptions options)
+    : site_name_(std::move(site_name)),
+      model_(std::move(model)),
+      local_train_(std::move(local_train)),
+      valid_set_(std::move(valid_set)),
+      options_(options) {
+  if (local_train_.empty()) throw Error("ClinicalLearner: empty local dataset");
+}
+
+flare::Dxo ClinicalLearner::train(const flare::Dxo& global_model,
+                                  const flare::FLContext& ctx) {
+  if (global_model.kind() != flare::DxoKind::kWeights) {
+    throw ProtocolError("ClinicalLearner: expected kWeights task payload");
+  }
+  model_->load_state_dict(global_model.data());
+
+  TrainOptions topts;
+  topts.epochs = options_.local_epochs;
+  topts.batch_size = options_.batch_size;
+  topts.lr = options_.lr;
+  topts.weight_decay = options_.weight_decay;
+  topts.clip_norm = options_.clip_norm;
+  // Per-site, per-round stream so sites do not share dropout/shuffle noise.
+  topts.seed = options_.seed ^ (static_cast<std::uint64_t>(ctx.current_round) << 20) ^
+               std::hash<std::string>{}(site_name_);
+  ClassifierTrainer trainer(model_, topts);
+  if (options_.fedprox_mu > 0.0) {
+    trainer.set_proximal_term(global_model.data(), options_.fedprox_mu);
+  }
+
+  double train_loss = 0.0;
+  for (std::int64_t e = 0; e < options_.local_epochs; ++e) {
+    train_loss = trainer.train_epoch(local_train_);
+    if (options_.verbose) {
+      char buf[200];
+      std::snprintf(buf, sizeof(buf),
+                    "Local epoch %s: %lld/%lld (lr=%.3g), train_loss=%.3f",
+                    site_name_.c_str(), static_cast<long long>(e + 1),
+                    static_cast<long long>(options_.local_epochs), options_.lr,
+                    train_loss);
+      learner_log().info(buf);
+    }
+  }
+  const EvalResult eval = valid_set_.empty()
+                              ? EvalResult{}
+                              : evaluate(*model_, valid_set_, options_.batch_size);
+  if (options_.verbose && !valid_set_.empty()) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "Validation %s: valid_acc=%.3f", site_name_.c_str(),
+                  eval.accuracy);
+    learner_log().info(buf);
+  }
+
+  last_local_model_ = model_->state_dict();
+  flare::Dxo update;
+  if (options_.send_diff) {
+    update = flare::Dxo(flare::DxoKind::kWeightDiff,
+                        diff_of(last_local_model_, global_model.data()));
+  } else {
+    update = flare::Dxo(flare::DxoKind::kWeights, last_local_model_);
+  }
+  update.set_meta_int(flare::Dxo::kMetaNumSamples, local_train_.size());
+  update.set_meta_double(flare::Dxo::kMetaTrainLoss, train_loss);
+  update.set_meta_double(flare::Dxo::kMetaValidAcc, eval.accuracy);
+  update.set_meta_double(flare::Dxo::kMetaValidLoss, eval.loss);
+  update.set_meta_int(flare::Dxo::kMetaRound, ctx.current_round);
+  return update;
+}
+
+MlmFederatedLearner::MlmFederatedLearner(
+    std::string site_name, std::shared_ptr<models::BertForPretraining> model,
+    data::MlmMasker masker, data::Dataset local_corpus, data::Dataset valid_corpus,
+    LearnerOptions options)
+    : site_name_(std::move(site_name)),
+      model_(std::move(model)),
+      masker_(std::move(masker)),
+      local_corpus_(std::move(local_corpus)),
+      valid_corpus_(std::move(valid_corpus)),
+      options_(options) {
+  if (local_corpus_.empty()) throw Error("MlmFederatedLearner: empty corpus");
+}
+
+flare::Dxo MlmFederatedLearner::train(const flare::Dxo& global_model,
+                                      const flare::FLContext& ctx) {
+  if (global_model.kind() != flare::DxoKind::kWeights) {
+    throw ProtocolError("MlmFederatedLearner: expected kWeights task payload");
+  }
+  model_->load_state_dict(global_model.data());
+
+  TrainOptions topts;
+  topts.epochs = options_.local_epochs;
+  topts.batch_size = options_.batch_size;
+  topts.lr = options_.lr;
+  topts.weight_decay = options_.weight_decay;
+  topts.clip_norm = options_.clip_norm;
+  topts.seed = options_.seed ^ (static_cast<std::uint64_t>(ctx.current_round) << 20) ^
+               std::hash<std::string>{}(site_name_);
+  MlmTrainer trainer(model_, masker_, topts);
+
+  double train_loss = 0.0;
+  for (std::int64_t e = 0; e < options_.local_epochs; ++e) {
+    train_loss = trainer.train_epoch(local_corpus_);
+    if (options_.verbose) {
+      char buf[200];
+      std::snprintf(buf, sizeof(buf),
+                    "Local MLM epoch %s: %lld/%lld (lr=%.3g), mlm_loss=%.3f",
+                    site_name_.c_str(), static_cast<long long>(e + 1),
+                    static_cast<long long>(options_.local_epochs), options_.lr,
+                    train_loss);
+      learner_log().info(buf);
+    }
+  }
+  const double valid_loss =
+      valid_corpus_.empty() ? 0.0 : trainer.evaluate(valid_corpus_);
+
+  flare::Dxo update(flare::DxoKind::kWeights, model_->state_dict());
+  update.set_meta_int(flare::Dxo::kMetaNumSamples, local_corpus_.size());
+  update.set_meta_double(flare::Dxo::kMetaTrainLoss, train_loss);
+  update.set_meta_double(flare::Dxo::kMetaValidLoss, valid_loss);
+  update.set_meta_double(flare::Dxo::kMetaValidAcc, 0.0);
+  update.set_meta_int(flare::Dxo::kMetaRound, ctx.current_round);
+  return update;
+}
+
+}  // namespace cppflare::train

@@ -1,0 +1,81 @@
+// Federated learners.
+//
+// `ClinicalLearner` is the C++ counterpart of the paper's `CiBertLearner`:
+// it receives the round's global weights, fine-tunes the site's classifier
+// on local ADR data for a number of local epochs, validates, and returns
+// the contribution DXO. `MlmFederatedLearner` does the same for the BERT
+// masked-LM pretraining task (Fig. 2's FL schemes).
+#pragma once
+
+#include <memory>
+
+#include "data/mlm.h"
+#include "flare/learner.h"
+#include "models/bert.h"
+#include "models/classifier.h"
+#include "train/trainer.h"
+
+namespace cppflare::train {
+
+struct LearnerOptions {
+  std::int64_t local_epochs = 1;
+  std::int64_t batch_size = 16;
+  double lr = 1e-2;
+  double weight_decay = 0.0;
+  float clip_norm = 1.0f;
+  std::uint64_t seed = 5150;
+  bool verbose = true;
+  /// Send weight deltas instead of full weights.
+  bool send_diff = false;
+  /// FedProx proximal coefficient; 0 = plain FedAvg local training.
+  double fedprox_mu = 0.0;
+};
+
+class ClinicalLearner : public flare::Learner {
+ public:
+  ClinicalLearner(std::string site_name,
+                  std::shared_ptr<models::SequenceClassifier> model,
+                  data::Dataset local_train, data::Dataset valid_set,
+                  LearnerOptions options);
+
+  flare::Dxo train(const flare::Dxo& global_model,
+                   const flare::FLContext& ctx) override;
+  std::string site_name() const override { return site_name_; }
+
+  const data::Dataset& local_data() const { return local_train_; }
+  const data::Dataset& valid_data() const { return valid_set_; }
+
+  /// State dict after the most recent local training round; used by the
+  /// cross-site evaluation workflow. Empty before the first round.
+  const nn::StateDict& last_local_model() const { return last_local_model_; }
+
+ private:
+  std::string site_name_;
+  std::shared_ptr<models::SequenceClassifier> model_;
+  data::Dataset local_train_;
+  data::Dataset valid_set_;
+  LearnerOptions options_;
+  nn::StateDict last_local_model_;
+};
+
+class MlmFederatedLearner : public flare::Learner {
+ public:
+  MlmFederatedLearner(std::string site_name,
+                      std::shared_ptr<models::BertForPretraining> model,
+                      data::MlmMasker masker, data::Dataset local_corpus,
+                      data::Dataset valid_corpus, LearnerOptions options);
+
+  flare::Dxo train(const flare::Dxo& global_model,
+                   const flare::FLContext& ctx) override;
+  std::string site_name() const override { return site_name_; }
+
+ private:
+  std::string site_name_;
+  std::shared_ptr<models::BertForPretraining> model_;
+  data::MlmMasker masker_;
+  data::Dataset local_corpus_;
+  data::Dataset valid_corpus_;
+  LearnerOptions options_;
+};
+
+}  // namespace cppflare::train

@@ -1,0 +1,125 @@
+#include "train/clinical_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/error.h"
+#include "tensor/ops.h"
+
+namespace cppflare::train {
+
+double ConfusionMatrix::accuracy() const {
+  const std::int64_t n = total();
+  return n == 0 ? 0.0
+               : static_cast<double>(true_positive + true_negative) /
+                     static_cast<double>(n);
+}
+
+double ConfusionMatrix::sensitivity() const {
+  const std::int64_t pos = true_positive + false_negative;
+  return pos == 0 ? 0.0 : static_cast<double>(true_positive) / pos;
+}
+
+double ConfusionMatrix::specificity() const {
+  const std::int64_t neg = true_negative + false_positive;
+  return neg == 0 ? 0.0 : static_cast<double>(true_negative) / neg;
+}
+
+double ConfusionMatrix::precision() const {
+  const std::int64_t pred_pos = true_positive + false_positive;
+  return pred_pos == 0 ? 0.0 : static_cast<double>(true_positive) / pred_pos;
+}
+
+double ConfusionMatrix::f1() const {
+  const double p = precision();
+  const double r = sensitivity();
+  return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+ConfusionMatrix confusion_at(const std::vector<double>& scores,
+                             const std::vector<std::int64_t>& labels,
+                             double threshold) {
+  if (scores.size() != labels.size()) {
+    throw Error("confusion_at: scores/labels size mismatch");
+  }
+  ConfusionMatrix cm;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    const bool predicted = scores[i] >= threshold;
+    const bool actual = labels[i] == 1;
+    if (predicted && actual) ++cm.true_positive;
+    if (predicted && !actual) ++cm.false_positive;
+    if (!predicted && !actual) ++cm.true_negative;
+    if (!predicted && actual) ++cm.false_negative;
+  }
+  return cm;
+}
+
+double auroc(const std::vector<double>& scores,
+             const std::vector<std::int64_t>& labels) {
+  if (scores.size() != labels.size()) {
+    throw Error("auroc: scores/labels size mismatch");
+  }
+  // Rank-based Mann-Whitney: AUC = (R_pos - n_pos(n_pos+1)/2) / (n_pos*n_neg)
+  // with midranks for ties.
+  const std::size_t n = scores.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return scores[a] < scores[b]; });
+
+  std::vector<double> rank(n);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    const double midrank = 0.5 * static_cast<double>(i + j) + 1.0;
+    for (std::size_t k = i; k <= j; ++k) rank[order[k]] = midrank;
+    i = j + 1;
+  }
+
+  double pos_rank_sum = 0.0;
+  std::int64_t n_pos = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (labels[k] == 1) {
+      pos_rank_sum += rank[k];
+      ++n_pos;
+    }
+  }
+  const std::int64_t n_neg = static_cast<std::int64_t>(n) - n_pos;
+  if (n_pos == 0 || n_neg == 0) return 0.5;
+  return (pos_rank_sum - 0.5 * static_cast<double>(n_pos) * (n_pos + 1)) /
+         (static_cast<double>(n_pos) * static_cast<double>(n_neg));
+}
+
+ScoredPredictions score_dataset(models::SequenceClassifier& model,
+                                const data::Dataset& dataset,
+                                std::int64_t batch_size) {
+  if (dataset.empty()) throw Error("score_dataset: empty dataset");
+  const bool was_training = model.training();
+  model.set_training(false);
+  tensor::NoGradGuard no_grad;
+  core::Rng rng(0);
+
+  ScoredPredictions out;
+  std::vector<std::int64_t> order(static_cast<std::size_t>(dataset.size()));
+  std::iota(order.begin(), order.end(), 0);
+  for (std::int64_t begin = 0; begin < dataset.size(); begin += batch_size) {
+    const std::int64_t end = std::min(begin + batch_size, dataset.size());
+    const data::Batch batch = data::collate(dataset.samples(), order, begin, end);
+    const tensor::Tensor logits = model.class_logits(batch, rng);
+    if (logits.size(1) != 2) {
+      throw Error("score_dataset: binary classifier expected");
+    }
+    for (std::int64_t r = 0; r < batch.batch_size; ++r) {
+      const float z0 = logits.data()[r * 2];
+      const float z1 = logits.data()[r * 2 + 1];
+      out.scores.push_back(1.0 / (1.0 + std::exp(static_cast<double>(z0 - z1))));
+      out.labels.push_back(batch.labels[static_cast<std::size_t>(r)]);
+    }
+  }
+  model.set_training(was_training);
+  return out;
+}
+
+}  // namespace cppflare::train

@@ -1,0 +1,59 @@
+// Clinical classification metrics beyond top-1 accuracy.
+//
+// The paper reports only top-1 accuracy, but ADR detection is an
+// imbalanced screening problem where sensitivity/specificity and AUROC are
+// the clinically meaningful quantities; this module adds them as an
+// extension (and the examples report them alongside accuracy).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "models/classifier.h"
+
+namespace cppflare::train {
+
+struct ConfusionMatrix {
+  std::int64_t true_positive = 0;
+  std::int64_t false_positive = 0;
+  std::int64_t true_negative = 0;
+  std::int64_t false_negative = 0;
+
+  std::int64_t total() const {
+    return true_positive + false_positive + true_negative + false_negative;
+  }
+  double accuracy() const;
+  /// Sensitivity / recall: TP / (TP + FN). 0 when no positives exist.
+  double sensitivity() const;
+  /// Specificity: TN / (TN + FP). 0 when no negatives exist.
+  double specificity() const;
+  /// Precision / PPV: TP / (TP + FP). 0 when nothing predicted positive.
+  double precision() const;
+  /// F1 = harmonic mean of precision and sensitivity.
+  double f1() const;
+};
+
+/// Builds the confusion matrix from positive-class scores thresholded at
+/// `threshold`. Labels are 0/1; scores are P(class 1) or any monotone
+/// surrogate (e.g. logit difference).
+ConfusionMatrix confusion_at(const std::vector<double>& scores,
+                             const std::vector<std::int64_t>& labels,
+                             double threshold = 0.5);
+
+/// Area under the ROC curve by the Mann-Whitney U statistic (ties counted
+/// half). Returns 0.5 when either class is absent.
+double auroc(const std::vector<double>& scores,
+             const std::vector<std::int64_t>& labels);
+
+/// Full evaluation of a classifier on a dataset: collects positive-class
+/// probabilities (softmax over the two logits) and labels.
+struct ScoredPredictions {
+  std::vector<double> scores;  // P(label == 1)
+  std::vector<std::int64_t> labels;
+};
+ScoredPredictions score_dataset(models::SequenceClassifier& model,
+                                const data::Dataset& dataset,
+                                std::int64_t batch_size);
+
+}  // namespace cppflare::train

@@ -1,0 +1,74 @@
+#include "train/cross_site.h"
+
+#include <cstdio>
+
+#include "core/error.h"
+#include "models/lstm_classifier.h"
+
+namespace cppflare::train {
+
+std::string CrossSiteResult::to_table() const {
+  std::string out;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%-14s", "model\\site");
+  out += buf;
+  for (const std::string& site : site_names) {
+    std::snprintf(buf, sizeof(buf), " | %-8s", site.c_str());
+    out += buf;
+  }
+  out += "\n";
+  for (std::size_t m = 0; m < model_names.size(); ++m) {
+    std::snprintf(buf, sizeof(buf), "%-14s", model_names[m].c_str());
+    out += buf;
+    for (std::size_t s = 0; s < site_names.size(); ++s) {
+      std::snprintf(buf, sizeof(buf), " | %6.1f%%%s", 100.0 * matrix[m][s].accuracy,
+                    " ");
+      out += buf;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::size_t CrossSiteResult::best_model_index() const {
+  if (matrix.empty()) throw Error("CrossSiteResult: empty matrix");
+  std::size_t best = 0;
+  double best_mean = -1.0;
+  for (std::size_t m = 0; m < matrix.size(); ++m) {
+    double mean = 0.0;
+    for (const EvalResult& r : matrix[m]) mean += r.accuracy;
+    mean /= static_cast<double>(matrix[m].size());
+    if (mean > best_mean) {
+      best_mean = mean;
+      best = m;
+    }
+  }
+  return best;
+}
+
+CrossSiteResult cross_site_evaluate(
+    const models::ModelConfig& config,
+    const std::vector<std::pair<std::string, nn::StateDict>>& candidate_models,
+    const std::vector<std::pair<std::string, data::Dataset>>& site_data,
+    std::int64_t batch_size, std::uint64_t seed) {
+  if (candidate_models.empty() || site_data.empty()) {
+    throw Error("cross_site_evaluate: need at least one model and one site");
+  }
+  core::Rng rng(seed);
+  auto probe = models::make_classifier(config, rng);
+
+  CrossSiteResult result;
+  for (const auto& [name, dict] : candidate_models) result.model_names.push_back(name);
+  for (const auto& [name, dataset] : site_data) result.site_names.push_back(name);
+
+  result.matrix.resize(candidate_models.size());
+  for (std::size_t m = 0; m < candidate_models.size(); ++m) {
+    probe->load_state_dict(candidate_models[m].second);
+    for (const auto& [site, dataset] : site_data) {
+      result.matrix[m].push_back(evaluate(*probe, dataset, batch_size));
+    }
+  }
+  return result;
+}
+
+}  // namespace cppflare::train

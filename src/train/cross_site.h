@@ -1,0 +1,40 @@
+// Cross-site model evaluation (NVFlare's CrossSiteModelEval workflow).
+//
+// After federated training, every candidate model (the global model and
+// each site's final local model) is evaluated on every site's local
+// validation data, yielding the accuracy matrix NVFlare reports. Off-
+// diagonal entries expose generalization across clinics; a local model
+// that only wins on its own row is overfit to that site's distribution.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "models/classifier.h"
+#include "nn/state_dict.h"
+#include "train/metrics.h"
+
+namespace cppflare::train {
+
+struct CrossSiteResult {
+  std::vector<std::string> model_names;  // rows
+  std::vector<std::string> site_names;   // columns
+  // matrix[m][s] = evaluation of model m on site s's data.
+  std::vector<std::vector<EvalResult>> matrix;
+
+  /// Rendered table (accuracy %), for logs and benches.
+  std::string to_table() const;
+
+  /// Index of the row with the best mean accuracy across sites.
+  std::size_t best_model_index() const;
+};
+
+/// Evaluates every (model, site) pair. All models must fit `config`.
+CrossSiteResult cross_site_evaluate(
+    const models::ModelConfig& config,
+    const std::vector<std::pair<std::string, nn::StateDict>>& candidate_models,
+    const std::vector<std::pair<std::string, data::Dataset>>& site_data,
+    std::int64_t batch_size = 16, std::uint64_t seed = 7);
+
+}  // namespace cppflare::train

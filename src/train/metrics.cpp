@@ -1,0 +1,57 @@
+#include "train/metrics.h"
+
+#include "core/error.h"
+#include "tensor/ops.h"
+
+namespace cppflare::train {
+
+double top1_accuracy(const tensor::Tensor& logits,
+                     const std::vector<std::int64_t>& labels) {
+  if (logits.dim() != 2 ||
+      logits.size(0) != static_cast<std::int64_t>(labels.size())) {
+    throw Error("top1_accuracy: logits/labels mismatch");
+  }
+  const std::int64_t n = logits.size(0), c = logits.size(1);
+  std::int64_t correct = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * c;
+    std::int64_t best = 0;
+    for (std::int64_t j = 1; j < c; ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    if (best == labels[static_cast<std::size_t>(i)]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+EvalResult evaluate(models::SequenceClassifier& model, const data::Dataset& dataset,
+                    std::int64_t batch_size) {
+  if (dataset.empty()) throw Error("evaluate: empty dataset");
+  const bool was_training = model.training();
+  model.set_training(false);
+  tensor::NoGradGuard no_grad;
+  core::Rng rng(0);  // unused in eval mode (no dropout), but required by API
+
+  EvalResult result;
+  RunningMean loss_mean;
+  std::int64_t correct = 0;
+  std::vector<std::int64_t> order(static_cast<std::size_t>(dataset.size()));
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<std::int64_t>(i);
+  for (std::int64_t begin = 0; begin < dataset.size(); begin += batch_size) {
+    const std::int64_t end = std::min(begin + batch_size, dataset.size());
+    const data::Batch batch = data::collate(dataset.samples(), order, begin, end);
+    const tensor::Tensor logits = model.class_logits(batch, rng);
+    const tensor::Tensor loss = tensor::cross_entropy(logits, batch.labels);
+    loss_mean.add(loss.item(), batch.batch_size);
+    correct += static_cast<std::int64_t>(
+        top1_accuracy(logits, batch.labels) * static_cast<double>(batch.batch_size) +
+        0.5);
+  }
+  model.set_training(was_training);
+  result.loss = loss_mean.mean();
+  result.count = dataset.size();
+  result.accuracy = static_cast<double>(correct) / static_cast<double>(dataset.size());
+  return result;
+}
+
+}  // namespace cppflare::train

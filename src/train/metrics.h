@@ -1,0 +1,44 @@
+// Evaluation metrics (top-1 accuracy, mean loss).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.h"
+#include "data/dataset.h"
+#include "models/classifier.h"
+#include "tensor/tensor.h"
+
+namespace cppflare::train {
+
+struct EvalResult {
+  double loss = 0.0;
+  double accuracy = 0.0;
+  std::int64_t count = 0;
+};
+
+/// Fraction of rows whose argmax matches the label.
+double top1_accuracy(const tensor::Tensor& logits,
+                     const std::vector<std::int64_t>& labels);
+
+/// Full-dataset evaluation in eval mode (no dropout, no autograd). The
+/// model's training flag is restored afterwards.
+EvalResult evaluate(models::SequenceClassifier& model, const data::Dataset& dataset,
+                    std::int64_t batch_size);
+
+/// Streaming mean for per-epoch loss reporting.
+class RunningMean {
+ public:
+  void add(double value, std::int64_t weight = 1) {
+    sum_ += value * static_cast<double>(weight);
+    count_ += weight;
+  }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  std::int64_t count() const { return count_; }
+
+ private:
+  double sum_ = 0.0;
+  std::int64_t count_ = 0;
+};
+
+}  // namespace cppflare::train

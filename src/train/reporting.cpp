@@ -1,0 +1,62 @@
+#include "train/reporting.h"
+
+#include <fstream>
+
+#include "core/error.h"
+
+namespace cppflare::train {
+
+namespace {
+std::ofstream open_csv(const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw Error("reporting: cannot open '" + path + "'");
+  return out;
+}
+}  // namespace
+
+void write_round_metrics_csv(const std::string& path,
+                             const std::vector<flare::RoundMetrics>& history) {
+  std::ofstream out = open_csv(path);
+  out << "round,num_contributions,total_samples,train_loss,valid_acc,valid_loss\n";
+  for (const flare::RoundMetrics& m : history) {
+    out << m.round << ',' << m.num_contributions << ',' << m.total_samples << ','
+        << m.train_loss << ',' << m.valid_acc << ',' << m.valid_loss << '\n';
+  }
+  if (!out) throw Error("reporting: write failed for '" + path + "'");
+}
+
+void write_epoch_stats_csv(const std::string& path,
+                           const std::vector<EpochStats>& history) {
+  std::ofstream out = open_csv(path);
+  out << "epoch,train_loss,valid_loss,valid_acc,seconds\n";
+  for (const EpochStats& e : history) {
+    out << e.epoch << ',' << e.train_loss << ',' << e.valid_loss << ','
+        << e.valid_acc << ',' << e.seconds << '\n';
+  }
+  if (!out) throw Error("reporting: write failed for '" + path + "'");
+}
+
+void write_series_csv(const std::string& path,
+                      const std::vector<std::string>& names,
+                      const std::vector<std::vector<double>>& series) {
+  if (names.size() != series.size()) {
+    throw Error("reporting: names/series size mismatch");
+  }
+  std::ofstream out = open_csv(path);
+  out << "index";
+  for (const std::string& n : names) out << ',' << n;
+  out << '\n';
+  std::size_t longest = 0;
+  for (const auto& s : series) longest = std::max(longest, s.size());
+  for (std::size_t i = 0; i < longest; ++i) {
+    out << i;
+    for (const auto& s : series) {
+      out << ',';
+      if (i < s.size()) out << s[i];
+    }
+    out << '\n';
+  }
+  if (!out) throw Error("reporting: write failed for '" + path + "'");
+}
+
+}  // namespace cppflare::train

@@ -1,0 +1,29 @@
+// CSV export of training/federation metrics, for plotting the paper's
+// figures from bench output without parsing logs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "flare/aggregator.h"
+#include "train/trainer.h"
+
+namespace cppflare::train {
+
+/// Writes per-round federation metrics:
+///   round,num_contributions,total_samples,train_loss,valid_acc,valid_loss
+void write_round_metrics_csv(const std::string& path,
+                             const std::vector<flare::RoundMetrics>& history);
+
+/// Writes per-epoch training stats:
+///   epoch,train_loss,valid_loss,valid_acc,seconds
+void write_epoch_stats_csv(const std::string& path,
+                           const std::vector<EpochStats>& history);
+
+/// Writes labeled series side by side (e.g. Fig. 2's four MLM loss curves):
+///   index,<name1>,<name2>,...  — shorter series leave trailing cells empty.
+void write_series_csv(const std::string& path,
+                      const std::vector<std::string>& names,
+                      const std::vector<std::vector<double>>& series);
+
+}  // namespace cppflare::train

@@ -1,0 +1,128 @@
+#include "train/trainer.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "core/logging.h"
+#include "tensor/ops.h"
+
+namespace cppflare::train {
+
+ClassifierTrainer::ClassifierTrainer(
+    std::shared_ptr<models::SequenceClassifier> model, TrainOptions options)
+    : model_(std::move(model)), options_(options), rng_(options.seed) {
+  optimizer_ = std::make_unique<optim::Adam>(
+      model_->parameters(), static_cast<float>(options_.lr), 0.9f, 0.999f, 1e-8f,
+      static_cast<float>(options_.weight_decay));
+}
+
+double ClassifierTrainer::train_epoch(const data::Dataset& train_set) {
+  model_->set_training(true);
+  data::DataLoader loader(train_set, options_.batch_size, /*shuffle=*/true,
+                          rng_.fork());
+  RunningMean loss_mean;
+  for (const data::Batch& batch : loader.epoch()) {
+    const tensor::Tensor logits = model_->class_logits(batch, rng_);
+    tensor::Tensor loss = tensor::cross_entropy(logits, batch.labels);
+    loss_mean.add(loss.item(), batch.batch_size);
+    model_->zero_grad();
+    loss.backward();
+    if (prox_mu_ > 0.0) apply_proximal_gradient();
+    if (options_.clip_norm > 0.0f) optimizer_->clip_grad_norm(options_.clip_norm);
+    optimizer_->step();
+  }
+  return loss_mean.mean();
+}
+
+void ClassifierTrainer::set_proximal_term(nn::StateDict reference, double mu) {
+  prox_reference_ = std::move(reference);
+  prox_mu_ = mu;
+}
+
+void ClassifierTrainer::apply_proximal_gradient() {
+  for (auto& [name, param] : model_->named_parameters()) {
+    const nn::ParamBlob& ref = prox_reference_.at(name);
+    auto& grad = param.mutable_grad();
+    const float* w = param.data();
+    const float mu = static_cast<float>(prox_mu_);
+    for (std::size_t i = 0; i < grad.size(); ++i) {
+      grad[i] += mu * (w[i] - ref.values[i]);
+    }
+  }
+}
+
+std::vector<EpochStats> ClassifierTrainer::fit(const data::Dataset& train_set,
+                                               const data::Dataset& valid_set) {
+  core::Logger log(options_.log_name);
+  std::vector<EpochStats> history;
+  for (std::int64_t e = 0; e < options_.epochs; ++e) {
+    const auto start = std::chrono::steady_clock::now();
+    EpochStats stats;
+    stats.epoch = e;
+    stats.train_loss = train_epoch(train_set);
+    const EvalResult eval = evaluate(*model_, valid_set, options_.batch_size);
+    stats.valid_loss = eval.loss;
+    stats.valid_acc = eval.accuracy;
+    stats.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (options_.verbose) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "epoch %lld/%lld (lr=%.3g), train_loss=%.3f, valid_acc=%.3f",
+                    static_cast<long long>(e + 1),
+                    static_cast<long long>(options_.epochs), options_.lr,
+                    stats.train_loss, stats.valid_acc);
+      log.info(buf);
+    }
+    history.push_back(stats);
+  }
+  return history;
+}
+
+MlmTrainer::MlmTrainer(std::shared_ptr<models::BertForPretraining> model,
+                       data::MlmMasker masker, TrainOptions options)
+    : model_(std::move(model)),
+      masker_(std::move(masker)),
+      options_(options),
+      rng_(options.seed) {
+  optimizer_ = std::make_unique<optim::Adam>(
+      model_->parameters(), static_cast<float>(options_.lr), 0.9f, 0.999f, 1e-8f,
+      static_cast<float>(options_.weight_decay));
+}
+
+double MlmTrainer::train_epoch(const data::Dataset& corpus) {
+  model_->set_training(true);
+  data::DataLoader loader(corpus, options_.batch_size, /*shuffle=*/true,
+                          rng_.fork());
+  RunningMean loss_mean;
+  for (const data::Batch& batch : loader.epoch()) {
+    const data::MlmMasker::MaskedBatch masked = masker_.mask_batch(batch, rng_);
+    tensor::Tensor loss = model_->mlm_loss(masked, rng_);
+    loss_mean.add(loss.item(), batch.batch_size);
+    model_->zero_grad();
+    loss.backward();
+    if (options_.clip_norm > 0.0f) optimizer_->clip_grad_norm(options_.clip_norm);
+    optimizer_->step();
+  }
+  return loss_mean.mean();
+}
+
+double MlmTrainer::evaluate(const data::Dataset& corpus) {
+  const bool was_training = model_->training();
+  model_->set_training(false);
+  tensor::NoGradGuard no_grad;
+  core::Rng eval_rng(options_.seed ^ 0xe7a1u);
+  data::DataLoader loader(corpus, options_.batch_size, /*shuffle=*/false,
+                          eval_rng.fork());
+  RunningMean loss_mean;
+  for (const data::Batch& batch : loader.epoch()) {
+    const data::MlmMasker::MaskedBatch masked = masker_.mask_batch(batch, eval_rng);
+    const tensor::Tensor loss = model_->mlm_loss(masked, eval_rng);
+    loss_mean.add(loss.item(), batch.batch_size);
+  }
+  model_->set_training(was_training);
+  return loss_mean.mean();
+}
+
+}  // namespace cppflare::train

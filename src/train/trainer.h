@@ -1,0 +1,94 @@
+// Centralized/standalone training loops.
+//
+// `ClassifierTrainer` fits a SequenceClassifier on one dataset — used for
+// the paper's "centralized" scheme (all data pooled) and "standalone"
+// scheme (each site alone on its local shard). `MlmTrainer` runs the BERT
+// masked-LM pretraining objective (Fig. 2).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/rng.h"
+#include "data/dataset.h"
+#include "data/mlm.h"
+#include "models/bert.h"
+#include "models/classifier.h"
+#include "optim/optimizer.h"
+#include "train/metrics.h"
+
+namespace cppflare::train {
+
+struct TrainOptions {
+  std::int64_t epochs = 5;
+  std::int64_t batch_size = 16;
+  double lr = 1e-2;           // Table I: Adam, 10^-2
+  double weight_decay = 0.0;  // Adam L2 coefficient
+  float clip_norm = 1.0f;     // 0 disables clipping
+  std::uint64_t seed = 1234;
+  bool verbose = false;
+  std::string log_name = "Trainer";
+};
+
+struct EpochStats {
+  std::int64_t epoch = 0;
+  double train_loss = 0.0;
+  double valid_loss = 0.0;
+  double valid_acc = 0.0;
+  double seconds = 0.0;
+};
+
+class ClassifierTrainer {
+ public:
+  ClassifierTrainer(std::shared_ptr<models::SequenceClassifier> model,
+                    TrainOptions options);
+
+  /// One pass over `train_set`; returns the mean training loss.
+  double train_epoch(const data::Dataset& train_set);
+
+  /// Full fit with per-epoch validation.
+  std::vector<EpochStats> fit(const data::Dataset& train_set,
+                              const data::Dataset& valid_set);
+
+  /// Enables FedProx-style training: after each backward pass, every
+  /// parameter gradient gains mu * (w - w_ref), pulling local updates
+  /// toward the reference (round-global) weights. Pass mu = 0 to disable.
+  void set_proximal_term(nn::StateDict reference, double mu);
+
+  models::SequenceClassifier& model() { return *model_; }
+  optim::Adam& optimizer() { return *optimizer_; }
+
+ private:
+  void apply_proximal_gradient();
+
+  std::shared_ptr<models::SequenceClassifier> model_;
+  TrainOptions options_;
+  std::unique_ptr<optim::Adam> optimizer_;
+  core::Rng rng_;
+  nn::StateDict prox_reference_;
+  double prox_mu_ = 0.0;
+};
+
+class MlmTrainer {
+ public:
+  MlmTrainer(std::shared_ptr<models::BertForPretraining> model,
+             data::MlmMasker masker, TrainOptions options);
+
+  /// One pass; returns mean masked-LM loss.
+  double train_epoch(const data::Dataset& corpus);
+
+  /// Mean masked-LM loss without updates (validation); deterministic in
+  /// `seed` via an internal evaluation mask stream.
+  double evaluate(const data::Dataset& corpus);
+
+  models::BertForPretraining& model() { return *model_; }
+
+ private:
+  std::shared_ptr<models::BertForPretraining> model_;
+  data::MlmMasker masker_;
+  TrainOptions options_;
+  std::unique_ptr<optim::Adam> optimizer_;
+  core::Rng rng_;
+};
+
+}  // namespace cppflare::train

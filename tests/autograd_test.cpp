@@ -1,0 +1,235 @@
+// Numerical gradient checks for every differentiable op. Each check builds
+// a small random problem, reduces it to a scalar, and compares analytic
+// gradients with central differences.
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+#include "test_util.h"
+
+namespace cppflare::tensor {
+namespace {
+
+using cppflare::testing::expect_gradients_close;
+
+Tensor rand_input(Shape shape, std::uint64_t seed, float scale = 1.0f) {
+  core::Rng rng(seed);
+  return Tensor::randn(std::move(shape), rng, 0.0f, scale, /*requires_grad=*/true);
+}
+
+TEST(AutogradElementwise, Add) {
+  Tensor a = rand_input({2, 3}, 1), b = rand_input({2, 3}, 2);
+  expect_gradients_close([&] { return sum_all(mul(add(a, b), add(a, b))); }, {a, b});
+}
+
+TEST(AutogradElementwise, Sub) {
+  Tensor a = rand_input({4}, 3), b = rand_input({4}, 4);
+  expect_gradients_close([&] { return sum_all(mul(sub(a, b), sub(a, b))); }, {a, b});
+}
+
+TEST(AutogradElementwise, Mul) {
+  Tensor a = rand_input({3, 2}, 5), b = rand_input({3, 2}, 6);
+  expect_gradients_close([&] { return sum_all(mul(a, b)); }, {a, b});
+}
+
+TEST(AutogradElementwise, ScalarOps) {
+  Tensor a = rand_input({5}, 7);
+  expect_gradients_close(
+      [&] { return sum_all(mul_scalar(add_scalar(a, 1.5f), -2.0f)); }, {a});
+}
+
+TEST(AutogradElementwise, AddBias) {
+  Tensor x = rand_input({3, 4}, 8);
+  Tensor b = rand_input({4}, 9);
+  expect_gradients_close(
+      [&] { return sum_all(mul(add_bias(x, b), add_bias(x, b))); }, {x, b});
+}
+
+TEST(AutogradActivations, Tanh) {
+  Tensor a = rand_input({6}, 10);
+  expect_gradients_close([&] { return sum_all(mul(tanh_op(a), a)); }, {a});
+}
+
+TEST(AutogradActivations, Sigmoid) {
+  Tensor a = rand_input({6}, 11);
+  expect_gradients_close([&] { return sum_all(mul(sigmoid(a), a)); }, {a});
+}
+
+TEST(AutogradActivations, Gelu) {
+  Tensor a = rand_input({6}, 12);
+  expect_gradients_close([&] { return sum_all(gelu(a)); }, {a}, 1e-2f, 5e-2f, 1e-2f);
+}
+
+TEST(AutogradActivations, ReluAwayFromKink) {
+  // Keep inputs away from 0 where the subgradient is ambiguous.
+  Tensor a = Tensor::from_data({4}, {-2.0f, -1.0f, 1.0f, 2.0f}, true);
+  expect_gradients_close([&] { return sum_all(mul(relu(a), a)); }, {a});
+}
+
+TEST(AutogradMatmul, Matmul) {
+  Tensor a = rand_input({3, 4}, 13), b = rand_input({4, 2}, 14);
+  expect_gradients_close([&] { return sum_all(mul(matmul(a, b), matmul(a, b))); },
+                         {a, b});
+}
+
+TEST(AutogradMatmul, LinearWithBias) {
+  Tensor x = rand_input({3, 4}, 15);
+  Tensor w = rand_input({2, 4}, 16);
+  Tensor b = rand_input({2}, 17);
+  expect_gradients_close([&] { return sum_all(mul(linear(x, w, b), linear(x, w, b))); },
+                         {x, w, b});
+}
+
+TEST(AutogradMatmul, Bmm) {
+  Tensor a = rand_input({2, 2, 3}, 18), b = rand_input({2, 3, 2}, 19);
+  expect_gradients_close([&] { return sum_all(mul(bmm(a, b), bmm(a, b))); }, {a, b});
+}
+
+TEST(AutogradMatmul, BmmNt) {
+  Tensor a = rand_input({2, 2, 3}, 20), b = rand_input({2, 4, 3}, 21);
+  expect_gradients_close([&] { return sum_all(mul(bmm_nt(a, b), bmm_nt(a, b))); },
+                         {a, b});
+}
+
+TEST(AutogradShape, Reshape) {
+  Tensor a = rand_input({2, 6}, 22);
+  expect_gradients_close(
+      [&] {
+        Tensor r = reshape(a, {3, 4});
+        return sum_all(mul(r, r));
+      },
+      {a});
+}
+
+TEST(AutogradShape, Permute) {
+  Tensor a = rand_input({2, 3, 2, 2}, 23);
+  expect_gradients_close(
+      [&] {
+        Tensor p = permute(a, {0, 2, 1, 3});
+        return sum_all(mul(p, p));
+      },
+      {a});
+}
+
+TEST(AutogradShape, SelectDim1) {
+  Tensor a = rand_input({2, 3, 4}, 24);
+  expect_gradients_close(
+      [&] {
+        Tensor s = select_dim1(a, 1);
+        return sum_all(mul(s, s));
+      },
+      {a});
+}
+
+TEST(AutogradShape, SliceCols) {
+  Tensor a = rand_input({3, 6}, 25);
+  expect_gradients_close(
+      [&] {
+        Tensor s = slice_cols(a, 2, 3);
+        return sum_all(mul(s, s));
+      },
+      {a});
+}
+
+TEST(AutogradShape, ConcatCols) {
+  Tensor a = rand_input({2, 2}, 26), b = rand_input({2, 3}, 27);
+  expect_gradients_close(
+      [&] {
+        Tensor c = concat_cols({a, b});
+        return sum_all(mul(c, c));
+      },
+      {a, b});
+}
+
+TEST(AutogradShape, StackDim1) {
+  Tensor a = rand_input({2, 3}, 28), b = rand_input({2, 3}, 29);
+  expect_gradients_close(
+      [&] {
+        Tensor s = stack_dim1({a, b});
+        return sum_all(mul(s, s));
+      },
+      {a, b});
+}
+
+TEST(AutogradShape, GatherDim1) {
+  Tensor a = rand_input({3, 4, 2}, 30);
+  expect_gradients_close(
+      [&] {
+        Tensor g = gather_dim1(a, {3, 0, 2});
+        return sum_all(mul(g, g));
+      },
+      {a});
+}
+
+TEST(AutogradReduction, MeanAll) {
+  Tensor a = rand_input({7}, 31);
+  expect_gradients_close([&] { return mean_all(mul(a, a)); }, {a});
+}
+
+TEST(AutogradFused, SoftmaxLastdim) {
+  Tensor a = rand_input({3, 5}, 32);
+  Tensor probe = rand_input({3, 5}, 33);  // random projection to scalar
+  expect_gradients_close([&] { return sum_all(mul(softmax_lastdim(a), probe)); },
+                         {a});
+}
+
+TEST(AutogradFused, LayerNorm) {
+  Tensor x = rand_input({4, 6}, 34);
+  Tensor gamma = rand_input({6}, 35);
+  Tensor beta = rand_input({6}, 36);
+  Tensor probe = rand_input({4, 6}, 37);
+  expect_gradients_close(
+      [&] { return sum_all(mul(layer_norm(x, gamma, beta), probe)); },
+      {x, gamma, beta}, 1e-2f, 8e-2f, 1e-2f);
+}
+
+TEST(AutogradFused, Embedding) {
+  Tensor w = rand_input({5, 3}, 38);
+  const std::vector<std::int64_t> ids = {0, 2, 2, 4};
+  expect_gradients_close(
+      [&] {
+        Tensor e = embedding(w, ids);
+        return sum_all(mul(e, e));
+      },
+      {w});
+}
+
+TEST(AutogradFused, CrossEntropy) {
+  Tensor logits = rand_input({4, 3}, 39);
+  const std::vector<std::int64_t> targets = {0, 2, 1, 2};
+  expect_gradients_close([&] { return cross_entropy(logits, targets); }, {logits});
+}
+
+TEST(AutogradFused, CrossEntropyWithIgnoredRows) {
+  Tensor logits = rand_input({4, 3}, 40);
+  const std::vector<std::int64_t> targets = {0, -100, 1, -100};
+  expect_gradients_close([&] { return cross_entropy(logits, targets); }, {logits});
+}
+
+TEST(AutogradComposite, TwoLayerMlp) {
+  Tensor x = rand_input({2, 3}, 41);
+  Tensor w1 = rand_input({4, 3}, 42);
+  Tensor b1 = rand_input({4}, 43);
+  Tensor w2 = rand_input({2, 4}, 44);
+  Tensor b2 = rand_input({2}, 45);
+  const std::vector<std::int64_t> targets = {0, 1};
+  expect_gradients_close(
+      [&] {
+        Tensor h = tanh_op(linear(x, w1, b1));
+        return cross_entropy(linear(h, w2, b2), targets);
+      },
+      {x, w1, b1, w2, b2});
+}
+
+TEST(AutogradComposite, SharedSubexpression) {
+  // b used twice through different paths; gradients must sum.
+  Tensor a = rand_input({3}, 46);
+  expect_gradients_close(
+      [&] {
+        Tensor t = tanh_op(a);
+        return sum_all(add(mul(t, t), mul_scalar(t, 0.5f)));
+      },
+      {a});
+}
+
+}  // namespace
+}  // namespace cppflare::tensor

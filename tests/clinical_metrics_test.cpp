@@ -1,0 +1,131 @@
+#include "train/clinical_metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "models/lstm_classifier.h"
+
+namespace cppflare::train {
+namespace {
+
+TEST(ConfusionMatrixTest, CountsAndDerivedRates) {
+  const std::vector<double> scores = {0.9, 0.8, 0.4, 0.3, 0.7, 0.2};
+  const std::vector<std::int64_t> labels = {1, 1, 1, 0, 0, 0};
+  const ConfusionMatrix cm = confusion_at(scores, labels, 0.5);
+  EXPECT_EQ(cm.true_positive, 2);   // 0.9, 0.8
+  EXPECT_EQ(cm.false_negative, 1);  // 0.4
+  EXPECT_EQ(cm.false_positive, 1);  // 0.7
+  EXPECT_EQ(cm.true_negative, 2);   // 0.3, 0.2
+  EXPECT_EQ(cm.total(), 6);
+  EXPECT_NEAR(cm.accuracy(), 4.0 / 6.0, 1e-12);
+  EXPECT_NEAR(cm.sensitivity(), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cm.specificity(), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cm.precision(), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cm.f1(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(ConfusionMatrixTest, ThresholdShiftsTradeoff) {
+  const std::vector<double> scores = {0.9, 0.6, 0.4, 0.1};
+  const std::vector<std::int64_t> labels = {1, 1, 0, 0};
+  EXPECT_EQ(confusion_at(scores, labels, 0.95).true_positive, 0);
+  EXPECT_EQ(confusion_at(scores, labels, 0.05).false_positive, 2);
+  const ConfusionMatrix mid = confusion_at(scores, labels, 0.5);
+  EXPECT_EQ(mid.true_positive, 2);
+  EXPECT_EQ(mid.true_negative, 2);
+}
+
+TEST(ConfusionMatrixTest, DegenerateDenominatorsAreZero) {
+  ConfusionMatrix cm;  // all zeros
+  EXPECT_EQ(cm.accuracy(), 0.0);
+  EXPECT_EQ(cm.sensitivity(), 0.0);
+  EXPECT_EQ(cm.specificity(), 0.0);
+  EXPECT_EQ(cm.precision(), 0.0);
+  EXPECT_EQ(cm.f1(), 0.0);
+}
+
+TEST(ConfusionMatrixTest, SizeMismatchThrows) {
+  EXPECT_THROW(confusion_at({0.5}, {1, 0}), Error);
+}
+
+TEST(AurocTest, PerfectSeparation) {
+  EXPECT_DOUBLE_EQ(auroc({0.9, 0.8, 0.2, 0.1}, {1, 1, 0, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(auroc({0.1, 0.2, 0.8, 0.9}, {1, 1, 0, 0}), 0.0);
+}
+
+TEST(AurocTest, RandomScoresGiveHalf) {
+  EXPECT_DOUBLE_EQ(auroc({0.5, 0.5, 0.5, 0.5}, {1, 0, 1, 0}), 0.5);
+}
+
+TEST(AurocTest, HandComputedCase) {
+  // scores: pos {0.8, 0.4}, neg {0.6, 0.2}.
+  // Pairs: (0.8>0.6)=1, (0.8>0.2)=1, (0.4<0.6)=0, (0.4>0.2)=1 -> 3/4.
+  EXPECT_DOUBLE_EQ(auroc({0.8, 0.4, 0.6, 0.2}, {1, 1, 0, 0}), 0.75);
+}
+
+TEST(AurocTest, TiesCountHalf) {
+  // pos {0.5}, neg {0.5} -> 0.5.
+  EXPECT_DOUBLE_EQ(auroc({0.5, 0.5}, {1, 0}), 0.5);
+  // pos {0.7, 0.5}, neg {0.5}: pairs (0.7>0.5)=1, (0.5==0.5)=0.5 -> 0.75.
+  EXPECT_DOUBLE_EQ(auroc({0.7, 0.5, 0.5}, {1, 1, 0}), 0.75);
+}
+
+TEST(AurocTest, SingleClassReturnsHalf) {
+  EXPECT_DOUBLE_EQ(auroc({0.9, 0.1}, {1, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(auroc({0.9, 0.1}, {0, 0}), 0.5);
+}
+
+TEST(AurocTest, InvariantToMonotoneTransform) {
+  const std::vector<std::int64_t> labels = {1, 0, 1, 0, 1};
+  const std::vector<double> s1 = {0.9, 0.3, 0.6, 0.5, 0.7};
+  std::vector<double> s2;
+  for (double s : s1) s2.push_back(100.0 * s + 7.0);
+  EXPECT_DOUBLE_EQ(auroc(s1, labels), auroc(s2, labels));
+}
+
+TEST(ScoreDataset, ProducesProbabilitiesAndLabels) {
+  core::Rng rng(1);
+  models::ModelConfig c = models::ModelConfig::lstm(16, 8);
+  c.hidden = 8;
+  c.layers = 1;
+  auto model = models::make_classifier(c, rng);
+
+  data::Dataset d;
+  for (int i = 0; i < 10; ++i) {
+    data::Sample s;
+    s.ids = {2, 6, 7, 8, 0, 0, 0, 0};
+    s.length = 4;
+    s.label = i % 2;
+    d.add(s);
+  }
+  const ScoredPredictions preds = score_dataset(*model, d, 4);
+  ASSERT_EQ(preds.scores.size(), 10u);
+  ASSERT_EQ(preds.labels.size(), 10u);
+  for (double s : preds.scores) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+  EXPECT_THROW(score_dataset(*model, data::Dataset{}, 4), Error);
+}
+
+TEST(ScoreDataset, BiasedHeadSaturatesScores) {
+  core::Rng rng(2);
+  models::ModelConfig c = models::ModelConfig::lstm(16, 8);
+  c.hidden = 8;
+  c.layers = 1;
+  auto model = models::make_classifier(c, rng);
+  // Force class-1 logit way up through the head bias.
+  nn::StateDict dict = model->state_dict();
+  dict.at("head.bias").values = {-50.0f, 50.0f};
+  model->load_state_dict(dict);
+
+  data::Dataset d;
+  data::Sample s;
+  s.ids = {2, 6, 7, 8, 0, 0, 0, 0};
+  s.length = 4;
+  s.label = 1;
+  d.add(s);
+  const ScoredPredictions preds = score_dataset(*model, d, 1);
+  EXPECT_GT(preds.scores[0], 0.999);
+}
+
+}  // namespace
+}  // namespace cppflare::train

@@ -1,0 +1,105 @@
+#include "core/config.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace cppflare::core {
+namespace {
+
+TEST(Config, FromArgsParsesKeyValues) {
+  Config c = Config::from_args({"lr=0.01", "epochs=5", "name=bert"});
+  EXPECT_DOUBLE_EQ(c.get_double("lr", 0), 0.01);
+  EXPECT_EQ(c.get_int("epochs", 0), 5);
+  EXPECT_EQ(c.get("name", ""), "bert");
+}
+
+TEST(Config, FromArgsRejectsMalformed) {
+  EXPECT_THROW(Config::from_args({"no_equals"}), ConfigError);
+  EXPECT_THROW(Config::from_args({"=value"}), ConfigError);
+}
+
+TEST(Config, TypedSettersAndGetters) {
+  Config c;
+  c.set_int("i", -7);
+  c.set_double("d", 2.5);
+  c.set_bool("b", true);
+  EXPECT_EQ(c.get_int("i", 0), -7);
+  EXPECT_DOUBLE_EQ(c.get_double("d", 0), 2.5);
+  EXPECT_TRUE(c.get_bool("b", false));
+}
+
+TEST(Config, FallbacksWhenMissing) {
+  Config c;
+  EXPECT_EQ(c.get("missing", "x"), "x");
+  EXPECT_EQ(c.get_int("missing", 42), 42);
+  EXPECT_DOUBLE_EQ(c.get_double("missing", 1.5), 1.5);
+  EXPECT_TRUE(c.get_bool("missing", true));
+}
+
+TEST(Config, BadNumericValuesThrow) {
+  Config c;
+  c.set("n", "12x");
+  EXPECT_THROW(c.get_int("n", 0), ConfigError);
+  c.set("f", "abc");
+  EXPECT_THROW(c.get_double("f", 0), ConfigError);
+  c.set("b", "maybe");
+  EXPECT_THROW(c.get_bool("b", false), ConfigError);
+}
+
+TEST(Config, BoolAcceptsCommonSpellings) {
+  Config c;
+  for (const char* t : {"true", "1", "yes"}) {
+    c.set("k", t);
+    EXPECT_TRUE(c.get_bool("k", false)) << t;
+  }
+  for (const char* f : {"false", "0", "no"}) {
+    c.set("k", f);
+    EXPECT_FALSE(c.get_bool("k", true)) << f;
+  }
+}
+
+TEST(Config, RequireThrowsOnMissing) {
+  Config c;
+  EXPECT_THROW(c.require("nope"), ConfigError);
+  c.set_int("x", 3);
+  EXPECT_EQ(c.require_int("x"), 3);
+}
+
+TEST(Config, MergeOverlays) {
+  Config a, b;
+  a.set("k1", "a1");
+  a.set("k2", "a2");
+  b.set("k2", "b2");
+  b.set("k3", "b3");
+  a.merge(b);
+  EXPECT_EQ(a.get("k1", ""), "a1");
+  EXPECT_EQ(a.get("k2", ""), "b2");
+  EXPECT_EQ(a.get("k3", ""), "b3");
+}
+
+TEST(Config, EnvOverridesExistingKeys) {
+  Config c;
+  c.set_int("num_rounds", 3);
+  c.set("model.name", "bert");
+  ::setenv("CFTEST_NUM_ROUNDS", "9", 1);
+  ::setenv("CFTEST_MODEL_NAME", "lstm", 1);
+  ::setenv("CFTEST_UNRELATED", "zzz", 1);
+  c.apply_env_overrides("CFTEST_");
+  EXPECT_EQ(c.get_int("num_rounds", 0), 9);
+  EXPECT_EQ(c.get("model.name", ""), "lstm");
+  EXPECT_FALSE(c.has("unrelated"));
+  ::unsetenv("CFTEST_NUM_ROUNDS");
+  ::unsetenv("CFTEST_MODEL_NAME");
+  ::unsetenv("CFTEST_UNRELATED");
+}
+
+TEST(Config, ToStringSortedLines) {
+  Config c;
+  c.set("b", "2");
+  c.set("a", "1");
+  EXPECT_EQ(c.to_string(), "a=1\nb=2\n");
+}
+
+}  // namespace
+}  // namespace cppflare::core

@@ -1,0 +1,168 @@
+// Tests for cross-site model evaluation and FedProx local training.
+#include <gtest/gtest.h>
+
+#include "core/logging.h"
+#include "models/lstm_classifier.h"
+#include "train/cross_site.h"
+#include "train/trainer.h"
+
+namespace cppflare::train {
+namespace {
+
+using tensor::Tensor;
+
+models::ModelConfig tiny_config() {
+  models::ModelConfig c = models::ModelConfig::lstm(16, 8);
+  c.hidden = 8;
+  c.layers = 1;
+  c.dropout = 0.0f;
+  return c;
+}
+
+/// Dataset where every label equals `label` and ids are fixed.
+data::Dataset constant_dataset(std::int64_t n, std::int64_t label) {
+  data::Dataset d;
+  for (std::int64_t i = 0; i < n; ++i) {
+    data::Sample s;
+    s.ids = {2, 6, 7, 8, 0, 0, 0, 0};
+    s.length = 4;
+    s.label = label;
+    d.add(s);
+  }
+  return d;
+}
+
+/// A state dict for tiny_config whose head strongly predicts `cls`.
+nn::StateDict biased_model(std::int64_t cls, std::uint64_t seed) {
+  core::Rng rng(seed);
+  auto model = models::make_classifier(tiny_config(), rng);
+  nn::StateDict dict = model->state_dict();
+  auto& bias = dict.at("head.bias").values;
+  bias[static_cast<std::size_t>(cls)] = 50.0f;
+  bias[static_cast<std::size_t>(1 - cls)] = -50.0f;
+  return dict;
+}
+
+TEST(CrossSiteEval, MatrixShapeAndValues) {
+  const std::vector<std::pair<std::string, nn::StateDict>> models_list = {
+      {"always-0", biased_model(0, 1)},
+      {"always-1", biased_model(1, 2)},
+  };
+  const std::vector<std::pair<std::string, data::Dataset>> sites = {
+      {"site-a", constant_dataset(8, 0)},
+      {"site-b", constant_dataset(8, 1)},
+  };
+  const CrossSiteResult result =
+      cross_site_evaluate(tiny_config(), models_list, sites, 4);
+
+  ASSERT_EQ(result.model_names.size(), 2u);
+  ASSERT_EQ(result.site_names.size(), 2u);
+  ASSERT_EQ(result.matrix.size(), 2u);
+  // always-0 is perfect on site-a (labels 0) and useless on site-b.
+  EXPECT_DOUBLE_EQ(result.matrix[0][0].accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(result.matrix[0][1].accuracy, 0.0);
+  EXPECT_DOUBLE_EQ(result.matrix[1][0].accuracy, 0.0);
+  EXPECT_DOUBLE_EQ(result.matrix[1][1].accuracy, 1.0);
+}
+
+TEST(CrossSiteEval, BestModelByMeanAccuracy) {
+  const std::vector<std::pair<std::string, nn::StateDict>> models_list = {
+      {"always-0", biased_model(0, 3)},
+      {"always-1", biased_model(1, 4)},
+  };
+  // Two of three sites carry label 1 -> always-1 wins on mean accuracy.
+  const std::vector<std::pair<std::string, data::Dataset>> sites = {
+      {"s1", constant_dataset(8, 1)},
+      {"s2", constant_dataset(8, 1)},
+      {"s3", constant_dataset(8, 0)},
+  };
+  const CrossSiteResult result =
+      cross_site_evaluate(tiny_config(), models_list, sites, 4);
+  EXPECT_EQ(result.best_model_index(), 1u);
+}
+
+TEST(CrossSiteEval, TableRendering) {
+  const std::vector<std::pair<std::string, nn::StateDict>> models_list = {
+      {"global", biased_model(0, 5)}};
+  const std::vector<std::pair<std::string, data::Dataset>> sites = {
+      {"site-1", constant_dataset(4, 0)}};
+  const std::string table =
+      cross_site_evaluate(tiny_config(), models_list, sites, 4).to_table();
+  EXPECT_NE(table.find("global"), std::string::npos);
+  EXPECT_NE(table.find("site-1"), std::string::npos);
+  EXPECT_NE(table.find("100.0%"), std::string::npos);
+}
+
+TEST(CrossSiteEval, ValidatesInputs) {
+  EXPECT_THROW(cross_site_evaluate(tiny_config(), {}, {}), Error);
+}
+
+TEST(FedProx, ProximalGradientPullsTowardReference) {
+  // One step of training with a huge mu must keep weights closer to the
+  // reference than training without it.
+  core::Rng rng(6);
+  const models::ModelConfig config = tiny_config();
+
+  data::Dataset train;
+  core::Rng data_rng(7);
+  for (int i = 0; i < 64; ++i) {
+    data::Sample s;
+    s.ids = {2, 0, 0, 0, 0, 0, 0, 0};
+    s.length = 8;
+    for (std::int64_t t = 1; t < 8; ++t) s.ids[t] = 5 + data_rng.uniform_int(0, 9);
+    s.label = data_rng.bernoulli(0.5) ? 1 : 0;
+    train.add(s);
+  }
+
+  auto distance_after_training = [&](double mu) {
+    core::Rng init(8);
+    auto model = models::make_classifier(config, init);
+    const nn::StateDict reference = model->state_dict();
+    TrainOptions opts;
+    opts.epochs = 1;
+    opts.batch_size = 16;
+    opts.lr = 1e-2;
+    opts.seed = 9;
+    ClassifierTrainer trainer(model, opts);
+    if (mu > 0) trainer.set_proximal_term(reference, mu);
+    for (int e = 0; e < 3; ++e) trainer.train_epoch(train);
+    // L2 distance to the reference.
+    double dist = 0;
+    for (const auto& [name, t] : model->named_parameters()) {
+      const auto& ref = reference.at(name).values;
+      for (std::size_t i = 0; i < ref.size(); ++i) {
+        const double d = t.vec()[i] - ref[i];
+        dist += d * d;
+      }
+    }
+    return dist;
+  };
+
+  const double plain = distance_after_training(0.0);
+  const double prox = distance_after_training(1.0);
+  EXPECT_LT(prox, plain * 0.8);
+}
+
+TEST(FedProx, ZeroMuMatchesPlainTraining) {
+  core::Rng rng(10);
+  const models::ModelConfig config = tiny_config();
+  data::Dataset train = constant_dataset(32, 1);
+
+  auto run = [&](bool set_zero_prox) {
+    core::Rng init(11);
+    auto model = models::make_classifier(config, init);
+    TrainOptions opts;
+    opts.epochs = 1;
+    opts.batch_size = 8;
+    opts.lr = 1e-2;
+    opts.seed = 12;
+    ClassifierTrainer trainer(model, opts);
+    if (set_zero_prox) trainer.set_proximal_term(model->state_dict(), 0.0);
+    trainer.train_epoch(train);
+    return model->state_dict();
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+}  // namespace
+}  // namespace cppflare::train

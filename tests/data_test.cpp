@@ -1,0 +1,305 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "data/clinical_gen.h"
+#include "data/dataset.h"
+#include "data/vocab.h"
+
+namespace cppflare::data {
+namespace {
+
+TEST(Vocabulary, SpecialTokensPreRegistered) {
+  Vocabulary v;
+  EXPECT_EQ(v.size(), Vocabulary::kNumSpecial);
+  EXPECT_EQ(v.id_of("[PAD]"), Vocabulary::kPad);
+  EXPECT_EQ(v.id_of("[UNK]"), Vocabulary::kUnk);
+  EXPECT_EQ(v.id_of("[CLS]"), Vocabulary::kCls);
+  EXPECT_EQ(v.id_of("[SEP]"), Vocabulary::kSep);
+  EXPECT_EQ(v.id_of("[MASK]"), Vocabulary::kMask);
+}
+
+TEST(Vocabulary, AddIsIdempotent) {
+  Vocabulary v;
+  const auto id1 = v.add("RX:aspirin");
+  const auto id2 = v.add("RX:aspirin");
+  EXPECT_EQ(id1, id2);
+  EXPECT_EQ(v.size(), Vocabulary::kNumSpecial + 1);
+}
+
+TEST(Vocabulary, UnknownMapsToUnk) {
+  Vocabulary v;
+  EXPECT_EQ(v.id_of("never-seen"), Vocabulary::kUnk);
+}
+
+TEST(Vocabulary, TokenOfValidatesRange) {
+  Vocabulary v;
+  EXPECT_EQ(v.token_of(Vocabulary::kMask), "[MASK]");
+  EXPECT_THROW(v.token_of(-1), Error);
+  EXPECT_THROW(v.token_of(v.size()), Error);
+}
+
+TEST(Vocabulary, SerializeRoundTrip) {
+  Vocabulary v;
+  v.add("RX:a");
+  v.add("DX:b");
+  core::ByteWriter w;
+  v.serialize(w);
+  core::ByteReader r(w.bytes());
+  Vocabulary u = Vocabulary::deserialize(r);
+  EXPECT_EQ(u.size(), v.size());
+  EXPECT_EQ(u.id_of("DX:b"), v.id_of("DX:b"));
+}
+
+TEST(Vocabulary, IsSpecialHelper) {
+  EXPECT_TRUE(Vocabulary::is_special(0));
+  EXPECT_TRUE(Vocabulary::is_special(4));
+  EXPECT_FALSE(Vocabulary::is_special(5));
+  EXPECT_EQ(Vocabulary::first_regular_id(), 5);
+}
+
+class GeneratorTest : public ::testing::Test {
+ protected:
+  static ClinicalGenConfig small_config() {
+    ClinicalGenConfig c;
+    c.num_drugs = 40;
+    c.num_diagnoses = 40;
+    c.num_procedures = 20;
+    c.min_events = 6;
+    c.max_events = 20;
+    return c;
+  }
+};
+
+TEST_F(GeneratorTest, DeterministicAcrossInstances) {
+  ClinicalCohortGenerator g1(small_config()), g2(small_config());
+  const auto a = g1.generate_labeled(20, 5);
+  const auto b = g2.generate_labeled(20, 5);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].codes, b[i].codes);
+    EXPECT_EQ(a[i].label, b[i].label);
+  }
+}
+
+TEST_F(GeneratorTest, DifferentSeedsDifferentCohorts) {
+  ClinicalCohortGenerator g(small_config());
+  const auto a = g.generate_labeled(10, 1);
+  const auto b = g.generate_labeled(10, 2);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i) any_diff |= a[i].codes != b[i].codes;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST_F(GeneratorTest, EveryPatientHasClopidogrel) {
+  ClinicalCohortGenerator g(small_config());
+  for (const auto& rec : g.generate_labeled(50, 3)) {
+    EXPECT_NE(std::find(rec.codes.begin(), rec.codes.end(), "RX:clopidogrel"),
+              rec.codes.end());
+  }
+}
+
+TEST_F(GeneratorTest, PositiveRateNearPaperValue) {
+  // Paper: 1,824 / 8,638 = 21.1%.
+  ClinicalCohortGenerator g(small_config());
+  const auto records = g.generate_labeled(4000, 7);
+  double pos = 0;
+  for (const auto& r : records) pos += r.label;
+  const double rate = pos / static_cast<double>(records.size());
+  EXPECT_GT(rate, 0.16);
+  EXPECT_LT(rate, 0.27);
+}
+
+TEST_F(GeneratorTest, RiskScoreIsOrderSensitive) {
+  ClinicalCohortGenerator g(small_config());
+  // PPI after clopidogrel raises risk; before does not.
+  const double after = g.risk_score({"RX:clopidogrel", "RX:omeprazole"});
+  const double before = g.risk_score({"RX:omeprazole", "RX:clopidogrel"});
+  EXPECT_GT(after, before);
+}
+
+TEST_F(GeneratorTest, GenotypePresenceRaisesRisk) {
+  ClinicalCohortGenerator g(small_config());
+  const double with_lof = g.risk_score({"GX:cyp2c19_lof", "RX:clopidogrel"});
+  const double without = g.risk_score({"RX:clopidogrel"});
+  EXPECT_GT(with_lof, without);
+}
+
+TEST_F(GeneratorTest, ProtectiveMotifLowersRisk) {
+  ClinicalCohortGenerator g(small_config());
+  const double with_statin =
+      g.risk_score({"RX:clopidogrel", "RX:atorvastatin"});
+  const double without = g.risk_score({"RX:clopidogrel"});
+  EXPECT_LT(with_statin, without);
+}
+
+TEST_F(GeneratorTest, UniverseRespectsConfiguredSizes) {
+  ClinicalGenConfig c = small_config();
+  ClinicalCohortGenerator g(c);
+  // drugs + diagnoses + procedures + 2 genotype markers.
+  EXPECT_EQ(static_cast<std::int64_t>(g.code_universe().size()),
+            c.num_drugs + c.num_diagnoses + c.num_procedures + 2);
+  Vocabulary v = g.build_vocabulary();
+  EXPECT_EQ(v.size(), static_cast<std::int64_t>(g.code_universe().size()) +
+                          Vocabulary::kNumSpecial);
+}
+
+TEST_F(GeneratorTest, SequenceLengthsWithinBounds) {
+  ClinicalGenConfig c = small_config();
+  ClinicalCohortGenerator g(c);
+  for (const auto& rec : g.generate_labeled(100, 11)) {
+    // base events + clopidogrel insert + optional genotype prefix
+    EXPECT_GE(static_cast<std::int64_t>(rec.codes.size()), c.min_events + 1);
+    EXPECT_LE(static_cast<std::int64_t>(rec.codes.size()), c.max_events + 2);
+  }
+}
+
+TEST_F(GeneratorTest, UnlabeledSequencesShareEventModel) {
+  ClinicalCohortGenerator g(small_config());
+  const auto seqs = g.generate_unlabeled(30, 13);
+  EXPECT_EQ(seqs.size(), 30u);
+  for (const auto& s : seqs) {
+    EXPECT_NE(std::find(s.begin(), s.end(), "RX:clopidogrel"), s.end());
+  }
+}
+
+TEST(Tokenizer, EncodeAddsClsAndPads) {
+  Vocabulary v;
+  const auto a = v.add("RX:a");
+  ClinicalTokenizer tok(v, 6);
+  Sample s = tok.encode({"RX:a", "RX:a"}, 1);
+  EXPECT_EQ(s.ids.size(), 6u);
+  EXPECT_EQ(s.ids[0], Vocabulary::kCls);
+  EXPECT_EQ(s.ids[1], a);
+  EXPECT_EQ(s.ids[2], a);
+  EXPECT_EQ(s.ids[3], Vocabulary::kPad);
+  EXPECT_EQ(s.length, 3);
+  EXPECT_EQ(s.label, 1);
+}
+
+TEST(Tokenizer, TruncatesLongSequences) {
+  Vocabulary v;
+  v.add("RX:a");
+  ClinicalTokenizer tok(v, 4);
+  Sample s = tok.encode(std::vector<std::string>(10, "RX:a"));
+  EXPECT_EQ(s.length, 4);
+  EXPECT_EQ(s.ids.size(), 4u);
+}
+
+TEST(Tokenizer, UnknownCodesBecomeUnk) {
+  Vocabulary v;
+  ClinicalTokenizer tok(v, 4);
+  Sample s = tok.encode({"mystery"});
+  EXPECT_EQ(s.ids[1], Vocabulary::kUnk);
+}
+
+TEST(DatasetOps, PositiveRate) {
+  Dataset d;
+  for (int i = 0; i < 10; ++i) {
+    Sample s;
+    s.ids = {0};
+    s.length = 1;
+    s.label = i < 3 ? 1 : 0;
+    d.add(s);
+  }
+  EXPECT_DOUBLE_EQ(d.positive_rate(), 0.3);
+}
+
+TEST(DatasetOps, SubsetAndBoundsCheck) {
+  Dataset d;
+  for (int i = 0; i < 5; ++i) {
+    Sample s;
+    s.ids = {static_cast<std::int64_t>(i)};
+    s.length = 1;
+    d.add(s);
+  }
+  Dataset sub = d.subset({4, 0});
+  EXPECT_EQ(sub.size(), 2);
+  EXPECT_EQ(sub[0].ids[0], 4);
+  EXPECT_THROW(d.subset({5}), Error);
+}
+
+TEST(DatasetOps, SplitPartitionsWithoutLoss) {
+  Dataset d;
+  for (int i = 0; i < 10; ++i) {
+    Sample s;
+    s.ids = {static_cast<std::int64_t>(i)};
+    s.length = 1;
+    d.add(s);
+  }
+  core::Rng rng(3);
+  auto [a, b] = d.split(3, rng);
+  EXPECT_EQ(a.size(), 3);
+  EXPECT_EQ(b.size(), 7);
+  std::set<std::int64_t> seen;
+  for (std::int64_t i = 0; i < a.size(); ++i) seen.insert(a[i].ids[0]);
+  for (std::int64_t i = 0; i < b.size(); ++i) seen.insert(b[i].ids[0]);
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(DataLoaderTest, CoversAllSamplesEachEpoch) {
+  Dataset d;
+  for (int i = 0; i < 10; ++i) {
+    Sample s;
+    s.ids = {static_cast<std::int64_t>(i), 0};
+    s.length = 1;
+    d.add(s);
+  }
+  DataLoader loader(d, 3, /*shuffle=*/true, core::Rng(5));
+  EXPECT_EQ(loader.batches_per_epoch(), 4);
+  const auto batches = loader.epoch();
+  ASSERT_EQ(batches.size(), 4u);
+  EXPECT_EQ(batches.back().batch_size, 1);  // 10 = 3+3+3+1
+  std::set<std::int64_t> seen;
+  for (const auto& b : batches) {
+    for (std::int64_t r = 0; r < b.batch_size; ++r) seen.insert(b.ids[r * 2]);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(DataLoaderTest, ShuffleChangesOrderAcrossEpochs) {
+  Dataset d;
+  for (int i = 0; i < 32; ++i) {
+    Sample s;
+    s.ids = {static_cast<std::int64_t>(i)};
+    s.length = 1;
+    d.add(s);
+  }
+  DataLoader loader(d, 32, true, core::Rng(6));
+  const auto e1 = loader.epoch();
+  const auto e2 = loader.epoch();
+  EXPECT_NE(e1[0].ids, e2[0].ids);
+}
+
+TEST(DataLoaderTest, NoShuffleKeepsOrder) {
+  Dataset d;
+  for (int i = 0; i < 4; ++i) {
+    Sample s;
+    s.ids = {static_cast<std::int64_t>(i)};
+    s.length = 1;
+    d.add(s);
+  }
+  DataLoader loader(d, 2, false, core::Rng(7));
+  const auto batches = loader.epoch();
+  EXPECT_EQ(batches[0].ids, (std::vector<std::int64_t>{0, 1}));
+  EXPECT_EQ(batches[1].ids, (std::vector<std::int64_t>{2, 3}));
+}
+
+TEST(CollateTest, FlattensRowMajor) {
+  std::vector<Sample> samples(2);
+  samples[0].ids = {1, 2};
+  samples[0].length = 2;
+  samples[0].label = 1;
+  samples[1].ids = {3, 4};
+  samples[1].length = 1;
+  samples[1].label = 0;
+  Batch b = collate(samples, {0, 1}, 0, 2);
+  EXPECT_EQ(b.ids, (std::vector<std::int64_t>{1, 2, 3, 4}));
+  EXPECT_EQ(b.lengths, (std::vector<std::int64_t>{2, 1}));
+  EXPECT_EQ(b.labels, (std::vector<std::int64_t>{1, 0}));
+  EXPECT_EQ(b.seq_len, 2);
+}
+
+}  // namespace
+}  // namespace cppflare::data

@@ -1,0 +1,80 @@
+#include "flare/dxo.h"
+
+#include <gtest/gtest.h>
+
+namespace cppflare::flare {
+namespace {
+
+nn::StateDict small_dict() {
+  nn::StateDict d;
+  d.insert("w", {{2}, {1.5f, -2.5f}});
+  return d;
+}
+
+TEST(Dxo, KindNames) {
+  EXPECT_STREQ(dxo_kind_name(DxoKind::kWeights), "WEIGHTS");
+  EXPECT_STREQ(dxo_kind_name(DxoKind::kWeightDiff), "WEIGHT_DIFF");
+  EXPECT_STREQ(dxo_kind_name(DxoKind::kMetrics), "METRICS");
+}
+
+TEST(Dxo, MetaTypedAccessors) {
+  Dxo dxo;
+  dxo.set_meta("s", "text");
+  dxo.set_meta_int(Dxo::kMetaNumSamples, 123);
+  dxo.set_meta_double(Dxo::kMetaTrainLoss, 0.75);
+  EXPECT_EQ(dxo.meta("s"), "text");
+  EXPECT_EQ(dxo.meta_int(Dxo::kMetaNumSamples), 123);
+  EXPECT_DOUBLE_EQ(dxo.meta_double(Dxo::kMetaTrainLoss), 0.75);
+  EXPECT_TRUE(dxo.has_meta("s"));
+  EXPECT_FALSE(dxo.has_meta("missing"));
+  EXPECT_EQ(dxo.meta_int("missing", -1), -1);
+  EXPECT_DOUBLE_EQ(dxo.meta_double("missing", 9.5), 9.5);
+}
+
+TEST(Dxo, SerializeRoundTripWeights) {
+  Dxo dxo(DxoKind::kWeights, small_dict());
+  dxo.set_meta_int(Dxo::kMetaNumSamples, 42);
+  dxo.set_meta_double(Dxo::kMetaValidAcc, 0.875);
+
+  core::ByteWriter w;
+  dxo.serialize(w);
+  core::ByteReader r(w.bytes());
+  Dxo back = Dxo::deserialize(r);
+  EXPECT_EQ(back.kind(), DxoKind::kWeights);
+  EXPECT_EQ(back.data(), dxo.data());
+  EXPECT_EQ(back.meta_int(Dxo::kMetaNumSamples), 42);
+  EXPECT_DOUBLE_EQ(back.meta_double(Dxo::kMetaValidAcc), 0.875);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Dxo, SerializeRoundTripMetricsOnly) {
+  Dxo dxo;
+  dxo.set_kind(DxoKind::kMetrics);
+  dxo.set_meta_double(Dxo::kMetaValidLoss, 1.25);
+  core::ByteWriter w;
+  dxo.serialize(w);
+  core::ByteReader r(w.bytes());
+  Dxo back = Dxo::deserialize(r);
+  EXPECT_EQ(back.kind(), DxoKind::kMetrics);
+  EXPECT_TRUE(back.data().empty());
+  EXPECT_DOUBLE_EQ(back.meta_double(Dxo::kMetaValidLoss), 1.25);
+}
+
+TEST(Dxo, DeserializeRejectsBadKind) {
+  core::ByteWriter w;
+  w.write_u8(99);
+  core::ByteReader r(w.bytes());
+  EXPECT_THROW(Dxo::deserialize(r), SerializationError);
+}
+
+TEST(Dxo, MetaDoublePrecisionSurvives) {
+  Dxo dxo;
+  dxo.set_meta_double("x", 0.123456789012);
+  core::ByteWriter w;
+  dxo.serialize(w);
+  core::ByteReader r(w.bytes());
+  EXPECT_NEAR(Dxo::deserialize(r).meta_double("x"), 0.123456789012, 1e-11);
+}
+
+}  // namespace
+}  // namespace cppflare::flare

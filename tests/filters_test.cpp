@@ -1,0 +1,141 @@
+#include "flare/filters.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cppflare::flare {
+namespace {
+
+Dxo weights_dxo(std::vector<float> w) {
+  nn::StateDict d;
+  d.insert("a", {{static_cast<std::int64_t>(w.size())}, std::move(w)});
+  return Dxo(DxoKind::kWeights, d);
+}
+
+TEST(GaussianFilter, AddsZeroMeanNoise) {
+  GaussianPrivacyFilter filter(0.1, 42);
+  Dxo dxo = weights_dxo(std::vector<float>(10000, 1.0f));
+  FLContext ctx;
+  filter.process(dxo, ctx);
+  double mean = 0.0, var = 0.0;
+  const auto& vals = dxo.data().at("a").values;
+  for (float v : vals) mean += v;
+  mean /= vals.size();
+  for (float v : vals) var += (v - mean) * (v - mean);
+  var /= vals.size();
+  EXPECT_NEAR(mean, 1.0, 0.01);
+  EXPECT_NEAR(std::sqrt(var), 0.1, 0.02);
+}
+
+TEST(GaussianFilter, SkipsMetricsDxo) {
+  GaussianPrivacyFilter filter(1.0, 1);
+  Dxo dxo;  // kMetrics, empty data
+  FLContext ctx;
+  filter.process(dxo, ctx);
+  EXPECT_TRUE(dxo.data().empty());
+}
+
+TEST(GaussianFilter, NoiseVariesPerCall) {
+  GaussianPrivacyFilter filter(0.5, 2);
+  Dxo a = weights_dxo({0, 0, 0, 0});
+  Dxo b = weights_dxo({0, 0, 0, 0});
+  FLContext ctx;
+  filter.process(a, ctx);
+  filter.process(b, ctx);
+  EXPECT_NE(a.data().at("a").values, b.data().at("a").values);
+}
+
+TEST(NormClip, ScalesDownLargeUpdates) {
+  NormClipFilter filter(1.0);
+  Dxo dxo = weights_dxo({3.0f, 4.0f});  // norm 5
+  FLContext ctx;
+  filter.process(dxo, ctx);
+  const auto& v = dxo.data().at("a").values;
+  EXPECT_NEAR(std::sqrt(v[0] * v[0] + v[1] * v[1]), 1.0, 1e-5);
+  EXPECT_NEAR(v[0] / v[1], 0.75, 1e-5);  // direction preserved
+}
+
+TEST(NormClip, LeavesSmallUpdatesAlone) {
+  NormClipFilter filter(10.0);
+  Dxo dxo = weights_dxo({3.0f, 4.0f});
+  FLContext ctx;
+  filter.process(dxo, ctx);
+  EXPECT_FLOAT_EQ(dxo.data().at("a").values[0], 3.0f);
+}
+
+TEST(NormClip, NormSpansAllBlobs) {
+  NormClipFilter filter(5.0);
+  nn::StateDict d;
+  d.insert("a", {{1}, {6.0f}});
+  d.insert("b", {{1}, {8.0f}});  // global norm 10
+  Dxo dxo(DxoKind::kWeightDiff, d);
+  FLContext ctx;
+  filter.process(dxo, ctx);
+  EXPECT_NEAR(dxo.data().at("a").values[0], 3.0f, 1e-5f);
+  EXPECT_NEAR(dxo.data().at("b").values[0], 4.0f, 1e-5f);
+}
+
+TEST(NormClip, ZeroUpdateUnchanged) {
+  NormClipFilter filter(1.0);
+  Dxo dxo = weights_dxo({0.0f, 0.0f});
+  FLContext ctx;
+  filter.process(dxo, ctx);
+  EXPECT_FLOAT_EQ(dxo.data().at("a").values[0], 0.0f);
+}
+
+TEST(ExcludeVars, DropsMatchingPrefix) {
+  nn::StateDict d;
+  d.insert("head.weight", {{1}, {1.0f}});
+  d.insert("head.bias", {{1}, {2.0f}});
+  d.insert("encoder.weight", {{1}, {3.0f}});
+  Dxo dxo(DxoKind::kWeights, d);
+  ExcludeVarsFilter filter("head.");
+  FLContext ctx;
+  filter.process(dxo, ctx);
+  EXPECT_EQ(dxo.data().size(), 1u);
+  EXPECT_TRUE(dxo.data().contains("encoder.weight"));
+}
+
+TEST(ExcludeVars, NoMatchesIsNoop) {
+  nn::StateDict d;
+  d.insert("encoder.weight", {{1}, {3.0f}});
+  Dxo dxo(DxoKind::kWeights, d);
+  ExcludeVarsFilter filter("nothing.");
+  FLContext ctx;
+  filter.process(dxo, ctx);
+  EXPECT_EQ(dxo.data().size(), 1u);
+}
+
+TEST(FilterChainTest, AppliesInOrder) {
+  FilterChain chain;
+  chain.add(std::make_shared<NormClipFilter>(1.0));
+  chain.add(std::make_shared<ExcludeVarsFilter>("drop."));
+  nn::StateDict d;
+  d.insert("drop.x", {{1}, {100.0f}});
+  d.insert("keep.y", {{1}, {100.0f}});
+  Dxo dxo(DxoKind::kWeights, d);
+  FLContext ctx;
+  chain.process(dxo, ctx);
+  // Clip first (norm over both), then drop.
+  EXPECT_EQ(chain.size(), 2u);
+  EXPECT_EQ(dxo.data().size(), 1u);
+  EXPECT_LT(dxo.data().at("keep.y").values[0], 1.0f);
+}
+
+TEST(FilterChainTest, EmptyChainNoop) {
+  FilterChain chain;
+  Dxo dxo = weights_dxo({5.0f});
+  FLContext ctx;
+  chain.process(dxo, ctx);
+  EXPECT_FLOAT_EQ(dxo.data().at("a").values[0], 5.0f);
+}
+
+TEST(FilterNames, Describe) {
+  EXPECT_EQ(GaussianPrivacyFilter(0.1, 1).name(), "GaussianPrivacy");
+  EXPECT_EQ(NormClipFilter(1.0).name(), "NormClip");
+  EXPECT_EQ(ExcludeVarsFilter("head.").name(), "ExcludeVars(head.)");
+}
+
+}  // namespace
+}  // namespace cppflare::flare

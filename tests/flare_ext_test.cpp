@@ -1,0 +1,255 @@
+// Tests for the framework extensions: best-model selection and secure
+// aggregation by pairwise masking.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+
+#include "core/logging.h"
+#include "flare/model_selector.h"
+#include "flare/secure_agg.h"
+#include "flare/server.h"
+#include "flare/simulator.h"
+
+namespace cppflare::flare {
+namespace {
+
+nn::StateDict dict_of(std::vector<float> w) {
+  nn::StateDict d;
+  d.insert("w", {{static_cast<std::int64_t>(w.size())}, std::move(w)});
+  return d;
+}
+
+RoundMetrics metrics_with(double acc, double loss) {
+  RoundMetrics m;
+  m.valid_acc = acc;
+  m.valid_loss = loss;
+  return m;
+}
+
+class QuietLogs : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    core::LogConfig::instance().set_threshold(core::LogLevel::kOff);
+  }
+  void TearDown() override {
+    core::LogConfig::instance().set_threshold(core::LogLevel::kInfo);
+  }
+};
+
+using BestModelSelectorTest = QuietLogs;
+using SecureAggTest = QuietLogs;
+
+TEST_F(BestModelSelectorTest, KeepsHighestAccuracyRound) {
+  BestModelSelector selector;
+  EXPECT_FALSE(selector.has_best());
+  selector.observe(0, dict_of({1}), metrics_with(0.6, 1.0));
+  selector.observe(1, dict_of({2}), metrics_with(0.8, 0.9));
+  selector.observe(2, dict_of({3}), metrics_with(0.7, 0.5));
+  ASSERT_TRUE(selector.has_best());
+  EXPECT_EQ(selector.best_round(), 1);
+  EXPECT_FLOAT_EQ(selector.best_model().at("w").values[0], 2.0f);
+  EXPECT_DOUBLE_EQ(selector.best_metrics().valid_acc, 0.8);
+}
+
+TEST_F(BestModelSelectorTest, MinLossCriterion) {
+  BestModelSelector selector(BestModelSelector::Criterion::kMinValidLoss);
+  selector.observe(0, dict_of({1}), metrics_with(0.9, 1.0));
+  selector.observe(1, dict_of({2}), metrics_with(0.5, 0.2));
+  EXPECT_EQ(selector.best_round(), 1);
+}
+
+TEST_F(BestModelSelectorTest, TieKeepsEarlierRound) {
+  BestModelSelector selector;
+  selector.observe(0, dict_of({1}), metrics_with(0.7, 1.0));
+  selector.observe(1, dict_of({2}), metrics_with(0.7, 1.0));
+  EXPECT_EQ(selector.best_round(), 0);
+}
+
+TEST_F(BestModelSelectorTest, ThrowsBeforeAnyRound) {
+  BestModelSelector selector;
+  EXPECT_THROW(selector.best_model(), Error);
+}
+
+TEST_F(BestModelSelectorTest, AttachObservesSimulatedRun) {
+  // Learner whose reported valid_acc peaks mid-run; the selector must keep
+  // the peak round's model, not the final one.
+  class PeakLearner : public Learner {
+   public:
+    explicit PeakLearner(std::string site) : site_(std::move(site)) {}
+    Dxo train(const Dxo& global, const FLContext& ctx) override {
+      nn::StateDict updated = global.data();
+      updated.at("w").values[0] = static_cast<float>(ctx.current_round + 1);
+      Dxo update(DxoKind::kWeights, updated);
+      update.set_meta_int(Dxo::kMetaNumSamples, 10);
+      update.set_meta_double(Dxo::kMetaTrainLoss, 1.0);
+      // Accuracy profile: 0.5, 0.9, 0.6, 0.4 over four rounds.
+      const double profile[] = {0.5, 0.9, 0.6, 0.4};
+      update.set_meta_double(Dxo::kMetaValidAcc, profile[ctx.current_round % 4]);
+      return update;
+    }
+    std::string site_name() const override { return site_; }
+
+   private:
+    std::string site_;
+  };
+
+  SimulatorConfig config;
+  config.num_clients = 2;
+  config.num_rounds = 4;
+  SimulatorRunner runner(config, dict_of({0.0f}),
+                         std::make_unique<FedAvgAggregator>(true),
+                         [](std::int64_t, const std::string& name) {
+                           return std::make_shared<PeakLearner>(name);
+                         });
+  BestModelSelector selector;
+  selector.attach(runner.server());
+  runner.run();
+  EXPECT_EQ(selector.best_round(), 1);
+  EXPECT_FLOAT_EQ(selector.best_model().at("w").values[0], 2.0f);
+}
+
+TEST(EventBusTest, HandlersRunInSubscriptionOrder) {
+  EventBus bus;
+  std::vector<int> order;
+  bus.subscribe(EventType::kRoundDone, [&](const FLContext&) { order.push_back(1); });
+  bus.subscribe(EventType::kRoundDone, [&](const FLContext&) { order.push_back(2); });
+  FLContext ctx;
+  bus.fire(EventType::kRoundDone, ctx);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventBusTest, FireWithoutSubscribersIsNoop) {
+  EventBus bus;
+  FLContext ctx;
+  bus.fire(EventType::kEndRun, ctx);  // must not crash
+  SUCCEED();
+}
+
+TEST(EventBusTest, HandlersSeeContextFields) {
+  EventBus bus;
+  std::int64_t seen_round = -1;
+  bus.subscribe(EventType::kRoundStarted,
+                [&](const FLContext& ctx) { seen_round = ctx.current_round; });
+  FLContext ctx;
+  ctx.current_round = 7;
+  bus.fire(EventType::kRoundStarted, ctx);
+  EXPECT_EQ(seen_round, 7);
+}
+
+TEST(EventBusTest, EventTypeNames) {
+  EXPECT_STREQ(event_type_name(EventType::kStartRun), "START_RUN");
+  EXPECT_STREQ(event_type_name(EventType::kBeforeAggregation),
+               "BEFORE_AGGREGATION");
+  EXPECT_STREQ(event_type_name(EventType::kEndRun), "END_RUN");
+}
+
+TEST_F(SecureAggTest, PairKeysSymmetricAndDistinct) {
+  SecureAggregationDealer dealer("proj", 5);
+  EXPECT_EQ(dealer.pair_key("site-1", "site-2"), dealer.pair_key("site-2", "site-1"));
+  EXPECT_NE(dealer.pair_key("site-1", "site-2"), dealer.pair_key("site-1", "site-3"));
+  EXPECT_THROW(dealer.pair_key("site-1", "site-1"), Error);
+  SecureAggregationDealer other("proj", 6);
+  EXPECT_NE(dealer.pair_key("site-1", "site-2"), other.pair_key("site-1", "site-2"));
+}
+
+TEST_F(SecureAggTest, MasksCancelAcrossAllSites) {
+  const std::vector<std::string> sites = {"site-1", "site-2", "site-3"};
+  SecureAggregationDealer dealer("proj", 11);
+  FLContext ctx;
+  ctx.current_round = 2;
+
+  const std::vector<float> x1 = {1.0f, 2.0f}, x2 = {3.0f, -1.0f}, x3 = {0.5f, 0.5f};
+  std::vector<std::vector<float>> masked;
+  for (const auto& [site, values] :
+       {std::pair{std::string("site-1"), x1}, {std::string("site-2"), x2},
+        {std::string("site-3"), x3}}) {
+    Dxo dxo(DxoKind::kWeights, dict_of(values));
+    SecureAggMaskFilter filter(site, sites, dealer);
+    filter.process(dxo, ctx);
+    masked.push_back(dxo.data().at("w").values);
+  }
+  // Each masked update differs from the raw one...
+  EXPECT_NE(masked[0], x1);
+  // ...but the sum is exactly preserved (masks cancel pairwise).
+  for (int j = 0; j < 2; ++j) {
+    const float masked_sum = masked[0][j] + masked[1][j] + masked[2][j];
+    const float raw_sum = x1[j] + x2[j] + x3[j];
+    EXPECT_NEAR(masked_sum, raw_sum, 1e-3f);
+  }
+}
+
+TEST_F(SecureAggTest, MasksDifferAcrossRounds) {
+  const std::vector<std::string> sites = {"site-1", "site-2"};
+  SecureAggregationDealer dealer("proj", 12);
+  SecureAggMaskFilter filter("site-1", sites, dealer);
+  FLContext r0, r1;
+  r0.current_round = 0;
+  r1.current_round = 1;
+  Dxo a(DxoKind::kWeights, dict_of({0, 0, 0, 0}));
+  Dxo b(DxoKind::kWeights, dict_of({0, 0, 0, 0}));
+  filter.process(a, r0);
+  filter.process(b, r1);
+  EXPECT_NE(a.data().at("w").values, b.data().at("w").values);
+}
+
+TEST_F(SecureAggTest, ValidatesParticipants) {
+  SecureAggregationDealer dealer("proj", 13);
+  EXPECT_THROW(SecureAggMaskFilter("site-9", {"site-1", "site-2"}, dealer), Error);
+  EXPECT_THROW(SecureAggMaskFilter("site-1", {"site-1"}, dealer), Error);
+}
+
+TEST_F(SecureAggTest, EndToEndFederationUnchangedByMasking) {
+  // Uniform FedAvg over constant learners: the aggregate with masking must
+  // equal the aggregate without, while each sealed contribution is noise.
+  class ConstLearner : public Learner {
+   public:
+    ConstLearner(std::string site, float v) : site_(std::move(site)), v_(v) {}
+    Dxo train(const Dxo& global, const FLContext&) override {
+      nn::StateDict d = global.data();
+      for (auto& [k, blob] : d.entries()) {
+        for (float& x : blob.values) x = v_;
+      }
+      Dxo update(DxoKind::kWeights, d);
+      update.set_meta_int(Dxo::kMetaNumSamples, 10);
+      return update;
+    }
+    std::string site_name() const override { return site_; }
+
+   private:
+    std::string site_;
+    float v_;
+  };
+
+  auto run = [&](bool masked) {
+    SimulatorConfig config;
+    config.job_id = "secure_demo";
+    config.num_clients = 4;
+    config.num_rounds = 2;
+    SimulatorRunner runner(config, dict_of({0.0f, 0.0f}),
+                           std::make_unique<FedAvgAggregator>(/*weighted=*/false),
+                           [](std::int64_t i, const std::string& name) {
+                             return std::make_shared<ConstLearner>(
+                                 name, static_cast<float>(i));
+                           });
+    if (masked) {
+      auto dealer = std::make_shared<SecureAggregationDealer>("secure_demo", 77);
+      const std::vector<std::string> all = {"site-1", "site-2", "site-3", "site-4"};
+      runner.set_client_customizer([dealer, all](FederatedClient& client) {
+        client.outbound_filters().add(std::make_shared<SecureAggMaskFilter>(
+            client.site_name(), all, *dealer));
+      });
+    }
+    return runner.run().final_model;
+  };
+
+  const nn::StateDict clean = run(false);
+  const nn::StateDict secured = run(true);
+  ASSERT_TRUE(clean.congruent_with(secured));
+  for (std::size_t i = 0; i < clean.at("w").values.size(); ++i) {
+    EXPECT_NEAR(clean.at("w").values[i], secured.at("w").values[i], 5e-3f);
+  }
+}
+
+}  // namespace
+}  // namespace cppflare::flare

@@ -1,0 +1,117 @@
+#include "nn/gru.h"
+
+#include <gtest/gtest.h>
+
+#include "models/lstm_classifier.h"
+#include "tensor/ops.h"
+#include "test_util.h"
+
+namespace cppflare::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(GruLayer, StepShapes) {
+  core::Rng rng(1);
+  GruLayer layer(3, 4, rng);
+  Tensor x = Tensor::zeros({2, 3});
+  Tensor h = Tensor::zeros({2, 4});
+  EXPECT_EQ(layer.step(x, h).shape(), (Shape{2, 4}));
+}
+
+TEST(GruLayer, ParameterCountMatchesPytorchLayout) {
+  core::Rng rng(2);
+  GruLayer layer(3, 4, rng);
+  // w_ih [12,3] + w_hh [12,4] + b_ih [12] + b_hh [12]
+  EXPECT_EQ(layer.num_parameters(), 12 * 3 + 12 * 4 + 12 + 12);
+}
+
+TEST(GruLayer, UpdateGateInterpolates) {
+  // With all weights zero except a saturated update-gate bias, h' == h.
+  core::Rng rng(3);
+  GruLayer layer(1, 1, rng);
+  auto params = layer.named_parameters();  // w_ih, w_hh, b_ih, b_hh
+  for (auto& [name, p] : params) std::fill(p.vec().begin(), p.vec().end(), 0.0f);
+  params[2].second.vec()[1] = 100.0f;  // z ~= 1 -> keep old state
+  Tensor x = Tensor::full({1, 1}, 3.0f);
+  Tensor h = Tensor::full({1, 1}, 0.7f);
+  Tensor h2 = layer.step(x, h);
+  EXPECT_NEAR(h2.data()[0], 0.7f, 1e-4f);
+
+  params[2].second.vec()[1] = -100.0f;  // z ~= 0 -> take candidate n
+  params[0].second.vec()[2] = 1.0f;     // n = tanh(x) (r-gated h term is 0)
+  Tensor h3 = layer.step(x, h);
+  EXPECT_NEAR(h3.data()[0], std::tanh(3.0f), 1e-4f);
+}
+
+TEST(Gru, ForwardShape) {
+  core::Rng rng(4);
+  Gru gru(3, 5, 2, 0.0f, rng);
+  EXPECT_EQ(gru.num_layers(), 2);
+  Tensor x = Tensor::zeros({2, 4, 3});
+  core::Rng fw(5);
+  EXPECT_EQ(gru.forward(x, fw).shape(), (Shape{2, 4, 5}));
+}
+
+TEST(Gru, RejectsZeroLayers) {
+  core::Rng rng(6);
+  EXPECT_THROW(Gru(3, 4, 0, 0.0f, rng), Error);
+}
+
+TEST(Gru, OutputDependsOnOrder) {
+  core::Rng rng(7);
+  Gru gru(2, 3, 1, 0.0f, rng);
+  core::Rng fw(8);
+  Tensor ab = Tensor::from_data({1, 2, 2}, {1, 0, 0, 1});
+  Tensor ba = Tensor::from_data({1, 2, 2}, {0, 1, 1, 0});
+  Tensor ya = gru.forward(ab, fw);
+  Tensor yb = gru.forward(ba, fw);
+  float diff = 0.0f;
+  for (std::int64_t j = 0; j < 3; ++j) {
+    diff += std::fabs(ya.data()[3 + j] - yb.data()[3 + j]);
+  }
+  EXPECT_GT(diff, 1e-4f);
+}
+
+TEST(Gru, BpttGradientsMatchNumerical) {
+  core::Rng rng(9);
+  Gru gru(2, 2, 1, 0.0f, rng);
+  Tensor x = Tensor::randn({1, 3, 2}, rng, 0.0f, 1.0f, true);
+  core::Rng fw(10);
+  std::vector<Tensor> inputs = {x};
+  for (auto& p : gru.parameters()) inputs.push_back(p);
+  cppflare::testing::expect_gradients_close(
+      [&] {
+        Tensor y = gru.forward(x, fw);
+        return tensor::sum_all(tensor::mul(y, y));
+      },
+      inputs, 1e-2f, 8e-2f, 1e-2f);
+}
+
+TEST(GruClassifierTest, FactoryAndShapes) {
+  core::Rng rng(11);
+  models::ModelConfig c = models::ModelConfig::gru(30, 8);
+  EXPECT_EQ(c.kind, models::ModelKind::kGru);
+  EXPECT_EQ(c.hidden, 128);  // mirrors the LSTM spec
+  c.hidden = 10;
+  auto model = models::make_classifier(c, rng);
+  EXPECT_NE(dynamic_cast<models::GruClassifier*>(model.get()), nullptr);
+
+  data::Batch b;
+  b.batch_size = 2;
+  b.seq_len = 8;
+  b.ids.assign(16, 6);
+  b.lengths = {8, 5};
+  b.labels = {0, 1};
+  core::Rng fw(12);
+  EXPECT_EQ(model->class_logits(b, fw).shape(), (Shape{2, 2}));
+}
+
+TEST(GruClassifierTest, ByNameLookup) {
+  EXPECT_EQ(models::ModelConfig::by_name("gru", 10, 8).kind,
+            models::ModelKind::kGru);
+}
+
+}  // namespace
+}  // namespace cppflare::nn

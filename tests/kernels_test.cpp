@@ -1,0 +1,97 @@
+#include "tensor/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/rng.h"
+
+namespace cppflare::tensor {
+namespace {
+
+// Reference triple-loop implementations.
+void ref_nn(const std::vector<float>& a, const std::vector<float>& b,
+            std::vector<float>& c, int m, int k, int n) {
+  for (int i = 0; i < m; ++i)
+    for (int j = 0; j < n; ++j)
+      for (int kk = 0; kk < k; ++kk) c[i * n + j] += a[i * k + kk] * b[kk * n + j];
+}
+
+void ref_nt(const std::vector<float>& a, const std::vector<float>& b,
+            std::vector<float>& c, int m, int k, int n) {
+  for (int i = 0; i < m; ++i)
+    for (int j = 0; j < n; ++j)
+      for (int kk = 0; kk < k; ++kk) c[i * n + j] += a[i * k + kk] * b[j * k + kk];
+}
+
+void ref_tn(const std::vector<float>& a, const std::vector<float>& b,
+            std::vector<float>& c, int m, int k, int n) {
+  for (int kk = 0; kk < k; ++kk)
+    for (int j = 0; j < n; ++j)
+      for (int i = 0; i < m; ++i) c[kk * n + j] += a[i * k + kk] * b[i * n + j];
+}
+
+struct GemmCase {
+  int m, k, n;
+};
+
+class GemmParamTest : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmParamTest, NnMatchesReference) {
+  const auto [m, k, n] = GetParam();
+  core::Rng rng(m * 10007 + k * 101 + n);
+  std::vector<float> a(m * k), b(k * n), c(m * n, 0.0f), ref(m * n, 0.0f);
+  for (auto& x : a) x = static_cast<float>(rng.normal());
+  for (auto& x : b) x = static_cast<float>(rng.normal());
+  gemm_nn(a.data(), b.data(), c.data(), m, k, n);
+  ref_nn(a, b, ref, m, k, n);
+  for (int i = 0; i < m * n; ++i) EXPECT_NEAR(c[i], ref[i], 1e-3f) << i;
+}
+
+TEST_P(GemmParamTest, NtMatchesReference) {
+  const auto [m, k, n] = GetParam();
+  core::Rng rng(m * 7 + k * 11 + n * 13);
+  std::vector<float> a(m * k), b(n * k), c(m * n, 0.0f), ref(m * n, 0.0f);
+  for (auto& x : a) x = static_cast<float>(rng.normal());
+  for (auto& x : b) x = static_cast<float>(rng.normal());
+  gemm_nt(a.data(), b.data(), c.data(), m, k, n);
+  ref_nt(a, b, ref, m, k, n);
+  for (int i = 0; i < m * n; ++i) EXPECT_NEAR(c[i], ref[i], 1e-3f) << i;
+}
+
+TEST_P(GemmParamTest, TnMatchesReference) {
+  const auto [m, k, n] = GetParam();
+  core::Rng rng(m * 3 + k * 5 + n * 17);
+  std::vector<float> a(m * k), b(m * n), c(k * n, 0.0f), ref(k * n, 0.0f);
+  for (auto& x : a) x = static_cast<float>(rng.normal());
+  for (auto& x : b) x = static_cast<float>(rng.normal());
+  gemm_tn(a.data(), b.data(), c.data(), m, k, n);
+  ref_tn(a, b, ref, m, k, n);
+  for (int i = 0; i < k * n; ++i) EXPECT_NEAR(c[i], ref[i], 1e-3f) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmParamTest,
+    ::testing::Values(GemmCase{1, 1, 1}, GemmCase{2, 3, 4}, GemmCase{5, 7, 3},
+                      GemmCase{8, 8, 8}, GemmCase{16, 32, 16}, GemmCase{3, 1, 9},
+                      GemmCase{1, 64, 1}, GemmCase{33, 17, 5},
+                      // n not divisible by 4 exercises the gemm_nt tail.
+                      GemmCase{4, 16, 6}, GemmCase{4, 16, 7}),
+    [](const ::testing::TestParamInfo<GemmCase>& info) {
+      return std::to_string(info.param.m) + "x" + std::to_string(info.param.k) +
+             "x" + std::to_string(info.param.n);
+    });
+
+TEST(GemmAccumulate, AddsToExistingValues) {
+  std::vector<float> a = {1, 0, 0, 1};  // 2x2 identity
+  std::vector<float> b = {5, 6, 7, 8};
+  std::vector<float> c = {100, 100, 100, 100};
+  gemm_nn(a.data(), b.data(), c.data(), 2, 2, 2);
+  EXPECT_FLOAT_EQ(c[0], 105);
+  EXPECT_FLOAT_EQ(c[1], 106);
+  EXPECT_FLOAT_EQ(c[2], 107);
+  EXPECT_FLOAT_EQ(c[3], 108);
+}
+
+}  // namespace
+}  // namespace cppflare::tensor

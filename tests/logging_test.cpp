@@ -1,0 +1,75 @@
+#include "core/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <regex>
+#include <sstream>
+
+namespace cppflare::core {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    LogConfig::instance().set_sink(&out_);
+    LogConfig::instance().set_threshold(LogLevel::kDebug);
+  }
+  void TearDown() override {
+    LogConfig::instance().set_sink(nullptr);
+    LogConfig::instance().set_threshold(LogLevel::kInfo);
+  }
+  std::ostringstream out_;
+};
+
+TEST_F(LoggingTest, NvflareStyleFormat) {
+  Logger log("CiBertLearner");
+  log.info("Local epoch site-7: 1/10");
+  // "2023-04-07 06:33:33,911 - CiBertLearner - INFO: Local epoch site-7: 1/10"
+  const std::regex pattern(
+      R"(^\d{4}-\d{2}-\d{2} \d{2}:\d{2}:\d{2},\d{3} - CiBertLearner - INFO: Local epoch site-7: 1/10\n$)");
+  EXPECT_TRUE(std::regex_match(out_.str(), pattern)) << out_.str();
+}
+
+TEST_F(LoggingTest, ThresholdSuppressesLowerLevels) {
+  LogConfig::instance().set_threshold(LogLevel::kWarn);
+  Logger log("X");
+  log.debug("d");
+  log.info("i");
+  EXPECT_TRUE(out_.str().empty());
+  log.warn("w");
+  log.error("e");
+  EXPECT_NE(out_.str().find("WARN: w"), std::string::npos);
+  EXPECT_NE(out_.str().find("ERROR: e"), std::string::npos);
+}
+
+TEST_F(LoggingTest, OffSilencesEverything) {
+  LogConfig::instance().set_threshold(LogLevel::kOff);
+  Logger log("X");
+  log.error("nope");
+  EXPECT_TRUE(out_.str().empty());
+}
+
+TEST_F(LoggingTest, LevelNames) {
+  EXPECT_STREQ(log_level_name(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(log_level_name(LogLevel::kInfo), "INFO");
+  EXPECT_STREQ(log_level_name(LogLevel::kWarn), "WARN");
+  EXPECT_STREQ(log_level_name(LogLevel::kError), "ERROR");
+}
+
+TEST_F(LoggingTest, TimestampShape) {
+  const std::string ts = timestamp_now();
+  const std::regex pattern(R"(^\d{4}-\d{2}-\d{2} \d{2}:\d{2}:\d{2},\d{3}$)");
+  EXPECT_TRUE(std::regex_match(ts, pattern)) << ts;
+}
+
+TEST_F(LoggingTest, MultipleLinesAppend) {
+  Logger log("A");
+  log.info("one");
+  log.info("two");
+  const std::string s = out_.str();
+  EXPECT_NE(s.find("one\n"), std::string::npos);
+  EXPECT_NE(s.find("two\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cppflare::core

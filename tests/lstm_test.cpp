@@ -1,0 +1,132 @@
+#include "nn/lstm.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+#include "test_util.h"
+
+namespace cppflare::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(LstmLayer, StepShapes) {
+  core::Rng rng(1);
+  LstmLayer layer(3, 4, rng);
+  Tensor x = Tensor::zeros({2, 3});
+  Tensor h = Tensor::zeros({2, 4});
+  Tensor c = Tensor::zeros({2, 4});
+  auto [h2, c2] = layer.step(x, h, c);
+  EXPECT_EQ(h2.shape(), (Shape{2, 4}));
+  EXPECT_EQ(c2.shape(), (Shape{2, 4}));
+}
+
+TEST(LstmLayer, ParameterCountMatchesPytorchLayout) {
+  core::Rng rng(2);
+  LstmLayer layer(3, 4, rng);
+  // w_ih [16,3] + w_hh [16,4] + b_ih [16] + b_hh [16]
+  EXPECT_EQ(layer.num_parameters(), 16 * 3 + 16 * 4 + 16 + 16);
+}
+
+TEST(LstmLayer, ZeroWeightsGiveZeroHidden) {
+  core::Rng rng(3);
+  LstmLayer layer(2, 2, rng);
+  // Zero all parameters: gates = 0 -> i=f=o=0.5, g=0 -> c=0, h=0.
+  for (auto& p : layer.parameters()) std::fill(p.vec().begin(), p.vec().end(), 0.0f);
+  Tensor x = Tensor::full({1, 2}, 5.0f);
+  Tensor h = Tensor::zeros({1, 2});
+  Tensor c = Tensor::zeros({1, 2});
+  auto [h2, c2] = layer.step(x, h, c);
+  for (std::int64_t i = 0; i < 2; ++i) {
+    EXPECT_NEAR(h2.data()[i], 0.0f, 1e-6f);
+    EXPECT_NEAR(c2.data()[i], 0.0f, 1e-6f);
+  }
+}
+
+TEST(LstmLayer, ForgetGateScalesCellState) {
+  // Hand-computed single-unit case: all weights zero except a huge input
+  // gate bias and cell candidate driven by x.
+  core::Rng rng(4);
+  LstmLayer layer(1, 1, rng);
+  auto params = layer.named_parameters();
+  // Layout rows: [i, f, g, o] in the 4H dimension.
+  for (auto& [name, p] : params) std::fill(p.vec().begin(), p.vec().end(), 0.0f);
+  // w_ih rows: i row 0, f row 1, g row 2, o row 3.
+  params[0].second.vec()[2] = 1.0f;   // g = tanh(x)
+  params[2].second.vec()[0] = 100.f;  // i ~= 1
+  params[2].second.vec()[1] = -100.f; // f ~= 0
+  params[2].second.vec()[3] = 100.f;  // o ~= 1
+  Tensor x = Tensor::full({1, 1}, 0.5f);
+  Tensor h = Tensor::zeros({1, 1});
+  Tensor c = Tensor::full({1, 1}, 10.0f);  // should be forgotten
+  auto [h2, c2] = layer.step(x, h, c);
+  const float g = std::tanh(0.5f);
+  EXPECT_NEAR(c2.data()[0], g, 1e-4f);               // f*c + i*g = g
+  EXPECT_NEAR(h2.data()[0], std::tanh(g), 1e-4f);    // o*tanh(c)
+}
+
+TEST(Lstm, ForwardShapeAndLayering) {
+  core::Rng rng(5);
+  Lstm lstm(3, 4, 2, 0.0f, rng);
+  EXPECT_EQ(lstm.num_layers(), 2);
+  Tensor x = Tensor::zeros({2, 5, 3});
+  core::Rng drop_rng(6);
+  Tensor y = lstm.forward(x, drop_rng);
+  EXPECT_EQ(y.shape(), (Shape{2, 5, 4}));
+}
+
+TEST(Lstm, RejectsZeroLayers) {
+  core::Rng rng(7);
+  EXPECT_THROW(Lstm(3, 4, 0, 0.0f, rng), Error);
+}
+
+TEST(Lstm, OutputDependsOnOrder) {
+  // The recurrent model must distinguish [a,b] from [b,a] — the property
+  // the paper's ADR task exploits.
+  core::Rng rng(8);
+  Lstm lstm(2, 3, 1, 0.0f, rng);
+  core::Rng drop_rng(9);
+  Tensor ab = Tensor::from_data({1, 2, 2}, {1, 0, 0, 1});
+  Tensor ba = Tensor::from_data({1, 2, 2}, {0, 1, 1, 0});
+  Tensor ya = lstm.forward(ab, drop_rng);
+  Tensor yb = lstm.forward(ba, drop_rng);
+  float diff = 0.0f;
+  // Compare final timestep hidden states.
+  for (std::int64_t j = 0; j < 3; ++j) {
+    diff += std::fabs(ya.data()[1 * 3 + j] - yb.data()[1 * 3 + j]);
+  }
+  EXPECT_GT(diff, 1e-4f);
+}
+
+TEST(Lstm, BpttGradientsMatchNumerical) {
+  core::Rng rng(10);
+  Lstm lstm(2, 2, 1, 0.0f, rng);
+  Tensor x = Tensor::randn({1, 3, 2}, rng, 0.0f, 1.0f, true);
+  core::Rng drop_rng(11);
+  std::vector<Tensor> inputs = {x};
+  for (auto& p : lstm.parameters()) inputs.push_back(p);
+  cppflare::testing::expect_gradients_close(
+      [&] {
+        Tensor y = lstm.forward(x, drop_rng);
+        return tensor::sum_all(tensor::mul(y, y));
+      },
+      inputs, 1e-2f, 8e-2f, 1e-2f);
+}
+
+TEST(Lstm, DropoutOnlyBetweenLayersAndOnlyInTraining) {
+  core::Rng rng(12);
+  Lstm lstm(2, 4, 2, 0.5f, rng);
+  Tensor x = Tensor::full({1, 3, 2}, 1.0f);
+  lstm.set_training(false);
+  core::Rng r1(13), r2(14);
+  Tensor y1 = lstm.forward(x, r1);
+  Tensor y2 = lstm.forward(x, r2);
+  // Eval mode: deterministic regardless of rng.
+  for (std::int64_t i = 0; i < y1.numel(); ++i) {
+    EXPECT_EQ(y1.data()[i], y2.data()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace cppflare::nn

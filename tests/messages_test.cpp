@@ -1,0 +1,92 @@
+#include "flare/messages.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+
+namespace cppflare::flare {
+namespace {
+
+TEST(Messages, RegisterRoundTrip) {
+  const auto frame = pack(RegisterRequest{"site-3", "tok-abc"});
+  EXPECT_EQ(peek_type(frame), MsgType::kRegister);
+  const RegisterRequest m = decode_register(frame);
+  EXPECT_EQ(m.site_name, "site-3");
+  EXPECT_EQ(m.token, "tok-abc");
+}
+
+TEST(Messages, RegisterAckRoundTrip) {
+  const auto frame = pack(RegisterAck{true, "sess-1", "welcome"});
+  const RegisterAck m = decode_register_ack(frame);
+  EXPECT_TRUE(m.accepted);
+  EXPECT_EQ(m.session_id, "sess-1");
+  EXPECT_EQ(m.message, "welcome");
+}
+
+TEST(Messages, GetTaskRoundTrip) {
+  const auto frame = pack(GetTaskRequest{"sess-9"});
+  EXPECT_EQ(decode_get_task(frame).session_id, "sess-9");
+}
+
+TEST(Messages, TaskRoundTripWithPayload) {
+  nn::StateDict d;
+  d.insert("w", {{2}, {1.0f, 2.0f}});
+  TaskMessage t;
+  t.task = TaskKind::kTrain;
+  t.round = 3;
+  t.total_rounds = 10;
+  t.payload = Dxo(DxoKind::kWeights, d);
+  const auto frame = pack(t);
+  const TaskMessage m = decode_task(frame);
+  EXPECT_EQ(m.task, TaskKind::kTrain);
+  EXPECT_EQ(m.round, 3);
+  EXPECT_EQ(m.total_rounds, 10);
+  EXPECT_EQ(m.payload.data().at("w").values[1], 2.0f);
+}
+
+TEST(Messages, SubmitRoundTrip) {
+  SubmitUpdateRequest req;
+  req.session_id = "s";
+  req.round = 7;
+  req.payload.set_meta_int(Dxo::kMetaNumSamples, 55);
+  const SubmitUpdateRequest m = decode_submit(pack(req));
+  EXPECT_EQ(m.session_id, "s");
+  EXPECT_EQ(m.round, 7);
+  EXPECT_EQ(m.payload.meta_int(Dxo::kMetaNumSamples), 55);
+}
+
+TEST(Messages, SubmitAckAndErrorRoundTrip) {
+  const SubmitAck a = decode_submit_ack(pack(SubmitAck{false, "stale"}));
+  EXPECT_FALSE(a.accepted);
+  EXPECT_EQ(a.message, "stale");
+  const ErrorMessage e = decode_error(pack(ErrorMessage{"bad"}));
+  EXPECT_EQ(e.message, "bad");
+}
+
+TEST(Messages, PeekTypeRejectsGarbage) {
+  EXPECT_THROW(peek_type({}), ProtocolError);
+  EXPECT_THROW(peek_type({0}), ProtocolError);
+  EXPECT_THROW(peek_type({200}), ProtocolError);
+}
+
+TEST(Messages, DecodeWrongTypeThrows) {
+  const auto frame = pack(GetTaskRequest{"s"});
+  EXPECT_THROW(decode_register(frame), ProtocolError);
+  EXPECT_THROW(decode_submit(frame), ProtocolError);
+}
+
+TEST(Messages, TruncatedFrameThrows) {
+  auto frame = pack(RegisterRequest{"site-1", "token"});
+  frame.resize(frame.size() / 2);
+  EXPECT_THROW(decode_register(frame), SerializationError);
+}
+
+TEST(Messages, BadTaskKindRejected) {
+  core::ByteWriter w;
+  w.write_u8(static_cast<std::uint8_t>(MsgType::kTask));
+  w.write_u8(9);  // invalid TaskKind
+  EXPECT_THROW(decode_task(w.bytes()), ProtocolError);
+}
+
+}  // namespace
+}  // namespace cppflare::flare

@@ -1,0 +1,170 @@
+#include "data/mlm.h"
+
+#include <gtest/gtest.h>
+
+namespace cppflare::data {
+namespace {
+
+Sample make_sample(std::int64_t valid_tokens, std::int64_t padded_len) {
+  Sample s;
+  s.ids.push_back(Vocabulary::kCls);
+  for (std::int64_t i = 0; i < valid_tokens; ++i) {
+    s.ids.push_back(Vocabulary::kNumSpecial + (i % 20));
+  }
+  s.length = static_cast<std::int64_t>(s.ids.size());
+  s.ids.resize(static_cast<std::size_t>(padded_len), Vocabulary::kPad);
+  return s;
+}
+
+TEST(MlmMasker, ValidatesConstruction) {
+  EXPECT_THROW(MlmMasker(Vocabulary::kNumSpecial), Error);
+  MlmMasker::Options bad;
+  bad.mask_prob = 0.0;
+  EXPECT_THROW(MlmMasker(100, bad), Error);
+  bad.mask_prob = 0.15;
+  bad.replace_mask = 0.9;
+  bad.replace_random = 0.2;
+  EXPECT_THROW(MlmMasker(100, bad), Error);
+}
+
+TEST(MlmMasker, NeverTouchesSpecialOrPaddedPositions) {
+  MlmMasker masker(50);
+  core::Rng rng(1);
+  const Sample s = make_sample(10, 32);
+  for (int trial = 0; trial < 50; ++trial) {
+    const MlmExample ex = masker.mask(s, rng);
+    EXPECT_EQ(ex.input_ids[0], Vocabulary::kCls);
+    EXPECT_EQ(ex.targets[0], MlmMasker::kIgnore);
+    for (std::size_t i = static_cast<std::size_t>(s.length); i < ex.input_ids.size();
+         ++i) {
+      EXPECT_EQ(ex.input_ids[i], Vocabulary::kPad);
+      EXPECT_EQ(ex.targets[i], MlmMasker::kIgnore);
+    }
+  }
+}
+
+TEST(MlmMasker, SelectionRateNearConfiguredP) {
+  MlmMasker masker(50);
+  core::Rng rng(2);
+  const Sample s = make_sample(30, 32);
+  std::int64_t selected = 0, total = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    const MlmExample ex = masker.mask(s, rng);
+    for (std::size_t i = 1; i < static_cast<std::size_t>(s.length); ++i) {
+      ++total;
+      if (ex.targets[i] != MlmMasker::kIgnore) ++selected;
+    }
+  }
+  const double rate = static_cast<double>(selected) / static_cast<double>(total);
+  EXPECT_NEAR(rate, 0.15, 0.02);
+}
+
+TEST(MlmMasker, EightyTenTenSplit) {
+  MlmMasker masker(500);
+  core::Rng rng(3);
+  const Sample s = make_sample(30, 32);
+  std::int64_t masked = 0, random_or_kept = 0, kept = 0, selected = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    const MlmExample ex = masker.mask(s, rng);
+    for (std::size_t i = 1; i < static_cast<std::size_t>(s.length); ++i) {
+      if (ex.targets[i] == MlmMasker::kIgnore) continue;
+      ++selected;
+      if (ex.input_ids[i] == Vocabulary::kMask) {
+        ++masked;
+      } else if (ex.input_ids[i] == s.ids[i]) {
+        ++kept;  // includes 'random' draws that happened to hit the original
+      } else {
+        ++random_or_kept;
+      }
+    }
+  }
+  const double frac_mask = static_cast<double>(masked) / selected;
+  const double frac_kept = static_cast<double>(kept) / selected;
+  EXPECT_NEAR(frac_mask, 0.80, 0.03);
+  EXPECT_NEAR(frac_kept, 0.10, 0.03);
+  EXPECT_GT(random_or_kept, 0);
+}
+
+TEST(MlmMasker, TargetsCarryOriginalIds) {
+  MlmMasker masker(50);
+  core::Rng rng(4);
+  const Sample s = make_sample(20, 24);
+  const MlmExample ex = masker.mask(s, rng);
+  for (std::size_t i = 0; i < ex.targets.size(); ++i) {
+    if (ex.targets[i] != MlmMasker::kIgnore) {
+      EXPECT_EQ(ex.targets[i], s.ids[i]);
+    }
+  }
+}
+
+TEST(MlmMasker, RandomReplacementsAreRegularTokens) {
+  MlmMasker::Options opts;
+  opts.replace_mask = 0.0;
+  opts.replace_random = 1.0;  // every selected token replaced randomly
+  MlmMasker masker(50, opts);
+  core::Rng rng(5);
+  const Sample s = make_sample(25, 32);
+  for (int trial = 0; trial < 100; ++trial) {
+    const MlmExample ex = masker.mask(s, rng);
+    for (std::size_t i = 1; i < static_cast<std::size_t>(s.length); ++i) {
+      if (ex.targets[i] == MlmMasker::kIgnore) continue;
+      EXPECT_GE(ex.input_ids[i], Vocabulary::first_regular_id());
+      EXPECT_LT(ex.input_ids[i], 50);
+    }
+  }
+}
+
+TEST(MlmMasker, MaskBatchPreservesGeometry) {
+  MlmMasker masker(50);
+  core::Rng rng(6);
+  Batch batch;
+  batch.batch_size = 3;
+  batch.seq_len = 8;
+  for (int b = 0; b < 3; ++b) {
+    const Sample s = make_sample(5, 8);
+    batch.ids.insert(batch.ids.end(), s.ids.begin(), s.ids.end());
+    batch.lengths.push_back(s.length);
+    batch.labels.push_back(0);
+  }
+  const auto masked = masker.mask_batch(batch, rng);
+  EXPECT_EQ(masked.batch_size, 3);
+  EXPECT_EQ(masked.seq_len, 8);
+  EXPECT_EQ(masked.input_ids.size(), 24u);
+  EXPECT_EQ(masked.targets.size(), 24u);
+  EXPECT_EQ(masked.lengths, batch.lengths);
+}
+
+struct MaskProbCase {
+  double p;
+};
+
+class MlmMaskProbTest : public ::testing::TestWithParam<MaskProbCase> {};
+
+TEST_P(MlmMaskProbTest, EmpiricalRateTracksP) {
+  MlmMasker::Options opts;
+  opts.mask_prob = GetParam().p;
+  MlmMasker masker(100, opts);
+  core::Rng rng(7);
+  const Sample s = make_sample(40, 48);
+  std::int64_t selected = 0, total = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    const MlmExample ex = masker.mask(s, rng);
+    for (std::size_t i = 1; i < static_cast<std::size_t>(s.length); ++i) {
+      ++total;
+      if (ex.targets[i] != MlmMasker::kIgnore) ++selected;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(selected) / total, GetParam().p,
+              0.035 + 0.1 * GetParam().p);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MlmMaskProbTest,
+                         ::testing::Values(MaskProbCase{0.05}, MaskProbCase{0.15},
+                                           MaskProbCase{0.3}, MaskProbCase{0.5}),
+                         [](const ::testing::TestParamInfo<MaskProbCase>& info) {
+                           return "p" + std::to_string(
+                                            static_cast<int>(info.param.p * 100));
+                         });
+
+}  // namespace
+}  // namespace cppflare::data

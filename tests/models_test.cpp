@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include "models/bert.h"
+#include "models/lstm_classifier.h"
+#include "tensor/ops.h"
+
+namespace cppflare::models {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+data::Batch tiny_batch(std::int64_t batch, std::int64_t seq, std::int64_t vocab) {
+  data::Batch b;
+  b.batch_size = batch;
+  b.seq_len = seq;
+  core::Rng rng(9);
+  for (std::int64_t i = 0; i < batch; ++i) {
+    b.ids.push_back(data::Vocabulary::kCls);
+    for (std::int64_t t = 1; t < seq; ++t) {
+      b.ids.push_back(rng.uniform_int(data::Vocabulary::kNumSpecial, vocab - 1));
+    }
+    b.lengths.push_back(seq - i % 2);  // mix of full and padded rows
+    b.labels.push_back(i % 2);
+  }
+  return b;
+}
+
+TEST(ModelConfigTest, TableTwoSpecs) {
+  const ModelConfig bert = ModelConfig::bert(1000, 32);
+  EXPECT_EQ(bert.hidden, 128);
+  EXPECT_EQ(bert.heads, 6);
+  EXPECT_EQ(bert.layers, 12);
+  EXPECT_EQ(bert.head_dim, 22);  // ceil(128/6)
+  EXPECT_EQ(bert.ffn_dim, 512);
+
+  const ModelConfig mini = ModelConfig::bert_mini(1000, 32);
+  EXPECT_EQ(mini.hidden, 50);
+  EXPECT_EQ(mini.heads, 2);
+  EXPECT_EQ(mini.layers, 6);
+  EXPECT_EQ(mini.head_dim, 25);
+
+  const ModelConfig lstm = ModelConfig::lstm(1000, 32);
+  EXPECT_EQ(lstm.hidden, 128);
+  EXPECT_EQ(lstm.layers, 3);
+  EXPECT_EQ(lstm.heads, 0);
+}
+
+TEST(ModelConfigTest, ByNameLookup) {
+  EXPECT_EQ(ModelConfig::by_name("bert", 10, 8).kind, ModelKind::kBert);
+  EXPECT_EQ(ModelConfig::by_name("bert-mini", 10, 8).kind, ModelKind::kBertMini);
+  EXPECT_EQ(ModelConfig::by_name("lstm", 10, 8).kind, ModelKind::kLstm);
+  EXPECT_THROW(ModelConfig::by_name("gpt", 10, 8), ConfigError);
+}
+
+ModelConfig tiny_bert(std::int64_t vocab = 30, std::int64_t seq = 8) {
+  ModelConfig c = ModelConfig::bert(vocab, seq);
+  c.hidden = 16;
+  c.heads = 2;
+  c.head_dim = 8;
+  c.layers = 2;
+  c.ffn_dim = 32;
+  return c;
+}
+
+TEST(BertEncoderTest, EncodeShape) {
+  core::Rng rng(1);
+  BertEncoder encoder(tiny_bert(), rng);
+  data::Batch b = tiny_batch(3, 8, 30);
+  core::Rng fw(2);
+  Tensor h = encoder.encode(b.ids, b.lengths, b.batch_size, b.seq_len, fw);
+  EXPECT_EQ(h.shape(), (Shape{3, 8, 16}));
+}
+
+TEST(BertEncoderTest, RejectsOverlongSequences) {
+  core::Rng rng(3);
+  BertEncoder encoder(tiny_bert(30, 4), rng);
+  data::Batch b = tiny_batch(1, 8, 30);
+  core::Rng fw(4);
+  EXPECT_THROW(encoder.encode(b.ids, b.lengths, 1, 8, fw), ShapeError);
+}
+
+TEST(BertEncoderTest, RequiresConfiguredSizes) {
+  core::Rng rng(5);
+  ModelConfig c = tiny_bert();
+  c.vocab_size = 0;
+  EXPECT_THROW(BertEncoder(c, rng), ConfigError);
+}
+
+TEST(BertPretrainingTest, MlmLossIsLogVocabAtInit) {
+  // With random init the MLM head is near-uniform: loss ~= ln(vocab).
+  core::Rng rng(6);
+  const std::int64_t vocab = 50;
+  BertForPretraining model(tiny_bert(vocab), rng);
+  model.set_training(false);
+
+  data::Batch b = tiny_batch(4, 8, vocab);
+  data::MlmMasker masker(vocab);
+  core::Rng mask_rng(7);
+  const auto masked = masker.mask_batch(b, mask_rng);
+  core::Rng fw(8);
+  tensor::NoGradGuard no_grad;
+  const Tensor loss = model.mlm_loss(masked, fw);
+  EXPECT_NEAR(loss.item(), std::log(static_cast<float>(vocab)), 1.0f);
+}
+
+TEST(BertClassifierTest, LogitsShapeAndGradFlow) {
+  core::Rng rng(10);
+  BertForClassification model(tiny_bert(), rng);
+  data::Batch b = tiny_batch(4, 8, 30);
+  core::Rng fw(11);
+  Tensor logits = model.class_logits(b, fw);
+  EXPECT_EQ(logits.shape(), (Shape{4, 2}));
+  tensor::cross_entropy(logits, b.labels).backward();
+  std::int64_t with_grad = 0;
+  for (auto& [name, p] : model.named_parameters()) {
+    if (p.impl()->grad.empty()) continue;
+    float norm = 0;
+    for (float g : p.impl()->grad) norm += g * g;
+    if (norm > 0) ++with_grad;
+  }
+  EXPECT_GT(with_grad, 10);
+}
+
+TEST(BertClassifierTest, EncoderTransplantCopiesEncoderOnly) {
+  core::Rng rng(12);
+  const ModelConfig c = tiny_bert();
+  BertForPretraining pretrained(c, rng);
+  BertForClassification classifier(c, rng);
+
+  const auto before_head = classifier.state_dict().at("head.weight").values;
+  classifier.load_encoder_from(pretrained);
+
+  const nn::StateDict src = pretrained.state_dict();
+  const nn::StateDict dst = classifier.state_dict();
+  EXPECT_EQ(dst.at("encoder.tok_emb.weight").values,
+            src.at("encoder.tok_emb.weight").values);
+  EXPECT_EQ(dst.at("head.weight").values, before_head);  // untouched
+}
+
+TEST(LstmClassifierTest, LogitsShape) {
+  core::Rng rng(13);
+  ModelConfig c = ModelConfig::lstm(30, 8);
+  c.hidden = 12;  // keep the test fast
+  LstmClassifier model(c, rng);
+  data::Batch b = tiny_batch(3, 8, 30);
+  core::Rng fw(14);
+  EXPECT_EQ(model.class_logits(b, fw).shape(), (Shape{3, 2}));
+}
+
+TEST(LstmClassifierTest, UsesLastValidTimestepNotPadding) {
+  core::Rng rng(15);
+  ModelConfig c = ModelConfig::lstm(30, 6);
+  c.hidden = 10;
+  LstmClassifier model(c, rng);
+  model.set_training(false);
+  core::Rng fw(16);
+
+  // Two batches identical in the first 3 tokens; the second has garbage in
+  // padded positions. With length=3 the logits must match exactly.
+  data::Batch b1, b2;
+  b1.batch_size = b2.batch_size = 1;
+  b1.seq_len = b2.seq_len = 6;
+  b1.ids = {2, 7, 9, 0, 0, 0};
+  b2.ids = {2, 7, 9, 21, 22, 23};
+  b1.lengths = b2.lengths = {3};
+  b1.labels = b2.labels = {0};
+  Tensor l1 = model.class_logits(b1, fw);
+  Tensor l2 = model.class_logits(b2, fw);
+  EXPECT_FLOAT_EQ(l1.data()[0], l2.data()[0]);
+  EXPECT_FLOAT_EQ(l1.data()[1], l2.data()[1]);
+}
+
+TEST(FactoryTest, BuildsMatchingKind) {
+  core::Rng rng(17);
+  auto bert = make_classifier(tiny_bert(), rng);
+  EXPECT_NE(dynamic_cast<BertForClassification*>(bert.get()), nullptr);
+  ModelConfig lc = ModelConfig::lstm(30, 8);
+  lc.hidden = 8;
+  auto lstm = make_classifier(lc, rng);
+  EXPECT_NE(dynamic_cast<LstmClassifier*>(lstm.get()), nullptr);
+}
+
+TEST(ParameterCounts, TableTwoOrdering) {
+  // With the full Table II specs, BERT > BERT-mini and BERT > LSTM head
+  // count comparisons reflect the paper's size ordering.
+  core::Rng rng(18);
+  const std::int64_t vocab = 200, seq = 16;
+  BertForClassification bert(ModelConfig::bert(vocab, seq), rng);
+  BertForClassification mini(ModelConfig::bert_mini(vocab, seq), rng);
+  LstmClassifier lstm(ModelConfig::lstm(vocab, seq), rng);
+  EXPECT_GT(bert.num_parameters(), mini.num_parameters());
+  EXPECT_GT(bert.num_parameters(), lstm.num_parameters());
+  // 12-layer 128-wide transformer lands above 1M parameters.
+  EXPECT_GT(bert.num_parameters(), 1000000);
+}
+
+TEST(StateDictCompat, FederationRoundTripPreservesBehaviour) {
+  // Serialize a classifier's weights, load into a twin, expect identical
+  // logits — the property FL depends on.
+  core::Rng rng(19);
+  const ModelConfig c = tiny_bert();
+  BertForClassification a(c, rng), b(c, rng);
+  core::ByteWriter w;
+  a.state_dict().serialize(w);
+  core::ByteReader r(w.bytes());
+  b.load_state_dict(nn::StateDict::deserialize(r));
+  a.set_training(false);
+  b.set_training(false);
+  data::Batch batch = tiny_batch(2, 8, 30);
+  core::Rng fw1(20), fw2(21);
+  Tensor la = a.class_logits(batch, fw1);
+  Tensor lb = b.class_logits(batch, fw2);
+  for (std::int64_t i = 0; i < la.numel(); ++i) {
+    EXPECT_FLOAT_EQ(la.data()[i], lb.data()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace cppflare::models

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "tensor/ops.h"
+#include "test_util.h"
+
+namespace cppflare::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(LinearLayer, ShapesAndParamNames) {
+  core::Rng rng(1);
+  Linear lin(4, 3, rng);
+  const auto named = lin.named_parameters();
+  ASSERT_EQ(named.size(), 2u);
+  EXPECT_EQ(named[0].first, "weight");
+  EXPECT_EQ(named[0].second.shape(), (Shape{3, 4}));
+  EXPECT_EQ(named[1].first, "bias");
+  EXPECT_EQ(named[1].second.shape(), (Shape{3}));
+  EXPECT_EQ(lin.num_parameters(), 3 * 4 + 3);
+
+  Tensor x = Tensor::zeros({5, 4});
+  EXPECT_EQ(lin.forward(x).shape(), (Shape{5, 3}));
+}
+
+TEST(LinearLayer, NoBiasVariant) {
+  core::Rng rng(2);
+  Linear lin(4, 3, rng, /*bias=*/false);
+  EXPECT_EQ(lin.named_parameters().size(), 1u);
+  EXPECT_EQ(lin.num_parameters(), 12);
+}
+
+TEST(EmbeddingLayer, LookupShape) {
+  core::Rng rng(3);
+  Embedding emb(10, 6, rng);
+  EXPECT_EQ(emb.forward({1, 2, 3}).shape(), (Shape{3, 6}));
+  EXPECT_EQ(emb.num_parameters(), 60);
+}
+
+TEST(LayerNormLayer, InitializedToIdentityAffine) {
+  LayerNorm ln(4);
+  const auto named = ln.named_parameters();
+  ASSERT_EQ(named.size(), 2u);
+  for (float v : named[0].second.vec()) EXPECT_EQ(v, 1.0f);  // gamma
+  for (float v : named[1].second.vec()) EXPECT_EQ(v, 0.0f);  // beta
+}
+
+TEST(ModuleTree, DottedNamesFromNesting) {
+  core::Rng rng(4);
+  struct Mlp : Module {
+    explicit Mlp(core::Rng& rng) {
+      fc1 = register_module<Linear>("fc1", 4, 8, rng);
+      fc2 = register_module<Linear>("fc2", 8, 2, rng);
+    }
+    std::shared_ptr<Linear> fc1, fc2;
+  } mlp(rng);
+  const auto named = mlp.named_parameters();
+  ASSERT_EQ(named.size(), 4u);
+  EXPECT_EQ(named[0].first, "fc1.weight");
+  EXPECT_EQ(named[1].first, "fc1.bias");
+  EXPECT_EQ(named[2].first, "fc2.weight");
+  EXPECT_EQ(named[3].first, "fc2.bias");
+}
+
+TEST(ModuleStateDict, RoundTripRestoresValues) {
+  core::Rng rng(5);
+  Linear a(3, 2, rng), b(3, 2, rng);
+  const StateDict dict = a.state_dict();
+  b.load_state_dict(dict);
+  const auto pa = a.parameters();
+  const auto pb = b.parameters();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa[i].vec(), pb[i].vec());
+  }
+}
+
+TEST(ModuleStateDict, LoadValidatesShapeAndCoverage) {
+  core::Rng rng(6);
+  Linear a(3, 2, rng);
+  Linear wrong_shape(4, 2, rng);
+  EXPECT_THROW(a.load_state_dict(wrong_shape.state_dict()), Error);
+  StateDict empty;
+  EXPECT_THROW(a.load_state_dict(empty), Error);
+}
+
+TEST(ModuleTraining, ModePropagatesToChildren) {
+  core::Rng rng(7);
+  struct Outer : Module {
+    explicit Outer(core::Rng& rng) {
+      inner = register_module<Linear>("inner", 2, 2, rng);
+    }
+    std::shared_ptr<Linear> inner;
+  } outer(rng);
+  EXPECT_TRUE(outer.training());
+  outer.set_training(false);
+  EXPECT_FALSE(outer.training());
+  EXPECT_FALSE(outer.inner->training());
+}
+
+TEST(ModuleGrads, ZeroGradClearsAll) {
+  core::Rng rng(8);
+  Linear lin(2, 2, rng);
+  Tensor x = Tensor::from_data({1, 2}, {1, 1});
+  tensor::sum_all(lin.forward(x)).backward();
+  bool any_nonzero = false;
+  for (auto& p : lin.parameters()) {
+    for (float g : p.impl()->grad) any_nonzero = any_nonzero || g != 0.0f;
+  }
+  EXPECT_TRUE(any_nonzero);
+  lin.zero_grad();
+  for (auto& p : lin.parameters()) {
+    for (float g : p.impl()->grad) EXPECT_EQ(g, 0.0f);
+  }
+}
+
+TEST(ModuleRegistration, RejectsNonGradParameter) {
+  struct Bad : Module {
+    Bad() { register_parameter("w", Tensor::zeros({2}, /*requires_grad=*/false)); }
+  };
+  EXPECT_THROW(Bad{}, Error);
+}
+
+TEST(Initializers, NormalRoughStatistics) {
+  core::Rng rng(9);
+  Tensor t = Tensor::zeros({10000}, true);
+  init_normal(t, rng, 0.02f);
+  double mean = 0, var = 0;
+  for (float v : t.vec()) mean += v;
+  mean /= 10000;
+  for (float v : t.vec()) var += (v - mean) * (v - mean);
+  var /= 10000;
+  EXPECT_NEAR(mean, 0.0, 0.002);
+  EXPECT_NEAR(std::sqrt(var), 0.02, 0.004);
+}
+
+TEST(Initializers, UniformRespectsBound) {
+  core::Rng rng(10);
+  Tensor t = Tensor::zeros({1000}, true);
+  init_uniform(t, rng, 0.1f);
+  for (float v : t.vec()) {
+    EXPECT_GE(v, -0.1f);
+    EXPECT_LE(v, 0.1f);
+  }
+}
+
+}  // namespace
+}  // namespace cppflare::nn

@@ -1,0 +1,176 @@
+#include "data/partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace cppflare::data {
+namespace {
+
+Dataset make_dataset(std::int64_t n, double positive_rate) {
+  Dataset d;
+  for (std::int64_t i = 0; i < n; ++i) {
+    Sample s;
+    s.ids = {i};
+    s.length = 1;
+    s.label = (i < static_cast<std::int64_t>(positive_rate * n)) ? 1 : 0;
+    d.add(s);
+  }
+  return d;
+}
+
+std::int64_t total_size(const std::vector<Dataset>& shards) {
+  std::int64_t total = 0;
+  for (const auto& s : shards) total += s.size();
+  return total;
+}
+
+TEST(PaperRatios, MatchSectionIVB1) {
+  const auto& r = paper_imbalanced_ratios();
+  ASSERT_EQ(r.size(), 8u);
+  EXPECT_DOUBLE_EQ(r[0], 0.29);
+  EXPECT_DOUBLE_EQ(r[7], 0.02);
+  EXPECT_NEAR(std::accumulate(r.begin(), r.end(), 0.0), 1.0, 1e-12);
+}
+
+TEST(Partitioner, BalancedSplitEqualSizes) {
+  Dataset d = make_dataset(800, 0.2);
+  PartitionOptions opts;
+  opts.num_clients = 8;
+  const auto shards = partition(d, opts);
+  ASSERT_EQ(shards.size(), 8u);
+  for (const auto& s : shards) EXPECT_EQ(s.size(), 100);
+}
+
+TEST(Partitioner, ImbalancedSizesFollowRatios) {
+  Dataset d = make_dataset(1000, 0.2);
+  PartitionOptions opts;
+  opts.size_ratios = paper_imbalanced_ratios();
+  opts.num_clients = 8;
+  const auto shards = partition(d, opts);
+  EXPECT_EQ(shards[0].size(), 290);
+  EXPECT_EQ(shards[1].size(), 220);
+  EXPECT_EQ(shards[7].size(), 20);
+  EXPECT_EQ(total_size(shards), 1000);
+}
+
+TEST(Partitioner, EverySampleAssignedExactlyOnce) {
+  Dataset d = make_dataset(503, 0.3);  // awkward size forces remainders
+  PartitionOptions opts;
+  opts.size_ratios = paper_imbalanced_ratios();
+  opts.num_clients = 8;
+  const auto shards = partition(d, opts);
+  std::vector<int> seen(503, 0);
+  for (const auto& s : shards) {
+    for (std::int64_t i = 0; i < s.size(); ++i) seen[s[i].ids[0]] += 1;
+  }
+  for (int c : seen) EXPECT_EQ(c, 1);
+}
+
+TEST(Partitioner, LabelSkewAssignsEverythingToo) {
+  Dataset d = make_dataset(400, 0.25);
+  PartitionOptions opts;
+  opts.num_clients = 8;
+  opts.label_skew_alpha = 0.2;
+  const auto shards = partition(d, opts);
+  EXPECT_EQ(total_size(shards), 400);
+  std::vector<int> seen(400, 0);
+  for (const auto& s : shards) {
+    for (std::int64_t i = 0; i < s.size(); ++i) seen[s[i].ids[0]] += 1;
+  }
+  for (int c : seen) EXPECT_EQ(c, 1);
+}
+
+TEST(Partitioner, SkewIncreasesPositiveRateSpread) {
+  Dataset d = make_dataset(2000, 0.25);
+  PartitionOptions iid;
+  iid.num_clients = 8;
+  iid.label_skew_alpha = 0.0;
+  PartitionOptions skew = iid;
+  skew.label_skew_alpha = 0.15;
+
+  auto spread = [](const std::vector<Dataset>& shards) {
+    double lo = 1.0, hi = 0.0;
+    for (const auto& s : shards) {
+      lo = std::min(lo, s.positive_rate());
+      hi = std::max(hi, s.positive_rate());
+    }
+    return hi - lo;
+  };
+  EXPECT_GT(spread(partition(d, skew)), spread(partition(d, iid)));
+}
+
+TEST(Partitioner, DeterministicUnderSeed) {
+  Dataset d = make_dataset(300, 0.2);
+  PartitionOptions opts;
+  opts.num_clients = 4;
+  opts.label_skew_alpha = 0.5;
+  opts.seed = 77;
+  const auto a = partition(d, opts);
+  const auto b = partition(d, opts);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].size(), b[i].size());
+    for (std::int64_t j = 0; j < a[i].size(); ++j) {
+      EXPECT_EQ(a[i][j].ids[0], b[i][j].ids[0]);
+    }
+  }
+}
+
+TEST(Partitioner, Validation) {
+  Dataset d = make_dataset(100, 0.2);
+  PartitionOptions bad_count;
+  bad_count.num_clients = 0;
+  EXPECT_THROW(partition(d, bad_count), Error);
+
+  PartitionOptions mismatch;
+  mismatch.num_clients = 4;
+  mismatch.size_ratios = {0.5, 0.5};
+  EXPECT_THROW(partition(d, mismatch), Error);
+
+  PartitionOptions bad_sum;
+  bad_sum.num_clients = 2;
+  bad_sum.size_ratios = {0.5, 0.6};
+  EXPECT_THROW(partition(d, bad_sum), Error);
+
+  PartitionOptions opts;
+  opts.num_clients = 101;
+  EXPECT_THROW(partition(d, opts), Error);
+}
+
+TEST(ShardStats, ReportsSizeAndRate) {
+  Dataset d = make_dataset(100, 0.4);
+  PartitionOptions opts;
+  opts.num_clients = 2;
+  const auto stats = shard_stats(partition(d, opts));
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].size + stats[1].size, 100);
+  EXPECT_GT(stats[0].positive_rate, 0.0);
+}
+
+struct ClientCountCase {
+  std::int64_t clients;
+};
+
+class PartitionClientCountTest : public ::testing::TestWithParam<ClientCountCase> {};
+
+TEST_P(PartitionClientCountTest, BalancedCompleteForAnyClientCount) {
+  const std::int64_t c = GetParam().clients;
+  Dataset d = make_dataset(997, 0.2);
+  PartitionOptions opts;
+  opts.num_clients = c;
+  const auto shards = partition(d, opts);
+  EXPECT_EQ(static_cast<std::int64_t>(shards.size()), c);
+  EXPECT_EQ(total_size(shards), 997);
+  for (const auto& s : shards) EXPECT_GE(s.size(), 997 / c);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PartitionClientCountTest,
+                         ::testing::Values(ClientCountCase{2}, ClientCountCase{3},
+                                           ClientCountCase{5}, ClientCountCase{8},
+                                           ClientCountCase{16}),
+                         [](const ::testing::TestParamInfo<ClientCountCase>& info) {
+                           return "c" + std::to_string(info.param.clients);
+                         });
+
+}  // namespace
+}  // namespace cppflare::data

@@ -1,0 +1,94 @@
+#include "flare/persistor.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "core/error.h"
+
+namespace cppflare::flare {
+namespace {
+
+class PersistorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("cppflare_persistor_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const std::string& name) const { return (dir_ / name).string(); }
+  std::filesystem::path dir_;
+};
+
+nn::StateDict sample_dict() {
+  nn::StateDict d;
+  d.insert("layer.w", {{2, 2}, {1, 2, 3, 4}});
+  d.insert("layer.b", {{2}, {-1, -2}});
+  return d;
+}
+
+TEST_F(PersistorTest, SaveLoadRoundTrip) {
+  ModelPersistor p(path("model.bin"));
+  p.save({"job-7", 3, sample_dict()});
+  const auto loaded = p.load();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->job_id, "job-7");
+  EXPECT_EQ(loaded->round, 3);
+  EXPECT_EQ(loaded->model, sample_dict());
+}
+
+TEST_F(PersistorTest, MissingFileReturnsNullopt) {
+  ModelPersistor p(path("absent.bin"));
+  EXPECT_FALSE(p.load().has_value());
+}
+
+TEST_F(PersistorTest, OverwriteKeepsLatest) {
+  ModelPersistor p(path("model.bin"));
+  p.save({"job", 1, sample_dict()});
+  nn::StateDict newer = sample_dict();
+  newer.at("layer.w").values[0] = 99.0f;
+  p.save({"job", 2, newer});
+  const auto loaded = p.load();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->round, 2);
+  EXPECT_FLOAT_EQ(loaded->model.at("layer.w").values[0], 99.0f);
+}
+
+TEST_F(PersistorTest, NoTempFileLeftBehind) {
+  ModelPersistor p(path("model.bin"));
+  p.save({"job", 1, sample_dict()});
+  EXPECT_FALSE(std::filesystem::exists(path("model.bin.tmp")));
+  EXPECT_TRUE(std::filesystem::exists(path("model.bin")));
+}
+
+TEST_F(PersistorTest, CorruptMagicRejected) {
+  const std::string file = path("bad.bin");
+  {
+    std::ofstream out(file, std::ios::binary);
+    out << "garbage-not-a-checkpoint";
+  }
+  ModelPersistor p(file);
+  EXPECT_THROW(p.load(), SerializationError);
+}
+
+TEST_F(PersistorTest, UnwritableDirectoryThrows) {
+  ModelPersistor p("/nonexistent_dir_zzz/model.bin");
+  EXPECT_THROW(p.save({"job", 0, sample_dict()}), Error);
+}
+
+TEST_F(PersistorTest, EmptyModelRoundTrip) {
+  ModelPersistor p(path("empty.bin"));
+  p.save({"job", 0, nn::StateDict{}});
+  const auto loaded = p.load();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->model.empty());
+}
+
+}  // namespace
+}  // namespace cppflare::flare

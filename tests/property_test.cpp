@@ -1,0 +1,197 @@
+// Property-style invariants over random inputs (parameterized by seed):
+// algebraic identities of the tensor ops and convexity/robustness bounds of
+// the aggregators. These catch classes of bugs single-example tests miss.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/logging.h"
+#include "flare/aggregator.h"
+#include "flare/robust_aggregator.h"
+#include "tensor/ops.h"
+
+namespace cppflare {
+namespace {
+
+using tensor::Tensor;
+
+class SeededProperty : public ::testing::TestWithParam<int> {
+ protected:
+  core::Rng rng() const { return core::Rng(static_cast<std::uint64_t>(GetParam())); }
+};
+
+using TensorProperties = SeededProperty;
+using AggregatorProperties = SeededProperty;
+
+TEST_P(TensorProperties, SoftmaxInvariantToConstantShift) {
+  core::Rng r = rng();
+  Tensor x = Tensor::randn({4, 7}, r);
+  Tensor shifted = tensor::add_scalar(x, static_cast<float>(r.uniform(-5, 5)));
+  Tensor a = tensor::softmax_lastdim(x);
+  Tensor b = tensor::softmax_lastdim(shifted);
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    EXPECT_NEAR(a.data()[i], b.data()[i], 1e-5f);
+  }
+}
+
+TEST_P(TensorProperties, CrossEntropyInvariantToLogitShift) {
+  core::Rng r = rng();
+  Tensor logits = Tensor::randn({6, 4}, r);
+  std::vector<std::int64_t> targets;
+  for (int i = 0; i < 6; ++i) targets.push_back(r.uniform_int(0, 3));
+  const float ce1 = tensor::cross_entropy(logits, targets).item();
+  const float ce2 =
+      tensor::cross_entropy(tensor::add_scalar(logits, 3.25f), targets).item();
+  EXPECT_NEAR(ce1, ce2, 1e-4f);
+}
+
+TEST_P(TensorProperties, LayerNormInvariantToInputScaleAndShift) {
+  // With unit gamma / zero beta, LN(a*x + b) == LN(x) for a > 0.
+  core::Rng r = rng();
+  Tensor x = Tensor::randn({3, 16}, r);
+  const float a = static_cast<float>(r.uniform(0.5, 4.0));
+  const float b = static_cast<float>(r.uniform(-2.0, 2.0));
+  Tensor gamma = Tensor::full({16}, 1.0f);
+  Tensor beta = Tensor::zeros({16});
+  Tensor y1 = tensor::layer_norm(x, gamma, beta);
+  Tensor y2 = tensor::layer_norm(
+      tensor::add_scalar(tensor::mul_scalar(x, a), b), gamma, beta);
+  for (std::int64_t i = 0; i < y1.numel(); ++i) {
+    EXPECT_NEAR(y1.data()[i], y2.data()[i], 2e-3f);
+  }
+}
+
+TEST_P(TensorProperties, MatmulIdentityIsNoop) {
+  core::Rng r = rng();
+  const std::int64_t n = 5 + GetParam() % 4;
+  Tensor x = Tensor::randn({3, n}, r);
+  Tensor eye = Tensor::zeros({n, n});
+  for (std::int64_t i = 0; i < n; ++i) eye.data()[i * n + i] = 1.0f;
+  Tensor y = tensor::matmul(x, eye);
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    EXPECT_NEAR(x.data()[i], y.data()[i], 1e-5f);
+  }
+}
+
+TEST_P(TensorProperties, PermuteInverseRoundTrips) {
+  core::Rng r = rng();
+  Tensor x = Tensor::randn({2, 3, 4, 5}, r);
+  std::vector<std::int64_t> perm = {0, 1, 2, 3};
+  r.shuffle(perm);
+  std::vector<std::int64_t> inverse(4);
+  for (std::int64_t i = 0; i < 4; ++i) inverse[perm[i]] = i;
+  Tensor round_trip = tensor::permute(tensor::permute(x, perm), inverse);
+  EXPECT_EQ(round_trip.shape(), x.shape());
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    EXPECT_EQ(x.data()[i], round_trip.data()[i]);
+  }
+}
+
+TEST_P(TensorProperties, BmmNtMatchesExplicitTranspose) {
+  core::Rng r = rng();
+  Tensor a = Tensor::randn({2, 3, 4}, r);
+  Tensor b = Tensor::randn({2, 5, 4}, r);
+  Tensor via_nt = tensor::bmm_nt(a, b);
+  Tensor via_permute = tensor::bmm(a, tensor::permute(b, {0, 2, 1}));
+  for (std::int64_t i = 0; i < via_nt.numel(); ++i) {
+    EXPECT_NEAR(via_nt.data()[i], via_permute.data()[i], 1e-4f);
+  }
+}
+
+TEST_P(TensorProperties, SoftmaxGradientRowsSumToZero) {
+  // d/dx softmax composed with any probe has row-sum-zero gradients
+  // (shift invariance implies it).
+  core::Rng r = rng();
+  Tensor x = Tensor::randn({3, 6}, r, 0.0f, 1.0f, /*requires_grad=*/true);
+  Tensor probe = Tensor::randn({3, 6}, r);
+  tensor::sum_all(tensor::mul(tensor::softmax_lastdim(x), probe)).backward();
+  const auto& g = x.grad();
+  for (int row = 0; row < 3; ++row) {
+    float sum = 0;
+    for (int col = 0; col < 6; ++col) sum += g[row * 6 + col];
+    EXPECT_NEAR(sum, 0.0f, 1e-5f);
+  }
+}
+
+TEST_P(AggregatorProperties, FedAvgIsConvexCombination) {
+  core::LogConfig::instance().set_threshold(core::LogLevel::kOff);
+  core::Rng r = rng();
+  const std::int64_t dims = 12;
+  nn::StateDict global;
+  global.insert("w", {{dims}, std::vector<float>(dims, 0.0f)});
+  flare::FedAvgAggregator agg(true);
+  agg.reset(global, 0);
+
+  std::vector<float> lo(dims, 1e9f), hi(dims, -1e9f);
+  const int sites = 2 + GetParam() % 5;
+  for (int s = 0; s < sites; ++s) {
+    nn::StateDict d;
+    std::vector<float> vals;
+    for (std::int64_t i = 0; i < dims; ++i) {
+      const float v = static_cast<float>(r.normal(0.0, 3.0));
+      vals.push_back(v);
+      lo[i] = std::min(lo[i], v);
+      hi[i] = std::max(hi[i], v);
+    }
+    d.insert("w", {{dims}, vals});
+    flare::Dxo dxo(flare::DxoKind::kWeights, d);
+    dxo.set_meta_int(flare::Dxo::kMetaNumSamples, r.uniform_int(1, 500));
+    ASSERT_TRUE(agg.accept("site-" + std::to_string(s), dxo));
+  }
+  const nn::StateDict out = agg.aggregate();
+  for (std::int64_t i = 0; i < dims; ++i) {
+    EXPECT_GE(out.at("w").values[i], lo[i] - 1e-4f);
+    EXPECT_LE(out.at("w").values[i], hi[i] + 1e-4f);
+  }
+  core::LogConfig::instance().set_threshold(core::LogLevel::kInfo);
+}
+
+TEST_P(AggregatorProperties, MedianBoundedByHonestValuesUnderOneOutlier) {
+  core::LogConfig::instance().set_threshold(core::LogLevel::kOff);
+  core::Rng r = rng();
+  const std::int64_t dims = 8;
+  nn::StateDict global;
+  global.insert("w", {{dims}, std::vector<float>(dims, 0.0f)});
+  flare::MedianAggregator agg;
+  agg.reset(global, 0);
+
+  // 4 honest sites near zero + one adversary at +/-1e6.
+  std::vector<float> honest_lo(dims, 1e9f), honest_hi(dims, -1e9f);
+  for (int s = 0; s < 4; ++s) {
+    std::vector<float> vals;
+    for (std::int64_t i = 0; i < dims; ++i) {
+      const float v = static_cast<float>(r.normal(0.0, 1.0));
+      vals.push_back(v);
+      honest_lo[i] = std::min(honest_lo[i], v);
+      honest_hi[i] = std::max(honest_hi[i], v);
+    }
+    nn::StateDict d;
+    d.insert("w", {{dims}, vals});
+    flare::Dxo dxo(flare::DxoKind::kWeights, d);
+    dxo.set_meta_int(flare::Dxo::kMetaNumSamples, 10);
+    agg.accept("h" + std::to_string(s), dxo);
+  }
+  nn::StateDict evil;
+  std::vector<float> evil_vals;
+  for (std::int64_t i = 0; i < dims; ++i) {
+    evil_vals.push_back(r.bernoulli(0.5) ? 1e6f : -1e6f);
+  }
+  evil.insert("w", {{dims}, evil_vals});
+  flare::Dxo dxo(flare::DxoKind::kWeights, evil);
+  dxo.set_meta_int(flare::Dxo::kMetaNumSamples, 10);
+  agg.accept("evil", dxo);
+
+  const nn::StateDict out = agg.aggregate();
+  for (std::int64_t i = 0; i < dims; ++i) {
+    EXPECT_GE(out.at("w").values[i], honest_lo[i] - 1e-4f);
+    EXPECT_LE(out.at("w").values[i], honest_hi[i] + 1e-4f);
+  }
+  core::LogConfig::instance().set_threshold(core::LogLevel::kInfo);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TensorProperties, ::testing::Range(1, 9));
+INSTANTIATE_TEST_SUITE_P(Seeds, AggregatorProperties, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace cppflare

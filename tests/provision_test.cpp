@@ -1,0 +1,73 @@
+#include "flare/provision.h"
+
+#include <gtest/gtest.h>
+
+#include <regex>
+#include <set>
+
+namespace cppflare::flare {
+namespace {
+
+TEST(Provisioner, DeterministicCredentials) {
+  Provisioner p1("proj", 7), p2("proj", 7);
+  const Credential a = p1.provision("site-1");
+  const Credential b = p2.provision("site-1");
+  EXPECT_EQ(a.token, b.token);
+  EXPECT_EQ(a.secret, b.secret);
+}
+
+TEST(Provisioner, DifferentNamesDifferentCredentials) {
+  Provisioner p("proj", 7);
+  const Credential a = p.provision("site-1");
+  const Credential b = p.provision("site-2");
+  EXPECT_NE(a.token, b.token);
+  EXPECT_NE(a.secret, b.secret);
+}
+
+TEST(Provisioner, DifferentSeedsDifferentCredentials) {
+  Provisioner p1("proj", 1), p2("proj", 2);
+  EXPECT_NE(p1.provision("site-1").token, p2.provision("site-1").token);
+}
+
+TEST(Provisioner, DifferentProjectsDifferentCredentials) {
+  Provisioner p1("alpha", 1), p2("beta", 1);
+  EXPECT_NE(p1.provision("site-1").token, p2.provision("site-1").token);
+}
+
+TEST(Provisioner, TokenIsUuidFormatted) {
+  Provisioner p("proj", 3);
+  const std::regex uuid(
+      R"([0-9a-f]{8}-[0-9a-f]{4}-[0-9a-f]{4}-[0-9a-f]{4}-[0-9a-f]{12})");
+  EXPECT_TRUE(std::regex_match(p.provision("site-1").token, uuid));
+}
+
+TEST(Provisioner, SecretIs32Bytes) {
+  Provisioner p("proj", 3);
+  EXPECT_EQ(p.provision("x").secret.size(), 32u);
+}
+
+TEST(Provisioner, ProvisionSitesIncludesServer) {
+  Provisioner p("proj", 9);
+  const auto registry = p.provision_sites(8);
+  EXPECT_EQ(registry.size(), 9u);
+  EXPECT_TRUE(registry.count("server"));
+  EXPECT_TRUE(registry.count("site-1"));
+  EXPECT_TRUE(registry.count("site-8"));
+  EXPECT_FALSE(registry.count("site-9"));
+  std::set<std::string> tokens;
+  for (const auto& [name, cred] : registry) {
+    EXPECT_EQ(cred.name, name);
+    tokens.insert(cred.token);
+  }
+  EXPECT_EQ(tokens.size(), registry.size());  // all unique
+}
+
+TEST(FormatUuid, LayoutAndHex) {
+  std::uint8_t bytes[16];
+  for (int i = 0; i < 16; ++i) bytes[i] = static_cast<std::uint8_t>(i * 16 + i);
+  const std::string uuid = format_uuid(bytes);
+  EXPECT_EQ(uuid, "00112233-4455-6677-8899-aabbccddeeff");
+}
+
+}  // namespace
+}  // namespace cppflare::flare

@@ -1,0 +1,90 @@
+#include "train/reporting.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace cppflare::train {
+namespace {
+
+class ReportingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("cppflare_report_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const std::string& name) const { return (dir_ / name).string(); }
+  static std::vector<std::string> read_lines(const std::string& file) {
+    std::ifstream in(file);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+    return lines;
+  }
+  std::filesystem::path dir_;
+};
+
+TEST_F(ReportingTest, RoundMetricsCsv) {
+  flare::RoundMetrics m;
+  m.round = 2;
+  m.num_contributions = 8;
+  m.total_samples = 400;
+  m.train_loss = 0.5;
+  m.valid_acc = 0.75;
+  m.valid_loss = 0.6;
+  write_round_metrics_csv(path("rounds.csv"), {m});
+  const auto lines = read_lines(path("rounds.csv"));
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0],
+            "round,num_contributions,total_samples,train_loss,valid_acc,valid_loss");
+  EXPECT_EQ(lines[1], "2,8,400,0.5,0.75,0.6");
+}
+
+TEST_F(ReportingTest, EpochStatsCsv) {
+  EpochStats e;
+  e.epoch = 0;
+  e.train_loss = 1.25;
+  e.valid_loss = 1.5;
+  e.valid_acc = 0.5;
+  e.seconds = 2.0;
+  write_epoch_stats_csv(path("epochs.csv"), {e, e});
+  const auto lines = read_lines(path("epochs.csv"));
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[1], "0,1.25,1.5,0.5,2");
+}
+
+TEST_F(ReportingTest, SeriesCsvRaggedSeries) {
+  write_series_csv(path("series.csv"), {"a", "b"}, {{1.0, 2.0, 3.0}, {10.0}});
+  const auto lines = read_lines(path("series.csv"));
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[0], "index,a,b");
+  EXPECT_EQ(lines[1], "0,1,10");
+  EXPECT_EQ(lines[2], "1,2,");
+  EXPECT_EQ(lines[3], "2,3,");
+}
+
+TEST_F(ReportingTest, SeriesValidatesShape) {
+  EXPECT_THROW(write_series_csv(path("x.csv"), {"a"}, {{1.0}, {2.0}}), Error);
+}
+
+TEST_F(ReportingTest, UnwritablePathThrows) {
+  EXPECT_THROW(write_round_metrics_csv("/nonexistent_zzz/x.csv", {}), Error);
+}
+
+TEST_F(ReportingTest, EmptyHistoriesWriteHeadersOnly) {
+  write_round_metrics_csv(path("empty.csv"), {});
+  EXPECT_EQ(read_lines(path("empty.csv")).size(), 1u);
+  write_epoch_stats_csv(path("empty2.csv"), {});
+  EXPECT_EQ(read_lines(path("empty2.csv")).size(), 1u);
+  write_series_csv(path("empty3.csv"), {}, {});
+  EXPECT_EQ(read_lines(path("empty3.csv")).size(), 1u);
+}
+
+}  // namespace
+}  // namespace cppflare::train

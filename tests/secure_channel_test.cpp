@@ -1,0 +1,111 @@
+#include "flare/secure_channel.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+
+namespace cppflare::flare {
+namespace {
+
+std::vector<std::uint8_t> key_a() { return std::vector<std::uint8_t>(32, 0x11); }
+std::vector<std::uint8_t> key_b() { return std::vector<std::uint8_t>(32, 0x22); }
+
+TEST(SecureChannel, SealOpenRoundTrip) {
+  const std::vector<std::uint8_t> payload = {1, 2, 3, 4, 5};
+  const auto sealed = seal("site-1", key_a(), 7, payload);
+  const Envelope env = open(sealed, key_a());
+  EXPECT_EQ(env.sender, "site-1");
+  EXPECT_EQ(env.sequence, 7u);
+  EXPECT_EQ(env.payload, payload);
+}
+
+TEST(SecureChannel, EmptyPayloadAllowed) {
+  const auto sealed = seal("s", key_a(), 1, {});
+  EXPECT_TRUE(open(sealed, key_a()).payload.empty());
+}
+
+TEST(SecureChannel, WrongKeyFailsVerification) {
+  const auto sealed = seal("site-1", key_a(), 1, {9, 9});
+  EXPECT_THROW(open(sealed, key_b()), ProtocolError);
+}
+
+TEST(SecureChannel, TamperedPayloadDetected) {
+  auto sealed = seal("site-1", key_a(), 1, {1, 2, 3, 4});
+  // Flip one payload byte (skip the header area deterministically: the
+  // payload sits before the trailing 32-byte MAC).
+  sealed[sealed.size() - 33] ^= 0x01;
+  EXPECT_THROW(open(sealed, key_a()), ProtocolError);
+}
+
+TEST(SecureChannel, TamperedSequenceDetected) {
+  // Sequence participates in the MAC; changing it must break verification.
+  auto s1 = seal("x", key_a(), 1, {5});
+  auto s2 = seal("x", key_a(), 2, {5});
+  // Splice s2's sequence bytes into s1: find differing region by length —
+  // simplest robust check is that the two seals differ and each opens only
+  // as itself.
+  EXPECT_NE(s1, s2);
+  EXPECT_EQ(open(s1, key_a()).sequence, 1u);
+  EXPECT_EQ(open(s2, key_a()).sequence, 2u);
+}
+
+TEST(SecureChannel, TamperedSenderDetected) {
+  auto sealed = seal("ab", key_a(), 1, {1});
+  // Sender string bytes start at offset 8 (magic + length prefix).
+  sealed[8] ^= 0xff;
+  EXPECT_THROW(open(sealed, key_a()), ProtocolError);
+}
+
+TEST(SecureChannel, MalformedEnvelopeRejected) {
+  EXPECT_THROW(open({1, 2, 3}, key_a()), Error);
+  std::vector<std::uint8_t> bad(64, 0);
+  EXPECT_THROW(open(bad, key_a()), ProtocolError);
+}
+
+TEST(SecureChannel, TrailingBytesRejected) {
+  auto sealed = seal("s", key_a(), 1, {7});
+  sealed.push_back(0);
+  EXPECT_THROW(open(sealed, key_a()), ProtocolError);
+}
+
+TEST(SecureChannel, PeekSenderWithoutKey) {
+  const auto sealed = seal("site-42", key_a(), 3, {1});
+  EXPECT_EQ(peek_sender(sealed), "site-42");
+  EXPECT_THROW(peek_sender({0, 0, 0, 0}), ProtocolError);
+}
+
+TEST(SequenceTrackerTest, EnforcesMonotonicity) {
+  SequenceTracker tracker;
+  tracker.check_and_advance("a", 1);
+  tracker.check_and_advance("a", 2);
+  tracker.check_and_advance("a", 10);
+  EXPECT_THROW(tracker.check_and_advance("a", 10), ProtocolError);  // replay
+  EXPECT_THROW(tracker.check_and_advance("a", 5), ProtocolError);   // stale
+  // Independent per sender.
+  tracker.check_and_advance("b", 1);
+}
+
+TEST(SequenceTrackerTest, ZeroIsNeverValid) {
+  SequenceTracker tracker;
+  EXPECT_THROW(tracker.check_and_advance("a", 0), ProtocolError);
+}
+
+TEST(SequenceSourceTest, StartsAtOneAndIncrements) {
+  SequenceSource s;
+  EXPECT_EQ(s.next(), 1u);
+  EXPECT_EQ(s.next(), 2u);
+}
+
+TEST(SecureChannel, ReplayDefenseEndToEnd) {
+  SequenceTracker tracker;
+  const auto sealed = seal("site-1", key_a(), 1, {1, 2});
+  const Envelope env = open(sealed, key_a());
+  tracker.check_and_advance(env.sender, env.sequence);
+  // Replaying the identical envelope must now fail.
+  const Envelope replayed = open(sealed, key_a());
+  EXPECT_THROW(tracker.check_and_advance(replayed.sender, replayed.sequence),
+               ProtocolError);
+}
+
+}  // namespace
+}  // namespace cppflare::flare

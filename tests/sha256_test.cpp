@@ -1,0 +1,115 @@
+#include "core/sha256.h"
+
+#include <gtest/gtest.h>
+
+namespace cppflare::core {
+namespace {
+
+// FIPS 180-4 / NIST test vectors.
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(to_hex(Sha256::hash("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(to_hex(Sha256::hash("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(to_hex(Sha256::hash(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(to_hex(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const std::string msg = "the quick brown fox jumps over the lazy dog";
+  Sha256 h;
+  for (char c : msg) h.update(std::string(1, c));
+  EXPECT_EQ(to_hex(h.finish()), to_hex(Sha256::hash(msg)));
+}
+
+TEST(Sha256, BoundaryLengths) {
+  // Lengths around the 55/56/64-byte padding boundaries must all hash
+  // without corruption; verify self-consistency of incremental paths.
+  for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u}) {
+    const std::string msg(len, 'x');
+    Sha256 split;
+    split.update(msg.substr(0, len / 2));
+    split.update(msg.substr(len / 2));
+    EXPECT_EQ(to_hex(split.finish()), to_hex(Sha256::hash(msg))) << len;
+  }
+}
+
+// RFC 4231 HMAC-SHA256 test vectors.
+TEST(HmacSha256, Rfc4231Case1) {
+  const std::vector<std::uint8_t> key(20, 0x0b);
+  const std::string msg = "Hi There";
+  const Digest mac = hmac_sha256(
+      key, reinterpret_cast<const std::uint8_t*>(msg.data()), msg.size());
+  EXPECT_EQ(to_hex(mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256, Rfc4231Case2) {
+  const std::string key_s = "Jefe";
+  const std::vector<std::uint8_t> key(key_s.begin(), key_s.end());
+  const std::string msg = "what do ya want for nothing?";
+  const Digest mac = hmac_sha256(
+      key, reinterpret_cast<const std::uint8_t*>(msg.data()), msg.size());
+  EXPECT_EQ(to_hex(mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, Rfc4231Case3) {
+  const std::vector<std::uint8_t> key(20, 0xaa);
+  const std::vector<std::uint8_t> msg(50, 0xdd);
+  EXPECT_EQ(to_hex(hmac_sha256(key, msg)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacSha256, LongKeyIsHashedFirst) {
+  // RFC 4231 case 6: 131-byte key.
+  const std::vector<std::uint8_t> key(131, 0xaa);
+  const std::string msg = "Test Using Larger Than Block-Size Key - Hash Key First";
+  const Digest mac = hmac_sha256(
+      key, reinterpret_cast<const std::uint8_t*>(msg.data()), msg.size());
+  EXPECT_EQ(to_hex(mac),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacSha256, DifferentKeysDifferentMacs) {
+  const std::vector<std::uint8_t> k1(32, 1), k2(32, 2);
+  const std::vector<std::uint8_t> msg = {1, 2, 3};
+  EXPECT_NE(to_hex(hmac_sha256(k1, msg)), to_hex(hmac_sha256(k2, msg)));
+}
+
+TEST(DigestCompare, EqualAndUnequal) {
+  Digest a{}, b{};
+  EXPECT_TRUE(digests_equal(a, b));
+  b[31] = 1;
+  EXPECT_FALSE(digests_equal(a, b));
+  b[31] = 0;
+  b[0] = 1;
+  EXPECT_FALSE(digests_equal(a, b));
+}
+
+TEST(ToHex, Formats) {
+  Digest d{};
+  d[0] = 0x0f;
+  d[1] = 0xa0;
+  const std::string hex = to_hex(d);
+  EXPECT_EQ(hex.size(), 64u);
+  EXPECT_EQ(hex.substr(0, 4), "0fa0");
+}
+
+}  // namespace
+}  // namespace cppflare::core

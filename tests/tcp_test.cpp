@@ -1,0 +1,123 @@
+#include "flare/tcp.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/error.h"
+
+namespace cppflare::flare {
+namespace {
+
+TEST(Tcp, EchoRoundTrip) {
+  TcpServer server(0, [](const std::vector<std::uint8_t>& req) { return req; });
+  ASSERT_GT(server.port(), 0);
+  TcpConnection conn("127.0.0.1", server.port());
+  const std::vector<std::uint8_t> msg = {1, 2, 3, 4, 5};
+  EXPECT_EQ(conn.call(msg), msg);
+}
+
+TEST(Tcp, MultipleSequentialCallsOnOneConnection) {
+  TcpServer server(0, [](const std::vector<std::uint8_t>& req) {
+    std::vector<std::uint8_t> out = req;
+    for (auto& b : out) b += 1;
+    return out;
+  });
+  TcpConnection conn("127.0.0.1", server.port());
+  for (int i = 0; i < 20; ++i) {
+    const std::vector<std::uint8_t> msg = {static_cast<std::uint8_t>(i)};
+    const auto resp = conn.call(msg);
+    ASSERT_EQ(resp.size(), 1u);
+    EXPECT_EQ(resp[0], static_cast<std::uint8_t>(i + 1));
+  }
+}
+
+TEST(Tcp, EmptyFrameRoundTrip) {
+  TcpServer server(0, [](const std::vector<std::uint8_t>&) {
+    return std::vector<std::uint8_t>{};
+  });
+  TcpConnection conn("127.0.0.1", server.port());
+  EXPECT_TRUE(conn.call({}).empty());
+}
+
+TEST(Tcp, LargeFrameRoundTrip) {
+  TcpServer server(0, [](const std::vector<std::uint8_t>& req) { return req; });
+  TcpConnection conn("127.0.0.1", server.port());
+  std::vector<std::uint8_t> big(4 << 20);  // 4 MiB (a model-sized payload)
+  for (std::size_t i = 0; i < big.size(); ++i) big[i] = static_cast<std::uint8_t>(i);
+  EXPECT_EQ(conn.call(big), big);
+}
+
+TEST(Tcp, ConcurrentClients) {
+  std::atomic<int> calls{0};
+  TcpServer server(0, [&calls](const std::vector<std::uint8_t>& req) {
+    calls.fetch_add(1);
+    return req;
+  });
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      try {
+        TcpConnection conn("127.0.0.1", server.port());
+        for (int i = 0; i < 10; ++i) {
+          const std::vector<std::uint8_t> msg = {static_cast<std::uint8_t>(t),
+                                                 static_cast<std::uint8_t>(i)};
+          if (conn.call(msg) != msg) failures.fetch_add(1);
+        }
+      } catch (...) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(calls.load(), 80);
+}
+
+TEST(Tcp, ConnectToClosedPortThrows) {
+  std::uint16_t dead_port;
+  {
+    TcpServer server(0, [](const std::vector<std::uint8_t>& r) { return r; });
+    dead_port = server.port();
+    server.stop();
+  }
+  EXPECT_THROW(TcpConnection("127.0.0.1", dead_port), TransportError);
+}
+
+TEST(Tcp, BadHostThrows) {
+  EXPECT_THROW(TcpConnection("not-an-ip", 1234), TransportError);
+}
+
+TEST(Tcp, ServerStopTerminatesConnections) {
+  auto server = std::make_unique<TcpServer>(
+      0, [](const std::vector<std::uint8_t>& r) { return r; });
+  TcpConnection conn("127.0.0.1", server->port());
+  EXPECT_EQ(conn.call({1}), (std::vector<std::uint8_t>{1}));
+  server->stop();
+  EXPECT_THROW(conn.call({2}), TransportError);
+}
+
+TEST(Tcp, StopIsIdempotent) {
+  TcpServer server(0, [](const std::vector<std::uint8_t>& r) { return r; });
+  server.stop();
+  server.stop();
+  SUCCEED();
+}
+
+TEST(Tcp, DispatcherExceptionClosesConnectionOnly) {
+  TcpServer server(0, [](const std::vector<std::uint8_t>&)
+                       -> std::vector<std::uint8_t> {
+    throw Error("handler failure");
+  });
+  TcpConnection bad("127.0.0.1", server.port());
+  EXPECT_THROW(bad.call({1}), TransportError);
+  // Server must still accept new connections afterwards.
+  TcpServer echo(0, [](const std::vector<std::uint8_t>& r) { return r; });
+  TcpConnection good("127.0.0.1", echo.port());
+  EXPECT_EQ(good.call({7}), (std::vector<std::uint8_t>{7}));
+}
+
+}  // namespace
+}  // namespace cppflare::flare

@@ -1,0 +1,351 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+#include "test_util.h"
+
+namespace cppflare::tensor {
+namespace {
+
+using cppflare::testing::expect_tensor_eq;
+
+TEST(TensorBasics, ZerosHasShapeAndZeroData) {
+  Tensor t = Tensor::zeros({2, 3});
+  EXPECT_EQ(t.shape(), (Shape{2, 3}));
+  EXPECT_EQ(t.numel(), 6);
+  for (std::int64_t i = 0; i < 6; ++i) EXPECT_EQ(t.data()[i], 0.0f);
+}
+
+TEST(TensorBasics, FullFillsValue) {
+  Tensor t = Tensor::full({4}, 2.5f);
+  expect_tensor_eq(t, {2.5f, 2.5f, 2.5f, 2.5f});
+}
+
+TEST(TensorBasics, FromDataValidatesCount) {
+  EXPECT_THROW(Tensor::from_data({2, 2}, {1.0f, 2.0f}), ShapeError);
+  Tensor t = Tensor::from_data({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.data()[3], 4.0f);
+}
+
+TEST(TensorBasics, ScalarItem) {
+  EXPECT_FLOAT_EQ(Tensor::scalar(3.5f).item(), 3.5f);
+  Tensor t = Tensor::zeros({2});
+  EXPECT_THROW(t.item(), ShapeError);
+}
+
+TEST(TensorBasics, SizeHandlesNegativeAxes) {
+  Tensor t = Tensor::zeros({2, 3, 5});
+  EXPECT_EQ(t.size(0), 2);
+  EXPECT_EQ(t.size(-1), 5);
+  EXPECT_EQ(t.size(-3), 2);
+  EXPECT_THROW(t.size(3), ShapeError);
+}
+
+TEST(TensorBasics, RandnDeterministicUnderSeed) {
+  core::Rng a(42), b(42);
+  Tensor x = Tensor::randn({8}, a);
+  Tensor y = Tensor::randn({8}, b);
+  for (std::int64_t i = 0; i < 8; ++i) EXPECT_EQ(x.data()[i], y.data()[i]);
+}
+
+TEST(TensorBasics, NumelOfEmptyShapeIsOne) {
+  EXPECT_EQ(numel_of({}), 1);
+  EXPECT_EQ(numel_of({3, 0}), 0);
+}
+
+TEST(TensorBasics, ShapeToString) {
+  EXPECT_EQ(shape_to_string({2, 3}), "[2, 3]");
+  EXPECT_EQ(shape_to_string({}), "[]");
+}
+
+TEST(TensorOpsForward, AddSubMul) {
+  Tensor a = Tensor::from_data({3}, {1, 2, 3});
+  Tensor b = Tensor::from_data({3}, {10, 20, 30});
+  expect_tensor_eq(add(a, b), {11, 22, 33});
+  expect_tensor_eq(sub(b, a), {9, 18, 27});
+  expect_tensor_eq(mul(a, b), {10, 40, 90});
+}
+
+TEST(TensorOpsForward, ShapeMismatchThrows) {
+  Tensor a = Tensor::zeros({2});
+  Tensor b = Tensor::zeros({3});
+  EXPECT_THROW(add(a, b), ShapeError);
+  EXPECT_THROW(mul(a, b), ShapeError);
+}
+
+TEST(TensorOpsForward, ScalarOps) {
+  Tensor a = Tensor::from_data({2}, {1, -2});
+  expect_tensor_eq(add_scalar(a, 0.5f), {1.5f, -1.5f});
+  expect_tensor_eq(mul_scalar(a, -2.0f), {-2, 4});
+  expect_tensor_eq(neg(a), {-1, 2});
+}
+
+TEST(TensorOpsForward, AddBiasBroadcastsOverRows) {
+  Tensor x = Tensor::from_data({2, 3}, {0, 0, 0, 1, 1, 1});
+  Tensor b = Tensor::from_data({3}, {1, 2, 3});
+  expect_tensor_eq(add_bias(x, b), {1, 2, 3, 2, 3, 4});
+  Tensor bad = Tensor::from_data({2}, {1, 2});
+  EXPECT_THROW(add_bias(x, bad), ShapeError);
+}
+
+TEST(TensorOpsForward, Activations) {
+  Tensor a = Tensor::from_data({3}, {-1, 0, 2});
+  expect_tensor_eq(relu(a), {0, 0, 2});
+  expect_tensor_eq(tanh_op(a), {std::tanh(-1.0f), 0.0f, std::tanh(2.0f)}, 1e-6f);
+  expect_tensor_eq(sigmoid(a),
+                   {1.0f / (1.0f + std::exp(1.0f)), 0.5f,
+                    1.0f / (1.0f + std::exp(-2.0f))},
+                   1e-6f);
+}
+
+TEST(TensorOpsForward, GeluMatchesReference) {
+  // Reference values from the tanh-approximation formula.
+  Tensor a = Tensor::from_data({3}, {-1.0f, 0.0f, 1.0f});
+  Tensor y = gelu(a);
+  EXPECT_NEAR(y.data()[0], -0.158808f, 1e-4f);
+  EXPECT_NEAR(y.data()[1], 0.0f, 1e-6f);
+  EXPECT_NEAR(y.data()[2], 0.841192f, 1e-4f);
+}
+
+TEST(TensorOpsForward, MatmulSmall) {
+  Tensor a = Tensor::from_data({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::from_data({3, 2}, {7, 8, 9, 10, 11, 12});
+  expect_tensor_eq(matmul(a, b), {58, 64, 139, 154});
+  EXPECT_THROW(matmul(a, a), ShapeError);
+}
+
+TEST(TensorOpsForward, LinearMatchesManual) {
+  // y = x W^T + b with W in [out,in] layout.
+  Tensor x = Tensor::from_data({1, 2}, {1, 2});
+  Tensor w = Tensor::from_data({3, 2}, {1, 0, 0, 1, 1, 1});
+  Tensor b = Tensor::from_data({3}, {0.5f, -0.5f, 0.0f});
+  expect_tensor_eq(linear(x, w, b), {1.5f, 1.5f, 3.0f});
+  expect_tensor_eq(linear(x, w, Tensor{}), {1.0f, 2.0f, 3.0f});
+}
+
+TEST(TensorOpsForward, BmmAndBmmNt) {
+  // batch 2 of 1x2 @ 2x1.
+  Tensor a = Tensor::from_data({2, 1, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::from_data({2, 2, 1}, {5, 6, 7, 8});
+  expect_tensor_eq(bmm(a, b), {17, 53});
+  // bmm_nt: same result via transposed layout of b.
+  Tensor bt = Tensor::from_data({2, 1, 2}, {5, 6, 7, 8});
+  expect_tensor_eq(bmm_nt(a, bt), {17, 53});
+}
+
+TEST(TensorOpsForward, ReshapePreservesDataOrder) {
+  Tensor a = Tensor::from_data({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = reshape(a, {3, 2});
+  expect_tensor_eq(r, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(r.shape(), (Shape{3, 2}));
+  EXPECT_THROW(reshape(a, {4, 2}), ShapeError);
+}
+
+TEST(TensorOpsForward, PermuteTransposes2d) {
+  Tensor a = Tensor::from_data({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor t = permute(a, {1, 0});
+  EXPECT_EQ(t.shape(), (Shape{3, 2}));
+  expect_tensor_eq(t, {1, 4, 2, 5, 3, 6});
+}
+
+TEST(TensorOpsForward, PermuteHeadSplitRoundTrip) {
+  // [B=1,T=2,h=2,d=2] -> [B,h,T,d] -> back.
+  Tensor a = Tensor::from_data({1, 2, 2, 2}, {0, 1, 2, 3, 4, 5, 6, 7});
+  Tensor p = permute(a, {0, 2, 1, 3});
+  expect_tensor_eq(p, {0, 1, 4, 5, 2, 3, 6, 7});
+  Tensor back = permute(p, {0, 2, 1, 3});
+  expect_tensor_eq(back, {0, 1, 2, 3, 4, 5, 6, 7});
+  EXPECT_THROW(permute(a, {0, 0, 1, 3}), ShapeError);
+  EXPECT_THROW(permute(a, {0, 1}), ShapeError);
+}
+
+TEST(TensorOpsForward, SelectDim1) {
+  Tensor a = Tensor::from_data({2, 2, 2}, {0, 1, 2, 3, 4, 5, 6, 7});
+  expect_tensor_eq(select_dim1(a, 0), {0, 1, 4, 5});
+  expect_tensor_eq(select_dim1(a, 1), {2, 3, 6, 7});
+  EXPECT_THROW(select_dim1(a, 2), ShapeError);
+}
+
+TEST(TensorOpsForward, SliceCols) {
+  Tensor a = Tensor::from_data({2, 4}, {0, 1, 2, 3, 4, 5, 6, 7});
+  expect_tensor_eq(slice_cols(a, 1, 2), {1, 2, 5, 6});
+  EXPECT_THROW(slice_cols(a, 3, 2), ShapeError);
+  EXPECT_THROW(slice_cols(a, -1, 2), ShapeError);
+}
+
+TEST(TensorOpsForward, ConcatCols) {
+  Tensor a = Tensor::from_data({2, 1}, {1, 2});
+  Tensor b = Tensor::from_data({2, 2}, {3, 4, 5, 6});
+  expect_tensor_eq(concat_cols({a, b}), {1, 3, 4, 2, 5, 6});
+  EXPECT_THROW(concat_cols({}), ShapeError);
+}
+
+TEST(TensorOpsForward, StackDim1) {
+  Tensor s0 = Tensor::from_data({2, 2}, {0, 1, 2, 3});
+  Tensor s1 = Tensor::from_data({2, 2}, {4, 5, 6, 7});
+  Tensor st = stack_dim1({s0, s1});
+  EXPECT_EQ(st.shape(), (Shape{2, 2, 2}));
+  expect_tensor_eq(st, {0, 1, 4, 5, 2, 3, 6, 7});
+}
+
+TEST(TensorOpsForward, GatherDim1) {
+  Tensor a = Tensor::from_data({2, 2, 2}, {0, 1, 2, 3, 4, 5, 6, 7});
+  expect_tensor_eq(gather_dim1(a, {1, 0}), {2, 3, 4, 5});
+  EXPECT_THROW(gather_dim1(a, {2, 0}), ShapeError);
+  EXPECT_THROW(gather_dim1(a, {0}), ShapeError);
+}
+
+TEST(TensorOpsForward, Reductions) {
+  Tensor a = Tensor::from_data({2, 2}, {1, 2, 3, 4});
+  EXPECT_FLOAT_EQ(sum_all(a).item(), 10.0f);
+  EXPECT_FLOAT_EQ(mean_all(a).item(), 2.5f);
+}
+
+TEST(TensorOpsForward, SoftmaxRowsSumToOne) {
+  Tensor a = Tensor::from_data({2, 3}, {1, 2, 3, 1000, 1000, 1000});
+  Tensor s = softmax_lastdim(a);
+  for (int r = 0; r < 2; ++r) {
+    float sum = 0;
+    for (int c = 0; c < 3; ++c) sum += s.data()[r * 3 + c];
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+  // Large inputs must not overflow (max-subtraction).
+  EXPECT_NEAR(s.data()[3], 1.0f / 3.0f, 1e-5f);
+}
+
+TEST(TensorOpsForward, SoftmaxOrdersProbabilities) {
+  Tensor a = Tensor::from_data({1, 3}, {1, 3, 2});
+  Tensor s = softmax_lastdim(a);
+  EXPECT_GT(s.data()[1], s.data()[2]);
+  EXPECT_GT(s.data()[2], s.data()[0]);
+}
+
+TEST(TensorOpsForward, LayerNormNormalizesRows) {
+  Tensor x = Tensor::from_data({2, 4}, {1, 2, 3, 4, -2, 0, 2, 4});
+  Tensor gamma = Tensor::full({4}, 1.0f);
+  Tensor beta = Tensor::zeros({4});
+  Tensor y = layer_norm(x, gamma, beta);
+  for (int r = 0; r < 2; ++r) {
+    float mean = 0, var = 0;
+    for (int c = 0; c < 4; ++c) mean += y.data()[r * 4 + c];
+    mean /= 4;
+    for (int c = 0; c < 4; ++c) {
+      const float d = y.data()[r * 4 + c] - mean;
+      var += d * d;
+    }
+    var /= 4;
+    EXPECT_NEAR(mean, 0.0f, 1e-5f);
+    EXPECT_NEAR(var, 1.0f, 1e-3f);
+  }
+}
+
+TEST(TensorOpsForward, LayerNormAffineApplies) {
+  Tensor x = Tensor::from_data({1, 2}, {0, 2});
+  Tensor gamma = Tensor::from_data({2}, {2, 2});
+  Tensor beta = Tensor::from_data({2}, {1, 1});
+  Tensor y = layer_norm(x, gamma, beta);
+  EXPECT_NEAR(y.data()[0], 1.0f - 2.0f, 1e-3f);
+  EXPECT_NEAR(y.data()[1], 1.0f + 2.0f, 1e-3f);
+}
+
+TEST(TensorOpsForward, EmbeddingLooksUpRows) {
+  Tensor w = Tensor::from_data({3, 2}, {0, 1, 10, 11, 20, 21});
+  Tensor e = embedding(w, {2, 0, 2});
+  expect_tensor_eq(e, {20, 21, 0, 1, 20, 21});
+  EXPECT_THROW(embedding(w, {3}), ShapeError);
+  EXPECT_THROW(embedding(w, {-1}), ShapeError);
+}
+
+TEST(TensorOpsForward, CrossEntropyMatchesManual) {
+  // Uniform logits: loss = log(C).
+  Tensor logits = Tensor::zeros({2, 4});
+  Tensor loss = cross_entropy(logits, {0, 3});
+  EXPECT_NEAR(loss.item(), std::log(4.0f), 1e-5f);
+}
+
+TEST(TensorOpsForward, CrossEntropyIgnoreIndex) {
+  Tensor logits = Tensor::from_data({2, 2}, {100, 0, 0, 100});
+  // Second row ignored: loss comes from first row only (near zero).
+  Tensor loss = cross_entropy(logits, {0, -100});
+  EXPECT_NEAR(loss.item(), 0.0f, 1e-4f);
+  EXPECT_THROW(cross_entropy(logits, {-100, -100}), Error);
+  EXPECT_THROW(cross_entropy(logits, {0, 5}), ShapeError);
+  EXPECT_THROW(cross_entropy(logits, {0}), ShapeError);
+}
+
+TEST(TensorOpsForward, DropoutZeroPIsIdentity) {
+  core::Rng rng(1);
+  Tensor a = Tensor::from_data({4}, {1, 2, 3, 4});
+  expect_tensor_eq(dropout(a, 0.0f, rng), {1, 2, 3, 4});
+}
+
+TEST(TensorOpsForward, DropoutScalesSurvivors) {
+  core::Rng rng(7);
+  Tensor a = Tensor::full({1000}, 1.0f);
+  Tensor d = dropout(a, 0.5f, rng);
+  std::int64_t kept = 0;
+  for (std::int64_t i = 0; i < 1000; ++i) {
+    const float v = d.data()[i];
+    EXPECT_TRUE(v == 0.0f || std::fabs(v - 2.0f) < 1e-6f);
+    if (v != 0.0f) ++kept;
+  }
+  EXPECT_GT(kept, 400);
+  EXPECT_LT(kept, 600);
+  EXPECT_THROW(dropout(a, 1.0f, rng), Error);
+}
+
+TEST(TensorAutogradPlumbing, NoGradGuardSuppressesGraph) {
+  Tensor a = Tensor::from_data({2}, {1, 2}, true);
+  {
+    NoGradGuard guard;
+    EXPECT_FALSE(grad_enabled());
+    Tensor y = mul_scalar(a, 2.0f);
+    EXPECT_TRUE(y.impl()->parents.empty());
+  }
+  EXPECT_TRUE(grad_enabled());
+  Tensor y = mul_scalar(a, 2.0f);
+  EXPECT_EQ(y.impl()->parents.size(), 1u);
+}
+
+TEST(TensorAutogradPlumbing, BackwardRequiresScalar) {
+  Tensor a = Tensor::from_data({2}, {1, 2}, true);
+  Tensor y = mul_scalar(a, 2.0f);
+  EXPECT_THROW(y.backward(), ShapeError);
+}
+
+TEST(TensorAutogradPlumbing, DetachCopyDropsHistory) {
+  Tensor a = Tensor::from_data({2}, {1, 2}, true);
+  Tensor y = detach_copy(mul_scalar(a, 2.0f));
+  EXPECT_FALSE(y.requires_grad());
+  EXPECT_TRUE(y.impl()->parents.empty());
+  expect_tensor_eq(y, {2, 4});
+}
+
+TEST(TensorAutogradPlumbing, GradAccessBeforeBackwardThrows) {
+  Tensor a = Tensor::from_data({2}, {1, 2}, true);
+  EXPECT_THROW(a.grad(), Error);
+  Tensor loss = sum_all(mul_scalar(a, 3.0f));
+  loss.backward();
+  expect_tensor_eq(Tensor::from_data({2}, a.grad()), {3, 3});
+}
+
+TEST(TensorAutogradPlumbing, ZeroGradClears) {
+  Tensor a = Tensor::from_data({2}, {1, 2}, true);
+  Tensor loss = sum_all(a);
+  loss.backward();
+  a.zero_grad();
+  EXPECT_EQ(a.grad()[0], 0.0f);
+  EXPECT_EQ(a.grad()[1], 0.0f);
+}
+
+TEST(TensorAutogradPlumbing, GradsAccumulateAcrossUses) {
+  // y = a + a -> dy/da = 2 per element.
+  Tensor a = Tensor::from_data({2}, {1, 2}, true);
+  Tensor loss = sum_all(add(a, a));
+  loss.backward();
+  expect_tensor_eq(Tensor::from_data({2}, a.grad()), {2, 2});
+}
+
+}  // namespace
+}  // namespace cppflare::tensor

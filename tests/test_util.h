@@ -1,0 +1,70 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace cppflare::testing {
+
+/// Numerical gradient check: for scalar-valued `f` of `inputs`, compares
+/// analytic gradients (from backward()) against central differences.
+///
+/// `f` must rebuild the graph from the *current data* of the inputs on every
+/// call (it is invoked repeatedly with perturbed values).
+inline void expect_gradients_close(
+    const std::function<tensor::Tensor()>& f,
+    std::vector<tensor::Tensor> inputs, float eps = 1e-2f, float rtol = 5e-2f,
+    float atol = 5e-3f) {
+  // Analytic pass.
+  tensor::Tensor loss = f();
+  ASSERT_EQ(loss.numel(), 1);
+  loss.backward();
+  std::vector<std::vector<float>> analytic;
+  analytic.reserve(inputs.size());
+  for (auto& in : inputs) {
+    ASSERT_TRUE(in.requires_grad());
+    analytic.push_back(in.impl()->grad);
+    ASSERT_EQ(analytic.back().size(), in.vec().size());
+  }
+
+  // Numerical pass (central differences), with autograd off.
+  for (std::size_t t = 0; t < inputs.size(); ++t) {
+    auto& in = inputs[t];
+    for (std::size_t i = 0; i < in.vec().size(); ++i) {
+      const float saved = in.vec()[i];
+      in.vec()[i] = saved + eps;
+      const float plus = [&] {
+        tensor::NoGradGuard g;
+        return f().item();
+      }();
+      in.vec()[i] = saved - eps;
+      const float minus = [&] {
+        tensor::NoGradGuard g;
+        return f().item();
+      }();
+      in.vec()[i] = saved;
+      const float numeric = (plus - minus) / (2.0f * eps);
+      const float got = analytic[t][i];
+      const float tol = atol + rtol * std::fabs(numeric);
+      EXPECT_NEAR(got, numeric, tol)
+          << "input " << t << " element " << i;
+    }
+  }
+}
+
+/// Elementwise comparison helper.
+inline void expect_tensor_eq(const tensor::Tensor& got,
+                             const std::vector<float>& want, float tol = 1e-5f) {
+  ASSERT_EQ(static_cast<std::size_t>(got.numel()), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_NEAR(got.data()[i], want[i], tol) << "element " << i;
+  }
+}
+
+}  // namespace cppflare::testing

@@ -1,0 +1,166 @@
+#include "train/trainer.h"
+
+#include "models/lstm_classifier.h"
+
+#include <gtest/gtest.h>
+
+#include "core/logging.h"
+#include "train/metrics.h"
+
+namespace cppflare::train {
+namespace {
+
+using tensor::Tensor;
+
+/// A tiny order-sensitive synthetic task: label = 1 iff token A appears
+/// before token B. Learnable by a small LSTM in a few epochs.
+data::Dataset order_task(std::int64_t n, std::int64_t seq, std::uint64_t seed) {
+  core::Rng rng(seed);
+  const std::int64_t a = 5, b = 6;
+  data::Dataset d;
+  for (std::int64_t i = 0; i < n; ++i) {
+    data::Sample s;
+    s.ids.assign(static_cast<std::size_t>(seq), data::Vocabulary::kPad);
+    s.ids[0] = data::Vocabulary::kCls;
+    for (std::int64_t t = 1; t < seq; ++t) s.ids[t] = 7 + rng.uniform_int(0, 3);
+    const std::int64_t p1 = rng.uniform_int(1, seq / 2);
+    const std::int64_t p2 = rng.uniform_int(seq / 2 + 1, seq - 1);
+    const bool a_first = rng.bernoulli(0.5);
+    s.ids[p1] = a_first ? a : b;
+    s.ids[p2] = a_first ? b : a;
+    s.label = a_first ? 1 : 0;
+    s.length = seq;
+    d.add(s);
+  }
+  return d;
+}
+
+models::ModelConfig tiny_lstm(std::int64_t vocab, std::int64_t seq) {
+  models::ModelConfig c = models::ModelConfig::lstm(vocab, seq);
+  c.hidden = 24;
+  c.layers = 1;
+  c.dropout = 0.0f;
+  return c;
+}
+
+TEST(Metrics, Top1Accuracy) {
+  Tensor logits = Tensor::from_data({3, 2}, {2, 1, 0, 5, 1, 1});
+  EXPECT_DOUBLE_EQ(top1_accuracy(logits, {0, 1, 0}), 1.0);
+  EXPECT_NEAR(top1_accuracy(logits, {1, 1, 0}), 2.0 / 3.0, 1e-9);
+  EXPECT_THROW(top1_accuracy(logits, {0}), Error);
+}
+
+TEST(Metrics, RunningMean) {
+  RunningMean m;
+  EXPECT_DOUBLE_EQ(m.mean(), 0.0);
+  m.add(1.0, 1);
+  m.add(3.0, 3);
+  EXPECT_DOUBLE_EQ(m.mean(), (1.0 + 9.0) / 4.0);
+  EXPECT_EQ(m.count(), 4);
+}
+
+TEST(Metrics, EvaluateRejectsEmptyDataset) {
+  core::Rng rng(1);
+  auto model = models::make_classifier(tiny_lstm(16, 8), rng);
+  EXPECT_THROW(evaluate(*model, data::Dataset{}, 4), Error);
+}
+
+TEST(Metrics, EvaluateRestoresTrainingMode) {
+  core::Rng rng(2);
+  auto model = models::make_classifier(tiny_lstm(16, 8), rng);
+  model->set_training(true);
+  evaluate(*model, order_task(8, 8, 3), 4);
+  EXPECT_TRUE(model->training());
+}
+
+TEST(ClassifierTrainerTest, LearnsOrderTask) {
+  core::Rng rng(4);
+  auto model = models::make_classifier(tiny_lstm(16, 10), rng);
+  const data::Dataset train = order_task(256, 10, 5);
+  const data::Dataset valid = order_task(128, 10, 6);
+
+  TrainOptions opts;
+  opts.epochs = 6;
+  opts.batch_size = 32;
+  opts.lr = 5e-3;
+  opts.seed = 7;
+  ClassifierTrainer trainer(model, opts);
+  const auto history = trainer.fit(train, valid);
+  ASSERT_EQ(history.size(), 6u);
+  EXPECT_LT(history.back().train_loss, history.front().train_loss);
+  EXPECT_GT(history.back().valid_acc, 0.9);
+}
+
+TEST(ClassifierTrainerTest, LossDecreasesMonotonicallyEnough) {
+  core::Rng rng(8);
+  auto model = models::make_classifier(tiny_lstm(16, 8), rng);
+  const data::Dataset train = order_task(128, 8, 9);
+  TrainOptions opts;
+  opts.epochs = 1;
+  opts.batch_size = 16;
+  opts.lr = 5e-3;
+  ClassifierTrainer trainer(model, opts);
+  const double l1 = trainer.train_epoch(train);
+  double last = l1;
+  for (int e = 0; e < 4; ++e) last = trainer.train_epoch(train);
+  EXPECT_LT(last, l1);
+}
+
+TEST(MlmTrainerTest, LossDropsOnTinyCorpus) {
+  core::Rng rng(10);
+  models::ModelConfig c = models::ModelConfig::bert(40, 12);
+  c.hidden = 16;
+  c.heads = 2;
+  c.head_dim = 8;
+  c.layers = 1;
+  c.ffn_dim = 32;
+  c.dropout = 0.0f;
+  auto model = std::make_shared<models::BertForPretraining>(c, rng);
+
+  // A highly regular corpus the model can memorize.
+  data::Dataset corpus;
+  for (int i = 0; i < 64; ++i) {
+    data::Sample s;
+    s.ids = {data::Vocabulary::kCls, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16};
+    s.length = 12;
+    corpus.add(s);
+  }
+  data::MlmMasker masker(40);
+  TrainOptions opts;
+  opts.epochs = 1;
+  opts.batch_size = 16;
+  opts.lr = 1e-2;
+  opts.seed = 11;
+  MlmTrainer trainer(model, masker, opts);
+  const double before = trainer.evaluate(corpus);
+  for (int e = 0; e < 8; ++e) trainer.train_epoch(corpus);
+  const double after = trainer.evaluate(corpus);
+  EXPECT_LT(after, before * 0.6);
+}
+
+TEST(MlmTrainerTest, EvaluateIsDeterministic) {
+  core::Rng rng(12);
+  models::ModelConfig c = models::ModelConfig::bert(30, 8);
+  c.hidden = 8;
+  c.heads = 1;
+  c.head_dim = 8;
+  c.layers = 1;
+  c.ffn_dim = 16;
+  auto model = std::make_shared<models::BertForPretraining>(c, rng);
+  data::Dataset corpus;
+  for (int i = 0; i < 16; ++i) {
+    data::Sample s;
+    s.ids = {data::Vocabulary::kCls, 5, 6, 7, 8, 9, 10, 11};
+    s.length = 8;
+    corpus.add(s);
+  }
+  data::MlmMasker masker(30);
+  TrainOptions opts;
+  opts.batch_size = 8;
+  opts.seed = 13;
+  MlmTrainer trainer(model, masker, opts);
+  EXPECT_DOUBLE_EQ(trainer.evaluate(corpus), trainer.evaluate(corpus));
+}
+
+}  // namespace
+}  // namespace cppflare::train

@@ -1,0 +1,150 @@
+#include "nn/transformer.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+#include "test_util.h"
+
+namespace cppflare::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(PaddingMask, ZeroForValidNegInfForPadded) {
+  Tensor mask = make_padding_mask({2, 3}, /*seq_len=*/3, /*heads=*/2);
+  EXPECT_EQ(mask.shape(), (Shape{4, 3, 3}));
+  // Batch 0 (length 2): key position 2 masked for every query and head.
+  for (std::int64_t h = 0; h < 2; ++h) {
+    const float* plane = mask.data() + h * 9;
+    for (std::int64_t q = 0; q < 3; ++q) {
+      EXPECT_EQ(plane[q * 3 + 0], 0.0f);
+      EXPECT_EQ(plane[q * 3 + 1], 0.0f);
+      EXPECT_LT(plane[q * 3 + 2], -1e8f);
+    }
+  }
+  // Batch 1 (length 3): nothing masked.
+  for (std::int64_t i = 2 * 9; i < 4 * 9; ++i) EXPECT_EQ(mask.data()[i], 0.0f);
+}
+
+TEST(PaddingMask, NoGradientRecorded) {
+  Tensor mask = make_padding_mask({1}, 2, 1);
+  EXPECT_FALSE(mask.requires_grad());
+  EXPECT_TRUE(mask.impl()->parents.empty());
+}
+
+TEST(Attention, OutputShape) {
+  core::Rng rng(1);
+  MultiHeadSelfAttention attn(8, 2, 4, 0.0f, rng);
+  Tensor x = Tensor::zeros({2, 5, 8});
+  core::Rng fw(2);
+  EXPECT_EQ(attn.forward(x, Tensor{}, fw).shape(), (Shape{2, 5, 8}));
+}
+
+TEST(Attention, NonDivisibleHeadDimSupported) {
+  // Table II's BERT: hidden 128, 6 heads -> head_dim 22 (x-transformers
+  // style decoupling). Check with small analogous numbers: hidden 10,
+  // heads 3, head_dim 4.
+  core::Rng rng(3);
+  MultiHeadSelfAttention attn(10, 3, 4, 0.0f, rng);
+  Tensor x = Tensor::zeros({1, 4, 10});
+  core::Rng fw(4);
+  EXPECT_EQ(attn.forward(x, Tensor{}, fw).shape(), (Shape{1, 4, 10}));
+}
+
+TEST(Attention, PaddedPositionsDoNotInfluenceValidOutputs) {
+  core::Rng rng(5);
+  MultiHeadSelfAttention attn(6, 2, 3, 0.0f, rng);
+  attn.set_training(false);
+  core::Rng fw(6);
+
+  // Two inputs identical in the first 2 timesteps, wildly different in the
+  // padded tail; with a length-2 mask the outputs at valid positions must
+  // match.
+  std::vector<float> base(1 * 4 * 6);
+  core::Rng data_rng(7);
+  for (auto& v : base) v = static_cast<float>(data_rng.normal());
+  std::vector<float> variant = base;
+  for (std::size_t i = 2 * 6; i < base.size(); ++i) variant[i] = 99.0f;
+
+  Tensor x1 = Tensor::from_data({1, 4, 6}, base);
+  Tensor x2 = Tensor::from_data({1, 4, 6}, variant);
+  Tensor mask = make_padding_mask({2}, 4, 2);
+  Tensor y1 = attn.forward(x1, mask, fw);
+  Tensor y2 = attn.forward(x2, mask, fw);
+  for (std::int64_t t = 0; t < 2; ++t) {
+    for (std::int64_t j = 0; j < 6; ++j) {
+      EXPECT_NEAR(y1.data()[t * 6 + j], y2.data()[t * 6 + j], 1e-5f)
+          << "t=" << t << " j=" << j;
+    }
+  }
+}
+
+TEST(Attention, GradientsFlowThroughAllProjections) {
+  core::Rng rng(8);
+  MultiHeadSelfAttention attn(4, 2, 2, 0.0f, rng);
+  Tensor x = Tensor::randn({1, 3, 4}, rng, 0.0f, 1.0f, true);
+  core::Rng fw(9);
+  Tensor y = attn.forward(x, Tensor{}, fw);
+  tensor::sum_all(tensor::mul(y, y)).backward();
+  for (auto& [name, p] : attn.named_parameters()) {
+    float norm = 0;
+    for (float g : p.impl()->grad) norm += g * g;
+    EXPECT_GT(norm, 0.0f) << name;
+  }
+}
+
+TEST(Attention, NumericalGradCheckTiny) {
+  core::Rng rng(10);
+  MultiHeadSelfAttention attn(4, 1, 3, 0.0f, rng);
+  Tensor x = Tensor::randn({1, 2, 4}, rng, 0.0f, 0.5f, true);
+  core::Rng fw(11);
+  std::vector<Tensor> inputs = {x};
+  for (auto& p : attn.parameters()) inputs.push_back(p);
+  cppflare::testing::expect_gradients_close(
+      [&] {
+        Tensor y = attn.forward(x, Tensor{}, fw);
+        return tensor::sum_all(tensor::mul(y, y));
+      },
+      inputs, 1e-2f, 1e-1f, 1.5e-2f);
+}
+
+TEST(EncoderLayer, ShapePreservedAndParamsTrainable) {
+  core::Rng rng(12);
+  TransformerEncoderLayer layer(8, 2, 4, 16, 0.1f, rng);
+  Tensor x = Tensor::randn({2, 3, 8}, rng);
+  core::Rng fw(13);
+  Tensor y = layer.forward(x, Tensor{}, fw);
+  EXPECT_EQ(y.shape(), (Shape{2, 3, 8}));
+  // attn(4) * 2 params each (w+b) = 8, ln1/ln2 = 4, ffn_in/out = 4.
+  EXPECT_EQ(layer.named_parameters().size(), 16u);
+}
+
+TEST(EncoderLayer, EvalModeIsDeterministic) {
+  core::Rng rng(14);
+  TransformerEncoderLayer layer(8, 2, 4, 16, 0.5f, rng);
+  layer.set_training(false);
+  Tensor x = Tensor::randn({1, 3, 8}, rng);
+  core::Rng fw1(15), fw2(16);
+  Tensor y1 = layer.forward(x, Tensor{}, fw1);
+  Tensor y2 = layer.forward(x, Tensor{}, fw2);
+  for (std::int64_t i = 0; i < y1.numel(); ++i) EXPECT_EQ(y1.data()[i], y2.data()[i]);
+}
+
+TEST(EncoderLayer, TrainingDropoutPerturbsOutputs) {
+  core::Rng rng(17);
+  TransformerEncoderLayer layer(8, 2, 4, 16, 0.5f, rng);
+  layer.set_training(true);
+  Tensor x = Tensor::randn({1, 3, 8}, rng);
+  core::Rng fw1(18), fw2(19);
+  Tensor y1 = layer.forward(x, Tensor{}, fw1);
+  Tensor y2 = layer.forward(x, Tensor{}, fw2);
+  float diff = 0;
+  for (std::int64_t i = 0; i < y1.numel(); ++i) {
+    diff += std::fabs(y1.data()[i] - y2.data()[i]);
+  }
+  EXPECT_GT(diff, 1e-3f);
+}
+
+}  // namespace
+}  // namespace cppflare::nn
