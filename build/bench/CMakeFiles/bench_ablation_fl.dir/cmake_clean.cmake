@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fl.dir/bench_ablation_fl.cpp.o"
+  "CMakeFiles/bench_ablation_fl.dir/bench_ablation_fl.cpp.o.d"
+  "bench_ablation_fl"
+  "bench_ablation_fl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_mlm.dir/bench_fig2_mlm.cpp.o"
+  "CMakeFiles/bench_fig2_mlm.dir/bench_fig2_mlm.cpp.o.d"
+  "bench_fig2_mlm"
+  "bench_fig2_mlm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_mlm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

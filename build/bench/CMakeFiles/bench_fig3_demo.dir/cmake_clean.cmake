@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_demo.dir/bench_fig3_demo.cpp.o"
+  "CMakeFiles/bench_fig3_demo.dir/bench_fig3_demo.cpp.o.d"
+  "bench_fig3_demo"
+  "bench_fig3_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

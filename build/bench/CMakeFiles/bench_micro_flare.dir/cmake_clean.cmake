@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_flare.dir/bench_micro_flare.cpp.o"
+  "CMakeFiles/bench_micro_flare.dir/bench_micro_flare.cpp.o.d"
+  "bench_micro_flare"
+  "bench_micro_flare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_flare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_tensor.dir/bench_micro_tensor.cpp.o"
+  "CMakeFiles/bench_micro_tensor.dir/bench_micro_tensor.cpp.o.d"
+  "bench_micro_tensor"
+  "bench_micro_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_system.dir/bench_table1_system.cpp.o"
+  "CMakeFiles/bench_table1_system.dir/bench_table1_system.cpp.o.d"
+  "bench_table1_system"
+  "bench_table1_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_models.dir/bench_table2_models.cpp.o"
+  "CMakeFiles/bench_table2_models.dir/bench_table2_models.cpp.o.d"
+  "bench_table2_models"
+  "bench_table2_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

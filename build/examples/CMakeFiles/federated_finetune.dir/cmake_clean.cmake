@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federated_finetune.dir/federated_finetune.cpp.o"
+  "CMakeFiles/federated_finetune.dir/federated_finetune.cpp.o.d"
+  "federated_finetune"
+  "federated_finetune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federated_finetune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for federated_finetune.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlm_pretrain.dir/mlm_pretrain.cpp.o"
+  "CMakeFiles/mlm_pretrain.dir/mlm_pretrain.cpp.o.d"
+  "mlm_pretrain"
+  "mlm_pretrain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlm_pretrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

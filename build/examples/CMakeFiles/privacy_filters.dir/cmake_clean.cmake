@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privacy_filters.dir/privacy_filters.cpp.o"
+  "CMakeFiles/privacy_filters.dir/privacy_filters.cpp.o.d"
+  "privacy_filters"
+  "privacy_filters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privacy_filters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

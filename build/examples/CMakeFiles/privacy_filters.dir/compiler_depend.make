@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for privacy_filters.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_job.dir/run_job.cpp.o"
+  "CMakeFiles/run_job.dir/run_job.cpp.o.d"
+  "run_job"
+  "run_job.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_job.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_federation.dir/tcp_federation.cpp.o"
+  "CMakeFiles/tcp_federation.dir/tcp_federation.cpp.o.d"
+  "tcp_federation"
+  "tcp_federation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bytes.cpp" "src/core/CMakeFiles/cf_core.dir/bytes.cpp.o" "gcc" "src/core/CMakeFiles/cf_core.dir/bytes.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/core/CMakeFiles/cf_core.dir/config.cpp.o" "gcc" "src/core/CMakeFiles/cf_core.dir/config.cpp.o.d"
+  "/root/repo/src/core/logging.cpp" "src/core/CMakeFiles/cf_core.dir/logging.cpp.o" "gcc" "src/core/CMakeFiles/cf_core.dir/logging.cpp.o.d"
+  "/root/repo/src/core/rng.cpp" "src/core/CMakeFiles/cf_core.dir/rng.cpp.o" "gcc" "src/core/CMakeFiles/cf_core.dir/rng.cpp.o.d"
+  "/root/repo/src/core/sha256.cpp" "src/core/CMakeFiles/cf_core.dir/sha256.cpp.o" "gcc" "src/core/CMakeFiles/cf_core.dir/sha256.cpp.o.d"
+  "/root/repo/src/core/thread_pool.cpp" "src/core/CMakeFiles/cf_core.dir/thread_pool.cpp.o" "gcc" "src/core/CMakeFiles/cf_core.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

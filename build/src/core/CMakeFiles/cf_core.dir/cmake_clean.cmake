@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cf_core.dir/bytes.cpp.o"
+  "CMakeFiles/cf_core.dir/bytes.cpp.o.d"
+  "CMakeFiles/cf_core.dir/config.cpp.o"
+  "CMakeFiles/cf_core.dir/config.cpp.o.d"
+  "CMakeFiles/cf_core.dir/logging.cpp.o"
+  "CMakeFiles/cf_core.dir/logging.cpp.o.d"
+  "CMakeFiles/cf_core.dir/rng.cpp.o"
+  "CMakeFiles/cf_core.dir/rng.cpp.o.d"
+  "CMakeFiles/cf_core.dir/sha256.cpp.o"
+  "CMakeFiles/cf_core.dir/sha256.cpp.o.d"
+  "CMakeFiles/cf_core.dir/thread_pool.cpp.o"
+  "CMakeFiles/cf_core.dir/thread_pool.cpp.o.d"
+  "libcf_core.a"
+  "libcf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

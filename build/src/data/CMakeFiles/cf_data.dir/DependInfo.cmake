@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/clinical_gen.cpp" "src/data/CMakeFiles/cf_data.dir/clinical_gen.cpp.o" "gcc" "src/data/CMakeFiles/cf_data.dir/clinical_gen.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/data/CMakeFiles/cf_data.dir/dataset.cpp.o" "gcc" "src/data/CMakeFiles/cf_data.dir/dataset.cpp.o.d"
+  "/root/repo/src/data/mlm.cpp" "src/data/CMakeFiles/cf_data.dir/mlm.cpp.o" "gcc" "src/data/CMakeFiles/cf_data.dir/mlm.cpp.o.d"
+  "/root/repo/src/data/partitioner.cpp" "src/data/CMakeFiles/cf_data.dir/partitioner.cpp.o" "gcc" "src/data/CMakeFiles/cf_data.dir/partitioner.cpp.o.d"
+  "/root/repo/src/data/vocab.cpp" "src/data/CMakeFiles/cf_data.dir/vocab.cpp.o" "gcc" "src/data/CMakeFiles/cf_data.dir/vocab.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cf_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cf_data.dir/clinical_gen.cpp.o"
+  "CMakeFiles/cf_data.dir/clinical_gen.cpp.o.d"
+  "CMakeFiles/cf_data.dir/dataset.cpp.o"
+  "CMakeFiles/cf_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/cf_data.dir/mlm.cpp.o"
+  "CMakeFiles/cf_data.dir/mlm.cpp.o.d"
+  "CMakeFiles/cf_data.dir/partitioner.cpp.o"
+  "CMakeFiles/cf_data.dir/partitioner.cpp.o.d"
+  "CMakeFiles/cf_data.dir/vocab.cpp.o"
+  "CMakeFiles/cf_data.dir/vocab.cpp.o.d"
+  "libcf_data.a"
+  "libcf_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cf_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcf_data.a"
+)

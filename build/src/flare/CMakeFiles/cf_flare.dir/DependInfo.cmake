@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flare/aggregator.cpp" "src/flare/CMakeFiles/cf_flare.dir/aggregator.cpp.o" "gcc" "src/flare/CMakeFiles/cf_flare.dir/aggregator.cpp.o.d"
+  "/root/repo/src/flare/client.cpp" "src/flare/CMakeFiles/cf_flare.dir/client.cpp.o" "gcc" "src/flare/CMakeFiles/cf_flare.dir/client.cpp.o.d"
+  "/root/repo/src/flare/dxo.cpp" "src/flare/CMakeFiles/cf_flare.dir/dxo.cpp.o" "gcc" "src/flare/CMakeFiles/cf_flare.dir/dxo.cpp.o.d"
+  "/root/repo/src/flare/filters.cpp" "src/flare/CMakeFiles/cf_flare.dir/filters.cpp.o" "gcc" "src/flare/CMakeFiles/cf_flare.dir/filters.cpp.o.d"
+  "/root/repo/src/flare/fl_context.cpp" "src/flare/CMakeFiles/cf_flare.dir/fl_context.cpp.o" "gcc" "src/flare/CMakeFiles/cf_flare.dir/fl_context.cpp.o.d"
+  "/root/repo/src/flare/messages.cpp" "src/flare/CMakeFiles/cf_flare.dir/messages.cpp.o" "gcc" "src/flare/CMakeFiles/cf_flare.dir/messages.cpp.o.d"
+  "/root/repo/src/flare/model_selector.cpp" "src/flare/CMakeFiles/cf_flare.dir/model_selector.cpp.o" "gcc" "src/flare/CMakeFiles/cf_flare.dir/model_selector.cpp.o.d"
+  "/root/repo/src/flare/persistor.cpp" "src/flare/CMakeFiles/cf_flare.dir/persistor.cpp.o" "gcc" "src/flare/CMakeFiles/cf_flare.dir/persistor.cpp.o.d"
+  "/root/repo/src/flare/provision.cpp" "src/flare/CMakeFiles/cf_flare.dir/provision.cpp.o" "gcc" "src/flare/CMakeFiles/cf_flare.dir/provision.cpp.o.d"
+  "/root/repo/src/flare/robust_aggregator.cpp" "src/flare/CMakeFiles/cf_flare.dir/robust_aggregator.cpp.o" "gcc" "src/flare/CMakeFiles/cf_flare.dir/robust_aggregator.cpp.o.d"
+  "/root/repo/src/flare/secure_agg.cpp" "src/flare/CMakeFiles/cf_flare.dir/secure_agg.cpp.o" "gcc" "src/flare/CMakeFiles/cf_flare.dir/secure_agg.cpp.o.d"
+  "/root/repo/src/flare/secure_channel.cpp" "src/flare/CMakeFiles/cf_flare.dir/secure_channel.cpp.o" "gcc" "src/flare/CMakeFiles/cf_flare.dir/secure_channel.cpp.o.d"
+  "/root/repo/src/flare/server.cpp" "src/flare/CMakeFiles/cf_flare.dir/server.cpp.o" "gcc" "src/flare/CMakeFiles/cf_flare.dir/server.cpp.o.d"
+  "/root/repo/src/flare/simulator.cpp" "src/flare/CMakeFiles/cf_flare.dir/simulator.cpp.o" "gcc" "src/flare/CMakeFiles/cf_flare.dir/simulator.cpp.o.d"
+  "/root/repo/src/flare/tcp.cpp" "src/flare/CMakeFiles/cf_flare.dir/tcp.cpp.o" "gcc" "src/flare/CMakeFiles/cf_flare.dir/tcp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/cf_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/cf_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cf_flare.dir/aggregator.cpp.o"
+  "CMakeFiles/cf_flare.dir/aggregator.cpp.o.d"
+  "CMakeFiles/cf_flare.dir/client.cpp.o"
+  "CMakeFiles/cf_flare.dir/client.cpp.o.d"
+  "CMakeFiles/cf_flare.dir/dxo.cpp.o"
+  "CMakeFiles/cf_flare.dir/dxo.cpp.o.d"
+  "CMakeFiles/cf_flare.dir/filters.cpp.o"
+  "CMakeFiles/cf_flare.dir/filters.cpp.o.d"
+  "CMakeFiles/cf_flare.dir/fl_context.cpp.o"
+  "CMakeFiles/cf_flare.dir/fl_context.cpp.o.d"
+  "CMakeFiles/cf_flare.dir/messages.cpp.o"
+  "CMakeFiles/cf_flare.dir/messages.cpp.o.d"
+  "CMakeFiles/cf_flare.dir/model_selector.cpp.o"
+  "CMakeFiles/cf_flare.dir/model_selector.cpp.o.d"
+  "CMakeFiles/cf_flare.dir/persistor.cpp.o"
+  "CMakeFiles/cf_flare.dir/persistor.cpp.o.d"
+  "CMakeFiles/cf_flare.dir/provision.cpp.o"
+  "CMakeFiles/cf_flare.dir/provision.cpp.o.d"
+  "CMakeFiles/cf_flare.dir/robust_aggregator.cpp.o"
+  "CMakeFiles/cf_flare.dir/robust_aggregator.cpp.o.d"
+  "CMakeFiles/cf_flare.dir/secure_agg.cpp.o"
+  "CMakeFiles/cf_flare.dir/secure_agg.cpp.o.d"
+  "CMakeFiles/cf_flare.dir/secure_channel.cpp.o"
+  "CMakeFiles/cf_flare.dir/secure_channel.cpp.o.d"
+  "CMakeFiles/cf_flare.dir/server.cpp.o"
+  "CMakeFiles/cf_flare.dir/server.cpp.o.d"
+  "CMakeFiles/cf_flare.dir/simulator.cpp.o"
+  "CMakeFiles/cf_flare.dir/simulator.cpp.o.d"
+  "CMakeFiles/cf_flare.dir/tcp.cpp.o"
+  "CMakeFiles/cf_flare.dir/tcp.cpp.o.d"
+  "libcf_flare.a"
+  "libcf_flare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cf_flare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cf_models.dir/bert.cpp.o"
+  "CMakeFiles/cf_models.dir/bert.cpp.o.d"
+  "CMakeFiles/cf_models.dir/lstm_classifier.cpp.o"
+  "CMakeFiles/cf_models.dir/lstm_classifier.cpp.o.d"
+  "CMakeFiles/cf_models.dir/model_config.cpp.o"
+  "CMakeFiles/cf_models.dir/model_config.cpp.o.d"
+  "libcf_models.a"
+  "libcf_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cf_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/gru.cpp" "src/nn/CMakeFiles/cf_nn.dir/gru.cpp.o" "gcc" "src/nn/CMakeFiles/cf_nn.dir/gru.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "src/nn/CMakeFiles/cf_nn.dir/layers.cpp.o" "gcc" "src/nn/CMakeFiles/cf_nn.dir/layers.cpp.o.d"
+  "/root/repo/src/nn/lstm.cpp" "src/nn/CMakeFiles/cf_nn.dir/lstm.cpp.o" "gcc" "src/nn/CMakeFiles/cf_nn.dir/lstm.cpp.o.d"
+  "/root/repo/src/nn/module.cpp" "src/nn/CMakeFiles/cf_nn.dir/module.cpp.o" "gcc" "src/nn/CMakeFiles/cf_nn.dir/module.cpp.o.d"
+  "/root/repo/src/nn/state_dict.cpp" "src/nn/CMakeFiles/cf_nn.dir/state_dict.cpp.o" "gcc" "src/nn/CMakeFiles/cf_nn.dir/state_dict.cpp.o.d"
+  "/root/repo/src/nn/transformer.cpp" "src/nn/CMakeFiles/cf_nn.dir/transformer.cpp.o" "gcc" "src/nn/CMakeFiles/cf_nn.dir/transformer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/cf_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cf_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

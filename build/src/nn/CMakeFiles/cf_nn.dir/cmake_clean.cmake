@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cf_nn.dir/gru.cpp.o"
+  "CMakeFiles/cf_nn.dir/gru.cpp.o.d"
+  "CMakeFiles/cf_nn.dir/layers.cpp.o"
+  "CMakeFiles/cf_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/cf_nn.dir/lstm.cpp.o"
+  "CMakeFiles/cf_nn.dir/lstm.cpp.o.d"
+  "CMakeFiles/cf_nn.dir/module.cpp.o"
+  "CMakeFiles/cf_nn.dir/module.cpp.o.d"
+  "CMakeFiles/cf_nn.dir/state_dict.cpp.o"
+  "CMakeFiles/cf_nn.dir/state_dict.cpp.o.d"
+  "CMakeFiles/cf_nn.dir/transformer.cpp.o"
+  "CMakeFiles/cf_nn.dir/transformer.cpp.o.d"
+  "libcf_nn.a"
+  "libcf_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cf_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cf_optim.dir/optimizer.cpp.o"
+  "CMakeFiles/cf_optim.dir/optimizer.cpp.o.d"
+  "libcf_optim.a"
+  "libcf_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cf_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

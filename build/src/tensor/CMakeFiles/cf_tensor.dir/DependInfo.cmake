@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/kernels.cpp" "src/tensor/CMakeFiles/cf_tensor.dir/kernels.cpp.o" "gcc" "src/tensor/CMakeFiles/cf_tensor.dir/kernels.cpp.o.d"
+  "/root/repo/src/tensor/ops_elementwise.cpp" "src/tensor/CMakeFiles/cf_tensor.dir/ops_elementwise.cpp.o" "gcc" "src/tensor/CMakeFiles/cf_tensor.dir/ops_elementwise.cpp.o.d"
+  "/root/repo/src/tensor/ops_matmul.cpp" "src/tensor/CMakeFiles/cf_tensor.dir/ops_matmul.cpp.o" "gcc" "src/tensor/CMakeFiles/cf_tensor.dir/ops_matmul.cpp.o.d"
+  "/root/repo/src/tensor/ops_nn.cpp" "src/tensor/CMakeFiles/cf_tensor.dir/ops_nn.cpp.o" "gcc" "src/tensor/CMakeFiles/cf_tensor.dir/ops_nn.cpp.o.d"
+  "/root/repo/src/tensor/ops_shape.cpp" "src/tensor/CMakeFiles/cf_tensor.dir/ops_shape.cpp.o" "gcc" "src/tensor/CMakeFiles/cf_tensor.dir/ops_shape.cpp.o.d"
+  "/root/repo/src/tensor/tensor.cpp" "src/tensor/CMakeFiles/cf_tensor.dir/tensor.cpp.o" "gcc" "src/tensor/CMakeFiles/cf_tensor.dir/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cf_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cf_tensor.dir/kernels.cpp.o"
+  "CMakeFiles/cf_tensor.dir/kernels.cpp.o.d"
+  "CMakeFiles/cf_tensor.dir/ops_elementwise.cpp.o"
+  "CMakeFiles/cf_tensor.dir/ops_elementwise.cpp.o.d"
+  "CMakeFiles/cf_tensor.dir/ops_matmul.cpp.o"
+  "CMakeFiles/cf_tensor.dir/ops_matmul.cpp.o.d"
+  "CMakeFiles/cf_tensor.dir/ops_nn.cpp.o"
+  "CMakeFiles/cf_tensor.dir/ops_nn.cpp.o.d"
+  "CMakeFiles/cf_tensor.dir/ops_shape.cpp.o"
+  "CMakeFiles/cf_tensor.dir/ops_shape.cpp.o.d"
+  "CMakeFiles/cf_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/cf_tensor.dir/tensor.cpp.o.d"
+  "libcf_tensor.a"
+  "libcf_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cf_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

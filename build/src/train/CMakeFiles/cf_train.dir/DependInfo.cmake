@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/train/clinical_learner.cpp" "src/train/CMakeFiles/cf_train.dir/clinical_learner.cpp.o" "gcc" "src/train/CMakeFiles/cf_train.dir/clinical_learner.cpp.o.d"
+  "/root/repo/src/train/clinical_metrics.cpp" "src/train/CMakeFiles/cf_train.dir/clinical_metrics.cpp.o" "gcc" "src/train/CMakeFiles/cf_train.dir/clinical_metrics.cpp.o.d"
+  "/root/repo/src/train/cross_site.cpp" "src/train/CMakeFiles/cf_train.dir/cross_site.cpp.o" "gcc" "src/train/CMakeFiles/cf_train.dir/cross_site.cpp.o.d"
+  "/root/repo/src/train/experiment.cpp" "src/train/CMakeFiles/cf_train.dir/experiment.cpp.o" "gcc" "src/train/CMakeFiles/cf_train.dir/experiment.cpp.o.d"
+  "/root/repo/src/train/metrics.cpp" "src/train/CMakeFiles/cf_train.dir/metrics.cpp.o" "gcc" "src/train/CMakeFiles/cf_train.dir/metrics.cpp.o.d"
+  "/root/repo/src/train/reporting.cpp" "src/train/CMakeFiles/cf_train.dir/reporting.cpp.o" "gcc" "src/train/CMakeFiles/cf_train.dir/reporting.cpp.o.d"
+  "/root/repo/src/train/trainer.cpp" "src/train/CMakeFiles/cf_train.dir/trainer.cpp.o" "gcc" "src/train/CMakeFiles/cf_train.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/models/CMakeFiles/cf_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/flare/CMakeFiles/cf_flare.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/cf_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/cf_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/cf_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/cf_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cf_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cf_train.dir/clinical_learner.cpp.o"
+  "CMakeFiles/cf_train.dir/clinical_learner.cpp.o.d"
+  "CMakeFiles/cf_train.dir/clinical_metrics.cpp.o"
+  "CMakeFiles/cf_train.dir/clinical_metrics.cpp.o.d"
+  "CMakeFiles/cf_train.dir/cross_site.cpp.o"
+  "CMakeFiles/cf_train.dir/cross_site.cpp.o.d"
+  "CMakeFiles/cf_train.dir/experiment.cpp.o"
+  "CMakeFiles/cf_train.dir/experiment.cpp.o.d"
+  "CMakeFiles/cf_train.dir/metrics.cpp.o"
+  "CMakeFiles/cf_train.dir/metrics.cpp.o.d"
+  "CMakeFiles/cf_train.dir/reporting.cpp.o"
+  "CMakeFiles/cf_train.dir/reporting.cpp.o.d"
+  "CMakeFiles/cf_train.dir/trainer.cpp.o"
+  "CMakeFiles/cf_train.dir/trainer.cpp.o.d"
+  "libcf_train.a"
+  "libcf_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cf_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cf_train.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggregator_test.dir/aggregator_test.cpp.o"
+  "CMakeFiles/aggregator_test.dir/aggregator_test.cpp.o.d"
+  "aggregator_test"
+  "aggregator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggregator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

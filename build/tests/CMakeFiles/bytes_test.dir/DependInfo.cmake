@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bytes_test.cpp" "tests/CMakeFiles/bytes_test.dir/bytes_test.cpp.o" "gcc" "tests/CMakeFiles/bytes_test.dir/bytes_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/train/CMakeFiles/cf_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/cf_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/flare/CMakeFiles/cf_flare.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/cf_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/cf_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/cf_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/cf_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cf_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

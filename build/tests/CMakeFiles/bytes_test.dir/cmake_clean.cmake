@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bytes_test.dir/bytes_test.cpp.o"
+  "CMakeFiles/bytes_test.dir/bytes_test.cpp.o.d"
+  "bytes_test"
+  "bytes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bytes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

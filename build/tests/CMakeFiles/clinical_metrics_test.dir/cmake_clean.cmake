@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clinical_metrics_test.dir/clinical_metrics_test.cpp.o"
+  "CMakeFiles/clinical_metrics_test.dir/clinical_metrics_test.cpp.o.d"
+  "clinical_metrics_test"
+  "clinical_metrics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clinical_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

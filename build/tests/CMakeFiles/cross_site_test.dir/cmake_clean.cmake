@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_site_test.dir/cross_site_test.cpp.o"
+  "CMakeFiles/cross_site_test.dir/cross_site_test.cpp.o.d"
+  "cross_site_test"
+  "cross_site_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_site_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

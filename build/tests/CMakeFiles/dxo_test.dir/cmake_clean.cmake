@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dxo_test.dir/dxo_test.cpp.o"
+  "CMakeFiles/dxo_test.dir/dxo_test.cpp.o.d"
+  "dxo_test"
+  "dxo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dxo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flare_ext_test.dir/flare_ext_test.cpp.o"
+  "CMakeFiles/flare_ext_test.dir/flare_ext_test.cpp.o.d"
+  "flare_ext_test"
+  "flare_ext_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flare_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gru_test.dir/gru_test.cpp.o"
+  "CMakeFiles/gru_test.dir/gru_test.cpp.o.d"
+  "gru_test"
+  "gru_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gru_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_fl_test.dir/integration_fl_test.cpp.o"
+  "CMakeFiles/integration_fl_test.dir/integration_fl_test.cpp.o.d"
+  "integration_fl_test"
+  "integration_fl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_fl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

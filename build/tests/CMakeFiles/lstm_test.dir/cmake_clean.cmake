@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lstm_test.dir/lstm_test.cpp.o"
+  "CMakeFiles/lstm_test.dir/lstm_test.cpp.o.d"
+  "lstm_test"
+  "lstm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lstm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

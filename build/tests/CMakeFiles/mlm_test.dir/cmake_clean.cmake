@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlm_test.dir/mlm_test.cpp.o"
+  "CMakeFiles/mlm_test.dir/mlm_test.cpp.o.d"
+  "mlm_test"
+  "mlm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

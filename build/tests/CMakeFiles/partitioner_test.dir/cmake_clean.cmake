@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partitioner_test.dir/partitioner_test.cpp.o"
+  "CMakeFiles/partitioner_test.dir/partitioner_test.cpp.o.d"
+  "partitioner_test"
+  "partitioner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partitioner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

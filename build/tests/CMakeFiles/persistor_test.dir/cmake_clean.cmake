@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persistor_test.dir/persistor_test.cpp.o"
+  "CMakeFiles/persistor_test.dir/persistor_test.cpp.o.d"
+  "persistor_test"
+  "persistor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persistor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

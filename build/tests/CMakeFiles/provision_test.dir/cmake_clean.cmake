@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provision_test.dir/provision_test.cpp.o"
+  "CMakeFiles/provision_test.dir/provision_test.cpp.o.d"
+  "provision_test"
+  "provision_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provision_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

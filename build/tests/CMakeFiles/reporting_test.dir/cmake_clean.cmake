@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reporting_test.dir/reporting_test.cpp.o"
+  "CMakeFiles/reporting_test.dir/reporting_test.cpp.o.d"
+  "reporting_test"
+  "reporting_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reporting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

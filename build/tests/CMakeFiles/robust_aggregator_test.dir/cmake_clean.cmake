@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robust_aggregator_test.dir/robust_aggregator_test.cpp.o"
+  "CMakeFiles/robust_aggregator_test.dir/robust_aggregator_test.cpp.o.d"
+  "robust_aggregator_test"
+  "robust_aggregator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robust_aggregator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

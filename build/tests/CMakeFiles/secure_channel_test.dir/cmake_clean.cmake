@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_channel_test.dir/secure_channel_test.cpp.o"
+  "CMakeFiles/secure_channel_test.dir/secure_channel_test.cpp.o.d"
+  "secure_channel_test"
+  "secure_channel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_channel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

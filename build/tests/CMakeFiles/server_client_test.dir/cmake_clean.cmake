@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_client_test.dir/server_client_test.cpp.o"
+  "CMakeFiles/server_client_test.dir/server_client_test.cpp.o.d"
+  "server_client_test"
+  "server_client_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_client_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

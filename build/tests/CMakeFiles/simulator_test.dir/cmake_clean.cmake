@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulator_test.dir/simulator_test.cpp.o"
+  "CMakeFiles/simulator_test.dir/simulator_test.cpp.o.d"
+  "simulator_test"
+  "simulator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

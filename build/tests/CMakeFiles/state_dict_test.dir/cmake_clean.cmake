@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/state_dict_test.dir/state_dict_test.cpp.o"
+  "CMakeFiles/state_dict_test.dir/state_dict_test.cpp.o.d"
+  "state_dict_test"
+  "state_dict_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/state_dict_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

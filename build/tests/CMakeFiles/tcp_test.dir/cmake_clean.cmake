@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_test.dir/tcp_test.cpp.o"
+  "CMakeFiles/tcp_test.dir/tcp_test.cpp.o.d"
+  "tcp_test"
+  "tcp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transformer_test.dir/transformer_test.cpp.o"
+  "CMakeFiles/transformer_test.dir/transformer_test.cpp.o.d"
+  "transformer_test"
+  "transformer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transformer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
