@@ -3,8 +3,8 @@
 // recompilation needed to change the model, aggregation rule, privacy
 // filters, or scale.
 //
-//   ./examples/run_job model=lstm rounds=6 clients=8 \
-//       aggregator=weighted dp_sigma=0 fedprox_mu=0 secure_masking=false \
+//   ./examples/run_job model=lstm rounds=6 clients=8
+//       aggregator=weighted dp_sigma=0 fedprox_mu=0 secure_masking=false
 //       select_best=true patients=1000 use_tcp=false
 //
 // Prints the resolved job spec, runs the federation, and reports global

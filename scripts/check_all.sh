@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Full correctness gate: lint -> clang-tidy (if installed) -> build all three
+# presets with -Werror -> ctest each. This is the "am I allowed to merge"
+# command; scripts/ci.sh is the cheaper subset meant for every push.
+#
+# Usage: scripts/check_all.sh [-j N]
+set -euo pipefail
+
+SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+REPO_ROOT="$(dirname "${SCRIPT_DIR}")"
+cd "${REPO_ROOT}"
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+if [ "${1:-}" = "-j" ] && [ -n "${2:-}" ]; then JOBS="$2"; fi
+
+step() { echo; echo "==== $* ===="; }
+
+step "lint"
+"${SCRIPT_DIR}/lint.sh" --self-test
+"${SCRIPT_DIR}/lint.sh"
+
+step "clang-tidy"
+if command -v clang-tidy >/dev/null 2>&1; then
+  # compile_commands.json comes from the release preset configure below if
+  # missing; configure it first so tidy always has a database.
+  cmake --preset release -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    run-clang-tidy -p build-release -quiet "src/.*\.cpp$"
+  else
+    find src -name '*.cpp' -print0 |
+      xargs -0 -n 8 clang-tidy -p build-release --quiet
+  fi
+else
+  echo "clang-tidy not installed; skipping (grep lint above still enforced)"
+fi
+
+for preset in release asan-ubsan tsan; do
+  step "build ${preset} (WERROR=ON)"
+  cmake --preset "${preset}" -DCPPFLARE_WERROR=ON
+  cmake --build --preset "${preset}" -j "${JOBS}"
+  step "ctest ${preset}"
+  ctest --preset "${preset}" -j "${JOBS}"
+done
+
+step "all checks passed"

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# One-command reproducible CI pass: lint, the full suite under ASan+UBSan,
+# and the concurrency-sensitive tests under TSan (with the suppressions file,
+# which is empty by policy — see scripts/tsan.supp). A subset of
+# scripts/check_all.sh sized for every-push latency.
+#
+# Usage: scripts/ci.sh [-j N]
+set -euo pipefail
+
+SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+REPO_ROOT="$(dirname "${SCRIPT_DIR}")"
+cd "${REPO_ROOT}"
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+if [ "${1:-}" = "-j" ] && [ -n "${2:-}" ]; then JOBS="$2"; fi
+
+step() { echo; echo "==== $* ===="; }
+
+step "lint"
+"${SCRIPT_DIR}/lint.sh" --self-test
+"${SCRIPT_DIR}/lint.sh"
+
+step "asan-ubsan: build + full ctest"
+cmake --preset asan-ubsan
+cmake --build --preset asan-ubsan -j "${JOBS}"
+ctest --preset asan-ubsan -j "${JOBS}"
+
+step "tsan: build + threaded/stress ctest"
+cmake --preset tsan
+cmake --build --preset tsan -j "${JOBS}"
+# The threaded surface: the stress suite plus every test that spins up the
+# pool, the TCP transport, or a federation. TSAN_OPTIONS from the test
+# preset already points at scripts/tsan.supp; export too for direct runs.
+export TSAN_OPTIONS="suppressions=${REPO_ROOT}/scripts/tsan.supp:history_size=7"
+ctest --preset tsan -j "${JOBS}" -R \
+  '^(stress_concurrency_test|thread_pool_test|tcp_test|simulator_test|server_client_test|integration_fl_test|cross_site_test)$'
+
+step "ci pass complete"

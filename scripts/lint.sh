@@ -1,0 +1,164 @@
+#!/usr/bin/env bash
+# Repo lint: greppable correctness rules over the FL runtime.
+#
+# Rules (each one guards a reproducibility or runtime invariant):
+#   R1  no rand()/srand() outside src/core/rng.*       — all randomness flows
+#       through seeded core::Rng so runs are reproducible.
+#   R2  no naked new/delete in src/flare/              — the runtime passes
+#       ownership across threads; raw owning pointers are how socket- and
+#       task-lifetime races start. Use unique_ptr/shared_ptr/containers.
+#   R3  no #include <iostream> in library code         — only the logging
+#       sink (src/core/logging.*) talks to std streams; everything else logs
+#       through core::Logger so output stays serialized and redirectable.
+#   R4  header hygiene                                 — every header under
+#       src/ uses `#pragma once` (no #ifndef guards, no guardless headers).
+#
+# Usage:
+#   scripts/lint.sh              lint the repository (exit 0 = clean)
+#   scripts/lint.sh --self-test  prove each rule still fires on a violation
+#
+# The rule engine takes the tree root as a parameter so the self-test can run
+# the exact same code against a fixture tree with planted violations.
+set -u
+
+SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+REPO_ROOT="$(dirname "${SCRIPT_DIR}")"
+
+# Strip // and /* */ comment text so rule regexes only see code. Keeps line
+# structure (and therefore line numbers) intact.
+strip_comments() {
+  sed -e 's|//.*||' -e 's|/\*.*\*/||g' "$1"
+}
+
+# Each check_* prints "file:line: message" per violation and returns the
+# violation count via its output; callers accumulate.
+
+check_rand() {  # R1: rand()/srand() outside src/core/rng.*
+  local root="$1"
+  local f
+  find "$root/src" -type f \( -name '*.cpp' -o -name '*.h' \) 2>/dev/null |
+    while IFS= read -r f; do
+      case "$f" in */src/core/rng.cpp | */src/core/rng.h) continue ;; esac
+      strip_comments "$f" | grep -nE '(^|[^A-Za-z0-9_])s?rand[[:space:]]*\(' |
+        sed "s|^|${f#"$root"/}:|" | sed 's|$|: R1 rand()/srand() outside src/core/rng.* (use core::Rng)|'
+    done
+}
+
+check_naked_new_delete() {  # R2: naked new/delete in src/flare/
+  local root="$1"
+  local f
+  find "$root/src/flare" -type f \( -name '*.cpp' -o -name '*.h' \) 2>/dev/null |
+    while IFS= read -r f; do
+      strip_comments "$f" |
+        grep -nE '(^|[^A-Za-z0-9_])(new[[:space:]]+[A-Za-z_:(<]|delete([[:space:]]|\[))' |
+        grep -vE '=[[:space:]]*delete' |
+        sed "s|^|${f#"$root"/}:|" | sed 's|$|: R2 naked new/delete in src/flare/ (use smart pointers)|'
+    done
+}
+
+check_iostream() {  # R3: <iostream> in library code outside the log sink
+  local root="$1"
+  local f
+  find "$root/src" -type f \( -name '*.cpp' -o -name '*.h' \) 2>/dev/null |
+    while IFS= read -r f; do
+      case "$f" in */src/core/logging.cpp | */src/core/logging.h) continue ;; esac
+      grep -nE '^[[:space:]]*#[[:space:]]*include[[:space:]]*<iostream>' "$f" |
+        sed "s|^|${f#"$root"/}:|" | sed 's|$|: R3 #include <iostream> in library code (log via core::Logger)|'
+    done
+}
+
+check_header_guards() {  # R4: #pragma once everywhere, no #ifndef guards
+  local root="$1"
+  local f
+  find "$root/src" -type f -name '*.h' 2>/dev/null |
+    while IFS= read -r f; do
+      if ! grep -q '^#pragma once' "$f"; then
+        echo "${f#"$root"/}:1: R4 header missing #pragma once"
+      elif grep -qE '^#ifndef[[:space:]]+[A-Z0-9_]+_H' "$f"; then
+        echo "${f#"$root"/}:1: R4 mixed include-guard styles (#ifndef next to #pragma once)"
+      fi
+    done
+}
+
+run_all_checks() {
+  local root="$1"
+  check_rand "$root"
+  check_naked_new_delete "$root"
+  check_iostream "$root"
+  check_header_guards "$root"
+}
+
+self_test() {
+  local tmp
+  tmp="$(mktemp -d)"
+  # shellcheck disable=SC2064  — expand now: $tmp is a local, gone at EXIT.
+  trap "rm -rf '$tmp'" EXIT
+  mkdir -p "$tmp/src/core" "$tmp/src/flare"
+
+  # One planted violation per rule, plus decoys that must NOT fire.
+  cat > "$tmp/src/core/seed.cpp" <<'EOF'
+#include <cstdlib>
+void reseed() { srand(42); }
+int noisy() { return rand(); }
+int fine_decoy() { int operand = 1; return operand; }  // "rand" substring
+EOF
+  cat > "$tmp/src/flare/owner.cpp" <<'EOF'
+struct Widget { int x; };
+Widget* leaky() { return new Widget{1}; }
+void racy(Widget* w) { delete w; }
+struct NoCopy { NoCopy(const NoCopy&) = delete; };  // decoy: deleted fn
+// decoy comment: a new Widget is born, delete it later
+EOF
+  cat > "$tmp/src/flare/chatty.cpp" <<'EOF'
+#include <iostream>
+void shout() { std::cout << "hi\n"; }
+EOF
+  cat > "$tmp/src/flare/guardless.h" <<'EOF'
+struct Unguarded { int x; };
+EOF
+  cat > "$tmp/src/flare/clean.h" <<'EOF'
+#pragma once
+struct Clean { int x; };
+EOF
+
+  local out
+  out="$(run_all_checks "$tmp")"
+  local failed=0
+  for rule in R1 R2 R3 R4; do
+    if ! grep -q "$rule" <<<"$out"; then
+      echo "lint self-test: rule $rule did not fire on its fixture" >&2
+      failed=1
+    fi
+  done
+  # The decoys must not produce extra hits: expect exactly 2xR1 (rand+srand),
+  # 2xR2 (new+delete), 1xR3, 1xR4.
+  local count
+  count="$(grep -c ':' <<<"$out")"
+  if [ "$count" -ne 6 ]; then
+    echo "lint self-test: expected 6 violations, got $count:" >&2
+    echo "$out" >&2
+    failed=1
+  fi
+  if [ "$failed" -ne 0 ]; then
+    echo "lint self-test FAILED" >&2
+    exit 1
+  fi
+  echo "lint self-test passed (all rules fire, decoys stay quiet)"
+}
+
+main() {
+  if [ "${1:-}" = "--self-test" ]; then
+    self_test
+    exit 0
+  fi
+  local out
+  out="$(run_all_checks "$REPO_ROOT")"
+  if [ -n "$out" ]; then
+    echo "$out" >&2
+    echo "lint: $(grep -c ':' <<<"$out") violation(s)" >&2
+    exit 1
+  fi
+  echo "lint: clean"
+}
+
+main "$@"

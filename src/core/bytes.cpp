@@ -42,6 +42,8 @@ void ByteWriter::write_string(const std::string& s) {
 
 void ByteWriter::write_f32_vector(const std::vector<float>& v) {
   write_u64(v.size());
+  if (v.empty()) return;  // empty vector: v.data() may be null, and memcpy
+                          // arguments are declared nonnull even for n == 0
   const std::size_t off = buf_.size();
   buf_.resize(off + v.size() * sizeof(float));
   // Little-endian hosts can bulk-copy; the per-element path below is the
@@ -114,7 +116,9 @@ std::vector<float> ByteReader::read_f32_vector() {
   if (n > kMaxContainerElems) throw SerializationError("f32 vector too large");
   require(n * sizeof(float));
   std::vector<float> v(n);
-  std::memcpy(v.data(), data_ + pos_, n * sizeof(float));
+  if (n > 0) {  // empty: v.data() may be null (memcpy args are nonnull)
+    std::memcpy(v.data(), data_ + pos_, n * sizeof(float));
+  }
   pos_ += n * sizeof(float);
   return v;
 }

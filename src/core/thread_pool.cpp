@@ -10,11 +10,16 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   }
 }
 
+// Shutdown ordering invariant: stopping_ is set while holding mu_ — the same
+// mutex every worker holds when evaluating its wait predicate — so a worker
+// can never observe "not stopping" and then sleep through the notify (the
+// classic lost-wakeup race). Only after the flag is published and all workers
+// notified are the threads joined.
 ThreadPool::~ThreadPool() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     stopping_ = true;
-    queue_.clear();
+    queue_.clear();  // discard tasks that have not started (see header)
   }
   cv_.notify_all();
   for (std::thread& t : workers_) t.join();

@@ -48,10 +48,14 @@ class ThreadPool {
  private:
   void worker_loop();
 
+  /// Guards queue_ and stopping_. Invariant: stopping_ transitions to true
+  /// exactly once, under mu_, before the final notify_all — workers checking
+  /// the predicate under the same mutex therefore cannot miss shutdown.
   std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   bool stopping_ = false;
+  /// Immutable after the constructor returns (size() reads it unlocked).
   std::vector<std::thread> workers_;
 };
 

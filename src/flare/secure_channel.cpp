@@ -47,7 +47,11 @@ Envelope parse(const std::vector<std::uint8_t>& sealed, core::Digest* mac_out) {
   env.sender = r.read_string();
   env.sequence = r.read_u64();
   const std::uint64_t n = r.read_u64();
-  if (r.remaining() < n + 32) throw ProtocolError("envelope: truncated");
+  // Written as a subtraction: `n + 32` wraps for a hostile length near
+  // 2^64 and would pass the check.
+  if (r.remaining() < 32 || r.remaining() - 32 < n) {
+    throw ProtocolError("envelope: truncated");
+  }
   env.payload = r.read_raw(static_cast<std::size_t>(n));
   const std::vector<std::uint8_t> mac_bytes = r.read_raw(mac_out->size());
   std::copy(mac_bytes.begin(), mac_bytes.end(), mac_out->begin());

@@ -71,6 +71,9 @@ class FederatedServer {
   using RoundObserver =
       std::function<void(std::int64_t, const nn::StateDict&, const RoundMetrics&)>;
   void add_round_observer(RoundObserver observer) {
+    // Guarded by mu_: registration may race a round finishing on a client
+    // dispatch thread, which iterates this vector under the same lock.
+    std::lock_guard<std::mutex> lock(mu_);
     round_observers_.push_back(std::move(observer));
   }
   /// Backwards-compatible alias for a single observer.

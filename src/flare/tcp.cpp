@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -98,30 +99,42 @@ TcpServer::TcpServer(std::uint16_t port, Dispatcher dispatcher)
 
 TcpServer::~TcpServer() { stop(); }
 
+// fd ownership protocol (the invariant every lock below guards):
+//  * listen_fd_ is closed only here, and only after the accept thread has
+//    been joined — closing an fd another thread is blocked in accept(2) on
+//    lets the kernel recycle the number for a concurrent connection.
+//  * Each connection fd is closed only by its serve_connection thread.
+//    stop() merely shutdown(2)s connection fds to unblock recv/send; the
+//    owning thread then exits and closes. This makes close/IO races and
+//    double-closes structurally impossible.
+//  * stop_mu_ serializes concurrent stop() calls (including the destructor
+//    racing an explicit stop()): std::thread::join from two threads at once
+//    is undefined behavior.
 void TcpServer::stop() {
-  bool expected = false;
-  if (!stopping_.compare_exchange_strong(expected, true)) {
-    // Already stopping; just make sure the accept thread is joined once.
-    if (accept_thread_.joinable()) accept_thread_.join();
-    return;
-  }
-  ::shutdown(listen_fd_, SHUT_RDWR);
-  ::close(listen_fd_);
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (int fd : conn_fds_) {
-      ::shutdown(fd, SHUT_RDWR);
-      ::close(fd);
-    }
-    conn_fds_.clear();
+  std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  stopping_.store(true);
+  if (listen_fd_ >= 0) {
+    // shutdown(2) on the listening socket wakes the blocked accept(2) with
+    // EINVAL on Linux; the accept loop sees stopping_ and exits.
+    ::shutdown(listen_fd_, SHUT_RDWR);
   }
   if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Wake every connection handler blocked in recv(2). Do NOT close: the
+    // handler thread owns the fd and closes it on exit.
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
   std::vector<std::thread> to_join;
   {
     std::lock_guard<std::mutex> lock(mu_);
     to_join.swap(conn_threads_);
   }
   for (std::thread& t : to_join) t.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
 }
 
 void TcpServer::accept_loop() {
@@ -157,17 +170,14 @@ void TcpServer::serve_connection(int fd) {
   } catch (const std::exception& e) {
     logger().warn(std::string("connection handler error: ") + e.what());
   }
-  // The fd is closed by stop() or here if the peer went away first.
-  if (!stopping_) {
+  // This thread is the sole closer of fd (see the ownership protocol above
+  // stop()); deregister first so stop() never shutdown(2)s a closed fd.
+  {
     std::lock_guard<std::mutex> lock(mu_);
-    for (auto it = conn_fds_.begin(); it != conn_fds_.end(); ++it) {
-      if (*it == fd) {
-        ::close(fd);
-        conn_fds_.erase(it);
-        break;
-      }
-    }
+    conn_fds_.erase(std::remove(conn_fds_.begin(), conn_fds_.end(), fd),
+                    conn_fds_.end());
   }
+  ::close(fd);
 }
 
 TcpConnection::TcpConnection(const std::string& host, std::uint16_t port) {

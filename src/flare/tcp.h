@@ -47,6 +47,10 @@ class TcpServer {
   std::uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
   std::thread accept_thread_;
+  /// Serializes stop() (destructor vs. explicit stop vs. concurrent stops).
+  std::mutex stop_mu_;
+  /// Guards conn_fds_ and conn_threads_. Connection fds are closed only by
+  /// their serve_connection thread; stop() only shutdown(2)s them.
   std::mutex mu_;
   std::vector<int> conn_fds_;
   std::vector<std::thread> conn_threads_;

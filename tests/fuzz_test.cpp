@@ -135,7 +135,9 @@ TEST(FuzzRoundTrip, StateDictSurvivesRandomContents) {
       for (std::int64_t i = 0; i < n; ++i) {
         blob.values.push_back(static_cast<float>(rng.normal()));
       }
-      d.insert("p" + std::to_string(b), std::move(blob));
+      std::string blob_name = "p";
+      blob_name += std::to_string(b);
+      d.insert(blob_name, std::move(blob));
     }
     core::ByteWriter w;
     d.serialize(w);

@@ -162,8 +162,10 @@ INSTANTIATE_TEST_SUITE_P(Sweep, MlmMaskProbTest,
                          ::testing::Values(MaskProbCase{0.05}, MaskProbCase{0.15},
                                            MaskProbCase{0.3}, MaskProbCase{0.5}),
                          [](const ::testing::TestParamInfo<MaskProbCase>& info) {
-                           return "p" + std::to_string(
-                                            static_cast<int>(info.param.p * 100));
+                           std::string name = "p";
+                           name += std::to_string(
+                               static_cast<int>(info.param.p * 100));
+                           return name;
                          });
 
 }  // namespace

@@ -170,7 +170,9 @@ TEST_P(AggregatorProperties, MedianBoundedByHonestValuesUnderOneOutlier) {
     d.insert("w", {{dims}, vals});
     flare::Dxo dxo(flare::DxoKind::kWeights, d);
     dxo.set_meta_int(flare::Dxo::kMetaNumSamples, 10);
-    agg.accept("h" + std::to_string(s), dxo);
+    std::string honest_name = "h";
+    honest_name += std::to_string(s);
+    agg.accept(honest_name, dxo);
   }
   nn::StateDict evil;
   std::vector<float> evil_vals;
