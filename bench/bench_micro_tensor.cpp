@@ -1,6 +1,11 @@
 // Microbenchmarks for the tensor/NN substrate (google-benchmark).
+//
+// The GEMM and model benches take the compute-thread budget as their last
+// range argument, so one run sweeps 1..N threads and `scripts/bench.sh` can
+// record the scaling curve in a single JSON file.
 #include <benchmark/benchmark.h>
 
+#include "core/parallel.h"
 #include "models/lstm_classifier.h"
 #include "nn/lstm.h"
 #include "nn/transformer.h"
@@ -12,7 +17,12 @@ namespace {
 using namespace cppflare;
 using tensor::Tensor;
 
+void set_threads_from_arg(benchmark::State& state) {
+  core::set_compute_threads(static_cast<std::size_t>(state.range(1)));
+}
+
 void BM_GemmNN(benchmark::State& state) {
+  set_threads_from_arg(state);
   const std::int64_t n = state.range(0);
   std::vector<float> a(512 * 128), b(128 * n), c(512 * n);
   for (auto& x : a) x = 0.5f;
@@ -23,9 +33,14 @@ void BM_GemmNN(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 2 * 512 * 128 * n);
 }
-BENCHMARK(BM_GemmNN)->Arg(128)->Arg(512);
+BENCHMARK(BM_GemmNN)
+    ->Args({128, 1})
+    ->Args({512, 1})
+    ->Args({512, 2})
+    ->Args({512, 4});
 
 void BM_GemmNT(benchmark::State& state) {
+  set_threads_from_arg(state);
   const std::int64_t n = state.range(0);
   std::vector<float> a(512 * 128), b(n * 128), c(512 * n);
   for (auto& x : a) x = 0.5f;
@@ -36,9 +51,14 @@ void BM_GemmNT(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 2 * 512 * 128 * n);
 }
-BENCHMARK(BM_GemmNT)->Arg(128)->Arg(512);
+BENCHMARK(BM_GemmNT)
+    ->Args({128, 1})
+    ->Args({512, 1})
+    ->Args({512, 2})
+    ->Args({512, 4});
 
 void BM_GemmTN(benchmark::State& state) {
+  set_threads_from_arg(state);
   const std::int64_t n = state.range(0);
   std::vector<float> a(512 * 128), b(512 * n), c(128 * n);
   for (auto& x : a) x = 0.5f;
@@ -49,7 +69,11 @@ void BM_GemmTN(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 2 * 512 * 128 * n);
 }
-BENCHMARK(BM_GemmTN)->Arg(128)->Arg(512);
+BENCHMARK(BM_GemmTN)
+    ->Args({128, 1})
+    ->Args({512, 1})
+    ->Args({512, 2})
+    ->Args({512, 4});
 
 void BM_SoftmaxLastdim(benchmark::State& state) {
   core::Rng rng(1);
@@ -76,6 +100,7 @@ void BM_LayerNorm(benchmark::State& state) {
 BENCHMARK(BM_LayerNorm);
 
 void BM_AttentionForward(benchmark::State& state) {
+  core::set_compute_threads(static_cast<std::size_t>(state.range(0)));
   core::Rng rng(3);
   nn::MultiHeadSelfAttention attn(128, 6, 22, 0.0f, rng);
   attn.set_training(false);
@@ -87,9 +112,10 @@ void BM_AttentionForward(benchmark::State& state) {
     benchmark::DoNotOptimize(y.data());
   }
 }
-BENCHMARK(BM_AttentionForward);
+BENCHMARK(BM_AttentionForward)->Arg(1)->Arg(4);
 
 void BM_LstmForward(benchmark::State& state) {
+  core::set_compute_threads(static_cast<std::size_t>(state.range(0)));
   core::Rng rng(5);
   nn::Lstm lstm(128, 128, 3, 0.0f, rng);
   lstm.set_training(false);
@@ -101,7 +127,7 @@ void BM_LstmForward(benchmark::State& state) {
     benchmark::DoNotOptimize(y.data());
   }
 }
-BENCHMARK(BM_LstmForward);
+BENCHMARK(BM_LstmForward)->Arg(1)->Arg(4);
 
 void BM_EmbeddingLookup(benchmark::State& state) {
   core::Rng rng(7);
@@ -130,6 +156,7 @@ void BM_CrossEntropy(benchmark::State& state) {
 BENCHMARK(BM_CrossEntropy);
 
 void BM_BertMiniTrainStep(benchmark::State& state) {
+  core::set_compute_threads(static_cast<std::size_t>(state.range(0)));
   core::Rng rng(9);
   models::ModelConfig config = models::ModelConfig::bert_mini(400, 32);
   auto model = models::make_classifier(config, rng);
@@ -151,6 +178,6 @@ void BM_BertMiniTrainStep(benchmark::State& state) {
     benchmark::DoNotOptimize(loss.item());
   }
 }
-BENCHMARK(BM_BertMiniTrainStep);
+BENCHMARK(BM_BertMiniTrainStep)->Arg(1)->Arg(4);
 
 }  // namespace

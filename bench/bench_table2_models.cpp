@@ -6,8 +6,13 @@
 // a representative batch.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
+#include "core/parallel.h"
 #include "models/lstm_classifier.h"
 #include "tensor/ops.h"
 #include "train/experiment.h"
@@ -73,13 +78,52 @@ Timing time_model(models::SequenceClassifier& model, const data::Batch& batch,
   return {fwd, fwd_bwd};
 }
 
+struct Row {
+  std::string name;
+  std::int64_t params;
+  Timing timing;
+};
+
+/// Writes BENCH_models.json: per-model latencies plus the run conditions
+/// (thread budget, wall time) `scripts/bench.sh` records alongside the
+/// tensor microbenchmarks.
+void write_json(const char* path, const std::vector<Row>& rows,
+                double wall_seconds) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"compute_threads\": %zu,\n  \"wall_seconds\": %.3f,\n",
+               core::compute_threads(), wall_seconds);
+  std::fprintf(f, "  \"models\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"params\": %lld, \"fwd_ms\": %.3f, "
+                 "\"fwd_bwd_ms\": %.3f}%s\n",
+                 rows[i].name.c_str(), static_cast<long long>(rows[i].params),
+                 rows[i].timing.fwd_ms, rows[i].timing.fwd_bwd_ms,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cppflare;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
   const train::ExperimentScale scale = train::ExperimentScale::from_env();
   bench::print_header("Table II — medical NLP model specifications", scale);
   bench::quiet_logs();
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<Row> rows;
 
   const std::int64_t vocab =
       scale.num_drugs + scale.num_diagnoses + scale.num_procedures + 2 +
@@ -98,12 +142,21 @@ int main() {
     auto model = models::make_classifier(config, rng);
     const int iters = config.kind == models::ModelKind::kBert ? 2 : 4;
     const Timing t = time_model(*model, batch, iters);
+    rows.push_back({name, model->num_parameters(), t});
     std::printf("%-12s | %6lld | %5lld | %6lld | %10lld | %10.1f | %12.1f\n", name,
                 static_cast<long long>(config.hidden),
                 static_cast<long long>(config.heads),
                 static_cast<long long>(config.layers),
                 static_cast<long long>(model->num_parameters()), t.fwd_ms,
                 t.fwd_bwd_ms);
+  }
+  if (json_path != nullptr) {
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    write_json(json_path, rows, wall);
+    std::printf("\nwrote %s\n", json_path);
   }
   std::printf(
       "\npaper Table II: BERT 128/6/12, BERT-mini 50/2/6, LSTM 128/-/3 "

@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
   scale.local_epochs = config.get_int("local_epochs", scale.local_epochs);
   scale.lr = config.get_double("lr", scale.lr);
   scale.label_skew_alpha = config.get_double("skew_alpha", scale.label_skew_alpha);
+  scale.compute_threads = config.get_int("compute_threads", scale.compute_threads);
 
   train::FederatedOptions options;
   options.weighted_aggregation = config.get("aggregator", "weighted") == "weighted";

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Benchmark harness: builds the release preset and records the compute
+# backend's numbers to JSON so a PR can show its perf claim instead of
+# asserting it.
+#
+#   BENCH_tensor.json — google-benchmark output of bench_micro_tensor. The
+#       GEMM benches carry the thread budget as their second argument
+#       (e.g. BM_GemmNN/512/4 = N=512 at 4 compute threads), so one run
+#       captures the 1..4-thread scaling curve: items_per_second is the
+#       ops/s figure, real_time the wall time per iteration.
+#   BENCH_models.json — bench_table2_models latencies per model plus the
+#       effective thread budget and total wall seconds.
+#
+# Usage: scripts/bench.sh [-j N]
+set -euo pipefail
+
+SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+REPO_ROOT="$(dirname "${SCRIPT_DIR}")"
+cd "${REPO_ROOT}"
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+if [ "${1:-}" = "-j" ] && [ -n "${2:-}" ]; then JOBS="$2"; fi
+
+step() { echo; echo "==== $* ===="; }
+
+step "release: build benches"
+cmake --preset release
+cmake --build --preset release -j "${JOBS}" \
+  --target bench_micro_tensor bench_table2_models
+
+step "tensor microbenchmarks -> BENCH_tensor.json"
+./build-release/bench/bench_micro_tensor \
+  --benchmark_out="${REPO_ROOT}/BENCH_tensor.json" \
+  --benchmark_out_format=json \
+  --benchmark_min_time=0.2
+
+step "model latencies -> BENCH_models.json"
+./build-release/bench/bench_table2_models --json "${REPO_ROOT}/BENCH_models.json"
+
+step "bench complete"
+echo "wrote BENCH_tensor.json and BENCH_models.json"

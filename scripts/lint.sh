@@ -12,6 +12,12 @@
 #       through core::Logger so output stays serialized and redirectable.
 #   R4  header hygiene                                 — every header under
 #       src/ uses `#pragma once` (no #ifndef guards, no guardless headers).
+#   R5  no raw std::thread outside src/core/           — all parallelism goes
+#       through core::parallel_for / core::ThreadPool so the process-wide
+#       compute budget stays enforceable. Blocking I/O threads (the TCP
+#       transport) are annotated `R5-exempt: <reason>` on the offending line.
+#       `std::thread::hardware_concurrency()` (member access, no spawn) is
+#       allowed.
 #
 # Usage:
 #   scripts/lint.sh              lint the repository (exit 0 = clean)
@@ -80,12 +86,34 @@ check_header_guards() {  # R4: #pragma once everywhere, no #ifndef guards
     done
 }
 
+check_raw_threads() {  # R5: raw std::thread outside src/core/
+  local root="$1"
+  local f
+  find "$root/src" -type f \( -name '*.cpp' -o -name '*.h' \) 2>/dev/null |
+    while IFS= read -r f; do
+      case "$f" in */src/core/*) continue ;; esac
+      # `[^:]` after the token lets std::thread::hardware_concurrency through
+      # while still catching declarations, constructions and vector<...>.
+      strip_comments "$f" |
+        grep -nE '(^|[^A-Za-z0-9_])std::thread([^:A-Za-z0-9_]|$)' |
+        while IFS= read -r hit; do
+          # Exemption markers live in comments, which strip_comments removed —
+          # re-check the raw source line.
+          local ln="${hit%%:*}"
+          if sed -n "${ln}p" "$f" | grep -q 'R5-exempt:'; then continue; fi
+          echo "${f#"$root"/}:${hit}" |
+            sed 's|$|: R5 raw std::thread outside src/core/ (use core::parallel_for or core::ThreadPool)|'
+        done
+    done
+}
+
 run_all_checks() {
   local root="$1"
   check_rand "$root"
   check_naked_new_delete "$root"
   check_iostream "$root"
   check_header_guards "$root"
+  check_raw_threads "$root"
 }
 
 self_test() {
@@ -120,22 +148,35 @@ EOF
 #pragma once
 struct Clean { int x; };
 EOF
+  cat > "$tmp/src/flare/spawner.cpp" <<'EOF'
+#include <thread>
+void spawn() { std::thread t([] {}); t.join(); }
+void io() { std::thread t2([] {}); t2.join(); }  // R5-exempt: blocking I/O fixture
+void waiter() { std::this_thread::yield(); }
+unsigned hw() { return std::thread::hardware_concurrency(); }
+// decoy comment: std::thread mentioned in prose only
+EOF
+  cat > "$tmp/src/core/pool_impl.cpp" <<'EOF'
+#include <thread>
+void core_owns_threads() { std::thread t([] {}); t.join(); }
+EOF
 
   local out
   out="$(run_all_checks "$tmp")"
   local failed=0
-  for rule in R1 R2 R3 R4; do
+  for rule in R1 R2 R3 R4 R5; do
     if ! grep -q "$rule" <<<"$out"; then
       echo "lint self-test: rule $rule did not fire on its fixture" >&2
       failed=1
     fi
   done
   # The decoys must not produce extra hits: expect exactly 2xR1 (rand+srand),
-  # 2xR2 (new+delete), 1xR3, 1xR4.
+  # 2xR2 (new+delete), 1xR3, 1xR4, 1xR5 (the exempt line, this_thread,
+  # hardware_concurrency, comment and src/core/ fixtures all stay quiet).
   local count
   count="$(grep -c ':' <<<"$out")"
-  if [ "$count" -ne 6 ]; then
-    echo "lint self-test: expected 6 violations, got $count:" >&2
+  if [ "$count" -ne 7 ]; then
+    echo "lint self-test: expected 7 violations, got $count:" >&2
     echo "$out" >&2
     failed=1
   fi

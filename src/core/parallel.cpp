@@ -1,0 +1,222 @@
+#include "core/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "core/error.h"
+#include "core/thread_pool.h"
+
+namespace cppflare::core {
+
+namespace {
+
+thread_local bool tls_in_region = false;
+
+std::size_t env_or_hardware_budget(bool& explicit_out) {
+  if (const char* env = std::getenv("CPPFLARE_COMPUTE_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end == nullptr || *end != '\0' || v < 1) {
+      throw ConfigError(std::string("CPPFLARE_COMPUTE_THREADS is not a "
+                                    "positive integer: '") +
+                        env + "'");
+    }
+    explicit_out = true;
+    return static_cast<std::size_t>(v);
+  }
+  explicit_out = false;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+/// Budget + helper pool. `mu` guards both; regions copy the pool shared_ptr
+/// under the lock, so a concurrent set_compute_threads never destroys a pool
+/// a region is still submitting to (the swap drops only the registry's ref).
+struct ComputeState {
+  std::mutex mu;
+  std::size_t budget = 0;  // 0 = not yet resolved
+  bool explicitly_set = false;
+  std::shared_ptr<ThreadPool> pool;
+};
+
+ComputeState& state() {
+  static ComputeState s;
+  return s;
+}
+
+/// Resolves the budget (lazily reading the environment the first time) and
+/// returns the helper pool — null when the budget is 1 (pure serial).
+std::shared_ptr<ThreadPool> acquire_pool(std::size_t& budget_out) {
+  ComputeState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.budget == 0) s.budget = env_or_hardware_budget(s.explicitly_set);
+  budget_out = s.budget;
+  if (s.budget > 1 && s.pool == nullptr) {
+    s.pool = std::make_shared<ThreadPool>(s.budget - 1);
+  }
+  return s.pool;
+}
+
+void replace_budget_locked(ComputeState& s, std::size_t n) {
+  s.budget = n;
+  // Drop the old pool; it is destroyed (workers joined) once the last
+  // in-flight region releases its reference. The new pool is created
+  // lazily by the next parallel region.
+  s.pool.reset();
+}
+
+/// Per-call shared state. Helpers hold it via shared_ptr, so a helper task
+/// that starts after the caller already returned (nothing left to claim)
+/// still touches valid memory.
+struct Region {
+  std::atomic<std::int64_t> next{0};  // next unclaimed chunk index
+  std::atomic<bool> cancelled{false};
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+  std::int64_t grain = 1;
+  std::int64_t nchunks = 0;
+  const std::function<void(std::int64_t, std::int64_t)>* fn = nullptr;
+
+  /// mu/cv pair the running-helper count with the caller's completion wait;
+  /// the decrement happens under mu so the final notify cannot be lost.
+  std::mutex mu;
+  std::condition_variable cv;
+  int running = 0;
+  std::exception_ptr error;  // first failure, guarded by mu
+
+  void record_error() {
+    cancelled.store(true, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu);
+    if (!error) error = std::current_exception();
+  }
+
+  /// Claims and runs chunks until the range is exhausted or cancelled.
+  /// The caller contract (disjoint chunk outputs, fixed decomposition)
+  /// makes which thread runs which chunk irrelevant to the result.
+  void work() {
+    std::int64_t c;
+    while (!cancelled.load(std::memory_order_relaxed) &&
+           (c = next.fetch_add(1, std::memory_order_relaxed)) < nchunks) {
+      const std::int64_t b = begin + c * grain;
+      const std::int64_t e = std::min(end, b + grain);
+      try {
+        (*fn)(b, e);
+      } catch (...) {
+        record_error();
+      }
+    }
+  }
+};
+
+void helper_main(const std::shared_ptr<Region>& region) {
+  {
+    std::lock_guard<std::mutex> lock(region->mu);
+    ++region->running;
+  }
+  const bool prev = tls_in_region;
+  tls_in_region = true;
+  region->work();
+  tls_in_region = prev;
+  {
+    std::lock_guard<std::mutex> lock(region->mu);
+    --region->running;
+  }
+  region->cv.notify_one();
+}
+
+}  // namespace
+
+std::size_t compute_threads() {
+  ComputeState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.budget == 0) s.budget = env_or_hardware_budget(s.explicitly_set);
+  return s.budget;
+}
+
+void set_compute_threads(std::size_t n) {
+  if (n == 0) throw ConfigError("set_compute_threads: budget must be >= 1");
+  ComputeState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.explicitly_set = true;
+  replace_budget_locked(s, n);
+}
+
+std::size_t set_compute_threads_if_default(std::size_t n) {
+  if (n == 0) n = 1;
+  ComputeState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.budget == 0) {
+    // Resolve first so an explicit environment setting wins over auto.
+    s.budget = env_or_hardware_budget(s.explicitly_set);
+  }
+  if (!s.explicitly_set && s.budget != n) replace_budget_locked(s, n);
+  return s.budget;
+}
+
+bool in_parallel_region() { return tls_in_region; }
+
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  if (end <= begin) return;
+  if (grain < 1) grain = 1;
+  const std::int64_t nchunks = (end - begin + grain - 1) / grain;
+
+  std::size_t budget = 1;
+  std::shared_ptr<ThreadPool> pool;
+  bool serial = tls_in_region || nchunks == 1;
+  if (!serial) {
+    pool = acquire_pool(budget);
+    serial = budget <= 1 || pool == nullptr;
+  }
+
+  if (serial) {
+    // Identical chunk decomposition as the parallel path, so callers that
+    // keep per-chunk partials see the same chunks regardless of budget.
+    const bool prev = tls_in_region;
+    tls_in_region = true;
+    try {
+      for (std::int64_t c = 0; c < nchunks; ++c) {
+        const std::int64_t b = begin + c * grain;
+        fn(b, std::min(end, b + grain));
+      }
+    } catch (...) {
+      tls_in_region = prev;
+      throw;
+    }
+    tls_in_region = prev;
+    return;
+  }
+
+  auto region = std::make_shared<Region>();
+  region->begin = begin;
+  region->end = end;
+  region->grain = grain;
+  region->nchunks = nchunks;
+  region->fn = &fn;
+
+  const std::size_t helpers =
+      std::min(pool->size(), static_cast<std::size_t>(nchunks - 1));
+  for (std::size_t h = 0; h < helpers; ++h) {
+    pool->post([region] { helper_main(region); });
+  }
+
+  // The caller is a full participant: even if every posted helper is stuck
+  // behind other callers' work (or discarded by a pool swap), this loop
+  // drains the whole range by itself.
+  const bool prev = tls_in_region;
+  tls_in_region = true;
+  region->work();
+  tls_in_region = prev;
+
+  {
+    std::unique_lock<std::mutex> lock(region->mu);
+    region->cv.wait(lock, [&] { return region->running == 0; });
+    if (region->error) std::rethrow_exception(region->error);
+  }
+}
+
+}  // namespace cppflare::core

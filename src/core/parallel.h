@@ -1,0 +1,61 @@
+// Process-wide compute backend: a budgeted thread pool plus a deterministic
+// `parallel_for` primitive.
+//
+// Two kinds of threads exist in this system: *site workers* (the simulator's
+// one-task-per-client federation threads, which spend their life blocked on
+// the transport) and *compute threads* (the pool below, which execute kernel
+// chunks and never block). The compute budget says how many threads may chew
+// on tensor kernels at once, process-wide: a budget of N means the calling
+// thread plus N-1 shared helper workers. Every layer above core — tensor
+// kernels, NN ops, models — dispatches through `parallel_for`; nothing above
+// `src/core/` spawns raw std::thread (lint rule R5).
+//
+// Determinism contract: `parallel_for` decomposes [begin, end) into
+// fixed-size chunks of `grain` iterations, in ascending order, *independent
+// of the thread budget*. Callers must ensure each chunk writes disjoint
+// outputs; under that contract results are bitwise identical for 1 vs N
+// threads, because every output element is produced by the same code over
+// the same inputs in the same order, merely on a different thread.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace cppflare::core {
+
+/// Resolved compute-thread budget (>= 1). Resolution order: explicit
+/// `set_compute_threads`, else the `CPPFLARE_COMPUTE_THREADS` environment
+/// variable, else std::thread::hardware_concurrency().
+std::size_t compute_threads();
+
+/// Replaces the process-wide budget (and the helper pool behind it).
+/// Typically called once at startup; may be called again between runs —
+/// e.g. by benches sweeping thread counts — but only while no parallel
+/// region is in flight. Marks the budget as explicitly chosen, which
+/// `set_compute_threads_if_default` respects. Throws ConfigError on 0.
+void set_compute_threads(std::size_t n);
+
+/// Sets the budget only when neither `set_compute_threads` nor the
+/// environment variable has pinned it. Used by SimulatorRunner to divide
+/// hardware cores between site workers and kernel helpers without
+/// overriding an operator's explicit choice. Returns the effective budget.
+std::size_t set_compute_threads_if_default(std::size_t n);
+
+/// True while the calling thread is executing a parallel_for chunk. Nested
+/// parallel_for calls detect this and run serially inline, so kernels can be
+/// composed (e.g. a batched op parallel over the batch whose per-item GEMMs
+/// are themselves parallel ops) without deadlock or thread explosion.
+bool in_parallel_region();
+
+/// Runs fn over [begin, end) in chunks of `grain` iterations:
+/// fn(chunk_begin, chunk_end) for each chunk, ascending. Chunks may execute
+/// concurrently on the compute pool; the calling thread participates, so
+/// progress is guaranteed even when the pool is saturated by other callers.
+/// The first exception thrown by any chunk is rethrown on the caller after
+/// remaining chunks are cancelled (claimed-but-unstarted chunks are skipped).
+/// With a budget of 1, inside another region, or for a single chunk, runs
+/// serially inline over the identical chunk decomposition.
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+}  // namespace cppflare::core

@@ -25,6 +25,15 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : workers_) t.join();
 }
 
+void ThreadPool::post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    queue_.emplace_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;

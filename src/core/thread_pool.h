@@ -28,6 +28,12 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
+  /// Fire-and-forget enqueue: no future, no packaged_task allocation. Used
+  /// by the parallel_for helpers, which report completion and exceptions
+  /// through their own region state. Dropped silently if the pool is
+  /// stopping. The task must not throw.
+  void post(std::function<void()> fn);
+
   /// Enqueues a task and returns a future for its result. Exceptions thrown
   /// by the task are captured in the future.
   template <typename F>

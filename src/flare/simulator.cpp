@@ -1,10 +1,13 @@
 #include "flare/simulator.h"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
 #include "core/error.h"
 #include "core/logging.h"
+#include "core/parallel.h"
+#include "core/thread_pool.h"
 #include "flare/tcp.h"
 
 namespace cppflare::flare {
@@ -42,6 +45,23 @@ SimulationResult SimulatorRunner::run() {
   const auto start = std::chrono::steady_clock::now();
   logger().info("Create the simulate clients.");
 
+  // Divide the machine between site workers and kernel threads before any
+  // kernel runs, so every site's training shares one budgeted compute pool
+  // instead of each site oversubscribing the host.
+  if (config_.compute_threads > 0) {
+    core::set_compute_threads(
+        static_cast<std::size_t>(config_.compute_threads));
+  } else if (config_.compute_threads == 0) {
+    const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+    const std::size_t sites = static_cast<std::size_t>(
+        std::max<std::int64_t>(1, config_.num_clients));
+    const std::size_t per_site = hw > sites ? hw - sites + 1 : 1;
+    core::set_compute_threads_if_default(per_site);
+  }
+  logger().info("Compute budget: " + std::to_string(config_.num_clients) +
+                " site workers x " + std::to_string(core::compute_threads()) +
+                " compute threads");
+
   std::unique_ptr<TcpServer> tcp_server;
   if (config_.use_tcp) {
     tcp_server = std::make_unique<TcpServer>(0, server_->dispatcher());
@@ -68,25 +88,26 @@ SimulationResult SimulatorRunner::run() {
     clients.push_back(std::move(client));
   }
 
-  // One thread per site, as SimulatorRunner multiplexes clients.
-  std::vector<std::thread> threads;
-  std::vector<std::exception_ptr> failures(clients.size());
-  threads.reserve(clients.size());
-  for (std::size_t i = 0; i < clients.size(); ++i) {
-    threads.emplace_back([&, i] {
-      try {
-        clients[i]->run();
-      } catch (...) {
-        failures[i] = std::current_exception();
-      }
-    });
-  }
-  for (std::thread& t : threads) t.join();
-  for (std::size_t i = 0; i < failures.size(); ++i) {
-    if (failures[i]) {
-      logger().error("client " + clients[i]->site_name() + " failed");
-      std::rethrow_exception(failures[i]);
+  // One worker per site, as SimulatorRunner multiplexes clients. A scoped
+  // pool (not raw std::thread) so site workers are accounted for in the same
+  // machine-division story as the compute pool above.
+  {
+    core::ThreadPool site_pool(clients.size());
+    std::vector<std::future<void>> done;
+    done.reserve(clients.size());
+    for (std::size_t i = 0; i < clients.size(); ++i) {
+      done.push_back(site_pool.submit([&, i] { clients[i]->run(); }));
     }
+    std::exception_ptr first_failure;
+    for (std::size_t i = 0; i < done.size(); ++i) {
+      try {
+        done[i].get();
+      } catch (...) {
+        logger().error("client " + clients[i]->site_name() + " failed");
+        if (!first_failure) first_failure = std::current_exception();
+      }
+    }
+    if (first_failure) std::rethrow_exception(first_failure);
   }
   if (!server_->wait_until_finished(config_.timeout_ms)) {
     throw Error("SimulatorRunner: run did not finish within timeout");

@@ -35,6 +35,12 @@ struct SimulatorConfig {
   std::int64_t clients_per_round = 0;
   /// Abort if the run has not finished after this long.
   std::int64_t timeout_ms = 30 * 60 * 1000;
+  /// Per-site compute-thread budget for the shared kernel pool
+  /// (core/parallel.h). > 0 forces that budget; 0 divides the machine between
+  /// site workers and kernels (max(1, hw_threads - num_clients + 1)), unless
+  /// the budget was already pinned by CPPFLARE_COMPUTE_THREADS or an explicit
+  /// set_compute_threads call; < 0 leaves the budget completely untouched.
+  std::int64_t compute_threads = -1;
 };
 
 struct SimulationResult {

@@ -94,7 +94,9 @@ TcpServer::TcpServer(std::uint16_t port, Dispatcher dispatcher)
     ::close(listen_fd_);
     throw TransportError("listen failed");
   }
-  accept_thread_ = std::thread([this] { accept_loop(); });
+  // The transport owns its accept thread: it blocks in accept(), which the
+  // compute pool must never do.
+  accept_thread_ = std::thread([this] { accept_loop(); });  // R5-exempt: blocking accept loop
 }
 
 TcpServer::~TcpServer() { stop(); }
@@ -125,12 +127,12 @@ void TcpServer::stop() {
     // handler thread owns the fd and closes it on exit.
     for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
   }
-  std::vector<std::thread> to_join;
+  std::vector<std::thread> to_join;  // R5-exempt: joining I/O threads
   {
     std::lock_guard<std::mutex> lock(mu_);
     to_join.swap(conn_threads_);
   }
-  for (std::thread& t : to_join) t.join();
+  for (std::thread& t : to_join) t.join();  // R5-exempt: joining I/O threads
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;

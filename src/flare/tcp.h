@@ -46,14 +46,14 @@ class TcpServer {
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
-  std::thread accept_thread_;
+  std::thread accept_thread_;  // R5-exempt: blocks in accept(), not pool work
   /// Serializes stop() (destructor vs. explicit stop vs. concurrent stops).
   std::mutex stop_mu_;
   /// Guards conn_fds_ and conn_threads_. Connection fds are closed only by
   /// their serve_connection thread; stop() only shutdown(2)s them.
   std::mutex mu_;
   std::vector<int> conn_fds_;
-  std::vector<std::thread> conn_threads_;
+  std::vector<std::thread> conn_threads_;  // R5-exempt: block in recv()
 };
 
 /// Client connection to a TcpServer. `call` is blocking and NOT

@@ -22,9 +22,19 @@ LstmLayer::LstmLayer(std::int64_t input_dim, std::int64_t hidden_dim, core::Rng&
 
 std::pair<Tensor, Tensor> LstmLayer::step(const Tensor& x_t, const Tensor& h,
                                           const Tensor& c) const {
+  return step_premixed(tensor::linear(x_t, w_ih_, b_ih_), h, c);
+}
+
+Tensor LstmLayer::input_gates(const Tensor& x2d) const {
+  return tensor::linear(x2d, w_ih_, b_ih_);
+}
+
+std::pair<Tensor, Tensor> LstmLayer::step_premixed(const Tensor& gates_x_t,
+                                                   const Tensor& h,
+                                                   const Tensor& c) const {
   using namespace tensor;
   const std::int64_t hd = hidden_;
-  Tensor gates = add(linear(x_t, w_ih_, b_ih_), linear(h, w_hh_, b_hh_));
+  Tensor gates = add(gates_x_t, linear(h, w_hh_, b_hh_));
   const Tensor i = sigmoid(slice_cols(gates, 0, hd));
   const Tensor f = sigmoid(slice_cols(gates, hd, hd));
   const Tensor g = tanh_op(slice_cols(gates, 2 * hd, hd));
@@ -51,28 +61,35 @@ Tensor Lstm::forward(const Tensor& x, core::Rng& rng) const {
   const std::int64_t b = x.size(0), t = x.size(1);
   const float p = effective_dropout(dropout_p_);
 
-  // Pre-slice the input once per timestep.
-  std::vector<Tensor> inputs;
-  inputs.reserve(static_cast<std::size_t>(t));
-  for (std::int64_t ti = 0; ti < t; ++ti) inputs.push_back(select_dim1(x, ti));
-
+  // Each layer projects its whole input sequence through W_ih in one batched
+  // [B*T, 4H] GEMM (the compute backend parallelizes across rows), then the
+  // inherently sequential recurrence consumes one pre-mixed gate slice per
+  // step. Per-row results match the per-step projection exactly.
+  Tensor cur = x;  // [B, T, in]
   for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const std::int64_t in = cur.size(2);
+    const Tensor gates_x =
+        reshape(layers_[l]->input_gates(reshape(cur, {b * t, in})),
+                {b, t, 4 * hidden_});
     Tensor h = Tensor::zeros({b, hidden_}, false);
     Tensor c = Tensor::zeros({b, hidden_}, false);
     std::vector<Tensor> outputs;
-    outputs.reserve(inputs.size());
-    for (const Tensor& x_t : inputs) {
-      auto [h_new, c_new] = layers_[l]->step(x_t, h, c);
+    outputs.reserve(static_cast<std::size_t>(t));
+    for (std::int64_t ti = 0; ti < t; ++ti) {
+      auto [h_new, c_new] =
+          layers_[l]->step_premixed(select_dim1(gates_x, ti), h, c);
       h = h_new;
       c = c_new;
       outputs.push_back(h);
     }
+    // Dropout stays in ti order so the rng stream is consumed exactly as the
+    // per-step formulation consumed it.
     if (p > 0.0f && l + 1 < layers_.size()) {
       for (Tensor& o : outputs) o = dropout(o, p, rng);
     }
-    inputs = std::move(outputs);
+    cur = stack_dim1(outputs);
   }
-  return stack_dim1(inputs);
+  return cur;
 }
 
 }  // namespace cppflare::nn

@@ -22,6 +22,18 @@ class LstmLayer : public Module {
                                                  const tensor::Tensor& h,
                                                  const tensor::Tensor& c) const;
 
+  /// Input-side gate pre-activations for a whole sequence at once:
+  /// x2d [B*T, input] -> [B*T, 4H]. One large GEMM instead of T small ones,
+  /// which is what lets the compute backend parallelize across the batch*time
+  /// dimension; per-row results are identical to the per-step projection.
+  tensor::Tensor input_gates(const tensor::Tensor& x2d) const;
+
+  /// `step` with the input projection already applied: gates_x_t is the
+  /// [B, 4H] slice of `input_gates` output for this timestep.
+  std::pair<tensor::Tensor, tensor::Tensor> step_premixed(
+      const tensor::Tensor& gates_x_t, const tensor::Tensor& h,
+      const tensor::Tensor& c) const;
+
   std::int64_t hidden_dim() const { return hidden_; }
 
  private:

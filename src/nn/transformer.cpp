@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "tensor/backend.h"
+
 namespace cppflare::nn {
 
 using tensor::Tensor;
@@ -11,18 +13,22 @@ tensor::Tensor make_padding_mask(const std::vector<std::int64_t>& lengths,
   const std::int64_t b = static_cast<std::int64_t>(lengths.size());
   Tensor mask = Tensor::zeros({b * heads, seq_len, seq_len}, false);
   float* m = mask.data();
+  const std::int64_t* len = lengths.data();
   constexpr float kNegInf = -1e9f;
-  for (std::int64_t bi = 0; bi < b; ++bi) {
-    const std::int64_t valid = std::min(lengths[bi], seq_len);
-    for (std::int64_t h = 0; h < heads; ++h) {
-      float* plane = m + (bi * heads + h) * seq_len * seq_len;
-      for (std::int64_t q = 0; q < seq_len; ++q) {
-        for (std::int64_t k = valid; k < seq_len; ++k) {
-          plane[q * seq_len + k] = kNegInf;
+  // [B*heads] planes are disjoint writes; plane bi*heads+h masks keys past
+  // lengths[bi].
+  tensor::backend::parallel_rows(
+      b * heads, seq_len * seq_len, [=](std::int64_t p0, std::int64_t p1) {
+        for (std::int64_t pi = p0; pi < p1; ++pi) {
+          const std::int64_t valid = std::min(len[pi / heads], seq_len);
+          float* plane = m + pi * seq_len * seq_len;
+          for (std::int64_t q = 0; q < seq_len; ++q) {
+            for (std::int64_t k = valid; k < seq_len; ++k) {
+              plane[q * seq_len + k] = kNegInf;
+            }
+          }
         }
-      }
-    }
-  }
+      });
   return mask;
 }
 

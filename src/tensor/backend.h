@@ -1,0 +1,48 @@
+// Tensor-level dispatch onto the core compute backend.
+//
+// Every data-parallel loop in the tensor/NN stack goes through this facade
+// instead of calling core::parallel_for directly. The facade owns the
+// policy: a serial threshold (tiny ops never pay dispatch overhead) and a
+// grain heuristic (target scalar-ops per chunk), both functions of the
+// problem size only — never of the thread budget — so the chunk
+// decomposition is deterministic and results are bitwise identical for
+// 1 vs N compute threads (see core/parallel.h for the full contract).
+//
+// Adding a new kernel: express it as independent "items" (output rows,
+// batch entries, column blocks), estimate the scalar work per item, and
+// wrap the loop body in `parallel_rows(items, work_per_item, fn)`. If the
+// kernel reduces across items (e.g. a scalar loss), keep one partial per
+// chunk — `chunk_count`/`chunk_index` expose the exact decomposition — and
+// combine the partials in chunk order afterwards.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace cppflare::tensor::backend {
+
+/// Loops whose total scalar work is below this run serially inline;
+/// dispatch overhead (task enqueue + wakeup) costs more than it saves.
+inline constexpr std::int64_t kSerialWorkThreshold = 16 * 1024;
+
+/// Target scalar ops per chunk once a loop does parallelize.
+inline constexpr std::int64_t kGrainWork = 32 * 1024;
+
+/// Chunk size (in items) for a loop of `items` iterations each costing
+/// ~`work_per_item` scalar ops. Depends only on the problem size.
+std::int64_t grain_for(std::int64_t items, std::int64_t work_per_item);
+
+/// Dispatches fn(begin, end) over [0, items), parallel when the total work
+/// clears kSerialWorkThreshold. Chunks must write disjoint outputs.
+void parallel_rows(std::int64_t items, std::int64_t work_per_item,
+                   const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+/// Number of chunks `parallel_rows(items, work_per_item, ...)` produces;
+/// size per-chunk partial buffers with this.
+std::int64_t chunk_count(std::int64_t items, std::int64_t work_per_item);
+
+/// Index of the chunk whose range starts at `begin` (as passed to fn).
+std::int64_t chunk_index(std::int64_t items, std::int64_t work_per_item,
+                         std::int64_t begin);
+
+}  // namespace cppflare::tensor::backend

@@ -1,71 +1,114 @@
 #include "tensor/kernels.h"
 
+#include <algorithm>
+
+#include "tensor/backend.h"
+
 namespace cppflare::tensor {
+
+namespace {
+
+// Cache-block sizes, in elements. kKc K-rows of B (kKc * N floats for the
+// shapes in this codebase, N <= 1024) fit comfortably in L2 and are reused
+// across every row of a panel; kJc/kMc bound the B panel footprint for the
+// dot-product and transposed variants the same way. Block order is fixed
+// and never depends on the thread budget, so the per-output accumulation
+// order — and therefore the float result — is identical at any thread
+// count (see backend.h).
+constexpr std::int64_t kKc = 128;
+constexpr std::int64_t kJc = 64;
+constexpr std::int64_t kMc = 128;
+
+}  // namespace
 
 void gemm_nn(const float* a, const float* b, float* c, std::int64_t m,
              std::int64_t k, std::int64_t n) {
-  // i-k-j order: for fixed (i,k) the inner loop streams B row k and C row i.
-  for (std::int64_t i = 0; i < m; ++i) {
-    float* crow = c + i * n;
-    const float* arow = a + i * k;
-    for (std::int64_t kk = 0; kk < k; ++kk) {
-      const float aik = arow[kk];
-      if (aik == 0.0f) continue;
-      const float* brow = b + kk * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+  // Row panels of C are independent; within a panel, k is consumed in
+  // ascending kKc blocks so each B block is streamed once per row while C
+  // rows stay hot. Inner j loop is a branchless axpy: dense (post-init)
+  // weights make a zero-skip test a guaranteed mispredict, and an
+  // input-dependent branch would make runtime data-dependent.
+  backend::parallel_rows(m, 2 * k * n, [=](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t k0 = 0; k0 < k; k0 += kKc) {
+      const std::int64_t k1 = std::min(k, k0 + kKc);
+      for (std::int64_t i = i0; i < i1; ++i) {
+        float* crow = c + i * n;
+        const float* arow = a + i * k;
+        for (std::int64_t kk = k0; kk < k1; ++kk) {
+          const float aik = arow[kk];
+          const float* brow = b + kk * n;
+          for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+        }
+      }
     }
-  }
+  });
 }
 
 void gemm_nt(const float* a, const float* b, float* c, std::int64_t m,
              std::int64_t k, std::int64_t n) {
   // Dot products of contiguous rows. Four B rows are consumed per pass so
   // each load of the A row feeds four independent accumulator chains —
-  // without this the loop is latency-bound on one serial reduction.
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    float* crow = c + i * n;
-    std::int64_t j = 0;
-    for (; j + 4 <= n; j += 4) {
-      const float* b0 = b + j * k;
-      const float* b1 = b0 + k;
-      const float* b2 = b1 + k;
-      const float* b3 = b2 + k;
-      float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
-      for (std::int64_t kk = 0; kk < k; ++kk) {
-        const float av = arow[kk];
-        acc0 += av * b0[kk];
-        acc1 += av * b1[kk];
-        acc2 += av * b2[kk];
-        acc3 += av * b3[kk];
+  // without this the loop is latency-bound on one serial reduction. A j
+  // block of B rows (kJc * k floats) is reused across the whole row panel.
+  // Each C element is one dot product, so blocking cannot change its
+  // accumulation order.
+  backend::parallel_rows(m, 2 * k * n, [=](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t j0 = 0; j0 < n; j0 += kJc) {
+      const std::int64_t j1 = std::min(n, j0 + kJc);
+      for (std::int64_t i = i0; i < i1; ++i) {
+        const float* arow = a + i * k;
+        float* crow = c + i * n;
+        std::int64_t j = j0;
+        for (; j + 4 <= j1; j += 4) {
+          const float* b0 = b + j * k;
+          const float* b1 = b0 + k;
+          const float* b2 = b1 + k;
+          const float* b3 = b2 + k;
+          float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+          for (std::int64_t kk = 0; kk < k; ++kk) {
+            const float av = arow[kk];
+            acc0 += av * b0[kk];
+            acc1 += av * b1[kk];
+            acc2 += av * b2[kk];
+            acc3 += av * b3[kk];
+          }
+          crow[j] += acc0;
+          crow[j + 1] += acc1;
+          crow[j + 2] += acc2;
+          crow[j + 3] += acc3;
+        }
+        for (; j < j1; ++j) {
+          const float* brow = b + j * k;
+          float acc = 0.0f;
+          for (std::int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+          crow[j] += acc;
+        }
       }
-      crow[j] += acc0;
-      crow[j + 1] += acc1;
-      crow[j + 2] += acc2;
-      crow[j + 3] += acc3;
     }
-    for (; j < n; ++j) {
-      const float* brow = b + j * k;
-      float acc = 0.0f;
-      for (std::int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-      crow[j] += acc;
-    }
-  }
+  });
 }
 
 void gemm_tn(const float* a, const float* b, float* c, std::int64_t m,
              std::int64_t k, std::int64_t n) {
-  // m-k-j order: inner loop streams B row i and C row kk.
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    const float* brow = b + i * n;
-    for (std::int64_t kk = 0; kk < k; ++kk) {
-      const float aik = arow[kk];
-      if (aik == 0.0f) continue;
-      float* crow = c + kk * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+  // C rows are indexed by kk here, so the parallel dimension is k. Within a
+  // panel, m is consumed in ascending kMc blocks: B row i is streamed once
+  // per panel row while the A slice a[i*k + kk0..kk1) stays contiguous.
+  // Accumulation into each C row runs over i ascending regardless of
+  // blocking or panel split.
+  backend::parallel_rows(k, 2 * m * n, [=](std::int64_t kk0, std::int64_t kk1) {
+    for (std::int64_t m0 = 0; m0 < m; m0 += kMc) {
+      const std::int64_t m1 = std::min(m, m0 + kMc);
+      for (std::int64_t i = m0; i < m1; ++i) {
+        const float* arow = a + i * k;
+        const float* brow = b + i * n;
+        for (std::int64_t kk = kk0; kk < kk1; ++kk) {
+          const float aik = arow[kk];
+          float* crow = c + kk * n;
+          for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+        }
+      }
     }
-  }
+  });
 }
 
 }  // namespace cppflare::tensor

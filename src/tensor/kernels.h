@@ -4,6 +4,12 @@
 // they want a plain product. Accumulating form is what autograd needs when
 // several edges contribute to one gradient buffer. Loop orders are chosen so
 // the innermost loop walks contiguous memory and vectorizes under -O3.
+//
+// The kernels are cache-blocked and dispatch their output-row panels through
+// the compute backend (tensor/backend.h): panels run concurrently on the
+// process-wide pool, each output row is produced by exactly one panel, and
+// the per-row accumulation order is fixed independent of blocking and thread
+// budget — results are bitwise identical for 1 vs N compute threads.
 #pragma once
 
 #include <cstdint>

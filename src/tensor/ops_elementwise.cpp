@@ -1,5 +1,6 @@
 #include <cmath>
 
+#include "tensor/backend.h"
 #include "tensor/ops.h"
 #include "tensor/ops_common.h"
 
@@ -7,21 +8,37 @@ namespace cppflare::tensor {
 
 using detail::make_result;
 
+namespace {
+
+// Rough scalar cost of one transcendental-bearing element; tuned only well
+// enough that small activations stay serial and large ones chunk sensibly.
+constexpr std::int64_t kTranscendentalWork = 8;
+
+}  // namespace
+
 Tensor add(const Tensor& a, const Tensor& b) {
   check_same_shape("add", a, b);
   TensorImpl* pa = a.impl().get();
   TensorImpl* pb = b.impl().get();
-  Tensor out = make_result(a.shape(), {a.impl(), b.impl()},
-                           [pa, pb](const TensorImpl& self) {
-                             for (std::size_t i = 0; i < self.grad.size(); ++i) {
-                               pa->grad[i] += self.grad[i];
-                               pb->grad[i] += self.grad[i];
-                             }
-                           });
+  Tensor out = make_result(
+      a.shape(), {a.impl(), b.impl()}, [pa, pb](const TensorImpl& self) {
+        const float* g = self.grad.data();
+        float* ga = pa->grad.data();
+        float* gb = pb->grad.data();
+        const std::int64_t n = static_cast<std::int64_t>(self.grad.size());
+        backend::parallel_rows(n, 2, [=](std::int64_t i0, std::int64_t i1) {
+          for (std::int64_t i = i0; i < i1; ++i) {
+            ga[i] += g[i];
+            gb[i] += g[i];
+          }
+        });
+      });
   const float* da = a.data();
   const float* db = b.data();
   float* dst = out.data();
-  for (std::int64_t i = 0; i < out.numel(); ++i) dst[i] = da[i] + db[i];
+  backend::parallel_rows(out.numel(), 1, [=](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) dst[i] = da[i] + db[i];
+  });
   return out;
 }
 
@@ -29,17 +46,25 @@ Tensor sub(const Tensor& a, const Tensor& b) {
   check_same_shape("sub", a, b);
   TensorImpl* pa = a.impl().get();
   TensorImpl* pb = b.impl().get();
-  Tensor out = make_result(a.shape(), {a.impl(), b.impl()},
-                           [pa, pb](const TensorImpl& self) {
-                             for (std::size_t i = 0; i < self.grad.size(); ++i) {
-                               pa->grad[i] += self.grad[i];
-                               pb->grad[i] -= self.grad[i];
-                             }
-                           });
+  Tensor out = make_result(
+      a.shape(), {a.impl(), b.impl()}, [pa, pb](const TensorImpl& self) {
+        const float* g = self.grad.data();
+        float* ga = pa->grad.data();
+        float* gb = pb->grad.data();
+        const std::int64_t n = static_cast<std::int64_t>(self.grad.size());
+        backend::parallel_rows(n, 2, [=](std::int64_t i0, std::int64_t i1) {
+          for (std::int64_t i = i0; i < i1; ++i) {
+            ga[i] += g[i];
+            gb[i] -= g[i];
+          }
+        });
+      });
   const float* da = a.data();
   const float* db = b.data();
   float* dst = out.data();
-  for (std::int64_t i = 0; i < out.numel(); ++i) dst[i] = da[i] - db[i];
+  backend::parallel_rows(out.numel(), 1, [=](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) dst[i] = da[i] - db[i];
+  });
   return out;
 }
 
@@ -47,39 +72,63 @@ Tensor mul(const Tensor& a, const Tensor& b) {
   check_same_shape("mul", a, b);
   TensorImpl* pa = a.impl().get();
   TensorImpl* pb = b.impl().get();
-  Tensor out = make_result(a.shape(), {a.impl(), b.impl()},
-                           [pa, pb](const TensorImpl& self) {
-                             for (std::size_t i = 0; i < self.grad.size(); ++i) {
-                               pa->grad[i] += self.grad[i] * pb->data[i];
-                               pb->grad[i] += self.grad[i] * pa->data[i];
-                             }
-                           });
+  Tensor out = make_result(
+      a.shape(), {a.impl(), b.impl()}, [pa, pb](const TensorImpl& self) {
+        const float* g = self.grad.data();
+        const float* xa = pa->data.data();
+        const float* xb = pb->data.data();
+        float* ga = pa->grad.data();
+        float* gb = pb->grad.data();
+        const std::int64_t n = static_cast<std::int64_t>(self.grad.size());
+        backend::parallel_rows(n, 4, [=](std::int64_t i0, std::int64_t i1) {
+          for (std::int64_t i = i0; i < i1; ++i) {
+            ga[i] += g[i] * xb[i];
+            gb[i] += g[i] * xa[i];
+          }
+        });
+      });
   const float* da = a.data();
   const float* db = b.data();
   float* dst = out.data();
-  for (std::int64_t i = 0; i < out.numel(); ++i) dst[i] = da[i] * db[i];
+  backend::parallel_rows(out.numel(), 1, [=](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) dst[i] = da[i] * db[i];
+  });
   return out;
 }
 
 Tensor add_scalar(const Tensor& a, float s) {
   TensorImpl* pa = a.impl().get();
   Tensor out = make_result(a.shape(), {a.impl()}, [pa](const TensorImpl& self) {
-    for (std::size_t i = 0; i < self.grad.size(); ++i) pa->grad[i] += self.grad[i];
+    const float* g = self.grad.data();
+    float* ga = pa->grad.data();
+    const std::int64_t n = static_cast<std::int64_t>(self.grad.size());
+    backend::parallel_rows(n, 1, [=](std::int64_t i0, std::int64_t i1) {
+      for (std::int64_t i = i0; i < i1; ++i) ga[i] += g[i];
+    });
   });
   const float* da = a.data();
   float* dst = out.data();
-  for (std::int64_t i = 0; i < out.numel(); ++i) dst[i] = da[i] + s;
+  backend::parallel_rows(out.numel(), 1, [=](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) dst[i] = da[i] + s;
+  });
   return out;
 }
 
 Tensor mul_scalar(const Tensor& a, float s) {
   TensorImpl* pa = a.impl().get();
   Tensor out = make_result(a.shape(), {a.impl()}, [pa, s](const TensorImpl& self) {
-    for (std::size_t i = 0; i < self.grad.size(); ++i) pa->grad[i] += self.grad[i] * s;
+    const float* g = self.grad.data();
+    float* ga = pa->grad.data();
+    const std::int64_t n = static_cast<std::int64_t>(self.grad.size());
+    backend::parallel_rows(n, 1, [=](std::int64_t i0, std::int64_t i1) {
+      for (std::int64_t i = i0; i < i1; ++i) ga[i] += g[i] * s;
+    });
   });
   const float* da = a.data();
   float* dst = out.data();
-  for (std::int64_t i = 0; i < out.numel(); ++i) dst[i] = da[i] * s;
+  backend::parallel_rows(out.numel(), 1, [=](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) dst[i] = da[i] * s;
+  });
   return out;
 }
 
@@ -94,35 +143,57 @@ Tensor add_bias(const Tensor& x, const Tensor& bias) {
   const std::int64_t rows = x.numel() / n;
   TensorImpl* px = x.impl().get();
   TensorImpl* pb = bias.impl().get();
-  Tensor out = make_result(x.shape(), {x.impl(), bias.impl()},
-                           [px, pb, rows, n](const TensorImpl& self) {
-                             for (std::int64_t r = 0; r < rows; ++r) {
-                               const float* g = self.grad.data() + r * n;
-                               for (std::int64_t j = 0; j < n; ++j) {
-                                 px->grad[r * n + j] += g[j];
-                                 pb->grad[j] += g[j];
-                               }
-                             }
-                           });
+  Tensor out = make_result(
+      x.shape(), {x.impl(), bias.impl()},
+      [px, pb, rows, n](const TensorImpl& self) {
+        // dx is row-disjoint; db sums over rows, so it goes column-parallel
+        // with rows consumed in ascending order per column.
+        const float* g = self.grad.data();
+        float* gx = px->grad.data();
+        float* gb = pb->grad.data();
+        backend::parallel_rows(rows, n, [=](std::int64_t r0, std::int64_t r1) {
+          for (std::int64_t r = r0; r < r1; ++r) {
+            const float* grow = g + r * n;
+            float* gxrow = gx + r * n;
+            for (std::int64_t j = 0; j < n; ++j) gxrow[j] += grow[j];
+          }
+        });
+        backend::parallel_rows(n, rows, [=](std::int64_t j0, std::int64_t j1) {
+          for (std::int64_t r = 0; r < rows; ++r) {
+            const float* grow = g + r * n;
+            for (std::int64_t j = j0; j < j1; ++j) gb[j] += grow[j];
+          }
+        });
+      });
   const float* dx = x.data();
   const float* db = bias.data();
   float* dst = out.data();
-  for (std::int64_t r = 0; r < rows; ++r) {
-    for (std::int64_t j = 0; j < n; ++j) dst[r * n + j] = dx[r * n + j] + db[j];
-  }
+  backend::parallel_rows(rows, n, [=](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t r = r0; r < r1; ++r) {
+      for (std::int64_t j = 0; j < n; ++j) dst[r * n + j] = dx[r * n + j] + db[j];
+    }
+  });
   return out;
 }
 
 Tensor relu(const Tensor& a) {
   TensorImpl* pa = a.impl().get();
   Tensor out = make_result(a.shape(), {a.impl()}, [pa](const TensorImpl& self) {
-    for (std::size_t i = 0; i < self.grad.size(); ++i) {
-      if (pa->data[i] > 0.0f) pa->grad[i] += self.grad[i];
-    }
+    const float* g = self.grad.data();
+    const float* xa = pa->data.data();
+    float* ga = pa->grad.data();
+    const std::int64_t n = static_cast<std::int64_t>(self.grad.size());
+    backend::parallel_rows(n, 2, [=](std::int64_t i0, std::int64_t i1) {
+      for (std::int64_t i = i0; i < i1; ++i) {
+        if (xa[i] > 0.0f) ga[i] += g[i];
+      }
+    });
   });
   const float* da = a.data();
   float* dst = out.data();
-  for (std::int64_t i = 0; i < out.numel(); ++i) dst[i] = da[i] > 0.0f ? da[i] : 0.0f;
+  backend::parallel_rows(out.numel(), 1, [=](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) dst[i] = da[i] > 0.0f ? da[i] : 0.0f;
+  });
   return out;
 }
 
@@ -130,15 +201,25 @@ Tensor tanh_op(const Tensor& a) {
   Tensor out = make_result(a.shape(), {a.impl()}, nullptr);
   const float* da = a.data();
   float* dst = out.data();
-  for (std::int64_t i = 0; i < out.numel(); ++i) dst[i] = std::tanh(da[i]);
+  backend::parallel_rows(out.numel(), kTranscendentalWork,
+                         [=](std::int64_t i0, std::int64_t i1) {
+                           for (std::int64_t i = i0; i < i1; ++i) {
+                             dst[i] = std::tanh(da[i]);
+                           }
+                         });
   // dtanh = 1 - y^2; uses the result values, available through `self`.
   TensorImpl* pa = a.impl().get();
   if (out.impl()->parents.size() == 1) {
     out.impl()->backward_fn = [pa](const TensorImpl& self) {
-      for (std::size_t i = 0; i < self.grad.size(); ++i) {
-        const float y = self.data[i];
-        pa->grad[i] += self.grad[i] * (1.0f - y * y);
-      }
+      const float* y = self.data.data();
+      const float* g = self.grad.data();
+      float* ga = pa->grad.data();
+      const std::int64_t n = static_cast<std::int64_t>(self.grad.size());
+      backend::parallel_rows(n, 4, [=](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i) {
+          ga[i] += g[i] * (1.0f - y[i] * y[i]);
+        }
+      });
     };
   }
   return out;
@@ -148,16 +229,24 @@ Tensor sigmoid(const Tensor& a) {
   Tensor out = make_result(a.shape(), {a.impl()}, nullptr);
   const float* da = a.data();
   float* dst = out.data();
-  for (std::int64_t i = 0; i < out.numel(); ++i) {
-    dst[i] = 1.0f / (1.0f + std::exp(-da[i]));
-  }
+  backend::parallel_rows(out.numel(), kTranscendentalWork,
+                         [=](std::int64_t i0, std::int64_t i1) {
+                           for (std::int64_t i = i0; i < i1; ++i) {
+                             dst[i] = 1.0f / (1.0f + std::exp(-da[i]));
+                           }
+                         });
   TensorImpl* pa = a.impl().get();
   if (out.impl()->parents.size() == 1) {
     out.impl()->backward_fn = [pa](const TensorImpl& self) {
-      for (std::size_t i = 0; i < self.grad.size(); ++i) {
-        const float y = self.data[i];
-        pa->grad[i] += self.grad[i] * y * (1.0f - y);
-      }
+      const float* y = self.data.data();
+      const float* g = self.grad.data();
+      float* ga = pa->grad.data();
+      const std::int64_t n = static_cast<std::int64_t>(self.grad.size());
+      backend::parallel_rows(n, 4, [=](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i) {
+          ga[i] += g[i] * y[i] * (1.0f - y[i]);
+        }
+      });
     };
   }
   return out;
@@ -171,21 +260,33 @@ constexpr float kGeluA = 0.044715f;
 Tensor gelu(const Tensor& a) {
   TensorImpl* pa = a.impl().get();
   Tensor out = make_result(a.shape(), {a.impl()}, [pa](const TensorImpl& self) {
-    for (std::size_t i = 0; i < self.grad.size(); ++i) {
-      const float x = pa->data[i];
-      const float u = kGeluC * (x + kGeluA * x * x * x);
-      const float t = std::tanh(u);
-      const float du = kGeluC * (1.0f + 3.0f * kGeluA * x * x);
-      const float dy = 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * du;
-      pa->grad[i] += self.grad[i] * dy;
-    }
+    const float* xa = pa->data.data();
+    const float* g = self.grad.data();
+    float* ga = pa->grad.data();
+    const std::int64_t n = static_cast<std::int64_t>(self.grad.size());
+    backend::parallel_rows(
+        n, 2 * kTranscendentalWork, [=](std::int64_t i0, std::int64_t i1) {
+          for (std::int64_t i = i0; i < i1; ++i) {
+            const float x = xa[i];
+            const float u = kGeluC * (x + kGeluA * x * x * x);
+            const float t = std::tanh(u);
+            const float du = kGeluC * (1.0f + 3.0f * kGeluA * x * x);
+            const float dy = 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * du;
+            ga[i] += g[i] * dy;
+          }
+        });
   });
   const float* da = a.data();
   float* dst = out.data();
-  for (std::int64_t i = 0; i < out.numel(); ++i) {
-    const float x = da[i];
-    dst[i] = 0.5f * x * (1.0f + std::tanh(kGeluC * (x + kGeluA * x * x * x)));
-  }
+  backend::parallel_rows(out.numel(), kTranscendentalWork,
+                         [=](std::int64_t i0, std::int64_t i1) {
+                           for (std::int64_t i = i0; i < i1; ++i) {
+                             const float x = da[i];
+                             dst[i] = 0.5f * x *
+                                      (1.0f + std::tanh(kGeluC *
+                                                        (x + kGeluA * x * x * x)));
+                           }
+                         });
   return out;
 }
 
@@ -194,16 +295,26 @@ Tensor dropout(const Tensor& a, float p, core::Rng& rng) {
   if (p >= 1.0f) throw Error("dropout: p must be < 1");
   auto mask = std::make_shared<std::vector<float>>(a.numel());
   const float keep_scale = 1.0f / (1.0f - p);
+  // Mask generation stays serial: the rng stream must be consumed in element
+  // order or training ceases to be reproducible across thread budgets.
   for (float& m : *mask) m = rng.bernoulli(p) ? 0.0f : keep_scale;
   TensorImpl* pa = a.impl().get();
-  Tensor out = make_result(a.shape(), {a.impl()}, [pa, mask](const TensorImpl& self) {
-    for (std::size_t i = 0; i < self.grad.size(); ++i) {
-      pa->grad[i] += self.grad[i] * (*mask)[i];
-    }
-  });
+  Tensor out = make_result(
+      a.shape(), {a.impl()}, [pa, mask](const TensorImpl& self) {
+        const float* g = self.grad.data();
+        const float* mk = mask->data();
+        float* ga = pa->grad.data();
+        const std::int64_t n = static_cast<std::int64_t>(self.grad.size());
+        backend::parallel_rows(n, 2, [=](std::int64_t i0, std::int64_t i1) {
+          for (std::int64_t i = i0; i < i1; ++i) ga[i] += g[i] * mk[i];
+        });
+      });
   const float* da = a.data();
+  const float* mk = mask->data();
   float* dst = out.data();
-  for (std::int64_t i = 0; i < out.numel(); ++i) dst[i] = da[i] * (*mask)[i];
+  backend::parallel_rows(out.numel(), 1, [=](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) dst[i] = da[i] * mk[i];
+  });
   return out;
 }
 
@@ -211,11 +322,25 @@ Tensor sum_all(const Tensor& a) {
   TensorImpl* pa = a.impl().get();
   Tensor out = make_result({}, {a.impl()}, [pa](const TensorImpl& self) {
     const float g = self.grad[0];
-    for (float& gi : pa->grad) gi += g;
+    float* ga = pa->grad.data();
+    const std::int64_t n = static_cast<std::int64_t>(pa->grad.size());
+    backend::parallel_rows(n, 1, [=](std::int64_t i0, std::int64_t i1) {
+      for (std::int64_t i = i0; i < i1; ++i) ga[i] += g;
+    });
+  });
+  // Reduction: per-chunk double partials combined in chunk order (the
+  // summation tree depends only on the size — see backend.h).
+  const float* da = a.data();
+  const std::int64_t n = a.numel();
+  std::vector<double> partials(backend::chunk_count(n, 1), 0.0);
+  double* parts = partials.data();
+  backend::parallel_rows(n, 1, [=](std::int64_t i0, std::int64_t i1) {
+    double local = 0.0;
+    for (std::int64_t i = i0; i < i1; ++i) local += da[i];
+    parts[backend::chunk_index(n, 1, i0)] = local;
   });
   double acc = 0.0;
-  const float* da = a.data();
-  for (std::int64_t i = 0; i < a.numel(); ++i) acc += da[i];
+  for (double p : partials) acc += p;
   out.data()[0] = static_cast<float>(acc);
   return out;
 }
@@ -225,11 +350,23 @@ Tensor mean_all(const Tensor& a) {
   TensorImpl* pa = a.impl().get();
   Tensor out = make_result({}, {a.impl()}, [pa, inv](const TensorImpl& self) {
     const float g = self.grad[0] * inv;
-    for (float& gi : pa->grad) gi += g;
+    float* ga = pa->grad.data();
+    const std::int64_t n = static_cast<std::int64_t>(pa->grad.size());
+    backend::parallel_rows(n, 1, [=](std::int64_t i0, std::int64_t i1) {
+      for (std::int64_t i = i0; i < i1; ++i) ga[i] += g;
+    });
+  });
+  const float* da = a.data();
+  const std::int64_t n = a.numel();
+  std::vector<double> partials(backend::chunk_count(n, 1), 0.0);
+  double* parts = partials.data();
+  backend::parallel_rows(n, 1, [=](std::int64_t i0, std::int64_t i1) {
+    double local = 0.0;
+    for (std::int64_t i = i0; i < i1; ++i) local += da[i];
+    parts[backend::chunk_index(n, 1, i0)] = local;
   });
   double acc = 0.0;
-  const float* da = a.data();
-  for (std::int64_t i = 0; i < a.numel(); ++i) acc += da[i];
+  for (double p : partials) acc += p;
   out.data()[0] = static_cast<float>(acc) * inv;
   return out;
 }

@@ -1,3 +1,4 @@
+#include "tensor/backend.h"
 #include "tensor/kernels.h"
 #include "tensor/ops.h"
 #include "tensor/ops_common.h"
@@ -72,19 +73,28 @@ Tensor linear(const Tensor& x, const Tensor& w, const Tensor& b) {
         gemm_nn(self.grad.data(), pw->data.data(), px->grad.data(), m, n, k);
         gemm_tn(self.grad.data(), px->data.data(), pw->grad.data(), m, n, k);
         if (pbias != nullptr) {
-          for (std::int64_t i = 0; i < m; ++i) {
-            const float* g = self.grad.data() + i * n;
-            for (std::int64_t j = 0; j < n; ++j) pbias->grad[j] += g[j];
-          }
+          // Rows all touch every bias column, so parallelize over columns:
+          // each column sums its dy entries over i ascending, independent of
+          // the chunking.
+          const float* g = self.grad.data();
+          float* db = pbias->grad.data();
+          backend::parallel_rows(n, 2 * m, [=](std::int64_t j0, std::int64_t j1) {
+            for (std::int64_t i = 0; i < m; ++i) {
+              const float* grow = g + i * n;
+              for (std::int64_t j = j0; j < j1; ++j) db[j] += grow[j];
+            }
+          });
         }
       });
   gemm_nt(x.data(), w.data(), out.data(), m, k, n);
   if (has_bias) {
     float* dst = out.data();
     const float* bias = b.data();
-    for (std::int64_t i = 0; i < m; ++i) {
-      for (std::int64_t j = 0; j < n; ++j) dst[i * n + j] += bias[j];
-    }
+    backend::parallel_rows(m, n, [=](std::int64_t i0, std::int64_t i1) {
+      for (std::int64_t i = i0; i < i1; ++i) {
+        for (std::int64_t j = 0; j < n; ++j) dst[i * n + j] += bias[j];
+      }
+    });
   }
   return out;
 }
@@ -102,17 +112,32 @@ Tensor bmm(const Tensor& a, const Tensor& b) {
   Tensor out = make_result(
       {batch, m, n}, {a.impl(), b.impl()},
       [pa, pb, batch, m, k, n](const TensorImpl& self) {
-        for (std::int64_t bi = 0; bi < batch; ++bi) {
-          const float* g = self.grad.data() + bi * m * n;
-          gemm_nt(g, pb->data.data() + bi * k * n, pa->grad.data() + bi * m * k, m,
-                  n, k);
-          gemm_tn(pa->data.data() + bi * m * k, g, pb->grad.data() + bi * k * n, m,
-                  k, n);
-        }
+        // Batch entries are independent; the nested GEMMs run serial-inline
+        // inside the batch-parallel region (core/parallel.h), which is
+        // covered by their determinism contract.
+        const float* gall = self.grad.data();
+        backend::parallel_rows(
+            batch, 4 * m * k * n, [&, gall](std::int64_t b0, std::int64_t b1) {
+              for (std::int64_t bi = b0; bi < b1; ++bi) {
+                const float* g = gall + bi * m * n;
+                gemm_nt(g, pb->data.data() + bi * k * n,
+                        pa->grad.data() + bi * m * k, m, n, k);
+                gemm_tn(pa->data.data() + bi * m * k, g,
+                        pb->grad.data() + bi * k * n, m, k, n);
+              }
+            });
       });
-  for (std::int64_t bi = 0; bi < batch; ++bi) {
-    gemm_nn(a.data() + bi * m * k, b.data() + bi * k * n, out.data() + bi * m * n,
-            m, k, n);
+  {
+    const float* pad = a.data();
+    const float* pbd = b.data();
+    float* pod = out.data();
+    backend::parallel_rows(
+        batch, 2 * m * k * n, [=](std::int64_t b0, std::int64_t b1) {
+          for (std::int64_t bi = b0; bi < b1; ++bi) {
+            gemm_nn(pad + bi * m * k, pbd + bi * k * n, pod + bi * m * n, m, k,
+                    n);
+          }
+        });
   }
   return out;
 }
@@ -131,17 +156,29 @@ Tensor bmm_nt(const Tensor& a, const Tensor& b) {
       {batch, m, n}, {a.impl(), b.impl()},
       [pa, pb, batch, m, k, n](const TensorImpl& self) {
         // C = A * B^T:  dA = dC * B ; dB = dC^T * A
-        for (std::int64_t bi = 0; bi < batch; ++bi) {
-          const float* g = self.grad.data() + bi * m * n;
-          gemm_nn(g, pb->data.data() + bi * n * k, pa->grad.data() + bi * m * k, m,
-                  n, k);
-          gemm_tn(g, pa->data.data() + bi * m * k, pb->grad.data() + bi * n * k, m,
-                  n, k);
-        }
+        const float* gall = self.grad.data();
+        backend::parallel_rows(
+            batch, 4 * m * k * n, [&, gall](std::int64_t b0, std::int64_t b1) {
+              for (std::int64_t bi = b0; bi < b1; ++bi) {
+                const float* g = gall + bi * m * n;
+                gemm_nn(g, pb->data.data() + bi * n * k,
+                        pa->grad.data() + bi * m * k, m, n, k);
+                gemm_tn(g, pa->data.data() + bi * m * k,
+                        pb->grad.data() + bi * n * k, m, n, k);
+              }
+            });
       });
-  for (std::int64_t bi = 0; bi < batch; ++bi) {
-    gemm_nt(a.data() + bi * m * k, b.data() + bi * n * k, out.data() + bi * m * n,
-            m, k, n);
+  {
+    const float* pad = a.data();
+    const float* pbd = b.data();
+    float* pod = out.data();
+    backend::parallel_rows(
+        batch, 2 * m * k * n, [=](std::int64_t b0, std::int64_t b1) {
+          for (std::int64_t bi = b0; bi < b1; ++bi) {
+            gemm_nt(pad + bi * m * k, pbd + bi * n * k, pod + bi * m * n, m, k,
+                    n);
+          }
+        });
   }
   return out;
 }

@@ -1,6 +1,7 @@
 #include <cmath>
 #include <memory>
 
+#include "tensor/backend.h"
 #include "tensor/ops.h"
 #include "tensor/ops_common.h"
 
@@ -13,35 +14,42 @@ Tensor softmax_lastdim(const Tensor& a) {
   const std::int64_t n = a.size(-1);
   const std::int64_t rows = a.numel() / n;
   TensorImpl* pa = a.impl().get();
-  Tensor out = make_result(a.shape(), {a.impl()},
-                           [pa, rows, n](const TensorImpl& self) {
-                             // dx = y * (dy - sum(dy * y)) per row.
-                             for (std::int64_t r = 0; r < rows; ++r) {
-                               const float* y = self.data.data() + r * n;
-                               const float* dy = self.grad.data() + r * n;
-                               float dot = 0.0f;
-                               for (std::int64_t j = 0; j < n; ++j) dot += dy[j] * y[j];
-                               float* dx = pa->grad.data() + r * n;
-                               for (std::int64_t j = 0; j < n; ++j) {
-                                 dx[j] += y[j] * (dy[j] - dot);
-                               }
-                             }
-                           });
+  Tensor out = make_result(
+      a.shape(), {a.impl()}, [pa, rows, n](const TensorImpl& self) {
+        // dx = y * (dy - sum(dy * y)) per row.
+        const float* yall = self.data.data();
+        const float* dyall = self.grad.data();
+        float* dxall = pa->grad.data();
+        backend::parallel_rows(rows, 4 * n, [=](std::int64_t r0, std::int64_t r1) {
+          for (std::int64_t r = r0; r < r1; ++r) {
+            const float* y = yall + r * n;
+            const float* dy = dyall + r * n;
+            float dot = 0.0f;
+            for (std::int64_t j = 0; j < n; ++j) dot += dy[j] * y[j];
+            float* dx = dxall + r * n;
+            for (std::int64_t j = 0; j < n; ++j) {
+              dx[j] += y[j] * (dy[j] - dot);
+            }
+          }
+        });
+      });
   const float* src = a.data();
   float* dst = out.data();
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const float* x = src + r * n;
-    float* y = dst + r * n;
-    float mx = x[0];
-    for (std::int64_t j = 1; j < n; ++j) mx = std::max(mx, x[j]);
-    float sum = 0.0f;
-    for (std::int64_t j = 0; j < n; ++j) {
-      y[j] = std::exp(x[j] - mx);
-      sum += y[j];
+  backend::parallel_rows(rows, 8 * n, [=](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t r = r0; r < r1; ++r) {
+      const float* x = src + r * n;
+      float* y = dst + r * n;
+      float mx = x[0];
+      for (std::int64_t j = 1; j < n; ++j) mx = std::max(mx, x[j]);
+      float sum = 0.0f;
+      for (std::int64_t j = 0; j < n; ++j) {
+        y[j] = std::exp(x[j] - mx);
+        sum += y[j];
+      }
+      const float inv = 1.0f / sum;
+      for (std::int64_t j = 0; j < n; ++j) y[j] *= inv;
     }
-    const float inv = 1.0f / sum;
-    for (std::int64_t j = 0; j < n; ++j) y[j] *= inv;
-  }
+  });
   return out;
 }
 
@@ -64,53 +72,80 @@ Tensor layer_norm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
   Tensor out = make_result(
       x.shape(), {x.impl(), gamma.impl(), beta.impl()},
       [px, pg, pb, mean, rstd, rows, h](const TensorImpl& self) {
-        for (std::int64_t r = 0; r < rows; ++r) {
-          const float* xr = px->data.data() + r * h;
-          const float* dy = self.grad.data() + r * h;
-          const float mu = (*mean)[r];
-          const float rs = (*rstd)[r];
-          // xhat = (x - mu) * rs ;  y = xhat * gamma + beta
-          float sum_dyg = 0.0f;
-          float sum_dyg_xhat = 0.0f;
-          for (std::int64_t j = 0; j < h; ++j) {
-            const float xhat = (xr[j] - mu) * rs;
-            const float dyg = dy[j] * pg->data[j];
-            sum_dyg += dyg;
-            sum_dyg_xhat += dyg * xhat;
-            pg->grad[j] += dy[j] * xhat;
-            pb->grad[j] += dy[j];
+        // Two passes with different parallel axes: dx writes are disjoint per
+        // row, while dgamma/dbeta sum over all rows — those go column-parallel
+        // with rows consumed in ascending order per column.
+        const float* xall = px->data.data();
+        const float* dyall = self.grad.data();
+        const float* gam = pg->data.data();
+        float* dxall = px->grad.data();
+        const float* mu_v = mean->data();
+        const float* rs_v = rstd->data();
+        backend::parallel_rows(rows, 6 * h, [=](std::int64_t r0, std::int64_t r1) {
+          for (std::int64_t r = r0; r < r1; ++r) {
+            const float* xr = xall + r * h;
+            const float* dy = dyall + r * h;
+            const float mu = mu_v[r];
+            const float rs = rs_v[r];
+            // xhat = (x - mu) * rs ;  y = xhat * gamma + beta
+            float sum_dyg = 0.0f;
+            float sum_dyg_xhat = 0.0f;
+            for (std::int64_t j = 0; j < h; ++j) {
+              const float xhat = (xr[j] - mu) * rs;
+              const float dyg = dy[j] * gam[j];
+              sum_dyg += dyg;
+              sum_dyg_xhat += dyg * xhat;
+            }
+            const float inv_h = 1.0f / static_cast<float>(h);
+            float* dx = dxall + r * h;
+            for (std::int64_t j = 0; j < h; ++j) {
+              const float xhat = (xr[j] - mu) * rs;
+              const float dyg = dy[j] * gam[j];
+              dx[j] += rs * (dyg - inv_h * sum_dyg - xhat * inv_h * sum_dyg_xhat);
+            }
           }
-          const float inv_h = 1.0f / static_cast<float>(h);
-          float* dx = px->grad.data() + r * h;
-          for (std::int64_t j = 0; j < h; ++j) {
-            const float xhat = (xr[j] - mu) * rs;
-            const float dyg = dy[j] * pg->data[j];
-            dx[j] += rs * (dyg - inv_h * sum_dyg - xhat * inv_h * sum_dyg_xhat);
+        });
+        float* dg = pg->grad.data();
+        float* db = pb->grad.data();
+        backend::parallel_rows(h, 4 * rows, [=](std::int64_t j0, std::int64_t j1) {
+          for (std::int64_t r = 0; r < rows; ++r) {
+            const float* xr = xall + r * h;
+            const float* dy = dyall + r * h;
+            const float mu = mu_v[r];
+            const float rs = rs_v[r];
+            for (std::int64_t j = j0; j < j1; ++j) {
+              dg[j] += dy[j] * (xr[j] - mu) * rs;
+              db[j] += dy[j];
+            }
           }
-        }
+        });
       });
 
   const float* src = x.data();
   const float* g = gamma.data();
   const float* b = beta.data();
   float* dst = out.data();
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const float* xr = src + r * h;
-    float mu = 0.0f;
-    for (std::int64_t j = 0; j < h; ++j) mu += xr[j];
-    mu /= static_cast<float>(h);
-    float var = 0.0f;
-    for (std::int64_t j = 0; j < h; ++j) {
-      const float d = xr[j] - mu;
-      var += d * d;
+  float* mu_out = mean->data();
+  float* rs_out = rstd->data();
+  backend::parallel_rows(rows, 4 * h, [=](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t r = r0; r < r1; ++r) {
+      const float* xr = src + r * h;
+      float mu = 0.0f;
+      for (std::int64_t j = 0; j < h; ++j) mu += xr[j];
+      mu /= static_cast<float>(h);
+      float var = 0.0f;
+      for (std::int64_t j = 0; j < h; ++j) {
+        const float d = xr[j] - mu;
+        var += d * d;
+      }
+      var /= static_cast<float>(h);
+      const float rs = 1.0f / std::sqrt(var + eps);
+      mu_out[r] = mu;
+      rs_out[r] = rs;
+      float* y = dst + r * h;
+      for (std::int64_t j = 0; j < h; ++j) y[j] = (xr[j] - mu) * rs * g[j] + b[j];
     }
-    var /= static_cast<float>(h);
-    const float rs = 1.0f / std::sqrt(var + eps);
-    (*mean)[r] = mu;
-    (*rstd)[r] = rs;
-    float* y = dst + r * h;
-    for (std::int64_t j = 0; j < h; ++j) y[j] = (xr[j] - mu) * rs * g[j] + b[j];
-  }
+  });
   return out;
 }
 
@@ -129,18 +164,31 @@ Tensor embedding(const Tensor& weight, const std::vector<std::int64_t>& ids) {
   }
   TensorImpl* pw = weight.impl().get();
   auto ids_copy = std::make_shared<std::vector<std::int64_t>>(ids);
-  Tensor out = make_result({n, h}, {weight.impl()},
-                           [pw, ids_copy, h](const TensorImpl& self) {
-                             for (std::size_t i = 0; i < ids_copy->size(); ++i) {
-                               const float* g = self.grad.data() + i * h;
-                               float* wg = pw->grad.data() + (*ids_copy)[i] * h;
-                               for (std::int64_t j = 0; j < h; ++j) wg[j] += g[j];
-                             }
-                           });
-  for (std::int64_t i = 0; i < n; ++i) {
-    const float* row = weight.data() + ids[i] * h;
-    std::copy(row, row + h, out.data() + i * h);
-  }
+  Tensor out = make_result(
+      {n, h}, {weight.impl()}, [pw, ids_copy, h, n](const TensorImpl& self) {
+        // Repeated ids make the scatter-add race over rows, so parallelize
+        // over the h columns instead: every chunk walks all ids in order and
+        // touches only its own column range of each weight row.
+        const float* gall = self.grad.data();
+        float* wgall = pw->grad.data();
+        const std::int64_t* idp = ids_copy->data();
+        backend::parallel_rows(h, 2 * n, [=](std::int64_t j0, std::int64_t j1) {
+          for (std::int64_t i = 0; i < n; ++i) {
+            const float* g = gall + i * h;
+            float* wg = wgall + idp[i] * h;
+            for (std::int64_t j = j0; j < j1; ++j) wg[j] += g[j];
+          }
+        });
+      });
+  const float* w = weight.data();
+  float* dst = out.data();
+  const std::int64_t* idp = ids_copy->data();
+  backend::parallel_rows(n, h, [=](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const float* row = w + idp[i] * h;
+      std::copy(row, row + h, dst + i * h);
+    }
+  });
   return out;
 }
 
@@ -171,25 +219,40 @@ Tensor cross_entropy(const Tensor& logits, const std::vector<std::int64_t>& targ
       static_cast<std::size_t>(n) * static_cast<std::size_t>(c));
   auto tgt = std::make_shared<std::vector<std::int64_t>>(targets);
 
+  // The loss is a reduction over rows: each chunk keeps a private double
+  // partial, and the partials are combined in chunk order afterwards — the
+  // summation tree depends only on the problem size, never on the budget.
   const float* x = logits.data();
-  double loss_acc = 0.0;
-  for (std::int64_t i = 0; i < n; ++i) {
-    const float* row = x + i * c;
-    float* p = probs->data() + i * c;
-    float mx = row[0];
-    for (std::int64_t j = 1; j < c; ++j) mx = std::max(mx, row[j]);
-    float sum = 0.0f;
-    for (std::int64_t j = 0; j < c; ++j) {
-      p[j] = std::exp(row[j] - mx);
-      sum += p[j];
-    }
-    const float inv = 1.0f / sum;
-    for (std::int64_t j = 0; j < c; ++j) p[j] *= inv;
-    if ((*tgt)[i] != ignore_index) {
-      const float pt = std::max(p[(*tgt)[i]], 1e-12f);
-      loss_acc -= std::log(pt);
-    }
+  const std::int64_t work = 8 * c;
+  std::vector<double> partials(backend::chunk_count(n, work), 0.0);
+  {
+    float* pall = probs->data();
+    const std::int64_t* tp = tgt->data();
+    double* parts = partials.data();
+    backend::parallel_rows(n, work, [=](std::int64_t i0, std::int64_t i1) {
+      double local = 0.0;
+      for (std::int64_t i = i0; i < i1; ++i) {
+        const float* row = x + i * c;
+        float* p = pall + i * c;
+        float mx = row[0];
+        for (std::int64_t j = 1; j < c; ++j) mx = std::max(mx, row[j]);
+        float sum = 0.0f;
+        for (std::int64_t j = 0; j < c; ++j) {
+          p[j] = std::exp(row[j] - mx);
+          sum += p[j];
+        }
+        const float inv = 1.0f / sum;
+        for (std::int64_t j = 0; j < c; ++j) p[j] *= inv;
+        if (tp[i] != ignore_index) {
+          const float pt = std::max(p[tp[i]], 1e-12f);
+          local -= std::log(pt);
+        }
+      }
+      parts[backend::chunk_index(n, work, i0)] = local;
+    });
   }
+  double loss_acc = 0.0;
+  for (double p : partials) loss_acc += p;
 
   TensorImpl* pl = logits.impl().get();
   const float inv_active = 1.0f / static_cast<float>(active);
@@ -197,13 +260,18 @@ Tensor cross_entropy(const Tensor& logits, const std::vector<std::int64_t>& targ
       {}, {logits.impl()},
       [pl, probs, tgt, n, c, ignore_index, inv_active](const TensorImpl& self) {
         const float g = self.grad[0] * inv_active;
-        for (std::int64_t i = 0; i < n; ++i) {
-          if ((*tgt)[i] == ignore_index) continue;
-          const float* p = probs->data() + i * c;
-          float* dl = pl->grad.data() + i * c;
-          for (std::int64_t j = 0; j < c; ++j) dl[j] += g * p[j];
-          dl[(*tgt)[i]] -= g;
-        }
+        const float* pall = probs->data();
+        const std::int64_t* tp = tgt->data();
+        float* dlall = pl->grad.data();
+        backend::parallel_rows(n, 2 * c, [=](std::int64_t i0, std::int64_t i1) {
+          for (std::int64_t i = i0; i < i1; ++i) {
+            if (tp[i] == ignore_index) continue;
+            const float* p = pall + i * c;
+            float* dl = dlall + i * c;
+            for (std::int64_t j = 0; j < c; ++j) dl[j] += g * p[j];
+            dl[tp[i]] -= g;
+          }
+        });
       });
   out.data()[0] = static_cast<float>(loss_acc) * inv_active;
   return out;

@@ -1,5 +1,6 @@
 #include <numeric>
 
+#include "tensor/backend.h"
 #include "tensor/ops.h"
 #include "tensor/ops_common.h"
 
@@ -13,12 +14,15 @@ Tensor reshape(const Tensor& a, Shape shape) {
                      shape_to_string(shape));
   }
   TensorImpl* pa = a.impl().get();
-  Tensor out = make_result(std::move(shape), {a.impl()},
-                           [pa](const TensorImpl& self) {
-                             for (std::size_t i = 0; i < self.grad.size(); ++i) {
-                               pa->grad[i] += self.grad[i];
-                             }
-                           });
+  Tensor out = make_result(
+      std::move(shape), {a.impl()}, [pa](const TensorImpl& self) {
+        const float* g = self.grad.data();
+        float* ga = pa->grad.data();
+        const std::int64_t n = static_cast<std::int64_t>(self.grad.size());
+        backend::parallel_rows(n, 1, [=](std::int64_t i0, std::int64_t i1) {
+          for (std::int64_t i = i0; i < i1; ++i) ga[i] += g[i];
+        });
+      });
   out.vec() = a.vec();
   return out;
 }
@@ -45,8 +49,6 @@ void permute_copy(const float* src, float* dst, const Shape& src_shape,
   for (std::size_t i = 0; i < rank; ++i) dst_shape[i] = src_shape[perm[i]];
   const auto dst_strides = strides_of(dst_shape);
 
-  // Walk the source linearly; compute the destination offset incrementally.
-  std::vector<std::int64_t> idx(rank, 0);
   const std::int64_t total = numel_of(src_shape);
   // dst position of source axis k is perm^{-1}(k); precompute the stride the
   // destination offset moves by when source index k increments.
@@ -54,22 +56,37 @@ void permute_copy(const float* src, float* dst, const Shape& src_shape,
   for (std::size_t d = 0; d < rank; ++d) {
     dst_stride_for_src_axis[perm[d]] = dst_strides[d];
   }
-  std::int64_t dst_off = 0;
-  for (std::int64_t linear = 0; linear < total; ++linear) {
-    if (inverse) {
-      dst[linear] += src[dst_off];
-    } else {
-      dst[dst_off] = src[linear];
+  const auto src_strides = strides_of(src_shape);
+
+  // Walk the source linearly per chunk; the destination offset is seeded from
+  // the chunk's first multi-index and then maintained incrementally. Forward
+  // writes dst[dst_off] (a bijection of linear), inverse writes dst[linear] —
+  // either way chunk outputs are disjoint.
+  backend::parallel_rows(total, 2, [&](std::int64_t l0, std::int64_t l1) {
+    std::vector<std::int64_t> idx(rank, 0);
+    std::int64_t dst_off = 0;
+    std::int64_t rem = l0;
+    for (std::size_t k = 0; k < rank; ++k) {
+      idx[k] = rem / src_strides[k];
+      rem %= src_strides[k];
+      dst_off += idx[k] * dst_stride_for_src_axis[k];
     }
-    // Increment the multi-index (row-major, last axis fastest).
-    for (std::size_t k = rank; k-- > 0;) {
-      idx[k] += 1;
-      dst_off += dst_stride_for_src_axis[k];
-      if (idx[k] < src_shape[k]) break;
-      dst_off -= dst_stride_for_src_axis[k] * src_shape[k];
-      idx[k] = 0;
+    for (std::int64_t linear = l0; linear < l1; ++linear) {
+      if (inverse) {
+        dst[linear] += src[dst_off];
+      } else {
+        dst[dst_off] = src[linear];
+      }
+      // Increment the multi-index (row-major, last axis fastest).
+      for (std::size_t k = rank; k-- > 0;) {
+        idx[k] += 1;
+        dst_off += dst_stride_for_src_axis[k];
+        if (idx[k] < src_shape[k]) break;
+        dst_off -= dst_stride_for_src_axis[k] * src_shape[k];
+        idx[k] = 0;
+      }
     }
-  }
+  });
 }
 
 }  // namespace
@@ -212,22 +229,33 @@ Tensor stack_dim1(const std::vector<Tensor>& steps) {
     parents.push_back(s.impl());
     raw.push_back(s.impl().get());
   }
-  Tensor out = make_result({b, t, h}, std::move(parents),
-                           [raw, b, t, h](const TensorImpl& self) {
-                             for (std::int64_t ti = 0; ti < t; ++ti) {
-                               for (std::int64_t bi = 0; bi < b; ++bi) {
-                                 const float* g =
-                                     self.grad.data() + (bi * t + ti) * h;
-                                 float* pg = raw[ti]->grad.data() + bi * h;
-                                 for (std::int64_t j = 0; j < h; ++j) pg[j] += g[j];
-                               }
-                             }
-                           });
-  for (std::int64_t ti = 0; ti < t; ++ti) {
-    for (std::int64_t bi = 0; bi < b; ++bi) {
-      const float* src = steps[ti].data() + bi * h;
-      std::copy(src, src + h, out.data() + (bi * t + ti) * h);
-    }
+  Tensor out = make_result(
+      {b, t, h}, std::move(parents), [raw, b, t, h](const TensorImpl& self) {
+        // Steps are independent: step ti owns both its grad buffer and the
+        // t-slice it reads, so parallelize over ti.
+        const float* gall = self.grad.data();
+        backend::parallel_rows(t, 2 * b * h, [&, gall](std::int64_t t0,
+                                                       std::int64_t t1) {
+          for (std::int64_t ti = t0; ti < t1; ++ti) {
+            for (std::int64_t bi = 0; bi < b; ++bi) {
+              const float* g = gall + (bi * t + ti) * h;
+              float* pg = raw[ti]->grad.data() + bi * h;
+              for (std::int64_t j = 0; j < h; ++j) pg[j] += g[j];
+            }
+          }
+        });
+      });
+  {
+    float* dst = out.data();
+    backend::parallel_rows(t, 2 * b * h, [&, dst](std::int64_t t0,
+                                                  std::int64_t t1) {
+      for (std::int64_t ti = t0; ti < t1; ++ti) {
+        for (std::int64_t bi = 0; bi < b; ++bi) {
+          const float* src = steps[ti].data() + bi * h;
+          std::copy(src, src + h, dst + (bi * t + ti) * h);
+        }
+      }
+    });
   }
   return out;
 }

@@ -65,6 +65,7 @@ ExperimentScale ExperimentScale::from_env() {
   c.set_int("epochs_standalone", s.epochs_standalone);
   c.set_int("mlm_epochs", s.mlm_epochs);
   c.set_int("seed", static_cast<std::int64_t>(s.seed));
+  c.set_int("compute_threads", s.compute_threads);
   c.apply_env_overrides("REPRO_");
   s.num_patients = c.require_int("num_patients");
   s.valid_fraction = c.require_double("valid_fraction");
@@ -86,6 +87,7 @@ ExperimentScale ExperimentScale::from_env() {
   s.epochs_standalone = c.require_int("epochs_standalone");
   s.mlm_epochs = c.require_int("mlm_epochs");
   s.seed = static_cast<std::uint64_t>(c.require_int("seed"));
+  s.compute_threads = c.require_int("compute_threads");
   return s;
 }
 
@@ -216,6 +218,7 @@ SchemeResult run_federated(const std::string& model_name,
   sim.num_rounds = scale.fl_rounds;
   sim.seed = scale.seed + 41;
   sim.use_tcp = options.use_tcp;
+  sim.compute_threads = scale.compute_threads;
 
   LearnerOptions lopts;
   lopts.local_epochs = scale.local_epochs;
@@ -349,6 +352,7 @@ std::vector<double> run_mlm_scheme(MlmScheme scheme, const ExperimentScale& scal
   sim.num_clients = scale.num_clients;
   sim.num_rounds = scale.mlm_epochs;
   sim.seed = scale.seed + 87;
+  sim.compute_threads = scale.compute_threads;
 
   LearnerOptions lopts;
   lopts.local_epochs = 1;

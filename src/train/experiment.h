@@ -51,6 +51,9 @@ struct ExperimentScale {
   // MLM pretraining epochs/rounds for Fig. 2.
   std::int64_t mlm_epochs = 3;
   std::uint64_t seed = 2024;
+  /// Per-site compute-thread budget for federated runs; 0 auto-divides the
+  /// machine between site workers and kernels (SimulatorConfig semantics).
+  std::int64_t compute_threads = 0;
 
   /// Applies REPRO_<UPPERCASED_FIELD> env overrides (e.g.
   /// REPRO_NUM_PATIENTS=8638 REPRO_FL_ROUNDS=10).

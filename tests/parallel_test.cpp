@@ -1,0 +1,262 @@
+// Compute-backend tests: parallel_for mechanics plus the determinism
+// contract (bitwise-identical results for 1 vs N compute threads) on the
+// kernels and models built on top of it.
+#include "core/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/error.h"
+#include "core/rng.h"
+#include "nn/lstm.h"
+#include "nn/transformer.h"
+#include "optim/optimizer.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace cppflare {
+namespace {
+
+using tensor::Tensor;
+
+TEST(ParallelFor, CoversAllIndicesExactlyOnce) {
+  core::set_compute_threads(4);
+  const std::int64_t n = 10'000;
+  std::vector<int> hits(n, 0);
+  core::parallel_for(0, n, 97, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) hits[i] += 1;
+  });
+  for (std::int64_t i = 0; i < n; ++i) ASSERT_EQ(hits[i], 1) << "index " << i;
+}
+
+TEST(ParallelFor, ChunkDecompositionIsGrainSized) {
+  core::set_compute_threads(4);
+  std::mutex mu;
+  std::set<std::pair<std::int64_t, std::int64_t>> chunks;
+  core::parallel_for(0, 1000, 64, [&](std::int64_t b, std::int64_t e) {
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.insert({b, e});
+  });
+  // ceil(1000/64) = 16 chunks; all grain-sized except the tail.
+  ASSERT_EQ(chunks.size(), 16u);
+  std::int64_t expect = 0;
+  for (const auto& [b, e] : chunks) {
+    EXPECT_EQ(b, expect);
+    EXPECT_EQ(e - b, b + 64 <= 1000 ? 64 : 1000 - b);
+    expect = e;
+  }
+  EXPECT_EQ(expect, 1000);
+}
+
+TEST(ParallelFor, EmptyRangeNeverCallsFn) {
+  bool called = false;
+  core::parallel_for(5, 5, 1, [&](std::int64_t, std::int64_t) { called = true; });
+  core::parallel_for(5, 3, 1, [&](std::int64_t, std::int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, ExceptionPropagatesToCaller) {
+  core::set_compute_threads(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      core::parallel_for(0, 1000, 10,
+                         [&](std::int64_t b, std::int64_t) {
+                           ran.fetch_add(1);
+                           if (b == 500) throw std::runtime_error("chunk boom");
+                         }),
+      std::runtime_error);
+  EXPECT_GE(ran.load(), 1);
+  // The backend must stay usable after a failed region.
+  std::atomic<std::int64_t> sum{0};
+  core::parallel_for(0, 100, 10, [&](std::int64_t b, std::int64_t e) {
+    sum.fetch_add(e - b);
+  });
+  EXPECT_EQ(sum.load(), 100);
+}
+
+TEST(ParallelFor, NestedCallRunsSerialInline) {
+  core::set_compute_threads(4);
+  EXPECT_FALSE(core::in_parallel_region());
+  std::atomic<bool> saw_region{false};
+  std::atomic<bool> nested_ok{true};
+  core::parallel_for(0, 8, 1, [&](std::int64_t, std::int64_t) {
+    if (!core::in_parallel_region()) nested_ok = false;
+    saw_region = true;
+    const std::thread::id outer = std::this_thread::get_id();
+    std::int64_t expect = 0;
+    core::parallel_for(0, 100, 10, [&](std::int64_t b, std::int64_t e) {
+      // Nested chunks must run on the same thread, in ascending order.
+      if (std::this_thread::get_id() != outer) nested_ok = false;
+      if (b != expect) nested_ok = false;
+      expect = e;
+    });
+    if (expect != 100) nested_ok = false;
+  });
+  EXPECT_TRUE(saw_region.load());
+  EXPECT_TRUE(nested_ok.load());
+  EXPECT_FALSE(core::in_parallel_region());
+}
+
+TEST(ParallelFor, BudgetOneRunsInOrderOnCallingThread) {
+  core::set_compute_threads(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::int64_t expect = 0;
+  core::parallel_for(0, 1000, 64, [&](std::int64_t b, std::int64_t e) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    EXPECT_EQ(b, expect);
+    expect = e;
+  });
+  EXPECT_EQ(expect, 1000);
+}
+
+TEST(ComputeThreads, SetGetAndValidation) {
+  core::set_compute_threads(3);
+  EXPECT_EQ(core::compute_threads(), 3u);
+  EXPECT_THROW(core::set_compute_threads(0), ConfigError);
+  // An explicit setting wins over the simulator's auto division.
+  EXPECT_EQ(core::set_compute_threads_if_default(7), 3u);
+  EXPECT_EQ(core::compute_threads(), 3u);
+}
+
+// ---- bitwise determinism: 1 thread vs N threads ----------------------------
+
+std::vector<float> snapshot(const Tensor& t) { return t.vec(); }
+
+void expect_bitwise_equal(const std::vector<float>& a,
+                          const std::vector<float>& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  ASSERT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(float)), 0)
+      << what << " differs between thread budgets";
+}
+
+struct FwdBwd {
+  std::vector<float> out;
+  std::vector<std::vector<float>> grads;
+};
+
+template <typename Fn>
+FwdBwd run_at_budget(std::size_t budget, Fn&& fn) {
+  core::set_compute_threads(budget);
+  return fn();
+}
+
+TEST(Determinism, MatmulForwardBackwardBitwise1vs4) {
+  auto run = [] {
+    core::Rng rng(11);
+    Tensor a = Tensor::randn({96, 80}, rng, 0.0f, 1.0f, /*requires_grad=*/true);
+    Tensor b = Tensor::randn({80, 64}, rng, 0.0f, 1.0f, /*requires_grad=*/true);
+    Tensor loss = tensor::mean_all(tensor::matmul(a, b));
+    loss.backward();
+    return FwdBwd{snapshot(loss), {a.grad(), b.grad()}};
+  };
+  const FwdBwd serial = run_at_budget(1, run);
+  const FwdBwd parallel = run_at_budget(4, run);
+  expect_bitwise_equal(serial.out, parallel.out, "matmul loss");
+  expect_bitwise_equal(serial.grads[0], parallel.grads[0], "dA");
+  expect_bitwise_equal(serial.grads[1], parallel.grads[1], "dB");
+}
+
+TEST(Determinism, LinearForwardBackwardBitwise1vs4) {
+  auto run = [] {
+    core::Rng rng(12);
+    Tensor x = Tensor::randn({64, 96}, rng, 0.0f, 1.0f, /*requires_grad=*/true);
+    Tensor w = Tensor::randn({72, 96}, rng, 0.0f, 1.0f, /*requires_grad=*/true);
+    Tensor b = Tensor::randn({72}, rng, 0.0f, 1.0f, /*requires_grad=*/true);
+    Tensor y = tensor::linear(x, w, b);
+    FwdBwd r;
+    r.out = snapshot(y);
+    tensor::mean_all(y).backward();
+    r.grads = {x.grad(), w.grad(), b.grad()};
+    return r;
+  };
+  const FwdBwd serial = run_at_budget(1, run);
+  const FwdBwd parallel = run_at_budget(4, run);
+  expect_bitwise_equal(serial.out, parallel.out, "linear y");
+  expect_bitwise_equal(serial.grads[0], parallel.grads[0], "dx");
+  expect_bitwise_equal(serial.grads[1], parallel.grads[1], "dw");
+  expect_bitwise_equal(serial.grads[2], parallel.grads[2], "db");
+}
+
+TEST(Determinism, TransformerForwardBackwardBitwise1vs4) {
+  auto run = [] {
+    core::Rng rng(13);
+    nn::TransformerEncoderLayer layer(32, 2, 16, 64, /*dropout_p=*/0.0f, rng);
+    Tensor x = Tensor::randn({4, 8, 32}, rng);
+    core::Rng fw(14);
+    Tensor y = layer.forward(x, Tensor(), fw);
+    FwdBwd r;
+    r.out = snapshot(y);
+    tensor::mean_all(y).backward();
+    for (const Tensor& p : layer.parameters()) r.grads.push_back(p.grad());
+    return r;
+  };
+  const FwdBwd serial = run_at_budget(1, run);
+  const FwdBwd parallel = run_at_budget(4, run);
+  expect_bitwise_equal(serial.out, parallel.out, "transformer out");
+  ASSERT_EQ(serial.grads.size(), parallel.grads.size());
+  for (std::size_t i = 0; i < serial.grads.size(); ++i) {
+    expect_bitwise_equal(serial.grads[i], parallel.grads[i], "transformer grad");
+  }
+}
+
+TEST(Determinism, LstmForwardBackwardBitwise1vs4) {
+  auto run = [] {
+    core::Rng rng(15);
+    nn::Lstm lstm(24, 32, 2, /*dropout_p=*/0.0f, rng);
+    Tensor x = Tensor::randn({4, 12, 24}, rng);
+    core::Rng fw(16);
+    Tensor y = lstm.forward(x, fw);
+    FwdBwd r;
+    r.out = snapshot(y);
+    tensor::mean_all(y).backward();
+    for (const Tensor& p : lstm.parameters()) r.grads.push_back(p.grad());
+    return r;
+  };
+  const FwdBwd serial = run_at_budget(1, run);
+  const FwdBwd parallel = run_at_budget(4, run);
+  expect_bitwise_equal(serial.out, parallel.out, "lstm out");
+  ASSERT_EQ(serial.grads.size(), parallel.grads.size());
+  for (std::size_t i = 0; i < serial.grads.size(); ++i) {
+    expect_bitwise_equal(serial.grads[i], parallel.grads[i], "lstm grad");
+  }
+}
+
+TEST(Determinism, TrainingStateDictBitwise1vs4) {
+  auto train = [](std::size_t budget) {
+    core::set_compute_threads(budget);
+    core::Rng rng(17);
+    nn::TransformerEncoderLayer model(32, 2, 16, 64, /*dropout_p=*/0.0f, rng);
+    optim::Adam opt(model.parameters(), 1e-2f);
+    core::Rng data_rng(18);
+    for (int step = 0; step < 3; ++step) {
+      Tensor x = Tensor::randn({4, 8, 32}, data_rng);
+      core::Rng fw(19);
+      Tensor loss = tensor::mean_all(model.forward(x, Tensor(), fw));
+      loss.backward();
+      opt.step();
+      opt.zero_grad();
+    }
+    return model.state_dict();
+  };
+  const nn::StateDict serial = train(1);
+  const nn::StateDict parallel = train(4);
+  ASSERT_TRUE(serial.congruent_with(parallel));
+  for (const auto& [name, blob] : serial.entries()) {
+    const auto& other = parallel.at(name).values;
+    ASSERT_EQ(blob.values.size(), other.size());
+    EXPECT_EQ(std::memcmp(blob.values.data(), other.data(),
+                          other.size() * sizeof(float)),
+              0)
+        << "parameter " << name << " differs between thread budgets";
+  }
+}
+
+}  // namespace
+}  // namespace cppflare

@@ -22,9 +22,13 @@
 
 #include "core/error.h"
 #include "core/logging.h"
+#include "core/parallel.h"
+#include "core/rng.h"
 #include "core/thread_pool.h"
 #include "flare/simulator.h"
 #include "flare/tcp.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
 
 namespace cppflare {
 namespace {
@@ -195,6 +199,81 @@ TEST_F(SimulatorStress, BackToBackRunsReuseCleanState) {
     flare::SimulatorRunner runner = make_runner(config);
     EXPECT_EQ(runner.run().history.size(), 2u);
   }
+}
+
+/// Learner that runs a real tensor forward+backward per round, so the
+/// federation's site workers all dispatch kernel chunks onto the shared
+/// compute pool at once — the exact cross-thread interaction TSan needs to
+/// observe (site worker -> pool helper handoff, region completion, budget
+/// reads).
+class MatmulLearner : public flare::Learner {
+ public:
+  explicit MatmulLearner(std::string site) : site_(std::move(site)) {}
+
+  flare::Dxo train(const flare::Dxo& global, const flare::FLContext&) override {
+    core::Rng rng(std::hash<std::string>{}(site_));
+    tensor::Tensor a =
+        tensor::Tensor::randn({64, 64}, rng, 0.0f, 1.0f, /*requires_grad=*/true);
+    tensor::Tensor b =
+        tensor::Tensor::randn({64, 64}, rng, 0.0f, 1.0f, /*requires_grad=*/true);
+    tensor::Tensor loss = tensor::mean_all(tensor::matmul(a, b));
+    loss.backward();
+
+    nn::StateDict updated = global.data();
+    for (auto& [name, blob] : updated.entries()) {
+      for (float& v : blob.values) v += 0.01f * loss.item();
+    }
+    flare::Dxo update(flare::DxoKind::kWeights, updated);
+    update.set_meta_int(flare::Dxo::kMetaNumSamples, 10);
+    update.set_meta_double(flare::Dxo::kMetaTrainLoss, 1.0);
+    update.set_meta_double(flare::Dxo::kMetaValidAcc, 0.5);
+    return update;
+  }
+  std::string site_name() const override { return site_; }
+
+ private:
+  std::string site_;
+};
+
+TEST_F(SimulatorStress, FederationWithComputeParallelismEnabled) {
+  core::set_compute_threads(3);
+  flare::SimulatorConfig config;
+  config.num_clients = 8;
+  config.num_rounds = 3;
+  flare::SimulatorRunner runner(
+      config, tiny_model(), std::make_unique<flare::FedAvgAggregator>(true),
+      [](std::int64_t, const std::string& name) {
+        return std::make_shared<MatmulLearner>(name);
+      });
+  const flare::SimulationResult result = runner.run();
+  ASSERT_EQ(result.history.size(), 3u);
+  for (const flare::RoundMetrics& m : result.history) {
+    EXPECT_EQ(m.num_contributions, 8);
+  }
+}
+
+TEST_F(SimulatorStress, ConcurrentParallelForCallers) {
+  // Many external threads each drive their own parallel regions against one
+  // shared helper pool; every region must see exactly its own chunks.
+  core::set_compute_threads(3);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> callers;
+  for (int t = 0; t < 6; ++t) {
+    callers.emplace_back([&, t] {
+      for (int rep = 0; rep < 20; ++rep) {
+        const std::int64_t n = 512 + 64 * t;
+        std::vector<int> hits(n, 0);
+        core::parallel_for(0, n, 32, [&](std::int64_t b, std::int64_t e) {
+          for (std::int64_t i = b; i < e; ++i) hits[i] += 1;
+        });
+        for (std::int64_t i = 0; i < n; ++i) {
+          if (hits[i] != 1) failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  EXPECT_EQ(failures.load(), 0);
 }
 
 // ---------------------------------------------------------------------------
