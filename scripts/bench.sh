@@ -10,6 +10,9 @@
 #       ops/s figure, real_time the wall time per iteration.
 #   BENCH_models.json — bench_table2_models latencies per model plus the
 #       effective thread budget and total wall seconds.
+#   BENCH_faults.json — bench_faults rounds/s of an 8-site TCP federation
+#       with and without the standard fault plan (10% drop, 10% delay, one
+#       disconnect), plus the resulting overhead factor.
 #
 # Usage: scripts/bench.sh [-j N]
 set -euo pipefail
@@ -26,7 +29,7 @@ step() { echo; echo "==== $* ===="; }
 step "release: build benches"
 cmake --preset release
 cmake --build --preset release -j "${JOBS}" \
-  --target bench_micro_tensor bench_table2_models
+  --target bench_micro_tensor bench_table2_models bench_faults
 
 step "tensor microbenchmarks -> BENCH_tensor.json"
 ./build-release/bench/bench_micro_tensor \
@@ -37,5 +40,8 @@ step "tensor microbenchmarks -> BENCH_tensor.json"
 step "model latencies -> BENCH_models.json"
 ./build-release/bench/bench_table2_models --json "${REPO_ROOT}/BENCH_models.json"
 
+step "fault-tolerance overhead -> BENCH_faults.json"
+./build-release/bench/bench_faults --json "${REPO_ROOT}/BENCH_faults.json"
+
 step "bench complete"
-echo "wrote BENCH_tensor.json and BENCH_models.json"
+echo "wrote BENCH_tensor.json, BENCH_models.json and BENCH_faults.json"

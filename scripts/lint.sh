@@ -18,6 +18,11 @@
 #       transport) are annotated `R5-exempt: <reason>` on the offending line.
 #       `std::thread::hardware_concurrency()` (member access, no spawn) is
 #       allowed.
+#   R6  no naked sleep_for/sleep_until/usleep outside src/core/backoff.* —
+#       blocking waits in the runtime are retry/poll loops in disguise; they
+#       go through core::Backoff so every delay is bounded, seeded-jittered,
+#       and visible in one place. Genuinely non-retry sleeps (e.g. a test
+#       harness pacing itself) are annotated `R6-exempt: <reason>`.
 #
 # Usage:
 #   scripts/lint.sh              lint the repository (exit 0 = clean)
@@ -107,6 +112,23 @@ check_raw_threads() {  # R5: raw std::thread outside src/core/
     done
 }
 
+check_naked_sleeps() {  # R6: blocking sleeps outside src/core/backoff.*
+  local root="$1"
+  local f
+  find "$root/src" -type f \( -name '*.cpp' -o -name '*.h' \) 2>/dev/null |
+    while IFS= read -r f; do
+      case "$f" in */src/core/backoff.cpp | */src/core/backoff.h) continue ;; esac
+      strip_comments "$f" |
+        grep -nE '(^|[^A-Za-z0-9_])(sleep_for|sleep_until|usleep)[[:space:]]*\(' |
+        while IFS= read -r hit; do
+          local ln="${hit%%:*}"
+          if sed -n "${ln}p" "$f" | grep -q 'R6-exempt:'; then continue; fi
+          echo "${f#"$root"/}:${hit}" |
+            sed 's|$|: R6 naked blocking sleep outside src/core/backoff.* (use core::Backoff)|'
+        done
+    done
+}
+
 run_all_checks() {
   local root="$1"
   check_rand "$root"
@@ -114,6 +136,7 @@ run_all_checks() {
   check_iostream "$root"
   check_header_guards "$root"
   check_raw_threads "$root"
+  check_naked_sleeps "$root"
 }
 
 self_test() {
@@ -160,11 +183,24 @@ EOF
 #include <thread>
 void core_owns_threads() { std::thread t([] {}); t.join(); }
 EOF
+  cat > "$tmp/src/flare/napper.cpp" <<'EOF'
+#include <chrono>
+#include <thread>
+void retry_loop() { std::this_thread::sleep_for(std::chrono::milliseconds(5)); }
+void paced() { std::this_thread::sleep_for(std::chrono::seconds(1)); }  // R6-exempt: harness pacing fixture
+int sleepy_decoy() { int sleep_forever = 1; return sleep_forever; }
+// decoy comment: sleep_for mentioned in prose only
+EOF
+  cat > "$tmp/src/core/backoff.cpp" <<'EOF'
+#include <chrono>
+#include <thread>
+void blessed() { std::this_thread::sleep_for(std::chrono::milliseconds(1)); }
+EOF
 
   local out
   out="$(run_all_checks "$tmp")"
   local failed=0
-  for rule in R1 R2 R3 R4 R5; do
+  for rule in R1 R2 R3 R4 R5 R6; do
     if ! grep -q "$rule" <<<"$out"; then
       echo "lint self-test: rule $rule did not fire on its fixture" >&2
       failed=1
@@ -172,11 +208,13 @@ EOF
   done
   # The decoys must not produce extra hits: expect exactly 2xR1 (rand+srand),
   # 2xR2 (new+delete), 1xR3, 1xR4, 1xR5 (the exempt line, this_thread,
-  # hardware_concurrency, comment and src/core/ fixtures all stay quiet).
+  # hardware_concurrency, comment and src/core/ fixtures all stay quiet),
+  # 1xR6 (the exempt line, identifier decoy, comment and backoff.cpp
+  # fixtures all stay quiet).
   local count
   count="$(grep -c ':' <<<"$out")"
-  if [ "$count" -ne 7 ]; then
-    echo "lint self-test: expected 7 violations, got $count:" >&2
+  if [ "$count" -ne 8 ]; then
+    echo "lint self-test: expected 8 violations, got $count:" >&2
     echo "$out" >&2
     failed=1
   fi

@@ -15,10 +15,7 @@ const core::Logger& logger() {
 void FedAvgAggregator::reset(const nn::StateDict& global, std::int64_t round) {
   global_ = global;
   round_kind_.reset();
-  accum_ = nn::StateDict{};
-  weight_sum_ = 0.0;
-  loss_weight_sum_ = 0.0;
-  contributors_.clear();
+  pending_.clear();
   metrics_ = RoundMetrics{};
   metrics_.round = round;
 }
@@ -28,7 +25,7 @@ bool FedAvgAggregator::accept(const std::string& site, const Dxo& contribution) 
     logger().warn("Rejecting metrics-only contribution from " + site);
     return false;
   }
-  if (contributors_.count(site) != 0) {
+  if (pending_.count(site) != 0) {
     logger().warn("Duplicate contribution from " + site + " ignored");
     return false;
   }
@@ -49,42 +46,50 @@ bool FedAvgAggregator::accept(const std::string& site, const Dxo& contribution) 
   }
 
   round_kind_ = contribution.kind();
-  if (accum_.empty()) accum_ = contribution.data().zeros_like();
-  accum_.axpy(static_cast<float>(w), contribution.data());
-  weight_sum_ += w;
-  contributors_.emplace(site, w);
+  pending_.emplace(site, Pending{contribution, w});
 
   metrics_.num_contributions += 1;
   metrics_.total_samples += samples;
-  if (contribution.has_meta(Dxo::kMetaTrainLoss)) {
-    metrics_.train_loss += w * contribution.meta_double(Dxo::kMetaTrainLoss);
-    metrics_.valid_acc += w * contribution.meta_double(Dxo::kMetaValidAcc);
-    metrics_.valid_loss += w * contribution.meta_double(Dxo::kMetaValidLoss);
-    loss_weight_sum_ += w;
-  }
   logger().info("Contribution from " + site + " ACCEPTED by the aggregator at round " +
                 std::to_string(metrics_.round) + ".");
   return true;
 }
 
 nn::StateDict FedAvgAggregator::aggregate() {
-  if (weight_sum_ <= 0.0 || !round_kind_.has_value()) {
+  if (pending_.empty() || !round_kind_.has_value()) {
     throw Error("FedAvgAggregator: no contributions to aggregate");
   }
   logger().info("aggregating " + std::to_string(metrics_.num_contributions) +
                 " update(s) at round " + std::to_string(metrics_.round));
-  accum_.scale(static_cast<float>(1.0 / weight_sum_));
-  if (loss_weight_sum_ > 0.0) {
-    metrics_.train_loss /= loss_weight_sum_;
-    metrics_.valid_acc /= loss_weight_sum_;
-    metrics_.valid_loss /= loss_weight_sum_;
+  // Reduce in site-name order (std::map iteration), never arrival order:
+  // floating-point sums then come out bit-for-bit identical no matter how
+  // retries or stragglers shuffled the submissions.
+  nn::StateDict accum;
+  double weight_sum = 0.0;
+  double loss_weight_sum = 0.0;
+  for (const auto& [site, p] : pending_) {
+    if (accum.empty()) accum = p.dxo.data().zeros_like();
+    accum.axpy(static_cast<float>(p.weight), p.dxo.data());
+    weight_sum += p.weight;
+    if (p.dxo.has_meta(Dxo::kMetaTrainLoss)) {
+      metrics_.train_loss += p.weight * p.dxo.meta_double(Dxo::kMetaTrainLoss);
+      metrics_.valid_acc += p.weight * p.dxo.meta_double(Dxo::kMetaValidAcc);
+      metrics_.valid_loss += p.weight * p.dxo.meta_double(Dxo::kMetaValidLoss);
+      loss_weight_sum += p.weight;
+    }
+  }
+  accum.scale(static_cast<float>(1.0 / weight_sum));
+  if (loss_weight_sum > 0.0) {
+    metrics_.train_loss /= loss_weight_sum;
+    metrics_.valid_acc /= loss_weight_sum;
+    metrics_.valid_loss /= loss_weight_sum;
   }
   if (*round_kind_ == DxoKind::kWeightDiff) {
     nn::StateDict next = global_;
-    next.axpy(1.0f, accum_);
+    next.axpy(1.0f, accum);
     return next;
   }
-  return accum_;
+  return accum;
 }
 
 std::int64_t FedAvgAggregator::accepted_count() const {

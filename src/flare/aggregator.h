@@ -18,7 +18,9 @@
 
 namespace cppflare::flare {
 
-/// Aggregated per-round client metrics (sample-weighted means).
+/// Aggregated per-round client metrics (sample-weighted means) plus the
+/// round's fault-tolerance telemetry, filled in by the server when the
+/// round closes and exposed through round observers.
 struct RoundMetrics {
   std::int64_t round = 0;
   std::int64_t num_contributions = 0;
@@ -26,6 +28,12 @@ struct RoundMetrics {
   double train_loss = 0.0;
   double valid_acc = 0.0;
   double valid_loss = 0.0;
+  /// Contributions that arrived after their round had already closed.
+  std::int64_t late_contributions = 0;
+  /// Sites evicted (unseen past the liveness timeout) when the round closed.
+  std::int64_t evicted_sites = 0;
+  /// True when the round closed on its deadline with a reduced quorum.
+  bool deadline_fired = false;
 };
 
 class Aggregator {
@@ -51,6 +59,12 @@ class Aggregator {
 /// Federated averaging. With `weighted` the average is weighted by each
 /// contribution's num_samples meta (plain FedAvg); otherwise uniform —
 /// the ablation knob for the imbalanced-split experiment.
+///
+/// Contributions are buffered per site and reduced in site-name order when
+/// the round closes, so the result is independent of arrival order — a
+/// fault-injected run (retries, reconnects, delays) aggregates bit-for-bit
+/// identically to a clean one. Costs one buffered model per contributor,
+/// which is the price of reproducibility over NVFlare's in-time accumulate.
 class FedAvgAggregator : public Aggregator {
  public:
   explicit FedAvgAggregator(bool weighted = true) : weighted_(weighted) {}
@@ -65,14 +79,16 @@ class FedAvgAggregator : public Aggregator {
   }
 
  private:
+  struct Pending {
+    Dxo dxo;
+    double weight = 0.0;
+  };
+
   bool weighted_;
   nn::StateDict global_;
   std::optional<DxoKind> round_kind_;
-  nn::StateDict accum_;       // running weighted sum
-  double weight_sum_ = 0.0;
-  std::map<std::string, double> contributors_;  // site -> weight
+  std::map<std::string, Pending> pending_;  // site -> buffered contribution
   RoundMetrics metrics_{};
-  double loss_weight_sum_ = 0.0;
 };
 
 }  // namespace cppflare::flare

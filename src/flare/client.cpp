@@ -1,7 +1,6 @@
 #include "flare/client.h"
 
-#include <chrono>
-#include <thread>
+#include <algorithm>
 
 #include "core/error.h"
 #include "core/logging.h"
@@ -12,6 +11,23 @@ namespace {
 const core::Logger& logger() {
   static core::Logger log("FederatedClient");
   return log;
+}
+
+/// Raised by call_once when the server no longer knows our session; the
+/// retry loop converts it into an idempotent re-registration.
+struct UnknownSessionSignal {
+  std::string message;
+};
+
+/// Stable string hash (FNV-1a) so retry jitter is reproducible per site
+/// across processes, unlike std::hash.
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
 }
 }  // namespace
 
@@ -26,38 +42,139 @@ FederatedClient::FederatedClient(ClientConfig config, Credential credential,
   if (!learner_) throw Error("FederatedClient: learner required");
 }
 
-std::vector<std::uint8_t> FederatedClient::call(
+FederatedClient::FederatedClient(ClientConfig config, Credential credential,
+                                 ConnectionFactory factory,
+                                 std::shared_ptr<Learner> learner)
+    : config_(std::move(config)),
+      credential_(std::move(credential)),
+      factory_(std::move(factory)),
+      learner_(std::move(learner)) {
+  if (!factory_) throw Error("FederatedClient: connection factory required");
+  if (!learner_) throw Error("FederatedClient: learner required");
+}
+
+void FederatedClient::ensure_connection() {
+  if (connection_) return;
+  if (!factory_) {
+    throw TransportError(credential_.name + ": connection lost and no factory");
+  }
+  connection_ = factory_();
+  if (!connection_) {
+    throw TransportError(credential_.name + ": connection factory returned null");
+  }
+}
+
+std::vector<std::uint8_t> FederatedClient::call_once(
     const std::vector<std::uint8_t>& frame) {
+  ensure_connection();
+  // Every attempt is re-sealed with a fresh sequence number, so a resend
+  // never trips the server's replay protection.
   const std::vector<std::uint8_t> sealed =
       seal(credential_.name, credential_.secret, seq_.next(), frame);
   const std::vector<std::uint8_t> sealed_response = connection_->call(sealed);
-  const Envelope env = open(sealed_response, credential_.secret);
+  Envelope env;
+  try {
+    env = open(sealed_response, credential_.secret);
+  } catch (const Error& e) {
+    // The response failed verification: corrupted in flight, or the server
+    // could not even identify us (its error was sealed under an empty
+    // key). Either way the request may not have taken effect — retry.
+    throw TransportError(credential_.name +
+                         ": response unverifiable: " + e.what());
+  }
   if (env.sender != "server") {
     throw ProtocolError("response not from server but '" + env.sender + "'");
   }
   server_seq_.check_and_advance(env.sender, env.sequence);
   if (peek_type(env.payload) == MsgType::kError) {
-    throw ProtocolError("server error: " + decode_error(env.payload).message);
+    const ErrorMessage err = decode_error(env.payload);
+    switch (err.code) {
+      case ErrorCode::kRetryable:
+        throw TransportError("server (retryable): " + err.message);
+      case ErrorCode::kUnknownSession:
+        throw UnknownSessionSignal{err.message};
+      case ErrorCode::kFatal:
+        break;
+    }
+    throw ProtocolError("server error: " + err.message);
   }
   return env.payload;
 }
 
-void FederatedClient::run() {
-  // ---- register ----------------------------------------------------------
-  const RegisterAck ack = decode_register_ack(
-      call(pack(RegisterRequest{credential_.name, credential_.token})));
-  if (!ack.accepted) {
-    throw ProtocolError("registration rejected for " + credential_.name + ": " +
-                        ack.message);
+std::vector<std::uint8_t> FederatedClient::call(const FrameBuilder& build_frame) {
+  core::Backoff backoff(config_.retry,
+                        config_.retry_seed ^ fnv1a(credential_.name));
+  std::int64_t session_recoveries = 0;
+  for (;;) {
+    try {
+      return call_once(build_frame());
+    } catch (const TransportError& e) {
+      transport_failures_ += 1;
+      if (!backoff.try_again()) {
+        logger().warn(credential_.name + " giving up after " +
+                      std::to_string(backoff.retries()) +
+                      " retries: " + e.what());
+        throw;
+      }
+      logger().warn(credential_.name + " transport failure (retry " +
+                    std::to_string(backoff.retries()) + "/" +
+                    std::to_string(config_.retry.max_retries) +
+                    "): " + e.what());
+      if (factory_ && connection_) {
+        // A broken socket cannot be told apart from a lost frame; rebuild
+        // the connection when we can and let the factory decide how.
+        connection_.reset();
+        reconnects_ += 1;
+      }
+    } catch (const UnknownSessionSignal& e) {
+      if (registering_ || ++session_recoveries > 3) {
+        throw ProtocolError(credential_.name +
+                            ": session repeatedly rejected: " + e.message);
+      }
+      logger().warn(credential_.name + " session unknown to server (" +
+                    e.message + "); re-registering");
+      reregistrations_ += 1;
+      register_session();
+    }
   }
-  session_id_ = ack.session_id;
+}
+
+void FederatedClient::register_session() {
+  registering_ = true;
+  try {
+    const RegisterAck ack = decode_register_ack(call(
+        [this] { return pack(RegisterRequest{credential_.name, credential_.token}); }));
+    registering_ = false;
+    if (!ack.accepted) {
+      throw ProtocolError("registration rejected for " + credential_.name +
+                          ": " + ack.message);
+    }
+    session_id_ = ack.session_id;
+  } catch (...) {
+    registering_ = false;
+    throw;
+  }
   logger().info("Successfully registered client:" + credential_.name +
                 " for project " + config_.job_id + ". Token:" + credential_.token);
+}
+
+void FederatedClient::run() {
+  // ---- register ----------------------------------------------------------
+  register_session();
 
   // ---- task loop ----------------------------------------------------------
+  core::BackoffPolicy idle_policy;
+  idle_policy.initial_ms = config_.poll_interval_ms;
+  idle_policy.max_ms =
+      std::max(config_.poll_interval_ms, config_.max_poll_interval_ms);
+  idle_policy.multiplier = 2.0;
+  idle_policy.max_retries = -1;  // polling is bounded by max_idle_ms instead
+  idle_policy.jitter = 0.0;
+  core::Backoff idle(idle_policy);
   std::int64_t idle_ms = 0;
   for (;;) {
-    const TaskMessage task = decode_task(call(pack(GetTaskRequest{session_id_})));
+    const TaskMessage task = decode_task(
+        call([this] { return pack(GetTaskRequest{session_id_}); }));
     if (task.task == TaskKind::kStop) {
       logger().info(credential_.name + " received stop; shutting down");
       return;
@@ -66,10 +183,10 @@ void FederatedClient::run() {
       if (config_.max_idle_ms > 0 && idle_ms >= config_.max_idle_ms) {
         throw TransportError(credential_.name + " idle for too long; aborting");
       }
-      std::this_thread::sleep_for(std::chrono::milliseconds(config_.poll_interval_ms));
-      idle_ms += config_.poll_interval_ms;
+      idle_ms += idle.sleep_next();
       continue;
     }
+    idle.reset();
     idle_ms = 0;
 
     FLContext ctx;
@@ -81,13 +198,16 @@ void FederatedClient::run() {
     Dxo update = learner_->train(task.payload, ctx);
     outbound_filters_.process(update, ctx);
 
-    const SubmitAck submit_ack = decode_submit_ack(
-        call(pack(SubmitUpdateRequest{session_id_, task.round, update})));
-    if (!submit_ack.accepted) {
+    const SubmitAck submit_ack = decode_submit_ack(call([this, &task, &update] {
+      return pack(SubmitUpdateRequest{session_id_, task.round, update});
+    }));
+    if (submit_ack.accepted || submit_ack.message == kDuplicateContribution) {
+      // A duplicate ack means an earlier attempt landed but its response
+      // was lost — the contribution is in, count the round.
+      rounds_participated_ += 1;
+    } else {
       logger().warn(credential_.name + " contribution rejected: " +
                     submit_ack.message);
-    } else {
-      rounds_participated_ += 1;
     }
   }
 }

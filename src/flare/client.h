@@ -4,12 +4,21 @@
 // `run()` loop is the client half of Fig. 3: register (token handshake),
 // poll for tasks, run local training, pass the result through the outbound
 // filter chain, submit, repeat until the server says stop.
+//
+// Resilience (DESIGN.md §9): transport failures (socket errors, dropped or
+// corrupted frames, retryable server errors) are retried with bounded
+// exponential backoff, reconnecting through the `ConnectionFactory` when
+// one is available; kUnknownSession errors trigger an idempotent
+// re-registration that resumes the session. Application-level protocol
+// errors stay fatal.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 
+#include "core/backoff.h"
 #include "flare/filters.h"
 #include "flare/learner.h"
 #include "flare/messages.h"
@@ -19,43 +28,85 @@
 
 namespace cppflare::flare {
 
+/// Builds a fresh connection to the server; called once lazily and again
+/// after every transport failure. May throw TransportError (counted against
+/// the same retry budget as a failed call).
+using ConnectionFactory = std::function<std::unique_ptr<Connection>()>;
+
 struct ClientConfig {
   std::string job_id = "simulator_server";
-  /// Sleep between polls when no task is available.
+  /// Idle polling backs off multiplicatively from poll_interval_ms up to
+  /// max_poll_interval_ms while the server has no task, and snaps back on
+  /// the next task — 8+ site simulations stop hammering the server lock.
   std::int64_t poll_interval_ms = 5;
+  std::int64_t max_poll_interval_ms = 100;
   /// Give up if the server stays silent this long (0 = never).
   std::int64_t max_idle_ms = 60000;
+  /// Retry schedule for transport-level failures (initial/max delay,
+  /// multiplier, retries per failed exchange, jitter fraction).
+  core::BackoffPolicy retry = {10, 2000, 2.0, 5, 0.2};
+  /// Seed for the retry jitter (combined with the site name), keeping
+  /// fault-injection runs reproducible.
+  std::uint64_t retry_seed = 0x9277;
 };
 
 class FederatedClient {
  public:
+  /// Single fixed connection (no reconnect on failure; retries re-use it).
   FederatedClient(ClientConfig config, Credential credential,
                   std::unique_ptr<Connection> connection,
                   std::shared_ptr<Learner> learner);
+  /// Reconnecting client: the factory is invoked lazily and again after
+  /// every transport failure.
+  FederatedClient(ClientConfig config, Credential credential,
+                  ConnectionFactory factory, std::shared_ptr<Learner> learner);
 
   /// Filters applied to every outbound contribution (privacy lives here).
   FilterChain& outbound_filters() { return outbound_filters_; }
 
   /// Blocking: registers and participates until the server stops the run.
-  /// Throws ProtocolError/TransportError on unrecoverable failures.
+  /// Throws ProtocolError on fatal protocol violations and TransportError
+  /// once the retry budget for a transport failure is exhausted.
   void run();
 
   std::int64_t rounds_participated() const { return rounds_participated_; }
+  /// Transport-level failures absorbed by the retry machinery (dropped or
+  /// corrupted frames, reconnects) over the client's lifetime.
+  std::int64_t transport_failures() const { return transport_failures_; }
+  std::int64_t reconnects() const { return reconnects_; }
+  std::int64_t reregistrations() const { return reregistrations_; }
   const std::string& site_name() const { return credential_.name; }
 
  private:
-  /// One authenticated round trip: seal, call, open, verify, unwrap errors.
-  std::vector<std::uint8_t> call(const std::vector<std::uint8_t>& frame);
+  /// Rebuilds the frame for each attempt (a re-registration mid-retry can
+  /// change the session id baked into it).
+  using FrameBuilder = std::function<std::vector<std::uint8_t>()>;
+
+  /// Resilient exchange: retries transport failures with backoff,
+  /// re-registers on kUnknownSession, throws on fatal errors.
+  std::vector<std::uint8_t> call(const FrameBuilder& build_frame);
+
+  /// One authenticated round trip: seal, call, open, verify, classify
+  /// errors into retryable (TransportError) vs fatal (ProtocolError).
+  std::vector<std::uint8_t> call_once(const std::vector<std::uint8_t>& frame);
+
+  void ensure_connection();
+  void register_session();
 
   ClientConfig config_;
   Credential credential_;
   std::unique_ptr<Connection> connection_;
+  ConnectionFactory factory_;
   std::shared_ptr<Learner> learner_;
   FilterChain outbound_filters_;
   SequenceSource seq_;
   SequenceTracker server_seq_;
   std::string session_id_;
   std::int64_t rounds_participated_ = 0;
+  std::int64_t transport_failures_ = 0;
+  std::int64_t reconnects_ = 0;
+  std::int64_t reregistrations_ = 0;
+  bool registering_ = false;
 };
 
 }  // namespace cppflare::flare

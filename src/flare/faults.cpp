@@ -1,0 +1,96 @@
+#include "flare/faults.h"
+
+#include "core/backoff.h"
+#include "core/error.h"
+#include "core/logging.h"
+
+namespace cppflare::flare {
+
+namespace {
+const core::Logger& logger() {
+  static core::Logger log("FaultInjector");
+  return log;
+}
+}  // namespace
+
+FaultyConnection::FaultyConnection(std::unique_ptr<Connection> inner,
+                                   FaultPlan plan,
+                                   std::shared_ptr<FaultStats> stats)
+    : inner_(std::move(inner)),
+      plan_(plan),
+      stats_(stats ? std::move(stats) : std::make_shared<FaultStats>()),
+      rng_(plan.seed) {
+  if (!inner_) throw Error("FaultyConnection: inner connection required");
+}
+
+bool FaultyConnection::faults_left() const {
+  return plan_.max_faults < 0 || injected_ < plan_.max_faults;
+}
+
+std::vector<std::uint8_t> FaultyConnection::call(
+    const std::vector<std::uint8_t>& request) {
+  if (!inner_) {
+    throw TransportError("fault: connection is down");
+  }
+  const std::int64_t index = call_index_++;
+  stats_->calls += 1;
+
+  // Draw every fault gate each call, whether or not it can fire — the rng
+  // stream position is then a function of the call index alone, so enabling
+  // one fault kind never shifts another kind's schedule.
+  const bool want_disconnect = rng_.bernoulli(plan_.disconnect_prob);
+  const bool want_drop = rng_.bernoulli(plan_.drop_prob);
+  const bool want_delay = rng_.bernoulli(plan_.delay_prob);
+  const bool want_duplicate = rng_.bernoulli(plan_.duplicate_prob);
+  const bool want_corrupt = rng_.bernoulli(plan_.corrupt_prob);
+
+  if ((want_disconnect || index == plan_.disconnect_on_call) && faults_left()) {
+    injected_ += 1;
+    stats_->disconnects += 1;
+    inner_.reset();
+    logger().warn("injected disconnect at call " + std::to_string(index));
+    throw TransportError("fault: connection lost");
+  }
+
+  bool drop_response = false;
+  if (want_drop && faults_left()) {
+    injected_ += 1;
+    if (drop_parity_++ % 2 == 0) {
+      stats_->dropped_requests += 1;
+      throw TransportError("fault: request dropped");
+    }
+    stats_->dropped_responses += 1;
+    drop_response = true;
+  }
+
+  if (want_delay && faults_left()) {
+    injected_ += 1;
+    stats_->delays += 1;
+    core::Backoff::sleep_ms(plan_.delay_ms);
+  }
+
+  std::vector<std::uint8_t> delivered = request;
+  if (want_corrupt && faults_left() && !delivered.empty()) {
+    injected_ += 1;
+    stats_->corruptions += 1;
+    const std::size_t byte = static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(delivered.size()) - 1));
+    const int bit = static_cast<int>(rng_.uniform_int(0, 7));
+    delivered[byte] ^= static_cast<std::uint8_t>(1u << bit);
+  }
+
+  std::vector<std::uint8_t> response = inner_->call(delivered);
+  if (want_duplicate && faults_left()) {
+    injected_ += 1;
+    stats_->duplicates += 1;
+    // The network replays the same sealed bytes; the receiver's sequence
+    // tracking rejects them, and that rejection never reaches the caller.
+    (void)inner_->call(delivered);
+  }
+  if (drop_response) {
+    throw TransportError("fault: response dropped");
+  }
+  return response;
+}
+
+}  // namespace cppflare::flare

@@ -73,6 +73,7 @@ std::vector<std::uint8_t> pack(const SubmitAck& m) {
 std::vector<std::uint8_t> pack(const ErrorMessage& m) {
   core::ByteWriter w = begin(MsgType::kError);
   w.write_string(m.message);
+  w.write_u8(static_cast<std::uint8_t>(m.code));
   return w.take();
 }
 
@@ -145,6 +146,11 @@ ErrorMessage decode_error(const std::vector<std::uint8_t>& frame) {
   core::ByteReader r = expect(frame, MsgType::kError);
   ErrorMessage m;
   m.message = r.read_string();
+  const std::uint8_t code = r.read_u8();
+  if (code > static_cast<std::uint8_t>(ErrorCode::kUnknownSession)) {
+    throw ProtocolError("bad error code");
+  }
+  m.code = static_cast<ErrorCode>(code);
   return m;
 }
 

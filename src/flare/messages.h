@@ -65,9 +65,29 @@ struct SubmitAck {
   std::string message;
 };
 
+/// How a client should react to a server-reported error (the retryable vs
+/// fatal taxonomy — see DESIGN.md §9).
+enum class ErrorCode : std::uint8_t {
+  /// Application-level protocol violation (bad token, unexpected message):
+  /// retrying cannot help, the client must abort.
+  kFatal = 0,
+  /// The frame was damaged or replayed in flight (MAC mismatch, malformed
+  /// envelope, sequence violation): re-seal and resend.
+  kRetryable = 1,
+  /// The server does not know the client's session (restart or eviction):
+  /// re-register, then resend.
+  kUnknownSession = 2,
+};
+
 struct ErrorMessage {
   std::string message;
+  ErrorCode code = ErrorCode::kFatal;
 };
+
+/// SubmitAck message for a contribution the server already holds. A client
+/// that retried a submit whose response was lost treats this as success
+/// (at-least-once delivery with server-side dedup).
+inline constexpr const char* kDuplicateContribution = "duplicate contribution";
 
 // ---- encoding -----------------------------------------------------------
 // pack_* produce a full tagged frame; `peek_type` reads the tag; decode_*

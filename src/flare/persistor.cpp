@@ -10,15 +10,44 @@
 namespace cppflare::flare {
 
 namespace {
-constexpr std::uint32_t kCheckpointMagic = 0x43504b31;  // "CPK1"
+constexpr std::uint32_t kCheckpointMagicV1 = 0x43504b31;  // "CPK1"
+constexpr std::uint32_t kCheckpointMagicV2 = 0x43504b32;  // "CPK2"
+
+void write_metrics(core::ByteWriter& w, const RoundMetrics& m) {
+  w.write_i64(m.round);
+  w.write_i64(m.num_contributions);
+  w.write_i64(m.total_samples);
+  w.write_f64(m.train_loss);
+  w.write_f64(m.valid_acc);
+  w.write_f64(m.valid_loss);
+  w.write_i64(m.late_contributions);
+  w.write_i64(m.evicted_sites);
+  w.write_bool(m.deadline_fired);
 }
+
+RoundMetrics read_metrics(core::ByteReader& r) {
+  RoundMetrics m;
+  m.round = r.read_i64();
+  m.num_contributions = r.read_i64();
+  m.total_samples = r.read_i64();
+  m.train_loss = r.read_f64();
+  m.valid_acc = r.read_f64();
+  m.valid_loss = r.read_f64();
+  m.late_contributions = r.read_i64();
+  m.evicted_sites = r.read_i64();
+  m.deadline_fired = r.read_bool();
+  return m;
+}
+}  // namespace
 
 void ModelPersistor::save(const Checkpoint& checkpoint) const {
   core::ByteWriter w;
-  w.write_u32(kCheckpointMagic);
+  w.write_u32(kCheckpointMagicV2);
   w.write_string(checkpoint.job_id);
   w.write_i64(checkpoint.round);
   checkpoint.model.serialize(w);
+  w.write_u32(static_cast<std::uint32_t>(checkpoint.history.size()));
+  for (const RoundMetrics& m : checkpoint.history) write_metrics(w, m);
 
   const std::string tmp = path_ + ".tmp";
   {
@@ -37,7 +66,8 @@ std::optional<Checkpoint> ModelPersistor::load() const {
   std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
                                   std::istreambuf_iterator<char>());
   core::ByteReader r(bytes);
-  if (r.read_u32() != kCheckpointMagic) {
+  const std::uint32_t magic = r.read_u32();
+  if (magic != kCheckpointMagicV1 && magic != kCheckpointMagicV2) {
     throw SerializationError("ModelPersistor: bad checkpoint magic in '" + path_ +
                              "'");
   }
@@ -45,6 +75,11 @@ std::optional<Checkpoint> ModelPersistor::load() const {
   cp.job_id = r.read_string();
   cp.round = r.read_i64();
   cp.model = nn::StateDict::deserialize(r);
+  if (magic == kCheckpointMagicV2) {
+    const std::uint32_t count = r.read_u32();
+    cp.history.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) cp.history.push_back(read_metrics(r));
+  }
   return cp;
 }
 

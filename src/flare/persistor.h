@@ -2,28 +2,37 @@
 //
 // Saves the global StateDict plus round/job metadata to a single binary
 // file, atomically (write to a temp file, then rename), so a crashed run
-// never leaves a torn checkpoint behind.
+// never leaves a torn checkpoint behind. Format v2 ("CPK2") also carries
+// the per-round metrics history, which is what lets a restarted server
+// resume from the last completed round instead of round 0; v1 files still
+// load (with an empty history).
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
+#include "flare/aggregator.h"
 #include "nn/state_dict.h"
 
 namespace cppflare::flare {
 
 struct Checkpoint {
   std::string job_id;
+  /// Index of the last *completed* round; a resumed server starts at
+  /// round + 1.
   std::int64_t round = 0;
   nn::StateDict model;
+  /// Metrics for rounds 0..round (aggregation state for mid-run resume).
+  std::vector<RoundMetrics> history;
 };
 
 class ModelPersistor {
  public:
   explicit ModelPersistor(std::string path) : path_(std::move(path)) {}
 
-  /// Atomically writes the checkpoint.
+  /// Atomically writes the checkpoint (always in the v2 format).
   void save(const Checkpoint& checkpoint) const;
 
   /// Loads the checkpoint; std::nullopt if the file does not exist.

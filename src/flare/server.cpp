@@ -1,5 +1,6 @@
 #include "flare/server.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "core/error.h"
@@ -17,13 +18,21 @@ const core::Logger& sag_log() {
   static core::Logger log("ScatterAndGather");
   return log;
 }
+
+/// The sender is authenticated but its session is gone (server restart or
+/// eviction followed by session loss). Mapped to ErrorCode::kUnknownSession
+/// so clients know to re-register instead of aborting.
+struct UnknownSessionError : public ProtocolError {
+  using ProtocolError::ProtocolError;
+};
 }  // namespace
 
 FederatedServer::FederatedServer(ServerConfig config,
                                  std::map<std::string, Credential> registry,
                                  nn::StateDict initial_model,
                                  std::unique_ptr<Aggregator> aggregator,
-                                 std::shared_ptr<ModelPersistor> persistor)
+                                 std::shared_ptr<ModelPersistor> persistor,
+                                 std::optional<Checkpoint> resume)
     : config_(std::move(config)),
       registry_(std::move(registry)),
       persistor_(std::move(persistor)),
@@ -31,7 +40,24 @@ FederatedServer::FederatedServer(ServerConfig config,
       aggregator_(std::move(aggregator)) {
   if (!aggregator_) throw Error("FederatedServer: aggregator required");
   if (config_.num_rounds <= 0) throw Error("FederatedServer: num_rounds must be > 0");
-  aggregator_->reset(global_, 0);
+  if (resume.has_value()) {
+    if (resume->job_id != config_.job_id) {
+      throw ConfigError("FederatedServer: checkpoint is for job '" +
+                        resume->job_id + "', not '" + config_.job_id + "'");
+    }
+    global_ = std::move(resume->model);
+    history_ = std::move(resume->history);
+    round_ = resume->round + 1;
+    sag_log().info("Resuming job " + config_.job_id + " from checkpointed round " +
+                   std::to_string(resume->round) + " (next round " +
+                   std::to_string(round_) + " of " +
+                   std::to_string(config_.num_rounds) + ")");
+    if (round_ >= config_.num_rounds) {
+      finished_ = true;
+      return;
+    }
+  }
+  aggregator_->reset(global_, round_);
 }
 
 Dispatcher FederatedServer::dispatcher() {
@@ -40,40 +66,55 @@ Dispatcher FederatedServer::dispatcher() {
   };
 }
 
+std::vector<std::uint8_t> FederatedServer::seal_as_server(
+    const std::string& sender, const std::vector<std::uint8_t>& key,
+    const std::vector<std::uint8_t>& body) {
+  std::uint64_t seq;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    seq = ++outbound_seq_[sender];
+  }
+  return seal("server", key, seq, body);
+}
+
 std::vector<std::uint8_t> FederatedServer::handle_sealed(
     const std::vector<std::uint8_t>& request) {
   std::string sender;
+  std::vector<std::uint8_t> key;
   try {
     sender = peek_sender(request);
     auto cred_it = registry_.find(sender);
     if (cred_it == registry_.end()) {
       throw ProtocolError("unknown participant '" + sender + "'");
     }
-    const Envelope env = open(request, cred_it->second.secret);
-    inbound_seq_.check_and_advance(sender, env.sequence);
-    const std::vector<std::uint8_t> response = handle_frame(sender, env.payload);
-    std::uint64_t seq;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      seq = ++outbound_seq_[sender];
+    key = cred_it->second.secret;
+    Envelope env;
+    try {
+      env = open(request, key);
+      inbound_seq_.check_and_advance(sender, env.sequence);
+    } catch (const std::exception& e) {
+      // The frame failed verification *before* it was trusted: a corrupted,
+      // truncated, or replayed envelope. That is damage in flight, not a
+      // misbehaving application — tell the client to re-seal and resend.
+      return seal_as_server(
+          sender, key, pack(ErrorMessage{e.what(), ErrorCode::kRetryable}));
     }
-    return seal("server", cred_it->second.secret, seq, response);
+    record_liveness(sender);
+    const std::vector<std::uint8_t> response = handle_frame(sender, env.payload);
+    return seal_as_server(sender, key, response);
+  } catch (const UnknownSessionError& e) {
+    return seal_as_server(sender, key,
+                          pack(ErrorMessage{e.what(), ErrorCode::kUnknownSession}));
+  } catch (const TransportError& e) {
+    return seal_as_server(sender, key,
+                          pack(ErrorMessage{e.what(), ErrorCode::kRetryable}));
   } catch (const std::exception& e) {
     // Errors to authenticated-but-misbehaving peers are sealed too when we
     // know the key; otherwise send a plain error envelope under an empty
     // key (the client will fail verification, which is the right outcome
     // for an unknown sender).
-    const std::vector<std::uint8_t> body = pack(ErrorMessage{e.what()});
-    auto cred_it = registry_.find(sender);
-    const std::vector<std::uint8_t> key =
-        cred_it == registry_.end() ? std::vector<std::uint8_t>{}
-                                   : cred_it->second.secret;
-    std::uint64_t seq;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      seq = ++outbound_seq_[sender];
-    }
-    return seal("server", key, seq, body);
+    return seal_as_server(sender, key,
+                          pack(ErrorMessage{e.what(), ErrorCode::kFatal}));
   }
 }
 
@@ -91,6 +132,15 @@ std::vector<std::uint8_t> FederatedServer::handle_frame(
   }
 }
 
+void FederatedServer::record_liveness(const std::string& sender) {
+  std::lock_guard<std::mutex> lock(mu_);
+  last_seen_[sender] = std::chrono::steady_clock::now();
+  if (evicted_.erase(sender) != 0) {
+    client_manager_log().info("Site " + sender +
+                              " seen again; re-admitted to the quorum");
+  }
+}
+
 std::vector<std::uint8_t> FederatedServer::on_register(const std::string& sender,
                                                        const RegisterRequest& req) {
   if (req.site_name != sender) {
@@ -102,20 +152,28 @@ std::vector<std::uint8_t> FederatedServer::on_register(const std::string& sender
     return pack(RegisterAck{false, "", "invalid token"});
   }
   std::lock_guard<std::mutex> lock(mu_);
+  auto existing = sessions_.find(sender);
+  if (existing != sessions_.end()) {
+    // Idempotent re-registration: a client that reconnected resumes its
+    // session (and sequence state) instead of forking a second identity.
+    client_manager_log().info("Client " + sender +
+                              " re-registered; resuming session " +
+                              existing->second);
+    return pack(RegisterAck{
+        true, existing->second,
+        "Resumed session for client:" + sender + " in project " + config_.job_id});
+  }
   const std::string session =
       "sess-" + std::to_string(++session_counter_) + "-" + sender;
   sessions_[sender] = session;
   client_manager_log().info(
       "Client: New client " + sender + "@127.0.0.1 joined. Sent token: " +
       cred.token + ". Total clients: " + std::to_string(sessions_.size()));
-  if (!started_ &&
+  if (!started_ && !finished_ && !aborted_ &&
       static_cast<std::int64_t>(sessions_.size()) >= config_.expected_clients) {
     started_ = true;
-    round_start_ = std::chrono::steady_clock::now();
-    sample_round_participants_locked();
-    sag_log().info("Round " + std::to_string(round_) + " started.");
     events_.fire(EventType::kStartRun, make_context_locked());
-    events_.fire(EventType::kRoundStarted, make_context_locked());
+    start_round_locked();
   }
   return pack(RegisterAck{
       true, session,
@@ -128,13 +186,13 @@ std::vector<std::uint8_t> FederatedServer::on_get_task(const std::string& sender
   std::lock_guard<std::mutex> lock(mu_);
   auto it = sessions_.find(sender);
   if (it == sessions_.end() || it->second != req.session_id) {
-    throw ProtocolError("get_task: no active session for '" + sender + "'");
+    throw UnknownSessionError("get_task: no active session for '" + sender + "'");
   }
   maybe_close_round_locked();
   TaskMessage task;
   task.total_rounds = config_.num_rounds;
   task.round = round_;
-  if (finished_) {
+  if (finished_ || aborted_) {
     task.task = TaskKind::kStop;
   } else if (!started_ || submitted_.count(sender) != 0 ||
              !participates_locked(sender)) {
@@ -152,17 +210,27 @@ std::vector<std::uint8_t> FederatedServer::on_submit(const std::string& sender,
   std::lock_guard<std::mutex> lock(mu_);
   auto it = sessions_.find(sender);
   if (it == sessions_.end() || it->second != req.session_id) {
-    throw ProtocolError("submit: no active session for '" + sender + "'");
+    throw UnknownSessionError("submit: no active session for '" + sender + "'");
   }
   if (finished_) return pack(SubmitAck{false, "run already finished"});
+  if (aborted_) return pack(SubmitAck{false, "run aborted"});
   if (req.round != round_) {
     sag_log().warn("Stale contribution from " + sender + " for round " +
                    std::to_string(req.round) + " (current " +
                    std::to_string(round_) + ")");
+    if (req.round >= 0 &&
+        req.round < static_cast<std::int64_t>(history_.size())) {
+      // The round it was meant for already closed (deadline or eviction):
+      // count it as late telemetry on that round's history entry.
+      history_[static_cast<std::size_t>(req.round)].late_contributions += 1;
+    }
     return pack(SubmitAck{false, "stale round"});
   }
   if (submitted_.count(sender) != 0) {
-    return pack(SubmitAck{false, "duplicate contribution"});
+    // At-least-once delivery: the first submit landed but its ack was lost
+    // and the client resent. Dedup here; the client maps this message back
+    // to success.
+    return pack(SubmitAck{false, kDuplicateContribution});
   }
   if (!participates_locked(sender)) {
     return pack(SubmitAck{false, "not sampled for this round"});
@@ -175,11 +243,7 @@ std::vector<std::uint8_t> FederatedServer::on_submit(const std::string& sender,
     return pack(SubmitAck{false, "rejected by aggregator"});
   }
   submitted_.insert(sender);
-  if (aggregator_->accepted_count() >= round_quorum_locked()) {
-    finish_round_locked();
-  } else {
-    maybe_close_round_locked();
-  }
+  maybe_close_round_locked();
   return pack(SubmitAck{true, "accepted"});
 }
 
@@ -191,11 +255,21 @@ FLContext FederatedServer::make_context_locked() const {
   return ctx;
 }
 
-void FederatedServer::finish_round_locked() {
+void FederatedServer::start_round_locked() {
+  round_start_ = std::chrono::steady_clock::now();
+  sample_round_participants_locked();
+  sag_log().info("Round " + std::to_string(round_) + " started.");
+  events_.fire(EventType::kRoundStarted, make_context_locked());
+}
+
+void FederatedServer::finish_round_locked(bool deadline_fired) {
   events_.fire(EventType::kBeforeAggregation, make_context_locked());
   sag_log().info("End aggregation.");
   global_ = aggregator_->aggregate();
-  history_.push_back(aggregator_->metrics());
+  RoundMetrics metrics = aggregator_->metrics();
+  metrics.evicted_sites = static_cast<std::int64_t>(evicted_.size());
+  metrics.deadline_fired = deadline_fired;
+  history_.push_back(metrics);
   events_.fire(EventType::kAfterAggregation, make_context_locked());
   for (const RoundObserver& observer : round_observers_) {
     observer(round_, global_, history_.back());
@@ -203,7 +277,7 @@ void FederatedServer::finish_round_locked() {
 
   if (persistor_) {
     sag_log().info("Start persist model on server.");
-    persistor_->save({config_.job_id, round_, global_});
+    persistor_->save({config_.job_id, round_, global_, history_});
     sag_log().info("End persist model on server.");
   }
   sag_log().info("Round " + std::to_string(round_) + " finished.");
@@ -217,25 +291,72 @@ void FederatedServer::finish_round_locked() {
     finished_cv_.notify_all();
   } else {
     aggregator_->reset(global_, round_);
-    round_start_ = std::chrono::steady_clock::now();
-    sample_round_participants_locked();
-    sag_log().info("Round " + std::to_string(round_) + " started.");
-    events_.fire(EventType::kRoundStarted, make_context_locked());
+    start_round_locked();
   }
 }
 
 void FederatedServer::maybe_close_round_locked() {
-  if (finished_ || !started_ || config_.round_deadline_ms <= 0) return;
-  if (aggregator_->accepted_count() < config_.min_clients) return;
-  if (aggregator_->accepted_count() >= round_quorum_locked()) return;  // closes anyway
+  if (finished_ || aborted_ || !started_) return;
+  evict_stragglers_locked();
+  const std::int64_t accepted = aggregator_->accepted_count();
+  if (accepted >= round_quorum_locked()) {
+    finish_round_locked(/*deadline_fired=*/false);
+    return;
+  }
+  if (config_.round_deadline_ms <= 0) return;
   const auto age = std::chrono::duration_cast<std::chrono::milliseconds>(
                        std::chrono::steady_clock::now() - round_start_)
                        .count();
   if (age < config_.round_deadline_ms) return;
-  sag_log().warn("Round " + std::to_string(round_) + " deadline exceeded; closing with " +
-                 std::to_string(aggregator_->accepted_count()) + " of " +
-                 std::to_string(round_quorum_locked()) + " contributions");
-  finish_round_locked();
+  const std::int64_t required = min_required_locked();
+  if (accepted >= required) {
+    sag_log().warn("Round " + std::to_string(round_) +
+                   " deadline exceeded; closing with " +
+                   std::to_string(accepted) + " of " +
+                   std::to_string(round_quorum_locked()) + " contributions");
+    finish_round_locked(/*deadline_fired=*/true);
+  } else {
+    abort_run_locked("round " + std::to_string(round_) +
+                     " deadline exceeded with " + std::to_string(accepted) +
+                     " contribution(s), below min_clients=" +
+                     std::to_string(required));
+  }
+}
+
+void FederatedServer::evict_stragglers_locked() {
+  if (config_.liveness_timeout_ms <= 0 || !started_) return;
+  const auto now = std::chrono::steady_clock::now();
+  for (const auto& [site, session] : sessions_) {
+    if (submitted_.count(site) != 0 || evicted_.count(site) != 0 ||
+        !participates_locked(site)) {
+      continue;
+    }
+    const auto seen = last_seen_.find(site);
+    if (seen == last_seen_.end()) continue;
+    const auto silent = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            now - seen->second)
+                            .count();
+    if (silent >= config_.liveness_timeout_ms) {
+      evicted_.insert(site);
+      client_manager_log().warn(
+          "Site " + site + " unseen for " + std::to_string(silent) +
+          " ms; evicted from the round " + std::to_string(round_) + " quorum");
+    }
+  }
+}
+
+void FederatedServer::abort_run_locked(const std::string& reason) {
+  if (finished_ || aborted_) return;
+  aborted_ = true;
+  abort_reason_ = reason;
+  sag_log().error("Run aborted: " + reason);
+  events_.fire(EventType::kEndRun, make_context_locked());
+  finished_cv_.notify_all();
+}
+
+void FederatedServer::abort(const std::string& reason) {
+  std::lock_guard<std::mutex> lock(mu_);
+  abort_run_locked(reason);
 }
 
 void FederatedServer::sample_round_participants_locked() {
@@ -263,9 +384,35 @@ bool FederatedServer::participates_locked(const std::string& site) const {
   return sampled_.empty() || sampled_.count(site) != 0;
 }
 
+std::int64_t FederatedServer::participant_count_locked() const {
+  return sampled_.empty() ? static_cast<std::int64_t>(sessions_.size())
+                          : static_cast<std::int64_t>(sampled_.size());
+}
+
+std::int64_t FederatedServer::live_participant_count_locked() const {
+  std::int64_t live = 0;
+  if (sampled_.empty()) {
+    for (const auto& [site, session] : sessions_) {
+      if (evicted_.count(site) == 0) live += 1;
+    }
+  } else {
+    for (const std::string& site : sampled_) {
+      if (evicted_.count(site) == 0) live += 1;
+    }
+  }
+  return live;
+}
+
+std::int64_t FederatedServer::min_required_locked() const {
+  // min_clients cannot demand more sites than this round even has.
+  return std::max<std::int64_t>(
+      1, std::min(config_.min_clients, participant_count_locked()));
+}
+
 std::int64_t FederatedServer::round_quorum_locked() const {
-  if (!sampled_.empty()) return static_cast<std::int64_t>(sampled_.size());
-  return config_.min_clients;
+  // Wait for every live participant, but never close below the
+  // graceful-degradation floor even when eviction thinned the round out.
+  return std::max(min_required_locked(), live_participant_count_locked());
 }
 
 bool FederatedServer::finished() const {
@@ -273,10 +420,21 @@ bool FederatedServer::finished() const {
   return finished_;
 }
 
+bool FederatedServer::aborted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return aborted_;
+}
+
+std::string FederatedServer::abort_reason() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return abort_reason_;
+}
+
 bool FederatedServer::wait_until_finished(std::int64_t timeout_ms) const {
   std::unique_lock<std::mutex> lock(mu_);
-  return finished_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
-                               [this] { return finished_; });
+  finished_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                        [this] { return finished_ || aborted_; });
+  return finished_ && !aborted_;
 }
 
 nn::StateDict FederatedServer::global_model() const {
@@ -297,6 +455,11 @@ std::int64_t FederatedServer::current_round() const {
 std::int64_t FederatedServer::registered_clients() const {
   std::lock_guard<std::mutex> lock(mu_);
   return static_cast<std::int64_t>(sessions_.size());
+}
+
+std::vector<std::string> FederatedServer::evicted_sites() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<std::string>(evicted_.begin(), evicted_.end());
 }
 
 }  // namespace cppflare::flare

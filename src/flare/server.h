@@ -6,6 +6,12 @@
 // through the filter chain into the aggregator, aggregates when everyone
 // has reported, persists the model, and advances. All entry points are
 // thread-safe; transports call `dispatcher()` from any number of threads.
+//
+// Failure model (DESIGN.md §9): per-round deadlines close a round with at
+// least `min_clients` contributions (or abort the run below that), sites
+// unseen past the liveness timeout are evicted from the quorum and
+// re-admitted on their next authenticated frame, and a server restarted
+// from a Checkpoint resumes at the round after the last completed one.
 #pragma once
 
 #include <chrono>
@@ -14,6 +20,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -32,7 +39,10 @@ namespace cppflare::flare {
 struct ServerConfig {
   std::string job_id = "simulator_server";
   std::int64_t num_rounds = 10;
-  /// Contributions required to close a round; normally the client count.
+  /// Graceful-degradation floor: a round that hits its deadline closes with
+  /// at least this many contributions; below it the run aborts. Capped by
+  /// the round's participant count, so leaving it at the client count means
+  /// "wait for everyone".
   std::int64_t min_clients = 8;
   /// Clients that must register before train tasks are issued.
   std::int64_t expected_clients = 8;
@@ -41,18 +51,27 @@ struct ServerConfig {
   /// train tasks and the round closes after that many contributions.
   std::int64_t clients_per_round = 0;
   std::uint64_t sampling_seed = 1337;
-  /// Straggler handling: when > 0, a round older than this may close with
-  /// only `min_clients` contributions instead of waiting for everyone.
-  /// Checked lazily on client traffic (no timer thread).
+  /// Straggler handling: when > 0, a round older than this closes with
+  /// `min_clients`..quorum contributions — or aborts the run if even
+  /// `min_clients` have not reported. Checked lazily on client traffic
+  /// (no timer thread).
   std::int64_t round_deadline_ms = 0;
+  /// Dead-site handling: when > 0, a participant unseen for this long while
+  /// a round is open is evicted — it stops counting toward the quorum until
+  /// its next authenticated frame re-admits it. Checked lazily on traffic.
+  std::int64_t liveness_timeout_ms = 0;
 };
 
 class FederatedServer {
  public:
+  /// `resume` restores a checkpointed run: the global model, metrics
+  /// history, and round counter continue from `resume->round + 1` instead
+  /// of round 0 (throws ConfigError on a job_id mismatch).
   FederatedServer(ServerConfig config, std::map<std::string, Credential> registry,
                   nn::StateDict initial_model,
                   std::unique_ptr<Aggregator> aggregator,
-                  std::shared_ptr<ModelPersistor> persistor = nullptr);
+                  std::shared_ptr<ModelPersistor> persistor = nullptr,
+                  std::optional<Checkpoint> resume = std::nullopt);
 
   /// The sealed-bytes entry point for transports. The returned callable
   /// keeps *this alive only as long as the server object; do not use it
@@ -81,19 +100,33 @@ class FederatedServer {
     add_round_observer(std::move(observer));
   }
 
+  /// Kills the run: polling clients receive kStop, waiters wake with false.
+  /// Used when an operator (or a crash-simulation harness) tears the run
+  /// down mid-flight; also taken internally when a round deadline passes
+  /// below `min_clients`.
+  void abort(const std::string& reason);
+
   bool finished() const;
-  /// Blocks until the run completes. Returns false on timeout.
+  bool aborted() const;
+  std::string abort_reason() const;
+  /// Blocks until the run completes or aborts. Returns false on timeout or
+  /// abort (see abort_reason()); true only for a successful finish.
   bool wait_until_finished(std::int64_t timeout_ms) const;
 
   nn::StateDict global_model() const;
   std::vector<RoundMetrics> history() const;
   std::int64_t current_round() const;
   std::int64_t registered_clients() const;
+  /// Sites currently evicted by the liveness tracker.
+  std::vector<std::string> evicted_sites() const;
 
  private:
   std::vector<std::uint8_t> handle_sealed(const std::vector<std::uint8_t>& request);
   std::vector<std::uint8_t> handle_frame(const std::string& sender,
                                          const std::vector<std::uint8_t>& frame);
+  std::vector<std::uint8_t> seal_as_server(const std::string& sender,
+                                           const std::vector<std::uint8_t>& key,
+                                           const std::vector<std::uint8_t>& body);
 
   std::vector<std::uint8_t> on_register(const std::string& sender,
                                         const RegisterRequest& req);
@@ -103,10 +136,17 @@ class FederatedServer {
                                       const SubmitUpdateRequest& req);
 
   FLContext make_context_locked() const;
-  void finish_round_locked();
+  void start_round_locked();
+  void finish_round_locked(bool deadline_fired);
   void maybe_close_round_locked();
+  void evict_stragglers_locked();
+  void abort_run_locked(const std::string& reason);
+  void record_liveness(const std::string& sender);
   void sample_round_participants_locked();
   bool participates_locked(const std::string& site) const;
+  std::int64_t participant_count_locked() const;
+  std::int64_t live_participant_count_locked() const;
+  std::int64_t min_required_locked() const;
   std::int64_t round_quorum_locked() const;
 
   ServerConfig config_;
@@ -123,10 +163,14 @@ class FederatedServer {
   std::map<std::string, std::string> sessions_;  // site -> session id
   std::set<std::string> submitted_;              // sites done this round
   std::set<std::string> sampled_;                // this round's participants
+  std::map<std::string, std::chrono::steady_clock::time_point> last_seen_;
+  std::set<std::string> evicted_;                // unseen past the timeout
   std::int64_t round_ = 0;
   std::chrono::steady_clock::time_point round_start_{};
   bool started_ = false;
   bool finished_ = false;
+  bool aborted_ = false;
+  std::string abort_reason_;
   std::vector<RoundMetrics> history_;
   SequenceTracker inbound_seq_;
   std::map<std::string, std::uint64_t> outbound_seq_;

@@ -1,6 +1,7 @@
 #include "flare/simulator.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <thread>
 
@@ -29,16 +30,31 @@ SimulatorRunner::SimulatorRunner(SimulatorConfig config, nn::StateDict initial_m
   if (!config_.persist_path.empty()) {
     persistor_ = std::make_shared<ModelPersistor>(config_.persist_path);
   }
+  std::optional<Checkpoint> resume;
+  if (persistor_ && config_.resume) {
+    if (const std::optional<Checkpoint> cpk = persistor_->load()) {
+      resume = *cpk;
+      resumed_from_round_ = cpk->round;
+      logger().info("Resuming job " + cpk->job_id + " from completed round " +
+                    std::to_string(cpk->round));
+    } else {
+      logger().info("resume requested but no checkpoint at " +
+                    config_.persist_path + "; starting fresh");
+    }
+  }
   ServerConfig server_config;
   server_config.job_id = config_.job_id;
   server_config.num_rounds = config_.num_rounds;
-  server_config.min_clients = config_.num_clients;
+  server_config.min_clients =
+      config_.min_clients > 0 ? config_.min_clients : config_.num_clients;
   server_config.expected_clients = config_.num_clients;
   server_config.clients_per_round = config_.clients_per_round;
   server_config.sampling_seed = config_.seed ^ 0xc11e;
-  server_ = std::make_unique<FederatedServer>(server_config, registry_,
-                                              std::move(initial_model),
-                                              std::move(aggregator), persistor_);
+  server_config.round_deadline_ms = config_.round_deadline_ms;
+  server_config.liveness_timeout_ms = config_.liveness_timeout_ms;
+  server_ = std::make_unique<FederatedServer>(
+      server_config, registry_, std::move(initial_model), std::move(aggregator),
+      persistor_, std::move(resume));
 }
 
 SimulationResult SimulatorRunner::run() {
@@ -69,11 +85,29 @@ SimulationResult SimulatorRunner::run() {
                   std::to_string(tcp_server->port()));
   }
 
-  auto make_connection = [&]() -> std::unique_ptr<Connection> {
-    if (config_.use_tcp) {
-      return std::make_unique<TcpConnection>("127.0.0.1", tcp_server->port());
-    }
-    return std::make_unique<InProcConnection>(server_->dispatcher());
+  // Each site gets a ConnectionFactory so the client can reconnect after a
+  // transport failure. `incarnation` counts connections per site (0 = first),
+  // letting a FaultPlanner hand out, say, a lossy first connection and a
+  // clean replacement.
+  auto make_factory = [&, this](std::int64_t index,
+                                const std::string& name) -> ConnectionFactory {
+    auto incarnation = std::make_shared<std::atomic<std::int64_t>>(0);
+    return [this, &tcp_server, index, name,
+            incarnation]() -> std::unique_ptr<Connection> {
+      std::unique_ptr<Connection> conn;
+      if (config_.use_tcp) {
+        conn = std::make_unique<TcpConnection>("127.0.0.1", tcp_server->port());
+      } else {
+        conn = std::make_unique<InProcConnection>(server_->dispatcher());
+      }
+      const std::int64_t n = incarnation->fetch_add(1);
+      if (fault_planner_) {
+        if (const std::optional<FaultPlan> plan = fault_planner_(index, name, n)) {
+          conn = std::make_unique<FaultyConnection>(std::move(conn), *plan);
+        }
+      }
+      return conn;
+    };
   };
 
   std::vector<std::unique_ptr<FederatedClient>> clients;
@@ -82,8 +116,10 @@ SimulationResult SimulatorRunner::run() {
     ClientConfig client_config;
     client_config.job_id = config_.job_id;
     client_config.max_idle_ms = config_.timeout_ms;
+    client_config.max_poll_interval_ms = config_.max_poll_interval_ms;
+    client_config.retry = config_.client_retry;
     auto client = std::make_unique<FederatedClient>(
-        client_config, registry_.at(name), make_connection(), factory_(i, name));
+        client_config, registry_.at(name), make_factory(i, name), factory_(i, name));
     if (customizer_) customizer_(*client);
     clients.push_back(std::move(client));
   }
@@ -91,6 +127,8 @@ SimulationResult SimulatorRunner::run() {
   // One worker per site, as SimulatorRunner multiplexes clients. A scoped
   // pool (not raw std::thread) so site workers are accounted for in the same
   // machine-division story as the compute pool above.
+  std::vector<std::string> failed_sites;
+  std::exception_ptr first_failure;
   {
     core::ThreadPool site_pool(clients.size());
     std::vector<std::future<void>> done;
@@ -98,30 +136,50 @@ SimulationResult SimulatorRunner::run() {
     for (std::size_t i = 0; i < clients.size(); ++i) {
       done.push_back(site_pool.submit([&, i] { clients[i]->run(); }));
     }
-    std::exception_ptr first_failure;
     for (std::size_t i = 0; i < done.size(); ++i) {
       try {
         done[i].get();
       } catch (...) {
         logger().error("client " + clients[i]->site_name() + " failed");
+        failed_sites.push_back(clients[i]->site_name());
         if (!first_failure) first_failure = std::current_exception();
       }
     }
-    if (first_failure) std::rethrow_exception(first_failure);
   }
-  if (!server_->wait_until_finished(config_.timeout_ms)) {
+  const bool success = server_->wait_until_finished(config_.timeout_ms);
+  if (tcp_server) tcp_server->stop();
+  if (!success && !server_->aborted()) {
+    // Nothing to salvage: the server neither finished nor aborted. Failed
+    // clients are the likeliest cause — surface the first one.
+    if (static_cast<std::int64_t>(failed_sites.size()) >= config_.num_clients &&
+        first_failure) {
+      std::rethrow_exception(first_failure);
+    }
+    if (first_failure) std::rethrow_exception(first_failure);
     throw Error("SimulatorRunner: run did not finish within timeout");
   }
-  if (tcp_server) tcp_server->stop();
+  // A degraded but completed run (some clients failed, quorum still met) and
+  // an aborted run both report through the result instead of throwing.
 
   SimulationResult result;
   result.final_model = server_->global_model();
   result.history = server_->history();
+  result.aborted = server_->aborted();
+  result.abort_reason = server_->abort_reason();
+  result.failed_sites = std::move(failed_sites);
+  result.resumed_from_round = resumed_from_round_;
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
-  logger().info("Simulation finished in " + std::to_string(result.wall_seconds) +
-                " s over " + std::to_string(config_.num_rounds) + " rounds");
+  if (result.aborted) {
+    logger().error("Simulation aborted after " +
+                   std::to_string(result.wall_seconds) +
+                   " s: " + result.abort_reason);
+  } else {
+    logger().info("Simulation finished in " +
+                  std::to_string(result.wall_seconds) + " s over " +
+                  std::to_string(config_.num_rounds) + " rounds");
+  }
   return result;
 }
 

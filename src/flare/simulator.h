@@ -5,17 +5,22 @@
 // ScatterAndGather workflow, spins one thread per client, runs E rounds and
 // returns the final global model plus per-round aggregated metrics. The
 // transport is in-process by default or loopback TCP (`use_tcp`) to exercise
-// the real wire path.
+// the real wire path. A `FaultPlanner` can wrap any site's connections in
+// the fault-injection decorator (flare/faults.h), and `resume` restarts a
+// killed run from its persisted checkpoint.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "core/backoff.h"
 #include "flare/aggregator.h"
 #include "flare/client.h"
+#include "flare/faults.h"
 #include "flare/learner.h"
 #include "flare/persistor.h"
 #include "flare/server.h"
@@ -31,8 +36,21 @@ struct SimulatorConfig {
   std::uint64_t seed = 7;
   /// When non-empty, the global model is persisted here every round.
   std::string persist_path;
+  /// Resume a killed run: load the checkpoint at persist_path (when one
+  /// exists) and continue from the round after the last completed one.
+  bool resume = false;
   /// Partial participation: sample this many clients per round (0 = all).
   std::int64_t clients_per_round = 0;
+  /// Graceful degradation (0 = require every client): rounds that hit
+  /// round_deadline_ms close with at least this many contributions.
+  std::int64_t min_clients = 0;
+  std::int64_t round_deadline_ms = 0;
+  /// Evict sites unseen for this long from the round quorum (0 = never).
+  std::int64_t liveness_timeout_ms = 0;
+  /// Client-side retry schedule for transport failures.
+  core::BackoffPolicy client_retry = {10, 2000, 2.0, 5, 0.2};
+  /// Idle polling backoff cap per client.
+  std::int64_t max_poll_interval_ms = 100;
   /// Abort if the run has not finished after this long.
   std::int64_t timeout_ms = 30 * 60 * 1000;
   /// Per-site compute-thread budget for the shared kernel pool
@@ -47,6 +65,15 @@ struct SimulationResult {
   nn::StateDict final_model;
   std::vector<RoundMetrics> history;
   double wall_seconds = 0.0;
+  /// True when the server aborted the run (deadline below min_clients or an
+  /// explicit abort); final_model/history reflect the last completed round.
+  bool aborted = false;
+  std::string abort_reason;
+  /// Sites whose client threads failed (e.g. retry budget exhausted) while
+  /// the run still completed without them.
+  std::vector<std::string> failed_sites;
+  /// Round the server resumed from (-1 for a fresh run).
+  std::int64_t resumed_from_round = -1;
 };
 
 class SimulatorRunner {
@@ -56,6 +83,12 @@ class SimulatorRunner {
       std::int64_t site_index, const std::string& site_name)>;
   /// Optional hook to customize each client (e.g. add privacy filters).
   using ClientCustomizer = std::function<void(FederatedClient&)>;
+  /// Decides the fault plan for one connection attempt: `incarnation` is
+  /// 0 for a site's first connection and increments on every reconnect.
+  /// Return std::nullopt for a clean connection.
+  using FaultPlanner = std::function<std::optional<FaultPlan>(
+      std::int64_t site_index, const std::string& site_name,
+      std::int64_t incarnation)>;
 
   SimulatorRunner(SimulatorConfig config, nn::StateDict initial_model,
                   std::unique_ptr<Aggregator> aggregator, LearnerFactory factory);
@@ -63,22 +96,29 @@ class SimulatorRunner {
   void set_client_customizer(ClientCustomizer customizer) {
     customizer_ = std::move(customizer);
   }
+  void set_fault_planner(FaultPlanner planner) {
+    fault_planner_ = std::move(planner);
+  }
 
   /// Access the server before run() to add inbound filters or subscribe to
   /// events. Valid for the runner's lifetime.
   FederatedServer& server() { return *server_; }
 
-  /// Runs the federation to completion. Throws if any client fails or the
-  /// run times out.
+  /// Runs the federation to completion (or abort — see
+  /// SimulationResult::aborted). Throws only when the run can make no
+  /// progress at all: every client failed, or the timeout expired without
+  /// the server finishing or aborting.
   SimulationResult run();
 
  private:
   SimulatorConfig config_;
   LearnerFactory factory_;
   ClientCustomizer customizer_;
+  FaultPlanner fault_planner_;
   std::map<std::string, Credential> registry_;
   std::shared_ptr<ModelPersistor> persistor_;
   std::unique_ptr<FederatedServer> server_;
+  std::int64_t resumed_from_round_ = -1;
 };
 
 }  // namespace cppflare::flare

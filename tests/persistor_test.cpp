@@ -8,6 +8,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "core/bytes.h"
 #include "core/error.h"
 
 namespace cppflare::flare {
@@ -35,7 +36,7 @@ nn::StateDict sample_dict() {
 
 TEST_F(PersistorTest, SaveLoadRoundTrip) {
   ModelPersistor p(path("model.bin"));
-  p.save({"job-7", 3, sample_dict()});
+  p.save({"job-7", 3, sample_dict(), {}});
   const auto loaded = p.load();
   ASSERT_TRUE(loaded.has_value());
   EXPECT_EQ(loaded->job_id, "job-7");
@@ -50,10 +51,10 @@ TEST_F(PersistorTest, MissingFileReturnsNullopt) {
 
 TEST_F(PersistorTest, OverwriteKeepsLatest) {
   ModelPersistor p(path("model.bin"));
-  p.save({"job", 1, sample_dict()});
+  p.save({"job", 1, sample_dict(), {}});
   nn::StateDict newer = sample_dict();
   newer.at("layer.w").values[0] = 99.0f;
-  p.save({"job", 2, newer});
+  p.save({"job", 2, newer, {}});
   const auto loaded = p.load();
   ASSERT_TRUE(loaded.has_value());
   EXPECT_EQ(loaded->round, 2);
@@ -62,7 +63,7 @@ TEST_F(PersistorTest, OverwriteKeepsLatest) {
 
 TEST_F(PersistorTest, NoTempFileLeftBehind) {
   ModelPersistor p(path("model.bin"));
-  p.save({"job", 1, sample_dict()});
+  p.save({"job", 1, sample_dict(), {}});
   EXPECT_FALSE(std::filesystem::exists(path("model.bin.tmp")));
   EXPECT_TRUE(std::filesystem::exists(path("model.bin")));
 }
@@ -79,12 +80,65 @@ TEST_F(PersistorTest, CorruptMagicRejected) {
 
 TEST_F(PersistorTest, UnwritableDirectoryThrows) {
   ModelPersistor p("/nonexistent_dir_zzz/model.bin");
-  EXPECT_THROW(p.save({"job", 0, sample_dict()}), Error);
+  EXPECT_THROW(p.save({"job", 0, sample_dict(), {}}), Error);
+}
+
+TEST_F(PersistorTest, HistoryRoundTrip) {
+  ModelPersistor p(path("model.bin"));
+  RoundMetrics m0;
+  m0.round = 0;
+  m0.num_contributions = 3;
+  m0.total_samples = 30;
+  m0.train_loss = 0.5;
+  m0.valid_acc = 0.75;
+  m0.valid_loss = 0.6;
+  RoundMetrics m1;
+  m1.round = 1;
+  m1.num_contributions = 2;
+  m1.total_samples = 20;
+  m1.late_contributions = 1;
+  m1.evicted_sites = 1;
+  m1.deadline_fired = true;
+  p.save({"job-9", 1, sample_dict(), {m0, m1}});
+  const auto loaded = p.load();
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->history.size(), 2u);
+  EXPECT_EQ(loaded->history[0].num_contributions, 3);
+  EXPECT_DOUBLE_EQ(loaded->history[0].valid_acc, 0.75);
+  EXPECT_EQ(loaded->history[0].late_contributions, 0);
+  EXPECT_FALSE(loaded->history[0].deadline_fired);
+  EXPECT_EQ(loaded->history[1].round, 1);
+  EXPECT_EQ(loaded->history[1].late_contributions, 1);
+  EXPECT_EQ(loaded->history[1].evicted_sites, 1);
+  EXPECT_TRUE(loaded->history[1].deadline_fired);
+}
+
+TEST_F(PersistorTest, V1CheckpointLoadsWithEmptyHistory) {
+  // A pre-fault-tolerance checkpoint (magic "CPK1", no history section)
+  // must still load so old runs can be resumed after an upgrade.
+  const std::string file = path("v1.bin");
+  core::ByteWriter w;
+  w.write_u32(0x43504b31);  // "CPK1"
+  w.write_string("job-old");
+  w.write_i64(4);
+  sample_dict().serialize(w);
+  {
+    std::ofstream out(file, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(w.bytes().data()),
+              static_cast<std::streamsize>(w.size()));
+  }
+  ModelPersistor p(file);
+  const auto loaded = p.load();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->job_id, "job-old");
+  EXPECT_EQ(loaded->round, 4);
+  EXPECT_EQ(loaded->model, sample_dict());
+  EXPECT_TRUE(loaded->history.empty());
 }
 
 TEST_F(PersistorTest, EmptyModelRoundTrip) {
   ModelPersistor p(path("empty.bin"));
-  p.save({"job", 0, nn::StateDict{}});
+  p.save({"job", 0, nn::StateDict{}, {}});
   const auto loaded = p.load();
   ASSERT_TRUE(loaded.has_value());
   EXPECT_TRUE(loaded->model.empty());

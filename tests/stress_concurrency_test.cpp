@@ -201,6 +201,37 @@ TEST_F(SimulatorStress, BackToBackRunsReuseCleanState) {
   }
 }
 
+TEST_F(SimulatorStress, EightSitesFaultyTcpFederation) {
+  // Fault injection on every link: drops force the client retry/reconnect
+  // machinery, delays skew round arrival order, and one hard disconnect
+  // mid-run exercises the factory reconnect path — all while TSan watches
+  // the server lock, the liveness map, and the abort condition variable.
+  flare::SimulatorConfig config;
+  config.num_clients = 8;
+  config.num_rounds = 3;
+  config.use_tcp = true;
+  flare::SimulatorRunner runner = make_runner(config);
+  runner.set_fault_planner(
+      [](std::int64_t index, const std::string&,
+         std::int64_t incarnation) -> std::optional<flare::FaultPlan> {
+        flare::FaultPlan plan;
+        plan.seed = 0x57e55 + static_cast<std::uint64_t>(index) * 31 +
+                    static_cast<std::uint64_t>(incarnation);
+        plan.drop_prob = 0.1;
+        plan.delay_prob = 0.1;
+        plan.delay_ms = 2;
+        if (index == 5 && incarnation == 0) plan.disconnect_on_call = 6;
+        return plan;
+      });
+  const flare::SimulationResult result = runner.run();
+  EXPECT_FALSE(result.aborted);
+  EXPECT_TRUE(result.failed_sites.empty());
+  ASSERT_EQ(result.history.size(), 3u);
+  for (const flare::RoundMetrics& m : result.history) {
+    EXPECT_EQ(m.num_contributions, 8);
+  }
+}
+
 /// Learner that runs a real tensor forward+backward per round, so the
 /// federation's site workers all dispatch kernel chunks onto the shared
 /// compute pool at once — the exact cross-thread interaction TSan needs to
