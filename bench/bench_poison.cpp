@@ -1,0 +1,312 @@
+// Adversarial-robustness bench (BENCH_robust.json).
+//
+// Runs an 8-site in-process federation under every poisoning mode from
+// flare/poison.h, with 1 or 2 adversarial sites, across four aggregation
+// configurations:
+//
+//   fedavg            — plain FedAvg, validator off (the undefended baseline)
+//   fedavg_defended   — FedAvg + UpdateValidator + cross-round quarantine
+//   median            — coordinate-wise median, validator off
+//   trimmed_mean      — trimmed mean (k=2), validator off
+//
+// For each cell it reports rounds/s and an accuracy proxy: how far the
+// final model converged toward the honest consensus, normalized so a clean
+// run scores ~1.0 and a destroyed model (NaN, or further from consensus
+// than the initial weights) scores 0. The clean column also yields the
+// validator-overhead number the ISSUE caps at 5%.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "flare/robust_aggregator.h"
+#include "flare/simulator.h"
+#include "flare/validator.h"
+
+namespace {
+
+using namespace cppflare;
+
+constexpr std::int64_t kSites = 8;
+constexpr float kInitValue = 5.0f;
+
+nn::StateDict tiny_model() {
+  nn::StateDict d;
+  d.insert("w", {{16}, std::vector<float>(16, kInitValue)});
+  return d;
+}
+
+class NudgeLearner : public flare::Learner {
+ public:
+  NudgeLearner(std::string site, float target)
+      : site_(std::move(site)), target_(target) {}
+
+  flare::Dxo train(const flare::Dxo& global, const flare::FLContext&) override {
+    nn::StateDict updated = global.data();
+    for (auto& [name, blob] : updated.entries()) {
+      for (float& v : blob.values) v += 0.5f * (target_ - v);
+    }
+    flare::Dxo update(flare::DxoKind::kWeights, updated);
+    update.set_meta_int(flare::Dxo::kMetaNumSamples, 10);
+    return update;
+  }
+  std::string site_name() const override { return site_; }
+
+ private:
+  std::string site_;
+  float target_;
+};
+
+struct AggSetup {
+  const char* name;
+  bool defended;  // validator + quarantine on
+};
+
+const AggSetup kAggSetups[] = {
+    {"fedavg", false},
+    {"fedavg_defended", true},
+    {"median", false},
+    {"trimmed_mean", false},
+};
+
+std::unique_ptr<flare::Aggregator> make_aggregator(const std::string& name) {
+  if (name == "median") return std::make_unique<flare::MedianAggregator>();
+  if (name == "trimmed_mean")
+    return std::make_unique<flare::TrimmedMeanAggregator>(2);
+  return std::make_unique<flare::FedAvgAggregator>(true);
+}
+
+struct AttackSetup {
+  const char* name;
+  flare::PoisonPlan plan;  // enabled() == false means clean
+};
+
+std::vector<AttackSetup> attack_setups() {
+  std::vector<AttackSetup> attacks(5);
+  attacks[0].name = "clean";
+  attacks[1].name = "scale";
+  attacks[1].plan.scale_factor = -10.0;
+  attacks[2].name = "sign_flip";
+  attacks[2].plan.sign_flip = true;
+  attacks[3].name = "noise";
+  attacks[3].plan.noise_sigma = 20.0;
+  attacks[4].name = "nan";
+  attacks[4].plan.nan_prob = 1.0;
+  return attacks;
+}
+
+struct CellResult {
+  double rounds_per_sec = 0.0;
+  double accuracy = 0.0;
+  std::int64_t quarantined = 0;
+  bool aborted = false;
+};
+
+/// Accuracy proxy: normalized convergence toward the mean of the HONEST
+/// sites' nudge targets. 1.0 = reached the consensus, 0 = no better than
+/// the initial model (or non-finite).
+double accuracy_of(const nn::StateDict& model, std::int64_t num_adversaries) {
+  double honest_target = 0.0;
+  const std::int64_t honest = kSites - num_adversaries;
+  for (std::int64_t i = 0; i < honest; ++i) honest_target += static_cast<double>(i);
+  honest_target /= static_cast<double>(honest);
+
+  double sq = 0.0;
+  std::size_t n = 0;
+  for (const auto& [name, blob] : model.entries()) {
+    for (const float v : blob.values) {
+      if (!std::isfinite(v)) return 0.0;
+      const double d = static_cast<double>(v) - honest_target;
+      sq += d * d;
+      n += 1;
+    }
+  }
+  const double rmse = std::sqrt(sq / static_cast<double>(n));
+  const double init_rmse = std::abs(static_cast<double>(kInitValue) - honest_target);
+  if (init_rmse <= 0.0) return 1.0;
+  const double acc = 1.0 - rmse / init_rmse;
+  return acc < 0.0 ? 0.0 : acc;
+}
+
+CellResult run_cell(const AggSetup& agg, const AttackSetup& attack,
+                    std::int64_t num_adversaries, std::int64_t rounds) {
+  flare::SimulatorConfig config;
+  config.num_clients = kSites;
+  config.num_rounds = rounds;
+  config.compute_threads = -1;
+  if (agg.defended) {
+    config.validator.norm_zscore_threshold = 6.0;
+    config.validator.min_updates_for_outlier = 4;
+    config.validator.max_sample_count = 50;
+    config.reputation.quarantine_after = 2;
+    config.reputation.parole_after = 2;
+  } else {
+    config.validator.enabled = false;
+  }
+  flare::SimulatorRunner runner(
+      config, tiny_model(), make_aggregator(agg.name),
+      [](std::int64_t i, const std::string& name) {
+        return std::make_shared<NudgeLearner>(name, static_cast<float>(i));
+      });
+  if (attack.plan.enabled() && num_adversaries > 0) {
+    const flare::PoisonPlan plan = attack.plan;
+    runner.set_poison_planner(
+        [plan, num_adversaries](
+            std::int64_t index,
+            const std::string&) -> std::optional<flare::PoisonPlan> {
+          // The last `num_adversaries` sites attack.
+          if (index < kSites - num_adversaries) return std::nullopt;
+          flare::PoisonPlan site_plan = plan;
+          site_plan.seed += static_cast<std::uint64_t>(index);
+          return site_plan;
+        });
+  }
+  const flare::SimulationResult result = runner.run();
+  CellResult cell;
+  cell.aborted = result.aborted;
+  if (!result.aborted && result.wall_seconds > 0.0) {
+    cell.rounds_per_sec = static_cast<double>(rounds) / result.wall_seconds;
+  }
+  cell.accuracy = result.aborted ? 0.0
+                                 : accuracy_of(result.final_model,
+                                               attack.plan.enabled()
+                                                   ? num_adversaries
+                                                   : 0);
+  cell.quarantined =
+      static_cast<std::int64_t>(result.quarantined_sites.size());
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+  bench::quiet_logs();
+  // Every poisoned submit logs a rejection warning by design; silence all
+  // but errors at bench scale.
+  core::LogConfig::instance().set_threshold(core::LogLevel::kError);
+
+  const std::int64_t rounds = 20;
+  const auto attacks = attack_setups();
+  std::printf("Adversarial robustness: %lld-site in-proc federation, "
+              "%lld rounds per cell\n",
+              static_cast<long long>(kSites), static_cast<long long>(rounds));
+
+  std::string cells_json;
+  double clean_undefended_rps = 0.0;
+  double clean_defended_rps = 0.0;
+  for (const AggSetup& agg : kAggSetups) {
+    std::printf("  %s\n", agg.name);
+    for (const AttackSetup& attack : attacks) {
+      const bool clean = !attack.plan.enabled();
+      for (std::int64_t adv = clean ? 0 : 1; adv <= (clean ? 0 : 2); ++adv) {
+        const CellResult cell = run_cell(agg, attack, adv, rounds);
+        std::printf("    %-10s adv=%lld : acc %.3f, %7.1f rounds/s, "
+                    "quarantined %lld%s\n",
+                    attack.name, static_cast<long long>(adv), cell.accuracy,
+                    cell.rounds_per_sec, static_cast<long long>(cell.quarantined),
+                    cell.aborted ? "  [ABORTED]" : "");
+        if (clean && std::strcmp(agg.name, "fedavg") == 0) {
+          clean_undefended_rps = cell.rounds_per_sec;
+        }
+        if (clean && std::strcmp(agg.name, "fedavg_defended") == 0) {
+          clean_defended_rps = cell.rounds_per_sec;
+        }
+        char buf[512];
+        std::snprintf(buf, sizeof(buf),
+                      "    {\"aggregation\": \"%s\", \"attack\": \"%s\", "
+                      "\"adversaries\": %lld, \"accuracy\": %.4f, "
+                      "\"rounds_per_sec\": %.3f, \"quarantined_sites\": %lld, "
+                      "\"aborted\": %s}",
+                      agg.name, attack.name, static_cast<long long>(adv),
+                      cell.accuracy, cell.rounds_per_sec,
+                      static_cast<long long>(cell.quarantined),
+                      cell.aborted ? "true" : "false");
+        if (!cells_json.empty()) cells_json += ",\n";
+        cells_json += buf;
+      }
+    }
+  }
+
+  // Validator overhead on a clean run. End-to-end rounds/s is quantized by
+  // the clients' 5 ms poll loop, so an A/B of full federations measures
+  // poll alignment, not the validator (see the rounds/s spread above).
+  // Instead, measure the validator's added cost per round directly — admit
+  // vs bare aggregator accept over the same updates, plus the round-close
+  // outlier pass — and express it against the measured clean round time.
+  (void)clean_defended_rps;
+  const double clean_round_seconds =
+      clean_undefended_rps > 0.0 ? 1.0 / clean_undefended_rps : 0.0;
+  const nn::StateDict global = tiny_model();
+  flare::Dxo update(flare::DxoKind::kWeights, global);
+  update.set_meta_int(flare::Dxo::kMetaNumSamples, 10);
+  constexpr int kMicroRounds = 2000;
+  flare::ValidatorConfig vcfg;
+  vcfg.norm_zscore_threshold = 6.0;
+  vcfg.min_updates_for_outlier = 4;
+  const auto time_rounds = [&](bool validated) {
+    flare::UpdateValidator validator(vcfg);
+    flare::FedAvgAggregator agg(true);
+    const auto start = std::chrono::steady_clock::now();
+    for (int r = 0; r < kMicroRounds; ++r) {
+      agg.reset(global, r);
+      validator.reset(global, r);
+      for (std::int64_t s = 0; s < kSites; ++s) {
+        const std::string site = "site-" + std::to_string(s + 1);
+        if (validated) {
+          validator.admit(agg, site, update);
+        } else {
+          agg.accept(site, update);
+        }
+      }
+      if (validated) (void)validator.flag_outliers();
+      (void)agg.aggregate();
+    }
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+               .count() /
+           kMicroRounds;
+  };
+  const double bare_round = time_rounds(false);
+  const double validated_round = time_rounds(true);
+  const double validator_seconds_per_round =
+      validated_round > bare_round ? validated_round - bare_round : 0.0;
+  const double overhead_pct =
+      clean_round_seconds > 0.0
+          ? validator_seconds_per_round / clean_round_seconds * 100.0
+          : 0.0;
+  std::printf("  validator cost: %.1f us/round on top of a %.2f ms clean "
+              "round -> %.2f%% overhead (target <= 5%%)\n",
+              validator_seconds_per_round * 1e6, clean_round_seconds * 1e3,
+              overhead_pct);
+
+  if (json_path != nullptr) {
+    std::FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", json_path);
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"sites\": %lld,\n"
+                 "  \"rounds\": %lld,\n"
+                 "  \"transport\": \"in_proc\",\n"
+                 "  \"validator_overhead_pct\": %.2f,\n"
+                 "  \"cells\": [\n%s\n  ]\n"
+                 "}\n",
+                 static_cast<long long>(kSites), static_cast<long long>(rounds),
+                 overhead_pct, cells_json.c_str());
+    std::fclose(f);
+    std::printf("\nwrote %s\n", json_path);
+  }
+  return 0;
+}

@@ -13,6 +13,10 @@
 #   BENCH_faults.json — bench_faults rounds/s of an 8-site TCP federation
 #       with and without the standard fault plan (10% drop, 10% delay, one
 #       disconnect), plus the resulting overhead factor.
+#   BENCH_robust.json — bench_poison accuracy + rounds/s for four
+#       aggregation configs (FedAvg, FedAvg+validator+quarantine, median,
+#       trimmed mean) under every poisoning mode with 1-2 adversaries, plus
+#       the validator's measured overhead on a clean round.
 #
 # Usage: scripts/bench.sh [-j N]
 set -euo pipefail
@@ -29,7 +33,7 @@ step() { echo; echo "==== $* ===="; }
 step "release: build benches"
 cmake --preset release
 cmake --build --preset release -j "${JOBS}" \
-  --target bench_micro_tensor bench_table2_models bench_faults
+  --target bench_micro_tensor bench_table2_models bench_faults bench_poison
 
 step "tensor microbenchmarks -> BENCH_tensor.json"
 ./build-release/bench/bench_micro_tensor \
@@ -43,5 +47,8 @@ step "model latencies -> BENCH_models.json"
 step "fault-tolerance overhead -> BENCH_faults.json"
 ./build-release/bench/bench_faults --json "${REPO_ROOT}/BENCH_faults.json"
 
+step "adversarial robustness -> BENCH_robust.json"
+./build-release/bench/bench_poison --json "${REPO_ROOT}/BENCH_robust.json"
+
 step "bench complete"
-echo "wrote BENCH_tensor.json, BENCH_models.json and BENCH_faults.json"
+echo "wrote BENCH_tensor.json, BENCH_models.json, BENCH_faults.json and BENCH_robust.json"

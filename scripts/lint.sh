@@ -23,6 +23,12 @@
 #       go through core::Backoff so every delay is bounded, seeded-jittered,
 #       and visible in one place. Genuinely non-retry sleeps (e.g. a test
 #       harness pacing itself) are annotated `R6-exempt: <reason>`.
+#   R7  no direct Aggregator::accept calls in src/flare/ outside
+#       validator.cpp — every contribution must pass through
+#       UpdateValidator::admit so the screening pipeline (schema, finite,
+#       freshness, sample count) and the rejection telemetry cannot be
+#       bypassed. Raw `::accept(` socket calls are not method calls and do
+#       not match. Annotate a sanctioned exception `R7-exempt: <reason>`.
 #
 # Usage:
 #   scripts/lint.sh              lint the repository (exit 0 = clean)
@@ -129,6 +135,25 @@ check_naked_sleeps() {  # R6: blocking sleeps outside src/core/backoff.*
     done
 }
 
+check_direct_accept() {  # R7: Aggregator::accept called outside the validator
+  local root="$1"
+  local f
+  find "$root/src/flare" -type f \( -name '*.cpp' -o -name '*.h' \) 2>/dev/null |
+    while IFS= read -r f; do
+      case "$f" in */src/flare/validator.cpp) continue ;; esac
+      # `(->|\.)accept\(` catches method calls on an aggregator object but
+      # not raw `::accept(` socket calls or `Foo::accept(` definitions.
+      strip_comments "$f" |
+        grep -nE '(->|\.)[[:space:]]*accept[[:space:]]*\(' |
+        while IFS= read -r hit; do
+          local ln="${hit%%:*}"
+          if sed -n "${ln}p" "$f" | grep -q 'R7-exempt:'; then continue; fi
+          echo "${f#"$root"/}:${hit}" |
+            sed 's|$|: R7 direct Aggregator::accept outside validator.cpp (route through UpdateValidator::admit)|'
+        done
+    done
+}
+
 run_all_checks() {
   local root="$1"
   check_rand "$root"
@@ -137,6 +162,7 @@ run_all_checks() {
   check_header_guards "$root"
   check_raw_threads "$root"
   check_naked_sleeps "$root"
+  check_direct_accept "$root"
 }
 
 self_test() {
@@ -196,11 +222,22 @@ EOF
 #include <thread>
 void blessed() { std::this_thread::sleep_for(std::chrono::milliseconds(1)); }
 EOF
+  cat > "$tmp/src/flare/rogue_server.cpp" <<'EOF'
+struct Agg { bool accept(int, int); };
+bool smuggle(Agg* agg) { return agg->accept(1, 2); }
+bool sanctioned(Agg& agg) { return agg.accept(3, 4); }  // R7-exempt: test fixture
+int raw_socket_decoy(int fd) { return ::accept(fd, 0, 0); }
+// decoy comment: we accept( contributions here in prose only
+EOF
+  cat > "$tmp/src/flare/validator.cpp" <<'EOF'
+struct Agg { bool accept(int, int); };
+bool admit(Agg& agg) { return agg.accept(5, 6); }
+EOF
 
   local out
   out="$(run_all_checks "$tmp")"
   local failed=0
-  for rule in R1 R2 R3 R4 R5 R6; do
+  for rule in R1 R2 R3 R4 R5 R6 R7; do
     if ! grep -q "$rule" <<<"$out"; then
       echo "lint self-test: rule $rule did not fire on its fixture" >&2
       failed=1
@@ -210,11 +247,12 @@ EOF
   # 2xR2 (new+delete), 1xR3, 1xR4, 1xR5 (the exempt line, this_thread,
   # hardware_concurrency, comment and src/core/ fixtures all stay quiet),
   # 1xR6 (the exempt line, identifier decoy, comment and backoff.cpp
-  # fixtures all stay quiet).
+  # fixtures all stay quiet), 1xR7 (the exempt line, raw ::accept socket
+  # call, prose comment and validator.cpp fixtures all stay quiet).
   local count
   count="$(grep -c ':' <<<"$out")"
-  if [ "$count" -ne 8 ]; then
-    echo "lint self-test: expected 8 violations, got $count:" >&2
+  if [ "$count" -ne 9 ]; then
+    echo "lint self-test: expected 9 violations, got $count:" >&2
     echo "$out" >&2
     failed=1
   fi

@@ -55,6 +55,18 @@ bool FedAvgAggregator::accept(const std::string& site, const Dxo& contribution) 
   return true;
 }
 
+bool FedAvgAggregator::revoke(const std::string& site) {
+  auto it = pending_.find(site);
+  if (it == pending_.end()) return false;
+  metrics_.num_contributions -= 1;
+  metrics_.total_samples -= it->second.dxo.meta_int(Dxo::kMetaNumSamples, 1);
+  pending_.erase(it);
+  if (pending_.empty()) round_kind_.reset();
+  logger().info("Contribution from " + site + " REVOKED at round " +
+                std::to_string(metrics_.round) + ".");
+  return true;
+}
+
 nn::StateDict FedAvgAggregator::aggregate() {
   if (pending_.empty() || !round_kind_.has_value()) {
     throw Error("FedAvgAggregator: no contributions to aggregate");

@@ -34,6 +34,14 @@ struct RoundMetrics {
   std::int64_t evicted_sites = 0;
   /// True when the round closed on its deadline with a reduced quorum.
   bool deadline_fired = false;
+  /// Contributions refused by the update validator this round (immediate
+  /// verdicts plus round-close norm-outlier revocations).
+  std::int64_t rejected_updates = 0;
+  /// Sites quarantined by the reputation tracker when the round closed.
+  std::int64_t quarantined_sites = 0;
+  /// Rejections this round keyed by reject_reason_name(); quarantined
+  /// sites' discarded-but-scored uploads count under "quarantined".
+  std::map<std::string, std::int64_t> rejections_by_reason;
 };
 
 class Aggregator {
@@ -46,6 +54,16 @@ class Aggregator {
   /// Validates and accumulates one contribution. Returns false (and ignores
   /// the data) for duplicates or incongruent payloads.
   virtual bool accept(const std::string& site, const Dxo& contribution) = 0;
+
+  /// Withdraws a previously accepted contribution before aggregation — the
+  /// hook the update validator uses to strip round-close norm outliers.
+  /// Returns false when the site has no buffered contribution or the
+  /// aggregator cannot un-accumulate (in-time accumulators); the caller
+  /// must then treat the contribution as irrevocably counted.
+  virtual bool revoke(const std::string& site) {
+    (void)site;
+    return false;
+  }
 
   /// Closes the round: returns the new global model. Throws if no
   /// contribution was accepted.
@@ -71,6 +89,7 @@ class FedAvgAggregator : public Aggregator {
 
   void reset(const nn::StateDict& global, std::int64_t round) override;
   bool accept(const std::string& site, const Dxo& contribution) override;
+  bool revoke(const std::string& site) override;
   nn::StateDict aggregate() override;
   std::int64_t accepted_count() const override;
   RoundMetrics metrics() const override;

@@ -196,6 +196,12 @@ void FederatedClient::run() {
     ctx.total_rounds = task.total_rounds;
 
     Dxo update = learner_->train(task.payload, ctx);
+    // Stamp the round before the filter chain runs: the server's freshness
+    // check needs the honest stamp, and a poisoning filter replaying an old
+    // update must carry the *old* stamp through (that is the attack).
+    if (!update.has_meta(Dxo::kMetaRound)) {
+      update.set_meta_int(Dxo::kMetaRound, task.round);
+    }
     outbound_filters_.process(update, ctx);
 
     const SubmitAck submit_ack = decode_submit_ack(call([this, &task, &update] {
@@ -206,8 +212,10 @@ void FederatedClient::run() {
       // was lost — the contribution is in, count the round.
       rounds_participated_ += 1;
     } else {
-      logger().warn(credential_.name + " contribution rejected: " +
-                    submit_ack.message);
+      updates_rejected_ += 1;
+      logger().warn(credential_.name + " contribution rejected (" +
+                    reject_reason_name(submit_ack.reason) +
+                    "): " + submit_ack.message);
     }
   }
 }

@@ -70,6 +70,9 @@ class FederatedClient {
   void run();
 
   std::int64_t rounds_participated() const { return rounds_participated_; }
+  /// Contributions the server refused (validator rejection, quarantine,
+  /// stale round) over the client's lifetime.
+  std::int64_t updates_rejected() const { return updates_rejected_; }
   /// Transport-level failures absorbed by the retry machinery (dropped or
   /// corrupted frames, reconnects) over the client's lifetime.
   std::int64_t transport_failures() const { return transport_failures_; }
@@ -103,6 +106,7 @@ class FederatedClient {
   SequenceTracker server_seq_;
   std::string session_id_;
   std::int64_t rounds_participated_ = 0;
+  std::int64_t updates_rejected_ = 0;
   std::int64_t transport_failures_ = 0;
   std::int64_t reconnects_ = 0;
   std::int64_t reregistrations_ = 0;

@@ -24,6 +24,10 @@ void NormClipFilter::process(Dxo& dxo, const FLContext&) {
     for (float v : blob.values) sq += static_cast<double>(v) * v;
   }
   const double norm = std::sqrt(sq);
+  // A NaN/Inf norm means the payload itself is non-finite; scaling by
+  // max_norm/NaN would smear NaN over every value. Pass it through and let
+  // the server-side validator reject the whole update.
+  if (!std::isfinite(norm)) return;
   if (norm <= max_norm_ || norm == 0.0) return;
   const float scale = static_cast<float>(max_norm_ / norm);
   for (auto& [name, blob] : dxo.data().entries()) {

@@ -63,10 +63,28 @@ std::vector<std::uint8_t> pack(const SubmitUpdateRequest& m) {
   return w.take();
 }
 
+const char* reject_reason_name(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kNone: return "none";
+    case RejectReason::kSchemaMismatch: return "schema_mismatch";
+    case RejectReason::kNonFinite: return "non_finite";
+    case RejectReason::kNormOutlier: return "norm_outlier";
+    case RejectReason::kStaleRound: return "stale_round";
+    case RejectReason::kBadSampleCount: return "bad_sample_count";
+    case RejectReason::kQuarantined: return "quarantined";
+    case RejectReason::kDuplicate: return "duplicate";
+    case RejectReason::kNotSampled: return "not_sampled";
+    case RejectReason::kAggregatorRefused: return "aggregator_refused";
+    case RejectReason::kRunOver: return "run_over";
+  }
+  return "unknown";
+}
+
 std::vector<std::uint8_t> pack(const SubmitAck& m) {
   core::ByteWriter w = begin(MsgType::kSubmitAck);
   w.write_bool(m.accepted);
   w.write_string(m.message);
+  w.write_u8(static_cast<std::uint8_t>(m.reason));
   return w.take();
 }
 
@@ -139,6 +157,11 @@ SubmitAck decode_submit_ack(const std::vector<std::uint8_t>& frame) {
   SubmitAck m;
   m.accepted = r.read_bool();
   m.message = r.read_string();
+  const std::uint8_t reason = r.read_u8();
+  if (reason > static_cast<std::uint8_t>(RejectReason::kRunOver)) {
+    throw ProtocolError("bad reject reason");
+  }
+  m.reason = static_cast<RejectReason>(reason);
   return m;
 }
 

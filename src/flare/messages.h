@@ -60,9 +60,30 @@ struct SubmitUpdateRequest {
   Dxo payload;
 };
 
+/// Why the server refused a contribution — the typed verdict of the
+/// update-validation pipeline (validator.h), carried on the SubmitAck so a
+/// site learns *why* it was turned away and telemetry can attribute
+/// rejections per round.
+enum class RejectReason : std::uint8_t {
+  kNone = 0,               // accepted (or a legacy untyped rejection)
+  kSchemaMismatch = 1,     // keys/shapes incongruent with the global model
+  kNonFinite = 2,          // NaN or Inf in the payload
+  kNormOutlier = 3,        // update norm flagged by the robust z-score
+  kStaleRound = 4,         // contribution for a round that already closed
+  kBadSampleCount = 5,     // implausible num_samples claim
+  kQuarantined = 6,        // site is quarantined; update scored, not used
+  kDuplicate = 7,          // the round already holds this site's update
+  kNotSampled = 8,         // site not in this round's participant sample
+  kAggregatorRefused = 9,  // passed validation, aggregator still said no
+  kRunOver = 10,           // run finished or aborted
+};
+
+const char* reject_reason_name(RejectReason reason);
+
 struct SubmitAck {
   bool accepted = false;
   std::string message;
+  RejectReason reason = RejectReason::kNone;
 };
 
 /// How a client should react to a server-reported error (the retryable vs

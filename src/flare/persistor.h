@@ -2,18 +2,22 @@
 //
 // Saves the global StateDict plus round/job metadata to a single binary
 // file, atomically (write to a temp file, then rename), so a crashed run
-// never leaves a torn checkpoint behind. Format v2 ("CPK2") also carries
-// the per-round metrics history, which is what lets a restarted server
-// resume from the last completed round instead of round 0; v1 files still
-// load (with an empty history).
+// never leaves a torn checkpoint behind. Format v3 ("CPK3") carries the
+// per-round metrics history plus the site-reputation standings (resume
+// keeps quarantines — see validator.h) and ends in a SHA-256 footer, so a
+// truncated or bit-rotted file fails loudly instead of loading garbage.
+// v1 files still load (empty history), as do v2 files (no reputation, no
+// footer).
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "flare/aggregator.h"
+#include "flare/validator.h"
 #include "nn/state_dict.h"
 
 namespace cppflare::flare {
@@ -26,13 +30,16 @@ struct Checkpoint {
   nn::StateDict model;
   /// Metrics for rounds 0..round (aggregation state for mid-run resume).
   std::vector<RoundMetrics> history;
+  /// Site-reputation standings at the end of `round` (empty for v1/v2
+  /// checkpoints and runs without quarantine).
+  std::map<std::string, SiteStanding> reputation;
 };
 
 class ModelPersistor {
  public:
   explicit ModelPersistor(std::string path) : path_(std::move(path)) {}
 
-  /// Atomically writes the checkpoint (always in the v2 format).
+  /// Atomically writes the checkpoint (always in the v3 format).
   void save(const Checkpoint& checkpoint) const;
 
   /// Loads the checkpoint; std::nullopt if the file does not exist.

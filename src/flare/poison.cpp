@@ -1,0 +1,96 @@
+#include "flare/poison.h"
+
+#include <cmath>
+#include <limits>
+
+#include "core/error.h"
+#include "core/logging.h"
+
+namespace cppflare::flare {
+
+namespace {
+const core::Logger& logger() {
+  static core::Logger log("PoisonInjector");
+  return log;
+}
+}  // namespace
+
+PoisonFilter::PoisonFilter(PoisonPlan plan, std::shared_ptr<PoisonStats> stats)
+    : plan_(plan),
+      stats_(stats ? std::move(stats) : std::make_shared<PoisonStats>()),
+      rng_(plan.seed) {
+  if (plan_.stale_round_lag < 0) {
+    throw Error("PoisonFilter: stale_round_lag must be >= 0");
+  }
+}
+
+void PoisonFilter::process(Dxo& dxo, const FLContext& ctx) {
+  stats_->calls += 1;
+  if (dxo.kind() == DxoKind::kMetrics) return;
+
+  // Record the genuine update first so a later replay resends what the
+  // site would honestly have submitted back then, old round stamp and all.
+  if (plan_.stale_round_lag > 0) {
+    history_.push_back(dxo);
+    const std::size_t keep =
+        static_cast<std::size_t>(plan_.stale_round_lag) + 1;
+    if (history_.size() > keep) {
+      history_.erase(history_.begin(),
+                     history_.begin() +
+                         static_cast<std::ptrdiff_t>(history_.size() - keep));
+    }
+  }
+
+  if (ctx.current_round < plan_.start_round || !plan_.enabled()) return;
+  stats_->poisoned_updates += 1;
+
+  if (plan_.stale_round_lag > 0 &&
+      history_.size() > static_cast<std::size_t>(plan_.stale_round_lag)) {
+    dxo = history_[history_.size() - 1 -
+                   static_cast<std::size_t>(plan_.stale_round_lag)];
+    stats_->replays += 1;
+    logger().warn(ctx.site_name + " replaying its round " +
+                  dxo.meta(Dxo::kMetaRound, "?") + " update at round " +
+                  std::to_string(ctx.current_round));
+  }
+
+  const float factor = static_cast<float>(
+      (plan_.sign_flip ? -1.0 : 1.0) * plan_.scale_factor);
+  const float bad = plan_.inject_inf
+                        ? std::numeric_limits<float>::infinity()
+                        : std::numeric_limits<float>::quiet_NaN();
+  for (auto& [name, blob] : dxo.data().entries()) {
+    for (float& v : blob.values) {
+      // Draw every per-value gate each iteration, whether or not it can
+      // fire — the rng stream position is then a function of the value
+      // index alone, so enabling one attack never shifts another's draws
+      // (same contract as FaultyConnection).
+      const double noise = rng_.normal(0.0, 1.0);
+      const bool want_bad = rng_.uniform() < plan_.nan_prob;
+      v *= factor;
+      if (plan_.noise_sigma > 0.0) {
+        v += static_cast<float>(noise * plan_.noise_sigma);
+      }
+      if (want_bad) {
+        v = bad;
+        stats_->non_finite_values += 1;
+      }
+    }
+  }
+  if (plan_.scale_factor != 1.0) stats_->scaled += 1;
+  if (plan_.sign_flip) stats_->sign_flips += 1;
+  if (plan_.noise_sigma > 0.0) stats_->noised += 1;
+
+  if (plan_.sample_count_factor != 1.0 &&
+      dxo.has_meta(Dxo::kMetaNumSamples)) {
+    const auto honest = dxo.meta_int(Dxo::kMetaNumSamples, 1);
+    const auto claimed = static_cast<std::int64_t>(
+        static_cast<double>(honest) * plan_.sample_count_factor);
+    dxo.set_meta_int(Dxo::kMetaNumSamples, claimed);
+    stats_->sample_lies += 1;
+    logger().warn(ctx.site_name + " claiming " + std::to_string(claimed) +
+                  " samples (honest: " + std::to_string(honest) + ")");
+  }
+}
+
+}  // namespace cppflare::flare

@@ -1,0 +1,92 @@
+// Model-poisoning injection — the adversarial sibling of faults.h.
+//
+// Where `FaultyConnection` attacks the *transport* (drops, delays, corrupt
+// bytes), `PoisonFilter` attacks the *update*: it sits last in a client's
+// outbound filter chain and mutates the trained DXO the way a compromised
+// clinic would, per a seeded `PoisonPlan`. Every mutation draws from one
+// core::Rng (lint R1) in a fixed order, so a given (plan, seed) produces
+// the exact same attack sequence every run — defense tests are
+// reproducible, never flaky.
+//
+// Attack catalogue (all composable):
+//  * scale       — multiply every weight by k (k = -10 is the classic
+//                  model-replacement attack);
+//  * sign flip   — negate the update, steering the average away from the
+//                  honest direction at an honest-looking magnitude;
+//  * noise       — add i.i.d. N(0, sigma^2), drowning the signal;
+//  * NaN/Inf     — plant non-finite values that propagate through a mean;
+//  * stale replay— resubmit the site's own update from `lag` rounds ago,
+//                  complete with its old round stamp;
+//  * sample lie  — inflate the claimed num_samples to dominate a weighted
+//                  average without touching a single weight.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "flare/filters.h"
+
+namespace cppflare::flare {
+
+struct PoisonPlan {
+  std::uint64_t seed = 0xbadd;
+  /// Rounds before this one pass through untouched (sleeper agent); the
+  /// FLContext round drives the comparison.
+  std::int64_t start_round = 0;
+  /// Multiply every weight value by this factor (1 = off).
+  double scale_factor = 1.0;
+  /// Negate every weight value.
+  bool sign_flip = false;
+  /// Add i.i.d. N(0, sigma^2) noise to every weight value (0 = off).
+  double noise_sigma = 0.0;
+  /// Per-value probability of replacement with NaN (or Inf, below).
+  double nan_prob = 0.0;
+  /// Replace with +Inf instead of NaN.
+  bool inject_inf = false;
+  /// Resubmit the genuine update from this many rounds ago, with its old
+  /// kMetaRound stamp (0 = off). Takes effect once enough history exists.
+  std::int64_t stale_round_lag = 0;
+  /// Multiply the claimed num_samples meta by this factor (1 = off).
+  double sample_count_factor = 1.0;
+
+  bool enabled() const {
+    return scale_factor != 1.0 || sign_flip || noise_sigma > 0.0 ||
+           nan_prob > 0.0 || stale_round_lag > 0 || sample_count_factor != 1.0;
+  }
+};
+
+/// Injected-attack counters; share one instance across a run to audit what
+/// the plan actually did.
+struct PoisonStats {
+  std::int64_t calls = 0;
+  std::int64_t poisoned_updates = 0;
+  std::int64_t scaled = 0;
+  std::int64_t sign_flips = 0;
+  std::int64_t noised = 0;
+  std::int64_t non_finite_values = 0;
+  std::int64_t replays = 0;
+  std::int64_t sample_lies = 0;
+};
+
+class PoisonFilter : public Filter {
+ public:
+  explicit PoisonFilter(PoisonPlan plan,
+                        std::shared_ptr<PoisonStats> stats = nullptr);
+
+  void process(Dxo& dxo, const FLContext& ctx) override;
+  std::string name() const override { return "Poison"; }
+
+  const PoisonStats& stats() const { return *stats_; }
+
+ private:
+  PoisonPlan plan_;
+  std::shared_ptr<PoisonStats> stats_;
+  core::Rng rng_;
+  /// Genuine (pre-mutation) updates, oldest first, for stale replay.
+  std::vector<Dxo> history_;
+};
+
+}  // namespace cppflare::flare

@@ -1,6 +1,7 @@
 #include "flare/robust_aggregator.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "core/error.h"
 #include "core/logging.h"
@@ -38,18 +39,42 @@ bool BufferingAggregator::accept(const std::string& site, const Dxo& contributio
     return false;
   }
   round_kind_ = contribution.kind();
-  contributions_.emplace(site, contribution.data());
-
+  Entry entry;
+  entry.data = contribution.data();
+  entry.samples = contribution.meta_int(Dxo::kMetaNumSamples, 1);
   metrics_.num_contributions += 1;
-  const auto samples = contribution.meta_int(Dxo::kMetaNumSamples, 1);
-  metrics_.total_samples += samples;
+  metrics_.total_samples += entry.samples;
   if (contribution.has_meta(Dxo::kMetaTrainLoss)) {
-    const double w = static_cast<double>(samples);
-    metrics_.train_loss += w * contribution.meta_double(Dxo::kMetaTrainLoss);
-    metrics_.valid_acc += w * contribution.meta_double(Dxo::kMetaValidAcc);
-    metrics_.valid_loss += w * contribution.meta_double(Dxo::kMetaValidLoss);
+    const double w = static_cast<double>(entry.samples);
+    entry.has_loss = true;
+    entry.train_loss = w * contribution.meta_double(Dxo::kMetaTrainLoss);
+    entry.valid_acc = w * contribution.meta_double(Dxo::kMetaValidAcc);
+    entry.valid_loss = w * contribution.meta_double(Dxo::kMetaValidLoss);
+    metrics_.train_loss += entry.train_loss;
+    metrics_.valid_acc += entry.valid_acc;
+    metrics_.valid_loss += entry.valid_loss;
     loss_weight_sum_ += w;
   }
+  contributions_.emplace(site, std::move(entry));
+  return true;
+}
+
+bool BufferingAggregator::revoke(const std::string& site) {
+  auto it = contributions_.find(site);
+  if (it == contributions_.end()) return false;
+  const Entry& entry = it->second;
+  metrics_.num_contributions -= 1;
+  metrics_.total_samples -= entry.samples;
+  if (entry.has_loss) {
+    metrics_.train_loss -= entry.train_loss;
+    metrics_.valid_acc -= entry.valid_acc;
+    metrics_.valid_loss -= entry.valid_loss;
+    loss_weight_sum_ -= static_cast<double>(entry.samples);
+  }
+  contributions_.erase(it);
+  if (contributions_.empty()) round_kind_.reset();
+  logger().info("Contribution from " + site + " REVOKED at round " +
+                std::to_string(metrics_.round) + ".");
   return true;
 }
 
@@ -71,8 +96,8 @@ nn::StateDict BufferingAggregator::aggregate() {
     // Hoist the per-blob lookups out of the per-coordinate loop.
     std::vector<const std::vector<float>*> sources;
     sources.reserve(contributions_.size());
-    for (const auto& [site, dict] : contributions_) {
-      sources.push_back(&dict.at(name).values);
+    for (const auto& [site, entry] : contributions_) {
+      sources.push_back(&entry.data.at(name).values);
     }
     for (std::size_t i = 0; i < blob.values.size(); ++i) {
       for (std::size_t c = 0; c < sources.size(); ++c) {
@@ -95,12 +120,27 @@ std::int64_t BufferingAggregator::accepted_count() const {
 
 RoundMetrics BufferingAggregator::metrics() const { return metrics_; }
 
+namespace {
+/// operator< on floats is not a strict weak ordering once NaN appears, and
+/// feeding it to sort/nth_element is undefined behavior — exactly the input
+/// a poisoning site produces. This total order ranks NaN above every finite
+/// value, so NaN coordinates land in the upper tail where the median skips
+/// them and the trimmed mean cuts them.
+bool nan_last_less(float a, float b) {
+  if (std::isnan(b)) return !std::isnan(a);
+  if (std::isnan(a)) return false;
+  return a < b;
+}
+}  // namespace
+
 float MedianAggregator::combine(std::vector<float>& values) const {
   const std::size_t mid = values.size() / 2;
-  std::nth_element(values.begin(), values.begin() + mid, values.end());
+  std::nth_element(values.begin(), values.begin() + mid, values.end(),
+                   nan_last_less);
   if (values.size() % 2 == 1) return values[mid];
   const float hi = values[mid];
-  const float lo = *std::max_element(values.begin(), values.begin() + mid);
+  const float lo = *std::max_element(values.begin(), values.begin() + mid,
+                                     nan_last_less);
   return 0.5f * (lo + hi);
 }
 
@@ -110,7 +150,7 @@ float TrimmedMeanAggregator::combine(std::vector<float>& values) const {
     throw Error("TrimmedMean: need more than " + std::to_string(2 * trim_) +
                 " contributions, got " + std::to_string(n));
   }
-  std::sort(values.begin(), values.end());
+  std::sort(values.begin(), values.end(), nan_last_less);
   double acc = 0.0;
   for (std::int64_t i = trim_; i < n - trim_; ++i) acc += values[i];
   return static_cast<float>(acc / static_cast<double>(n - 2 * trim_));

@@ -28,6 +28,7 @@ class BufferingAggregator : public Aggregator {
  public:
   void reset(const nn::StateDict& global, std::int64_t round) override;
   bool accept(const std::string& site, const Dxo& contribution) override;
+  bool revoke(const std::string& site) override;
   nn::StateDict aggregate() override;
   std::int64_t accepted_count() const override;
   RoundMetrics metrics() const override;
@@ -37,9 +38,20 @@ class BufferingAggregator : public Aggregator {
   virtual float combine(std::vector<float>& values) const = 0;
 
  private:
+  /// One buffered contribution plus the metric sums it added, so revoke()
+  /// can reverse the accounting exactly.
+  struct Entry {
+    nn::StateDict data;
+    std::int64_t samples = 0;
+    bool has_loss = false;
+    double train_loss = 0.0;
+    double valid_acc = 0.0;
+    double valid_loss = 0.0;
+  };
+
   nn::StateDict global_;
   std::optional<DxoKind> round_kind_;
-  std::map<std::string, nn::StateDict> contributions_;
+  std::map<std::string, Entry> contributions_;
   RoundMetrics metrics_{};
   double loss_weight_sum_ = 0.0;
 };

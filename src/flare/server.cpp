@@ -37,7 +37,9 @@ FederatedServer::FederatedServer(ServerConfig config,
       registry_(std::move(registry)),
       persistor_(std::move(persistor)),
       global_(std::move(initial_model)),
-      aggregator_(std::move(aggregator)) {
+      aggregator_(std::move(aggregator)),
+      validator_(config_.validator),
+      reputation_(config_.reputation) {
   if (!aggregator_) throw Error("FederatedServer: aggregator required");
   if (config_.num_rounds <= 0) throw Error("FederatedServer: num_rounds must be > 0");
   if (resume.has_value()) {
@@ -48,16 +50,22 @@ FederatedServer::FederatedServer(ServerConfig config,
     global_ = std::move(resume->model);
     history_ = std::move(resume->history);
     round_ = resume->round + 1;
+    reputation_.restore(std::move(resume->reputation));
+    const std::int64_t quarantined = reputation_.quarantined_count();
     sag_log().info("Resuming job " + config_.job_id + " from checkpointed round " +
                    std::to_string(resume->round) + " (next round " +
                    std::to_string(round_) + " of " +
-                   std::to_string(config_.num_rounds) + ")");
+                   std::to_string(config_.num_rounds) + ")" +
+                   (quarantined > 0 ? ", " + std::to_string(quarantined) +
+                                          " site(s) still quarantined"
+                                    : ""));
     if (round_ >= config_.num_rounds) {
       finished_ = true;
       return;
     }
   }
   aggregator_->reset(global_, round_);
+  validator_.reset(global_, round_);
 }
 
 Dispatcher FederatedServer::dispatcher() {
@@ -194,7 +202,7 @@ std::vector<std::uint8_t> FederatedServer::on_get_task(const std::string& sender
   task.round = round_;
   if (finished_ || aborted_) {
     task.task = TaskKind::kStop;
-  } else if (!started_ || submitted_.count(sender) != 0 ||
+  } else if (!started_ || resolved_locked(sender) ||
              !participates_locked(sender)) {
     task.task = TaskKind::kNone;
   } else {
@@ -212,8 +220,10 @@ std::vector<std::uint8_t> FederatedServer::on_submit(const std::string& sender,
   if (it == sessions_.end() || it->second != req.session_id) {
     throw UnknownSessionError("submit: no active session for '" + sender + "'");
   }
-  if (finished_) return pack(SubmitAck{false, "run already finished"});
-  if (aborted_) return pack(SubmitAck{false, "run aborted"});
+  if (finished_) {
+    return pack(SubmitAck{false, "run already finished", RejectReason::kRunOver});
+  }
+  if (aborted_) return pack(SubmitAck{false, "run aborted", RejectReason::kRunOver});
   if (req.round != round_) {
     sag_log().warn("Stale contribution from " + sender + " for round " +
                    std::to_string(req.round) + " (current " +
@@ -224,23 +234,61 @@ std::vector<std::uint8_t> FederatedServer::on_submit(const std::string& sender,
       // count it as late telemetry on that round's history entry.
       history_[static_cast<std::size_t>(req.round)].late_contributions += 1;
     }
-    return pack(SubmitAck{false, "stale round"});
+    return pack(SubmitAck{false, "stale round", RejectReason::kStaleRound});
   }
   if (submitted_.count(sender) != 0) {
     // At-least-once delivery: the first submit landed but its ack was lost
     // and the client resent. Dedup here; the client maps this message back
     // to success.
-    return pack(SubmitAck{false, kDuplicateContribution});
+    return pack(SubmitAck{false, kDuplicateContribution, RejectReason::kDuplicate});
+  }
+  if (rejected_acks_.count(sender) != 0) {
+    // Already resolved this round with a rejection; answer resends with
+    // the same verdict (at-least-once delivery, idempotent acks).
+    return pack(rejected_acks_.at(sender));
   }
   if (!participates_locked(sender)) {
-    return pack(SubmitAck{false, "not sampled for this round"});
+    return pack(SubmitAck{false, "not sampled for this round",
+                          RejectReason::kNotSampled});
   }
 
   Dxo contribution = req.payload;
   const FLContext ctx = make_context_locked();
   inbound_filters_.process(contribution, ctx);
-  if (!aggregator_->accept(sender, contribution)) {
-    return pack(SubmitAck{false, "rejected by aggregator"});
+
+  if (reputation_.quarantined(sender)) {
+    // Quarantined uploads never reach the aggregator, but they are still
+    // screened (and their norm judged at round close) so clean rounds can
+    // grow the site's parole streak.
+    ScoredUpload scored;
+    scored.verdict = validator_.score(sender, contribution, &scored.norm);
+    scored_quarantined_[sender] = std::move(scored);
+    round_rejects_[RejectReason::kQuarantined] += 1;
+    const SubmitAck ack{false,
+                        "quarantined: update scored but excluded from "
+                        "aggregation",
+                        RejectReason::kQuarantined};
+    rejected_acks_[sender] = ack;
+    maybe_close_round_locked();
+    return pack(ack);
+  }
+
+  const Verdict verdict = validator_.admit(*aggregator_, sender, contribution);
+  if (!verdict.ok()) {
+    round_rejects_[verdict.reason] += 1;
+    if (reputation_.record_rejection(sender)) {
+      sag_log().warn("Site " + sender + " QUARANTINED after " +
+                     std::to_string(config_.reputation.quarantine_after) +
+                     " consecutive rejections");
+    }
+    const SubmitAck ack{
+        false,
+        "rejected: " + std::string(reject_reason_name(verdict.reason)) +
+            (verdict.detail.empty() ? "" : " (" + verdict.detail + ")"),
+        verdict.reason};
+    rejected_acks_[sender] = ack;
+    maybe_close_round_locked();
+    return pack(ack);
   }
   submitted_.insert(sender);
   maybe_close_round_locked();
@@ -262,13 +310,74 @@ void FederatedServer::start_round_locked() {
   events_.fire(EventType::kRoundStarted, make_context_locked());
 }
 
+// Round-close defense pass. The norm-outlier judgment runs here, over the
+// round's *complete* set of admitted norms (never a running estimate), so
+// verdicts — and therefore the aggregate — are independent of arrival
+// order. Flagged contributions are revoked from the aggregator, then every
+// site's reputation is settled for the round.
+void FederatedServer::settle_round_verdicts_locked() {
+  for (const auto& [site, verdict] : validator_.flag_outliers()) {
+    if (!aggregator_->revoke(site)) {
+      sag_log().warn("Site " + site + " flagged as a norm outlier but " +
+                     aggregator_->name() +
+                     " cannot revoke; contribution kept");
+      continue;
+    }
+    sag_log().warn("Update from " + site + " revoked at round close (" +
+                   verdict.detail + ")");
+    submitted_.erase(site);
+    rejected_acks_[site] =
+        SubmitAck{false, "rejected: norm_outlier (" + verdict.detail + ")",
+                  RejectReason::kNormOutlier};
+    round_rejects_[RejectReason::kNormOutlier] += 1;
+    if (reputation_.record_rejection(site)) {
+      sag_log().warn("Site " + site + " QUARANTINED after " +
+                     std::to_string(config_.reputation.quarantine_after) +
+                     " consecutive rejections");
+    }
+  }
+  // Sites whose contributions survived to aggregation were clean.
+  for (const std::string& site : submitted_) {
+    (void)reputation_.record_clean(site);
+  }
+  // Quarantined sites' scored uploads: a screening failure is a strike; a
+  // screening pass is judged against the round's norm population, and a
+  // clean verdict grows the parole streak.
+  for (const auto& [site, scored] : scored_quarantined_) {
+    Verdict verdict = scored.verdict;
+    if (verdict.ok()) verdict = validator_.judge_norm(scored.norm);
+    if (verdict.ok()) {
+      if (reputation_.record_clean(site)) {
+        sag_log().info("Site " + site + " paroled after " +
+                       std::to_string(config_.reputation.parole_after) +
+                       " clean round(s); re-admitted from round " +
+                       std::to_string(round_ + 1));
+      }
+    } else {
+      (void)reputation_.record_rejection(site);
+    }
+  }
+}
+
 void FederatedServer::finish_round_locked(bool deadline_fired) {
   events_.fire(EventType::kBeforeAggregation, make_context_locked());
+  settle_round_verdicts_locked();
+  if (aggregator_->accepted_count() == 0) {
+    abort_run_locked("round " + std::to_string(round_) +
+                     ": every contribution was rejected by the update "
+                     "validator");
+    return;
+  }
   sag_log().info("End aggregation.");
   global_ = aggregator_->aggregate();
   RoundMetrics metrics = aggregator_->metrics();
   metrics.evicted_sites = static_cast<std::int64_t>(evicted_.size());
   metrics.deadline_fired = deadline_fired;
+  for (const auto& [reason, count] : round_rejects_) {
+    metrics.rejections_by_reason[reject_reason_name(reason)] = count;
+    if (reason != RejectReason::kQuarantined) metrics.rejected_updates += count;
+  }
+  metrics.quarantined_sites = reputation_.quarantined_count();
   history_.push_back(metrics);
   events_.fire(EventType::kAfterAggregation, make_context_locked());
   for (const RoundObserver& observer : round_observers_) {
@@ -277,13 +386,17 @@ void FederatedServer::finish_round_locked(bool deadline_fired) {
 
   if (persistor_) {
     sag_log().info("Start persist model on server.");
-    persistor_->save({config_.job_id, round_, global_, history_});
+    persistor_->save({config_.job_id, round_, global_, history_,
+                      reputation_.standings()});
     sag_log().info("End persist model on server.");
   }
   sag_log().info("Round " + std::to_string(round_) + " finished.");
   events_.fire(EventType::kRoundDone, make_context_locked());
 
   submitted_.clear();
+  rejected_acks_.clear();
+  scored_quarantined_.clear();
+  round_rejects_.clear();
   round_ += 1;
   if (round_ >= config_.num_rounds) {
     finished_ = true;
@@ -291,6 +404,7 @@ void FederatedServer::finish_round_locked(bool deadline_fired) {
     finished_cv_.notify_all();
   } else {
     aggregator_->reset(global_, round_);
+    validator_.reset(global_, round_);
     start_round_locked();
   }
 }
@@ -298,11 +412,14 @@ void FederatedServer::finish_round_locked(bool deadline_fired) {
 void FederatedServer::maybe_close_round_locked() {
   if (finished_ || aborted_ || !started_) return;
   evict_stragglers_locked();
-  const std::int64_t accepted = aggregator_->accepted_count();
-  if (accepted >= round_quorum_locked()) {
+  // A round closes when enough participants have *resolved* (accepted or
+  // rejected), not just accepted: a rejected site will never submit again
+  // this round, so waiting on it would stall until the deadline.
+  if (resolved_participant_count_locked() >= round_quorum_locked()) {
     finish_round_locked(/*deadline_fired=*/false);
     return;
   }
+  const std::int64_t accepted = aggregator_->accepted_count();
   if (config_.round_deadline_ms <= 0) return;
   const auto age = std::chrono::duration_cast<std::chrono::milliseconds>(
                        std::chrono::steady_clock::now() - round_start_)
@@ -327,7 +444,7 @@ void FederatedServer::evict_stragglers_locked() {
   if (config_.liveness_timeout_ms <= 0 || !started_) return;
   const auto now = std::chrono::steady_clock::now();
   for (const auto& [site, session] : sessions_) {
-    if (submitted_.count(site) != 0 || evicted_.count(site) != 0 ||
+    if (resolved_locked(site) || evicted_.count(site) != 0 ||
         !participates_locked(site)) {
       continue;
     }
@@ -365,9 +482,18 @@ void FederatedServer::sample_round_participants_locked() {
       config_.clients_per_round >= static_cast<std::int64_t>(sessions_.size())) {
     return;  // empty set means "everyone participates"
   }
+  // Quarantined sites are left out of the draw: sampling one would shrink
+  // the round's effective quorum for no benefit (its upload could not be
+  // aggregated anyway). They still poll and are scored when everyone
+  // participates (the unsampled path).
   std::vector<std::string> sites;
   sites.reserve(sessions_.size());
-  for (const auto& [site, session] : sessions_) sites.push_back(site);
+  for (const auto& [site, session] : sessions_) {
+    if (!reputation_.quarantined(site)) sites.push_back(site);
+  }
+  if (static_cast<std::int64_t>(sites.size()) <= config_.clients_per_round) {
+    return;
+  }
   core::Rng rng(config_.sampling_seed ^
                 (static_cast<std::uint64_t>(round_) * 0x9e3779b97f4a7c15ull));
   rng.shuffle(sites);
@@ -384,23 +510,38 @@ bool FederatedServer::participates_locked(const std::string& site) const {
   return sampled_.empty() || sampled_.count(site) != 0;
 }
 
+bool FederatedServer::resolved_locked(const std::string& site) const {
+  return submitted_.count(site) != 0 || rejected_acks_.count(site) != 0;
+}
+
+// Quarantined sites are excluded from every quorum count below: they still
+// poll and are scored, but the round must not wait on them (and must not
+// shrink toward min_clients because of them) — an 8-site round with one
+// quarantined site closes exactly like a clean 7-site round.
 std::int64_t FederatedServer::participant_count_locked() const {
-  return sampled_.empty() ? static_cast<std::int64_t>(sessions_.size())
-                          : static_cast<std::int64_t>(sampled_.size());
+  std::int64_t count = 0;
+  for (const auto& [site, session] : sessions_) {
+    if (participates_locked(site) && !reputation_.quarantined(site)) count += 1;
+  }
+  return count;
 }
 
 std::int64_t FederatedServer::live_participant_count_locked() const {
   std::int64_t live = 0;
-  if (sampled_.empty()) {
-    for (const auto& [site, session] : sessions_) {
-      if (evicted_.count(site) == 0) live += 1;
-    }
-  } else {
-    for (const std::string& site : sampled_) {
-      if (evicted_.count(site) == 0) live += 1;
-    }
+  for (const auto& [site, session] : sessions_) {
+    if (!participates_locked(site) || reputation_.quarantined(site)) continue;
+    if (evicted_.count(site) == 0) live += 1;
   }
   return live;
+}
+
+std::int64_t FederatedServer::resolved_participant_count_locked() const {
+  std::int64_t resolved = 0;
+  for (const auto& [site, session] : sessions_) {
+    if (!participates_locked(site) || reputation_.quarantined(site)) continue;
+    if (resolved_locked(site)) resolved += 1;
+  }
+  return resolved;
 }
 
 std::int64_t FederatedServer::min_required_locked() const {
@@ -460,6 +601,16 @@ std::int64_t FederatedServer::registered_clients() const {
 std::vector<std::string> FederatedServer::evicted_sites() const {
   std::lock_guard<std::mutex> lock(mu_);
   return std::vector<std::string>(evicted_.begin(), evicted_.end());
+}
+
+std::vector<std::string> FederatedServer::quarantined_sites() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reputation_.quarantined_sites();
+}
+
+std::map<std::string, SiteStanding> FederatedServer::reputation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reputation_.standings();
 }
 
 }  // namespace cppflare::flare

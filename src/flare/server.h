@@ -33,6 +33,7 @@
 #include "flare/provision.h"
 #include "flare/secure_channel.h"
 #include "flare/transport.h"
+#include "flare/validator.h"
 
 namespace cppflare::flare {
 
@@ -60,6 +61,11 @@ struct ServerConfig {
   /// a round is open is evicted — it stops counting toward the quorum until
   /// its next authenticated frame re-admits it. Checked lazily on traffic.
   std::int64_t liveness_timeout_ms = 0;
+  /// Update-validation pipeline applied before the aggregator (defaults
+  /// screen schema/finiteness/freshness; the norm-outlier pass is off).
+  ValidatorConfig validator;
+  /// Cross-round quarantine/parole policy (quarantine off by default).
+  ReputationConfig reputation;
 };
 
 class FederatedServer {
@@ -119,6 +125,10 @@ class FederatedServer {
   std::int64_t registered_clients() const;
   /// Sites currently evicted by the liveness tracker.
   std::vector<std::string> evicted_sites() const;
+  /// Sites currently quarantined by the reputation tracker.
+  std::vector<std::string> quarantined_sites() const;
+  /// A copy of every site's reputation standing.
+  std::map<std::string, SiteStanding> reputation() const;
 
  private:
   std::vector<std::uint8_t> handle_sealed(const std::vector<std::uint8_t>& request);
@@ -143,9 +153,12 @@ class FederatedServer {
   void abort_run_locked(const std::string& reason);
   void record_liveness(const std::string& sender);
   void sample_round_participants_locked();
+  void settle_round_verdicts_locked();
   bool participates_locked(const std::string& site) const;
+  bool resolved_locked(const std::string& site) const;
   std::int64_t participant_count_locked() const;
   std::int64_t live_participant_count_locked() const;
+  std::int64_t resolved_participant_count_locked() const;
   std::int64_t min_required_locked() const;
   std::int64_t round_quorum_locked() const;
 
@@ -160,8 +173,23 @@ class FederatedServer {
   mutable std::condition_variable finished_cv_;
   nn::StateDict global_;
   std::unique_ptr<Aggregator> aggregator_;
+  UpdateValidator validator_;
+  SiteReputation reputation_;
   std::map<std::string, std::string> sessions_;  // site -> session id
-  std::set<std::string> submitted_;              // sites done this round
+  std::set<std::string> submitted_;              // sites accepted this round
+  /// Sites resolved this round by a rejection (validator verdict or
+  /// quarantine scoring), mapped to the ack we sent so resends are
+  /// answered identically.
+  std::map<std::string, SubmitAck> rejected_acks_;
+  /// Quarantined sites' scored uploads: screening verdict + deviation
+  /// norm, judged against the round population when the round closes.
+  struct ScoredUpload {
+    Verdict verdict;
+    double norm = 0.0;
+  };
+  std::map<std::string, ScoredUpload> scored_quarantined_;
+  /// This round's rejection tally by reason (telemetry).
+  std::map<RejectReason, std::int64_t> round_rejects_;
   std::set<std::string> sampled_;                // this round's participants
   std::map<std::string, std::chrono::steady_clock::time_point> last_seen_;
   std::set<std::string> evicted_;                // unseen past the timeout

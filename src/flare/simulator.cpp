@@ -52,6 +52,8 @@ SimulatorRunner::SimulatorRunner(SimulatorConfig config, nn::StateDict initial_m
   server_config.sampling_seed = config_.seed ^ 0xc11e;
   server_config.round_deadline_ms = config_.round_deadline_ms;
   server_config.liveness_timeout_ms = config_.liveness_timeout_ms;
+  server_config.validator = config_.validator;
+  server_config.reputation = config_.reputation;
   server_ = std::make_unique<FederatedServer>(
       server_config, registry_, std::move(initial_model), std::move(aggregator),
       persistor_, std::move(resume));
@@ -121,6 +123,15 @@ SimulationResult SimulatorRunner::run() {
     auto client = std::make_unique<FederatedClient>(
         client_config, registry_.at(name), make_factory(i, name), factory_(i, name));
     if (customizer_) customizer_(*client);
+    // The poison filter goes in *after* the customizer's filters (privacy,
+    // clipping): an adversarial site corrupts what it would actually have
+    // sent, and its poison is not accidentally clipped back to sanity.
+    if (poison_planner_) {
+      if (const std::optional<PoisonPlan> plan = poison_planner_(i, name)) {
+        client->outbound_filters().add(std::make_shared<PoisonFilter>(*plan));
+        logger().warn(name + " is ADVERSARIAL this run");
+      }
+    }
     clients.push_back(std::move(client));
   }
 
@@ -168,6 +179,7 @@ SimulationResult SimulatorRunner::run() {
   result.abort_reason = server_->abort_reason();
   result.failed_sites = std::move(failed_sites);
   result.resumed_from_round = resumed_from_round_;
+  result.quarantined_sites = server_->quarantined_sites();
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();

@@ -6,8 +6,9 @@
 // returns the final global model plus per-round aggregated metrics. The
 // transport is in-process by default or loopback TCP (`use_tcp`) to exercise
 // the real wire path. A `FaultPlanner` can wrap any site's connections in
-// the fault-injection decorator (flare/faults.h), and `resume` restarts a
-// killed run from its persisted checkpoint.
+// the fault-injection decorator (flare/faults.h), a `PoisonPlanner` can make
+// any site adversarial at the model level (flare/poison.h), and `resume`
+// restarts a killed run from its persisted checkpoint.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +24,7 @@
 #include "flare/faults.h"
 #include "flare/learner.h"
 #include "flare/persistor.h"
+#include "flare/poison.h"
 #include "flare/server.h"
 
 namespace cppflare::flare {
@@ -53,6 +55,11 @@ struct SimulatorConfig {
   std::int64_t max_poll_interval_ms = 100;
   /// Abort if the run has not finished after this long.
   std::int64_t timeout_ms = 30 * 60 * 1000;
+  /// Server-side update validation (see flare/validator.h). Defaults keep
+  /// screening on with the norm-outlier pass off.
+  ValidatorConfig validator;
+  /// Cross-round quarantine/parole policy (off by default).
+  ReputationConfig reputation;
   /// Per-site compute-thread budget for the shared kernel pool
   /// (core/parallel.h). > 0 forces that budget; 0 divides the machine between
   /// site workers and kernels (max(1, hw_threads - num_clients + 1)), unless
@@ -74,6 +81,8 @@ struct SimulationResult {
   std::vector<std::string> failed_sites;
   /// Round the server resumed from (-1 for a fresh run).
   std::int64_t resumed_from_round = -1;
+  /// Sites still quarantined when the run ended.
+  std::vector<std::string> quarantined_sites;
 };
 
 class SimulatorRunner {
@@ -89,6 +98,11 @@ class SimulatorRunner {
   using FaultPlanner = std::function<std::optional<FaultPlan>(
       std::int64_t site_index, const std::string& site_name,
       std::int64_t incarnation)>;
+  /// Decides whether a site is adversarial: return a PoisonPlan to append a
+  /// PoisonFilter (flare/poison.h) to that site's outbound filter chain,
+  /// std::nullopt for an honest site.
+  using PoisonPlanner = std::function<std::optional<PoisonPlan>(
+      std::int64_t site_index, const std::string& site_name)>;
 
   SimulatorRunner(SimulatorConfig config, nn::StateDict initial_model,
                   std::unique_ptr<Aggregator> aggregator, LearnerFactory factory);
@@ -98,6 +112,9 @@ class SimulatorRunner {
   }
   void set_fault_planner(FaultPlanner planner) {
     fault_planner_ = std::move(planner);
+  }
+  void set_poison_planner(PoisonPlanner planner) {
+    poison_planner_ = std::move(planner);
   }
 
   /// Access the server before run() to add inbound filters or subscribe to
@@ -115,6 +132,7 @@ class SimulatorRunner {
   LearnerFactory factory_;
   ClientCustomizer customizer_;
   FaultPlanner fault_planner_;
+  PoisonPlanner poison_planner_;
   std::map<std::string, Credential> registry_;
   std::shared_ptr<ModelPersistor> persistor_;
   std::unique_ptr<FederatedServer> server_;

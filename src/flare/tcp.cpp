@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -40,6 +41,11 @@ void read_all(int fd, std::uint8_t* data, std::size_t n) {
     if (got == 0) throw TransportError("peer closed connection");
     if (got < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_RCVTIMEO expired: the peer connected and went silent (or is
+        // trickling bytes slower than the deadline).
+        throw TransportError("socket receive timed out (silent peer)");
+      }
       throw TransportError("recv failed: " + std::string(std::strerror(errno)));
     }
     data += got;
@@ -47,10 +53,22 @@ void read_all(int fd, std::uint8_t* data, std::size_t n) {
   }
 }
 
+void set_io_timeouts(int fd, std::int64_t timeout_ms) {
+  if (timeout_ms <= 0) return;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout_ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
 }  // namespace
 
-void write_frame(int fd, const std::vector<std::uint8_t>& payload) {
-  if (payload.size() > kMaxFrameBytes) throw TransportError("frame too large");
+void write_frame(int fd, const std::vector<std::uint8_t>& payload,
+                 std::uint32_t max_frame_bytes) {
+  if (payload.size() > std::min(max_frame_bytes, kMaxFrameBytes)) {
+    throw TransportError("frame too large");
+  }
   std::uint8_t header[4];
   const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
   for (int i = 0; i < 4; ++i) header[i] = static_cast<std::uint8_t>(len >> (8 * i));
@@ -58,19 +76,25 @@ void write_frame(int fd, const std::vector<std::uint8_t>& payload) {
   write_all(fd, payload.data(), payload.size());
 }
 
-std::vector<std::uint8_t> read_frame(int fd) {
+std::vector<std::uint8_t> read_frame(int fd, std::uint32_t max_frame_bytes) {
   std::uint8_t header[4];
   read_all(fd, header, 4);
   std::uint32_t len = 0;
   for (int i = 0; i < 4; ++i) len |= static_cast<std::uint32_t>(header[i]) << (8 * i);
-  if (len > kMaxFrameBytes) throw TransportError("oversized frame announced");
+  if (len > std::min(max_frame_bytes, kMaxFrameBytes)) {
+    throw TransportError("oversized frame announced (" + std::to_string(len) +
+                         " bytes, cap " +
+                         std::to_string(std::min(max_frame_bytes, kMaxFrameBytes)) +
+                         ")");
+  }
   std::vector<std::uint8_t> payload(len);
   read_all(fd, payload.data(), len);
   return payload;
 }
 
-TcpServer::TcpServer(std::uint16_t port, Dispatcher dispatcher)
-    : dispatcher_(std::move(dispatcher)) {
+TcpServer::TcpServer(std::uint16_t port, Dispatcher dispatcher,
+                     TcpServerOptions options)
+    : dispatcher_(std::move(dispatcher)), options_(options) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) throw TransportError("socket() failed");
   const int one = 1;
@@ -150,6 +174,10 @@ void TcpServer::accept_loop() {
     }
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    // A silent or stalled client must not pin this connection's handler
+    // thread forever: recv/send deadlines turn it into a TransportError the
+    // handler treats as teardown.
+    set_io_timeouts(fd, options_.io_timeout_ms);
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) {
       ::close(fd);
@@ -163,12 +191,14 @@ void TcpServer::accept_loop() {
 void TcpServer::serve_connection(int fd) {
   try {
     for (;;) {
-      const std::vector<std::uint8_t> request = read_frame(fd);
+      const std::vector<std::uint8_t> request =
+          read_frame(fd, options_.max_frame_bytes);
       const std::vector<std::uint8_t> response = dispatcher_(request);
       write_frame(fd, response);
     }
   } catch (const TransportError&) {
-    // Normal teardown path: peer closed or server stopping.
+    // Normal teardown path: peer closed, went silent past the deadline,
+    // announced an oversized frame, or the server is stopping.
   } catch (const std::exception& e) {
     logger().warn(std::string("connection handler error: ") + e.what());
   }

@@ -23,13 +23,27 @@ namespace cppflare::flare {
 /// length prefixes.
 constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
 
+/// Server-side hardening knobs against misbehaving or hostile clients.
+struct TcpServerOptions {
+  /// SO_RCVTIMEO/SO_SNDTIMEO on every accepted socket: a client that
+  /// connects and then goes silent mid-frame releases its handler thread
+  /// after this long instead of pinning it forever (0 = block forever).
+  /// Generous by default — a slow site mid-training must not be cut off.
+  std::int64_t io_timeout_ms = 300000;
+  /// Per-connection cap on the announced frame length; frames above it are
+  /// refused before a single payload byte is read. Never above the global
+  /// kMaxFrameBytes sanity bound.
+  std::uint32_t max_frame_bytes = kMaxFrameBytes;
+};
+
 /// Serves a Dispatcher on a TCP port. Each accepted connection gets a
 /// handler thread; connections are persistent (many request/response
 /// exchanges). Destruction stops the listener and joins every thread.
 class TcpServer {
  public:
   /// Binds 127.0.0.1:`port` (0 picks an ephemeral port; see port()).
-  TcpServer(std::uint16_t port, Dispatcher dispatcher);
+  TcpServer(std::uint16_t port, Dispatcher dispatcher,
+            TcpServerOptions options = {});
   ~TcpServer();
 
   TcpServer(const TcpServer&) = delete;
@@ -43,6 +57,7 @@ class TcpServer {
   void serve_connection(int fd);
 
   Dispatcher dispatcher_;
+  TcpServerOptions options_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
@@ -72,8 +87,13 @@ class TcpConnection : public Connection {
   int fd_ = -1;
 };
 
-/// Frame helpers shared by both ends (exposed for tests).
-void write_frame(int fd, const std::vector<std::uint8_t>& payload);
-std::vector<std::uint8_t> read_frame(int fd);
+/// Frame helpers shared by both ends (exposed for tests). `max_frame_bytes`
+/// bounds what read_frame will accept (and write_frame will announce); a
+/// recv/send that trips an SO_RCVTIMEO/SO_SNDTIMEO deadline surfaces as a
+/// TransportError naming the timeout.
+void write_frame(int fd, const std::vector<std::uint8_t>& payload,
+                 std::uint32_t max_frame_bytes = kMaxFrameBytes);
+std::vector<std::uint8_t> read_frame(int fd,
+                                     std::uint32_t max_frame_bytes = kMaxFrameBytes);
 
 }  // namespace cppflare::flare

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 namespace cppflare::flare {
 namespace {
@@ -82,6 +83,65 @@ TEST(NormClip, ZeroUpdateUnchanged) {
   FLContext ctx;
   filter.process(dxo, ctx);
   EXPECT_FLOAT_EQ(dxo.data().at("a").values[0], 0.0f);
+}
+
+TEST(NormClip, AllNaNPayloadPassesThroughUntouched) {
+  // Clipping a non-finite norm would smear NaN across every value via
+  // max_norm/NaN; the filter leaves the payload intact so the server-side
+  // validator can reject it with a typed non_finite verdict.
+  NormClipFilter filter(1.0);
+  const float qnan = std::nanf("");
+  Dxo dxo = weights_dxo({qnan, qnan, qnan});
+  FLContext ctx;
+  filter.process(dxo, ctx);
+  for (float v : dxo.data().at("a").values) EXPECT_TRUE(std::isnan(v));
+}
+
+TEST(NormClip, SingleInfAlsoSkipsClipping) {
+  NormClipFilter filter(1.0);
+  Dxo dxo = weights_dxo({std::numeric_limits<float>::infinity(), 2.0f});
+  FLContext ctx;
+  filter.process(dxo, ctx);
+  // The finite value is untouched — no partial rescale of a poisoned update.
+  EXPECT_FLOAT_EQ(dxo.data().at("a").values[1], 2.0f);
+  EXPECT_TRUE(std::isinf(dxo.data().at("a").values[0]));
+}
+
+TEST(GaussianFilter, SameSeedSameNoise) {
+  // Two filters built with the same seed must perturb identically — the
+  // determinism contract that makes privacy-filtered runs replayable.
+  GaussianPrivacyFilter a(0.5, 77);
+  GaussianPrivacyFilter b(0.5, 77);
+  Dxo da = weights_dxo({1.0f, 2.0f, 3.0f, 4.0f});
+  Dxo db = weights_dxo({1.0f, 2.0f, 3.0f, 4.0f});
+  FLContext ctx;
+  a.process(da, ctx);
+  b.process(db, ctx);
+  EXPECT_EQ(da.data().at("a").values, db.data().at("a").values);
+
+  GaussianPrivacyFilter c(0.5, 78);
+  Dxo dc = weights_dxo({1.0f, 2.0f, 3.0f, 4.0f});
+  c.process(dc, ctx);
+  EXPECT_NE(da.data().at("a").values, dc.data().at("a").values);
+}
+
+TEST(FilterChainTest, OrderingIsObservable) {
+  // clip-then-noise leaves the noise unclipped; noise-then-clip bounds the
+  // final norm. The chain must run filters strictly in insertion order.
+  const auto run = [](bool clip_first) {
+    FilterChain chain;
+    if (clip_first) chain.add(std::make_shared<NormClipFilter>(1.0));
+    chain.add(std::make_shared<GaussianPrivacyFilter>(2.0, 7));
+    if (!clip_first) chain.add(std::make_shared<NormClipFilter>(1.0));
+    Dxo dxo = weights_dxo({30.0f, 40.0f});
+    FLContext ctx;
+    chain.process(dxo, ctx);
+    const auto& v = dxo.data().at("a").values;
+    return std::sqrt(static_cast<double>(v[0]) * v[0] +
+                     static_cast<double>(v[1]) * v[1]);
+  };
+  EXPECT_GT(run(/*clip_first=*/true), 1.0 + 1e-6);   // noise escaped the clip
+  EXPECT_LE(run(/*clip_first=*/false), 1.0 + 1e-6);  // clip bounded the noise
 }
 
 TEST(ExcludeVars, DropsMatchingPrefix) {

@@ -63,6 +63,28 @@ TEST(Messages, SubmitAckAndErrorRoundTrip) {
   EXPECT_EQ(e.message, "bad");
 }
 
+TEST(Messages, SubmitAckCarriesEveryRejectReason) {
+  for (std::uint8_t raw = 0;
+       raw <= static_cast<std::uint8_t>(RejectReason::kRunOver); ++raw) {
+    const RejectReason reason = static_cast<RejectReason>(raw);
+    const SubmitAck a =
+        decode_submit_ack(pack(SubmitAck{false, "why", reason}));
+    EXPECT_EQ(a.reason, reason);
+    EXPECT_STRNE(reject_reason_name(reason), "");
+  }
+  // Accepted acks default to kNone.
+  const SubmitAck ok = decode_submit_ack(pack(SubmitAck{true, "ok"}));
+  EXPECT_EQ(ok.reason, RejectReason::kNone);
+}
+
+TEST(Messages, SubmitAckRejectsUnknownReasonByte) {
+  // Corrupt the trailing reason byte past the enum range: the decoder must
+  // refuse rather than cast garbage into the enum.
+  std::vector<std::uint8_t> frame = pack(SubmitAck{false, "x"});
+  frame.back() = 200;
+  EXPECT_THROW(decode_submit_ack(frame), ProtocolError);
+}
+
 TEST(Messages, PeekTypeRejectsGarbage) {
   EXPECT_THROW(peek_type({}), ProtocolError);
   EXPECT_THROW(peek_type({0}), ProtocolError);

@@ -136,6 +136,126 @@ TEST_F(PersistorTest, V1CheckpointLoadsWithEmptyHistory) {
   EXPECT_TRUE(loaded->history.empty());
 }
 
+TEST_F(PersistorTest, V2CheckpointLoadsWithoutDefenseTelemetry) {
+  // A PR-3-era checkpoint (magic "CPK2": history but no defense telemetry,
+  // no reputation section, no integrity footer) must still load.
+  const std::string file = path("v2.bin");
+  core::ByteWriter w;
+  w.write_u32(0x43504b32);  // "CPK2"
+  w.write_string("job-v2");
+  w.write_i64(2);
+  sample_dict().serialize(w);
+  w.write_u32(1);  // one history entry, v2 layout
+  w.write_i64(0);  // round
+  w.write_i64(3);  // num_contributions
+  w.write_i64(30);
+  w.write_f64(0.5);
+  w.write_f64(0.75);
+  w.write_f64(0.6);
+  w.write_i64(0);  // late_contributions
+  w.write_i64(0);  // evicted_sites
+  w.write_bool(false);
+  {
+    std::ofstream out(file, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(w.bytes().data()),
+              static_cast<std::streamsize>(w.size()));
+  }
+  ModelPersistor p(file);
+  const auto loaded = p.load();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->job_id, "job-v2");
+  ASSERT_EQ(loaded->history.size(), 1u);
+  EXPECT_EQ(loaded->history[0].num_contributions, 3);
+  EXPECT_EQ(loaded->history[0].rejected_updates, 0);
+  EXPECT_TRUE(loaded->reputation.empty());
+}
+
+TEST_F(PersistorTest, DefenseTelemetryAndReputationRoundTrip) {
+  ModelPersistor p(path("v3.bin"));
+  RoundMetrics m;
+  m.round = 0;
+  m.num_contributions = 7;
+  m.rejected_updates = 1;
+  m.quarantined_sites = 1;
+  m.rejections_by_reason["non_finite"] = 1;
+  m.rejections_by_reason["norm_outlier"] = 2;
+  Checkpoint cp{"job-v3", 1, sample_dict(), {m}};
+  SiteStanding bad;
+  bad.strikes = 2;
+  bad.quarantined = true;
+  bad.total_rejections = 2;
+  bad.times_quarantined = 1;
+  cp.reputation["site-8"] = bad;
+  p.save(cp);
+  const auto loaded = p.load();
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->history.size(), 1u);
+  EXPECT_EQ(loaded->history[0].rejected_updates, 1);
+  EXPECT_EQ(loaded->history[0].quarantined_sites, 1);
+  EXPECT_EQ(loaded->history[0].rejections_by_reason.at("non_finite"), 1);
+  EXPECT_EQ(loaded->history[0].rejections_by_reason.at("norm_outlier"), 2);
+  ASSERT_EQ(loaded->reputation.count("site-8"), 1u);
+  EXPECT_TRUE(loaded->reputation.at("site-8").quarantined);
+  EXPECT_EQ(loaded->reputation.at("site-8").strikes, 2);
+  EXPECT_EQ(loaded->reputation.at("site-8").times_quarantined, 1);
+}
+
+TEST_F(PersistorTest, TruncatedCheckpointFailsIntegrityCheck) {
+  const std::string file = path("model.bin");
+  ModelPersistor p(file);
+  p.save({"job", 1, sample_dict(), {}});
+  const auto size = std::filesystem::file_size(file);
+  std::filesystem::resize_file(file, size - 7);
+  try {
+    p.load();
+    FAIL() << "truncated checkpoint must not load";
+  } catch (const SerializationError& e) {
+    // The error names the offending path so an operator can find the file.
+    EXPECT_NE(std::string(e.what()).find(file), std::string::npos);
+  }
+}
+
+TEST_F(PersistorTest, TruncatedBelowFooterSizeFailsWithClearError) {
+  const std::string file = path("model.bin");
+  ModelPersistor p(file);
+  p.save({"job", 1, sample_dict(), {}});
+  std::filesystem::resize_file(file, 10);  // magic survives, footer gone
+  try {
+    p.load();
+    FAIL() << "footerless checkpoint must not load";
+  } catch (const SerializationError& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos);
+  }
+}
+
+TEST_F(PersistorTest, FlippedByteFailsIntegrityCheck) {
+  const std::string file = path("model.bin");
+  ModelPersistor p(file);
+  p.save({"job", 1, sample_dict(), {}});
+  // Flip one bit in the middle of the body (past the magic, before the
+  // footer): the SHA-256 footer must catch it.
+  std::vector<char> bytes;
+  {
+    std::ifstream in(file, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(bytes.size(), 40u);
+  bytes[bytes.size() / 2] ^= 0x01;
+  {
+    std::ofstream out(file, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  try {
+    p.load();
+    FAIL() << "corrupted checkpoint must not load";
+  } catch (const SerializationError& e) {
+    EXPECT_NE(std::string(e.what()).find("integrity check failed"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find(file), std::string::npos);
+  }
+}
+
 TEST_F(PersistorTest, EmptyModelRoundTrip) {
   ModelPersistor p(path("empty.bin"));
   p.save({"job", 0, nn::StateDict{}, {}});

@@ -382,6 +382,57 @@ TEST_F(TcpStress, AbruptDisconnectsDoNotKillServer) {
   EXPECT_EQ(conn.call({7}), (std::vector<std::uint8_t>{7}));
 }
 
+TEST_F(TcpStress, SilentClientsUnderLoadDoNotStarveHonestOnes) {
+  // Several clients connect and go mute mid-frame while honest traffic
+  // hammers the same server. With SO_RCVTIMEO armed, every silent
+  // connection's handler thread is reclaimed on the deadline instead of
+  // accumulating until the accept backlog starves.
+  flare::TcpServerOptions options;
+  options.io_timeout_ms = 100;
+  flare::TcpServer server(0, echo_dispatcher(), options);
+  std::vector<int> silent_fds;
+  for (int i = 0; i < 6; ++i) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(server.port());
+    ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    // Half a length header, then silence — pins the handler in read_all
+    // until the receive deadline fires.
+    const std::uint8_t half[2] = {0x08, 0x00};
+    (void)::send(fd, half, sizeof(half), MSG_NOSIGNAL);
+    silent_fds.push_back(fd);
+  }
+  std::atomic<int> failures{0};
+  std::vector<std::thread> honest;
+  for (int t = 0; t < 4; ++t) {
+    honest.emplace_back([&, t] {
+      try {
+        flare::TcpConnection conn("127.0.0.1", server.port());
+        for (int i = 0; i < 25; ++i) {
+          const std::vector<std::uint8_t> msg = {static_cast<std::uint8_t>(t),
+                                                 static_cast<std::uint8_t>(i)};
+          if (conn.call(msg) != msg) failures.fetch_add(1);
+        }
+      } catch (...) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : honest) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  // Give the deadlines time to fire, then confirm the silent handlers were
+  // torn down (server closed its end of every mute connection).
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  for (const int fd : silent_fds) {
+    std::uint8_t byte = 0;
+    EXPECT_EQ(::recv(fd, &byte, 1, MSG_DONTWAIT), 0);
+    ::close(fd);
+  }
+}
+
 TEST_F(TcpStress, PortIsReusableImmediatelyAfterStop) {
   std::uint16_t port;
   {

@@ -2,7 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <chrono>
 #include <thread>
 
 #include "core/error.h"
@@ -117,6 +123,73 @@ TEST(Tcp, DispatcherExceptionClosesConnectionOnly) {
   TcpServer echo(0, [](const std::vector<std::uint8_t>& r) { return r; });
   TcpConnection good("127.0.0.1", echo.port());
   EXPECT_EQ(good.call({7}), (std::vector<std::uint8_t>{7}));
+}
+
+TEST(Tcp, OversizedEnvelopeRefusedBeforePayloadRead) {
+  TcpServerOptions options;
+  options.max_frame_bytes = 1024;
+  TcpServer server(
+      0, [](const std::vector<std::uint8_t>& r) { return r; }, options);
+  // Under the cap: served normally.
+  TcpConnection small("127.0.0.1", server.port());
+  EXPECT_EQ(small.call(std::vector<std::uint8_t>(1024, 7)).size(), 1024u);
+  // Over the cap: the server drops the connection on reading the length
+  // prefix, before a single payload byte crosses the wire.
+  TcpConnection big("127.0.0.1", server.port());
+  EXPECT_THROW(big.call(std::vector<std::uint8_t>(1025, 7)), TransportError);
+  // The listener survives a hostile frame announcement.
+  TcpConnection again("127.0.0.1", server.port());
+  EXPECT_EQ(again.call({1, 2}), (std::vector<std::uint8_t>{1, 2}));
+}
+
+TEST(Tcp, HostileLengthPrefixNeverReachesTheAllocator) {
+  // Even a caller-supplied cap above the global bound is clamped to
+  // kMaxFrameBytes: a hand-crafted ~4 GiB announcement gets the connection
+  // dropped on the header, not a 4 GiB allocation.
+  TcpServerOptions options;
+  options.max_frame_bytes = 0xffffffff;
+  TcpServer server(
+      0, [](const std::vector<std::uint8_t>& r) { return r; }, options);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  const std::uint8_t hostile_header[4] = {0xf0, 0xff, 0xff, 0xff};  // ~4 GiB
+  ASSERT_EQ(::send(fd, hostile_header, 4, MSG_NOSIGNAL), 4);
+  // The server must close without ever sending a response frame.
+  std::uint8_t byte = 0;
+  EXPECT_EQ(::recv(fd, &byte, 1, 0), 0);
+  ::close(fd);
+  // And keep serving honest clients.
+  TcpConnection conn("127.0.0.1", server.port());
+  EXPECT_EQ(conn.call({3}), (std::vector<std::uint8_t>{3}));
+}
+
+TEST(Tcp, SilentPeerReleasesHandlerThread) {
+  TcpServerOptions options;
+  options.io_timeout_ms = 200;
+  std::atomic<int> calls{0};
+  TcpServer server(
+      0,
+      [&calls](const std::vector<std::uint8_t>& r) {
+        calls.fetch_add(1);
+        return r;
+      },
+      options);
+  // A client that connects, sends half a frame header, then goes silent.
+  TcpConnection silent("127.0.0.1", server.port());
+  // (Sending nothing at all also works: the server blocks in read_frame.)
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  // The handler timed out and tore the connection down; the next call on
+  // the half-dead connection fails...
+  EXPECT_THROW(silent.call({1}), TransportError);
+  // ...while fresh clients are served as usual (no thread was pinned).
+  TcpConnection live("127.0.0.1", server.port());
+  EXPECT_EQ(live.call({9}), (std::vector<std::uint8_t>{9}));
+  EXPECT_EQ(calls.load(), 1);
 }
 
 }  // namespace
