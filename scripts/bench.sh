@@ -13,6 +13,8 @@
 #   BENCH_faults.json — bench_faults rounds/s of an 8-site TCP federation
 #       with and without the standard fault plan (10% drop, 10% delay, one
 #       disconnect), plus the resulting overhead factor.
+#   BENCH_obs.json — bench_trace rounds/s of a clean vs fully traced 8-site
+#     TCP federation and the tracing overhead factor (budget 1.05x).
 #   BENCH_robust.json — bench_poison accuracy + rounds/s for four
 #       aggregation configs (FedAvg, FedAvg+validator+quarantine, median,
 #       trimmed mean) under every poisoning mode with 1-2 adversaries, plus
@@ -33,7 +35,7 @@ step() { echo; echo "==== $* ===="; }
 step "release: build benches"
 cmake --preset release
 cmake --build --preset release -j "${JOBS}" \
-  --target bench_micro_tensor bench_table2_models bench_faults bench_poison
+  --target bench_micro_tensor bench_table2_models bench_faults bench_poison bench_trace
 
 step "tensor microbenchmarks -> BENCH_tensor.json"
 ./build-release/bench/bench_micro_tensor \
@@ -50,5 +52,8 @@ step "fault-tolerance overhead -> BENCH_faults.json"
 step "adversarial robustness -> BENCH_robust.json"
 ./build-release/bench/bench_poison --json "${REPO_ROOT}/BENCH_robust.json"
 
+step "observability overhead -> BENCH_obs.json"
+./build-release/bench/bench_trace --json "${REPO_ROOT}/BENCH_obs.json"
+
 step "bench complete"
-echo "wrote BENCH_tensor.json, BENCH_models.json, BENCH_faults.json and BENCH_robust.json"
+echo "wrote BENCH_tensor.json, BENCH_models.json, BENCH_faults.json, BENCH_robust.json and BENCH_obs.json"

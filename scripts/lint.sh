@@ -29,6 +29,12 @@
 #       freshness, sample count) and the rejection telemetry cannot be
 #       bypassed. Raw `::accept(` socket calls are not method calls and do
 #       not match. Annotate a sanctioned exception `R7-exempt: <reason>`.
+#   R8  no legacy Logger string methods (.info/.warn/.error/.debug) outside
+#       src/core/ — library code logs through the structured event API
+#       (LOG(level).msg(...).kv(...), core/logging.h) so lines stay
+#       machine-parsable; the legacy form survives only as a shim inside
+#       core and in tests. Annotate a sanctioned exception
+#       `R8-exempt: <reason>`.
 #
 # Usage:
 #   scripts/lint.sh              lint the repository (exit 0 = clean)
@@ -154,6 +160,25 @@ check_direct_accept() {  # R7: Aggregator::accept called outside the validator
     done
 }
 
+check_legacy_log() {  # R8: legacy Logger string methods outside src/core/
+  local root="$1"
+  local f
+  find "$root/src" -type f \( -name '*.cpp' -o -name '*.h' \) 2>/dev/null |
+    while IFS= read -r f; do
+      case "$f" in */src/core/*) continue ;; esac
+      # Method-call syntax only: `LOG(info)` / `LOG_AS(...)` macro calls and
+      # the builder's .msg()/.kv() chain do not match.
+      strip_comments "$f" |
+        grep -nE '(->|\.)[[:space:]]*(debug|info|warn|error)[[:space:]]*\(' |
+        while IFS= read -r hit; do
+          local ln="${hit%%:*}"
+          if sed -n "${ln}p" "$f" | grep -q 'R8-exempt:'; then continue; fi
+          echo "${f#"$root"/}:${hit}" |
+            sed 's|$|: R8 legacy Logger call outside src/core/ (use LOG(level).msg(...).kv(...))|'
+        done
+    done
+}
+
 run_all_checks() {
   local root="$1"
   check_rand "$root"
@@ -163,6 +188,7 @@ run_all_checks() {
   check_raw_threads "$root"
   check_naked_sleeps "$root"
   check_direct_accept "$root"
+  check_legacy_log "$root"
 }
 
 self_test() {
@@ -233,11 +259,24 @@ EOF
 struct Agg { bool accept(int, int); };
 bool admit(Agg& agg) { return agg.accept(5, 6); }
 EOF
+  cat > "$tmp/src/flare/old_logger.cpp" <<'EOF'
+struct L { void info(const char*) const; void warn(const char*) const; };
+void legacy(const L& log) { log.info("round started"); }
+void sanctioned(const L& log) { log.warn("fig3 line"); }  // R8-exempt: test fixture
+struct Ev { Ev& msg(const char*); Ev& kv(const char*, int); };
+Ev structured_decoy(Ev e) { return e.msg("ok").kv("round", 1); }
+int information_decoy() { return 0; }
+// decoy comment: log.error( mentioned in prose only
+EOF
+  cat > "$tmp/src/core/log_shim.cpp" <<'EOF'
+struct L { void info(const char*) const; };
+void core_may_shim(const L& log) { log.info("legacy shim allowed in core"); }
+EOF
 
   local out
   out="$(run_all_checks "$tmp")"
   local failed=0
-  for rule in R1 R2 R3 R4 R5 R6 R7; do
+  for rule in R1 R2 R3 R4 R5 R6 R7 R8; do
     if ! grep -q "$rule" <<<"$out"; then
       echo "lint self-test: rule $rule did not fire on its fixture" >&2
       failed=1
@@ -248,11 +287,13 @@ EOF
   # hardware_concurrency, comment and src/core/ fixtures all stay quiet),
   # 1xR6 (the exempt line, identifier decoy, comment and backoff.cpp
   # fixtures all stay quiet), 1xR7 (the exempt line, raw ::accept socket
-  # call, prose comment and validator.cpp fixtures all stay quiet).
+  # call, prose comment and validator.cpp fixtures all stay quiet), 1xR8
+  # (the exempt line, the structured-builder decoy, the identifier decoy,
+  # the prose comment and the src/core/ shim fixture all stay quiet).
   local count
   count="$(grep -c ':' <<<"$out")"
-  if [ "$count" -ne 9 ]; then
-    echo "lint self-test: expected 9 violations, got $count:" >&2
+  if [ "$count" -ne 10 ]; then
+    echo "lint self-test: expected 10 violations, got $count:" >&2
     echo "$out" >&2
     failed=1
   fi

@@ -45,16 +45,80 @@ void LogConfig::write_line(const std::string& line) {
   out.flush();
 }
 
-void Logger::log(LogLevel level, const std::string& message) const {
-  if (level < LogConfig::instance().threshold()) return;
+// ---------------------------------------------------------------------------
+// LogEvent
+// ---------------------------------------------------------------------------
+
+LogEvent::LogEvent(std::string_view component, LogLevel level)
+    : active_(level >= LogConfig::instance().threshold() &&
+              level != LogLevel::kOff),
+      level_(level) {
+  if (active_) component_.assign(component);
+}
+
+LogEvent::~LogEvent() {
+  if (!active_) return;
   std::string line = timestamp_now();
   line += " - ";
-  line += name_;
+  line += component_;
   line += " - ";
-  line += log_level_name(level);
+  line += log_level_name(level_);
   line += ": ";
-  line += message;
+  line += body_;
   LogConfig::instance().write_line(line);
+}
+
+LogEvent& LogEvent::msg(std::string_view message) {
+  if (!active_) return *this;
+  if (!body_.empty()) body_ += ' ';
+  body_.append(message);
+  return *this;
+}
+
+void LogEvent::append_key(std::string_view key) {
+  if (!body_.empty()) body_ += ' ';
+  body_.append(key);
+  body_ += '=';
+}
+
+LogEvent& LogEvent::kv(std::string_view key, std::string_view value) {
+  if (!active_) return *this;
+  append_key(key);
+  const bool quote =
+      value.empty() || value.find_first_of(" \t\"=") != std::string_view::npos;
+  if (quote) {
+    body_ += '"';
+    for (char c : value) {
+      if (c == '"' || c == '\\') body_ += '\\';
+      body_ += c;
+    }
+    body_ += '"';
+  } else {
+    body_.append(value);
+  }
+  return *this;
+}
+
+LogEvent& LogEvent::kv(std::string_view key, double value) {
+  if (!active_) return *this;
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%g", value);
+  append_key(key);
+  body_ += buf;
+  return *this;
+}
+
+LogEvent& LogEvent::kv_int(std::string_view key, long long value) {
+  if (!active_) return *this;
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%lld", value);
+  append_key(key);
+  body_ += buf;
+  return *this;
+}
+
+void Logger::log(LogLevel level, const std::string& message) const {
+  LogEvent(name_, level).msg(message);
 }
 
 std::string timestamp_now() {

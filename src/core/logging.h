@@ -5,16 +5,39 @@
 // Each subsystem obtains a named `Logger`; all loggers share one sink and a
 // global threshold. The format intentionally mirrors the NVFlare log lines
 // shown in Fig. 3 of the paper so the demonstration bench reads the same.
+//
+// Structured event API (the primary surface since the observability PR):
+//
+//   LOG(info).msg("Round started").kv("round", r);
+//   LOG_AS("ClientManager", warn).msg("bad token").kv("site", name);
+//
+// `LOG(level)` logs under the file's component — define
+// `CPPFLARE_LOG_COMPONENT` ("MyComponent") anywhere above the first use —
+// while `LOG_AS` names the component inline. Key-value pairs are appended
+// to the message as ` key=value` (values with spaces are quoted), keeping
+// lines grep- and machine-parsable. The legacy string methods
+// (`Logger::info(...)` et al.) remain as thin shims over `LogEvent`;
+// lint rule R8 bans new call sites of that legacy form outside src/core/.
 #pragma once
 
+#include <cstdint>
 #include <mutex>
 #include <ostream>
-#include <sstream>
 #include <string>
+#include <string_view>
+#include <type_traits>
 
 namespace cppflare::core {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Lowercase aliases so the LOG(level) macro reads naturally.
+namespace log_levels {
+inline constexpr LogLevel debug = LogLevel::kDebug;
+inline constexpr LogLevel info = LogLevel::kInfo;
+inline constexpr LogLevel warn = LogLevel::kWarn;
+inline constexpr LogLevel error = LogLevel::kError;
+}  // namespace log_levels
 
 /// Returns the fixed uppercase name for a level ("INFO", ...).
 const char* log_level_name(LogLevel level);
@@ -41,12 +64,75 @@ class LogConfig {
   std::ostream* sink_ = nullptr;  // nullptr => std::clog
 };
 
+/// One structured log line, built with chained calls and emitted when the
+/// temporary dies at the end of the full expression:
+///
+///   LOG_AS("ScatterAndGather", info).msg("Round finished").kv("round", r);
+///
+/// Below the global threshold the event is inert: msg()/kv() are no-ops and
+/// nothing is formatted or written.
+class LogEvent {
+ public:
+  LogEvent(std::string_view component, LogLevel level);
+  ~LogEvent();
+
+  LogEvent(const LogEvent&) = delete;
+  LogEvent& operator=(const LogEvent&) = delete;
+
+  /// Sets the human-readable message (at most once; later calls append
+  /// after a space so shims can compose).
+  LogEvent& msg(std::string_view message);
+
+  LogEvent& kv(std::string_view key, std::string_view value);
+  LogEvent& kv(std::string_view key, const char* value) {
+    return kv(key, std::string_view(value));
+  }
+  LogEvent& kv(std::string_view key, const std::string& value) {
+    return kv(key, std::string_view(value));
+  }
+  LogEvent& kv(std::string_view key, double value);
+  LogEvent& kv(std::string_view key, bool value) {
+    return kv(key, value ? std::string_view("true") : std::string_view("false"));
+  }
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  LogEvent& kv(std::string_view key, T value) {
+    return kv_int(key, static_cast<long long>(value));
+  }
+
+ private:
+  LogEvent& kv_int(std::string_view key, long long value);
+  void append_key(std::string_view key);
+
+  bool active_;
+  LogLevel level_;
+  std::string component_;
+  std::string body_;  // message followed by " key=value" pairs
+};
+
+/// Structured logging entry points. LOG(level) uses the translation unit's
+/// CPPFLARE_LOG_COMPONENT (a string literal; define it before first use);
+/// LOG_AS(component, level) names the component at the call site.
+#define LOG(level)                       \
+  ::cppflare::core::LogEvent(            \
+      CPPFLARE_LOG_COMPONENT, ::cppflare::core::log_levels::level)
+#define LOG_AS(component, level) \
+  ::cppflare::core::LogEvent((component), ::cppflare::core::log_levels::level)
+
 /// A named logger. Cheap to construct; holds only its name.
+///
+/// The string convenience methods below are the *legacy* surface, kept as
+/// shims over `LogEvent` for the NVFlare-style prose lines in src/core/ and
+/// in tests; new library call sites use LOG/LOG_AS (lint rule R8).
 class Logger {
  public:
   explicit Logger(std::string name) : name_(std::move(name)) {}
 
   const std::string& name() const { return name_; }
+
+  /// Structured event under this logger's name.
+  LogEvent event(LogLevel level) const { return LogEvent(name_, level); }
 
   void log(LogLevel level, const std::string& message) const;
 

@@ -3,14 +3,9 @@
 #include "core/error.h"
 #include "core/logging.h"
 
-namespace cppflare::flare {
+#define CPPFLARE_LOG_COMPONENT "DXOAggregator"
 
-namespace {
-const core::Logger& logger() {
-  static core::Logger log("DXOAggregator");
-  return log;
-}
-}  // namespace
+namespace cppflare::flare {
 
 void FedAvgAggregator::reset(const nn::StateDict& global, std::int64_t round) {
   global_ = global;
@@ -22,26 +17,26 @@ void FedAvgAggregator::reset(const nn::StateDict& global, std::int64_t round) {
 
 bool FedAvgAggregator::accept(const std::string& site, const Dxo& contribution) {
   if (contribution.kind() == DxoKind::kMetrics) {
-    logger().warn("Rejecting metrics-only contribution from " + site);
+    LOG(warn).msg("Rejecting metrics-only contribution from " + site);
     return false;
   }
   if (pending_.count(site) != 0) {
-    logger().warn("Duplicate contribution from " + site + " ignored");
+    LOG(warn).msg("Duplicate contribution from " + site + " ignored");
     return false;
   }
   if (round_kind_.has_value() && *round_kind_ != contribution.kind()) {
-    logger().warn("Mixed DXO kinds in one round; rejecting " + site);
+    LOG(warn).msg("Mixed DXO kinds in one round; rejecting " + site);
     return false;
   }
   if (!contribution.data().congruent_with(global_)) {
-    logger().warn("Incongruent model from " + site + " rejected");
+    LOG(warn).msg("Incongruent model from " + site + " rejected");
     return false;
   }
 
   const auto samples = contribution.meta_int(Dxo::kMetaNumSamples, 1);
   const double w = weighted_ ? static_cast<double>(samples) : 1.0;
   if (w <= 0.0) {
-    logger().warn("Non-positive weight from " + site + " rejected");
+    LOG(warn).msg("Non-positive weight from " + site + " rejected");
     return false;
   }
 
@@ -50,7 +45,7 @@ bool FedAvgAggregator::accept(const std::string& site, const Dxo& contribution) 
 
   metrics_.num_contributions += 1;
   metrics_.total_samples += samples;
-  logger().info("Contribution from " + site + " ACCEPTED by the aggregator at round " +
+  LOG(info).msg("Contribution from " + site + " ACCEPTED by the aggregator at round " +
                 std::to_string(metrics_.round) + ".");
   return true;
 }
@@ -62,7 +57,7 @@ bool FedAvgAggregator::revoke(const std::string& site) {
   metrics_.total_samples -= it->second.dxo.meta_int(Dxo::kMetaNumSamples, 1);
   pending_.erase(it);
   if (pending_.empty()) round_kind_.reset();
-  logger().info("Contribution from " + site + " REVOKED at round " +
+  LOG(info).msg("Contribution from " + site + " REVOKED at round " +
                 std::to_string(metrics_.round) + ".");
   return true;
 }
@@ -71,7 +66,7 @@ nn::StateDict FedAvgAggregator::aggregate() {
   if (pending_.empty() || !round_kind_.has_value()) {
     throw Error("FedAvgAggregator: no contributions to aggregate");
   }
-  logger().info("aggregating " + std::to_string(metrics_.num_contributions) +
+  LOG(info).msg("aggregating " + std::to_string(metrics_.num_contributions) +
                 " update(s) at round " + std::to_string(metrics_.round));
   // Reduce in site-name order (std::map iteration), never arrival order:
   // floating-point sums then come out bit-for-bit identical no matter how

@@ -21,6 +21,12 @@ namespace cppflare::flare {
 /// Aggregated per-round client metrics (sample-weighted means) plus the
 /// round's fault-tolerance telemetry, filled in by the server when the
 /// round closes and exposed through round observers.
+///
+/// Deprecation note (observability PR): this struct is now a *view*
+/// rebuilt from the server's MetricRegistry when a round closes — the
+/// registry (FederatedServer::metrics_registry(), names in
+/// flare/observability.h metric_names) is the source of truth, and new
+/// telemetry should be added there rather than as fields here.
 struct RoundMetrics {
   std::int64_t round = 0;
   std::int64_t num_contributions = 0;

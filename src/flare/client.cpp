@@ -4,15 +4,13 @@
 
 #include "core/error.h"
 #include "core/logging.h"
+#include "core/trace.h"
+
+#define CPPFLARE_LOG_COMPONENT "FederatedClient"
 
 namespace cppflare::flare {
 
 namespace {
-const core::Logger& logger() {
-  static core::Logger log("FederatedClient");
-  return log;
-}
-
 /// Raised by call_once when the server no longer knows our session; the
 /// retry loop converts it into an idempotent re-registration.
 struct UnknownSessionSignal {
@@ -111,15 +109,19 @@ std::vector<std::uint8_t> FederatedClient::call(const FrameBuilder& build_frame)
     } catch (const TransportError& e) {
       transport_failures_ += 1;
       if (!backoff.try_again()) {
-        logger().warn(credential_.name + " giving up after " +
-                      std::to_string(backoff.retries()) +
-                      " retries: " + e.what());
+        LOG(warn)
+            .msg("giving up:")
+            .msg(e.what())
+            .kv("site", credential_.name)
+            .kv("retries", backoff.retries());
         throw;
       }
-      logger().warn(credential_.name + " transport failure (retry " +
-                    std::to_string(backoff.retries()) + "/" +
-                    std::to_string(config_.retry.max_retries) +
-                    "): " + e.what());
+      LOG(warn)
+          .msg("transport failure:")
+          .msg(e.what())
+          .kv("site", credential_.name)
+          .kv("retry", backoff.retries())
+          .kv("max_retries", config_.retry.max_retries);
       if (factory_ && connection_) {
         // A broken socket cannot be told apart from a lost frame; rebuild
         // the connection when we can and let the factory decide how.
@@ -131,8 +133,10 @@ std::vector<std::uint8_t> FederatedClient::call(const FrameBuilder& build_frame)
         throw ProtocolError(credential_.name +
                             ": session repeatedly rejected: " + e.message);
       }
-      logger().warn(credential_.name + " session unknown to server (" +
-                    e.message + "); re-registering");
+      LOG(warn)
+          .msg("session unknown to server; re-registering")
+          .kv("site", credential_.name)
+          .kv("detail", e.message);
       reregistrations_ += 1;
       register_session();
     }
@@ -154,7 +158,7 @@ void FederatedClient::register_session() {
     registering_ = false;
     throw;
   }
-  logger().info("Successfully registered client:" + credential_.name +
+  LOG(info).msg("Successfully registered client:" + credential_.name +
                 " for project " + config_.job_id + ". Token:" + credential_.token);
 }
 
@@ -176,7 +180,7 @@ void FederatedClient::run() {
     const TaskMessage task = decode_task(
         call([this] { return pack(GetTaskRequest{session_id_}); }));
     if (task.task == TaskKind::kStop) {
-      logger().info(credential_.name + " received stop; shutting down");
+      LOG(info).msg("received stop; shutting down").kv("site", credential_.name);
       return;
     }
     if (task.task == TaskKind::kNone) {
@@ -195,7 +199,11 @@ void FederatedClient::run() {
     ctx.current_round = task.round;
     ctx.total_rounds = task.total_rounds;
 
-    Dxo update = learner_->train(task.payload, ctx);
+    Dxo update;
+    {
+      CF_TRACE_SPAN_SITE("client.train", credential_.name, task.round);
+      update = learner_->train(task.payload, ctx);
+    }
     // Stamp the round before the filter chain runs: the server's freshness
     // check needs the honest stamp, and a poisoning filter replaying an old
     // update must carry the *old* stamp through (that is the attack).
@@ -204,18 +212,24 @@ void FederatedClient::run() {
     }
     outbound_filters_.process(update, ctx);
 
-    const SubmitAck submit_ack = decode_submit_ack(call([this, &task, &update] {
-      return pack(SubmitUpdateRequest{session_id_, task.round, update});
-    }));
+    SubmitAck submit_ack;
+    {
+      CF_TRACE_SPAN_SITE("client.submit", credential_.name, task.round);
+      submit_ack = decode_submit_ack(call([this, &task, &update] {
+        return pack(SubmitUpdateRequest{session_id_, task.round, update});
+      }));
+    }
     if (submit_ack.accepted || submit_ack.message == kDuplicateContribution) {
       // A duplicate ack means an earlier attempt landed but its response
       // was lost — the contribution is in, count the round.
       rounds_participated_ += 1;
     } else {
       updates_rejected_ += 1;
-      logger().warn(credential_.name + " contribution rejected (" +
-                    reject_reason_name(submit_ack.reason) +
-                    "): " + submit_ack.message);
+      LOG(warn)
+          .msg("contribution rejected:")
+          .msg(submit_ack.message)
+          .kv("site", credential_.name)
+          .kv("reason", reject_reason_name(submit_ack.reason));
     }
   }
 }

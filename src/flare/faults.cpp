@@ -4,14 +4,9 @@
 #include "core/error.h"
 #include "core/logging.h"
 
-namespace cppflare::flare {
+#define CPPFLARE_LOG_COMPONENT "FaultInjector"
 
-namespace {
-const core::Logger& logger() {
-  static core::Logger log("FaultInjector");
-  return log;
-}
-}  // namespace
+namespace cppflare::flare {
 
 FaultyConnection::FaultyConnection(std::unique_ptr<Connection> inner,
                                    FaultPlan plan,
@@ -48,7 +43,7 @@ std::vector<std::uint8_t> FaultyConnection::call(
     injected_ += 1;
     stats_->disconnects += 1;
     inner_.reset();
-    logger().warn("injected disconnect at call " + std::to_string(index));
+    LOG(warn).msg("injected disconnect at call " + std::to_string(index));
     throw TransportError("fault: connection lost");
   }
 

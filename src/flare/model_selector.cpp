@@ -3,14 +3,9 @@
 #include "core/error.h"
 #include "core/logging.h"
 
-namespace cppflare::flare {
+#define CPPFLARE_LOG_COMPONENT "IntimeModelSelector"
 
-namespace {
-const core::Logger& logger() {
-  static core::Logger log("IntimeModelSelector");
-  return log;
-}
-}  // namespace
+namespace cppflare::flare {
 
 double BestModelSelector::score_of(const RoundMetrics& metrics) const {
   switch (criterion_) {
@@ -31,7 +26,7 @@ void BestModelSelector::observe(std::int64_t round, const nn::StateDict& model,
     best_round_ = round;
     best_metrics_ = metrics;
     best_score_ = score;
-    logger().info("New best global model at round " + std::to_string(round) +
+    LOG(info).msg("New best global model at round " + std::to_string(round) +
                   " (valid_acc=" + std::to_string(metrics.valid_acc) +
                   ", valid_loss=" + std::to_string(metrics.valid_loss) + ")");
   }

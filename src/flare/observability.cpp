@@ -1,0 +1,151 @@
+#include "flare/observability.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/logging.h"
+
+#define CPPFLARE_LOG_COMPONENT "Observability"
+
+namespace cppflare::flare {
+
+std::string site_metric_name(const std::string& site,
+                             const std::string& metric) {
+  std::string name = metric_names::kSitePrefix;
+  name += site;
+  name += '.';
+  name += metric;
+  return name;
+}
+
+// ---------------------------------------------------------------------------
+// ChromeTraceSink
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Escapes into a stack buffer; span names/sites come from capped char
+/// arrays so the worst case (every char escaped) still fits.
+void write_json_string(std::FILE* out, const char* s) {
+  std::fputc('"', out);
+  for (; *s != '\0'; ++s) {
+    const unsigned char c = static_cast<unsigned char>(*s);
+    if (c == '"' || c == '\\') {
+      std::fputc('\\', out);
+      std::fputc(c, out);
+    } else if (c < 0x20) {
+      std::fprintf(out, "\\u%04x", c);
+    } else {
+      std::fputc(c, out);
+    }
+  }
+  std::fputc('"', out);
+}
+
+}  // namespace
+
+void ChromeTraceSink::begin(std::int64_t dropped) {
+  std::fputs("[\n", out_);
+  first_ = true;
+  if (dropped > 0) {
+    std::fprintf(out_,
+                 "{\"name\":\"trace_dropped_events\",\"ph\":\"M\",\"pid\":1,"
+                 "\"args\":{\"dropped\":%lld}}",
+                 static_cast<long long>(dropped));
+    first_ = false;
+  }
+}
+
+void ChromeTraceSink::event(const core::TraceEvent& e) {
+  if (!first_) std::fputs(",\n", out_);
+  first_ = false;
+  std::fputs("{\"name\":", out_);
+  write_json_string(out_, e.name);
+  // Chrome's trace format wants microsecond floats; keep ns precision.
+  std::fprintf(out_,
+               ",\"cat\":\"cppflare\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
+               "\"pid\":1,\"tid\":%llu,\"args\":{",
+               static_cast<double>(e.ts_ns) / 1000.0,
+               static_cast<double>(e.dur_ns) / 1000.0,
+               static_cast<unsigned long long>(e.tid));
+  std::fputs("\"site\":", out_);
+  write_json_string(out_, e.site);
+  std::fprintf(out_,
+               ",\"round\":%lld,\"cpu_us\":%.3f,\"id\":%llu,\"parent\":%llu}}",
+               static_cast<long long>(e.round),
+               static_cast<double>(e.cpu_ns) / 1000.0,
+               static_cast<unsigned long long>(e.id),
+               static_cast<unsigned long long>(e.parent));
+}
+
+void ChromeTraceSink::end() { std::fputs("\n]\n", out_); }
+
+// ---------------------------------------------------------------------------
+// TraceSummarySink
+// ---------------------------------------------------------------------------
+
+void TraceSummarySink::event(const core::TraceEvent& e) {
+  SpanSummary& row = rows_[e.name];
+  row.count += 1;
+  row.wall_ns += e.dur_ns;
+  row.cpu_ns += e.cpu_ns;
+  row.max_wall_ns = std::max(row.max_wall_ns, e.dur_ns);
+}
+
+std::string TraceSummarySink::format() const {
+  std::vector<std::pair<std::string, SpanSummary>> sorted(rows_.begin(),
+                                                          rows_.end());
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second.wall_ns > b.second.wall_ns;
+                   });
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-32s %8s %12s %12s %12s %12s\n", "span",
+                "count", "total_ms", "mean_ms", "max_ms", "cpu_ms");
+  out += line;
+  for (const auto& [name, row] : sorted) {
+    const double total_ms = static_cast<double>(row.wall_ns) / 1e6;
+    const double mean_ms =
+        row.count > 0 ? total_ms / static_cast<double>(row.count) : 0.0;
+    std::snprintf(line, sizeof(line), "%-32s %8lld %12.3f %12.3f %12.3f %12.3f\n",
+                  name.c_str(), static_cast<long long>(row.count), total_ms,
+                  mean_ms, static_cast<double>(row.max_wall_ns) / 1e6,
+                  static_cast<double>(row.cpu_ns) / 1e6);
+    out += line;
+  }
+  if (dropped_ > 0) {
+    std::snprintf(line, sizeof(line), "(+%lld events dropped by ring wrap)\n",
+                  static_cast<long long>(dropped_));
+    out += line;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// One-call exports
+// ---------------------------------------------------------------------------
+
+bool write_chrome_trace(const std::string& path) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    LOG(error).msg("cannot open trace output").kv("path", path);
+    return false;
+  }
+  ChromeTraceSink sink(out);
+  core::Tracer::instance().drain(sink);
+  std::fclose(out);
+  LOG(info)
+      .msg("wrote chrome trace")
+      .kv("path", path)
+      .kv("events", static_cast<long long>(core::Tracer::instance().size()));
+  return true;
+}
+
+std::string write_trace_summary() {
+  TraceSummarySink sink;
+  core::Tracer::instance().drain(sink);
+  return sink.format();
+}
+
+}  // namespace cppflare::flare

@@ -6,14 +6,9 @@
 #include "core/error.h"
 #include "core/logging.h"
 
-namespace cppflare::flare {
+#define CPPFLARE_LOG_COMPONENT "PoisonInjector"
 
-namespace {
-const core::Logger& logger() {
-  static core::Logger log("PoisonInjector");
-  return log;
-}
-}  // namespace
+namespace cppflare::flare {
 
 PoisonFilter::PoisonFilter(PoisonPlan plan, std::shared_ptr<PoisonStats> stats)
     : plan_(plan),
@@ -49,7 +44,7 @@ void PoisonFilter::process(Dxo& dxo, const FLContext& ctx) {
     dxo = history_[history_.size() - 1 -
                    static_cast<std::size_t>(plan_.stale_round_lag)];
     stats_->replays += 1;
-    logger().warn(ctx.site_name + " replaying its round " +
+    LOG(warn).msg(ctx.site_name + " replaying its round " +
                   dxo.meta(Dxo::kMetaRound, "?") + " update at round " +
                   std::to_string(ctx.current_round));
   }
@@ -88,7 +83,7 @@ void PoisonFilter::process(Dxo& dxo, const FLContext& ctx) {
         static_cast<double>(honest) * plan_.sample_count_factor);
     dxo.set_meta_int(Dxo::kMetaNumSamples, claimed);
     stats_->sample_lies += 1;
-    logger().warn(ctx.site_name + " claiming " + std::to_string(claimed) +
+    LOG(warn).msg(ctx.site_name + " claiming " + std::to_string(claimed) +
                   " samples (honest: " + std::to_string(honest) + ")");
   }
 }

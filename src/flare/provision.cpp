@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "core/trace.h"
+
 namespace cppflare::flare {
 
 Provisioner::Provisioner(std::string project_name, std::uint64_t seed)
@@ -23,6 +25,7 @@ Credential Provisioner::provision(const std::string& participant_name) const {
 
 std::map<std::string, Credential> Provisioner::provision_sites(
     std::int64_t num_sites) const {
+  CF_TRACE_SPAN("provision.sites");
   std::map<std::string, Credential> registry;
   for (std::int64_t i = 1; i <= num_sites; ++i) {
     const std::string name = "site-" + std::to_string(i);

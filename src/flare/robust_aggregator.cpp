@@ -6,14 +6,9 @@
 #include "core/error.h"
 #include "core/logging.h"
 
-namespace cppflare::flare {
+#define CPPFLARE_LOG_COMPONENT "RobustAggregator"
 
-namespace {
-const core::Logger& logger() {
-  static core::Logger log("RobustAggregator");
-  return log;
-}
-}  // namespace
+namespace cppflare::flare {
 
 void BufferingAggregator::reset(const nn::StateDict& global, std::int64_t round) {
   global_ = global;
@@ -27,15 +22,15 @@ void BufferingAggregator::reset(const nn::StateDict& global, std::int64_t round)
 bool BufferingAggregator::accept(const std::string& site, const Dxo& contribution) {
   if (contribution.kind() == DxoKind::kMetrics) return false;
   if (contributions_.count(site) != 0) {
-    logger().warn("Duplicate contribution from " + site + " ignored");
+    LOG(warn).msg("Duplicate contribution from " + site + " ignored");
     return false;
   }
   if (round_kind_.has_value() && *round_kind_ != contribution.kind()) {
-    logger().warn("Mixed DXO kinds in one round; rejecting " + site);
+    LOG(warn).msg("Mixed DXO kinds in one round; rejecting " + site);
     return false;
   }
   if (!contribution.data().congruent_with(global_)) {
-    logger().warn("Incongruent model from " + site + " rejected");
+    LOG(warn).msg("Incongruent model from " + site + " rejected");
     return false;
   }
   round_kind_ = contribution.kind();
@@ -73,7 +68,7 @@ bool BufferingAggregator::revoke(const std::string& site) {
   }
   contributions_.erase(it);
   if (contributions_.empty()) round_kind_.reset();
-  logger().info("Contribution from " + site + " REVOKED at round " +
+  LOG(info).msg("Contribution from " + site + " REVOKED at round " +
                 std::to_string(metrics_.round) + ".");
   return true;
 }
@@ -87,7 +82,7 @@ nn::StateDict BufferingAggregator::aggregate() {
     metrics_.valid_acc /= loss_weight_sum_;
     metrics_.valid_loss /= loss_weight_sum_;
   }
-  logger().info("robust-aggregating " + std::to_string(contributions_.size()) +
+  LOG(info).msg("robust-aggregating " + std::to_string(contributions_.size()) +
                 " update(s) at round " + std::to_string(metrics_.round));
 
   nn::StateDict out = global_;  // structure template

@@ -6,18 +6,16 @@
 #include "core/error.h"
 #include "core/logging.h"
 #include "core/rng.h"
+#include "flare/observability.h"
 
 namespace cppflare::flare {
 
 namespace {
-const core::Logger& client_manager_log() {
-  static core::Logger log("ClientManager");
-  return log;
-}
-const core::Logger& sag_log() {
-  static core::Logger log("ScatterAndGather");
-  return log;
-}
+/// Two components log from this file (NVFlare splits them the same way):
+/// registration/liveness under ClientManager, round control under
+/// ScatterAndGather — hence LOG_AS instead of a file-wide LOG component.
+constexpr const char* kClientManager = "ClientManager";
+constexpr const char* kSag = "ScatterAndGather";
 
 /// The sender is authenticated but its session is gone (server restart or
 /// eviction followed by session loss). Mapped to ErrorCode::kUnknownSession
@@ -52,13 +50,12 @@ FederatedServer::FederatedServer(ServerConfig config,
     round_ = resume->round + 1;
     reputation_.restore(std::move(resume->reputation));
     const std::int64_t quarantined = reputation_.quarantined_count();
-    sag_log().info("Resuming job " + config_.job_id + " from checkpointed round " +
-                   std::to_string(resume->round) + " (next round " +
-                   std::to_string(round_) + " of " +
-                   std::to_string(config_.num_rounds) + ")" +
-                   (quarantined > 0 ? ", " + std::to_string(quarantined) +
-                                          " site(s) still quarantined"
-                                    : ""));
+    LOG_AS(kSag, info)
+        .msg("Resuming job " + config_.job_id + " from checkpoint")
+        .kv("last_round", resume->round)
+        .kv("next_round", round_)
+        .kv("num_rounds", config_.num_rounds)
+        .kv("quarantined", quarantined);
     if (round_ >= config_.num_rounds) {
       finished_ = true;
       return;
@@ -144,19 +141,22 @@ void FederatedServer::record_liveness(const std::string& sender) {
   std::lock_guard<std::mutex> lock(mu_);
   last_seen_[sender] = std::chrono::steady_clock::now();
   if (evicted_.erase(sender) != 0) {
-    client_manager_log().info("Site " + sender +
-                              " seen again; re-admitted to the quorum");
+    LOG_AS(kClientManager, info)
+        .msg("Site seen again; re-admitted to the quorum")
+        .kv("site", sender)
+        .kv("round", round_);
   }
 }
 
 std::vector<std::uint8_t> FederatedServer::on_register(const std::string& sender,
                                                        const RegisterRequest& req) {
+  CF_TRACE_SPAN_SITE("server.register", sender, -1);
   if (req.site_name != sender) {
     throw ProtocolError("register: site name does not match envelope sender");
   }
   const Credential& cred = registry_.at(sender);
   if (req.token != cred.token) {
-    client_manager_log().warn("Client " + sender + " presented a bad token");
+    LOG_AS(kClientManager, warn).msg("Client presented a bad token").kv("site", sender);
     return pack(RegisterAck{false, "", "invalid token"});
   }
   std::lock_guard<std::mutex> lock(mu_);
@@ -164,9 +164,10 @@ std::vector<std::uint8_t> FederatedServer::on_register(const std::string& sender
   if (existing != sessions_.end()) {
     // Idempotent re-registration: a client that reconnected resumes its
     // session (and sequence state) instead of forking a second identity.
-    client_manager_log().info("Client " + sender +
-                              " re-registered; resuming session " +
-                              existing->second);
+    LOG_AS(kClientManager, info)
+        .msg("Client re-registered; resuming session")
+        .kv("site", sender)
+        .kv("session", existing->second);
     return pack(RegisterAck{
         true, existing->second,
         "Resumed session for client:" + sender + " in project " + config_.job_id});
@@ -174,9 +175,9 @@ std::vector<std::uint8_t> FederatedServer::on_register(const std::string& sender
   const std::string session =
       "sess-" + std::to_string(++session_counter_) + "-" + sender;
   sessions_[sender] = session;
-  client_manager_log().info(
-      "Client: New client " + sender + "@127.0.0.1 joined. Sent token: " +
-      cred.token + ". Total clients: " + std::to_string(sessions_.size()));
+  LOG_AS(kClientManager, info)
+      .msg("Client: New client " + sender + "@127.0.0.1 joined. Sent token: " +
+           cred.token + ". Total clients: " + std::to_string(sessions_.size()));
   if (!started_ && !finished_ && !aborted_ &&
       static_cast<std::int64_t>(sessions_.size()) >= config_.expected_clients) {
     started_ = true;
@@ -192,6 +193,7 @@ std::vector<std::uint8_t> FederatedServer::on_register(const std::string& sender
 std::vector<std::uint8_t> FederatedServer::on_get_task(const std::string& sender,
                                                        const GetTaskRequest& req) {
   std::lock_guard<std::mutex> lock(mu_);
+  CF_TRACE_SPAN_SITE("server.get_task", sender, round_);
   auto it = sessions_.find(sender);
   if (it == sessions_.end() || it->second != req.session_id) {
     throw UnknownSessionError("get_task: no active session for '" + sender + "'");
@@ -213,9 +215,51 @@ std::vector<std::uint8_t> FederatedServer::on_get_task(const std::string& sender
   return pack(task);
 }
 
+void FederatedServer::record_rejection_locked(RejectReason reason) {
+  metrics_
+      .counter(std::string(metric_names::kRejectionPrefix) +
+               reject_reason_name(reason))
+      .add(1);
+  if (reason != RejectReason::kQuarantined) {
+    metrics_.counter(metric_names::kServerContribRejected).add(1);
+  }
+}
+
+// Per-site gauges recorded for *every* upload that reaches the server,
+// before validation runs — so a run that aborts mid-round still carries the
+// last reported state of each site (SimulationResult::site_metrics).
+void FederatedServer::record_site_metrics_locked(const std::string& site,
+                                                 const Dxo& contribution) {
+  metrics_.gauge(site_metric_name(site, "round")).set(static_cast<double>(round_));
+  metrics_.gauge(site_metric_name(site, "num_samples"))
+      .set(static_cast<double>(contribution.meta_int(Dxo::kMetaNumSamples, 0)));
+  metrics_.gauge(site_metric_name(site, "train_loss"))
+      .set(contribution.meta_double(Dxo::kMetaTrainLoss, 0.0));
+  metrics_.gauge(site_metric_name(site, "valid_acc"))
+      .set(contribution.meta_double(Dxo::kMetaValidAcc, 0.0));
+  metrics_.gauge(site_metric_name(site, "valid_loss"))
+      .set(contribution.meta_double(Dxo::kMetaValidLoss, 0.0));
+}
+
+/// This round's rejection tally: current counters minus the round-start
+/// baseline, keyed by reason name (counter name with the prefix stripped).
+std::map<std::string, std::int64_t> FederatedServer::round_rejects_locked() const {
+  const std::string prefix = metric_names::kRejectionPrefix;
+  std::map<std::string, std::int64_t> out;
+  for (const auto& [name, value] :
+       metrics_.snapshot().counters_with_prefix(prefix)) {
+    std::int64_t base = 0;
+    auto it = reject_baseline_.find(name);
+    if (it != reject_baseline_.end()) base = it->second;
+    if (value > base) out[name.substr(prefix.size())] = value - base;
+  }
+  return out;
+}
+
 std::vector<std::uint8_t> FederatedServer::on_submit(const std::string& sender,
                                                      const SubmitUpdateRequest& req) {
   std::lock_guard<std::mutex> lock(mu_);
+  CF_TRACE_SPAN_SITE("server.submit", sender, round_);
   auto it = sessions_.find(sender);
   if (it == sessions_.end() || it->second != req.session_id) {
     throw UnknownSessionError("submit: no active session for '" + sender + "'");
@@ -225,9 +269,12 @@ std::vector<std::uint8_t> FederatedServer::on_submit(const std::string& sender,
   }
   if (aborted_) return pack(SubmitAck{false, "run aborted", RejectReason::kRunOver});
   if (req.round != round_) {
-    sag_log().warn("Stale contribution from " + sender + " for round " +
-                   std::to_string(req.round) + " (current " +
-                   std::to_string(round_) + ")");
+    LOG_AS(kSag, warn)
+        .msg("Stale contribution")
+        .kv("site", sender)
+        .kv("round", req.round)
+        .kv("current", round_);
+    metrics_.counter(metric_names::kServerLateContribs).add(1);
     if (req.round >= 0 &&
         req.round < static_cast<std::int64_t>(history_.size())) {
       // The round it was meant for already closed (deadline or eviction):
@@ -255,6 +302,7 @@ std::vector<std::uint8_t> FederatedServer::on_submit(const std::string& sender,
   Dxo contribution = req.payload;
   const FLContext ctx = make_context_locked();
   inbound_filters_.process(contribution, ctx);
+  record_site_metrics_locked(sender, contribution);
 
   if (reputation_.quarantined(sender)) {
     // Quarantined uploads never reach the aggregator, but they are still
@@ -263,7 +311,7 @@ std::vector<std::uint8_t> FederatedServer::on_submit(const std::string& sender,
     ScoredUpload scored;
     scored.verdict = validator_.score(sender, contribution, &scored.norm);
     scored_quarantined_[sender] = std::move(scored);
-    round_rejects_[RejectReason::kQuarantined] += 1;
+    record_rejection_locked(RejectReason::kQuarantined);
     const SubmitAck ack{false,
                         "quarantined: update scored but excluded from "
                         "aggregation",
@@ -275,11 +323,12 @@ std::vector<std::uint8_t> FederatedServer::on_submit(const std::string& sender,
 
   const Verdict verdict = validator_.admit(*aggregator_, sender, contribution);
   if (!verdict.ok()) {
-    round_rejects_[verdict.reason] += 1;
+    record_rejection_locked(verdict.reason);
     if (reputation_.record_rejection(sender)) {
-      sag_log().warn("Site " + sender + " QUARANTINED after " +
-                     std::to_string(config_.reputation.quarantine_after) +
-                     " consecutive rejections");
+      LOG_AS(kSag, warn)
+          .msg("Site QUARANTINED after consecutive rejections")
+          .kv("site", sender)
+          .kv("strikes", config_.reputation.quarantine_after);
     }
     const SubmitAck ack{
         false,
@@ -291,6 +340,7 @@ std::vector<std::uint8_t> FederatedServer::on_submit(const std::string& sender,
     return pack(ack);
   }
   submitted_.insert(sender);
+  metrics_.counter(metric_names::kServerContribAccepted).add(1);
   maybe_close_round_locked();
   return pack(SubmitAck{true, "accepted"});
 }
@@ -305,8 +355,11 @@ FLContext FederatedServer::make_context_locked() const {
 
 void FederatedServer::start_round_locked() {
   round_start_ = std::chrono::steady_clock::now();
+  round_start_ns_ = core::Tracer::instance().now_ns();
+  reject_baseline_ = metrics_.snapshot().counters_with_prefix(
+      metric_names::kRejectionPrefix);
   sample_round_participants_locked();
-  sag_log().info("Round " + std::to_string(round_) + " started.");
+  LOG_AS(kSag, info).msg("Round " + std::to_string(round_) + " started.");
   events_.fire(EventType::kRoundStarted, make_context_locked());
 }
 
@@ -318,22 +371,27 @@ void FederatedServer::start_round_locked() {
 void FederatedServer::settle_round_verdicts_locked() {
   for (const auto& [site, verdict] : validator_.flag_outliers()) {
     if (!aggregator_->revoke(site)) {
-      sag_log().warn("Site " + site + " flagged as a norm outlier but " +
-                     aggregator_->name() +
-                     " cannot revoke; contribution kept");
+      LOG_AS(kSag, warn)
+          .msg("Site flagged as a norm outlier but aggregator cannot revoke; "
+               "contribution kept")
+          .kv("site", site)
+          .kv("aggregator", aggregator_->name());
       continue;
     }
-    sag_log().warn("Update from " + site + " revoked at round close (" +
-                   verdict.detail + ")");
+    LOG_AS(kSag, warn)
+        .msg("Update revoked at round close")
+        .kv("site", site)
+        .kv("detail", verdict.detail);
     submitted_.erase(site);
     rejected_acks_[site] =
         SubmitAck{false, "rejected: norm_outlier (" + verdict.detail + ")",
                   RejectReason::kNormOutlier};
-    round_rejects_[RejectReason::kNormOutlier] += 1;
+    record_rejection_locked(RejectReason::kNormOutlier);
     if (reputation_.record_rejection(site)) {
-      sag_log().warn("Site " + site + " QUARANTINED after " +
-                     std::to_string(config_.reputation.quarantine_after) +
-                     " consecutive rejections");
+      LOG_AS(kSag, warn)
+          .msg("Site QUARANTINED after consecutive rejections")
+          .kv("site", site)
+          .kv("strikes", config_.reputation.quarantine_after);
     }
   }
   // Sites whose contributions survived to aggregation were clean.
@@ -348,10 +406,11 @@ void FederatedServer::settle_round_verdicts_locked() {
     if (verdict.ok()) verdict = validator_.judge_norm(scored.norm);
     if (verdict.ok()) {
       if (reputation_.record_clean(site)) {
-        sag_log().info("Site " + site + " paroled after " +
-                       std::to_string(config_.reputation.parole_after) +
-                       " clean round(s); re-admitted from round " +
-                       std::to_string(round_ + 1));
+        LOG_AS(kSag, info)
+            .msg("Site paroled; re-admitted")
+            .kv("site", site)
+            .kv("clean_rounds", config_.reputation.parole_after)
+            .kv("from_round", round_ + 1);
       }
     } else {
       (void)reputation_.record_rejection(site);
@@ -368,35 +427,60 @@ void FederatedServer::finish_round_locked(bool deadline_fired) {
                      "validator");
     return;
   }
-  sag_log().info("End aggregation.");
-  global_ = aggregator_->aggregate();
+  LOG_AS(kSag, info).msg("End aggregation.");
+  {
+    CF_TRACE_SPAN_SITE("server.aggregate", "", round_);
+    global_ = aggregator_->aggregate();
+  }
   RoundMetrics metrics = aggregator_->metrics();
   metrics.evicted_sites = static_cast<std::int64_t>(evicted_.size());
   metrics.deadline_fired = deadline_fired;
-  for (const auto& [reason, count] : round_rejects_) {
-    metrics.rejections_by_reason[reject_reason_name(reason)] = count;
-    if (reason != RejectReason::kQuarantined) metrics.rejected_updates += count;
+  for (const auto& [reason, count] : round_rejects_locked()) {
+    metrics.rejections_by_reason[reason] = count;
+    if (reason != reject_reason_name(RejectReason::kQuarantined)) {
+      metrics.rejected_updates += count;
+    }
   }
   metrics.quarantined_sites = reputation_.quarantined_count();
   history_.push_back(metrics);
+
+  metrics_.counter(metric_names::kServerRoundsCompleted).add(1);
+  metrics_.gauge(metric_names::kServerTrainLoss).set(metrics.train_loss);
+  metrics_.gauge(metric_names::kServerValidAcc).set(metrics.valid_acc);
+  metrics_.gauge(metric_names::kServerValidLoss).set(metrics.valid_loss);
+  metrics_.gauge(metric_names::kServerEvictedSites)
+      .set(static_cast<double>(metrics.evicted_sites));
+  if (deadline_fired) {
+    metrics_.counter(metric_names::kServerDeadlineFired).add(1);
+  }
+  // The round span opened in start_round_locked and closes here, across
+  // many dispatch calls — hence a manual complete-event, not a ScopedSpan.
+  core::Tracer& tracer = core::Tracer::instance();
+  if (tracer.enabled()) {
+    tracer.record_complete("server.round", {}, round_, round_start_ns_,
+                           tracer.now_ns());
+  }
+
   events_.fire(EventType::kAfterAggregation, make_context_locked());
   for (const RoundObserver& observer : round_observers_) {
     observer(round_, global_, history_.back());
   }
 
   if (persistor_) {
-    sag_log().info("Start persist model on server.");
-    persistor_->save({config_.job_id, round_, global_, history_,
-                      reputation_.standings()});
-    sag_log().info("End persist model on server.");
+    LOG_AS(kSag, info).msg("Start persist model on server.");
+    {
+      CF_TRACE_SPAN_SITE("server.persist", "", round_);
+      persistor_->save({config_.job_id, round_, global_, history_,
+                        reputation_.standings()});
+    }
+    LOG_AS(kSag, info).msg("End persist model on server.");
   }
-  sag_log().info("Round " + std::to_string(round_) + " finished.");
+  LOG_AS(kSag, info).msg("Round " + std::to_string(round_) + " finished.");
   events_.fire(EventType::kRoundDone, make_context_locked());
 
   submitted_.clear();
   rejected_acks_.clear();
   scored_quarantined_.clear();
-  round_rejects_.clear();
   round_ += 1;
   if (round_ >= config_.num_rounds) {
     finished_ = true;
@@ -427,10 +511,11 @@ void FederatedServer::maybe_close_round_locked() {
   if (age < config_.round_deadline_ms) return;
   const std::int64_t required = min_required_locked();
   if (accepted >= required) {
-    sag_log().warn("Round " + std::to_string(round_) +
-                   " deadline exceeded; closing with " +
-                   std::to_string(accepted) + " of " +
-                   std::to_string(round_quorum_locked()) + " contributions");
+    LOG_AS(kSag, warn)
+        .msg("Round deadline exceeded; closing early")
+        .kv("round", round_)
+        .kv("accepted", accepted)
+        .kv("quorum", round_quorum_locked());
     finish_round_locked(/*deadline_fired=*/true);
   } else {
     abort_run_locked("round " + std::to_string(round_) +
@@ -455,9 +540,11 @@ void FederatedServer::evict_stragglers_locked() {
                             .count();
     if (silent >= config_.liveness_timeout_ms) {
       evicted_.insert(site);
-      client_manager_log().warn(
-          "Site " + site + " unseen for " + std::to_string(silent) +
-          " ms; evicted from the round " + std::to_string(round_) + " quorum");
+      LOG_AS(kClientManager, warn)
+          .msg("Site unseen; evicted from the quorum")
+          .kv("site", site)
+          .kv("silent_ms", silent)
+          .kv("round", round_);
     }
   }
 }
@@ -466,7 +553,7 @@ void FederatedServer::abort_run_locked(const std::string& reason) {
   if (finished_ || aborted_) return;
   aborted_ = true;
   abort_reason_ = reason;
-  sag_log().error("Run aborted: " + reason);
+  LOG_AS(kSag, error).msg("Run aborted:").msg(reason);
   events_.fire(EventType::kEndRun, make_context_locked());
   finished_cv_.notify_all();
 }
@@ -502,8 +589,10 @@ void FederatedServer::sample_round_participants_locked() {
   }
   std::string names;
   for (const std::string& s : sampled_) names += (names.empty() ? "" : ", ") + s;
-  sag_log().info("Round " + std::to_string(round_) + " sampled participants: " +
-                 names);
+  LOG_AS(kSag, info)
+      .msg("Round sampled participants:")
+      .msg(names)
+      .kv("round", round_);
 }
 
 bool FederatedServer::participates_locked(const std::string& site) const {

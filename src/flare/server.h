@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "core/trace.h"
 #include "flare/aggregator.h"
 #include "flare/filters.h"
 #include "flare/fl_context.h"
@@ -120,6 +121,16 @@ class FederatedServer {
   bool wait_until_finished(std::int64_t timeout_ms) const;
 
   nn::StateDict global_model() const;
+
+  /// The run's metric registry — the primary telemetry surface since the
+  /// observability PR (names in flare/observability.h metric_names;
+  /// per-site gauges under "site.<name>."). `history()` and the
+  /// RoundMetrics handed to round observers are thin views rebuilt from
+  /// these metrics when a round closes.
+  core::MetricRegistry& metrics_registry() { return metrics_; }
+  /// Point-in-time copy of every metric (thread-safe, lock-free wrt mu_).
+  core::MetricSnapshot metrics_snapshot() const { return metrics_.snapshot(); }
+
   std::vector<RoundMetrics> history() const;
   std::int64_t current_round() const;
   std::int64_t registered_clients() const;
@@ -154,6 +165,9 @@ class FederatedServer {
   void record_liveness(const std::string& sender);
   void sample_round_participants_locked();
   void settle_round_verdicts_locked();
+  void record_rejection_locked(RejectReason reason);
+  void record_site_metrics_locked(const std::string& site, const Dxo& contribution);
+  std::map<std::string, std::int64_t> round_rejects_locked() const;
   bool participates_locked(const std::string& site) const;
   bool resolved_locked(const std::string& site) const;
   std::int64_t participant_count_locked() const;
@@ -188,13 +202,18 @@ class FederatedServer {
     double norm = 0.0;
   };
   std::map<std::string, ScoredUpload> scored_quarantined_;
-  /// This round's rejection tally by reason (telemetry).
-  std::map<RejectReason, std::int64_t> round_rejects_;
+  /// Per-run metric registry (see metrics_registry()). Rejection tallies
+  /// live here as "server.rejections.<reason>" counters; the per-round view
+  /// in RoundMetrics is rebuilt by diffing against `reject_baseline_`,
+  /// snapshotted when the round starts.
+  core::MetricRegistry metrics_;
+  std::map<std::string, std::int64_t> reject_baseline_;
   std::set<std::string> sampled_;                // this round's participants
   std::map<std::string, std::chrono::steady_clock::time_point> last_seen_;
   std::set<std::string> evicted_;                // unseen past the timeout
   std::int64_t round_ = 0;
   std::chrono::steady_clock::time_point round_start_{};
+  std::int64_t round_start_ns_ = 0;  // tracer timestamp for the round span
   bool started_ = false;
   bool finished_ = false;
   bool aborted_ = false;

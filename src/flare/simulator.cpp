@@ -9,16 +9,13 @@
 #include "core/logging.h"
 #include "core/parallel.h"
 #include "core/thread_pool.h"
+#include "core/trace.h"
+#include "flare/observability.h"
 #include "flare/tcp.h"
 
-namespace cppflare::flare {
+#define CPPFLARE_LOG_COMPONENT "SimulatorRunner"
 
-namespace {
-const core::Logger& logger() {
-  static core::Logger log("SimulatorRunner");
-  return log;
-}
-}  // namespace
+namespace cppflare::flare {
 
 SimulatorRunner::SimulatorRunner(SimulatorConfig config, nn::StateDict initial_model,
                                  std::unique_ptr<Aggregator> aggregator,
@@ -35,11 +32,13 @@ SimulatorRunner::SimulatorRunner(SimulatorConfig config, nn::StateDict initial_m
     if (const std::optional<Checkpoint> cpk = persistor_->load()) {
       resume = *cpk;
       resumed_from_round_ = cpk->round;
-      logger().info("Resuming job " + cpk->job_id + " from completed round " +
-                    std::to_string(cpk->round));
+      LOG(info)
+          .msg("Resuming job " + cpk->job_id)
+          .kv("completed_round", cpk->round);
     } else {
-      logger().info("resume requested but no checkpoint at " +
-                    config_.persist_path + "; starting fresh");
+      LOG(info)
+          .msg("resume requested but no checkpoint; starting fresh")
+          .kv("path", config_.persist_path);
     }
   }
   ServerConfig server_config;
@@ -61,7 +60,10 @@ SimulatorRunner::SimulatorRunner(SimulatorConfig config, nn::StateDict initial_m
 
 SimulationResult SimulatorRunner::run() {
   const auto start = std::chrono::steady_clock::now();
-  logger().info("Create the simulate clients.");
+  const bool tracing = config_.trace;
+  if (tracing) core::Tracer::instance().start(config_.trace_capacity);
+  const std::int64_t trace_t0 = core::Tracer::instance().now_ns();
+  LOG(info).msg("Create the simulate clients.");
 
   // Divide the machine between site workers and kernel threads before any
   // kernel runs, so every site's training shares one budgeted compute pool
@@ -76,15 +78,18 @@ SimulationResult SimulatorRunner::run() {
     const std::size_t per_site = hw > sites ? hw - sites + 1 : 1;
     core::set_compute_threads_if_default(per_site);
   }
-  logger().info("Compute budget: " + std::to_string(config_.num_clients) +
-                " site workers x " + std::to_string(core::compute_threads()) +
-                " compute threads");
+  LOG(info)
+      .msg("Compute budget")
+      .kv("site_workers", config_.num_clients)
+      .kv("compute_threads", static_cast<std::int64_t>(core::compute_threads()));
 
   std::unique_ptr<TcpServer> tcp_server;
   if (config_.use_tcp) {
     tcp_server = std::make_unique<TcpServer>(0, server_->dispatcher());
-    logger().info("TCP transport listening on 127.0.0.1:" +
-                  std::to_string(tcp_server->port()));
+    LOG(info)
+        .msg("TCP transport listening")
+        .kv("addr", "127.0.0.1")
+        .kv("port", static_cast<std::int64_t>(tcp_server->port()));
   }
 
   // Each site gets a ConnectionFactory so the client can reconnect after a
@@ -129,7 +134,7 @@ SimulationResult SimulatorRunner::run() {
     if (poison_planner_) {
       if (const std::optional<PoisonPlan> plan = poison_planner_(i, name)) {
         client->outbound_filters().add(std::make_shared<PoisonFilter>(*plan));
-        logger().warn(name + " is ADVERSARIAL this run");
+        LOG(warn).msg(name + " is ADVERSARIAL this run").kv("site", name);
       }
     }
     clients.push_back(std::move(client));
@@ -151,7 +156,7 @@ SimulationResult SimulatorRunner::run() {
       try {
         done[i].get();
       } catch (...) {
-        logger().error("client " + clients[i]->site_name() + " failed");
+        LOG(error).msg("client failed").kv("site", clients[i]->site_name());
         failed_sites.push_back(clients[i]->site_name());
         if (!first_failure) first_failure = std::current_exception();
       }
@@ -180,17 +185,35 @@ SimulationResult SimulatorRunner::run() {
   result.failed_sites = std::move(failed_sites);
   result.resumed_from_round = resumed_from_round_;
   result.quarantined_sites = server_->quarantined_sites();
+  // Snapshot the registry on success *and* abort: the per-site gauges were
+  // recorded before validation, so even "every contribution was rejected"
+  // aborts keep each site's last reported state.
+  result.metrics = server_->metrics_snapshot();
+  result.site_metrics =
+      result.metrics.gauges_with_prefix(metric_names::kSitePrefix);
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  if (tracing) {
+    // The whole-run span is recorded manually: a ScopedSpan here would
+    // destruct only after stop() below and be dropped.
+    core::Tracer::instance().record_complete("simulator.run", {}, -1, trace_t0,
+                                             core::Tracer::instance().now_ns());
+    core::Tracer::instance().stop();
+    if (!config_.trace_json_path.empty()) {
+      write_chrome_trace(config_.trace_json_path);
+    }
+  }
   if (result.aborted) {
-    logger().error("Simulation aborted after " +
-                   std::to_string(result.wall_seconds) +
-                   " s: " + result.abort_reason);
+    LOG(error)
+        .msg("Simulation aborted:")
+        .msg(result.abort_reason)
+        .kv("wall_seconds", result.wall_seconds);
   } else {
-    logger().info("Simulation finished in " +
-                  std::to_string(result.wall_seconds) + " s over " +
-                  std::to_string(config_.num_rounds) + " rounds");
+    LOG(info)
+        .msg("Simulation finished")
+        .kv("wall_seconds", result.wall_seconds)
+        .kv("rounds", config_.num_rounds);
   }
   return result;
 }

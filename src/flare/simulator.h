@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/backoff.h"
+#include "core/trace.h"
 #include "flare/aggregator.h"
 #include "flare/client.h"
 #include "flare/faults.h"
@@ -66,12 +67,32 @@ struct SimulatorConfig {
   /// the budget was already pinned by CPPFLARE_COMPUTE_THREADS or an explicit
   /// set_compute_threads call; < 0 leaves the budget completely untouched.
   std::int64_t compute_threads = -1;
+  /// Observability: start the process-wide span tracer for this run. The
+  /// trace never perturbs training (a traced run is memcmp-equal to an
+  /// untraced one); budget is ≤5% of clean-round throughput (BENCH_obs.json).
+  bool trace = false;
+  /// When tracing, export the timeline here as Chrome `about:tracing` JSON
+  /// when the run ends (open in chrome://tracing or ui.perfetto.dev).
+  std::string trace_json_path;
+  /// Ring-buffer capacity in events while tracing (oldest overwritten).
+  std::size_t trace_capacity = 1 << 16;
 };
 
+/// Deprecation note (observability PR): the scalar fields below are views
+/// retained for existing callers; `metrics` — the server's MetricRegistry
+/// snapshot — is the source of truth, and new telemetry should be read from
+/// it (names in flare/observability.h metric_names) rather than grown here.
 struct SimulationResult {
   nn::StateDict final_model;
   std::vector<RoundMetrics> history;
   double wall_seconds = 0.0;
+  /// Snapshot of the server's metric registry when the run ended — taken on
+  /// success *and* abort, so mid-round detail survives an aborted run.
+  core::MetricSnapshot metrics;
+  /// The "site.<name>.<metric>" gauges from `metrics`: the last state each
+  /// site reported before the run ended (recorded before validation, so an
+  /// abort caused by mass rejection still shows what every site sent).
+  std::map<std::string, double> site_metrics;
   /// True when the server aborted the run (deadline below min_clients or an
   /// explicit abort); final_model/history reflect the last completed round.
   bool aborted = false;

@@ -13,15 +13,31 @@
 
 #include "core/error.h"
 #include "core/logging.h"
+#include "core/trace.h"
+#include "flare/observability.h"
+
+#define CPPFLARE_LOG_COMPONENT "TcpTransport"
 
 namespace cppflare::flare {
 
 namespace {
 
-const core::Logger& logger() {
-  static core::Logger log("TcpTransport");
-  return log;
-}
+/// Process-wide frame/byte accounting. Looked up once: registry references
+/// are stable for its lifetime, so the per-frame cost is two relaxed adds.
+struct TcpMetrics {
+  core::Counter& bytes_sent;
+  core::Counter& bytes_recv;
+  core::Counter& frames_sent;
+  core::Counter& frames_recv;
+  static const TcpMetrics& get() {
+    static TcpMetrics m{
+        core::MetricRegistry::instance().counter(metric_names::kTcpBytesSent),
+        core::MetricRegistry::instance().counter(metric_names::kTcpBytesRecv),
+        core::MetricRegistry::instance().counter(metric_names::kTcpFramesSent),
+        core::MetricRegistry::instance().counter(metric_names::kTcpFramesRecv)};
+    return m;
+  }
+};
 
 void write_all(int fd, const std::uint8_t* data, std::size_t n) {
   while (n > 0) {
@@ -74,6 +90,8 @@ void write_frame(int fd, const std::vector<std::uint8_t>& payload,
   for (int i = 0; i < 4; ++i) header[i] = static_cast<std::uint8_t>(len >> (8 * i));
   write_all(fd, header, 4);
   write_all(fd, payload.data(), payload.size());
+  TcpMetrics::get().bytes_sent.add(4 + static_cast<std::int64_t>(payload.size()));
+  TcpMetrics::get().frames_sent.add(1);
 }
 
 std::vector<std::uint8_t> read_frame(int fd, std::uint32_t max_frame_bytes) {
@@ -89,6 +107,8 @@ std::vector<std::uint8_t> read_frame(int fd, std::uint32_t max_frame_bytes) {
   }
   std::vector<std::uint8_t> payload(len);
   read_all(fd, payload.data(), len);
+  TcpMetrics::get().bytes_recv.add(4 + static_cast<std::int64_t>(len));
+  TcpMetrics::get().frames_recv.add(1);
   return payload;
 }
 
@@ -169,7 +189,7 @@ void TcpServer::accept_loop() {
     if (fd < 0) {
       if (stopping_) return;
       if (errno == EINTR) continue;
-      logger().warn("accept failed: " + std::string(std::strerror(errno)));
+      LOG(warn).msg("accept failed:").msg(std::strerror(errno));
       return;
     }
     const int one = 1;
@@ -200,7 +220,7 @@ void TcpServer::serve_connection(int fd) {
     // Normal teardown path: peer closed, went silent past the deadline,
     // announced an oversized frame, or the server is stopping.
   } catch (const std::exception& e) {
-    logger().warn(std::string("connection handler error: ") + e.what());
+    LOG(warn).msg("connection handler error:").msg(e.what());
   }
   // This thread is the sole closer of fd (see the ownership protocol above
   // stop()); deregister first so stop() never shutdown(2)s a closed fd.
@@ -237,6 +257,7 @@ TcpConnection::~TcpConnection() {
 
 std::vector<std::uint8_t> TcpConnection::call(
     const std::vector<std::uint8_t>& request) {
+  CF_TRACE_SPAN("tcp.call");
   write_frame(fd_, request);
   return read_frame(fd_);
 }

@@ -5,13 +5,11 @@
 
 #include "core/logging.h"
 
+#define CPPFLARE_LOG_COMPONENT "UpdateValidator"
+
 namespace cppflare::flare {
 
 namespace {
-const core::Logger& logger() {
-  static core::Logger log("UpdateValidator");
-  return log;
-}
 
 /// Consistency constant turning a MAD into a normal-comparable sigma.
 constexpr double kMadToSigma = 1.4826;
@@ -105,7 +103,7 @@ Verdict UpdateValidator::admit(Aggregator& aggregator, const std::string& site,
   double norm = 0.0;
   const Verdict verdict = screen(dxo, &norm);
   if (!verdict.ok()) {
-    logger().warn("Update from " + site + " rejected (" +
+    LOG(warn).msg("Update from " + site + " rejected (" +
                   reject_reason_name(verdict.reason) + "): " + verdict.detail);
     return verdict;
   }
@@ -121,7 +119,7 @@ Verdict UpdateValidator::score(const std::string& site, const Dxo& dxo,
                                double* norm_out) const {
   const Verdict verdict = screen(dxo, norm_out);
   if (!verdict.ok()) {
-    logger().warn("Scored update from quarantined " + site + " fails (" +
+    LOG(warn).msg("Scored update from quarantined " + site + " fails (" +
                   reject_reason_name(verdict.reason) + "): " + verdict.detail);
   }
   return verdict;

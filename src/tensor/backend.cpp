@@ -1,6 +1,7 @@
 #include "tensor/backend.h"
 
 #include "core/parallel.h"
+#include "core/trace.h"
 
 namespace cppflare::tensor::backend {
 
@@ -32,6 +33,9 @@ void parallel_rows(std::int64_t items, std::int64_t work_per_item,
     fn(0, items);
     return;
   }
+  // Only the parallel branch is traced: the serial-inline path handles tiny
+  // ops far too frequent to record usefully.
+  CF_TRACE_SPAN("tensor.parallel_rows");
   core::parallel_for(0, items, grain_for(items, work_per_item), fn);
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/trace.h"
 #include "tensor/backend.h"
 
 namespace cppflare::tensor {
@@ -23,6 +24,7 @@ constexpr std::int64_t kMc = 128;
 
 void gemm_nn(const float* a, const float* b, float* c, std::int64_t m,
              std::int64_t k, std::int64_t n) {
+  CF_TRACE_SPAN("tensor.gemm_nn");
   // Row panels of C are independent; within a panel, k is consumed in
   // ascending kKc blocks so each B block is streamed once per row while C
   // rows stay hot. Inner j loop is a branchless axpy: dense (post-init)
@@ -46,6 +48,7 @@ void gemm_nn(const float* a, const float* b, float* c, std::int64_t m,
 
 void gemm_nt(const float* a, const float* b, float* c, std::int64_t m,
              std::int64_t k, std::int64_t n) {
+  CF_TRACE_SPAN("tensor.gemm_nt");
   // Dot products of contiguous rows. Four B rows are consumed per pass so
   // each load of the A row feeds four independent accumulator chains —
   // without this the loop is latency-bound on one serial reduction. A j
@@ -90,6 +93,7 @@ void gemm_nt(const float* a, const float* b, float* c, std::int64_t m,
 
 void gemm_tn(const float* a, const float* b, float* c, std::int64_t m,
              std::int64_t k, std::int64_t n) {
+  CF_TRACE_SPAN("tensor.gemm_tn");
   // C rows are indexed by kk here, so the parallel dimension is k. Within a
   // panel, m is consumed in ascending kMc blocks: B row i is streamed once
   // per panel row while the A slice a[i*k + kk0..kk1) stays contiguous.

@@ -4,15 +4,13 @@
 
 #include "core/error.h"
 #include "core/logging.h"
+#include "core/trace.h"
+
+#define CPPFLARE_LOG_COMPONENT "CiBertLearner"
 
 namespace cppflare::train {
 
 namespace {
-
-const core::Logger& learner_log() {
-  static core::Logger log("CiBertLearner");
-  return log;
-}
 
 /// global - reference, producing a kWeightDiff payload.
 nn::StateDict diff_of(const nn::StateDict& updated, const nn::StateDict& reference) {
@@ -37,6 +35,7 @@ ClinicalLearner::ClinicalLearner(std::string site_name,
 
 flare::Dxo ClinicalLearner::train(const flare::Dxo& global_model,
                                   const flare::FLContext& ctx) {
+  CF_TRACE_SPAN_SITE("learner.train", site_name_, ctx.current_round);
   if (global_model.kind() != flare::DxoKind::kWeights) {
     throw ProtocolError("ClinicalLearner: expected kWeights task payload");
   }
@@ -66,7 +65,7 @@ flare::Dxo ClinicalLearner::train(const flare::Dxo& global_model,
                     site_name_.c_str(), static_cast<long long>(e + 1),
                     static_cast<long long>(options_.local_epochs), options_.lr,
                     train_loss);
-      learner_log().info(buf);
+      LOG(info).msg(buf);
     }
   }
   const EvalResult eval = valid_set_.empty()
@@ -76,7 +75,7 @@ flare::Dxo ClinicalLearner::train(const flare::Dxo& global_model,
     char buf[160];
     std::snprintf(buf, sizeof(buf), "Validation %s: valid_acc=%.3f", site_name_.c_str(),
                   eval.accuracy);
-    learner_log().info(buf);
+    LOG(info).msg(buf);
   }
 
   last_local_model_ = model_->state_dict();
@@ -110,6 +109,7 @@ MlmFederatedLearner::MlmFederatedLearner(
 
 flare::Dxo MlmFederatedLearner::train(const flare::Dxo& global_model,
                                       const flare::FLContext& ctx) {
+  CF_TRACE_SPAN_SITE("learner.train", site_name_, ctx.current_round);
   if (global_model.kind() != flare::DxoKind::kWeights) {
     throw ProtocolError("MlmFederatedLearner: expected kWeights task payload");
   }
@@ -135,7 +135,7 @@ flare::Dxo MlmFederatedLearner::train(const flare::Dxo& global_model,
                     site_name_.c_str(), static_cast<long long>(e + 1),
                     static_cast<long long>(options_.local_epochs), options_.lr,
                     train_loss);
-      learner_log().info(buf);
+      LOG(info).msg(buf);
     }
   }
   const double valid_loss =

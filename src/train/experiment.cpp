@@ -10,14 +10,12 @@
 #include "models/lstm_classifier.h"
 #include "train/trainer.h"
 
+#define CPPFLARE_LOG_COMPONENT "Experiment"
+
 namespace cppflare::train {
 
 namespace {
 
-const core::Logger& logger() {
-  static core::Logger log("Experiment");
-  return log;
-}
 
 double elapsed_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
@@ -191,7 +189,7 @@ SchemeResult run_standalone(const std::string& model_name,
     const EvalResult eval = evaluate(*model, data.valid, scale.batch_size);
     acc_sum += eval.accuracy;
     loss_sum += eval.loss;
-    logger().info("standalone " + model_name + " site-" + std::to_string(site + 1) +
+    LOG(info).msg("standalone " + model_name + " site-" + std::to_string(site + 1) +
                   " valid_acc=" + std::to_string(eval.accuracy));
   }
   SchemeResult result;

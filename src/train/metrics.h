@@ -1,4 +1,11 @@
 // Evaluation metrics (top-1 accuracy, mean loss).
+//
+// Deprecation note (observability PR): these are *computation* helpers that
+// produce values; telemetry *storage* is consolidated on core/trace.h's
+// MetricRegistry (names in flare/observability.h metric_names). Do not grow
+// new cross-run accumulator types here — record into a registry instead
+// (the trainer already publishes "train.epochs"/"train.batches"/
+// "train.epoch_ms" that way).
 #pragma once
 
 #include <cstdint>

@@ -25,6 +25,29 @@ void write_round_metrics_csv(const std::string& path,
   if (!out) throw Error("reporting: write failed for '" + path + "'");
 }
 
+void write_metrics_csv(const std::string& path,
+                       const core::MetricSnapshot& snapshot) {
+  std::ofstream out = open_csv(path);
+  out << "kind,name,value\n";
+  for (const auto& [name, v] : snapshot.counters) {
+    out << "counter," << name << ',' << v << '\n';
+  }
+  for (const auto& [name, v] : snapshot.gauges) {
+    out << "gauge," << name << ',' << v << '\n';
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    out << "histogram," << name << ".count," << h.count << '\n';
+    out << "histogram," << name << ".sum," << h.sum << '\n';
+    out << "histogram," << name << ".mean," << h.mean << '\n';
+    out << "histogram," << name << ".min," << h.min << '\n';
+    out << "histogram," << name << ".max," << h.max << '\n';
+    out << "histogram," << name << ".p50," << h.p50 << '\n';
+    out << "histogram," << name << ".p90," << h.p90 << '\n';
+    out << "histogram," << name << ".p99," << h.p99 << '\n';
+  }
+  if (!out) throw Error("reporting: write failed for '" + path + "'");
+}
+
 void write_epoch_stats_csv(const std::string& path,
                            const std::vector<EpochStats>& history) {
   std::ofstream out = open_csv(path);

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/trace.h"
 #include "flare/aggregator.h"
 #include "train/trainer.h"
 
@@ -12,8 +13,18 @@ namespace cppflare::train {
 
 /// Writes per-round federation metrics:
 ///   round,num_contributions,total_samples,train_loss,valid_acc,valid_loss
+///
+/// Deprecation note (observability PR): RoundMetrics is a view over the
+/// server's MetricRegistry; for anything beyond these six columns export
+/// the registry snapshot with write_metrics_csv below.
 void write_round_metrics_csv(const std::string& path,
                              const std::vector<flare::RoundMetrics>& history);
+
+/// Writes a full registry snapshot, one metric per row:
+///   kind,name,value  — histograms expand to count/sum/mean/min/max/p50/p90/
+///   p99 rows named "<metric>.count" etc., so the file stays flat.
+void write_metrics_csv(const std::string& path,
+                       const core::MetricSnapshot& snapshot);
 
 /// Writes per-epoch training stats:
 ///   epoch,train_loss,valid_loss,valid_acc,seconds

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "core/logging.h"
+#include "core/trace.h"
 #include "tensor/ops.h"
 
 namespace cppflare::train {
@@ -17,11 +18,16 @@ ClassifierTrainer::ClassifierTrainer(
 }
 
 double ClassifierTrainer::train_epoch(const data::Dataset& train_set) {
+  CF_TRACE_SPAN("train.epoch");
+  const auto epoch_start = std::chrono::steady_clock::now();
+  core::Counter& batch_count =
+      core::MetricRegistry::instance().counter("train.batches");
   model_->set_training(true);
   data::DataLoader loader(train_set, options_.batch_size, /*shuffle=*/true,
                           rng_.fork());
   RunningMean loss_mean;
   for (const data::Batch& batch : loader.epoch()) {
+    CF_TRACE_SPAN("train.batch");
     const tensor::Tensor logits = model_->class_logits(batch, rng_);
     tensor::Tensor loss = tensor::cross_entropy(logits, batch.labels);
     loss_mean.add(loss.item(), batch.batch_size);
@@ -30,7 +36,13 @@ double ClassifierTrainer::train_epoch(const data::Dataset& train_set) {
     if (prox_mu_ > 0.0) apply_proximal_gradient();
     if (options_.clip_norm > 0.0f) optimizer_->clip_grad_norm(options_.clip_norm);
     optimizer_->step();
+    batch_count.add(1);
   }
+  core::MetricRegistry::instance().counter("train.epochs").add(1);
+  core::MetricRegistry::instance().histogram("train.epoch_ms").record(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - epoch_start)
+          .count());
   return loss_mean.mean();
 }
 
@@ -53,7 +65,6 @@ void ClassifierTrainer::apply_proximal_gradient() {
 
 std::vector<EpochStats> ClassifierTrainer::fit(const data::Dataset& train_set,
                                                const data::Dataset& valid_set) {
-  core::Logger log(options_.log_name);
   std::vector<EpochStats> history;
   for (std::int64_t e = 0; e < options_.epochs; ++e) {
     const auto start = std::chrono::steady_clock::now();
@@ -73,7 +84,8 @@ std::vector<EpochStats> ClassifierTrainer::fit(const data::Dataset& train_set,
                     static_cast<long long>(e + 1),
                     static_cast<long long>(options_.epochs), options_.lr,
                     stats.train_loss, stats.valid_acc);
-      log.info(buf);
+      // Component name is runtime-chosen (per-site log_name), so LOG_AS.
+      LOG_AS(options_.log_name, info).msg(buf);
     }
     history.push_back(stats);
   }
@@ -92,11 +104,16 @@ MlmTrainer::MlmTrainer(std::shared_ptr<models::BertForPretraining> model,
 }
 
 double MlmTrainer::train_epoch(const data::Dataset& corpus) {
+  CF_TRACE_SPAN("train.epoch");
+  const auto epoch_start = std::chrono::steady_clock::now();
+  core::Counter& batch_count =
+      core::MetricRegistry::instance().counter("train.batches");
   model_->set_training(true);
   data::DataLoader loader(corpus, options_.batch_size, /*shuffle=*/true,
                           rng_.fork());
   RunningMean loss_mean;
   for (const data::Batch& batch : loader.epoch()) {
+    CF_TRACE_SPAN("train.batch");
     const data::MlmMasker::MaskedBatch masked = masker_.mask_batch(batch, rng_);
     tensor::Tensor loss = model_->mlm_loss(masked, rng_);
     loss_mean.add(loss.item(), batch.batch_size);
@@ -104,7 +121,13 @@ double MlmTrainer::train_epoch(const data::Dataset& corpus) {
     loss.backward();
     if (options_.clip_norm > 0.0f) optimizer_->clip_grad_norm(options_.clip_norm);
     optimizer_->step();
+    batch_count.add(1);
   }
+  core::MetricRegistry::instance().counter("train.epochs").add(1);
+  core::MetricRegistry::instance().histogram("train.epoch_ms").record(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - epoch_start)
+          .count());
   return loss_mean.mean();
 }
 

@@ -1,3 +1,6 @@
+// The LOG(level) macro picks up the translation unit's component name.
+#define CPPFLARE_LOG_COMPONENT "UnitComponent"
+
 #include "core/logging.h"
 
 #include <gtest/gtest.h>
@@ -69,6 +72,78 @@ TEST_F(LoggingTest, MultipleLinesAppend) {
   const std::string s = out_.str();
   EXPECT_NE(s.find("one\n"), std::string::npos);
   EXPECT_NE(s.find("two\n"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Structured event API (LOG / LOG_AS / LogEvent)
+// ---------------------------------------------------------------------------
+
+TEST_F(LoggingTest, StructuredEventKeepsNvflareLinePrefix) {
+  LOG(info).msg("Round 3 started.").kv("round", 3).kv("site", "site-1");
+  const std::regex pattern(
+      R"(^\d{4}-\d{2}-\d{2} \d{2}:\d{2}:\d{2},\d{3} - UnitComponent - INFO: Round 3 started\. round=3 site=site-1\n$)");
+  EXPECT_TRUE(std::regex_match(out_.str(), pattern)) << out_.str();
+}
+
+TEST_F(LoggingTest, LogAsNamesComponentInline) {
+  LOG_AS("ClientManager", warn).msg("bad token").kv("site", "site-9");
+  EXPECT_NE(out_.str().find(" - ClientManager - WARN: bad token site=site-9\n"),
+            std::string::npos)
+      << out_.str();
+}
+
+TEST_F(LoggingTest, KvValueTypes) {
+  LOG(info)
+      .msg("m")
+      .kv("i", std::int64_t{-42})
+      .kv("u", 7u)
+      .kv("d", 0.5)
+      .kv("b_true", true)
+      .kv("b_false", false)
+      .kv("s", std::string("plain"));
+  EXPECT_NE(out_.str().find(
+                "INFO: m i=-42 u=7 d=0.5 b_true=true b_false=false s=plain"),
+            std::string::npos)
+      << out_.str();
+}
+
+TEST_F(LoggingTest, KvQuotesAwkwardValues) {
+  LOG(info)
+      .msg("m")
+      .kv("spaced", "two words")
+      .kv("empty", "")
+      .kv("quoted", "say \"hi\"")
+      .kv("eq", "a=b");
+  // Values with spaces/quotes/equals (or empty) are quoted with \-escapes so
+  // the line still splits unambiguously on ` key=`.
+  EXPECT_NE(out_.str().find(
+                "m spaced=\"two words\" empty=\"\" quoted=\"say \\\"hi\\\"\" "
+                "eq=\"a=b\""),
+            std::string::npos)
+      << out_.str();
+}
+
+TEST_F(LoggingTest, KvOnlyEventHasNoLeadingSpace) {
+  LOG(info).kv("round", 1);
+  EXPECT_NE(out_.str().find("INFO: round=1\n"), std::string::npos) << out_.str();
+}
+
+TEST_F(LoggingTest, InertBelowThresholdFormatsNothing) {
+  LogConfig::instance().set_threshold(LogLevel::kWarn);
+  LOG(info).msg("invisible").kv("round", 1);
+  LOG(debug).msg("also invisible");
+  EXPECT_TRUE(out_.str().empty());
+  LogConfig::instance().set_threshold(LogLevel::kOff);
+  LOG(error).msg("off silences errors too");
+  EXPECT_TRUE(out_.str().empty());
+}
+
+TEST_F(LoggingTest, LoggerEventShimUsesLoggerName) {
+  Logger log("ShimName");
+  log.event(LogLevel::kInfo).msg("via shim").kv("k", "v");
+  EXPECT_NE(out_.str().find(" - ShimName - INFO: via shim k=v\n"),
+            std::string::npos)
+      << out_.str();
 }
 
 }  // namespace

@@ -36,7 +36,7 @@ nn::StateDict sample_dict() {
 
 TEST_F(PersistorTest, SaveLoadRoundTrip) {
   ModelPersistor p(path("model.bin"));
-  p.save({"job-7", 3, sample_dict(), {}});
+  p.save({"job-7", 3, sample_dict(), {}, {}});
   const auto loaded = p.load();
   ASSERT_TRUE(loaded.has_value());
   EXPECT_EQ(loaded->job_id, "job-7");
@@ -51,10 +51,10 @@ TEST_F(PersistorTest, MissingFileReturnsNullopt) {
 
 TEST_F(PersistorTest, OverwriteKeepsLatest) {
   ModelPersistor p(path("model.bin"));
-  p.save({"job", 1, sample_dict(), {}});
+  p.save({"job", 1, sample_dict(), {}, {}});
   nn::StateDict newer = sample_dict();
   newer.at("layer.w").values[0] = 99.0f;
-  p.save({"job", 2, newer, {}});
+  p.save({"job", 2, newer, {}, {}});
   const auto loaded = p.load();
   ASSERT_TRUE(loaded.has_value());
   EXPECT_EQ(loaded->round, 2);
@@ -63,7 +63,7 @@ TEST_F(PersistorTest, OverwriteKeepsLatest) {
 
 TEST_F(PersistorTest, NoTempFileLeftBehind) {
   ModelPersistor p(path("model.bin"));
-  p.save({"job", 1, sample_dict(), {}});
+  p.save({"job", 1, sample_dict(), {}, {}});
   EXPECT_FALSE(std::filesystem::exists(path("model.bin.tmp")));
   EXPECT_TRUE(std::filesystem::exists(path("model.bin")));
 }
@@ -80,7 +80,7 @@ TEST_F(PersistorTest, CorruptMagicRejected) {
 
 TEST_F(PersistorTest, UnwritableDirectoryThrows) {
   ModelPersistor p("/nonexistent_dir_zzz/model.bin");
-  EXPECT_THROW(p.save({"job", 0, sample_dict(), {}}), Error);
+  EXPECT_THROW(p.save({"job", 0, sample_dict(), {}, {}}), Error);
 }
 
 TEST_F(PersistorTest, HistoryRoundTrip) {
@@ -99,7 +99,7 @@ TEST_F(PersistorTest, HistoryRoundTrip) {
   m1.late_contributions = 1;
   m1.evicted_sites = 1;
   m1.deadline_fired = true;
-  p.save({"job-9", 1, sample_dict(), {m0, m1}});
+  p.save({"job-9", 1, sample_dict(), {m0, m1}, {}});
   const auto loaded = p.load();
   ASSERT_TRUE(loaded.has_value());
   ASSERT_EQ(loaded->history.size(), 2u);
@@ -179,7 +179,7 @@ TEST_F(PersistorTest, DefenseTelemetryAndReputationRoundTrip) {
   m.quarantined_sites = 1;
   m.rejections_by_reason["non_finite"] = 1;
   m.rejections_by_reason["norm_outlier"] = 2;
-  Checkpoint cp{"job-v3", 1, sample_dict(), {m}};
+  Checkpoint cp{"job-v3", 1, sample_dict(), {m}, {}};
   SiteStanding bad;
   bad.strikes = 2;
   bad.quarantined = true;
@@ -203,7 +203,7 @@ TEST_F(PersistorTest, DefenseTelemetryAndReputationRoundTrip) {
 TEST_F(PersistorTest, TruncatedCheckpointFailsIntegrityCheck) {
   const std::string file = path("model.bin");
   ModelPersistor p(file);
-  p.save({"job", 1, sample_dict(), {}});
+  p.save({"job", 1, sample_dict(), {}, {}});
   const auto size = std::filesystem::file_size(file);
   std::filesystem::resize_file(file, size - 7);
   try {
@@ -218,7 +218,7 @@ TEST_F(PersistorTest, TruncatedCheckpointFailsIntegrityCheck) {
 TEST_F(PersistorTest, TruncatedBelowFooterSizeFailsWithClearError) {
   const std::string file = path("model.bin");
   ModelPersistor p(file);
-  p.save({"job", 1, sample_dict(), {}});
+  p.save({"job", 1, sample_dict(), {}, {}});
   std::filesystem::resize_file(file, 10);  // magic survives, footer gone
   try {
     p.load();
@@ -231,7 +231,7 @@ TEST_F(PersistorTest, TruncatedBelowFooterSizeFailsWithClearError) {
 TEST_F(PersistorTest, FlippedByteFailsIntegrityCheck) {
   const std::string file = path("model.bin");
   ModelPersistor p(file);
-  p.save({"job", 1, sample_dict(), {}});
+  p.save({"job", 1, sample_dict(), {}, {}});
   // Flip one bit in the middle of the body (past the magic, before the
   // footer): the SHA-256 footer must catch it.
   std::vector<char> bytes;
@@ -258,7 +258,7 @@ TEST_F(PersistorTest, FlippedByteFailsIntegrityCheck) {
 
 TEST_F(PersistorTest, EmptyModelRoundTrip) {
   ModelPersistor p(path("empty.bin"));
-  p.save({"job", 0, nn::StateDict{}, {}});
+  p.save({"job", 0, nn::StateDict{}, {}, {}});
   const auto loaded = p.load();
   ASSERT_TRUE(loaded.has_value());
   EXPECT_TRUE(loaded->model.empty());

@@ -24,6 +24,7 @@
 #include "core/logging.h"
 #include "core/parallel.h"
 #include "core/rng.h"
+#include "core/trace.h"
 #include "core/thread_pool.h"
 #include "flare/simulator.h"
 #include "flare/tcp.h"
@@ -186,6 +187,28 @@ TEST_F(SimulatorStress, SingleSiteFederationCompletes) {
   const flare::SimulationResult result = runner.run();
   ASSERT_EQ(result.history.size(), 4u);
   EXPECT_EQ(result.history.back().num_contributions, 1);
+}
+
+TEST_F(SimulatorStress, TracedEightSiteFederation) {
+  // The tracing hot path under real contention: 8 site threads recording
+  // client/server spans into the shared ring while per-site gauges land in
+  // the server's MetricRegistry. TSan watches the ring mutex and the
+  // relaxed-atomic metric stores; the assertions keep the trace honest.
+  core::Tracer::instance().stop();
+  core::Tracer::instance().clear();
+  flare::SimulatorConfig config;
+  config.num_clients = 8;
+  config.num_rounds = 3;
+  config.trace = true;
+  flare::SimulatorRunner runner = make_runner(config);
+  const flare::SimulationResult result = runner.run();
+  ASSERT_EQ(result.history.size(), 3u);
+  EXPECT_FALSE(core::Tracer::instance().enabled());  // run() stopped it
+  if (core::kTracingCompiledIn) {
+    EXPECT_GT(core::Tracer::instance().size(), 0u);
+    EXPECT_EQ(result.site_metrics.size(), 8u * 5u);  // 5 gauges per site
+  }
+  core::Tracer::instance().clear();
 }
 
 TEST_F(SimulatorStress, BackToBackRunsReuseCleanState) {
