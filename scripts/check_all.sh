@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Full correctness gate: lint -> clang-tidy (if installed) -> build all three
-# presets with -Werror -> ctest each. This is the "am I allowed to merge"
-# command; scripts/ci.sh is the cheaper subset meant for every push.
+# Full correctness gate: cflint -> clang thread-safety analysis -> clang-tidy
+# -> build all three sanitizer presets with -Werror -> ctest each. This is
+# the "am I allowed to merge" command; scripts/ci.sh is the cheaper subset
+# meant for every push. The two clang stages skip loudly when the clang
+# toolchain is absent (the annotations are no-ops under GCC).
 #
 # Usage: scripts/check_all.sh [-j N]
 set -euo pipefail
@@ -15,9 +17,20 @@ if [ "${1:-}" = "-j" ] && [ -n "${2:-}" ]; then JOBS="$2"; fi
 
 step() { echo; echo "==== $* ===="; }
 
-step "lint"
+step "cflint"
 "${SCRIPT_DIR}/lint.sh" --self-test
 "${SCRIPT_DIR}/lint.sh"
+
+step "clang thread-safety analysis"
+if command -v clang++ >/dev/null 2>&1; then
+  cmake --preset clang-tsa
+  cmake --build --preset clang-tsa -j "${JOBS}"
+else
+  echo "!! clang++ not installed: SKIPPING thread-safety analysis."
+  echo "!! Locking contracts (CF_GUARDED_BY/CF_REQUIRES) were NOT verified"
+  echo "!! at compile time on this machine; the TSan preset below covers"
+  echo "!! them dynamically."
+fi
 
 step "clang-tidy"
 if command -v clang-tidy >/dev/null 2>&1; then
@@ -31,7 +44,8 @@ if command -v clang-tidy >/dev/null 2>&1; then
       xargs -0 -n 8 clang-tidy -p build-release --quiet
   fi
 else
-  echo "clang-tidy not installed; skipping (grep lint above still enforced)"
+  echo "!! clang-tidy not installed: SKIPPING tidy checks (cflint above"
+  echo "!! still enforced; concurrency-* tidy checks were not run)."
 fi
 
 for preset in release asan-ubsan tsan; do

@@ -1,8 +1,17 @@
 #!/usr/bin/env bash
-# One-command reproducible CI pass: lint, the full suite under ASan+UBSan,
-# and the concurrency-sensitive tests under TSan (with the suppressions file,
-# which is empty by policy — see scripts/tsan.supp). A subset of
-# scripts/check_all.sh sized for every-push latency.
+# One-command reproducible CI pass, cheapest-first so broken pushes fail in
+# seconds, not minutes:
+#
+#   1. cflint        static analysis (tools/cflint via scripts/lint.sh):
+#                    self-test, then the repo scan
+#   2. build matrix  asan-ubsan build (the heavier preset compile)
+#   3. tsa           Clang -Wthread-safety over the CF_GUARDED_BY/CF_REQUIRES
+#                    annotations (compile-only; skipped loudly without clang++)
+#   4. tidy          clang-tidy over src/ (skipped loudly when not installed)
+#   5. tests         full suite under ASan+UBSan, then the threaded subset
+#                    under TSan
+#
+# A subset of scripts/check_all.sh sized for every-push latency.
 #
 # Usage: scripts/ci.sh [-j N]
 set -euo pipefail
@@ -16,13 +25,41 @@ if [ "${1:-}" = "-j" ] && [ -n "${2:-}" ]; then JOBS="$2"; fi
 
 step() { echo; echo "==== $* ===="; }
 
-step "lint"
+step "cflint"
 "${SCRIPT_DIR}/lint.sh" --self-test
 "${SCRIPT_DIR}/lint.sh"
 
-step "asan-ubsan: build + full ctest"
+step "asan-ubsan: build"
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j "${JOBS}"
+
+step "clang thread-safety analysis"
+if command -v clang++ >/dev/null 2>&1; then
+  cmake --preset clang-tsa
+  cmake --build --preset clang-tsa -j "${JOBS}"
+else
+  echo "!! clang++ not installed: SKIPPING thread-safety analysis."
+  echo "!! The CF_GUARDED_BY/CF_REQUIRES annotations compile to no-ops under"
+  echo "!! GCC, so this machine has NOT verified the locking contracts."
+  echo "!! Install clang and rerun, or rely on the TSan stage below for"
+  echo "!! dynamic coverage of the same invariants."
+fi
+
+step "clang-tidy"
+if command -v clang-tidy >/dev/null 2>&1; then
+  cmake --preset release -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    run-clang-tidy -p build-release -quiet "src/.*\.cpp$"
+  else
+    find src -name '*.cpp' -print0 |
+      xargs -0 -n 8 clang-tidy -p build-release --quiet
+  fi
+else
+  echo "!! clang-tidy not installed: SKIPPING tidy checks (cflint above"
+  echo "!! still enforced; concurrency-* tidy checks were not run)."
+fi
+
+step "asan-ubsan: full ctest"
 ctest --preset asan-ubsan -j "${JOBS}"
 
 step "tsan: build + threaded/stress ctest"

@@ -1,322 +1,59 @@
 #!/usr/bin/env bash
-# Repo lint: greppable correctness rules over the FL runtime.
-#
-# Rules (each one guards a reproducibility or runtime invariant):
-#   R1  no rand()/srand() outside src/core/rng.*       — all randomness flows
-#       through seeded core::Rng so runs are reproducible.
-#   R2  no naked new/delete in src/flare/              — the runtime passes
-#       ownership across threads; raw owning pointers are how socket- and
-#       task-lifetime races start. Use unique_ptr/shared_ptr/containers.
-#   R3  no #include <iostream> in library code         — only the logging
-#       sink (src/core/logging.*) talks to std streams; everything else logs
-#       through core::Logger so output stays serialized and redirectable.
-#   R4  header hygiene                                 — every header under
-#       src/ uses `#pragma once` (no #ifndef guards, no guardless headers).
-#   R5  no raw std::thread outside src/core/           — all parallelism goes
-#       through core::parallel_for / core::ThreadPool so the process-wide
-#       compute budget stays enforceable. Blocking I/O threads (the TCP
-#       transport) are annotated `R5-exempt: <reason>` on the offending line.
-#       `std::thread::hardware_concurrency()` (member access, no spawn) is
-#       allowed.
-#   R6  no naked sleep_for/sleep_until/usleep outside src/core/backoff.* —
-#       blocking waits in the runtime are retry/poll loops in disguise; they
-#       go through core::Backoff so every delay is bounded, seeded-jittered,
-#       and visible in one place. Genuinely non-retry sleeps (e.g. a test
-#       harness pacing itself) are annotated `R6-exempt: <reason>`.
-#   R7  no direct Aggregator::accept calls in src/flare/ outside
-#       validator.cpp — every contribution must pass through
-#       UpdateValidator::admit so the screening pipeline (schema, finite,
-#       freshness, sample count) and the rejection telemetry cannot be
-#       bypassed. Raw `::accept(` socket calls are not method calls and do
-#       not match. Annotate a sanctioned exception `R7-exempt: <reason>`.
-#   R8  no legacy Logger string methods (.info/.warn/.error/.debug) outside
-#       src/core/ — library code logs through the structured event API
-#       (LOG(level).msg(...).kv(...), core/logging.h) so lines stay
-#       machine-parsable; the legacy form survives only as a shim inside
-#       core and in tests. Annotate a sanctioned exception
-#       `R8-exempt: <reason>`.
+# Repo lint entry point — a thin wrapper over the cflint analyzer
+# (tools/cflint), which replaced the grep pipeline that used to live here.
+# cflint lexes each file (comment/string/raw-string aware) and runs the
+# scope-aware rules R1-R11; see DESIGN.md §12 for the catalog and rationale.
 #
 # Usage:
-#   scripts/lint.sh              lint the repository (exit 0 = clean)
-#   scripts/lint.sh --self-test  prove each rule still fires on a violation
+#   scripts/lint.sh                 lint the repository (exit 0 = clean)
+#   scripts/lint.sh --self-test     run the analyzer's hermetic self-test
+#   scripts/lint.sh -f json         machine-readable findings
+#   scripts/lint.sh path/to/file    lint specific files
 #
-# The rule engine takes the tree root as a parameter so the self-test can run
-# the exact same code against a fixture tree with planted violations.
+# The binary is cached in build-tools/ and rebuilt whenever any analyzer
+# source is newer, so the wrapper works before CMake has configured (plain
+# `scripts/lint.sh` on a fresh clone) and stays in sync afterwards.
 set -u
 
 SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
 REPO_ROOT="$(dirname "${SCRIPT_DIR}")"
+TOOL_DIR="${REPO_ROOT}/tools/cflint"
+BIN_DIR="${REPO_ROOT}/build-tools"
+BIN="${BIN_DIR}/cflint"
 
-# Strip // and /* */ comment text so rule regexes only see code. Keeps line
-# structure (and therefore line numbers) intact.
-strip_comments() {
-  sed -e 's|//.*||' -e 's|/\*.*\*/||g' "$1"
-}
-
-# Each check_* prints "file:line: message" per violation and returns the
-# violation count via its output; callers accumulate.
-
-check_rand() {  # R1: rand()/srand() outside src/core/rng.*
-  local root="$1"
-  local f
-  find "$root/src" -type f \( -name '*.cpp' -o -name '*.h' \) 2>/dev/null |
-    while IFS= read -r f; do
-      case "$f" in */src/core/rng.cpp | */src/core/rng.h) continue ;; esac
-      strip_comments "$f" | grep -nE '(^|[^A-Za-z0-9_])s?rand[[:space:]]*\(' |
-        sed "s|^|${f#"$root"/}:|" | sed 's|$|: R1 rand()/srand() outside src/core/rng.* (use core::Rng)|'
-    done
-}
-
-check_naked_new_delete() {  # R2: naked new/delete in src/flare/
-  local root="$1"
-  local f
-  find "$root/src/flare" -type f \( -name '*.cpp' -o -name '*.h' \) 2>/dev/null |
-    while IFS= read -r f; do
-      strip_comments "$f" |
-        grep -nE '(^|[^A-Za-z0-9_])(new[[:space:]]+[A-Za-z_:(<]|delete([[:space:]]|\[))' |
-        grep -vE '=[[:space:]]*delete' |
-        sed "s|^|${f#"$root"/}:|" | sed 's|$|: R2 naked new/delete in src/flare/ (use smart pointers)|'
-    done
-}
-
-check_iostream() {  # R3: <iostream> in library code outside the log sink
-  local root="$1"
-  local f
-  find "$root/src" -type f \( -name '*.cpp' -o -name '*.h' \) 2>/dev/null |
-    while IFS= read -r f; do
-      case "$f" in */src/core/logging.cpp | */src/core/logging.h) continue ;; esac
-      grep -nE '^[[:space:]]*#[[:space:]]*include[[:space:]]*<iostream>' "$f" |
-        sed "s|^|${f#"$root"/}:|" | sed 's|$|: R3 #include <iostream> in library code (log via core::Logger)|'
-    done
-}
-
-check_header_guards() {  # R4: #pragma once everywhere, no #ifndef guards
-  local root="$1"
-  local f
-  find "$root/src" -type f -name '*.h' 2>/dev/null |
-    while IFS= read -r f; do
-      if ! grep -q '^#pragma once' "$f"; then
-        echo "${f#"$root"/}:1: R4 header missing #pragma once"
-      elif grep -qE '^#ifndef[[:space:]]+[A-Z0-9_]+_H' "$f"; then
-        echo "${f#"$root"/}:1: R4 mixed include-guard styles (#ifndef next to #pragma once)"
-      fi
-    done
-}
-
-check_raw_threads() {  # R5: raw std::thread outside src/core/
-  local root="$1"
-  local f
-  find "$root/src" -type f \( -name '*.cpp' -o -name '*.h' \) 2>/dev/null |
-    while IFS= read -r f; do
-      case "$f" in */src/core/*) continue ;; esac
-      # `[^:]` after the token lets std::thread::hardware_concurrency through
-      # while still catching declarations, constructions and vector<...>.
-      strip_comments "$f" |
-        grep -nE '(^|[^A-Za-z0-9_])std::thread([^:A-Za-z0-9_]|$)' |
-        while IFS= read -r hit; do
-          # Exemption markers live in comments, which strip_comments removed —
-          # re-check the raw source line.
-          local ln="${hit%%:*}"
-          if sed -n "${ln}p" "$f" | grep -q 'R5-exempt:'; then continue; fi
-          echo "${f#"$root"/}:${hit}" |
-            sed 's|$|: R5 raw std::thread outside src/core/ (use core::parallel_for or core::ThreadPool)|'
-        done
-    done
-}
-
-check_naked_sleeps() {  # R6: blocking sleeps outside src/core/backoff.*
-  local root="$1"
-  local f
-  find "$root/src" -type f \( -name '*.cpp' -o -name '*.h' \) 2>/dev/null |
-    while IFS= read -r f; do
-      case "$f" in */src/core/backoff.cpp | */src/core/backoff.h) continue ;; esac
-      strip_comments "$f" |
-        grep -nE '(^|[^A-Za-z0-9_])(sleep_for|sleep_until|usleep)[[:space:]]*\(' |
-        while IFS= read -r hit; do
-          local ln="${hit%%:*}"
-          if sed -n "${ln}p" "$f" | grep -q 'R6-exempt:'; then continue; fi
-          echo "${f#"$root"/}:${hit}" |
-            sed 's|$|: R6 naked blocking sleep outside src/core/backoff.* (use core::Backoff)|'
-        done
-    done
-}
-
-check_direct_accept() {  # R7: Aggregator::accept called outside the validator
-  local root="$1"
-  local f
-  find "$root/src/flare" -type f \( -name '*.cpp' -o -name '*.h' \) 2>/dev/null |
-    while IFS= read -r f; do
-      case "$f" in */src/flare/validator.cpp) continue ;; esac
-      # `(->|\.)accept\(` catches method calls on an aggregator object but
-      # not raw `::accept(` socket calls or `Foo::accept(` definitions.
-      strip_comments "$f" |
-        grep -nE '(->|\.)[[:space:]]*accept[[:space:]]*\(' |
-        while IFS= read -r hit; do
-          local ln="${hit%%:*}"
-          if sed -n "${ln}p" "$f" | grep -q 'R7-exempt:'; then continue; fi
-          echo "${f#"$root"/}:${hit}" |
-            sed 's|$|: R7 direct Aggregator::accept outside validator.cpp (route through UpdateValidator::admit)|'
-        done
-    done
-}
-
-check_legacy_log() {  # R8: legacy Logger string methods outside src/core/
-  local root="$1"
-  local f
-  find "$root/src" -type f \( -name '*.cpp' -o -name '*.h' \) 2>/dev/null |
-    while IFS= read -r f; do
-      case "$f" in */src/core/*) continue ;; esac
-      # Method-call syntax only: `LOG(info)` / `LOG_AS(...)` macro calls and
-      # the builder's .msg()/.kv() chain do not match.
-      strip_comments "$f" |
-        grep -nE '(->|\.)[[:space:]]*(debug|info|warn|error)[[:space:]]*\(' |
-        while IFS= read -r hit; do
-          local ln="${hit%%:*}"
-          if sed -n "${ln}p" "$f" | grep -q 'R8-exempt:'; then continue; fi
-          echo "${f#"$root"/}:${hit}" |
-            sed 's|$|: R8 legacy Logger call outside src/core/ (use LOG(level).msg(...).kv(...))|'
-        done
-    done
-}
-
-run_all_checks() {
-  local root="$1"
-  check_rand "$root"
-  check_naked_new_delete "$root"
-  check_iostream "$root"
-  check_header_guards "$root"
-  check_raw_threads "$root"
-  check_naked_sleeps "$root"
-  check_direct_accept "$root"
-  check_legacy_log "$root"
-}
-
-self_test() {
-  local tmp
-  tmp="$(mktemp -d)"
-  # shellcheck disable=SC2064  — expand now: $tmp is a local, gone at EXIT.
-  trap "rm -rf '$tmp'" EXIT
-  mkdir -p "$tmp/src/core" "$tmp/src/flare"
-
-  # One planted violation per rule, plus decoys that must NOT fire.
-  cat > "$tmp/src/core/seed.cpp" <<'EOF'
-#include <cstdlib>
-void reseed() { srand(42); }
-int noisy() { return rand(); }
-int fine_decoy() { int operand = 1; return operand; }  // "rand" substring
-EOF
-  cat > "$tmp/src/flare/owner.cpp" <<'EOF'
-struct Widget { int x; };
-Widget* leaky() { return new Widget{1}; }
-void racy(Widget* w) { delete w; }
-struct NoCopy { NoCopy(const NoCopy&) = delete; };  // decoy: deleted fn
-// decoy comment: a new Widget is born, delete it later
-EOF
-  cat > "$tmp/src/flare/chatty.cpp" <<'EOF'
-#include <iostream>
-void shout() { std::cout << "hi\n"; }
-EOF
-  cat > "$tmp/src/flare/guardless.h" <<'EOF'
-struct Unguarded { int x; };
-EOF
-  cat > "$tmp/src/flare/clean.h" <<'EOF'
-#pragma once
-struct Clean { int x; };
-EOF
-  cat > "$tmp/src/flare/spawner.cpp" <<'EOF'
-#include <thread>
-void spawn() { std::thread t([] {}); t.join(); }
-void io() { std::thread t2([] {}); t2.join(); }  // R5-exempt: blocking I/O fixture
-void waiter() { std::this_thread::yield(); }
-unsigned hw() { return std::thread::hardware_concurrency(); }
-// decoy comment: std::thread mentioned in prose only
-EOF
-  cat > "$tmp/src/core/pool_impl.cpp" <<'EOF'
-#include <thread>
-void core_owns_threads() { std::thread t([] {}); t.join(); }
-EOF
-  cat > "$tmp/src/flare/napper.cpp" <<'EOF'
-#include <chrono>
-#include <thread>
-void retry_loop() { std::this_thread::sleep_for(std::chrono::milliseconds(5)); }
-void paced() { std::this_thread::sleep_for(std::chrono::seconds(1)); }  // R6-exempt: harness pacing fixture
-int sleepy_decoy() { int sleep_forever = 1; return sleep_forever; }
-// decoy comment: sleep_for mentioned in prose only
-EOF
-  cat > "$tmp/src/core/backoff.cpp" <<'EOF'
-#include <chrono>
-#include <thread>
-void blessed() { std::this_thread::sleep_for(std::chrono::milliseconds(1)); }
-EOF
-  cat > "$tmp/src/flare/rogue_server.cpp" <<'EOF'
-struct Agg { bool accept(int, int); };
-bool smuggle(Agg* agg) { return agg->accept(1, 2); }
-bool sanctioned(Agg& agg) { return agg.accept(3, 4); }  // R7-exempt: test fixture
-int raw_socket_decoy(int fd) { return ::accept(fd, 0, 0); }
-// decoy comment: we accept( contributions here in prose only
-EOF
-  cat > "$tmp/src/flare/validator.cpp" <<'EOF'
-struct Agg { bool accept(int, int); };
-bool admit(Agg& agg) { return agg.accept(5, 6); }
-EOF
-  cat > "$tmp/src/flare/old_logger.cpp" <<'EOF'
-struct L { void info(const char*) const; void warn(const char*) const; };
-void legacy(const L& log) { log.info("round started"); }
-void sanctioned(const L& log) { log.warn("fig3 line"); }  // R8-exempt: test fixture
-struct Ev { Ev& msg(const char*); Ev& kv(const char*, int); };
-Ev structured_decoy(Ev e) { return e.msg("ok").kv("round", 1); }
-int information_decoy() { return 0; }
-// decoy comment: log.error( mentioned in prose only
-EOF
-  cat > "$tmp/src/core/log_shim.cpp" <<'EOF'
-struct L { void info(const char*) const; };
-void core_may_shim(const L& log) { log.info("legacy shim allowed in core"); }
-EOF
-
-  local out
-  out="$(run_all_checks "$tmp")"
-  local failed=0
-  for rule in R1 R2 R3 R4 R5 R6 R7 R8; do
-    if ! grep -q "$rule" <<<"$out"; then
-      echo "lint self-test: rule $rule did not fire on its fixture" >&2
-      failed=1
+CXX_BIN="${CXX:-}"
+if [ -z "${CXX_BIN}" ]; then
+  for candidate in c++ g++ clang++; do
+    if command -v "${candidate}" >/dev/null 2>&1; then
+      CXX_BIN="${candidate}"
+      break
     fi
   done
-  # The decoys must not produce extra hits: expect exactly 2xR1 (rand+srand),
-  # 2xR2 (new+delete), 1xR3, 1xR4, 1xR5 (the exempt line, this_thread,
-  # hardware_concurrency, comment and src/core/ fixtures all stay quiet),
-  # 1xR6 (the exempt line, identifier decoy, comment and backoff.cpp
-  # fixtures all stay quiet), 1xR7 (the exempt line, raw ::accept socket
-  # call, prose comment and validator.cpp fixtures all stay quiet), 1xR8
-  # (the exempt line, the structured-builder decoy, the identifier decoy,
-  # the prose comment and the src/core/ shim fixture all stay quiet).
-  local count
-  count="$(grep -c ':' <<<"$out")"
-  if [ "$count" -ne 10 ]; then
-    echo "lint self-test: expected 10 violations, got $count:" >&2
-    echo "$out" >&2
-    failed=1
-  fi
-  if [ "$failed" -ne 0 ]; then
-    echo "lint self-test FAILED" >&2
-    exit 1
-  fi
-  echo "lint self-test passed (all rules fire, decoys stay quiet)"
-}
+fi
+if [ -z "${CXX_BIN}" ]; then
+  echo "lint.sh: no C++ compiler found (set CXX)" >&2
+  exit 2
+fi
 
-main() {
-  if [ "${1:-}" = "--self-test" ]; then
-    self_test
-    exit 0
-  fi
-  local out
-  out="$(run_all_checks "$REPO_ROOT")"
-  if [ -n "$out" ]; then
-    echo "$out" >&2
-    echo "lint: $(grep -c ':' <<<"$out") violation(s)" >&2
-    exit 1
-  fi
-  echo "lint: clean"
-}
+needs_build=0
+if [ ! -x "${BIN}" ]; then
+  needs_build=1
+else
+  for src in "${TOOL_DIR}"/*.cpp "${TOOL_DIR}"/*.h; do
+    if [ "${src}" -nt "${BIN}" ]; then
+      needs_build=1
+      break
+    fi
+  done
+fi
 
-main "$@"
+if [ "${needs_build}" -eq 1 ]; then
+  mkdir -p "${BIN_DIR}"
+  if ! "${CXX_BIN}" -std=c++20 -O2 -Wall -Wextra \
+      -o "${BIN}" "${TOOL_DIR}"/*.cpp; then
+    echo "lint.sh: failed to build cflint with ${CXX_BIN}" >&2
+    exit 2
+  fi
+fi
+
+exec "${BIN}" --root "${REPO_ROOT}" "$@"

@@ -24,22 +24,22 @@ LogConfig& LogConfig::instance() {
 }
 
 void LogConfig::set_threshold(LogLevel level) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   threshold_ = level;
 }
 
 LogLevel LogConfig::threshold() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return threshold_;
 }
 
 void LogConfig::set_sink(std::ostream* sink) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   sink_ = sink;
 }
 
 void LogConfig::write_line(const std::string& line) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::ostream& out = sink_ != nullptr ? *sink_ : std::clog;
   out << line << '\n';
   out.flush();

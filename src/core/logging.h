@@ -21,11 +21,12 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <string_view>
 #include <type_traits>
+
+#include "core/thread_annotations.h"
 
 namespace cppflare::core {
 
@@ -59,9 +60,12 @@ class LogConfig {
 
  private:
   LogConfig() = default;
-  mutable std::mutex mu_;
-  LogLevel threshold_ = LogLevel::kInfo;
-  std::ostream* sink_ = nullptr;  // nullptr => std::clog
+  mutable Mutex mu_;
+  LogLevel threshold_ CF_GUARDED_BY(mu_) = LogLevel::kInfo;
+  // The pointer is guarded; the pointee (the stream) is serialized by the
+  // same mutex because every write happens inside write_line's critical
+  // section.
+  std::ostream* sink_ CF_GUARDED_BY(mu_) CF_PT_GUARDED_BY(mu_) = nullptr;
 };
 
 /// One structured log line, built with chained calls and emitted when the

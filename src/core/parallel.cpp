@@ -1,13 +1,12 @@
 #include "core/parallel.h"
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdlib>
 #include <memory>
-#include <mutex>
 #include <thread>
 
 #include "core/error.h"
+#include "core/thread_annotations.h"
 #include "core/thread_pool.h"
 
 namespace cppflare::core {
@@ -37,10 +36,10 @@ std::size_t env_or_hardware_budget(bool& explicit_out) {
 /// under the lock, so a concurrent set_compute_threads never destroys a pool
 /// a region is still submitting to (the swap drops only the registry's ref).
 struct ComputeState {
-  std::mutex mu;
-  std::size_t budget = 0;  // 0 = not yet resolved
-  bool explicitly_set = false;
-  std::shared_ptr<ThreadPool> pool;
+  Mutex mu;
+  std::size_t budget CF_GUARDED_BY(mu) = 0;  // 0 = not yet resolved
+  bool explicitly_set CF_GUARDED_BY(mu) = false;
+  std::shared_ptr<ThreadPool> pool CF_GUARDED_BY(mu);
 };
 
 ComputeState& state() {
@@ -52,7 +51,7 @@ ComputeState& state() {
 /// returns the helper pool — null when the budget is 1 (pure serial).
 std::shared_ptr<ThreadPool> acquire_pool(std::size_t& budget_out) {
   ComputeState& s = state();
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(s.mu);
   if (s.budget == 0) s.budget = env_or_hardware_budget(s.explicitly_set);
   budget_out = s.budget;
   if (s.budget > 1 && s.pool == nullptr) {
@@ -61,7 +60,7 @@ std::shared_ptr<ThreadPool> acquire_pool(std::size_t& budget_out) {
   return s.pool;
 }
 
-void replace_budget_locked(ComputeState& s, std::size_t n) {
+void replace_budget_locked(ComputeState& s, std::size_t n) CF_REQUIRES(s.mu) {
   s.budget = n;
   // Drop the old pool; it is destroyed (workers joined) once the last
   // in-flight region releases its reference. The new pool is created
@@ -75,6 +74,9 @@ void replace_budget_locked(ComputeState& s, std::size_t n) {
 struct Region {
   std::atomic<std::int64_t> next{0};  // next unclaimed chunk index
   std::atomic<bool> cancelled{false};
+  // begin/end/grain/nchunks/fn are written once before the region is shared
+  // with any helper and read-only afterwards — immutable-after-publication,
+  // not lock-guarded.
   std::int64_t begin = 0;
   std::int64_t end = 0;
   std::int64_t grain = 1;
@@ -83,14 +85,14 @@ struct Region {
 
   /// mu/cv pair the running-helper count with the caller's completion wait;
   /// the decrement happens under mu so the final notify cannot be lost.
-  std::mutex mu;
-  std::condition_variable cv;
-  int running = 0;
-  std::exception_ptr error;  // first failure, guarded by mu
+  Mutex mu;
+  CondVar cv;
+  int running CF_GUARDED_BY(mu) = 0;
+  std::exception_ptr error CF_GUARDED_BY(mu);  // first failure
 
   void record_error() {
     cancelled.store(true, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     if (!error) error = std::current_exception();
   }
 
@@ -114,7 +116,7 @@ struct Region {
 
 void helper_main(const std::shared_ptr<Region>& region) {
   {
-    std::lock_guard<std::mutex> lock(region->mu);
+    MutexLock lock(region->mu);
     ++region->running;
   }
   const bool prev = tls_in_region;
@@ -122,7 +124,7 @@ void helper_main(const std::shared_ptr<Region>& region) {
   region->work();
   tls_in_region = prev;
   {
-    std::lock_guard<std::mutex> lock(region->mu);
+    MutexLock lock(region->mu);
     --region->running;
   }
   region->cv.notify_one();
@@ -132,7 +134,7 @@ void helper_main(const std::shared_ptr<Region>& region) {
 
 std::size_t compute_threads() {
   ComputeState& s = state();
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(s.mu);
   if (s.budget == 0) s.budget = env_or_hardware_budget(s.explicitly_set);
   return s.budget;
 }
@@ -140,7 +142,7 @@ std::size_t compute_threads() {
 void set_compute_threads(std::size_t n) {
   if (n == 0) throw ConfigError("set_compute_threads: budget must be >= 1");
   ComputeState& s = state();
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(s.mu);
   s.explicitly_set = true;
   replace_budget_locked(s, n);
 }
@@ -148,7 +150,7 @@ void set_compute_threads(std::size_t n) {
 std::size_t set_compute_threads_if_default(std::size_t n) {
   if (n == 0) n = 1;
   ComputeState& s = state();
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(s.mu);
   if (s.budget == 0) {
     // Resolve first so an explicit environment setting wins over auto.
     s.budget = env_or_hardware_budget(s.explicitly_set);
@@ -213,9 +215,10 @@ void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
   tls_in_region = prev;
 
   {
-    std::unique_lock<std::mutex> lock(region->mu);
-    region->cv.wait(lock, [&] { return region->running == 0; });
-    if (region->error) std::rethrow_exception(region->error);
+    MutexLock lock(region->mu);
+    Region& r = *region;
+    r.cv.wait(r.mu, [&r]() CF_REQUIRES(r.mu) { return r.running == 0; });
+    if (r.error) std::rethrow_exception(r.error);
   }
 }
 

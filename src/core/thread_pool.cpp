@@ -17,7 +17,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 // notified are the threads joined.
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
     queue_.clear();  // discard tasks that have not started (see header)
   }
@@ -27,7 +27,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::post(std::function<void()> fn) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stopping_) return;
     queue_.emplace_back(std::move(fn));
   }
@@ -38,8 +38,10 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      cv_.wait(mu_, [this]() CF_REQUIRES(mu_) {
+        return stopping_ || !queue_.empty();
+      });
       if (stopping_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();

@@ -6,13 +6,13 @@
 // through `submit()` and receive a future.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "core/thread_annotations.h"
 
 namespace cppflare::core {
 
@@ -42,7 +42,7 @@ class ThreadPool {
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> result = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       queue_.emplace_back([task] { (*task)(); });
     }
     cv_.notify_one();
@@ -57,10 +57,10 @@ class ThreadPool {
   /// Guards queue_ and stopping_. Invariant: stopping_ transitions to true
   /// exactly once, under mu_, before the final notify_all — workers checking
   /// the predicate under the same mutex therefore cannot miss shutdown.
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stopping_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ CF_GUARDED_BY(mu_);
+  bool stopping_ CF_GUARDED_BY(mu_) = false;
   /// Immutable after the constructor returns (size() reads it unlocked).
   std::vector<std::thread> workers_;
 };

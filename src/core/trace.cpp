@@ -51,7 +51,7 @@ std::uint64_t Tracer::current_parent() { return tls_parent; }
 void Tracer::set_current_parent(std::uint64_t id) { tls_parent = id; }
 
 void Tracer::start(std::size_t capacity) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (capacity == 0) capacity = 1;
   ring_.clear();
   ring_.reserve(capacity);
@@ -65,7 +65,7 @@ void Tracer::start(std::size_t capacity) {
 void Tracer::stop() { enabled_.store(false, std::memory_order_release); }
 
 void Tracer::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ring_.clear();
   head_ = 0;
   dropped_ = 0;
@@ -79,7 +79,7 @@ std::int64_t Tracer::now_ns() const {
 
 void Tracer::record(const TraceEvent& e) {
   if (!enabled()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (capacity_ == 0) return;
   if (ring_.size() < capacity_) {
     ring_.push_back(e);
@@ -112,7 +112,7 @@ void Tracer::record_complete(const char* name, std::string_view site,
 std::vector<TraceEvent> Tracer::events() const {
   std::vector<TraceEvent> out;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     out.reserve(ring_.size());
     // head_..end is the older half once the ring has wrapped.
     for (std::size_t i = head_; i < ring_.size(); ++i) out.push_back(ring_[i]);
@@ -126,12 +126,12 @@ std::vector<TraceEvent> Tracer::events() const {
 }
 
 std::size_t Tracer::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return ring_.size();
 }
 
 std::int64_t Tracer::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return dropped_;
 }
 
@@ -274,7 +274,7 @@ MetricRegistry& MetricRegistry::instance() {
 }
 
 Counter& MetricRegistry::counter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
@@ -283,7 +283,7 @@ Counter& MetricRegistry::counter(std::string_view name) {
 }
 
 Gauge& MetricRegistry::gauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -292,7 +292,7 @@ Gauge& MetricRegistry::gauge(std::string_view name) {
 }
 
 Histogram& MetricRegistry::histogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
@@ -302,7 +302,7 @@ Histogram& MetricRegistry::histogram(std::string_view name) {
 }
 
 MetricSnapshot MetricRegistry::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   MetricSnapshot snap;
   for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
   for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
@@ -311,7 +311,7 @@ MetricSnapshot MetricRegistry::snapshot() const {
 }
 
 void MetricRegistry::reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();

@@ -23,10 +23,11 @@
 #include <cstring>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "core/thread_annotations.h"
 
 namespace cppflare::core {
 
@@ -119,11 +120,11 @@ class Tracer {
 
   std::atomic<bool> enabled_{false};
   std::atomic<std::uint64_t> id_counter_{0};
-  mutable std::mutex mu_;  // guards ring_/head_/dropped_
-  std::vector<TraceEvent> ring_;
-  std::size_t capacity_ = 0;
-  std::size_t head_ = 0;  // next overwrite position once full
-  std::int64_t dropped_ = 0;
+  mutable Mutex mu_;
+  std::vector<TraceEvent> ring_ CF_GUARDED_BY(mu_);
+  std::size_t capacity_ CF_GUARDED_BY(mu_) = 0;
+  std::size_t head_ CF_GUARDED_BY(mu_) = 0;  // next overwrite once full
+  std::int64_t dropped_ CF_GUARDED_BY(mu_) = 0;
   // steady_clock ns at start(); atomic so now_ns() — two calls per span —
   // stays off the ring mutex.
   std::atomic<std::int64_t> epoch_ns_{0};
@@ -277,10 +278,16 @@ class MetricRegistry {
   void reset();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  // mu_ guards the name->metric maps (registration and snapshot); the metric
+  // objects themselves are internally atomic, which is why the returned
+  // references are safe to record through without the lock.
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      CF_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      CF_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      CF_GUARDED_BY(mu_);
 };
 
 }  // namespace cppflare::core

@@ -15,14 +15,14 @@ const char* event_type_name(EventType type) {
 }
 
 void EventBus::subscribe(EventType type, Handler handler) {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   handlers_[type].push_back(std::move(handler));
 }
 
 void EventBus::fire(EventType type, const FLContext& ctx) {
   std::vector<Handler> to_run;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    core::MutexLock lock(mu_);
     auto it = handlers_.find(type);
     if (it != handlers_.end()) to_run = it->second;
   }

@@ -10,11 +10,11 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/config.h"
+#include "core/thread_annotations.h"
 
 namespace cppflare::flare {
 
@@ -47,8 +47,8 @@ class EventBus {
   void fire(EventType type, const FLContext& ctx);
 
  private:
-  std::mutex mu_;
-  std::map<EventType, std::vector<Handler>> handlers_;
+  core::Mutex mu_;
+  std::map<EventType, std::vector<Handler>> handlers_ CF_GUARDED_BY(mu_);
 };
 
 }  // namespace cppflare::flare

@@ -20,7 +20,7 @@ double BestModelSelector::score_of(const RoundMetrics& metrics) const {
 void BestModelSelector::observe(std::int64_t round, const nn::StateDict& model,
                                 const RoundMetrics& metrics) {
   const double score = score_of(metrics);
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   if (!best_.has_value() || score > best_score_) {
     best_ = model;
     best_round_ = round;
@@ -33,23 +33,23 @@ void BestModelSelector::observe(std::int64_t round, const nn::StateDict& model,
 }
 
 bool BestModelSelector::has_best() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   return best_.has_value();
 }
 
 nn::StateDict BestModelSelector::best_model() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   if (!best_.has_value()) throw Error("BestModelSelector: no rounds observed");
   return *best_;
 }
 
 std::int64_t BestModelSelector::best_round() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   return best_round_;
 }
 
 RoundMetrics BestModelSelector::best_metrics() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   return best_metrics_;
 }
 

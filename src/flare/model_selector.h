@@ -7,9 +7,9 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <optional>
 
+#include "core/thread_annotations.h"
 #include "flare/aggregator.h"
 #include "flare/server.h"
 
@@ -47,11 +47,11 @@ class BestModelSelector {
   double score_of(const RoundMetrics& metrics) const;
 
   Criterion criterion_;
-  mutable std::mutex mu_;
-  std::optional<nn::StateDict> best_;
-  std::int64_t best_round_ = -1;
-  RoundMetrics best_metrics_{};
-  double best_score_ = 0.0;
+  mutable core::Mutex mu_;
+  std::optional<nn::StateDict> best_ CF_GUARDED_BY(mu_);
+  std::int64_t best_round_ CF_GUARDED_BY(mu_) = -1;
+  RoundMetrics best_metrics_ CF_GUARDED_BY(mu_){};
+  double best_score_ CF_GUARDED_BY(mu_) = 0.0;
 };
 
 }  // namespace cppflare::flare

@@ -82,7 +82,7 @@ std::string peek_sender(const std::vector<std::uint8_t>& sealed) {
 
 void SequenceTracker::check_and_advance(const std::string& sender,
                                         std::uint64_t sequence) {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   auto it = last_.try_emplace(sender, 0).first;
   // Fresh senders start at 0, so any valid sequence is >= 1.
   if (sequence <= it->second) {

@@ -10,10 +10,10 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "core/thread_annotations.h"
 #include "flare/provision.h"
 
 namespace cppflare::flare {
@@ -48,8 +48,8 @@ class SequenceTracker {
   void check_and_advance(const std::string& sender, std::uint64_t sequence);
 
  private:
-  std::mutex mu_;
-  std::map<std::string, std::uint64_t> last_;
+  core::Mutex mu_;
+  std::map<std::string, std::uint64_t> last_ CF_GUARDED_BY(mu_);
 };
 
 /// Client-side sequence source.

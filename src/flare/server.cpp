@@ -76,7 +76,7 @@ std::vector<std::uint8_t> FederatedServer::seal_as_server(
     const std::vector<std::uint8_t>& body) {
   std::uint64_t seq;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    core::MutexLock lock(mu_);
     seq = ++outbound_seq_[sender];
   }
   return seal("server", key, seq, body);
@@ -138,7 +138,7 @@ std::vector<std::uint8_t> FederatedServer::handle_frame(
 }
 
 void FederatedServer::record_liveness(const std::string& sender) {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   last_seen_[sender] = std::chrono::steady_clock::now();
   if (evicted_.erase(sender) != 0) {
     LOG_AS(kClientManager, info)
@@ -159,7 +159,7 @@ std::vector<std::uint8_t> FederatedServer::on_register(const std::string& sender
     LOG_AS(kClientManager, warn).msg("Client presented a bad token").kv("site", sender);
     return pack(RegisterAck{false, "", "invalid token"});
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   auto existing = sessions_.find(sender);
   if (existing != sessions_.end()) {
     // Idempotent re-registration: a client that reconnected resumes its
@@ -192,7 +192,7 @@ std::vector<std::uint8_t> FederatedServer::on_register(const std::string& sender
 
 std::vector<std::uint8_t> FederatedServer::on_get_task(const std::string& sender,
                                                        const GetTaskRequest& req) {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   CF_TRACE_SPAN_SITE("server.get_task", sender, round_);
   auto it = sessions_.find(sender);
   if (it == sessions_.end() || it->second != req.session_id) {
@@ -258,7 +258,7 @@ std::map<std::string, std::int64_t> FederatedServer::round_rejects_locked() cons
 
 std::vector<std::uint8_t> FederatedServer::on_submit(const std::string& sender,
                                                      const SubmitUpdateRequest& req) {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   CF_TRACE_SPAN_SITE("server.submit", sender, round_);
   auto it = sessions_.find(sender);
   if (it == sessions_.end() || it->second != req.session_id) {
@@ -559,7 +559,7 @@ void FederatedServer::abort_run_locked(const std::string& reason) {
 }
 
 void FederatedServer::abort(const std::string& reason) {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   abort_run_locked(reason);
 }
 
@@ -646,59 +646,60 @@ std::int64_t FederatedServer::round_quorum_locked() const {
 }
 
 bool FederatedServer::finished() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   return finished_;
 }
 
 bool FederatedServer::aborted() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   return aborted_;
 }
 
 std::string FederatedServer::abort_reason() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   return abort_reason_;
 }
 
 bool FederatedServer::wait_until_finished(std::int64_t timeout_ms) const {
-  std::unique_lock<std::mutex> lock(mu_);
-  finished_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
-                        [this] { return finished_ || aborted_; });
+  core::MutexLock lock(mu_);
+  finished_cv_.wait_for_ms(mu_, timeout_ms, [this]() CF_REQUIRES(mu_) {
+    return finished_ || aborted_;
+  });
   return finished_ && !aborted_;
 }
 
 nn::StateDict FederatedServer::global_model() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   return global_;
 }
 
 std::vector<RoundMetrics> FederatedServer::history() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   return history_;
 }
 
 std::int64_t FederatedServer::current_round() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   return round_;
 }
 
 std::int64_t FederatedServer::registered_clients() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   return static_cast<std::int64_t>(sessions_.size());
 }
 
 std::vector<std::string> FederatedServer::evicted_sites() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   return std::vector<std::string>(evicted_.begin(), evicted_.end());
 }
 
 std::vector<std::string> FederatedServer::quarantined_sites() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   return reputation_.quarantined_sites();
 }
 
 std::map<std::string, SiteStanding> FederatedServer::reputation() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   return reputation_.standings();
 }
 

@@ -15,16 +15,15 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "core/thread_annotations.h"
 #include "core/trace.h"
 #include "flare/aggregator.h"
 #include "flare/filters.h"
@@ -99,7 +98,7 @@ class FederatedServer {
   void add_round_observer(RoundObserver observer) {
     // Guarded by mu_: registration may race a round finishing on a client
     // dispatch thread, which iterates this vector under the same lock.
-    std::lock_guard<std::mutex> lock(mu_);
+    core::MutexLock lock(mu_);
     round_observers_.push_back(std::move(observer));
   }
   /// Backwards-compatible alias for a single observer.
@@ -156,72 +155,85 @@ class FederatedServer {
   std::vector<std::uint8_t> on_submit(const std::string& sender,
                                       const SubmitUpdateRequest& req);
 
-  FLContext make_context_locked() const;
-  void start_round_locked();
-  void finish_round_locked(bool deadline_fired);
-  void maybe_close_round_locked();
-  void evict_stragglers_locked();
-  void abort_run_locked(const std::string& reason);
+  FLContext make_context_locked() const CF_REQUIRES(mu_);
+  void start_round_locked() CF_REQUIRES(mu_);
+  void finish_round_locked(bool deadline_fired) CF_REQUIRES(mu_);
+  void maybe_close_round_locked() CF_REQUIRES(mu_);
+  void evict_stragglers_locked() CF_REQUIRES(mu_);
+  void abort_run_locked(const std::string& reason) CF_REQUIRES(mu_);
   void record_liveness(const std::string& sender);
-  void sample_round_participants_locked();
-  void settle_round_verdicts_locked();
-  void record_rejection_locked(RejectReason reason);
-  void record_site_metrics_locked(const std::string& site, const Dxo& contribution);
-  std::map<std::string, std::int64_t> round_rejects_locked() const;
-  bool participates_locked(const std::string& site) const;
-  bool resolved_locked(const std::string& site) const;
-  std::int64_t participant_count_locked() const;
-  std::int64_t live_participant_count_locked() const;
-  std::int64_t resolved_participant_count_locked() const;
-  std::int64_t min_required_locked() const;
-  std::int64_t round_quorum_locked() const;
+  void sample_round_participants_locked() CF_REQUIRES(mu_);
+  void settle_round_verdicts_locked() CF_REQUIRES(mu_);
+  void record_rejection_locked(RejectReason reason) CF_REQUIRES(mu_);
+  void record_site_metrics_locked(const std::string& site, const Dxo& contribution) CF_REQUIRES(mu_);
+  std::map<std::string, std::int64_t> round_rejects_locked() const CF_REQUIRES(mu_);
+  bool participates_locked(const std::string& site) const CF_REQUIRES(mu_);
+  bool resolved_locked(const std::string& site) const CF_REQUIRES(mu_);
+  std::int64_t participant_count_locked() const CF_REQUIRES(mu_);
+  std::int64_t live_participant_count_locked() const CF_REQUIRES(mu_);
+  std::int64_t resolved_participant_count_locked() const CF_REQUIRES(mu_);
+  std::int64_t min_required_locked() const CF_REQUIRES(mu_);
+  std::int64_t round_quorum_locked() const CF_REQUIRES(mu_);
 
+  // config_ and registry_ are immutable after construction; inbound_filters_
+  // and events_ are configured before the run starts and are internally
+  // synchronized (EventBus) or read-only on the dispatch path — none of them
+  // needs mu_. Everything below mu_ is round/run state guarded by it.
   ServerConfig config_;
   std::map<std::string, Credential> registry_;
-  std::vector<RoundObserver> round_observers_;
+  std::vector<RoundObserver> round_observers_ CF_GUARDED_BY(mu_);
   FilterChain inbound_filters_;
   EventBus events_;
   std::shared_ptr<ModelPersistor> persistor_;
 
-  mutable std::mutex mu_;
-  mutable std::condition_variable finished_cv_;
-  nn::StateDict global_;
-  std::unique_ptr<Aggregator> aggregator_;
-  UpdateValidator validator_;
-  SiteReputation reputation_;
-  std::map<std::string, std::string> sessions_;  // site -> session id
-  std::set<std::string> submitted_;              // sites accepted this round
+  mutable core::Mutex mu_;
+  mutable core::CondVar finished_cv_;
+  nn::StateDict global_ CF_GUARDED_BY(mu_);
+  // The aggregator's per-site buffers and the validator's admitted-norm set
+  // have no locks of their own: FederatedServer::mu_ is their capability
+  // (accept/revoke/aggregate and admit/score/flag_outliers are only ever
+  // called with mu_ held).
+  std::unique_ptr<Aggregator> aggregator_ CF_GUARDED_BY(mu_)
+      CF_PT_GUARDED_BY(mu_);
+  UpdateValidator validator_ CF_GUARDED_BY(mu_);
+  SiteReputation reputation_ CF_GUARDED_BY(mu_);
+  std::map<std::string, std::string> sessions_
+      CF_GUARDED_BY(mu_);                        // site -> session id
+  std::set<std::string> submitted_ CF_GUARDED_BY(mu_);  // accepted this round
   /// Sites resolved this round by a rejection (validator verdict or
   /// quarantine scoring), mapped to the ack we sent so resends are
   /// answered identically.
-  std::map<std::string, SubmitAck> rejected_acks_;
+  std::map<std::string, SubmitAck> rejected_acks_ CF_GUARDED_BY(mu_);
   /// Quarantined sites' scored uploads: screening verdict + deviation
   /// norm, judged against the round population when the round closes.
   struct ScoredUpload {
     Verdict verdict;
     double norm = 0.0;
   };
-  std::map<std::string, ScoredUpload> scored_quarantined_;
+  std::map<std::string, ScoredUpload> scored_quarantined_ CF_GUARDED_BY(mu_);
   /// Per-run metric registry (see metrics_registry()). Rejection tallies
   /// live here as "server.rejections.<reason>" counters; the per-round view
   /// in RoundMetrics is rebuilt by diffing against `reject_baseline_`,
   /// snapshotted when the round starts.
-  core::MetricRegistry metrics_;
-  std::map<std::string, std::int64_t> reject_baseline_;
-  std::set<std::string> sampled_;                // this round's participants
-  std::map<std::string, std::chrono::steady_clock::time_point> last_seen_;
-  std::set<std::string> evicted_;                // unseen past the timeout
-  std::int64_t round_ = 0;
-  std::chrono::steady_clock::time_point round_start_{};
-  std::int64_t round_start_ns_ = 0;  // tracer timestamp for the round span
-  bool started_ = false;
-  bool finished_ = false;
-  bool aborted_ = false;
-  std::string abort_reason_;
-  std::vector<RoundMetrics> history_;
-  SequenceTracker inbound_seq_;
-  std::map<std::string, std::uint64_t> outbound_seq_;
-  std::uint64_t session_counter_ = 0;
+  core::MetricRegistry metrics_;  // internally synchronized
+  std::map<std::string, std::int64_t> reject_baseline_ CF_GUARDED_BY(mu_);
+  std::set<std::string> sampled_
+      CF_GUARDED_BY(mu_);                        // this round's participants
+  std::map<std::string, std::chrono::steady_clock::time_point> last_seen_
+      CF_GUARDED_BY(mu_);
+  std::set<std::string> evicted_
+      CF_GUARDED_BY(mu_);                        // unseen past the timeout
+  std::int64_t round_ CF_GUARDED_BY(mu_) = 0;
+  std::chrono::steady_clock::time_point round_start_ CF_GUARDED_BY(mu_){};
+  std::int64_t round_start_ns_ CF_GUARDED_BY(mu_) = 0;  // round span start
+  bool started_ CF_GUARDED_BY(mu_) = false;
+  bool finished_ CF_GUARDED_BY(mu_) = false;
+  bool aborted_ CF_GUARDED_BY(mu_) = false;
+  std::string abort_reason_ CF_GUARDED_BY(mu_);
+  std::vector<RoundMetrics> history_ CF_GUARDED_BY(mu_);
+  SequenceTracker inbound_seq_;  // internally synchronized
+  std::map<std::string, std::uint64_t> outbound_seq_ CF_GUARDED_BY(mu_);
+  std::uint64_t session_counter_ CF_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace cppflare::flare

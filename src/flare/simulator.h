@@ -82,7 +82,7 @@ struct SimulatorConfig {
 /// retained for existing callers; `metrics` — the server's MetricRegistry
 /// snapshot — is the source of truth, and new telemetry should be read from
 /// it (names in flare/observability.h metric_names) rather than grown here.
-struct SimulationResult {
+struct [[nodiscard]] SimulationResult {
   nn::StateDict final_model;
   std::vector<RoundMetrics> history;
   double wall_seconds = 0.0;

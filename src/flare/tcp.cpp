@@ -157,7 +157,7 @@ TcpServer::~TcpServer() { stop(); }
 //    racing an explicit stop()): std::thread::join from two threads at once
 //    is undefined behavior.
 void TcpServer::stop() {
-  std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  core::MutexLock stop_lock(stop_mu_);
   stopping_.store(true);
   if (listen_fd_ >= 0) {
     // shutdown(2) on the listening socket wakes the blocked accept(2) with
@@ -166,14 +166,14 @@ void TcpServer::stop() {
   }
   if (accept_thread_.joinable()) accept_thread_.join();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    core::MutexLock lock(mu_);
     // Wake every connection handler blocked in recv(2). Do NOT close: the
     // handler thread owns the fd and closes it on exit.
     for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
   }
   std::vector<std::thread> to_join;  // R5-exempt: joining I/O threads
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    core::MutexLock lock(mu_);
     to_join.swap(conn_threads_);
   }
   for (std::thread& t : to_join) t.join();  // R5-exempt: joining I/O threads
@@ -198,7 +198,7 @@ void TcpServer::accept_loop() {
     // thread forever: recv/send deadlines turn it into a TransportError the
     // handler treats as teardown.
     set_io_timeouts(fd, options_.io_timeout_ms);
-    std::lock_guard<std::mutex> lock(mu_);
+    core::MutexLock lock(mu_);
     if (stopping_) {
       ::close(fd);
       return;
@@ -225,7 +225,7 @@ void TcpServer::serve_connection(int fd) {
   // This thread is the sole closer of fd (see the ownership protocol above
   // stop()); deregister first so stop() never shutdown(2)s a closed fd.
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    core::MutexLock lock(mu_);
     conn_fds_.erase(std::remove(conn_fds_.begin(), conn_fds_.end(), fd),
                     conn_fds_.end());
   }

@@ -10,11 +10,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "core/thread_annotations.h"
 #include "flare/transport.h"
 
 namespace cppflare::flare {
@@ -63,12 +63,13 @@ class TcpServer {
   std::atomic<bool> stopping_{false};
   std::thread accept_thread_;  // R5-exempt: blocks in accept(), not pool work
   /// Serializes stop() (destructor vs. explicit stop vs. concurrent stops).
-  std::mutex stop_mu_;
+  core::Mutex stop_mu_;
   /// Guards conn_fds_ and conn_threads_. Connection fds are closed only by
   /// their serve_connection thread; stop() only shutdown(2)s them.
-  std::mutex mu_;
-  std::vector<int> conn_fds_;
-  std::vector<std::thread> conn_threads_;  // R5-exempt: block in recv()
+  core::Mutex mu_;
+  std::vector<int> conn_fds_ CF_GUARDED_BY(mu_);
+  // R5-exempt: connection threads block in recv(); see class comment.
+  std::vector<std::thread> conn_threads_ CF_GUARDED_BY(mu_);
 };
 
 /// Client connection to a TcpServer. `call` is blocking and NOT

@@ -17,7 +17,7 @@
 
 namespace cppflare::train {
 
-struct CrossSiteResult {
+struct [[nodiscard]] CrossSiteResult {
   std::vector<std::string> model_names;  // rows
   std::vector<std::string> site_names;   // columns
   // matrix[m][s] = evaluation of model m on site s's data.

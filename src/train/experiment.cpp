@@ -375,7 +375,10 @@ std::vector<double> run_mlm_scheme(MlmScheme scheme, const ExperimentScale& scal
   runner.server().set_round_observer(
       [&round_models](std::int64_t, const nn::StateDict& model,
                       const flare::RoundMetrics&) { round_models.push_back(model); });
-  runner.run();
+  const flare::SimulationResult run = runner.run();
+  if (run.aborted) {
+    throw Error("federated MLM run aborted: " + run.abort_reason);
+  }
 
   core::Rng probe_rng(scale.seed + 95);
   auto probe = std::make_shared<models::BertForPretraining>(mconfig, probe_rng);

@@ -73,7 +73,7 @@ struct ClassificationData {
 
 ClassificationData prepare_classification_data(const ExperimentScale& scale);
 
-struct SchemeResult {
+struct [[nodiscard]] SchemeResult {
   std::string scheme;
   std::string model;
   double accuracy = 0.0;

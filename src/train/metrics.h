@@ -18,7 +18,7 @@
 
 namespace cppflare::train {
 
-struct EvalResult {
+struct [[nodiscard]] EvalResult {
   double loss = 0.0;
   double accuracy = 0.0;
   std::int64_t count = 0;

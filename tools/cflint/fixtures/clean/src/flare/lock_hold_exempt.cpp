@@ -1,0 +1,5 @@
+void flush(core::Mutex& mu, Connection& conn, const Frame& frame) {
+  core::MutexLock lock(mu);
+  // R10-exempt: handshake frame, bounded by the connect timeout.
+  conn.write_frame(frame);
+}

@@ -1,0 +1,2 @@
+// R8-exempt: NVFlare-style demo line, sanctioned.
+void announce(core::Logger& log) { log.info("round started"); }

@@ -1,0 +1,3 @@
+// R2-exempt: arena handoff, ownership audited in the cflint PR.
+int* make() { return new int(42); }
+void drop(int* p) { delete p; }  // R2-exempt: paired with make() above

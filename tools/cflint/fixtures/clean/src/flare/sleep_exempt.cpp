@@ -1,0 +1,2 @@
+// R6-exempt: harness pacing, not a retry loop.
+void pace() { std::this_thread::sleep_for(std::chrono::milliseconds(5)); }

@@ -1,0 +1,2 @@
+// R5-exempt: blocking I/O thread, joined in stop().
+void spawn() { std::thread t([] {}); t.join(); }

@@ -1,0 +1,3 @@
+// R4 counterpart: #pragma once satisfies header hygiene.
+#pragma once
+int forward();

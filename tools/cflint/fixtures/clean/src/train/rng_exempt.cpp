@@ -1,0 +1,2 @@
+// R1-exempt: fixture proves the exemption path end to end.
+int roll() { return std::rand() % 6; }

@@ -1,0 +1,2 @@
+// R7 fixture: contribution handed to the aggregator without validation.
+void ingest(Aggregator& agg, const Contribution& c) { agg.accept(c); }

@@ -1,0 +1,6 @@
+// R9 fixture: unordered iteration on the aggregation path.
+double total(const std::unordered_map<std::string, double>& weights) {
+  double sum = 0.0;
+  for (const auto& kv : weights) sum += kv.second;
+  return sum;
+}

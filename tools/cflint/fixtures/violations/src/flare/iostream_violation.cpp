@@ -1,0 +1,2 @@
+// R3 fixture: direct std stream access outside the logging sink.
+#include <iostream>

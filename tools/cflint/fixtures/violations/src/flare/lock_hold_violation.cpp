@@ -1,0 +1,5 @@
+// R10 fixture: transport write while the round lock is held.
+void flush(core::Mutex& mu, Connection& conn, const Frame& frame) {
+  core::MutexLock lock(mu);
+  conn.write_frame(frame);
+}

@@ -1,0 +1,2 @@
+// R8 fixture: legacy Logger string method outside src/core/.
+void announce(core::Logger& log) { log.info("round started"); }

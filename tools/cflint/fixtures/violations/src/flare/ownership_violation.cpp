@@ -1,0 +1,3 @@
+// R2 fixture: raw owning pointer in the flare runtime.
+int* make() { return new int(42); }
+void drop(int* p) { delete p; }

@@ -1,0 +1,2 @@
+// R6 fixture: naked sleep outside core::Backoff.
+void pace() { std::this_thread::sleep_for(std::chrono::milliseconds(5)); }

@@ -1,0 +1,4 @@
+// R11 fixture: a status type without [[nodiscard]] and a dropped return.
+struct DeliveryStatus { bool ok; };
+DeliveryStatus deliver(Connection& conn);
+void farewell(Connection& conn) { deliver(conn); }

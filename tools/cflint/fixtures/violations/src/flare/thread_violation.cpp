@@ -1,0 +1,2 @@
+// R5 fixture: raw std::thread outside src/core/.
+void spawn() { std::thread t([] {}); t.join(); }

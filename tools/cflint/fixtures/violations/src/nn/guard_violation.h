@@ -1,0 +1,2 @@
+// R4 fixture: header without #pragma once.
+int forward();

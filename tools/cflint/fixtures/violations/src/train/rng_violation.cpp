@@ -1,0 +1,2 @@
+// R1 fixture: libc randomness instead of seeded core::Rng.
+int roll() { return std::rand() % 6; }

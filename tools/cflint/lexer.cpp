@@ -1,0 +1,267 @@
+#include "lexer.h"
+
+#include <cctype>
+#include <cstddef>
+
+namespace cflint {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Scans `comment` for `R<n>-exempt:` markers and records rule->line
+/// exemptions. `first_line` is the line the comment starts on;
+/// `comment_only` means nothing but whitespace preceded the comment on that
+/// line, in which case the line after the comment is exempt too.
+void harvest_exemptions(const std::string& comment, int first_line,
+                        int last_line, bool comment_only, LexResult& out) {
+  for (std::size_t i = 0; i + 1 < comment.size(); ++i) {
+    if (comment[i] != 'R' || !std::isdigit(static_cast<unsigned char>(comment[i + 1]))) {
+      continue;
+    }
+    std::size_t j = i + 1;
+    int rule = 0;
+    while (j < comment.size() && std::isdigit(static_cast<unsigned char>(comment[j]))) {
+      rule = rule * 10 + (comment[j] - '0');
+      ++j;
+    }
+    if (comment.compare(j, 8, "-exempt:") != 0) continue;
+    std::set<int>& lines = out.exemptions[rule];
+    for (int ln = first_line; ln <= last_line; ++ln) lines.insert(ln);
+    if (comment_only) lines.insert(last_line + 1);
+    i = j;
+  }
+}
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : src_(src) {}
+
+  LexResult run() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        advance();
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        advance();
+        continue;
+      }
+      if (c == '#' && line_has_only_ws_) {
+        lex_preproc();
+        continue;
+      }
+      if (c == '/' && peek(1) == '/') {
+        lex_line_comment();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        lex_block_comment();
+        continue;
+      }
+      if (c == '"') {
+        lex_string(/*raw=*/false);
+        continue;
+      }
+      if (c == '\'') {
+        lex_char();
+        continue;
+      }
+      if (is_ident_start(c)) {
+        lex_ident_or_literal_prefix();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        lex_number();
+        continue;
+      }
+      lex_punct();
+    }
+    return std::move(result_);
+  }
+
+ private:
+  char peek(std::size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  void advance() {
+    if (src_[pos_] == '\n') {
+      ++line_;
+      col_ = 1;
+      line_has_only_ws_ = true;
+    } else {
+      if (!std::isspace(static_cast<unsigned char>(src_[pos_]))) {
+        line_has_only_ws_ = false;
+      }
+      ++col_;
+    }
+    ++pos_;
+  }
+
+  void emit(TokKind kind, std::size_t start, int line, int col) {
+    result_.tokens.push_back(
+        {kind, src_.substr(start, pos_ - start), line, col});
+  }
+
+  void lex_preproc() {
+    const std::size_t start = pos_;
+    const int line = line_, col = col_;
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '\\' && peek(1) == '\n') {
+        advance();
+        advance();
+        continue;
+      }
+      // A comment opener ends the directive for our purposes; the comment
+      // is lexed (and mined for exemptions) on the next loop iteration.
+      if (src_[pos_] == '/' && (peek(1) == '/' || peek(1) == '*')) break;
+      if (src_[pos_] == '\n') break;
+      advance();
+    }
+    emit(TokKind::kPreproc, start, line, col);
+  }
+
+  void lex_line_comment() {
+    const std::size_t start = pos_;
+    const int line = line_;
+    const bool only = line_has_only_ws_;
+    while (pos_ < src_.size() && src_[pos_] != '\n') advance();
+    harvest_exemptions(src_.substr(start, pos_ - start), line, line, only,
+                       result_);
+  }
+
+  void lex_block_comment() {
+    const std::size_t start = pos_;
+    const int first_line = line_;
+    const bool only = line_has_only_ws_;
+    advance();  // '/'
+    advance();  // '*'
+    while (pos_ < src_.size() && !(src_[pos_] == '*' && peek(1) == '/')) {
+      advance();
+    }
+    if (pos_ < src_.size()) {
+      advance();  // '*'
+      advance();  // '/'
+    }
+    harvest_exemptions(src_.substr(start, pos_ - start), first_line, line_,
+                       only, result_);
+  }
+
+  void lex_string(bool raw) {
+    const std::size_t start = pos_;
+    const int line = line_, col = col_;
+    if (raw) {
+      advance();  // opening '"'
+      std::string delim;
+      while (pos_ < src_.size() && src_[pos_] != '(') {
+        delim += src_[pos_];
+        advance();
+      }
+      const std::string closer = ")" + delim + "\"";
+      while (pos_ < src_.size() &&
+             src_.compare(pos_, closer.size(), closer) != 0) {
+        advance();
+      }
+      for (std::size_t i = 0; i < closer.size() && pos_ < src_.size(); ++i) {
+        advance();
+      }
+    } else {
+      advance();  // opening '"'
+      while (pos_ < src_.size() && src_[pos_] != '"' && src_[pos_] != '\n') {
+        if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) advance();
+        advance();
+      }
+      if (pos_ < src_.size() && src_[pos_] == '"') advance();
+    }
+    emit(TokKind::kString, start, line, col);
+  }
+
+  void lex_char() {
+    const std::size_t start = pos_;
+    const int line = line_, col = col_;
+    advance();  // opening '\''
+    while (pos_ < src_.size() && src_[pos_] != '\'' && src_[pos_] != '\n') {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) advance();
+      advance();
+    }
+    if (pos_ < src_.size() && src_[pos_] == '\'') advance();
+    emit(TokKind::kChar, start, line, col);
+  }
+
+  /// Identifiers, but an identifier that is a literal prefix glued to a
+  /// quote (R"..., u8"..., L'...') restarts as the literal instead.
+  void lex_ident_or_literal_prefix() {
+    const std::size_t start = pos_;
+    const int line = line_, col = col_;
+    while (pos_ < src_.size() && is_ident_char(src_[pos_])) advance();
+    const std::string text = src_.substr(start, pos_ - start);
+    if (pos_ < src_.size() && (src_[pos_] == '"' || src_[pos_] == '\'')) {
+      const bool is_raw = !text.empty() && text.back() == 'R' &&
+                          (text == "R" || text == "LR" || text == "uR" ||
+                           text == "UR" || text == "u8R");
+      const bool is_prefix = is_raw || text == "L" || text == "u" ||
+                             text == "U" || text == "u8";
+      if (is_prefix) {
+        if (src_[pos_] == '"') {
+          lex_string(is_raw);
+        } else {
+          lex_char();
+        }
+        // Rewrite the literal token to include its prefix.
+        Token& tok = result_.tokens.back();
+        tok.text = text + tok.text;
+        tok.line = line;
+        tok.col = col;
+        return;
+      }
+    }
+    result_.tokens.push_back({TokKind::kIdent, text, line, col});
+  }
+
+  void lex_number() {
+    const std::size_t start = pos_;
+    const int line = line_, col = col_;
+    // pp-number: digits, letters, underscores, dots, and digit separators.
+    while (pos_ < src_.size() &&
+           (is_ident_char(src_[pos_]) || src_[pos_] == '.' ||
+            src_[pos_] == '\'')) {
+      if (src_[pos_] == '\'' && !is_ident_char(peek(1))) break;
+      advance();
+    }
+    emit(TokKind::kNumber, start, line, col);
+  }
+
+  void lex_punct() {
+    const std::size_t start = pos_;
+    const int line = line_, col = col_;
+    const char c = src_[pos_];
+    if ((c == ':' && peek(1) == ':') || (c == '-' && peek(1) == '>')) {
+      advance();
+      advance();
+    } else {
+      advance();
+    }
+    emit(TokKind::kPunct, start, line, col);
+  }
+
+  const std::string& src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+  bool line_has_only_ws_ = true;
+  LexResult result_;
+};
+
+}  // namespace
+
+LexResult lex(const std::string& source) { return Lexer(source).run(); }
+
+}  // namespace cflint

@@ -1,0 +1,63 @@
+// Token-stream lexer for cflint.
+//
+// The grep-era linter (scripts/lint.sh before the cflint PR) matched rule
+// patterns against raw source text, which meant comments, string literals
+// and banned-pattern *mentions* in documentation tripped rules. This lexer
+// gives every rule a comment- and string-free token stream instead:
+//
+//   * `//` and `/* */` comments are consumed (and mined for exemption
+//     markers, see below) but never become tokens;
+//   * string literals — including escapes and raw strings
+//     (`R"delim(...)delim"`, with encoding prefixes) — and character
+//     literals become single kString/kChar tokens whose *content* is never
+//     pattern-matched;
+//   * preprocessor directives (with `\` line continuations) are folded into
+//     one kPreproc token per logical line so include/guard rules see the
+//     whole directive;
+//   * `::` and `->` are emitted as single punctuation tokens because nearly
+//     every rule keys on "qualified name" or "member access"; all other
+//     punctuation is single-character (so template-argument `>`s can be
+//     balanced without a `>>` special case).
+//
+// Exemption markers: a comment containing `R<n>-exempt:` exempts rule n on
+// the comment's own line(s). When the comment is alone on its line (only
+// whitespace before it), the exemption also covers the *next* line — that
+// is the clang-format-proof form, since a formatter may move a trailing
+// comment onto its own line above the code it annotates.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace cflint {
+
+enum class TokKind {
+  kIdent,    // identifiers and keywords
+  kNumber,   // pp-number (we never inspect the digits)
+  kString,   // any string literal, prefixes and raw strings included
+  kChar,     // character literal
+  kPunct,    // "::" and "->" multi-char; everything else single-char
+  kPreproc,  // one whole logical preprocessor line, continuations folded
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;  // 1-based
+  int col = 0;   // 1-based, byte offset within the line
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  /// rule number -> set of exempted 1-based line numbers.
+  std::map<int, std::set<int>> exemptions;
+};
+
+/// Lexes one translation unit. Never throws on malformed input: an
+/// unterminated literal or comment simply runs to end of file (the real
+/// compiler will reject the file; the linter should not crash first).
+LexResult lex(const std::string& source);
+
+}  // namespace cflint

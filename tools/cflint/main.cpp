@@ -1,0 +1,173 @@
+// cflint — the repo's C++ lint analyzer. Replaces the grep pipeline that
+// used to live in scripts/lint.sh (that script is now a thin wrapper which
+// builds and executes this binary).
+//
+// Usage:
+//   cflint [--root DIR] [-f gcc|json] [file...]
+//   cflint --self-test
+//
+// With no file arguments, scans every .h/.cpp under <root>/src. Explicit
+// file arguments are linted as-is (paths are made root-relative first so
+// path-scoped rules behave identically). Exit codes: 0 clean, 1 findings,
+// 2 usage/IO error.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+#include "rules.h"
+#include "selftest.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Options {
+  std::string root = ".";
+  std::string format = "gcc";
+  bool self_test = false;
+  std::vector<std::string> files;
+};
+
+void usage(std::FILE* to) {
+  std::fprintf(to,
+               "usage: cflint [--root DIR] [-f gcc|json] [file...]\n"
+               "       cflint --self-test\n"
+               "Lints every .h/.cpp under <root>/src when no files are "
+               "given.\nExit: 0 clean, 1 findings, 2 usage/IO error.\n");
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--self-test") {
+      opt.self_test = true;
+    } else if (arg == "--root") {
+      if (++i >= argc) return false;
+      opt.root = argv[i];
+    } else if (arg == "-f" || arg == "--format") {
+      if (++i >= argc) return false;
+      opt.format = argv[i];
+      if (opt.format != "gcc" && opt.format != "json") return false;
+    } else if (arg == "-h" || arg == "--help") {
+      usage(stdout);
+      std::exit(0);
+    } else if (!arg.empty() && arg[0] == '-') {
+      return false;
+    } else {
+      opt.files.push_back(arg);
+    }
+  }
+  return true;
+}
+
+/// Path relative to root with forward slashes — the form every path-scoped
+/// rule keys on ("src/flare/...").
+std::string rel_path(const fs::path& p, const fs::path& root) {
+  std::error_code ec;
+  fs::path rel = fs::relative(p, root, ec);
+  std::string s = (ec || rel.empty()) ? p.generic_string() : rel.generic_string();
+  while (s.compare(0, 2, "./") == 0) s.erase(0, 2);
+  return s;
+}
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cpp";
+}
+
+std::vector<fs::path> discover(const fs::path& root) {
+  std::vector<fs::path> out;
+  const fs::path src = root / "src";
+  if (!fs::exists(src)) return out;
+  for (const auto& entry : fs::recursive_directory_iterator(src)) {
+    if (entry.is_regular_file() && lintable(entry.path())) {
+      out.push_back(entry.path());
+    }
+  }
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) {
+    usage(stderr);
+    return 2;
+  }
+  if (opt.self_test) {
+    return cflint::run_selftest() ? 0 : 1;
+  }
+
+  const fs::path root(opt.root);
+  std::vector<fs::path> paths;
+  if (opt.files.empty()) {
+    paths = discover(root);
+    if (paths.empty()) {
+      std::fprintf(stderr, "cflint: no lintable files under %s/src\n",
+                   opt.root.c_str());
+      return 2;
+    }
+  } else {
+    for (const std::string& f : opt.files) paths.emplace_back(f);
+  }
+
+  std::vector<cflint::FileUnit> units;
+  units.reserve(paths.size());
+  for (const fs::path& p : paths) {
+    std::ifstream in(p, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cflint: cannot read %s\n", p.string().c_str());
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    units.push_back({rel_path(p, root), cflint::lex(buf.str())});
+  }
+
+  const std::vector<cflint::Finding> findings = cflint::run_rules(units);
+
+  if (opt.format == "json") {
+    std::printf("[");
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+      const cflint::Finding& f = findings[i];
+      std::printf(
+          "%s\n  {\"rule\": \"R%d\", \"file\": \"%s\", \"line\": %d, "
+          "\"col\": %d, \"message\": \"%s\"}",
+          i == 0 ? "" : ",", f.rule, json_escape(f.file).c_str(), f.line,
+          f.col, json_escape(f.message).c_str());
+    }
+    std::printf("%s]\n", findings.empty() ? "" : "\n");
+  } else {
+    for (const cflint::Finding& f : findings) {
+      std::printf("%s:%d:%d: error: [R%d] %s\n", f.file.c_str(), f.line,
+                  f.col, f.rule, f.message.c_str());
+    }
+  }
+  if (!findings.empty()) {
+    std::fprintf(stderr, "cflint: %zu violation(s) in %zu file(s)\n",
+                 findings.size(), units.size());
+    return 1;
+  }
+  std::fprintf(stderr, "cflint: clean (%zu files)\n", units.size());
+  return 0;
+}

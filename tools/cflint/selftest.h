@@ -1,0 +1,14 @@
+// Hermetic self-test for the cflint rule engine: runs every rule over
+// embedded in-memory fixture files (one violating and one exempt-annotated
+// clean counterpart per rule) and checks the exact findings. No filesystem
+// access, so `cflint --self-test` proves the engine anywhere the binary
+// runs — including inside ctest before the repo scan.
+#pragma once
+
+namespace cflint {
+
+/// Returns true when every rule fired where expected and nowhere else.
+/// Prints one PASS/FAIL line per case to stdout and a summary to stderr.
+bool run_selftest();
+
+}  // namespace cflint
