@@ -56,11 +56,9 @@ double run_federation(std::int64_t rounds, bool traced) {
   config.num_rounds = rounds;
   config.use_tcp = true;
   config.compute_threads = -1;
-  // A prompt poll cap keeps round turnover off the exponential idle backoff:
-  // with the default 100ms cap a client that misses a round close sleeps a
-  // scheduling-dependent ~100ms, a bimodal jitter 30x larger than the
-  // tracing cost this bench is trying to resolve.
-  config.max_poll_interval_ms = 2;
+  // Long-poll dispatch (the server pushes tasks into parked get_task calls)
+  // keeps round turnover free of polling jitter, so no poll tuning is needed
+  // for the tracing cost this bench is trying to resolve.
   config.trace = traced;
   flare::SimulatorRunner runner(
       config, tiny_model(), std::make_unique<flare::FedAvgAggregator>(true),

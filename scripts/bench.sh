@@ -15,6 +15,11 @@
 #       disconnect), plus the resulting overhead factor.
 #   BENCH_obs.json — bench_trace rounds/s of a clean vs fully traced 8-site
 #     TCP federation and the tracing overhead factor (budget 1.05x).
+#   BENCH_scale.json — bench_scale rounds/s, peak fd count and peak thread
+#       count at 8/64 sites over TCP (epoll reactor) and 64/256 sites in the
+#       multiplexed in-process mode (8 pool workers), plus a re-measurement
+#       of the faulty-run overhead factor against the 4.16x pre-reactor
+#       baseline recorded in BENCH_faults.json.
 #   BENCH_robust.json — bench_poison accuracy + rounds/s for four
 #       aggregation configs (FedAvg, FedAvg+validator+quarantine, median,
 #       trimmed mean) under every poisoning mode with 1-2 adversaries, plus
@@ -35,7 +40,7 @@ step() { echo; echo "==== $* ===="; }
 step "release: build benches"
 cmake --preset release
 cmake --build --preset release -j "${JOBS}" \
-  --target bench_micro_tensor bench_table2_models bench_faults bench_poison bench_trace
+  --target bench_micro_tensor bench_table2_models bench_faults bench_poison bench_trace bench_scale
 
 step "tensor microbenchmarks -> BENCH_tensor.json"
 ./build-release/bench/bench_micro_tensor \
@@ -55,5 +60,8 @@ step "adversarial robustness -> BENCH_robust.json"
 step "observability overhead -> BENCH_obs.json"
 ./build-release/bench/bench_trace --json "${REPO_ROOT}/BENCH_obs.json"
 
+step "coordinator scaling -> BENCH_scale.json"
+./build-release/bench/bench_scale --json "${REPO_ROOT}/BENCH_scale.json"
+
 step "bench complete"
-echo "wrote BENCH_tensor.json, BENCH_models.json, BENCH_faults.json, BENCH_robust.json and BENCH_obs.json"
+echo "wrote BENCH_tensor.json, BENCH_models.json, BENCH_faults.json, BENCH_robust.json, BENCH_obs.json and BENCH_scale.json"

@@ -12,6 +12,7 @@ Backoff::Backoff(BackoffPolicy policy, std::uint64_t seed)
   policy_.max_ms = std::max(policy_.initial_ms, policy_.max_ms);
   policy_.multiplier = std::max(1.0, policy_.multiplier);
   policy_.jitter = std::clamp(policy_.jitter, 0.0, 1.0);
+  fast_first_pending_ = policy_.fast_first_retry;
 }
 
 bool Backoff::exhausted() const {
@@ -19,6 +20,10 @@ bool Backoff::exhausted() const {
 }
 
 std::int64_t Backoff::next_delay_ms() {
+  if (fast_first_pending_) {
+    fast_first_pending_ = false;
+    return 0;
+  }
   if (current_ms_ <= 0) {
     current_ms_ = policy_.initial_ms;
   } else {
@@ -51,6 +56,7 @@ bool Backoff::try_again() {
 void Backoff::reset() {
   current_ms_ = 0;
   retries_ = 0;
+  fast_first_pending_ = policy_.fast_first_retry;
 }
 
 void Backoff::sleep_ms(std::int64_t ms) {

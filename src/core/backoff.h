@@ -24,6 +24,12 @@ struct BackoffPolicy {
   std::int64_t max_retries = 5;
   /// Jitter fraction: each delay is scaled by uniform(1-jitter, 1+jitter).
   double jitter = 0.0;
+  /// Retry immediately (0ms) the first time in an episode, then back off
+  /// exponentially from initial_ms. The standard schedule for transient
+  /// single-frame losses on fast links: the common case (one lost frame)
+  /// costs one round trip instead of a WAN-scaled sleep, while repeated
+  /// failures still back off. reset() rearms the free retry.
+  bool fast_first_retry = false;
 };
 
 /// One retry episode: call `try_again()` after each failure; it sleeps the
@@ -60,6 +66,7 @@ class Backoff {
   Rng rng_;
   std::int64_t current_ms_ = 0;
   std::int64_t retries_ = 0;
+  bool fast_first_pending_ = false;
 };
 
 }  // namespace cppflare::core

@@ -23,7 +23,9 @@ std::int64_t thread_cpu_ns() {
 
 void copy_capped(char* dst, std::size_t cap, std::string_view src) {
   const std::size_t n = std::min(src.size(), cap - 1);
-  std::memcpy(dst, src.data(), n);
+  // A default string_view (e.g. a site-less span) has a null data(), which
+  // memcpy's nonnull contract forbids even for n == 0.
+  if (n > 0) std::memcpy(dst, src.data(), n);
   dst[n] = '\0';
 }
 

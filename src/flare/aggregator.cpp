@@ -1,7 +1,10 @@
 #include "flare/aggregator.h"
 
+#include <vector>
+
 #include "core/error.h"
 #include "core/logging.h"
+#include "flare/hierarchy.h"
 
 #define CPPFLARE_LOG_COMPONENT "DXOAggregator"
 
@@ -62,21 +65,31 @@ bool FedAvgAggregator::revoke(const std::string& site) {
   return true;
 }
 
+nn::StateDict FedAvgAggregator::reduce_pending() const {
+  // Reduce in site-name order (std::map iteration), never arrival order:
+  // floating-point sums then come out bit-for-bit identical no matter how
+  // retries or stragglers shuffled the submissions.
+  std::vector<WeightedRef> refs;
+  refs.reserve(pending_.size());
+  for (const auto& [site, p] : pending_) {
+    refs.push_back(WeightedRef{static_cast<float>(p.weight), &p.dxo.data()});
+  }
+  return weighted_tree_sum(refs.data(), refs.size());
+}
+
 nn::StateDict FedAvgAggregator::aggregate() {
   if (pending_.empty() || !round_kind_.has_value()) {
     throw Error("FedAvgAggregator: no contributions to aggregate");
   }
   LOG(info).msg("aggregating " + std::to_string(metrics_.num_contributions) +
                 " update(s) at round " + std::to_string(metrics_.round));
-  // Reduce in site-name order (std::map iteration), never arrival order:
-  // floating-point sums then come out bit-for-bit identical no matter how
-  // retries or stragglers shuffled the submissions.
-  nn::StateDict accum;
+  nn::StateDict accum = reduce_pending();
+  // Scalar sums stay sequential (doubles, site-name order) in every
+  // reduction mode, so the 1/weight_sum scale matches bitwise between flat
+  // and hierarchical aggregation.
   double weight_sum = 0.0;
   double loss_weight_sum = 0.0;
   for (const auto& [site, p] : pending_) {
-    if (accum.empty()) accum = p.dxo.data().zeros_like();
-    accum.axpy(static_cast<float>(p.weight), p.dxo.data());
     weight_sum += p.weight;
     if (p.dxo.has_meta(Dxo::kMetaTrainLoss)) {
       metrics_.train_loss += p.weight * p.dxo.meta_double(Dxo::kMetaTrainLoss);

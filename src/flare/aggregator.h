@@ -89,6 +89,12 @@ class Aggregator {
 /// fault-injected run (retries, reconnects, delays) aggregates bit-for-bit
 /// identically to a clean one. Costs one buffered model per contributor,
 /// which is the price of reproducibility over NVFlare's in-time accumulate.
+///
+/// The weighted sum is computed as a *canonical pairwise tree* over the
+/// site-name-sorted contributions (flare/hierarchy.h): a fixed
+/// count-determined split shape, not a left fold. This is what lets the
+/// hierarchical tree-of-aggregators mode reproduce flat results bitwise —
+/// each leaf shard is an aligned subtree of the same canonical tree.
 class FedAvgAggregator : public Aggregator {
  public:
   explicit FedAvgAggregator(bool weighted = true) : weighted_(weighted) {}
@@ -103,11 +109,19 @@ class FedAvgAggregator : public Aggregator {
     return weighted_ ? "FedAvg(weighted)" : "FedAvg(uniform)";
   }
 
- private:
+ protected:
   struct Pending {
     Dxo dxo;
     double weight = 0.0;
   };
+
+  /// Reduction hook: returns the weighted *sum* of pending_ (unscaled).
+  /// The base implementation is one canonical pairwise tree over all
+  /// contributions in site-name order; HierarchicalFedAvgAggregator
+  /// overrides it with a leaf/root split that reduces to the same bits.
+  /// Scalar bookkeeping (weight sum, metric means) stays in aggregate(),
+  /// sequential over the same order in every mode.
+  virtual nn::StateDict reduce_pending() const;
 
   bool weighted_;
   nn::StateDict global_;

@@ -1,6 +1,7 @@
 #include "flare/client.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "core/error.h"
 #include "core/logging.h"
@@ -167,31 +168,38 @@ void FederatedClient::run() {
   register_session();
 
   // ---- task loop ----------------------------------------------------------
-  core::BackoffPolicy idle_policy;
-  idle_policy.initial_ms = config_.poll_interval_ms;
-  idle_policy.max_ms =
-      std::max(config_.poll_interval_ms, config_.max_poll_interval_ms);
-  idle_policy.multiplier = 2.0;
-  idle_policy.max_retries = -1;  // polling is bounded by max_idle_ms instead
-  idle_policy.jitter = 0.0;
-  core::Backoff idle(idle_policy);
-  std::int64_t idle_ms = 0;
+  // Idle handling is long-poll, not timed re-polling: each get_task carries
+  // a wait budget and the server parks the call until a task exists (or the
+  // budget runs out, which doubles as a liveness heartbeat). A kNone answer
+  // therefore just re-polls immediately; `max_idle_ms` bounds the total
+  // task-less stretch by wall clock.
+  const std::int64_t wait_ms = std::max<std::int64_t>(1, config_.long_poll_ms);
+  auto last_progress = std::chrono::steady_clock::now();
   for (;;) {
+    const auto poll_started = std::chrono::steady_clock::now();
     const TaskMessage task = decode_task(
-        call([this] { return pack(GetTaskRequest{session_id_}); }));
+        call([this, wait_ms] { return pack(GetTaskRequest{session_id_, wait_ms}); }));
     if (task.task == TaskKind::kStop) {
       LOG(info).msg("received stop; shutting down").kv("site", credential_.name);
       return;
     }
     if (task.task == TaskKind::kNone) {
+      const auto now = std::chrono::steady_clock::now();
+      const auto idle_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                               now - last_progress)
+                               .count();
       if (config_.max_idle_ms > 0 && idle_ms >= config_.max_idle_ms) {
         throw TransportError(credential_.name + " idle for too long; aborting");
       }
-      idle_ms += idle.sleep_next();
+      // A server that cannot park (synchronous dispatch path) answers kNone
+      // instantly; without this guard the loop would busy-spin on its lock.
+      const auto answered_in = std::chrono::duration_cast<std::chrono::milliseconds>(
+                                   now - poll_started)
+                                   .count();
+      if (answered_in < 2) core::Backoff::sleep_ms(2);
       continue;
     }
-    idle.reset();
-    idle_ms = 0;
+    last_progress = std::chrono::steady_clock::now();
 
     FLContext ctx;
     ctx.job_id = config_.job_id;

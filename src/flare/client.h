@@ -35,16 +35,26 @@ using ConnectionFactory = std::function<std::unique_ptr<Connection>()>;
 
 struct ClientConfig {
   std::string job_id = "simulator_server";
-  /// Idle polling backs off multiplicatively from poll_interval_ms up to
-  /// max_poll_interval_ms while the server has no task, and snaps back on
-  /// the next task — 8+ site simulations stop hammering the server lock.
+  /// DEPRECATED (scalable-coordinator PR): the capped-backoff idle poll
+  /// loop these tuned is gone — idle clients now long-poll (`long_poll_ms`)
+  /// and the server pushes the task when the round opens. Both fields are
+  /// parsed and ignored so existing configs keep loading.
   std::int64_t poll_interval_ms = 5;
   std::int64_t max_poll_interval_ms = 100;
+  /// Long-poll budget sent with every get_task: the server parks the call
+  /// until a task is ready or this much time passed (it also clamps the
+  /// value, kMaxGetTaskWaitMs). Must be >= 1; against a server whose
+  /// transport cannot park (the synchronous dispatcher), kNone answers
+  /// return immediately and the client inserts a tiny anti-spin sleep.
+  std::int64_t long_poll_ms = 10000;
   /// Give up if the server stays silent this long (0 = never).
   std::int64_t max_idle_ms = 60000;
   /// Retry schedule for transport-level failures (initial/max delay,
-  /// multiplier, retries per failed exchange, jitter fraction).
-  core::BackoffPolicy retry = {10, 2000, 2.0, 5, 0.2};
+  /// multiplier, retries per failed exchange, jitter fraction, fast first
+  /// retry). Each exchange gets a fresh episode, so the common transient —
+  /// one lost or corrupted frame — is retried immediately; only repeated
+  /// failures of the same exchange sleep the exponential schedule.
+  core::BackoffPolicy retry = {10, 2000, 2.0, 5, 0.2, true};
   /// Seed for the retry jitter (combined with the site name), keeping
   /// fault-injection runs reproducible.
   std::uint64_t retry_seed = 0x9277;

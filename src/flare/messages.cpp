@@ -43,6 +43,7 @@ std::vector<std::uint8_t> pack(const RegisterAck& m) {
 std::vector<std::uint8_t> pack(const GetTaskRequest& m) {
   core::ByteWriter w = begin(MsgType::kGetTask);
   w.write_string(m.session_id);
+  w.write_i64(m.wait_ms);
   return w.take();
 }
 
@@ -126,6 +127,8 @@ GetTaskRequest decode_get_task(const std::vector<std::uint8_t>& frame) {
   core::ByteReader r = expect(frame, MsgType::kGetTask);
   GetTaskRequest m;
   m.session_id = r.read_string();
+  // Trailing long-poll budget, absent in pre-long-poll frames.
+  if (r.remaining() > 0) m.wait_ms = r.read_i64();
   return m;
 }
 

@@ -45,7 +45,18 @@ struct RegisterAck {
 
 struct GetTaskRequest {
   std::string session_id;
+  /// Long-poll budget: the server may park this call for up to `wait_ms`
+  /// before answering kNone (0 = answer immediately; the pre-long-poll wire
+  /// shape). Servers clamp it (kMaxGetTaskWaitMs) and only park on the
+  /// async dispatch path. Decoded leniently so old frames without the
+  /// trailing field still parse as wait_ms = 0.
+  std::int64_t wait_ms = 0;
 };
+
+/// Server-side ceiling on GetTaskRequest::wait_ms — a client asking for an
+/// hour parks for at most this long, then gets kNone and re-polls (which
+/// also refreshes liveness).
+inline constexpr std::int64_t kMaxGetTaskWaitMs = 30000;
 
 struct TaskMessage {
   TaskKind task = TaskKind::kNone;

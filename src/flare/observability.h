@@ -49,6 +49,10 @@ inline constexpr const char* kTcpBytesSent = "tcp.bytes_sent";
 inline constexpr const char* kTcpBytesRecv = "tcp.bytes_recv";
 inline constexpr const char* kTcpFramesSent = "tcp.frames_sent";
 inline constexpr const char* kTcpFramesRecv = "tcp.frames_recv";
+// Reactor transport (process-wide registry): connection high-water mark and
+// the number of get_task calls currently parked server-side.
+inline constexpr const char* kTcpPeakConnections = "tcp.peak_connections";
+inline constexpr const char* kServerParkedPolls = "server.parked_polls";
 // Training-loop counters (process-wide registry).
 inline constexpr const char* kTrainBatches = "train.batches";
 inline constexpr const char* kTrainEpochs = "train.epochs";

@@ -56,18 +56,44 @@ FederatedServer::FederatedServer(ServerConfig config,
         .kv("next_round", round_)
         .kv("num_rounds", config_.num_rounds)
         .kv("quarantined", quarantined);
-    if (round_ >= config_.num_rounds) {
-      finished_ = true;
-      return;
-    }
+    if (round_ >= config_.num_rounds) finished_ = true;
   }
-  aggregator_->reset(global_, round_);
-  validator_.reset(global_, round_);
+  if (!finished_) {
+    aggregator_->reset(global_, round_);
+    validator_.reset(global_, round_);
+  }
+  // R5-exempt: the server's ticker thread (round deadlines, park expiry)
+  ticker_thread_ = std::thread([this] { ticker_loop(); });
+}
+
+FederatedServer::~FederatedServer() {
+  {
+    core::MutexLock lock(mu_);
+    ticker_stop_ = true;
+    // Force-complete every park with its current answer (kStop when the run
+    // ended, kNone otherwise) so no transport continuation outlives us.
+    for (auto& [sender, park] : parked_) {
+      ready_replies_.push_back(ReadyReply{sender, std::move(park.key),
+                                          pack(build_task_locked(sender)),
+                                          std::move(park.respond)});
+    }
+    parked_.clear();
+    metrics_.gauge(metric_names::kServerParkedPolls).set(0.0);
+    ticker_cv_.notify_all();
+  }
+  if (ticker_thread_.joinable()) ticker_thread_.join();
+  drain_ready_replies();
 }
 
 Dispatcher FederatedServer::dispatcher() {
   return [this](const std::vector<std::uint8_t>& request) {
     return handle_sealed(request);
+  };
+}
+
+AsyncDispatcher FederatedServer::async_dispatcher() {
+  return [this](const std::vector<std::uint8_t>& request, RespondFn respond) {
+    handle_sealed_async(request, std::move(respond));
   };
 }
 
@@ -106,7 +132,11 @@ std::vector<std::uint8_t> FederatedServer::handle_sealed(
     }
     record_liveness(sender);
     const std::vector<std::uint8_t> response = handle_frame(sender, env.payload);
-    return seal_as_server(sender, key, response);
+    const std::vector<std::uint8_t> sealed = seal_as_server(sender, key, response);
+    // The request may have advanced the round and released parked polls;
+    // deliver them now that mu_ is free.
+    drain_ready_replies();
+    return sealed;
   } catch (const UnknownSessionError& e) {
     return seal_as_server(sender, key,
                           pack(ErrorMessage{e.what(), ErrorCode::kUnknownSession}));
@@ -121,6 +151,93 @@ std::vector<std::uint8_t> FederatedServer::handle_sealed(
     return seal_as_server(sender, key,
                           pack(ErrorMessage{e.what(), ErrorCode::kFatal}));
   }
+}
+
+void FederatedServer::handle_sealed_async(
+    const std::vector<std::uint8_t>& request, RespondFn respond) {
+  // Same authentication skeleton as handle_sealed; the difference is the
+  // get_task fork, which may park `respond` instead of answering inline.
+  std::string sender;
+  std::vector<std::uint8_t> key;
+  try {
+    sender = peek_sender(request);
+    auto cred_it = registry_.find(sender);
+    if (cred_it == registry_.end()) {
+      throw ProtocolError("unknown participant '" + sender + "'");
+    }
+    key = cred_it->second.secret;
+    Envelope env;
+    try {
+      env = open(request, key);
+      inbound_seq_.check_and_advance(sender, env.sequence);
+    } catch (const std::exception& e) {
+      respond(seal_as_server(
+          sender, key, pack(ErrorMessage{e.what(), ErrorCode::kRetryable})));
+      return;
+    }
+    record_liveness(sender);
+    if (peek_type(env.payload) == MsgType::kGetTask) {
+      const GetTaskRequest req = decode_get_task(env.payload);
+      if (req.wait_ms > 0) {
+        park_or_reply_get_task(sender, key, req, respond);
+        drain_ready_replies();
+        return;
+      }
+    }
+    respond(seal_as_server(sender, key, handle_frame(sender, env.payload)));
+  } catch (const UnknownSessionError& e) {
+    respond(seal_as_server(
+        sender, key, pack(ErrorMessage{e.what(), ErrorCode::kUnknownSession})));
+  } catch (const TransportError& e) {
+    respond(seal_as_server(
+        sender, key, pack(ErrorMessage{e.what(), ErrorCode::kRetryable})));
+  } catch (const std::exception& e) {
+    respond(seal_as_server(sender, key,
+                           pack(ErrorMessage{e.what(), ErrorCode::kFatal})));
+  }
+  drain_ready_replies();
+}
+
+void FederatedServer::park_or_reply_get_task(const std::string& sender,
+                                             const std::vector<std::uint8_t>& key,
+                                             const GetTaskRequest& req,
+                                             RespondFn& respond) {
+  core::MutexLock lock(mu_);
+  CF_TRACE_SPAN_SITE("server.get_task", sender, round_);
+  auto it = sessions_.find(sender);
+  if (it == sessions_.end() || it->second != req.session_id) {
+    throw UnknownSessionError("get_task: no active session for '" + sender + "'");
+  }
+  maybe_close_round_locked();
+  service_parked_locked();
+  TaskMessage task = build_task_locked(sender);
+  if (task.task == TaskKind::kNone && !finished_ && !aborted_) {
+    // Park until the answer changes (round opens/advances/stops) or the
+    // clamped wait expires. One park per site: a newer poll means the old
+    // connection is gone, so complete its park with kNone (a dead
+    // connection drops the bytes harmlessly).
+    auto existing = parked_.find(sender);
+    if (existing != parked_.end()) {
+      ready_replies_.push_back(ReadyReply{sender,
+                                          std::move(existing->second.key),
+                                          pack(task),
+                                          std::move(existing->second.respond)});
+      parked_.erase(existing);
+    }
+    const std::int64_t wait = std::min(req.wait_ms, kMaxGetTaskWaitMs);
+    parked_.emplace(
+        sender,
+        ParkedPoll{key, std::move(respond),
+                   std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(wait)});
+    metrics_.gauge(metric_names::kServerParkedPolls)
+        .set(static_cast<double>(parked_.size()));
+    // The nearest deadline may have moved; let the ticker re-plan.
+    ticker_cv_.notify_all();
+    return;
+  }
+  ready_replies_.push_back(
+      ReadyReply{sender, key, pack(task), std::move(respond)});
 }
 
 std::vector<std::uint8_t> FederatedServer::handle_frame(
@@ -183,6 +300,8 @@ std::vector<std::uint8_t> FederatedServer::on_register(const std::string& sender
     started_ = true;
     events_.fire(EventType::kStartRun, make_context_locked());
     start_round_locked();
+    // The round just opened: every parked long-poll now has a train task.
+    service_parked_locked();
   }
   return pack(RegisterAck{
       true, session,
@@ -190,15 +309,7 @@ std::vector<std::uint8_t> FederatedServer::on_register(const std::string& sender
           config_.job_id + ". Token:" + cred.token});
 }
 
-std::vector<std::uint8_t> FederatedServer::on_get_task(const std::string& sender,
-                                                       const GetTaskRequest& req) {
-  core::MutexLock lock(mu_);
-  CF_TRACE_SPAN_SITE("server.get_task", sender, round_);
-  auto it = sessions_.find(sender);
-  if (it == sessions_.end() || it->second != req.session_id) {
-    throw UnknownSessionError("get_task: no active session for '" + sender + "'");
-  }
-  maybe_close_round_locked();
+TaskMessage FederatedServer::build_task_locked(const std::string& sender) {
   TaskMessage task;
   task.total_rounds = config_.num_rounds;
   task.round = round_;
@@ -212,7 +323,91 @@ std::vector<std::uint8_t> FederatedServer::on_get_task(const std::string& sender
     task.payload = Dxo(DxoKind::kWeights, global_);
     task.payload.set_meta_int(Dxo::kMetaRound, round_);
   }
-  return pack(task);
+  return task;
+}
+
+void FederatedServer::service_parked_locked() {
+  if (parked_.empty()) return;
+  const auto now = std::chrono::steady_clock::now();
+  for (auto it = parked_.begin(); it != parked_.end();) {
+    TaskMessage task = build_task_locked(it->first);
+    if (task.task == TaskKind::kNone && now < it->second.deadline) {
+      ++it;
+      continue;
+    }
+    // Completing a park is traffic from the site's point of view: the
+    // client was waiting on us, not silent — refresh its liveness clock.
+    last_seen_[it->first] = now;
+    ready_replies_.push_back(ReadyReply{it->first, std::move(it->second.key),
+                                        pack(task),
+                                        std::move(it->second.respond)});
+    it = parked_.erase(it);
+  }
+  metrics_.gauge(metric_names::kServerParkedPolls)
+      .set(static_cast<double>(parked_.size()));
+}
+
+void FederatedServer::drain_ready_replies() {
+  std::vector<ReadyReply> ready;
+  {
+    core::MutexLock lock(mu_);
+    ready.swap(ready_replies_);
+  }
+  for (ReadyReply& reply : ready) {
+    try {
+      reply.respond(seal_as_server(reply.sender, reply.key, reply.body));
+    } catch (const std::exception& e) {
+      LOG_AS(kSag, warn)
+          .msg("Dropping undeliverable parked reply")
+          .kv("site", reply.sender)
+          .kv("error", e.what());
+    }
+  }
+}
+
+void FederatedServer::ticker_loop() {
+  core::MutexLock lock(mu_);
+  while (!ticker_stop_) {
+    // Plan the nap: coarse by default, fine while timed fault-tolerance
+    // machinery is armed, and never past the nearest park deadline.
+    std::int64_t wait_ms = 500;
+    if (started_ && !finished_ && !aborted_ &&
+        (config_.round_deadline_ms > 0 || config_.liveness_timeout_ms > 0)) {
+      wait_ms = 20;
+    }
+    if (!parked_.empty()) {
+      const auto now = std::chrono::steady_clock::now();
+      for (const auto& [site, park] : parked_) {
+        const auto until = std::chrono::duration_cast<std::chrono::milliseconds>(
+                               park.deadline - now)
+                               .count();
+        wait_ms = std::min(wait_ms, std::max<std::int64_t>(5, until));
+      }
+    }
+    ticker_cv_.wait_for_ms(mu_, wait_ms,
+                           [this]() CF_REQUIRES(mu_) { return ticker_stop_; });
+    if (ticker_stop_) break;
+    if (started_ && !finished_ && !aborted_) maybe_close_round_locked();
+    service_parked_locked();
+    if (!ready_replies_.empty()) {
+      lock.unlock();
+      drain_ready_replies();
+      lock.lock();
+    }
+  }
+}
+
+std::vector<std::uint8_t> FederatedServer::on_get_task(const std::string& sender,
+                                                       const GetTaskRequest& req) {
+  core::MutexLock lock(mu_);
+  CF_TRACE_SPAN_SITE("server.get_task", sender, round_);
+  auto it = sessions_.find(sender);
+  if (it == sessions_.end() || it->second != req.session_id) {
+    throw UnknownSessionError("get_task: no active session for '" + sender + "'");
+  }
+  maybe_close_round_locked();
+  service_parked_locked();
+  return pack(build_task_locked(sender));
 }
 
 void FederatedServer::record_rejection_locked(RejectReason reason) {
@@ -318,6 +513,7 @@ std::vector<std::uint8_t> FederatedServer::on_submit(const std::string& sender,
                         RejectReason::kQuarantined};
     rejected_acks_[sender] = ack;
     maybe_close_round_locked();
+    service_parked_locked();
     return pack(ack);
   }
 
@@ -337,11 +533,15 @@ std::vector<std::uint8_t> FederatedServer::on_submit(const std::string& sender,
         verdict.reason};
     rejected_acks_[sender] = ack;
     maybe_close_round_locked();
+    service_parked_locked();
     return pack(ack);
   }
   submitted_.insert(sender);
   metrics_.counter(metric_names::kServerContribAccepted).add(1);
   maybe_close_round_locked();
+  // The submit may have closed the round (or aborted the run): wake every
+  // parked long-poll whose answer changed.
+  service_parked_locked();
   return pack(SubmitAck{true, "accepted"});
 }
 
@@ -533,10 +733,18 @@ void FederatedServer::evict_stragglers_locked() {
         !participates_locked(site)) {
       continue;
     }
+    // A parked long-poll is the opposite of silence: the site is connected
+    // and waiting on *us*. Never evict it for not sending frames.
+    if (parked_.count(site) != 0) continue;
     const auto seen = last_seen_.find(site);
     if (seen == last_seen_.end()) continue;
+    // Silence is measured within the round: a site that resolved round N
+    // and has not yet spoken in round N+1 owes nothing until N+1 started —
+    // without this, the ticker would evict last round's contributors the
+    // moment a lingering round finally closes.
+    const auto silent_since = std::max(seen->second, round_start_);
     const auto silent = std::chrono::duration_cast<std::chrono::milliseconds>(
-                            now - seen->second)
+                            now - silent_since)
                             .count();
     if (silent >= config_.liveness_timeout_ms) {
       evicted_.insert(site);
@@ -559,8 +767,12 @@ void FederatedServer::abort_run_locked(const std::string& reason) {
 }
 
 void FederatedServer::abort(const std::string& reason) {
-  core::MutexLock lock(mu_);
-  abort_run_locked(reason);
+  {
+    core::MutexLock lock(mu_);
+    abort_run_locked(reason);
+    service_parked_locked();  // every park now answers kStop
+  }
+  drain_ready_replies();
 }
 
 void FederatedServer::sample_round_participants_locked() {

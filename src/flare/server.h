@@ -21,6 +21,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/thread_annotations.h"
@@ -54,12 +55,14 @@ struct ServerConfig {
   std::uint64_t sampling_seed = 1337;
   /// Straggler handling: when > 0, a round older than this closes with
   /// `min_clients`..quorum contributions — or aborts the run if even
-  /// `min_clients` have not reported. Checked lazily on client traffic
-  /// (no timer thread).
+  /// `min_clients` have not reported. Checked on client traffic and by the
+  /// server's ticker thread (so deadlines fire even when every client is
+  /// parked in a long-poll and generating no frames).
   std::int64_t round_deadline_ms = 0;
   /// Dead-site handling: when > 0, a participant unseen for this long while
   /// a round is open is evicted — it stops counting toward the quorum until
-  /// its next authenticated frame re-admits it. Checked lazily on traffic.
+  /// its next authenticated frame re-admits it. Checked on traffic and by
+  /// the ticker; a site with a parked long-poll counts as seen.
   std::int64_t liveness_timeout_ms = 0;
   /// Update-validation pipeline applied before the aggregator (defaults
   /// screen schema/finiteness/freshness; the norm-outlier pass is off).
@@ -78,11 +81,27 @@ class FederatedServer {
                   std::unique_ptr<Aggregator> aggregator,
                   std::shared_ptr<ModelPersistor> persistor = nullptr,
                   std::optional<Checkpoint> resume = std::nullopt);
+  ~FederatedServer();
 
   /// The sealed-bytes entry point for transports. The returned callable
   /// keeps *this alive only as long as the server object; do not use it
   /// after destruction.
+  ///
+  /// This synchronous form answers every request inline and NEVER parks a
+  /// get_task (GetTaskRequest::wait_ms is ignored) — the caller's thread is
+  /// the transport's only delivery vehicle, so holding it hostage would
+  /// stall unrelated requests. Long-poll dispatch needs async_dispatcher().
   Dispatcher dispatcher();
+
+  /// The long-poll-capable entry point: a get_task with wait_ms > 0 whose
+  /// answer would be kNone is *parked* — the RespondFn is retained and
+  /// completed when the round opens/advances/stops or the (clamped) wait
+  /// expires — instead of bouncing kNone back for the client to re-poll.
+  /// At most one park per site; a newer poll from the same site completes
+  /// the older park with kNone. Completions may be delivered from another
+  /// site's dispatch thread, the server's ticker thread, or the destructor;
+  /// RespondFns must tolerate all three (the reactor's do).
+  AsyncDispatcher async_dispatcher();
 
   /// Filters applied to every inbound contribution before aggregation.
   FilterChain& inbound_filters() { return inbound_filters_; }
@@ -142,11 +161,20 @@ class FederatedServer {
 
  private:
   std::vector<std::uint8_t> handle_sealed(const std::vector<std::uint8_t>& request);
+  void handle_sealed_async(const std::vector<std::uint8_t>& request,
+                           RespondFn respond);
   std::vector<std::uint8_t> handle_frame(const std::string& sender,
                                          const std::vector<std::uint8_t>& frame);
   std::vector<std::uint8_t> seal_as_server(const std::string& sender,
                                            const std::vector<std::uint8_t>& key,
                                            const std::vector<std::uint8_t>& body);
+
+  /// Async-path get_task: parks the call (consuming `respond`) or stages an
+  /// immediate reply on ready_replies_. Only moves from `respond` on
+  /// success, so the caller's error paths can still answer after a throw.
+  void park_or_reply_get_task(const std::string& sender,
+                              const std::vector<std::uint8_t>& key,
+                              const GetTaskRequest& req, RespondFn& respond);
 
   std::vector<std::uint8_t> on_register(const std::string& sender,
                                         const RegisterRequest& req);
@@ -156,6 +184,16 @@ class FederatedServer {
                                       const SubmitUpdateRequest& req);
 
   FLContext make_context_locked() const CF_REQUIRES(mu_);
+  TaskMessage build_task_locked(const std::string& sender) CF_REQUIRES(mu_);
+  /// Completes every parked poll whose task is no longer kNone (or whose
+  /// deadline passed) by staging it on ready_replies_. Called after any
+  /// state change that can change build_task_locked's answer.
+  void service_parked_locked() CF_REQUIRES(mu_);
+  /// Seals and delivers everything staged on ready_replies_. Must be called
+  /// with mu_ RELEASED (sealing bumps outbound_seq_ under mu_, and respond
+  /// may wake a client that immediately calls back in).
+  void drain_ready_replies();
+  void ticker_loop();
   void start_round_locked() CF_REQUIRES(mu_);
   void finish_round_locked(bool deadline_fired) CF_REQUIRES(mu_);
   void maybe_close_round_locked() CF_REQUIRES(mu_);
@@ -234,6 +272,31 @@ class FederatedServer {
   SequenceTracker inbound_seq_;  // internally synchronized
   std::map<std::string, std::uint64_t> outbound_seq_ CF_GUARDED_BY(mu_);
   std::uint64_t session_counter_ CF_GUARDED_BY(mu_) = 0;
+
+  /// A long-poll get_task waiting for its round. The RespondFn is the
+  /// transport continuation; `key` re-seals without another registry lookup.
+  struct ParkedPoll {
+    std::vector<std::uint8_t> key;
+    RespondFn respond;
+    std::chrono::steady_clock::time_point deadline;
+  };
+  /// A reply whose state is decided but which cannot be sealed/delivered
+  /// under mu_ (seal_as_server itself takes mu_; respond may re-enter).
+  struct ReadyReply {
+    std::string sender;
+    std::vector<std::uint8_t> key;
+    std::vector<std::uint8_t> body;  // packed, not yet sealed
+    RespondFn respond;
+  };
+  std::map<std::string, ParkedPoll> parked_ CF_GUARDED_BY(mu_);
+  std::vector<ReadyReply> ready_replies_ CF_GUARDED_BY(mu_);
+  /// Wakes the ticker when the nearest park deadline moves or on shutdown.
+  mutable core::CondVar ticker_cv_;
+  bool ticker_stop_ CF_GUARDED_BY(mu_) = false;
+  /// Drives time-based transitions (round deadlines, liveness eviction,
+  /// park expiry) now that long-poll removed the steady client traffic the
+  /// lazy checks used to piggyback on.
+  std::thread ticker_thread_;  // R5-exempt: server ticker (deadlines/park expiry)
 };
 
 }  // namespace cppflare::flare

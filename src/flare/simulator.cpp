@@ -17,6 +17,213 @@
 
 namespace cppflare::flare {
 
+namespace {
+
+/// Completion state shared by all multiplexed sites. `stopping` is the
+/// teardown handshake: once the runner sets it (under mu), site callbacks
+/// stop posting continuations to the worker pool, which makes destroying
+/// the pool safe even if a stray parked reply arrives late.
+struct MultiplexRun {
+  core::Mutex mu;
+  core::CondVar cv;
+  std::int64_t remaining CF_GUARDED_BY(mu) = 0;
+  bool stopping CF_GUARDED_BY(mu) = false;
+  std::vector<std::string> failed CF_GUARDED_BY(mu);
+};
+
+/// One site of the multiplexed simulator: an event-driven state machine
+/// (register -> long-poll -> train -> submit -> long-poll -> ... -> stop)
+/// over the server's async dispatcher. A site never owns a thread; each
+/// response is posted as a continuation to the shared worker pool, and
+/// while the site waits for a task its get_task is *parked server-side*,
+/// occupying no worker at all. That is what lets 256 sites run on 8
+/// workers: at any instant only the sites actually training or decoding
+/// hold a thread.
+///
+/// Threading: a site has exactly one exchange outstanding at a time, and
+/// each continuation schedules the next, so all mutable state below is
+/// accessed serially; the pool's queue mutex provides the happens-before
+/// edges between consecutive continuations.
+class SimSite : public std::enable_shared_from_this<SimSite> {
+ public:
+  SimSite(Credential credential, std::shared_ptr<Learner> learner,
+          AsyncDispatcher dispatch, core::ThreadPool* pool,
+          std::shared_ptr<MultiplexRun> run, std::string job_id,
+          std::int64_t long_poll_ms)
+      : credential_(std::move(credential)),
+        learner_(std::move(learner)),
+        dispatch_(std::move(dispatch)),
+        pool_(pool),
+        run_(std::move(run)),
+        job_id_(std::move(job_id)),
+        long_poll_ms_(long_poll_ms) {}
+
+  void start() {
+    auto self = shared_from_this();
+    pool_->post([self] { self->send_step(); });
+  }
+
+ private:
+  enum class Step { kRegister, kPoll, kSubmit };
+
+  /// Seals and dispatches the frame for the current step. The respond
+  /// callback only enqueues; all real work happens on a pool worker.
+  void send_step() {
+    std::vector<std::uint8_t> frame;
+    switch (step_) {
+      case Step::kRegister:
+        frame = pack(RegisterRequest{credential_.name, credential_.token});
+        break;
+      case Step::kPoll:
+        frame = pack(GetTaskRequest{session_id_, long_poll_ms_});
+        break;
+      case Step::kSubmit:
+        frame = pack(
+            SubmitUpdateRequest{session_id_, pending_round_, pending_update_});
+        break;
+    }
+    const std::vector<std::uint8_t> sealed_frame =
+        seal(credential_.name, credential_.secret, seq_.next(), frame);
+    auto self = shared_from_this();
+    dispatch_(sealed_frame, [self](std::vector<std::uint8_t> response) {
+      self->enqueue(std::move(response));
+    });
+  }
+
+  /// Called from whatever thread completes the exchange (a pool worker for
+  /// immediate replies, the server's ticker or another site's worker for
+  /// parked ones). Posts the continuation unless the run is tearing down.
+  void enqueue(std::vector<std::uint8_t> response) {
+    core::MutexLock lock(run_->mu);
+    if (run_->stopping) return;  // runner gave up on us; pool may be dying
+    auto self = shared_from_this();
+    // std::function needs a copyable callable, so the buffer is captured by
+    // value (moved in; the pool's enqueue copies once).
+    pool_->post([self, buf = std::move(response)] { self->resume(buf); });
+  }
+
+  void resume(const std::vector<std::uint8_t>& response) {
+    try {
+      const Envelope env = open(response, credential_.secret);
+      if (env.sender != "server") {
+        throw ProtocolError("response not from server but '" + env.sender + "'");
+      }
+      server_seq_.check_and_advance(env.sender, env.sequence);
+      if (peek_type(env.payload) == MsgType::kError) {
+        handle_error(decode_error(env.payload));
+        return;
+      }
+      retries_ = 0;
+      switch (step_) {
+        case Step::kRegister: {
+          const RegisterAck ack = decode_register_ack(env.payload);
+          if (!ack.accepted) {
+            throw ProtocolError("registration rejected for " +
+                                credential_.name + ": " + ack.message);
+          }
+          session_id_ = ack.session_id;
+          step_ = after_register_;
+          after_register_ = Step::kPoll;
+          break;
+        }
+        case Step::kPoll: {
+          const TaskMessage task = decode_task(env.payload);
+          if (task.task == TaskKind::kStop) {
+            finish({});
+            return;
+          }
+          // kNone: the long-poll budget expired (or this round sampled us
+          // out) — re-poll immediately; the server parks us again.
+          if (task.task == TaskKind::kTrain) {
+            train(task);
+            step_ = Step::kSubmit;
+          }
+          break;
+        }
+        case Step::kSubmit: {
+          const SubmitAck ack = decode_submit_ack(env.payload);
+          if (!ack.accepted && ack.message != kDuplicateContribution) {
+            LOG(warn)
+                .msg("contribution rejected:")
+                .msg(ack.message)
+                .kv("site", credential_.name)
+                .kv("reason", reject_reason_name(ack.reason));
+          }
+          step_ = Step::kPoll;
+          break;
+        }
+      }
+      send_step();
+    } catch (const std::exception& e) {
+      finish(e.what());
+    }
+  }
+
+  /// In-process transport: retryable faults cannot occur here (the fault
+  /// decorators are excluded in multiplexed mode), but honor the protocol
+  /// anyway — bounded resend for kRetryable, idempotent re-registration
+  /// (resuming the interrupted step) for kUnknownSession.
+  void handle_error(const ErrorMessage& err) {
+    if (err.code == ErrorCode::kRetryable && ++retries_ <= 5) {
+      send_step();
+      return;
+    }
+    if (err.code == ErrorCode::kUnknownSession && ++reregistrations_ <= 3) {
+      after_register_ = step_ == Step::kRegister ? Step::kPoll : step_;
+      step_ = Step::kRegister;
+      send_step();
+      return;
+    }
+    finish(credential_.name + ": server error: " + err.message);
+  }
+
+  void train(const TaskMessage& task) {
+    FLContext ctx;
+    ctx.job_id = job_id_;
+    ctx.site_name = credential_.name;
+    ctx.current_round = task.round;
+    ctx.total_rounds = task.total_rounds;
+    {
+      CF_TRACE_SPAN_SITE("client.train", credential_.name, task.round);
+      pending_update_ = learner_->train(task.payload, ctx);
+    }
+    if (!pending_update_.has_meta(Dxo::kMetaRound)) {
+      pending_update_.set_meta_int(Dxo::kMetaRound, task.round);
+    }
+    pending_round_ = task.round;
+  }
+
+  void finish(const std::string& error) {
+    if (!error.empty()) {
+      LOG(error).msg("site failed:").msg(error).kv("site", credential_.name);
+    }
+    core::MutexLock lock(run_->mu);
+    if (!error.empty()) run_->failed.push_back(credential_.name);
+    run_->remaining -= 1;
+    run_->cv.notify_all();
+  }
+
+  Credential credential_;
+  std::shared_ptr<Learner> learner_;
+  AsyncDispatcher dispatch_;
+  core::ThreadPool* pool_;
+  std::shared_ptr<MultiplexRun> run_;
+  std::string job_id_;
+  std::int64_t long_poll_ms_;
+
+  Step step_ = Step::kRegister;
+  Step after_register_ = Step::kPoll;
+  SequenceSource seq_;
+  SequenceTracker server_seq_;
+  std::string session_id_;
+  std::int64_t pending_round_ = 0;
+  Dxo pending_update_;
+  std::int64_t retries_ = 0;
+  std::int64_t reregistrations_ = 0;
+};
+
+}  // namespace
+
 SimulatorRunner::SimulatorRunner(SimulatorConfig config, nn::StateDict initial_model,
                                  std::unique_ptr<Aggregator> aggregator,
                                  LearnerFactory factory)
@@ -60,32 +267,49 @@ SimulatorRunner::SimulatorRunner(SimulatorConfig config, nn::StateDict initial_m
 
 SimulationResult SimulatorRunner::run() {
   const auto start = std::chrono::steady_clock::now();
-  const bool tracing = config_.trace;
-  if (tracing) core::Tracer::instance().start(config_.trace_capacity);
+  if (config_.trace) core::Tracer::instance().start(config_.trace_capacity);
   const std::int64_t trace_t0 = core::Tracer::instance().now_ns();
   LOG(info).msg("Create the simulate clients.");
 
   // Divide the machine between site workers and kernel threads before any
   // kernel runs, so every site's training shares one budgeted compute pool
-  // instead of each site oversubscribing the host.
+  // instead of each site oversubscribing the host. In multiplexed mode the
+  // site-thread count is the pool size, not the site count.
   if (config_.compute_threads > 0) {
     core::set_compute_threads(
         static_cast<std::size_t>(config_.compute_threads));
   } else if (config_.compute_threads == 0) {
     const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
-    const std::size_t sites = static_cast<std::size_t>(
-        std::max<std::int64_t>(1, config_.num_clients));
+    const std::size_t sites = static_cast<std::size_t>(std::max<std::int64_t>(
+        1, config_.site_workers > 0 ? config_.site_workers
+                                    : config_.num_clients));
     const std::size_t per_site = hw > sites ? hw - sites + 1 : 1;
     core::set_compute_threads_if_default(per_site);
   }
   LOG(info)
       .msg("Compute budget")
-      .kv("site_workers", config_.num_clients)
+      .kv("site_workers", config_.site_workers > 0 ? config_.site_workers
+                                                   : config_.num_clients)
       .kv("compute_threads", static_cast<std::int64_t>(core::compute_threads()));
+
+  if (config_.site_workers > 0) {
+    if (config_.use_tcp) {
+      throw ConfigError(
+          "SimulatorRunner: site_workers (multiplexed mode) is in-process "
+          "only; use_tcp requires the thread-per-site mode");
+    }
+    if (fault_planner_ || poison_planner_ || customizer_) {
+      throw ConfigError(
+          "SimulatorRunner: fault/poison planners and client customizers "
+          "attach to per-site clients and are not supported with "
+          "site_workers; use the thread-per-site mode");
+    }
+    return run_multiplexed(start, trace_t0);
+  }
 
   std::unique_ptr<TcpServer> tcp_server;
   if (config_.use_tcp) {
-    tcp_server = std::make_unique<TcpServer>(0, server_->dispatcher());
+    tcp_server = std::make_unique<TcpServer>(0, server_->async_dispatcher());
     LOG(info)
         .msg("TCP transport listening")
         .kv("addr", "127.0.0.1")
@@ -105,7 +329,10 @@ SimulationResult SimulatorRunner::run() {
       if (config_.use_tcp) {
         conn = std::make_unique<TcpConnection>("127.0.0.1", tcp_server->port());
       } else {
-        conn = std::make_unique<InProcConnection>(server_->dispatcher());
+        // Async in-process channel so the server can *park* long-polls from
+        // in-process clients too, instead of answering kNone immediately.
+        conn = std::make_unique<AsyncInProcConnection>(
+            server_->async_dispatcher());
       }
       const std::int64_t n = incarnation->fetch_add(1);
       if (fault_planner_) {
@@ -123,7 +350,7 @@ SimulationResult SimulatorRunner::run() {
     ClientConfig client_config;
     client_config.job_id = config_.job_id;
     client_config.max_idle_ms = config_.timeout_ms;
-    client_config.max_poll_interval_ms = config_.max_poll_interval_ms;
+    client_config.long_poll_ms = config_.long_poll_ms;
     client_config.retry = config_.client_retry;
     auto client = std::make_unique<FederatedClient>(
         client_config, registry_.at(name), make_factory(i, name), factory_(i, name));
@@ -176,7 +403,85 @@ SimulationResult SimulatorRunner::run() {
   }
   // A degraded but completed run (some clients failed, quorum still met) and
   // an aborted run both report through the result instead of throwing.
+  return finalize(start, trace_t0, std::move(failed_sites));
+}
 
+SimulationResult SimulatorRunner::run_multiplexed(
+    std::chrono::steady_clock::time_point start, std::int64_t trace_t0) {
+  LOG(info)
+      .msg("Multiplexed mode")
+      .kv("sites", config_.num_clients)
+      .kv("site_workers", config_.site_workers);
+  auto run_state = std::make_shared<MultiplexRun>();
+  {
+    core::MutexLock lock(run_state->mu);
+    run_state->remaining = config_.num_clients;
+  }
+  std::vector<std::string> failed_sites;
+  bool timed_out = false;
+  {
+    core::ThreadPool pool(static_cast<std::size_t>(config_.site_workers));
+    const std::int64_t long_poll =
+        std::max<std::int64_t>(1, config_.long_poll_ms);
+    std::vector<std::shared_ptr<SimSite>> sites;
+    sites.reserve(static_cast<std::size_t>(config_.num_clients));
+    for (std::int64_t i = 0; i < config_.num_clients; ++i) {
+      const std::string name = "site-" + std::to_string(i + 1);
+      sites.push_back(std::make_shared<SimSite>(
+          registry_.at(name), factory_(i, name), server_->async_dispatcher(),
+          &pool, run_state, config_.job_id, long_poll));
+    }
+    for (const auto& site : sites) site->start();
+
+    // Every site ends by receiving kStop (run finished or aborted) or by
+    // failing, so `remaining == 0` covers normal completion, abort, and
+    // the everyone-failed case alike.
+    bool drained;
+    {
+      core::MutexLock lock(run_state->mu);
+      drained = run_state->cv.wait_for_ms(
+          run_state->mu, config_.timeout_ms,
+          [&]() CF_REQUIRES(run_state->mu) { return run_state->remaining == 0; });
+    }
+    if (!drained) {
+      if (!server_->aborted()) {
+        timed_out = true;
+        // Aborting completes every parked poll with kStop, which is what
+        // lets the stuck sites drain below.
+        server_->abort("SimulatorRunner: run did not finish within timeout");
+      }
+      core::MutexLock lock(run_state->mu);
+      drained = run_state->cv.wait_for_ms(
+          run_state->mu, 60000,
+          [&]() CF_REQUIRES(run_state->mu) { return run_state->remaining == 0; });
+    }
+    {
+      core::MutexLock lock(run_state->mu);
+      run_state->stopping = true;  // late replies must not touch the pool
+      failed_sites = run_state->failed;
+      if (!drained) {
+        LOG(error)
+            .msg("site state machines did not drain; abandoning")
+            .kv("undrained", run_state->remaining);
+      }
+    }
+  }  // joins the site worker pool
+  if (timed_out) {
+    throw Error("SimulatorRunner: run did not finish within timeout");
+  }
+  if (!server_->wait_until_finished(1000) && !server_->aborted()) {
+    // All sites are done but the server never finished: every site failed
+    // before the run could complete.
+    throw Error("SimulatorRunner: every site failed before the run finished" +
+                (failed_sites.empty() ? std::string()
+                                      : " (first: " + failed_sites.front() + ")"));
+  }
+  return finalize(start, trace_t0, std::move(failed_sites));
+}
+
+SimulationResult SimulatorRunner::finalize(
+    std::chrono::steady_clock::time_point start, std::int64_t trace_t0,
+    std::vector<std::string> failed_sites) {
   SimulationResult result;
   result.final_model = server_->global_model();
   result.history = server_->history();
@@ -194,7 +499,7 @@ SimulationResult SimulatorRunner::run() {
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
-  if (tracing) {
+  if (config_.trace) {
     // The whole-run span is recorded manually: a ScopedSpan here would
     // destruct only after stop() below and be dropped.
     core::Tracer::instance().record_complete("simulator.run", {}, -1, trace_t0,

@@ -11,6 +11,7 @@
 // restarts a killed run from its persisted checkpoint.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -50,10 +51,24 @@ struct SimulatorConfig {
   std::int64_t round_deadline_ms = 0;
   /// Evict sites unseen for this long from the round quorum (0 = never).
   std::int64_t liveness_timeout_ms = 0;
-  /// Client-side retry schedule for transport failures.
-  core::BackoffPolicy client_retry = {10, 2000, 2.0, 5, 0.2};
-  /// Idle polling backoff cap per client.
+  /// Client-side retry schedule for transport failures (first retry of an
+  /// exchange is immediate; repeats back off exponentially).
+  core::BackoffPolicy client_retry = {10, 2000, 2.0, 5, 0.2, true};
+  /// DEPRECATED (scalable-coordinator PR): idle clients long-poll now (see
+  /// long_poll_ms); there is no timed re-poll loop left to tune. Parsed and
+  /// ignored so existing configs keep loading.
   std::int64_t max_poll_interval_ms = 100;
+  /// Long-poll budget each client sends with get_task: the server parks the
+  /// poll until a task is ready or this much time passed.
+  std::int64_t long_poll_ms = 10000;
+  /// Single-box scaling knob. 0 (default): one dedicated worker thread per
+  /// site — fine up to tens of sites. > 0: multiplex all sites over a pool
+  /// of this many workers using an event-driven per-site state machine on
+  /// the server's async dispatcher (a 256-site federation runs on 8
+  /// workers). The multiplexed mode is in-process only and excludes the
+  /// per-connection decorators: it throws ConfigError when combined with
+  /// use_tcp, a fault planner, a poison planner, or a client customizer.
+  std::int64_t site_workers = 0;
   /// Abort if the run has not finished after this long.
   std::int64_t timeout_ms = 30 * 60 * 1000;
   /// Server-side update validation (see flare/validator.h). Defaults keep
@@ -149,6 +164,15 @@ class SimulatorRunner {
   SimulationResult run();
 
  private:
+  /// The site_workers > 0 path: event-driven sites multiplexed on a pool.
+  SimulationResult run_multiplexed(std::chrono::steady_clock::time_point start,
+                                   std::int64_t trace_t0);
+  /// Shared tail of both paths: snapshot server state into the result,
+  /// close out tracing, log the outcome.
+  SimulationResult finalize(std::chrono::steady_clock::time_point start,
+                            std::int64_t trace_t0,
+                            std::vector<std::string> failed_sites);
+
   SimulatorConfig config_;
   LearnerFactory factory_;
   ClientCustomizer customizer_;

@@ -15,6 +15,7 @@
 #include "core/logging.h"
 #include "core/trace.h"
 #include "flare/observability.h"
+#include "flare/reactor.h"
 
 #define CPPFLARE_LOG_COMPONENT "TcpTransport"
 
@@ -69,15 +70,6 @@ void read_all(int fd, std::uint8_t* data, std::size_t n) {
   }
 }
 
-void set_io_timeouts(int fd, std::int64_t timeout_ms) {
-  if (timeout_ms <= 0) return;
-  timeval tv{};
-  tv.tv_sec = static_cast<time_t>(timeout_ms / 1000);
-  tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-}
-
 }  // namespace
 
 void write_frame(int fd, const std::vector<std::uint8_t>& payload,
@@ -112,124 +104,71 @@ std::vector<std::uint8_t> read_frame(int fd, std::uint32_t max_frame_bytes) {
   return payload;
 }
 
-TcpServer::TcpServer(std::uint16_t port, Dispatcher dispatcher,
-                     TcpServerOptions options)
-    : dispatcher_(std::move(dispatcher)), options_(options) {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) throw TransportError("socket() failed");
+namespace {
+
+/// Creates the bound, listening socket TcpServer hands to its reactor.
+/// Errors close the fd before throwing, so ownership never leaks.
+int make_listener(std::uint16_t port, std::uint16_t* bound_port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw TransportError("socket() failed");
   const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    ::close(listen_fd_);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
     throw TransportError("bind failed: " + std::string(std::strerror(errno)));
   }
   socklen_t len = sizeof(addr);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
-    ::close(listen_fd_);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
     throw TransportError("getsockname failed");
   }
-  port_ = ntohs(addr.sin_port);
-  if (::listen(listen_fd_, 64) != 0) {
-    ::close(listen_fd_);
+  *bound_port = ntohs(addr.sin_port);
+  if (::listen(fd, 256) != 0) {
+    ::close(fd);
     throw TransportError("listen failed");
   }
-  // The transport owns its accept thread: it blocks in accept(), which the
-  // compute pool must never do.
-  accept_thread_ = std::thread([this] { accept_loop(); });  // R5-exempt: blocking accept loop
+  return fd;
+}
+
+ReactorOptions to_reactor_options(const TcpServerOptions& options) {
+  ReactorOptions out;
+  out.io_timeout_ms = options.io_timeout_ms;
+  out.max_frame_bytes = std::min(options.max_frame_bytes, kMaxFrameBytes);
+  out.worker_threads = options.worker_threads;
+  return out;
+}
+
+}  // namespace
+
+TcpServer::TcpServer(std::uint16_t port, Dispatcher dispatcher,
+                     TcpServerOptions options)
+    : TcpServer(port, make_async(std::move(dispatcher)), options) {}
+
+TcpServer::TcpServer(std::uint16_t port, AsyncDispatcher dispatcher,
+                     TcpServerOptions options) {
+  const int listen_fd = make_listener(port, &port_);
+  // The reactor takes ownership of the listener; from here on every fd —
+  // including this one — is created and closed by the reactor thread only
+  // (see the ownership model in reactor.h).
+  reactor_ = std::make_unique<EpollReactor>(listen_fd, std::move(dispatcher),
+                                            to_reactor_options(options));
 }
 
 TcpServer::~TcpServer() { stop(); }
 
-// fd ownership protocol (the invariant every lock below guards):
-//  * listen_fd_ is closed only here, and only after the accept thread has
-//    been joined — closing an fd another thread is blocked in accept(2) on
-//    lets the kernel recycle the number for a concurrent connection.
-//  * Each connection fd is closed only by its serve_connection thread.
-//    stop() merely shutdown(2)s connection fds to unblock recv/send; the
-//    owning thread then exits and closes. This makes close/IO races and
-//    double-closes structurally impossible.
-//  * stop_mu_ serializes concurrent stop() calls (including the destructor
-//    racing an explicit stop()): std::thread::join from two threads at once
-//    is undefined behavior.
 void TcpServer::stop() {
-  core::MutexLock stop_lock(stop_mu_);
-  stopping_.store(true);
-  if (listen_fd_ >= 0) {
-    // shutdown(2) on the listening socket wakes the blocked accept(2) with
-    // EINVAL on Linux; the accept loop sees stopping_ and exits.
-    ::shutdown(listen_fd_, SHUT_RDWR);
-  }
-  if (accept_thread_.joinable()) accept_thread_.join();
-  {
-    core::MutexLock lock(mu_);
-    // Wake every connection handler blocked in recv(2). Do NOT close: the
-    // handler thread owns the fd and closes it on exit.
-    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
-  }
-  std::vector<std::thread> to_join;  // R5-exempt: joining I/O threads
-  {
-    core::MutexLock lock(mu_);
-    to_join.swap(conn_threads_);
-  }
-  for (std::thread& t : to_join) t.join();  // R5-exempt: joining I/O threads
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
+  // Idempotent and safe to race: EpollReactor::stop serializes concurrent
+  // callers (including the destructor racing an explicit stop()).
+  if (reactor_) reactor_->stop();
 }
 
-void TcpServer::accept_loop() {
-  for (;;) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (stopping_) return;
-      if (errno == EINTR) continue;
-      LOG(warn).msg("accept failed:").msg(std::strerror(errno));
-      return;
-    }
-    const int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    // A silent or stalled client must not pin this connection's handler
-    // thread forever: recv/send deadlines turn it into a TransportError the
-    // handler treats as teardown.
-    set_io_timeouts(fd, options_.io_timeout_ms);
-    core::MutexLock lock(mu_);
-    if (stopping_) {
-      ::close(fd);
-      return;
-    }
-    conn_fds_.push_back(fd);
-    conn_threads_.emplace_back([this, fd] { serve_connection(fd); });
-  }
-}
-
-void TcpServer::serve_connection(int fd) {
-  try {
-    for (;;) {
-      const std::vector<std::uint8_t> request =
-          read_frame(fd, options_.max_frame_bytes);
-      const std::vector<std::uint8_t> response = dispatcher_(request);
-      write_frame(fd, response);
-    }
-  } catch (const TransportError&) {
-    // Normal teardown path: peer closed, went silent past the deadline,
-    // announced an oversized frame, or the server is stopping.
-  } catch (const std::exception& e) {
-    LOG(warn).msg("connection handler error:").msg(e.what());
-  }
-  // This thread is the sole closer of fd (see the ownership protocol above
-  // stop()); deregister first so stop() never shutdown(2)s a closed fd.
-  {
-    core::MutexLock lock(mu_);
-    conn_fds_.erase(std::remove(conn_fds_.begin(), conn_fds_.end(), fd),
-                    conn_fds_.end());
-  }
-  ::close(fd);
+std::int64_t TcpServer::peak_connections() const {
+  return reactor_ ? reactor_->peak_connections() : 0;
 }
 
 TcpConnection::TcpConnection(const std::string& host, std::uint16_t port) {

@@ -8,16 +8,16 @@
 // request.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
-#include <thread>
 #include <vector>
 
-#include "core/thread_annotations.h"
 #include "flare/transport.h"
 
 namespace cppflare::flare {
+
+class EpollReactor;
 
 /// Maximum accepted frame size (64 MiB) — a sanity bound against corrupt
 /// length prefixes.
@@ -25,24 +25,37 @@ constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
 
 /// Server-side hardening knobs against misbehaving or hostile clients.
 struct TcpServerOptions {
-  /// SO_RCVTIMEO/SO_SNDTIMEO on every accepted socket: a client that
-  /// connects and then goes silent mid-frame releases its handler thread
-  /// after this long instead of pinning it forever (0 = block forever).
-  /// Generous by default — a slow site mid-training must not be cut off.
+  /// Idle-connection deadline: a client that connects and then goes silent
+  /// with no request in flight (half a header, or nothing at all) is closed
+  /// by the reactor's sweep after this long (0 = never). A parked long-poll
+  /// counts as in flight and is never swept. Generous by default — a slow
+  /// site mid-training must not be cut off.
   std::int64_t io_timeout_ms = 300000;
   /// Per-connection cap on the announced frame length; frames above it are
   /// refused before a single payload byte is read. Never above the global
   /// kMaxFrameBytes sanity bound.
   std::uint32_t max_frame_bytes = kMaxFrameBytes;
+  /// Request-handling worker threads for the reactor's bounded pool
+  /// (0 = min(8, hardware/2, at least 2)).
+  std::size_t worker_threads = 0;
 };
 
-/// Serves a Dispatcher on a TCP port. Each accepted connection gets a
-/// handler thread; connections are persistent (many request/response
-/// exchanges). Destruction stops the listener and joins every thread.
+/// Serves a Dispatcher (or AsyncDispatcher) on a TCP port. Since the
+/// scalable-coordinator PR every connection is multiplexed over one epoll
+/// reactor thread plus a bounded worker pool (reactor.h) instead of a
+/// handler thread per connection: N idle sites cost N parked fds, not N
+/// threads. Connections are persistent (many request/response exchanges).
+/// Destruction stops the listener, closes every connection, and joins the
+/// reactor thread and worker pool.
 class TcpServer {
  public:
   /// Binds 127.0.0.1:`port` (0 picks an ephemeral port; see port()).
+  /// The synchronous-Dispatcher overload answers every request inline on a
+  /// worker; the AsyncDispatcher overload additionally lets the server park
+  /// requests (long-poll) and complete them later from any thread.
   TcpServer(std::uint16_t port, Dispatcher dispatcher,
+            TcpServerOptions options = {});
+  TcpServer(std::uint16_t port, AsyncDispatcher dispatcher,
             TcpServerOptions options = {});
   ~TcpServer();
 
@@ -52,24 +65,13 @@ class TcpServer {
   std::uint16_t port() const { return port_; }
   void stop();
 
- private:
-  void accept_loop();
-  void serve_connection(int fd);
+  /// High-water mark of concurrently open accepted connections (bench
+  /// telemetry; also exported as the tcp.peak_connections gauge).
+  std::int64_t peak_connections() const;
 
-  Dispatcher dispatcher_;
-  TcpServerOptions options_;
-  int listen_fd_ = -1;
+ private:
   std::uint16_t port_ = 0;
-  std::atomic<bool> stopping_{false};
-  std::thread accept_thread_;  // R5-exempt: blocks in accept(), not pool work
-  /// Serializes stop() (destructor vs. explicit stop vs. concurrent stops).
-  core::Mutex stop_mu_;
-  /// Guards conn_fds_ and conn_threads_. Connection fds are closed only by
-  /// their serve_connection thread; stop() only shutdown(2)s them.
-  core::Mutex mu_;
-  std::vector<int> conn_fds_ CF_GUARDED_BY(mu_);
-  // R5-exempt: connection threads block in recv(); see class comment.
-  std::vector<std::thread> conn_threads_ CF_GUARDED_BY(mu_);
+  std::unique_ptr<EpollReactor> reactor_;
 };
 
 /// Client connection to a TcpServer. `call` is blocking and NOT

@@ -237,6 +237,16 @@ TEST_F(FaultsTest, BackoffExhaustsAfterMaxRetries) {
   EXPECT_EQ(backoff.retries(), 2);
 }
 
+TEST_F(FaultsTest, BackoffFastFirstRetryIsImmediateThenExponential) {
+  core::Backoff backoff({10, 40, 2.0, -1, 0.0, /*fast_first_retry=*/true});
+  EXPECT_EQ(backoff.next_delay_ms(), 0);  // first retry of the episode is free
+  EXPECT_EQ(backoff.next_delay_ms(), 10);
+  EXPECT_EQ(backoff.next_delay_ms(), 20);
+  backoff.reset();  // success rearms the free retry
+  EXPECT_EQ(backoff.next_delay_ms(), 0);
+  EXPECT_EQ(backoff.next_delay_ms(), 10);
+}
+
 TEST_F(FaultsTest, BackoffJitterIsBoundedAndSeeded) {
   core::Backoff a({100, 1000, 2.0, -1, 0.5}, 42);
   core::Backoff b({100, 1000, 2.0, -1, 0.5}, 42);

@@ -179,6 +179,24 @@ TEST_F(SimulatorStress, EightSitesMultiRoundOverTcp) {
   }
 }
 
+TEST_F(SimulatorStress, SixtyFourSitesOverTcpReactor) {
+  // The reactor transport under real fan-in: 64 client threads long-polling
+  // one epoll loop, tasks pushed into parked polls at every round turnover.
+  // TSan watches the reactor's completion sink, the server's park table, and
+  // the worker pool handing frames between them.
+  flare::SimulatorConfig config;
+  config.num_clients = 64;
+  config.num_rounds = 2;
+  config.use_tcp = true;
+  flare::SimulatorRunner runner = make_runner(config);
+  const flare::SimulationResult result = runner.run();
+  ASSERT_EQ(result.history.size(), 2u);
+  for (const flare::RoundMetrics& m : result.history) {
+    EXPECT_EQ(m.num_contributions, 64);
+  }
+  EXPECT_TRUE(result.failed_sites.empty());
+}
+
 TEST_F(SimulatorStress, SingleSiteFederationCompletes) {
   flare::SimulatorConfig config;
   config.num_clients = 1;

@@ -1,0 +1,11 @@
+// Scope-rule fixture: the epoll reactor is sanctioned to own its event-loop
+// thread (R5) and to issue nonblocking socket syscalls while holding its
+// state lock (R10) — no exempt annotations needed in this path.
+void EpollReactor::start() {
+  reactor_thread_ = std::thread([this] { loop(); });
+}
+void EpollReactor::flush(Conn& c) {
+  core::MutexLock lock(mu_);
+  ::send(c.fd, c.outq.data(), c.outq.size(), 0);
+  ::recv(c.fd, c.inbuf.data(), c.inbuf.size(), 0);
+}

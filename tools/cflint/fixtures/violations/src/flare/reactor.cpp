@@ -1,0 +1,8 @@
+// R10 fixture: the reactor scope rule only sanctions nonblocking socket
+// syscalls — a sleep or a full RPC round trip under the reactor lock is
+// still a violation.
+void EpollReactor::bad(Conn& c) {
+  core::MutexLock lock(mu_);
+  core::Backoff::sleep_ms(5);
+  c.conn->call(frame);
+}

@@ -72,6 +72,9 @@ const std::vector<Case>& cases() {
       {"R5 raw thread", "src/flare/bad_thread.cpp",
        "void f() { std::thread t([] {}); t.join(); }\n",
        {{5, 1}}},
+      {"R5 reactor event-loop thread sanctioned", "src/flare/reactor.cpp",
+       "void EpollReactor::start() { reactor_thread_ = std::thread([this] { loop(); }); }\n",
+       {}},
       {"R5 hardware_concurrency + exempt", "src/flare/ok_thread.cpp",
        "unsigned f() { return std::thread::hardware_concurrency(); }\n"
        "// R5-exempt: blocking I/O thread, joined in stop()\n"
@@ -157,6 +160,20 @@ const std::vector<Case>& cases() {
        "  c.write_frame(fr);\n"
        "}\n",
        {}},
+      {"R10 reactor nonblocking sockets sanctioned", "src/flare/reactor.cpp",
+       "void EpollReactor::flush(Conn& c) {\n"
+       "  core::MutexLock lock(mu_);\n"
+       "  ::send(c.fd, c.buf.data(), c.buf.size(), 0);\n"
+       "  ::recv(c.fd, c.in.data(), c.in.size(), 0);\n"
+       "}\n",
+       {}},
+      {"R10 reactor sleeps and RPCs still flagged", "src/flare/reactor.cpp",
+       "void EpollReactor::bad(Conn& c) {\n"
+       "  core::MutexLock lock(mu_);\n"
+       "  core::Backoff::sleep_ms(5);\n"
+       "  c.conn->call(frame);\n"
+       "}\n",
+       {{10, 3}, {10, 4}}},
 
       {"R11 missing nodiscard + discard", "src/flare/bad_status.cpp",
        "struct SendStatus { bool ok; };\n"
