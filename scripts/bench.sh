@@ -20,6 +20,11 @@
 #       multiplexed in-process mode (8 pool workers), plus a re-measurement
 #       of the faulty-run overhead factor against the 4.16x pre-reactor
 #       baseline recorded in BENCH_faults.json.
+#   BENCH_privacy.json — bench_privacy rounds/s of masked vs unmasked
+#       8-site TCP federations (clean and with one site dropped mid-run, so
+#       masked rounds pay the unmask-recovery wave), plus a DP noise grid:
+#       final-model RMSE against the clip-only reference and the
+#       accountant's epsilon per sigma (-1 encodes infinite spend).
 #   BENCH_robust.json — bench_poison accuracy + rounds/s for four
 #       aggregation configs (FedAvg, FedAvg+validator+quarantine, median,
 #       trimmed mean) under every poisoning mode with 1-2 adversaries, plus
@@ -40,7 +45,7 @@ step() { echo; echo "==== $* ===="; }
 step "release: build benches"
 cmake --preset release
 cmake --build --preset release -j "${JOBS}" \
-  --target bench_micro_tensor bench_table2_models bench_faults bench_poison bench_trace bench_scale
+  --target bench_micro_tensor bench_table2_models bench_faults bench_privacy bench_poison bench_trace bench_scale
 
 step "tensor microbenchmarks -> BENCH_tensor.json"
 ./build-release/bench/bench_micro_tensor \
@@ -54,6 +59,9 @@ step "model latencies -> BENCH_models.json"
 step "fault-tolerance overhead -> BENCH_faults.json"
 ./build-release/bench/bench_faults --json "${REPO_ROOT}/BENCH_faults.json"
 
+step "privacy runtime -> BENCH_privacy.json"
+./build-release/bench/bench_privacy --json "${REPO_ROOT}/BENCH_privacy.json"
+
 step "adversarial robustness -> BENCH_robust.json"
 ./build-release/bench/bench_poison --json "${REPO_ROOT}/BENCH_robust.json"
 
@@ -64,4 +72,4 @@ step "coordinator scaling -> BENCH_scale.json"
 ./build-release/bench/bench_scale --json "${REPO_ROOT}/BENCH_scale.json"
 
 step "bench complete"
-echo "wrote BENCH_tensor.json, BENCH_models.json, BENCH_faults.json, BENCH_robust.json, BENCH_obs.json and BENCH_scale.json"
+echo "wrote BENCH_tensor.json, BENCH_models.json, BENCH_faults.json, BENCH_privacy.json, BENCH_robust.json, BENCH_obs.json and BENCH_scale.json"

@@ -12,6 +12,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "flare/dxo.h"
 #include "flare/fl_context.h"
@@ -80,6 +81,34 @@ class Aggregator {
   virtual std::string name() const = 0;
 };
 
+/// Side-interface an aggregator implements when its buffered contributions
+/// carry pairwise masks that need dropout recovery (secure aggregation,
+/// DESIGN.md §14). The server discovers it by dynamic_cast — server code
+/// never names the masking machinery itself (lint R12), it only drives this
+/// protocol: compute the dropped set, collect one summed mask share per
+/// surviving contributor, then aggregate.
+class MaskRecoveryCapable {
+ public:
+  virtual ~MaskRecoveryCapable() = default;
+
+  /// Sites whose contribution is currently buffered — the survivors whose
+  /// masks against any dropped site must be recovered before aggregate().
+  virtual std::vector<std::string> accepted_sites() const = 0;
+
+  /// Records `survivor`'s revealed sum-of-masks against the dropped set.
+  /// Returns false (share ignored) when it is incongruent with the model
+  /// skeleton or the survivor has no buffered contribution.
+  virtual bool set_unmask_share(const std::string& survivor, const Dxo& share) = 0;
+
+  /// Discards all recorded shares — called when a survivor is demoted
+  /// mid-recovery and the remaining ones must answer again against the
+  /// enlarged dropped set.
+  virtual void clear_unmask_shares() = 0;
+
+  /// Shares recorded so far this wave.
+  virtual std::int64_t unmask_share_count() const = 0;
+};
+
 /// Federated averaging. With `weighted` the average is weighted by each
 /// contribution's num_samples meta (plain FedAvg); otherwise uniform —
 /// the ablation knob for the imbalanced-split experiment.
@@ -108,6 +137,7 @@ class FedAvgAggregator : public Aggregator {
   std::string name() const override {
     return weighted_ ? "FedAvg(weighted)" : "FedAvg(uniform)";
   }
+  bool weighted() const { return weighted_; }
 
  protected:
   struct Pending {

@@ -177,8 +177,45 @@ void FederatedClient::run() {
   auto last_progress = std::chrono::steady_clock::now();
   for (;;) {
     const auto poll_started = std::chrono::steady_clock::now();
-    const TaskMessage task = decode_task(
-        call([this, wait_ms] { return pack(GetTaskRequest{session_id_, wait_ms}); }));
+    const std::vector<std::uint8_t> reply =
+        call([this, wait_ms] { return pack(GetTaskRequest{session_id_, wait_ms}); });
+    if (peek_type(reply) == MsgType::kUnmaskRequest) {
+      // Mask-recovery phase (DESIGN.md §14): the server lost sites after
+      // masked submissions landed and asks us to reveal the sum of our
+      // pairwise masks against the dropped set. call() already retries
+      // transport failures under backoff, so recovery traffic survives the
+      // same fault injection as ordinary exchanges.
+      const UnmaskRequest req = decode_unmask_request(reply);
+      if (!unmask_provider_) {
+        throw ProtocolError(credential_.name +
+                            ": server asked for mask shares but no unmask "
+                            "provider is installed");
+      }
+      Dxo share;
+      {
+        CF_TRACE_SPAN_SITE("client.unmask", credential_.name, req.round);
+        share = unmask_provider_(req.dropped, req.round);
+      }
+      const SubmitAck ack =
+          decode_submit_ack(call([this, &req, &share] {
+            return pack(UnmaskResponse{session_id_, req.round, req.wave, share});
+          }));
+      if (ack.accepted) {
+        unmask_answers_ += 1;
+      } else {
+        // Stale wave / already-finished recovery: harmless, the server moved
+        // on without us. Log and resume polling.
+        LOG(warn)
+            .msg("unmask share not accepted:")
+            .msg(ack.message)
+            .kv("site", credential_.name)
+            .kv("round", req.round)
+            .kv("wave", req.wave);
+      }
+      last_progress = std::chrono::steady_clock::now();
+      continue;
+    }
+    const TaskMessage task = decode_task(reply);
     if (task.task == TaskKind::kStop) {
       LOG(info).msg("received stop; shutting down").kv("site", credential_.name);
       return;

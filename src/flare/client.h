@@ -17,6 +17,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/backoff.h"
 #include "flare/filters.h"
@@ -74,6 +75,19 @@ class FederatedClient {
   /// Filters applied to every outbound contribution (privacy lives here).
   FilterChain& outbound_filters() { return outbound_filters_; }
 
+  /// Answers the server's mask-recovery question (DESIGN.md §14): given the
+  /// set of dropped sites and the round, return the sum of this site's
+  /// pairwise masks against them so the server can subtract them from the
+  /// masked aggregate. Installed by the secure-aggregation wiring; a client
+  /// without a provider answers UnmaskRequest with a fatal protocol error,
+  /// which is correct for unmasked runs (the server never asks).
+  using UnmaskProvider =
+      std::function<Dxo(const std::vector<std::string>& dropped,
+                        std::int64_t round)>;
+  void set_unmask_provider(UnmaskProvider provider) {
+    unmask_provider_ = std::move(provider);
+  }
+
   /// Blocking: registers and participates until the server stops the run.
   /// Throws ProtocolError on fatal protocol violations and TransportError
   /// once the retry budget for a transport failure is exhausted.
@@ -88,6 +102,8 @@ class FederatedClient {
   std::int64_t transport_failures() const { return transport_failures_; }
   std::int64_t reconnects() const { return reconnects_; }
   std::int64_t reregistrations() const { return reregistrations_; }
+  /// UnmaskRequests answered during mask-recovery phases.
+  std::int64_t unmask_answers() const { return unmask_answers_; }
   const std::string& site_name() const { return credential_.name; }
 
  private:
@@ -112,6 +128,7 @@ class FederatedClient {
   ConnectionFactory factory_;
   std::shared_ptr<Learner> learner_;
   FilterChain outbound_filters_;
+  UnmaskProvider unmask_provider_;
   SequenceSource seq_;
   SequenceTracker server_seq_;
   std::string session_id_;
@@ -120,6 +137,7 @@ class FederatedClient {
   std::int64_t transport_failures_ = 0;
   std::int64_t reconnects_ = 0;
   std::int64_t reregistrations_ = 0;
+  std::int64_t unmask_answers_ = 0;
   bool registering_ = false;
 };
 

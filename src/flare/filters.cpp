@@ -1,6 +1,9 @@
 #include "flare/filters.h"
 
 #include <cmath>
+#include <limits>
+
+#include "core/error.h"
 
 namespace cppflare::flare {
 
@@ -32,6 +35,59 @@ void NormClipFilter::process(Dxo& dxo, const FLContext&) {
   const float scale = static_cast<float>(max_norm_ / norm);
   for (auto& [name, blob] : dxo.data().entries()) {
     for (float& v : blob.values) v *= scale;
+  }
+}
+
+DpGaussianFilter::DpGaussianFilter(double clip_norm, double noise_multiplier,
+                                   std::uint64_t seed)
+    : clip_norm_(clip_norm),
+      noise_multiplier_(noise_multiplier),
+      clip_(clip_norm),
+      noise_(noise_multiplier * clip_norm, seed) {
+  if (clip_norm <= 0.0) throw Error("DpGaussianFilter: clip_norm must be > 0");
+  if (noise_multiplier < 0.0) {
+    throw Error("DpGaussianFilter: noise_multiplier must be >= 0");
+  }
+}
+
+void DpGaussianFilter::process(Dxo& dxo, const FLContext& ctx) {
+  if (dxo.kind() == DxoKind::kMetrics) return;
+  clip_.process(dxo, ctx);
+  if (noise_multiplier_ > 0.0) noise_.process(dxo, ctx);
+}
+
+DpAccountant::DpAccountant(double noise_multiplier, double delta)
+    : delta_(delta) {
+  if (delta <= 0.0 || delta >= 1.0) {
+    throw Error("DpAccountant: delta must be in (0, 1)");
+  }
+  // Classic Gaussian-mechanism calibration (Dwork & Roth Thm A.1),
+  // inverted: sigma = z * C covers sensitivity C at
+  // epsilon = sqrt(2 ln(1.25/delta)) / z. z == 0 means no noise: the
+  // mechanism offers no DP guarantee, reported as infinite spend.
+  epsilon_per_round_ =
+      noise_multiplier > 0.0
+          ? std::sqrt(2.0 * std::log(1.25 / delta)) / noise_multiplier
+          : std::numeric_limits<double>::infinity();
+}
+
+PreScaleFilter::PreScaleFilter(std::int64_t num_sites,
+                               std::int64_t total_samples)
+    : num_sites_(num_sites), total_samples_(total_samples) {
+  if (num_sites <= 0 || total_samples <= 0) {
+    throw Error("PreScaleFilter: num_sites and total_samples must be > 0");
+  }
+}
+
+void PreScaleFilter::process(Dxo& dxo, const FLContext&) {
+  if (dxo.kind() == DxoKind::kMetrics) return;
+  const std::int64_t samples = dxo.meta_int(Dxo::kMetaNumSamples, 1);
+  const float factor =
+      static_cast<float>(static_cast<double>(samples) *
+                         static_cast<double>(num_sites_) /
+                         static_cast<double>(total_samples_));
+  for (auto& [name, blob] : dxo.data().entries()) {
+    for (float& v : blob.values) v *= factor;
   }
 }
 

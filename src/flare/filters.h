@@ -62,6 +62,67 @@ class NormClipFilter : public Filter {
   double max_norm_;
 };
 
+/// Differential-privacy Gaussian mechanism: clip the update's global L2
+/// norm to `clip_norm`, then add i.i.d. N(0, (noise_multiplier*clip_norm)^2)
+/// noise — the calibrated form whose per-release (epsilon, delta) cost
+/// DpAccountant tracks. Composes the two classic filters in the one order
+/// that makes the sensitivity bound (and therefore the accounting) valid:
+/// clip first, then noise.
+class DpGaussianFilter : public Filter {
+ public:
+  DpGaussianFilter(double clip_norm, double noise_multiplier, std::uint64_t seed);
+  void process(Dxo& dxo, const FLContext& ctx) override;
+  std::string name() const override { return "DpGaussian"; }
+  double clip_norm() const { return clip_norm_; }
+  double noise_multiplier() const { return noise_multiplier_; }
+
+ private:
+  double clip_norm_;
+  double noise_multiplier_;
+  NormClipFilter clip_;
+  GaussianPrivacyFilter noise_;
+};
+
+/// Simple (epsilon, delta) accountant for the Gaussian mechanism under
+/// basic composition: each release with noise multiplier z >= the classic
+/// calibration bound costs epsilon_round = sqrt(2 ln(1.25/delta)) / z, and
+/// R rounds spend R * epsilon_round at the same delta. Deliberately
+/// conservative — an RDP/moments accountant is a drop-in refinement.
+class DpAccountant {
+ public:
+  DpAccountant(double noise_multiplier, double delta);
+
+  /// Privacy cost of one release.
+  double epsilon_per_round() const { return epsilon_per_round_; }
+  /// Total spend after `rounds` releases (basic composition).
+  double epsilon_after(std::int64_t rounds) const {
+    return epsilon_per_round_ * static_cast<double>(rounds);
+  }
+  double delta() const { return delta_; }
+
+ private:
+  double epsilon_per_round_;
+  double delta_;
+};
+
+/// Client-side pre-scaling for *weighted* aggregation under secure
+/// masking: masks only cancel through an unweighted sum, so instead of the
+/// server weighting by num_samples, each site scales its own update by
+/// (num_samples * num_sites / total_samples) before masking. The server's
+/// uniform mean of the scaled updates then equals the weighted FedAvg
+/// mean. `total_samples` is the federation-wide sample count, known at
+/// provisioning time in the clinical setting.
+class PreScaleFilter : public Filter {
+ public:
+  PreScaleFilter(std::int64_t num_sites, std::int64_t total_samples);
+  void process(Dxo& dxo, const FLContext& ctx) override;
+  std::string name() const override { return "PreScale"; }
+
+ private:
+  std::int64_t num_sites_;
+  std::int64_t total_samples_;
+};
+
 /// Drops parameters whose dotted name starts with `prefix` (NVFlare's
 /// ExcludeVars): e.g. keep a site-specific head local by excluding "head.".
 class ExcludeVarsFilter : public Filter {

@@ -77,6 +77,7 @@ const char* reject_reason_name(RejectReason reason) {
     case RejectReason::kNotSampled: return "not_sampled";
     case RejectReason::kAggregatorRefused: return "aggregator_refused";
     case RejectReason::kRunOver: return "run_over";
+    case RejectReason::kRecoveryInProgress: return "recovery_in_progress";
   }
   return "unknown";
 }
@@ -96,11 +97,29 @@ std::vector<std::uint8_t> pack(const ErrorMessage& m) {
   return w.take();
 }
 
+std::vector<std::uint8_t> pack(const UnmaskRequest& m) {
+  core::ByteWriter w = begin(MsgType::kUnmaskRequest);
+  w.write_i64(m.round);
+  w.write_i64(m.wave);
+  w.write_u32(static_cast<std::uint32_t>(m.dropped.size()));
+  for (const std::string& site : m.dropped) w.write_string(site);
+  return w.take();
+}
+
+std::vector<std::uint8_t> pack(const UnmaskResponse& m) {
+  core::ByteWriter w = begin(MsgType::kUnmaskResponse);
+  w.write_string(m.session_id);
+  w.write_i64(m.round);
+  w.write_i64(m.wave);
+  m.share.serialize(w);
+  return w.take();
+}
+
 MsgType peek_type(const std::vector<std::uint8_t>& frame) {
   if (frame.empty()) throw ProtocolError("empty frame");
   const std::uint8_t tag = frame[0];
   if (tag < static_cast<std::uint8_t>(MsgType::kRegister) ||
-      tag > static_cast<std::uint8_t>(MsgType::kError)) {
+      tag > static_cast<std::uint8_t>(MsgType::kUnmaskResponse)) {
     throw ProtocolError("unknown message tag " + std::to_string(tag));
   }
   return static_cast<MsgType>(tag);
@@ -161,7 +180,7 @@ SubmitAck decode_submit_ack(const std::vector<std::uint8_t>& frame) {
   m.accepted = r.read_bool();
   m.message = r.read_string();
   const std::uint8_t reason = r.read_u8();
-  if (reason > static_cast<std::uint8_t>(RejectReason::kRunOver)) {
+  if (reason > static_cast<std::uint8_t>(RejectReason::kRecoveryInProgress)) {
     throw ProtocolError("bad reject reason");
   }
   m.reason = static_cast<RejectReason>(reason);
@@ -177,6 +196,27 @@ ErrorMessage decode_error(const std::vector<std::uint8_t>& frame) {
     throw ProtocolError("bad error code");
   }
   m.code = static_cast<ErrorCode>(code);
+  return m;
+}
+
+UnmaskRequest decode_unmask_request(const std::vector<std::uint8_t>& frame) {
+  core::ByteReader r = expect(frame, MsgType::kUnmaskRequest);
+  UnmaskRequest m;
+  m.round = r.read_i64();
+  m.wave = r.read_i64();
+  const std::uint32_t count = r.read_u32();
+  m.dropped.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) m.dropped.push_back(r.read_string());
+  return m;
+}
+
+UnmaskResponse decode_unmask_response(const std::vector<std::uint8_t>& frame) {
+  core::ByteReader r = expect(frame, MsgType::kUnmaskResponse);
+  UnmaskResponse m;
+  m.session_id = r.read_string();
+  m.round = r.read_i64();
+  m.wave = r.read_i64();
+  m.share = Dxo::deserialize(r);
   return m;
 }
 

@@ -23,6 +23,8 @@ enum class MsgType : std::uint8_t {
   kSubmitUpdate = 5,
   kSubmitAck = 6,
   kError = 7,
+  kUnmaskRequest = 8,
+  kUnmaskResponse = 9,
 };
 
 /// What the server asks a polling client to do.
@@ -87,6 +89,7 @@ enum class RejectReason : std::uint8_t {
   kNotSampled = 8,         // site not in this round's participant sample
   kAggregatorRefused = 9,  // passed validation, aggregator still said no
   kRunOver = 10,           // run finished or aborted
+  kRecoveryInProgress = 11,  // masked round is frozen in mask recovery
 };
 
 const char* reject_reason_name(RejectReason reason);
@@ -116,6 +119,28 @@ struct ErrorMessage {
   ErrorCode code = ErrorCode::kFatal;
 };
 
+/// Mask-recovery request, delivered on the long-poll channel in place of a
+/// TaskMessage when a masked round closed with sites missing. The survivor
+/// must answer with the *sum* of its pairwise mask streams against the
+/// dropped set for `round` — never an individual pairwise mask, so the
+/// server learns nothing about any single link (see DESIGN.md §14).
+struct UnmaskRequest {
+  std::int64_t round = 0;
+  /// Recovery wave: increments when a survivor is demoted mid-recovery and
+  /// the remaining survivors must answer again against the enlarged set.
+  std::int64_t wave = 0;
+  std::vector<std::string> dropped;
+};
+
+/// Survivor's answer: `share` holds the summed mask stream (same skeleton as
+/// the round's update payload) the server subtracts from the aggregate.
+struct UnmaskResponse {
+  std::string session_id;
+  std::int64_t round = 0;
+  std::int64_t wave = 0;
+  Dxo share;
+};
+
 /// SubmitAck message for a contribution the server already holds. A client
 /// that retried a submit whose response was lost treats this as success
 /// (at-least-once delivery with server-side dedup).
@@ -132,6 +157,8 @@ std::vector<std::uint8_t> pack(const TaskMessage& m);
 std::vector<std::uint8_t> pack(const SubmitUpdateRequest& m);
 std::vector<std::uint8_t> pack(const SubmitAck& m);
 std::vector<std::uint8_t> pack(const ErrorMessage& m);
+std::vector<std::uint8_t> pack(const UnmaskRequest& m);
+std::vector<std::uint8_t> pack(const UnmaskResponse& m);
 
 MsgType peek_type(const std::vector<std::uint8_t>& frame);
 
@@ -142,5 +169,7 @@ TaskMessage decode_task(const std::vector<std::uint8_t>& frame);
 SubmitUpdateRequest decode_submit(const std::vector<std::uint8_t>& frame);
 SubmitAck decode_submit_ack(const std::vector<std::uint8_t>& frame);
 ErrorMessage decode_error(const std::vector<std::uint8_t>& frame);
+UnmaskRequest decode_unmask_request(const std::vector<std::uint8_t>& frame);
+UnmaskResponse decode_unmask_response(const std::vector<std::uint8_t>& frame);
 
 }  // namespace cppflare::flare

@@ -44,6 +44,18 @@ inline constexpr const char* kServerValidLoss = "server.round.valid_loss";
 // Prefixes for dynamic names.
 inline constexpr const char* kRejectionPrefix = "server.rejections.";  // + reason
 inline constexpr const char* kSitePrefix = "site.";  // + <name>.<metric>
+// Secure-aggregation mask recovery (per-run registry; DESIGN.md §14).
+inline constexpr const char* kServerRecoveryRounds =
+    "server.secure_agg.recovery_rounds";
+inline constexpr const char* kServerUnmaskShares =
+    "server.secure_agg.unmask_shares";
+inline constexpr const char* kServerRecoveryDemotions =
+    "server.secure_agg.demotions";
+inline constexpr const char* kServerRecoveryDropped =
+    "server.secure_agg.dropped_sites";
+// Differential-privacy accountant (per-run registry): cumulative epsilon
+// spent across published rounds at the configured delta.
+inline constexpr const char* kDpEpsilonSpent = "privacy.dp.epsilon_spent";
 // Transport byte/frame accounting (process-wide registry).
 inline constexpr const char* kTcpBytesSent = "tcp.bytes_sent";
 inline constexpr const char* kTcpBytesRecv = "tcp.bytes_recv";

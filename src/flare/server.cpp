@@ -23,7 +23,39 @@ constexpr const char* kSag = "ScatterAndGather";
 struct UnknownSessionError : public ProtocolError {
   using ProtocolError::ProtocolError;
 };
+
+/// Masked uploads are pseudorandom bit patterns: NaN/Inf scans and norm
+/// statistics would reject every honest contribution, so secure aggregation
+/// forces those validator passes off (the documented trade-off — masking
+/// defeats per-site inspection; DESIGN.md §14). Schema, freshness and
+/// sample-count checks still run: shapes and meta stay plaintext.
+ValidatorConfig effective_validator_config(const ServerConfig& config) {
+  ValidatorConfig v = config.validator;
+  if (!config.secure_agg.enabled) return v;
+  if (v.enabled && (v.check_finite || v.norm_zscore_threshold > 0.0)) {
+    LOG_AS(kSag, warn)
+        .msg("Secure aggregation enabled: disabling finite-value and "
+             "norm-outlier validation (masked updates are opaque to "
+             "per-site inspection)")
+        .kv("job", config.job_id);
+    v.check_finite = false;
+    v.norm_zscore_threshold = 0.0;
+  }
+  return v;
+}
 }  // namespace
+
+const char* abort_code_name(AbortCode code) {
+  switch (code) {
+    case AbortCode::kNone: return "none";
+    case AbortCode::kExternal: return "external";
+    case AbortCode::kAllRejected: return "all_rejected";
+    case AbortCode::kDeadlineBelowQuorum: return "deadline_below_quorum";
+    case AbortCode::kRecoveryBelowQuorum: return "recovery_below_quorum";
+    case AbortCode::kRecoveryExhausted: return "recovery_exhausted";
+  }
+  return "unknown";
+}
 
 FederatedServer::FederatedServer(ServerConfig config,
                                  std::map<std::string, Credential> registry,
@@ -36,10 +68,24 @@ FederatedServer::FederatedServer(ServerConfig config,
       persistor_(std::move(persistor)),
       global_(std::move(initial_model)),
       aggregator_(std::move(aggregator)),
-      validator_(config_.validator),
+      validator_(effective_validator_config(config_)),
       reputation_(config_.reputation) {
   if (!aggregator_) throw Error("FederatedServer: aggregator required");
   if (config_.num_rounds <= 0) throw Error("FederatedServer: num_rounds must be > 0");
+  mask_recovery_ = dynamic_cast<MaskRecoveryCapable*>(aggregator_.get());
+  if (config_.secure_agg.enabled) {
+    if (mask_recovery_ == nullptr) {
+      throw ConfigError(
+          "FederatedServer: secure_agg.enabled requires a mask-recovery-"
+          "capable aggregator (got " + aggregator_->name() + ")");
+    }
+    if (config_.clients_per_round > 0) {
+      throw ConfigError(
+          "FederatedServer: secure aggregation cannot be combined with "
+          "clients_per_round sampling — a sampled-out site's pairwise masks "
+          "never cancel");
+    }
+  }
   if (resume.has_value()) {
     if (resume->job_id != config_.job_id) {
       throw ConfigError("FederatedServer: checkpoint is for job '" +
@@ -74,7 +120,7 @@ FederatedServer::~FederatedServer() {
     // ended, kNone otherwise) so no transport continuation outlives us.
     for (auto& [sender, park] : parked_) {
       ready_replies_.push_back(ReadyReply{sender, std::move(park.key),
-                                          pack(build_task_locked(sender)),
+                                          build_poll_reply_locked(sender).body,
                                           std::move(park.respond)});
     }
     parked_.clear();
@@ -210,17 +256,17 @@ void FederatedServer::park_or_reply_get_task(const std::string& sender,
   }
   maybe_close_round_locked();
   service_parked_locked();
-  TaskMessage task = build_task_locked(sender);
-  if (task.task == TaskKind::kNone && !finished_ && !aborted_) {
-    // Park until the answer changes (round opens/advances/stops) or the
-    // clamped wait expires. One park per site: a newer poll means the old
-    // connection is gone, so complete its park with kNone (a dead
-    // connection drops the bytes harmlessly).
+  PollReply reply = build_poll_reply_locked(sender);
+  if (reply.parkable) {
+    // Park until the answer changes (round opens/advances/stops, or mask
+    // recovery wants a share) or the clamped wait expires. One park per
+    // site: a newer poll means the old connection is gone, so complete its
+    // park with kNone (a dead connection drops the bytes harmlessly).
     auto existing = parked_.find(sender);
     if (existing != parked_.end()) {
       ready_replies_.push_back(ReadyReply{sender,
                                           std::move(existing->second.key),
-                                          pack(task),
+                                          reply.body,
                                           std::move(existing->second.respond)});
       parked_.erase(existing);
     }
@@ -237,7 +283,7 @@ void FederatedServer::park_or_reply_get_task(const std::string& sender,
     return;
   }
   ready_replies_.push_back(
-      ReadyReply{sender, key, pack(task), std::move(respond)});
+      ReadyReply{sender, key, std::move(reply.body), std::move(respond)});
 }
 
 std::vector<std::uint8_t> FederatedServer::handle_frame(
@@ -249,6 +295,8 @@ std::vector<std::uint8_t> FederatedServer::handle_frame(
       return on_get_task(sender, decode_get_task(frame));
     case MsgType::kSubmitUpdate:
       return on_submit(sender, decode_submit(frame));
+    case MsgType::kUnmaskResponse:
+      return on_unmask(sender, decode_unmask_response(frame));
     default:
       throw ProtocolError("unexpected message type from '" + sender + "'");
   }
@@ -309,6 +357,26 @@ std::vector<std::uint8_t> FederatedServer::on_register(const std::string& sender
           config_.job_id + ". Token:" + cred.token});
 }
 
+FederatedServer::PollReply FederatedServer::build_poll_reply_locked(
+    const std::string& sender) {
+  if (phase_ == RoundPhase::kRecovering && !finished_ && !aborted_) {
+    if (unmask_pending_.count(sender) != 0) {
+      return PollReply{
+          pack(UnmaskRequest{round_, recovery_wave_, recovery_dropped_}),
+          /*parkable=*/false};
+    }
+    // The round is frozen: nobody else gets work until recovery resolves.
+    TaskMessage none;
+    none.round = round_;
+    none.total_rounds = config_.num_rounds;
+    return PollReply{pack(none), /*parkable=*/true};
+  }
+  TaskMessage task = build_task_locked(sender);
+  const bool parkable =
+      task.task == TaskKind::kNone && !finished_ && !aborted_;
+  return PollReply{pack(task), parkable};
+}
+
 TaskMessage FederatedServer::build_task_locked(const std::string& sender) {
   TaskMessage task;
   task.total_rounds = config_.num_rounds;
@@ -330,8 +398,8 @@ void FederatedServer::service_parked_locked() {
   if (parked_.empty()) return;
   const auto now = std::chrono::steady_clock::now();
   for (auto it = parked_.begin(); it != parked_.end();) {
-    TaskMessage task = build_task_locked(it->first);
-    if (task.task == TaskKind::kNone && now < it->second.deadline) {
+    PollReply reply = build_poll_reply_locked(it->first);
+    if (reply.parkable && now < it->second.deadline) {
       ++it;
       continue;
     }
@@ -339,7 +407,7 @@ void FederatedServer::service_parked_locked() {
     // client was waiting on us, not silent — refresh its liveness clock.
     last_seen_[it->first] = now;
     ready_replies_.push_back(ReadyReply{it->first, std::move(it->second.key),
-                                        pack(task),
+                                        std::move(reply.body),
                                         std::move(it->second.respond)});
     it = parked_.erase(it);
   }
@@ -372,7 +440,8 @@ void FederatedServer::ticker_loop() {
     // machinery is armed, and never past the nearest park deadline.
     std::int64_t wait_ms = 500;
     if (started_ && !finished_ && !aborted_ &&
-        (config_.round_deadline_ms > 0 || config_.liveness_timeout_ms > 0)) {
+        (config_.round_deadline_ms > 0 || config_.liveness_timeout_ms > 0 ||
+         phase_ == RoundPhase::kRecovering)) {
       wait_ms = 20;
     }
     if (!parked_.empty()) {
@@ -407,7 +476,7 @@ std::vector<std::uint8_t> FederatedServer::on_get_task(const std::string& sender
   }
   maybe_close_round_locked();
   service_parked_locked();
-  return pack(build_task_locked(sender));
+  return build_poll_reply_locked(sender).body;
 }
 
 void FederatedServer::record_rejection_locked(RejectReason reason) {
@@ -489,6 +558,14 @@ std::vector<std::uint8_t> FederatedServer::on_submit(const std::string& sender,
     // the same verdict (at-least-once delivery, idempotent acks).
     return pack(rejected_acks_.at(sender));
   }
+  if (phase_ == RoundPhase::kRecovering) {
+    // The round is frozen mid-recovery: this site is in the dropped set,
+    // and admitting it now would invalidate the shares already requested
+    // from the survivors. It trains again when the next round opens.
+    record_rejection_locked(RejectReason::kRecoveryInProgress);
+    return pack(SubmitAck{false, "round frozen in mask recovery",
+                          RejectReason::kRecoveryInProgress});
+  }
   if (!participates_locked(sender)) {
     return pack(SubmitAck{false, "not sampled for this round",
                           RejectReason::kNotSampled});
@@ -543,6 +620,59 @@ std::vector<std::uint8_t> FederatedServer::on_submit(const std::string& sender,
   // parked long-poll whose answer changed.
   service_parked_locked();
   return pack(SubmitAck{true, "accepted"});
+}
+
+std::vector<std::uint8_t> FederatedServer::on_unmask(const std::string& sender,
+                                                     const UnmaskResponse& req) {
+  core::MutexLock lock(mu_);
+  CF_TRACE_SPAN_SITE("server.unmask", sender, round_);
+  auto it = sessions_.find(sender);
+  if (it == sessions_.end() || it->second != req.session_id) {
+    throw UnknownSessionError("unmask: no active session for '" + sender + "'");
+  }
+  if (finished_) {
+    return pack(SubmitAck{false, "run already finished", RejectReason::kRunOver});
+  }
+  if (aborted_) return pack(SubmitAck{false, "run aborted", RejectReason::kRunOver});
+  if (req.round < round_) {
+    // That round already published: the share (or a retransmission of it)
+    // served its purpose. At-least-once delivery maps this to success.
+    return pack(SubmitAck{true, "recovery already complete"});
+  }
+  if (phase_ != RoundPhase::kRecovering || req.round != round_) {
+    return pack(SubmitAck{false,
+                          "no mask recovery in progress for round " +
+                              std::to_string(req.round),
+                          RejectReason::kStaleRound});
+  }
+  if (req.wave != recovery_wave_) {
+    // An answer against a previous wave's (smaller) dropped set is void.
+    return pack(
+        SubmitAck{false, "stale recovery wave", RejectReason::kStaleRound});
+  }
+  if (unmask_pending_.count(sender) == 0) {
+    // Duplicate delivery of a share already recorded this wave; the client
+    // maps the duplicate-contribution message back to success.
+    return pack(
+        SubmitAck{false, kDuplicateContribution, RejectReason::kDuplicate});
+  }
+  if (!mask_recovery_->set_unmask_share(sender, req.share)) {
+    return pack(SubmitAck{false, "mask share rejected (incongruent skeleton)",
+                          RejectReason::kSchemaMismatch});
+  }
+  unmask_pending_.erase(sender);
+  metrics_.counter(metric_names::kServerUnmaskShares).add(1);
+  LOG_AS(kSag, info)
+      .msg("Unmask share recorded")
+      .kv("site", sender)
+      .kv("round", round_)
+      .kv("wave", recovery_wave_)
+      .kv("outstanding", static_cast<std::int64_t>(unmask_pending_.size()));
+  // The last share finishes recovery and publishes the round: wake every
+  // parked long-poll whose answer changed.
+  advance_recovery_locked();
+  service_parked_locked();
+  return pack(SubmitAck{true, "mask share recorded"});
 }
 
 FLContext FederatedServer::make_context_locked() const {
@@ -623,8 +753,9 @@ void FederatedServer::finish_round_locked(bool deadline_fired) {
   settle_round_verdicts_locked();
   if (aggregator_->accepted_count() == 0) {
     abort_run_locked("round " + std::to_string(round_) +
-                     ": every contribution was rejected by the update "
-                     "validator");
+                         ": every contribution was rejected by the update "
+                         "validator",
+                     AbortCode::kAllRejected);
     return;
   }
   LOG_AS(kSag, info).msg("End aggregation.");
@@ -695,12 +826,18 @@ void FederatedServer::finish_round_locked(bool deadline_fired) {
 
 void FederatedServer::maybe_close_round_locked() {
   if (finished_ || aborted_ || !started_) return;
+  if (phase_ == RoundPhase::kRecovering) {
+    // The round already closed for contributions; only recovery progress
+    // (shares arriving, the wave deadline) can move it now.
+    advance_recovery_locked();
+    return;
+  }
   evict_stragglers_locked();
   // A round closes when enough participants have *resolved* (accepted or
   // rejected), not just accepted: a rejected site will never submit again
   // this round, so waiting on it would stall until the deadline.
   if (resolved_participant_count_locked() >= round_quorum_locked()) {
-    finish_round_locked(/*deadline_fired=*/false);
+    close_round_locked(/*deadline_fired=*/false);
     return;
   }
   const std::int64_t accepted = aggregator_->accepted_count();
@@ -716,13 +853,149 @@ void FederatedServer::maybe_close_round_locked() {
         .kv("round", round_)
         .kv("accepted", accepted)
         .kv("quorum", round_quorum_locked());
-    finish_round_locked(/*deadline_fired=*/true);
+    close_round_locked(/*deadline_fired=*/true);
   } else {
     abort_run_locked("round " + std::to_string(round_) +
-                     " deadline exceeded with " + std::to_string(accepted) +
-                     " contribution(s), below min_clients=" +
-                     std::to_string(required));
+                         " deadline exceeded with " + std::to_string(accepted) +
+                         " contribution(s), below min_clients=" +
+                         std::to_string(required),
+                     AbortCode::kDeadlineBelowQuorum);
   }
+}
+
+void FederatedServer::close_round_locked(bool deadline_fired) {
+  if (config_.secure_agg.enabled && mask_recovery_ != nullptr &&
+      aggregator_->accepted_count() > 0) {
+    // Masked round: every registered site whose contribution is *not* in
+    // the aggregate (crashed, evicted, rejected, or simply late) leaves
+    // uncancelled masks behind. Detour into recovery when any exist.
+    std::set<std::string> accepted;
+    for (const std::string& site : mask_recovery_->accepted_sites()) {
+      accepted.insert(site);
+    }
+    std::vector<std::string> dropped;
+    for (const auto& [site, session] : sessions_) {
+      if (accepted.count(site) == 0) dropped.push_back(site);
+    }
+    if (!dropped.empty()) {
+      begin_recovery_locked(std::move(dropped), deadline_fired);
+      return;
+    }
+  }
+  finish_round_locked(deadline_fired);
+}
+
+void FederatedServer::begin_recovery_locked(std::vector<std::string> dropped,
+                                            bool deadline_fired) {
+  phase_ = RoundPhase::kRecovering;
+  recovery_wave_ = 0;
+  recovery_deadline_fired_ = deadline_fired;
+  recovery_dropped_ = std::move(dropped);
+  std::sort(recovery_dropped_.begin(), recovery_dropped_.end());
+  unmask_pending_.clear();
+  for (const std::string& site : mask_recovery_->accepted_sites()) {
+    unmask_pending_.insert(site);
+  }
+  recovery_deadline_ =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(config_.secure_agg.recovery_deadline_ms);
+  recovery_start_ns_ = core::Tracer::instance().now_ns();
+  metrics_.counter(metric_names::kServerRecoveryRounds).add(1);
+  metrics_.gauge(metric_names::kServerRecoveryDropped)
+      .set(static_cast<double>(recovery_dropped_.size()));
+  std::string names;
+  for (const std::string& s : recovery_dropped_) {
+    names += (names.empty() ? "" : ", ") + s;
+  }
+  LOG_AS(kSag, warn)
+      .msg("Masked round closed with sites missing; entering mask recovery")
+      .kv("round", round_)
+      .kv("dropped", names)
+      .kv("survivors", static_cast<std::int64_t>(unmask_pending_.size()));
+  // Survivors parked in long-polls must receive their UnmaskRequest now;
+  // the ticker must watch the new deadline.
+  service_parked_locked();
+  ticker_cv_.notify_all();
+}
+
+void FederatedServer::advance_recovery_locked() {
+  if (phase_ != RoundPhase::kRecovering) return;
+  if (unmask_pending_.empty()) {
+    finish_recovery_locked();
+    return;
+  }
+  if (std::chrono::steady_clock::now() < recovery_deadline_) return;
+  // Wave deadline: every survivor still owing its share is demoted — the
+  // buffered masked contribution is revoked byte-exactly (so its own masks
+  // leave the sum with it) and its name joins the dropped set. The
+  // remaining survivors must answer again against the enlarged set, so all
+  // recorded shares are void.
+  const std::set<std::string> laggards = unmask_pending_;
+  for (const std::string& site : laggards) {
+    (void)aggregator_->revoke(site);
+    submitted_.erase(site);
+    recovery_dropped_.push_back(site);
+    LOG_AS(kSag, warn)
+        .msg("Survivor failed to reveal its mask share in time; demoted")
+        .kv("site", site)
+        .kv("round", round_)
+        .kv("wave", recovery_wave_);
+  }
+  metrics_.counter(metric_names::kServerRecoveryDemotions)
+      .add(static_cast<std::int64_t>(laggards.size()));
+  std::sort(recovery_dropped_.begin(), recovery_dropped_.end());
+  mask_recovery_->clear_unmask_shares();
+  unmask_pending_.clear();
+  for (const std::string& site : mask_recovery_->accepted_sites()) {
+    unmask_pending_.insert(site);
+  }
+  metrics_.gauge(metric_names::kServerRecoveryDropped)
+      .set(static_cast<double>(recovery_dropped_.size()));
+  const std::int64_t required = min_required_locked();
+  if (static_cast<std::int64_t>(unmask_pending_.size()) < required) {
+    abort_run_locked(
+        "round " + std::to_string(round_) +
+            ": mask recovery demoted the surviving set to " +
+            std::to_string(unmask_pending_.size()) +
+            " site(s), below min_clients=" + std::to_string(required),
+        AbortCode::kRecoveryBelowQuorum);
+    return;
+  }
+  recovery_wave_ += 1;
+  if (recovery_wave_ >= config_.secure_agg.max_recovery_waves) {
+    abort_run_locked("round " + std::to_string(round_) +
+                         ": mask recovery did not converge within " +
+                         std::to_string(config_.secure_agg.max_recovery_waves) +
+                         " wave(s)",
+                     AbortCode::kRecoveryExhausted);
+    return;
+  }
+  recovery_deadline_ =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(config_.secure_agg.recovery_deadline_ms);
+  // Re-ask: parked survivors receive the wave's UnmaskRequest immediately.
+  service_parked_locked();
+  ticker_cv_.notify_all();
+}
+
+void FederatedServer::finish_recovery_locked() {
+  core::Tracer& tracer = core::Tracer::instance();
+  if (tracer.enabled()) {
+    tracer.record_complete("server.mask_recovery", {}, round_,
+                           recovery_start_ns_, tracer.now_ns());
+  }
+  LOG_AS(kSag, info)
+      .msg("Mask recovery complete; publishing the round")
+      .kv("round", round_)
+      .kv("dropped", static_cast<std::int64_t>(recovery_dropped_.size()))
+      .kv("waves", recovery_wave_ + 1);
+  phase_ = RoundPhase::kCollecting;
+  recovery_dropped_.clear();
+  unmask_pending_.clear();
+  recovery_wave_ = 0;
+  const bool deadline_fired = recovery_deadline_fired_;
+  recovery_deadline_fired_ = false;
+  finish_round_locked(deadline_fired);
 }
 
 void FederatedServer::evict_stragglers_locked() {
@@ -736,6 +1009,10 @@ void FederatedServer::evict_stragglers_locked() {
     // A parked long-poll is the opposite of silence: the site is connected
     // and waiting on *us*. Never evict it for not sending frames.
     if (parked_.count(site) != 0) continue;
+    // Survivors answering an unmask request are doing recovery work for
+    // this round — exempt (they are in submitted_, but be explicit: the
+    // recovery deadline, not the liveness clock, judges them).
+    if (unmask_pending_.count(site) != 0) continue;
     const auto seen = last_seen_.find(site);
     if (seen == last_seen_.end()) continue;
     // Silence is measured within the round: a site that resolved round N
@@ -757,11 +1034,14 @@ void FederatedServer::evict_stragglers_locked() {
   }
 }
 
-void FederatedServer::abort_run_locked(const std::string& reason) {
+void FederatedServer::abort_run_locked(const std::string& reason,
+                                       AbortCode code) {
   if (finished_ || aborted_) return;
   aborted_ = true;
   abort_reason_ = reason;
-  LOG_AS(kSag, error).msg("Run aborted:").msg(reason);
+  abort_code_ = code;
+  LOG_AS(kSag, error).msg("Run aborted:").msg(reason).kv(
+      "code", abort_code_name(code));
   events_.fire(EventType::kEndRun, make_context_locked());
   finished_cv_.notify_all();
 }
@@ -870,6 +1150,11 @@ bool FederatedServer::aborted() const {
 std::string FederatedServer::abort_reason() const {
   core::MutexLock lock(mu_);
   return abort_reason_;
+}
+
+AbortCode FederatedServer::abort_code() const {
+  core::MutexLock lock(mu_);
+  return abort_code_;
 }
 
 bool FederatedServer::wait_until_finished(std::int64_t timeout_ms) const {

@@ -38,6 +38,38 @@
 
 namespace cppflare::flare {
 
+/// Secure-aggregation recovery knobs (DESIGN.md §14). Enabling requires a
+/// MaskRecoveryCapable aggregator; masked rounds that close with sites
+/// missing then freeze in a bounded recovery phase instead of publishing a
+/// corrupted aggregate.
+struct ServerSecureAggConfig {
+  bool enabled = false;
+  /// Budget for each recovery wave: survivors that have not revealed their
+  /// mask share when it expires are demoted (their contribution revoked,
+  /// their name added to the dropped set) and the next wave begins.
+  std::int64_t recovery_deadline_ms = 5000;
+  /// Demotion cascade bound: abort when this many waves did not converge.
+  std::int64_t max_recovery_waves = 4;
+};
+
+/// Why a run aborted, typed — the string abort_reason() stays the human
+/// narrative, this is the machine-checkable classification.
+enum class AbortCode : std::uint8_t {
+  kNone = 0,
+  /// abort() called from outside (operator / harness teardown).
+  kExternal = 1,
+  /// Every contribution this round was rejected by the update validator.
+  kAllRejected = 2,
+  /// Round deadline passed with fewer than min_clients contributions.
+  kDeadlineBelowQuorum = 3,
+  /// Mask recovery demoted the surviving set below min_clients.
+  kRecoveryBelowQuorum = 4,
+  /// Mask recovery spent its wave budget without converging.
+  kRecoveryExhausted = 5,
+};
+
+const char* abort_code_name(AbortCode code);
+
 struct ServerConfig {
   std::string job_id = "simulator_server";
   std::int64_t num_rounds = 10;
@@ -69,6 +101,10 @@ struct ServerConfig {
   ValidatorConfig validator;
   /// Cross-round quarantine/parole policy (quarantine off by default).
   ReputationConfig reputation;
+  /// Secure-aggregation mask recovery (off by default). Incompatible with
+  /// clients_per_round sampling: a sampled-out site's pairwise masks never
+  /// cancel, so construction throws ConfigError on that pairing.
+  ServerSecureAggConfig secure_agg;
 };
 
 class FederatedServer {
@@ -134,6 +170,7 @@ class FederatedServer {
   bool finished() const;
   bool aborted() const;
   std::string abort_reason() const;
+  AbortCode abort_code() const;
   /// Blocks until the run completes or aborts. Returns false on timeout or
   /// abort (see abort_reason()); true only for a successful finish.
   bool wait_until_finished(std::int64_t timeout_ms) const;
@@ -182,9 +219,20 @@ class FederatedServer {
                                         const GetTaskRequest& req);
   std::vector<std::uint8_t> on_submit(const std::string& sender,
                                       const SubmitUpdateRequest& req);
+  std::vector<std::uint8_t> on_unmask(const std::string& sender,
+                                      const UnmaskResponse& req);
 
   FLContext make_context_locked() const CF_REQUIRES(mu_);
   TaskMessage build_task_locked(const std::string& sender) CF_REQUIRES(mu_);
+  /// What a poll from `sender` should receive *now*: during mask recovery a
+  /// survivor that owes its share gets an UnmaskRequest, everyone else a
+  /// TaskMessage. `parkable` marks the do-nothing kNone answer a long-poll
+  /// may hold instead of delivering.
+  struct PollReply {
+    std::vector<std::uint8_t> body;
+    bool parkable = false;
+  };
+  PollReply build_poll_reply_locked(const std::string& sender) CF_REQUIRES(mu_);
   /// Completes every parked poll whose task is no longer kNone (or whose
   /// deadline passed) by staging it on ready_replies_. Called after any
   /// state change that can change build_task_locked's answer.
@@ -197,8 +245,19 @@ class FederatedServer {
   void start_round_locked() CF_REQUIRES(mu_);
   void finish_round_locked(bool deadline_fired) CF_REQUIRES(mu_);
   void maybe_close_round_locked() CF_REQUIRES(mu_);
+  /// Round-close gate: a masked round with missing sites detours into the
+  /// recovery phase; everything else finishes directly.
+  void close_round_locked(bool deadline_fired) CF_REQUIRES(mu_);
+  void begin_recovery_locked(std::vector<std::string> dropped,
+                             bool deadline_fired) CF_REQUIRES(mu_);
+  /// Drives the recovery phase: finishes the round when every share is in,
+  /// or runs the demotion cascade when the wave deadline expired.
+  void advance_recovery_locked() CF_REQUIRES(mu_);
+  void finish_recovery_locked() CF_REQUIRES(mu_);
   void evict_stragglers_locked() CF_REQUIRES(mu_);
-  void abort_run_locked(const std::string& reason) CF_REQUIRES(mu_);
+  void abort_run_locked(const std::string& reason,
+                        AbortCode code = AbortCode::kExternal)
+      CF_REQUIRES(mu_);
   void record_liveness(const std::string& sender);
   void sample_round_participants_locked() CF_REQUIRES(mu_);
   void settle_round_verdicts_locked() CF_REQUIRES(mu_);
@@ -268,6 +327,26 @@ class FederatedServer {
   bool finished_ CF_GUARDED_BY(mu_) = false;
   bool aborted_ CF_GUARDED_BY(mu_) = false;
   std::string abort_reason_ CF_GUARDED_BY(mu_);
+  AbortCode abort_code_ CF_GUARDED_BY(mu_) = AbortCode::kNone;
+
+  /// Mask-recovery round state (DESIGN.md §14). The round number does not
+  /// advance during kRecovering — the round is frozen: submits bounce with
+  /// kRecoveryInProgress, polls from anyone but a share-owing survivor
+  /// park, and quorum logic is bypassed until recovery resolves.
+  enum class RoundPhase : std::uint8_t { kCollecting, kRecovering };
+  RoundPhase phase_ CF_GUARDED_BY(mu_) = RoundPhase::kCollecting;
+  /// The aggregator's recovery side-interface (dynamic_cast once at
+  /// construction; null for unmasked aggregators). Pointee state is the
+  /// aggregator's, so the same mu_ capability applies.
+  MaskRecoveryCapable* mask_recovery_ = nullptr;
+  std::vector<std::string> recovery_dropped_ CF_GUARDED_BY(mu_);
+  /// Survivors that still owe their mask share this wave. Exempt from
+  /// straggler eviction: they are doing protocol work for us.
+  std::set<std::string> unmask_pending_ CF_GUARDED_BY(mu_);
+  std::int64_t recovery_wave_ CF_GUARDED_BY(mu_) = 0;
+  std::chrono::steady_clock::time_point recovery_deadline_ CF_GUARDED_BY(mu_){};
+  std::int64_t recovery_start_ns_ CF_GUARDED_BY(mu_) = 0;
+  bool recovery_deadline_fired_ CF_GUARDED_BY(mu_) = false;
   std::vector<RoundMetrics> history_ CF_GUARDED_BY(mu_);
   SequenceTracker inbound_seq_;  // internally synchronized
   std::map<std::string, std::uint64_t> outbound_seq_ CF_GUARDED_BY(mu_);

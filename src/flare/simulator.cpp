@@ -11,6 +11,7 @@
 #include "core/thread_pool.h"
 #include "core/trace.h"
 #include "flare/observability.h"
+#include "flare/secure_agg.h"
 #include "flare/tcp.h"
 
 #define CPPFLARE_LOG_COMPONENT "SimulatorRunner"
@@ -18,6 +19,31 @@
 namespace cppflare::flare {
 
 namespace {
+
+/// Appends the privacy filters a site's outbound chain gets from the
+/// simulator config — DP (clip + noise) first, then the pre-scaling that
+/// stands in for server-side sample weighting under masking — and returns
+/// the site's mask filter (null when secure_agg is off). The caller adds
+/// the masker as the *last* filter, so whatever else touches the update
+/// (poisoning included) happens before it is hidden under masks.
+std::shared_ptr<SecureAggMaskFilter> add_privacy_filters(
+    const SimulatorConfig& config, std::int64_t index, const std::string& name,
+    const std::vector<std::string>& all_sites, FilterChain& chain) {
+  if (config.dp.enabled) {
+    chain.add(std::make_shared<DpGaussianFilter>(
+        config.dp.clip_norm, config.dp.noise_multiplier,
+        config.dp.seed ^ (0x9e3779b97f4a7c15ull *
+                          static_cast<std::uint64_t>(index + 1))));
+  }
+  if (!config.secure_agg.enabled) return nullptr;
+  if (config.secure_agg.pre_scale) {
+    chain.add(std::make_shared<PreScaleFilter>(
+        config.num_clients, config.secure_agg.total_samples));
+  }
+  return make_secure_agg_mask_filter(config.job_id, config.secure_agg.dealer_seed,
+                                     name, all_sites,
+                                     config.secure_agg.frac_bits);
+}
 
 /// Completion state shared by all multiplexed sites. `stopping` is the
 /// teardown handshake: once the runner sets it (under mu), site callbacks
@@ -49,14 +75,17 @@ class SimSite : public std::enable_shared_from_this<SimSite> {
   SimSite(Credential credential, std::shared_ptr<Learner> learner,
           AsyncDispatcher dispatch, core::ThreadPool* pool,
           std::shared_ptr<MultiplexRun> run, std::string job_id,
-          std::int64_t long_poll_ms)
+          std::int64_t long_poll_ms, FilterChain filters,
+          std::shared_ptr<SecureAggMaskFilter> masker)
       : credential_(std::move(credential)),
         learner_(std::move(learner)),
         dispatch_(std::move(dispatch)),
         pool_(pool),
         run_(std::move(run)),
         job_id_(std::move(job_id)),
-        long_poll_ms_(long_poll_ms) {}
+        long_poll_ms_(long_poll_ms),
+        filters_(std::move(filters)),
+        masker_(std::move(masker)) {}
 
   void start() {
     auto self = shared_from_this();
@@ -64,7 +93,7 @@ class SimSite : public std::enable_shared_from_this<SimSite> {
   }
 
  private:
-  enum class Step { kRegister, kPoll, kSubmit };
+  enum class Step { kRegister, kPoll, kSubmit, kUnmask };
 
   /// Seals and dispatches the frame for the current step. The respond
   /// callback only enqueues; all real work happens on a pool worker.
@@ -80,6 +109,10 @@ class SimSite : public std::enable_shared_from_this<SimSite> {
       case Step::kSubmit:
         frame = pack(
             SubmitUpdateRequest{session_id_, pending_round_, pending_update_});
+        break;
+      case Step::kUnmask:
+        frame = pack(UnmaskResponse{session_id_, unmask_round_, unmask_wave_,
+                                    unmask_share_});
         break;
     }
     const std::vector<std::uint8_t> sealed_frame =
@@ -127,6 +160,24 @@ class SimSite : public std::enable_shared_from_this<SimSite> {
           break;
         }
         case Step::kPoll: {
+          if (peek_type(env.payload) == MsgType::kUnmaskRequest) {
+            // Mask-recovery phase (DESIGN.md §14): reveal the sum of our
+            // pairwise masks against the dropped set so the server can
+            // finish the frozen round.
+            const UnmaskRequest req = decode_unmask_request(env.payload);
+            if (!masker_) {
+              throw ProtocolError(credential_.name +
+                                  ": unmask request but masking is off");
+            }
+            {
+              CF_TRACE_SPAN_SITE("client.unmask", credential_.name, req.round);
+              unmask_share_ = masker_->unmask_share(req.dropped, req.round);
+            }
+            unmask_round_ = req.round;
+            unmask_wave_ = req.wave;
+            step_ = Step::kUnmask;
+            break;
+          }
           const TaskMessage task = decode_task(env.payload);
           if (task.task == TaskKind::kStop) {
             finish({});
@@ -148,6 +199,20 @@ class SimSite : public std::enable_shared_from_this<SimSite> {
                 .msg(ack.message)
                 .kv("site", credential_.name)
                 .kv("reason", reject_reason_name(ack.reason));
+          }
+          step_ = Step::kPoll;
+          break;
+        }
+        case Step::kUnmask: {
+          const SubmitAck ack = decode_submit_ack(env.payload);
+          if (!ack.accepted) {
+            // Stale wave / recovery already resolved — harmless.
+            LOG(warn)
+                .msg("unmask share not accepted:")
+                .msg(ack.message)
+                .kv("site", credential_.name)
+                .kv("round", unmask_round_)
+                .kv("wave", unmask_wave_);
           }
           step_ = Step::kPoll;
           break;
@@ -190,6 +255,9 @@ class SimSite : public std::enable_shared_from_this<SimSite> {
     if (!pending_update_.has_meta(Dxo::kMetaRound)) {
       pending_update_.set_meta_int(Dxo::kMetaRound, task.round);
     }
+    // Same order as FederatedClient::run(): stamp the round, then the
+    // outbound privacy chain (DP noise, pre-scaling, masking last).
+    filters_.process(pending_update_, ctx);
     pending_round_ = task.round;
   }
 
@@ -210,6 +278,8 @@ class SimSite : public std::enable_shared_from_this<SimSite> {
   std::shared_ptr<MultiplexRun> run_;
   std::string job_id_;
   std::int64_t long_poll_ms_;
+  FilterChain filters_;
+  std::shared_ptr<SecureAggMaskFilter> masker_;
 
   Step step_ = Step::kRegister;
   Step after_register_ = Step::kPoll;
@@ -218,6 +288,9 @@ class SimSite : public std::enable_shared_from_this<SimSite> {
   std::string session_id_;
   std::int64_t pending_round_ = 0;
   Dxo pending_update_;
+  std::int64_t unmask_round_ = 0;
+  std::int64_t unmask_wave_ = 0;
+  Dxo unmask_share_;
   std::int64_t retries_ = 0;
   std::int64_t reregistrations_ = 0;
 };
@@ -231,6 +304,26 @@ SimulatorRunner::SimulatorRunner(SimulatorConfig config, nn::StateDict initial_m
   if (!factory_) throw Error("SimulatorRunner: learner factory required");
   const Provisioner provisioner(config_.job_id, config_.seed);
   registry_ = provisioner.provision_sites(config_.num_clients);
+  if (config_.secure_agg.enabled) {
+    if (config_.secure_agg.pre_scale && config_.secure_agg.total_samples <= 0) {
+      throw ConfigError(
+          "SimulatorRunner: secure_agg.pre_scale requires total_samples > 0");
+    }
+    if (const auto* fedavg = dynamic_cast<FedAvgAggregator*>(aggregator.get());
+        fedavg && fedavg->weighted() && !config_.secure_agg.pre_scale) {
+      throw ConfigError(
+          "SimulatorRunner: masked aggregation cannot honor server-side "
+          "sample-count weighting (pairwise masks only cancel through an "
+          "unweighted sum); enable secure_agg.pre_scale with total_samples "
+          "for the client-side weighted path");
+    }
+    // Substitute the masked aggregator unless the caller already supplied a
+    // recovery-capable one.
+    if (!dynamic_cast<MaskRecoveryCapable*>(aggregator.get())) {
+      aggregator = std::make_unique<MaskedFedAvgAggregator>(
+          config_.secure_agg.frac_bits);
+    }
+  }
   if (!config_.persist_path.empty()) {
     persistor_ = std::make_shared<ModelPersistor>(config_.persist_path);
   }
@@ -260,9 +353,27 @@ SimulatorRunner::SimulatorRunner(SimulatorConfig config, nn::StateDict initial_m
   server_config.liveness_timeout_ms = config_.liveness_timeout_ms;
   server_config.validator = config_.validator;
   server_config.reputation = config_.reputation;
+  server_config.secure_agg.enabled = config_.secure_agg.enabled;
+  server_config.secure_agg.recovery_deadline_ms =
+      config_.secure_agg.recovery_deadline_ms;
+  server_config.secure_agg.max_recovery_waves =
+      config_.secure_agg.max_recovery_waves;
   server_ = std::make_unique<FederatedServer>(
       server_config, registry_, std::move(initial_model), std::move(aggregator),
       persistor_, std::move(resume));
+  if (config_.dp.enabled) {
+    // Surface the accountant's cumulative spend as a gauge after every
+    // published round (validated here so a bad delta fails at construction,
+    // not mid-run inside an observer).
+    const DpAccountant accountant(config_.dp.noise_multiplier, config_.dp.delta);
+    core::MetricRegistry* metrics = &server_->metrics_registry();
+    server_->add_round_observer(
+        [accountant, metrics](std::int64_t round, const nn::StateDict&,
+                              const RoundMetrics&) {
+          metrics->gauge(metric_names::kDpEpsilonSpent)
+              .set(accountant.epsilon_after(round + 1));
+        });
+  }
 }
 
 SimulationResult SimulatorRunner::run() {
@@ -344,6 +455,15 @@ SimulationResult SimulatorRunner::run() {
     };
   };
 
+  // The mask participant list is exactly the client sites: the registry's
+  // "server" credential is a channel identity, not a masking peer — masks
+  // against a non-contributing name would never cancel.
+  std::vector<std::string> site_names;
+  site_names.reserve(static_cast<std::size_t>(config_.num_clients));
+  for (std::int64_t i = 0; i < config_.num_clients; ++i) {
+    site_names.push_back("site-" + std::to_string(i + 1));
+  }
+
   std::vector<std::unique_ptr<FederatedClient>> clients;
   for (std::int64_t i = 0; i < config_.num_clients; ++i) {
     const std::string name = "site-" + std::to_string(i + 1);
@@ -355,14 +475,25 @@ SimulationResult SimulatorRunner::run() {
     auto client = std::make_unique<FederatedClient>(
         client_config, registry_.at(name), make_factory(i, name), factory_(i, name));
     if (customizer_) customizer_(*client);
+    const std::shared_ptr<SecureAggMaskFilter> masker = add_privacy_filters(
+        config_, i, name, site_names, client->outbound_filters());
     // The poison filter goes in *after* the customizer's filters (privacy,
     // clipping): an adversarial site corrupts what it would actually have
-    // sent, and its poison is not accidentally clipped back to sanity.
+    // sent, and its poison is not accidentally clipped back to sanity. The
+    // mask filter goes in last of all — whatever the site sends, honest or
+    // poisoned, is what gets hidden under masks.
     if (poison_planner_) {
       if (const std::optional<PoisonPlan> plan = poison_planner_(i, name)) {
         client->outbound_filters().add(std::make_shared<PoisonFilter>(*plan));
         LOG(warn).msg(name + " is ADVERSARIAL this run").kv("site", name);
       }
+    }
+    if (masker) {
+      client->outbound_filters().add(masker);
+      client->set_unmask_provider(
+          [masker](const std::vector<std::string>& dropped, std::int64_t round) {
+            return masker->unmask_share(dropped, round);
+          });
     }
     clients.push_back(std::move(client));
   }
@@ -423,13 +554,25 @@ SimulationResult SimulatorRunner::run_multiplexed(
     core::ThreadPool pool(static_cast<std::size_t>(config_.site_workers));
     const std::int64_t long_poll =
         std::max<std::int64_t>(1, config_.long_poll_ms);
+    // Client sites only — the registry's "server" entry is a channel
+    // identity, not a masking peer (see run()).
+    std::vector<std::string> site_names;
+    site_names.reserve(static_cast<std::size_t>(config_.num_clients));
+    for (std::int64_t i = 0; i < config_.num_clients; ++i) {
+      site_names.push_back("site-" + std::to_string(i + 1));
+    }
     std::vector<std::shared_ptr<SimSite>> sites;
     sites.reserve(static_cast<std::size_t>(config_.num_clients));
     for (std::int64_t i = 0; i < config_.num_clients; ++i) {
       const std::string name = "site-" + std::to_string(i + 1);
+      FilterChain filters;
+      std::shared_ptr<SecureAggMaskFilter> masker =
+          add_privacy_filters(config_, i, name, site_names, filters);
+      if (masker) filters.add(masker);
       sites.push_back(std::make_shared<SimSite>(
           registry_.at(name), factory_(i, name), server_->async_dispatcher(),
-          &pool, run_state, config_.job_id, long_poll));
+          &pool, run_state, config_.job_id, long_poll, std::move(filters),
+          std::move(masker)));
     }
     for (const auto& site : sites) site->start();
 
@@ -487,6 +630,13 @@ SimulationResult SimulatorRunner::finalize(
   result.history = server_->history();
   result.aborted = server_->aborted();
   result.abort_reason = server_->abort_reason();
+  result.abort_code = server_->abort_code();
+  if (config_.dp.enabled) {
+    const DpAccountant accountant(config_.dp.noise_multiplier, config_.dp.delta);
+    result.dp_epsilon_spent = accountant.epsilon_after(
+        static_cast<std::int64_t>(result.history.size()));
+    result.dp_delta = config_.dp.delta;
+  }
   result.failed_sites = std::move(failed_sites);
   result.resumed_from_round = resumed_from_round_;
   result.quarantined_sites = server_->quarantined_sites();

@@ -31,6 +31,47 @@
 
 namespace cppflare::flare {
 
+/// Secure aggregation for the simulated federation (DESIGN.md §14): every
+/// site's contribution is quantized and pairwise-masked before it leaves
+/// the client, the server aggregates blind, and masked rounds that lose
+/// sites detour into the bounded unmask-recovery phase instead of
+/// publishing a corrupted model.
+struct SimSecureAggConfig {
+  bool enabled = false;
+  /// Root seed the pairwise mask keys derive from; every site derives the
+  /// same pair keys from it, standing in for the provisioning ceremony.
+  std::uint64_t dealer_seed = 0x5ec5eed;
+  /// Fixed-point quantization precision (fractional bits) for the masked
+  /// modular arithmetic. Valid range [1, 30].
+  std::int64_t frac_bits = 16;
+  /// Per-wave budget for the server's mask-recovery phase.
+  std::int64_t recovery_deadline_ms = 5000;
+  /// Demotion-cascade bound before the server aborts recovery.
+  std::int64_t max_recovery_waves = 4;
+  /// Weighted FedAvg under masking: masks only cancel through an unweighted
+  /// sum, so server-side sample weighting is rejected (ConfigError). With
+  /// pre_scale each site instead scales its own update by
+  /// num_samples * num_sites / total_samples before masking, making the
+  /// server's uniform masked mean equal the weighted mean.
+  bool pre_scale = false;
+  /// Federation-wide sample count (required > 0 when pre_scale is set;
+  /// known at provisioning time in the clinical setting).
+  std::int64_t total_samples = 0;
+};
+
+/// Client-side differential privacy: every outbound update is norm-clipped
+/// to clip_norm and perturbed with N(0, (noise_multiplier*clip_norm)^2)
+/// noise; the runner accounts the cumulative (epsilon, delta) spend (see
+/// DpAccountant) into SimulationResult and the server's metric registry.
+struct SimDpConfig {
+  bool enabled = false;
+  double clip_norm = 1.0;
+  /// Noise-to-sensitivity ratio z; 0 disables noise (infinite epsilon).
+  double noise_multiplier = 0.0;
+  double delta = 1e-5;
+  std::uint64_t seed = 0xd9;
+};
+
 struct SimulatorConfig {
   std::string job_id = "simulator_server";
   std::int64_t num_clients = 8;
@@ -76,6 +117,15 @@ struct SimulatorConfig {
   ValidatorConfig validator;
   /// Cross-round quarantine/parole policy (off by default).
   ReputationConfig reputation;
+  /// Secure aggregation with dropout recovery (off by default). When
+  /// enabled the runner substitutes a MaskedFedAvgAggregator (unless the
+  /// provided aggregator already supports mask recovery), masks every
+  /// site's outbound updates, and installs the unmask provider the server's
+  /// recovery phase queries. Incompatible with clients_per_round sampling.
+  SimSecureAggConfig secure_agg;
+  /// Client-side differential privacy (off by default). Composes with
+  /// secure_agg: clip + noise run before the mask filter.
+  SimDpConfig dp;
   /// Per-site compute-thread budget for the shared kernel pool
   /// (core/parallel.h). > 0 forces that budget; 0 divides the machine between
   /// site workers and kernels (max(1, hw_threads - num_clients + 1)), unless
@@ -112,6 +162,13 @@ struct [[nodiscard]] SimulationResult {
   /// explicit abort); final_model/history reflect the last completed round.
   bool aborted = false;
   std::string abort_reason;
+  /// Machine-checkable abort classification (kNone unless aborted).
+  AbortCode abort_code = AbortCode::kNone;
+  /// Cumulative differential-privacy spend over the published rounds when
+  /// dp.enabled (0 otherwise). epsilon is +inf when noise_multiplier == 0:
+  /// clipping alone offers no DP guarantee.
+  double dp_epsilon_spent = 0.0;
+  double dp_delta = 0.0;
   /// Sites whose client threads failed (e.g. retry budget exhausted) while
   /// the run still completed without them.
   std::vector<std::string> failed_sites;

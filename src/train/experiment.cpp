@@ -5,7 +5,6 @@
 #include "core/config.h"
 #include "core/logging.h"
 #include "flare/model_selector.h"
-#include "flare/secure_agg.h"
 #include "flare/simulator.h"
 #include "models/lstm_classifier.h"
 #include "train/trainer.h"
@@ -228,8 +227,12 @@ SchemeResult run_federated(const std::string& model_name,
   lopts.fedprox_mu = options.fedprox_mu;
   lopts.verbose = false;
 
-  // Mask cancellation requires an unweighted sum over contributions.
+  // Mask cancellation requires an unweighted sum over contributions; the
+  // simulator owns the whole masked path (dealer, filters, unmask
+  // provider) behind SimSecureAggConfig.
   const bool weighted = options.secure_masking ? false : options.weighted_aggregation;
+  sim.secure_agg.enabled = options.secure_masking;
+  sim.secure_agg.dealer_seed = scale.seed + 61;
   flare::SimulatorRunner runner(
       sim, initial->state_dict(), std::make_unique<flare::FedAvgAggregator>(weighted),
       [&](std::int64_t site, const std::string& name) {
@@ -240,22 +243,12 @@ SchemeResult run_federated(const std::string& model_name,
             data.valid, lopts);
       });
 
-  auto dealer = std::make_shared<flare::SecureAggregationDealer>(sim.job_id,
-                                                                 scale.seed + 61);
-  std::vector<std::string> all_sites;
-  for (std::int64_t i = 0; i < sim.num_clients; ++i) {
-    all_sites.push_back("site-" + std::to_string(i + 1));
-  }
-  runner.set_client_customizer([&, dealer, all_sites](flare::FederatedClient& client) {
-    if (options.dp_sigma > 0.0) {
+  if (options.dp_sigma > 0.0) {
+    runner.set_client_customizer([&](flare::FederatedClient& client) {
       client.outbound_filters().add(std::make_shared<flare::GaussianPrivacyFilter>(
           options.dp_sigma, scale.seed + 60));
-    }
-    if (options.secure_masking) {
-      client.outbound_filters().add(std::make_shared<flare::SecureAggMaskFilter>(
-          client.site_name(), all_sites, *dealer));
-    }
-  });
+    });
+  }
 
   flare::BestModelSelector selector;
   if (options.select_best) selector.attach(runner.server());

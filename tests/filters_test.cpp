@@ -4,6 +4,9 @@
 
 #include <cmath>
 #include <limits>
+#include <vector>
+
+#include "core/error.h"
 
 namespace cppflare::flare {
 namespace {
@@ -191,10 +194,111 @@ TEST(FilterChainTest, EmptyChainNoop) {
   EXPECT_FLOAT_EQ(dxo.data().at("a").values[0], 5.0f);
 }
 
+TEST(DpGaussian, ClipsThenPerturbsAtCalibratedSigma) {
+  // sigma = z * C: with C = 1 and z = 0.1 the post-clip unit vector gets
+  // noise with stddev 0.1 — verify empirically over a long payload.
+  DpGaussianFilter filter(1.0, 0.1, 42);
+  std::vector<float> w(10000, 0.0f);
+  w[0] = 30.0f;
+  w[1] = 40.0f;  // norm 50, clipped to 1
+  Dxo dxo = weights_dxo(std::move(w));
+  FLContext ctx;
+  filter.process(dxo, ctx);
+  const auto& vals = dxo.data().at("a").values;
+  EXPECT_NEAR(vals[0], 0.6f, 0.5f);  // clipped direction survives the noise
+  double var = 0.0;
+  for (std::size_t i = 2; i < vals.size(); ++i) {
+    var += static_cast<double>(vals[i]) * vals[i];  // mean 0 by construction
+  }
+  var /= static_cast<double>(vals.size() - 2);
+  EXPECT_NEAR(std::sqrt(var), 0.1, 0.02);
+}
+
+TEST(DpGaussian, ZeroMultiplierIsPureClip) {
+  DpGaussianFilter filter(1.0, 0.0, 7);
+  Dxo dxo = weights_dxo({3.0f, 4.0f});  // norm 5
+  FLContext ctx;
+  filter.process(dxo, ctx);
+  const auto& v = dxo.data().at("a").values;
+  EXPECT_NEAR(std::sqrt(v[0] * v[0] + v[1] * v[1]), 1.0, 1e-5);
+  EXPECT_NEAR(v[0] / v[1], 0.75, 1e-5);
+}
+
+TEST(DpGaussian, SkipsMetricsAndValidatesCtor) {
+  DpGaussianFilter filter(1.0, 1.0, 1);
+  Dxo metrics;  // kMetrics
+  FLContext ctx;
+  filter.process(metrics, ctx);
+  EXPECT_TRUE(metrics.data().empty());
+  EXPECT_THROW(DpGaussianFilter(0.0, 1.0, 1), Error);
+  EXPECT_THROW(DpGaussianFilter(-1.0, 1.0, 1), Error);
+  EXPECT_THROW(DpGaussianFilter(1.0, -0.5, 1), Error);
+}
+
+TEST(DpAccountant, BasicCompositionMatchesClosedForm) {
+  const DpAccountant acc(1.1, 1e-5);
+  const double expected = std::sqrt(2.0 * std::log(1.25 / 1e-5)) / 1.1;
+  EXPECT_NEAR(acc.epsilon_per_round(), expected, 1e-12);
+  EXPECT_NEAR(acc.epsilon_after(10), 10.0 * expected, 1e-9);
+  EXPECT_EQ(acc.epsilon_after(0), 0.0);
+  EXPECT_EQ(acc.delta(), 1e-5);
+  // More noise, less spend.
+  EXPECT_LT(DpAccountant(2.0, 1e-5).epsilon_per_round(),
+            acc.epsilon_per_round());
+}
+
+TEST(DpAccountant, NoNoiseMeansInfiniteSpend) {
+  const DpAccountant acc(0.0, 1e-5);
+  EXPECT_TRUE(std::isinf(acc.epsilon_per_round()));
+  EXPECT_TRUE(std::isinf(acc.epsilon_after(1)));
+}
+
+TEST(DpAccountant, RejectsDegenerateDelta) {
+  EXPECT_THROW(DpAccountant(1.0, 0.0), Error);
+  EXPECT_THROW(DpAccountant(1.0, 1.0), Error);
+  EXPECT_THROW(DpAccountant(1.0, -0.1), Error);
+  EXPECT_THROW(DpAccountant(1.0, 1.5), Error);
+}
+
+TEST(PreScale, ScalesByShareOfTotalSamples) {
+  // 4 sites, 8 samples total, this site holds 4: factor 4*4/8 = 2.
+  PreScaleFilter filter(4, 8);
+  Dxo dxo = weights_dxo({1.5f, -2.0f});
+  dxo.set_meta_int(Dxo::kMetaNumSamples, 4);
+  FLContext ctx;
+  filter.process(dxo, ctx);
+  EXPECT_EQ(dxo.data().at("a").values[0], 3.0f);
+  EXPECT_EQ(dxo.data().at("a").values[1], -4.0f);
+}
+
+TEST(PreScale, UniformSitesAreFixedPoint) {
+  // Equal shares (factor 1) must leave the update bitwise intact — the
+  // degenerate case where weighted and unweighted FedAvg already agree.
+  PreScaleFilter filter(4, 40);
+  Dxo dxo = weights_dxo({0.1f, 0.2f, 0.3f});
+  dxo.set_meta_int(Dxo::kMetaNumSamples, 10);
+  FLContext ctx;
+  filter.process(dxo, ctx);
+  EXPECT_EQ(dxo.data().at("a").values, (std::vector<float>{0.1f, 0.2f, 0.3f}));
+}
+
+TEST(PreScale, SkipsMetricsAndValidatesCtor) {
+  PreScaleFilter filter(2, 10);
+  Dxo metrics;
+  FLContext ctx;
+  filter.process(metrics, ctx);
+  EXPECT_TRUE(metrics.data().empty());
+  EXPECT_THROW(PreScaleFilter(0, 10), Error);
+  EXPECT_THROW(PreScaleFilter(2, 0), Error);
+  EXPECT_THROW(PreScaleFilter(-1, -1), Error);
+}
+
 TEST(FilterNames, Describe) {
   EXPECT_EQ(GaussianPrivacyFilter(0.1, 1).name(), "GaussianPrivacy");
   EXPECT_EQ(NormClipFilter(1.0).name(), "NormClip");
   EXPECT_EQ(ExcludeVarsFilter("head.").name(), "ExcludeVars(head.)");
+  EXPECT_EQ(DpGaussianFilter(1.0, 1.0, 1).name(), "DpGaussian");
+  EXPECT_EQ(PreScaleFilter(2, 10).name(), "PreScale");
 }
 
 }  // namespace

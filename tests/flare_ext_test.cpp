@@ -2,7 +2,9 @@
 // aggregation by pairwise masking.
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <thread>
 
 #include "core/logging.h"
@@ -172,12 +174,61 @@ TEST_F(SecureAggTest, MasksCancelAcrossAllSites) {
   }
   // Each masked update differs from the raw one...
   EXPECT_NE(masked[0], x1);
-  // ...but the sum is exactly preserved (masks cancel pairwise).
+  // ...and the mod-2^32 word sum decodes to *exactly* the raw sum: the
+  // inputs sit on the 2^-16 fixed-point grid, and modular addition cancels
+  // every mask bit-for-bit (the float path's EXPECT_NEAR era is over).
   for (int j = 0; j < 2; ++j) {
-    const float masked_sum = masked[0][j] + masked[1][j] + masked[2][j];
-    const float raw_sum = x1[j] + x2[j] + x3[j];
-    EXPECT_NEAR(masked_sum, raw_sum, 1e-3f);
+    std::uint32_t word = 0;
+    for (const auto& m : masked) word += std::bit_cast<std::uint32_t>(m[j]);
+    const float decoded = static_cast<float>(
+        static_cast<double>(static_cast<std::int32_t>(word)) / 65536.0);
+    EXPECT_EQ(decoded, x1[j] + x2[j] + x3[j]);
   }
+}
+
+TEST_F(SecureAggTest, UnmaskShareRemovesDroppedSitesMasks) {
+  // site-3 submits nothing; the survivors' masks against it no longer
+  // cancel. Subtracting each survivor's revealed mask *sum* against the
+  // dropped set must restore the exact survivor aggregate.
+  const std::vector<std::string> sites = {"site-1", "site-2", "site-3"};
+  SecureAggregationDealer dealer("proj", 21);
+  FLContext ctx;
+  ctx.current_round = 3;
+
+  const std::vector<float> x1 = {1.25f, -2.0f}, x2 = {0.5f, 4.0f};
+  SecureAggMaskFilter f1("site-1", sites, dealer);
+  SecureAggMaskFilter f2("site-2", sites, dealer);
+  Dxo d1(DxoKind::kWeights, dict_of(x1));
+  Dxo d2(DxoKind::kWeights, dict_of(x2));
+  f1.process(d1, ctx);
+  f2.process(d2, ctx);
+
+  const Dxo s1 = f1.unmask_share({"site-3"}, ctx.current_round);
+  const Dxo s2 = f2.unmask_share({"site-3"}, ctx.current_round);
+  for (int j = 0; j < 2; ++j) {
+    std::uint32_t word =
+        std::bit_cast<std::uint32_t>(d1.data().at("w").values[j]) +
+        std::bit_cast<std::uint32_t>(d2.data().at("w").values[j]);
+    word -= std::bit_cast<std::uint32_t>(s1.data().at("w").values[j]);
+    word -= std::bit_cast<std::uint32_t>(s2.data().at("w").values[j]);
+    const float decoded = static_cast<float>(
+        static_cast<double>(static_cast<std::int32_t>(word)) / 65536.0);
+    EXPECT_EQ(decoded, x1[j] + x2[j]);
+  }
+}
+
+TEST_F(SecureAggTest, UnmaskShareGuards) {
+  const std::vector<std::string> sites = {"site-1", "site-2"};
+  SecureAggregationDealer dealer("proj", 22);
+  SecureAggMaskFilter filter("site-1", sites, dealer);
+  // Before any masked upload there is no shape skeleton to draw against.
+  EXPECT_THROW(filter.unmask_share({"site-2"}, 0), Error);
+  FLContext ctx;
+  Dxo d(DxoKind::kWeights, dict_of({1.0f}));
+  filter.process(d, ctx);
+  // Unknown names (including self) are ignored: the share is all zeros.
+  const Dxo share = filter.unmask_share({"site-1", "nobody"}, 0);
+  EXPECT_EQ(share.data().at("w").values[0], 0.0f);
 }
 
 TEST_F(SecureAggTest, MasksDifferAcrossRounds) {
@@ -200,56 +251,109 @@ TEST_F(SecureAggTest, ValidatesParticipants) {
   EXPECT_THROW(SecureAggMaskFilter("site-1", {"site-1"}, dealer), Error);
 }
 
-TEST_F(SecureAggTest, EndToEndFederationUnchangedByMasking) {
-  // Uniform FedAvg over constant learners: the aggregate with masking must
-  // equal the aggregate without, while each sealed contribution is noise.
-  class ConstLearner : public Learner {
-   public:
-    ConstLearner(std::string site, float v) : site_(std::move(site)), v_(v) {}
-    Dxo train(const Dxo& global, const FLContext&) override {
-      nn::StateDict d = global.data();
-      for (auto& [k, blob] : d.entries()) {
-        for (float& x : blob.values) x = v_;
-      }
-      Dxo update(DxoKind::kWeights, d);
-      update.set_meta_int(Dxo::kMetaNumSamples, 10);
-      return update;
+/// Learner whose update is a constant grid-exact value per site — the
+/// masked fixed-point pipeline must reproduce plain FedAvg bit-for-bit.
+class ConstLearner : public Learner {
+ public:
+  ConstLearner(std::string site, float v, std::int64_t samples = 10)
+      : site_(std::move(site)), v_(v), samples_(samples) {}
+  Dxo train(const Dxo& global, const FLContext&) override {
+    nn::StateDict d = global.data();
+    for (auto& [k, blob] : d.entries()) {
+      for (float& x : blob.values) x = v_;
     }
-    std::string site_name() const override { return site_; }
+    Dxo update(DxoKind::kWeights, d);
+    update.set_meta_int(Dxo::kMetaNumSamples, samples_);
+    return update;
+  }
+  std::string site_name() const override { return site_; }
 
-   private:
-    std::string site_;
-    float v_;
-  };
+ private:
+  std::string site_;
+  float v_;
+  std::int64_t samples_;
+};
 
+TEST_F(SecureAggTest, EndToEndFederationBitwiseEqualUnderMasking) {
+  // Uniform FedAvg over grid-exact constant learners: the masked run's
+  // published aggregate must be *bitwise* equal to the unmasked run's —
+  // quantized modular masking cancels exactly, and MaskedFedAvgAggregator
+  // shares FedAvg's scalar tail.
   auto run = [&](bool masked) {
     SimulatorConfig config;
     config.job_id = "secure_demo";
     config.num_clients = 4;
     config.num_rounds = 2;
+    config.secure_agg.enabled = masked;
+    config.secure_agg.dealer_seed = 77;
     SimulatorRunner runner(config, dict_of({0.0f, 0.0f}),
                            std::make_unique<FedAvgAggregator>(/*weighted=*/false),
                            [](std::int64_t i, const std::string& name) {
                              return std::make_shared<ConstLearner>(
                                  name, static_cast<float>(i));
                            });
-    if (masked) {
-      auto dealer = std::make_shared<SecureAggregationDealer>("secure_demo", 77);
-      const std::vector<std::string> all = {"site-1", "site-2", "site-3", "site-4"};
-      runner.set_client_customizer([dealer, all](FederatedClient& client) {
-        client.outbound_filters().add(std::make_shared<SecureAggMaskFilter>(
-            client.site_name(), all, *dealer));
-      });
-    }
-    return runner.run().final_model;
+    const SimulationResult result = runner.run();
+    EXPECT_FALSE(result.aborted) << result.abort_reason;
+    return result.final_model;
   };
 
   const nn::StateDict clean = run(false);
   const nn::StateDict secured = run(true);
   ASSERT_TRUE(clean.congruent_with(secured));
-  for (std::size_t i = 0; i < clean.at("w").values.size(); ++i) {
-    EXPECT_NEAR(clean.at("w").values[i], secured.at("w").values[i], 5e-3f);
-  }
+  EXPECT_EQ(clean.at("w").values, secured.at("w").values);
+}
+
+TEST_F(SecureAggTest, WeightedAggregationUnderMaskingRejected) {
+  SimulatorConfig config;
+  config.num_clients = 2;
+  config.secure_agg.enabled = true;
+  auto factory = [](std::int64_t i, const std::string& name) {
+    return std::make_shared<ConstLearner>(name, static_cast<float>(i));
+  };
+  EXPECT_THROW(SimulatorRunner(config, dict_of({0.0f}),
+                               std::make_unique<FedAvgAggregator>(/*weighted=*/true),
+                               factory),
+               ConfigError);
+  // Sampling is equally incompatible: a sampled-out site's masks never
+  // cancel (the check lives in the server's constructor).
+  SimulatorConfig sampled;
+  sampled.num_clients = 4;
+  sampled.clients_per_round = 2;
+  sampled.secure_agg.enabled = true;
+  EXPECT_THROW(SimulatorRunner(sampled, dict_of({0.0f}),
+                               std::make_unique<FedAvgAggregator>(false), factory),
+               ConfigError);
+}
+
+TEST_F(SecureAggTest, PreScaledMaskingMatchesWeightedFedAvg) {
+  // The supported weighted path under masking: each site pre-scales by
+  // num_samples * num_sites / total_samples. With power-of-two factors the
+  // masked uniform mean is bitwise-equal to server-side weighted FedAvg.
+  const std::int64_t samples[] = {1, 1, 2, 4};  // total 8, factors s*4/8
+  auto factory = [&](std::int64_t i, const std::string& name) {
+    return std::make_shared<ConstLearner>(name, static_cast<float>(i),
+                                          samples[i]);
+  };
+
+  SimulatorConfig weighted;
+  weighted.num_clients = 4;
+  weighted.num_rounds = 2;
+  SimulatorRunner weighted_runner(weighted, dict_of({0.0f}),
+                                  std::make_unique<FedAvgAggregator>(true),
+                                  factory);
+  const nn::StateDict want = weighted_runner.run().final_model;
+
+  SimulatorConfig masked;
+  masked.num_clients = 4;
+  masked.num_rounds = 2;
+  masked.secure_agg.enabled = true;
+  masked.secure_agg.pre_scale = true;
+  masked.secure_agg.total_samples = 8;
+  SimulatorRunner masked_runner(masked, dict_of({0.0f}),
+                                std::make_unique<FedAvgAggregator>(false),
+                                factory);
+  const nn::StateDict got = masked_runner.run().final_model;
+  EXPECT_EQ(want.at("w").values, got.at("w").values);
 }
 
 }  // namespace

@@ -63,9 +63,51 @@ TEST(Messages, SubmitAckAndErrorRoundTrip) {
   EXPECT_EQ(e.message, "bad");
 }
 
+TEST(Messages, UnmaskRequestRoundTrip) {
+  UnmaskRequest req;
+  req.round = 6;
+  req.wave = 2;
+  req.dropped = {"site-3", "site-7"};
+  const auto frame = pack(req);
+  EXPECT_EQ(peek_type(frame), MsgType::kUnmaskRequest);
+  const UnmaskRequest m = decode_unmask_request(frame);
+  EXPECT_EQ(m.round, 6);
+  EXPECT_EQ(m.wave, 2);
+  EXPECT_EQ(m.dropped, req.dropped);
+  // Empty dropped set survives too (a degenerate but legal wave).
+  const UnmaskRequest empty = decode_unmask_request(pack(UnmaskRequest{4, 0, {}}));
+  EXPECT_TRUE(empty.dropped.empty());
+}
+
+TEST(Messages, UnmaskResponseRoundTrip) {
+  nn::StateDict d;
+  d.insert("w", {{2}, {0.5f, -1.5f}});
+  UnmaskResponse resp;
+  resp.session_id = "sess-2";
+  resp.round = 6;
+  resp.wave = 2;
+  resp.share = Dxo(DxoKind::kWeights, d);
+  const auto frame = pack(resp);
+  EXPECT_EQ(peek_type(frame), MsgType::kUnmaskResponse);
+  const UnmaskResponse m = decode_unmask_response(frame);
+  EXPECT_EQ(m.session_id, "sess-2");
+  EXPECT_EQ(m.round, 6);
+  EXPECT_EQ(m.wave, 2);
+  EXPECT_EQ(m.share.data().at("w").values[1], -1.5f);
+}
+
+TEST(Messages, UnmaskFramesRejectWrongTypeAndTruncation) {
+  EXPECT_THROW(decode_unmask_request(pack(GetTaskRequest{"s"})), ProtocolError);
+  EXPECT_THROW(decode_unmask_response(pack(GetTaskRequest{"s"})), ProtocolError);
+  auto frame = pack(UnmaskRequest{1, 0, {"site-1"}});
+  frame.resize(frame.size() - 3);
+  EXPECT_THROW(decode_unmask_request(frame), SerializationError);
+}
+
 TEST(Messages, SubmitAckCarriesEveryRejectReason) {
   for (std::uint8_t raw = 0;
-       raw <= static_cast<std::uint8_t>(RejectReason::kRunOver); ++raw) {
+       raw <= static_cast<std::uint8_t>(RejectReason::kRecoveryInProgress);
+       ++raw) {
     const RejectReason reason = static_cast<RejectReason>(raw);
     const SubmitAck a =
         decode_submit_ack(pack(SubmitAck{false, "why", reason}));

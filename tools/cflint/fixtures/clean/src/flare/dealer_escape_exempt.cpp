@@ -1,0 +1,2 @@
+// R12-exempt: fixture proves the exemption path
+void sanctioned() { SecureAggregationDealer dealer("job", 7); }

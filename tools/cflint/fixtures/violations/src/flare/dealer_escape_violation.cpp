@@ -1,0 +1,7 @@
+// R12 planted violation: secure-aggregation key material referenced
+// outside src/flare/secure_agg.* / src/flare/provision.*.
+void leak_masks() {
+  SecureAggregationDealer dealer("job", 7);
+  auto key = dealer.pair_key("site-1", "site-2");
+  use(key);
+}

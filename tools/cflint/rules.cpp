@@ -101,6 +101,7 @@ class RuleRunner {
     r9_unordered_iteration();
     r10_blocking_under_lock();
     r11_nodiscard();
+    r12_secure_agg_containment();
   }
 
  private:
@@ -541,6 +542,27 @@ class RuleRunner {
     }
   }
 
+  // R12: the pairwise-mask secret machinery — the dealer and the pair keys
+  // it derives — stays confined to the secure_agg module and the
+  // provisioning ceremony that would distribute the keys. Everything else
+  // goes through the factory (make_secure_agg_mask_filter) and the
+  // MaskRecoveryCapable interface, so no other layer can ever see (or log,
+  // or serialize) key material.
+  void r12_secure_agg_containment() {
+    if (starts_with(path_, "src/flare/secure_agg.")) return;
+    if (starts_with(path_, "src/flare/provision.")) return;
+    for (const Token& t : toks_) {
+      if (t.kind != TokKind::kIdent) continue;
+      if (t.text != "SecureAggregationDealer" && t.text != "pair_key") {
+        continue;
+      }
+      flag(12, t, "'" + t.text + "' referenced outside src/flare/secure_agg.* "
+                  "and src/flare/provision.*; masking key material is "
+                  "confined there — use make_secure_agg_mask_filter and the "
+                  "MaskRecoveryCapable interface instead");
+    }
+  }
+
   const std::string& path_;
   const std::vector<Token>& toks_;
   const std::map<int, std::set<int>>& exemptions_;
@@ -602,6 +624,8 @@ const char* rule_summary(int rule) {
     case 10: return "no blocking transport/sleep call while a lock is held "
                     "(the reactor's nonblocking socket I/O sanctioned)";
     case 11: return "Status/Result types are [[nodiscard]] and never dropped";
+    case 12: return "secure-aggregation key material (dealer/pair keys) stays "
+                    "inside src/flare/secure_agg.* and provisioning";
     default: return "";
   }
 }

@@ -197,6 +197,24 @@ const std::vector<Case>& cases() {
        "  send_all(c);\n"
        "}\n",
        {}},
+
+      {"R12 dealer escape", "src/flare/simulator_bad.cpp",
+       "// SecureAggregationDealer in a comment is fine\n"
+       "const char* s = \"pair_key\";\n"
+       "void f() { SecureAggregationDealer dealer(\"job\", 7); }\n"
+       "void g(Dealer& d) { auto k = d.pair_key(\"a\", \"b\"); }\n",
+       {{12, 3}, {12, 4}}},
+      {"R12 confined to secure_agg and provisioning", "src/flare/secure_agg.cpp",
+       "void f() { SecureAggregationDealer dealer(\"job\", 7); }\n"
+       "void g(SecureAggregationDealer& d) { auto k = d.pair_key(\"a\", \"b\"); }\n",
+       {}},
+      {"R12 provisioning allowed", "src/flare/provision.cpp",
+       "void f(SecureAggregationDealer& d) { auto k = d.pair_key(\"a\", \"b\"); }\n",
+       {}},
+      {"R12 exempt", "src/flare/exempt_dealer.cpp",
+       "// R12-exempt: fixture proves the exemption path\n"
+       "void f() { SecureAggregationDealer dealer(\"job\", 7); }\n",
+       {}},
   };
   return kCases;
 }
