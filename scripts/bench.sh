@@ -25,6 +25,11 @@
 #       masked rounds pay the unmask-recovery wave), plus a DP noise grid:
 #       final-model RMSE against the clip-only reference and the
 #       accountant's epsilon per sigma (-1 encodes infinite spend).
+#   BENCH_crash.json — bench_crash rounds/s of an 8-site threaded federation
+#       with the round journal off, fsyncing once per round (budget 1.10x
+#       against journal-off) and fsyncing every record, plus the replay
+#       latency of a coordinator restarted over a mid-round journal holding
+#       eight accepted contributions.
 #   BENCH_robust.json — bench_poison accuracy + rounds/s for four
 #       aggregation configs (FedAvg, FedAvg+validator+quarantine, median,
 #       trimmed mean) under every poisoning mode with 1-2 adversaries, plus
@@ -45,7 +50,7 @@ step() { echo; echo "==== $* ===="; }
 step "release: build benches"
 cmake --preset release
 cmake --build --preset release -j "${JOBS}" \
-  --target bench_micro_tensor bench_table2_models bench_faults bench_privacy bench_poison bench_trace bench_scale
+  --target bench_micro_tensor bench_table2_models bench_faults bench_crash bench_privacy bench_poison bench_trace bench_scale
 
 step "tensor microbenchmarks -> BENCH_tensor.json"
 ./build-release/bench/bench_micro_tensor \
@@ -58,6 +63,9 @@ step "model latencies -> BENCH_models.json"
 
 step "fault-tolerance overhead -> BENCH_faults.json"
 ./build-release/bench/bench_faults --json "${REPO_ROOT}/BENCH_faults.json"
+
+step "durability overhead + crash recovery -> BENCH_crash.json"
+./build-release/bench/bench_crash --json "${REPO_ROOT}/BENCH_crash.json"
 
 step "privacy runtime -> BENCH_privacy.json"
 ./build-release/bench/bench_privacy --json "${REPO_ROOT}/BENCH_privacy.json"
@@ -72,4 +80,4 @@ step "coordinator scaling -> BENCH_scale.json"
 ./build-release/bench/bench_scale --json "${REPO_ROOT}/BENCH_scale.json"
 
 step "bench complete"
-echo "wrote BENCH_tensor.json, BENCH_models.json, BENCH_faults.json, BENCH_privacy.json, BENCH_robust.json, BENCH_obs.json and BENCH_scale.json"
+echo "wrote BENCH_tensor.json, BENCH_models.json, BENCH_faults.json, BENCH_crash.json, BENCH_privacy.json, BENCH_robust.json, BENCH_obs.json and BENCH_scale.json"

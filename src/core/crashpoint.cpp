@@ -1,0 +1,107 @@
+#include "core/crashpoint.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include <signal.h>
+#include <unistd.h>
+
+namespace cppflare::core {
+namespace {
+
+/// The armed state. `enabled` is the fast-path gate: crashpoint_hit loads it
+/// with relaxed ordering and bails before touching the mutex, so unarmed
+/// production runs pay one atomic load per marker. The armed name lives in a
+/// fixed buffer (not std::string) so the kill path never allocates.
+struct Armed {
+  std::mutex mu;
+  std::atomic<bool> enabled{false};
+  std::atomic<bool> env_checked{false};
+  char name[128] = {0};
+  int target_hit = 1;
+  std::atomic<int> count{0};
+};
+
+Armed& armed() {
+  static Armed a;
+  return a;
+}
+
+void arm_locked(Armed& a, const std::string& name, int hit) {
+  std::snprintf(a.name, sizeof(a.name), "%s", name.c_str());
+  a.target_hit = hit < 1 ? 1 : hit;
+  a.count.store(0, std::memory_order_relaxed);
+  a.enabled.store(true, std::memory_order_release);
+}
+
+/// Parses CPPFLARE_CRASHPOINT=<name>[@<hit>] once, lazily, on the first
+/// marker execution — so a forked+exec'd child armed via its environment
+/// needs no explicit setup call.
+void check_env_locked(Armed& a) {
+  if (a.env_checked.load(std::memory_order_relaxed)) return;
+  a.env_checked.store(true, std::memory_order_relaxed);
+  const char* spec = std::getenv("CPPFLARE_CRASHPOINT");
+  if (spec == nullptr || spec[0] == '\0') return;
+  std::string name(spec);
+  int hit = 1;
+  const auto at = name.find('@');
+  if (at != std::string::npos) {
+    hit = std::atoi(name.c_str() + at + 1);
+    name.resize(at);
+  }
+  arm_locked(a, name, hit);
+}
+
+}  // namespace
+
+void crashpoint_hit(const char* name) {
+  Armed& a = armed();
+  if (!a.env_checked.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(a.mu);
+    check_env_locked(a);
+  }
+  if (!a.enabled.load(std::memory_order_acquire)) return;
+  {
+    std::lock_guard<std::mutex> lock(a.mu);
+    if (!a.enabled.load(std::memory_order_relaxed)) return;
+    if (std::strcmp(a.name, name) != 0) return;
+    if (a.count.fetch_add(1, std::memory_order_relaxed) + 1 < a.target_hit) {
+      return;
+    }
+  }
+  // Die like a power cut: no exit handlers, no stream flushes, no unwinding.
+  ::kill(::getpid(), SIGKILL);
+  // SIGKILL cannot be handled; pause until delivery rather than return into
+  // code that assumes the crash happened.
+  for (;;) ::pause();
+}
+
+void arm_crashpoint(const std::string& name, int hit) {
+  Armed& a = armed();
+  std::lock_guard<std::mutex> lock(a.mu);
+  a.env_checked.store(true, std::memory_order_relaxed);
+  arm_locked(a, name, hit);
+}
+
+void disarm_crashpoints() {
+  Armed& a = armed();
+  std::lock_guard<std::mutex> lock(a.mu);
+  a.env_checked.store(true, std::memory_order_relaxed);
+  a.enabled.store(false, std::memory_order_release);
+  a.name[0] = '\0';
+}
+
+const std::vector<std::string>& crashpoint_catalog() {
+  static const std::vector<std::string> kCatalog = {
+      "persist.write.after",    "persist.rename.before", "persist.rename.after",
+      "journal.open.after",     "journal.append.after",  "journal.commit.before",
+      "journal.commit.after",   "journal.compact.before", "recovery.begin.after",
+      "recovery.share.after",   "recovery.wave.mid",     "replay.mid",
+  };
+  return kCatalog;
+}
+
+}  // namespace cppflare::core

@@ -1,0 +1,37 @@
+// Named crash points for deterministic death testing.
+//
+// Production code marks crash-consistency-critical spots with
+// `CF_CRASHPOINT("persist.rename.before")`. In normal runs the marker is a
+// single relaxed atomic load. A death test arms exactly one point — via the
+// environment (`CPPFLARE_CRASHPOINT=<name>[@<hit>]`) before the process
+// starts, or programmatically with `arm_crashpoint` — and the Nth time
+// execution reaches that point the process SIGKILLs itself: no destructors,
+// no flushes, exactly what a power cut or OOM kill looks like to the files
+// on disk. The harness in tests/crash_recovery_test.cpp walks
+// `crashpoint_catalog()` so adding a point without covering it fails a test.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cppflare::core {
+
+/// Marks one named crash point. Cheap no-op unless that exact name is armed;
+/// when armed, the `hit`-th call raises SIGKILL against the calling process
+/// and never returns. Called via CF_CRASHPOINT so the names are grep-able.
+void crashpoint_hit(const char* name);
+
+/// Arms `name` so its `hit`-th execution (1-based) kills the process.
+/// Overrides any previously armed point and any CPPFLARE_CRASHPOINT value.
+void arm_crashpoint(const std::string& name, int hit = 1);
+
+/// Disarms everything, including an environment-armed point.
+void disarm_crashpoints();
+
+/// Every crash point compiled into the binary. The death-test harness
+/// iterates this list; keep it in sync with the CF_CRASHPOINT call sites.
+const std::vector<std::string>& crashpoint_catalog();
+
+}  // namespace cppflare::core
+
+#define CF_CRASHPOINT(name) ::cppflare::core::crashpoint_hit(name)

@@ -1,0 +1,83 @@
+#include "core/durable.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "core/crashpoint.h"
+#include "core/error.h"
+
+namespace cppflare::core {
+namespace {
+
+[[noreturn]] void fail(const std::string& op, const std::string& path) {
+  throw Error("durable write: " + op + " failed for '" + path +
+              "': " + std::strerror(errno));
+}
+
+/// write(2) until every byte is down, retrying EINTR and short writes.
+void write_all(int fd, const std::uint8_t* data, std::size_t size,
+               const std::string& path) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("write", path);
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+std::string parent_of(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+void durable_write(const std::string& path, const std::uint8_t* data,
+                   std::size_t size) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                        0644);
+  if (fd < 0) fail("open", tmp);
+  write_all(fd, data, size, tmp);
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    fail("fsync", tmp);
+  }
+  if (::close(fd) != 0) fail("close", tmp);
+  CF_CRASHPOINT("persist.write.after");
+  CF_CRASHPOINT("persist.rename.before");
+  if (::rename(tmp.c_str(), path.c_str()) != 0) fail("rename", path);
+  CF_CRASHPOINT("persist.rename.after");
+  fsync_parent_dir(path);
+}
+
+void durable_write(const std::string& path,
+                   const std::vector<std::uint8_t>& data) {
+  durable_write(path, data.data(), data.size());
+}
+
+void fsync_parent_dir(const std::string& path) {
+  std::string dir = path;
+  struct stat st {};
+  if (::stat(dir.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) {
+    dir = parent_of(path);
+  }
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) fail("open dir", dir);
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    fail("fsync dir", dir);
+  }
+  ::close(fd);
+}
+
+}  // namespace cppflare::core

@@ -1,0 +1,34 @@
+// Crash-safe file replacement.
+//
+// `std::ofstream` + `std::filesystem::rename` is atomic against concurrent
+// readers but NOT against power loss: neither the temp file's bytes nor the
+// directory entry created by the rename are guaranteed on stable storage
+// when the call returns. `durable_write` does the full dance — write temp,
+// fsync temp, rename over the target, fsync the parent directory — and is
+// the only sanctioned way to persist coordinator state (lint rule R13 bans
+// raw stream writes from the persistor and journal). The persist.* crash
+// points live inside it, so every caller is automatically death-testable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cppflare::core {
+
+/// Atomically and durably replaces `path` with `size` bytes from `data`:
+/// writes `path + ".tmp"`, fsyncs it, renames it over `path`, then fsyncs
+/// the parent directory so the rename itself survives power loss. Throws
+/// cppflare::Error naming the path on any I/O failure.
+void durable_write(const std::string& path, const std::uint8_t* data,
+                   std::size_t size);
+
+void durable_write(const std::string& path,
+                   const std::vector<std::uint8_t>& data);
+
+/// fsyncs the directory containing `path` (or `path` itself if it is a
+/// directory), making previously renamed/created entries durable.
+void fsync_parent_dir(const std::string& path);
+
+}  // namespace cppflare::core

@@ -1,0 +1,258 @@
+#include "core/wal.h"
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "core/durable.h"
+
+namespace cppflare::core {
+namespace {
+
+constexpr std::size_t kFrameHeader = 8;  // u32 len + u32 crc
+
+/// Slice-by-8 tables: table[0] is the classic byte-at-a-time table, and
+/// table[k][b] equals table[0][b] advanced by k extra zero bytes, so eight
+/// bytes fold into the running CRC with eight independent lookups per
+/// iteration instead of a serial chain of eight dependent ones.
+std::array<std::array<std::uint32_t, 256>, 8> make_crc_tables() {
+  std::array<std::array<std::uint32_t, 256>, 8> tables{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    tables[0][i] = c;
+  }
+  for (std::size_t k = 1; k < 8; ++k) {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      tables[k][i] =
+          tables[0][tables[k - 1][i] & 0xFFu] ^ (tables[k - 1][i] >> 8);
+    }
+  }
+  return tables;
+}
+
+std::uint32_t read_u32le(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+void put_u32le(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+[[noreturn]] void fail(const std::string& op, const std::string& path) {
+  throw Error("wal: " + op + " failed for '" + path +
+              "': " + std::strerror(errno));
+}
+
+std::vector<std::uint8_t> read_file(int fd, const std::string& path) {
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) fail("fstat", path);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(st.st_size));
+  std::size_t done = 0;
+  while (done < bytes.size()) {
+    const ssize_t n = ::read(fd, bytes.data() + done, bytes.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("read", path);
+    }
+    if (n == 0) {
+      bytes.resize(done);  // shrunk under us; parse what we got
+      break;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return bytes;
+}
+
+/// Parses frames out of `bytes`. Returns the recovered records and sets
+/// `valid_end` to the offset just past the last complete, checksummed
+/// frame; bytes beyond it are a torn tail. Throws WalCorruptionError when
+/// a complete frame fails its checksum or a length field is absurd.
+WalReplayResult parse_frames(const std::vector<std::uint8_t>& bytes,
+                             const std::string& path, std::size_t* valid_end) {
+  WalReplayResult result;
+  std::size_t off = 0;
+  *valid_end = 0;
+  while (bytes.size() - off >= kFrameHeader) {
+    const std::uint32_t len = read_u32le(bytes.data() + off);
+    const std::uint32_t crc = read_u32le(bytes.data() + off + 4);
+    if (len > Wal::kMaxRecordBytes) {
+      throw WalCorruptionError("frame at offset " + std::to_string(off) +
+                               " of '" + path + "' promises " +
+                               std::to_string(len) + " bytes");
+    }
+    if (bytes.size() - off - kFrameHeader < len) break;  // torn tail
+    const std::uint8_t* payload = bytes.data() + off + kFrameHeader;
+    if (crc32(payload, len) != crc) {
+      throw WalCorruptionError("checksum mismatch in frame at offset " +
+                               std::to_string(off) + " of '" + path + "'");
+    }
+    result.records.emplace_back(payload, payload + len);
+    off += kFrameHeader + len;
+    *valid_end = off;
+  }
+  result.truncated_bytes = bytes.size() - *valid_end;
+  return result;
+}
+
+std::vector<std::uint8_t> frame_record(const std::uint8_t* data,
+                                       std::size_t size) {
+  std::vector<std::uint8_t> frame(kFrameHeader + size);
+  put_u32le(frame.data(), static_cast<std::uint32_t>(size));
+  put_u32le(frame.data() + 4, crc32(data, size));
+  std::memcpy(frame.data() + kFrameHeader, data, size);
+  return frame;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size) {
+  static const std::array<std::array<std::uint32_t, 256>, 8> kTables =
+      make_crc_tables();
+  const auto& t = kTables;
+  std::uint32_t c = 0xFFFFFFFFu;
+  std::size_t i = 0;
+  for (; size - i >= 8; i += 8) {
+    const std::uint32_t lo = c ^ read_u32le(data + i);
+    const std::uint32_t hi = read_u32le(data + i + 4);
+    c = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^ t[5][(lo >> 16) & 0xFFu] ^
+        t[4][lo >> 24] ^ t[3][hi & 0xFFu] ^ t[2][(hi >> 8) & 0xFFu] ^
+        t[1][(hi >> 16) & 0xFFu] ^ t[0][hi >> 24];
+  }
+  for (; i < size; ++i) {
+    c = t[0][(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+const char* wal_sync_policy_name(WalSyncPolicy policy) {
+  switch (policy) {
+    case WalSyncPolicy::kOff: return "off";
+    case WalSyncPolicy::kEveryRound: return "every_round";
+    case WalSyncPolicy::kEveryRecord: return "every_record";
+  }
+  return "unknown";
+}
+
+Wal::Wal(std::string path, WalSyncPolicy policy)
+    : path_(std::move(path)), policy_(policy) {}
+
+Wal::~Wal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Wal::open_fd() {
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0) fail("open", path_);
+}
+
+WalReplayResult Wal::open_and_replay() {
+  if (fd_ < 0) open_fd();
+  if (::lseek(fd_, 0, SEEK_SET) < 0) fail("lseek", path_);
+  const std::vector<std::uint8_t> bytes = read_file(fd_, path_);
+  std::size_t valid_end = 0;
+  WalReplayResult result = parse_frames(bytes, path_, &valid_end);
+  if (result.truncated_bytes > 0) {
+    if (::ftruncate(fd_, static_cast<off_t>(valid_end)) != 0) {
+      fail("ftruncate", path_);
+    }
+    if (::fsync(fd_) != 0) fail("fsync", path_);
+  }
+  if (::lseek(fd_, static_cast<off_t>(valid_end), SEEK_SET) < 0) {
+    fail("lseek", path_);
+  }
+  size_ = valid_end;
+  return result;
+}
+
+void Wal::append(const std::uint8_t* data, std::size_t size) {
+  if (fd_ < 0) open_fd();
+  const std::vector<std::uint8_t> frame = frame_record(data, size);
+  std::size_t done = 0;
+  while (done < frame.size()) {
+    const ssize_t n = ::write(fd_, frame.data() + done, frame.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("write", path_);
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  size_ += frame.size();
+  if (policy_ == WalSyncPolicy::kEveryRecord) {
+    if (::fsync(fd_) != 0) fail("fsync", path_);
+  }
+}
+
+void Wal::append(const std::vector<std::uint8_t>& record) {
+  append(record.data(), record.size());
+}
+
+void Wal::sync() {
+  if (policy_ == WalSyncPolicy::kOff || fd_ < 0) return;
+  if (::fsync(fd_) != 0) fail("fsync", path_);
+}
+
+void Wal::reset(const std::vector<std::vector<std::uint8_t>>& records) {
+  std::vector<std::uint8_t> bytes;
+  for (const auto& record : records) {
+    const std::vector<std::uint8_t> frame =
+        frame_record(record.data(), record.size());
+    bytes.insert(bytes.end(), frame.begin(), frame.end());
+  }
+  // The rewrite replaces the inode; drop our handle to the old one first.
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  durable_write(path_, bytes);
+  open_fd();
+  if (::lseek(fd_, 0, SEEK_END) < 0) fail("lseek", path_);
+  size_ = bytes.size();
+}
+
+void Wal::truncate(std::uint64_t size) {
+  if (fd_ < 0) open_fd();
+  if (size > size_) {
+    throw Error("wal: truncate(" + std::to_string(size) + ") past the " +
+                std::to_string(size_) + "-byte end of '" + path_ + "'");
+  }
+  if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) fail("ftruncate", path_);
+  if (::lseek(fd_, static_cast<off_t>(size), SEEK_SET) < 0) fail("lseek", path_);
+  // Compaction is its own barrier even under kEveryRound: an un-synced
+  // truncate could resurrect dropped frames after power loss. kOff opts out
+  // of power-loss durability wholesale, so it skips this fsync too.
+  if (policy_ != WalSyncPolicy::kOff) {
+    if (::fsync(fd_) != 0) fail("fsync", path_);
+  }
+  size_ = size;
+}
+
+WalReplayResult Wal::read(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) fail("open", path);
+  std::vector<std::uint8_t> bytes;
+  try {
+    bytes = read_file(fd, path);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);
+  std::size_t valid_end = 0;
+  return parse_frames(bytes, path, &valid_end);
+}
+
+}  // namespace cppflare::core

@@ -1,0 +1,113 @@
+// Generic append-only write-ahead log.
+//
+// On-disk format: a sequence of frames, each
+//
+//   [u32 payload_len (LE)] [u32 crc32(payload) (LE)] [payload bytes]
+//
+// Replay walks frames from the start and distinguishes two failure shapes:
+//
+//   * torn tail — the file ends mid-frame (truncated header, or a promised
+//     length running past EOF). This is the expected result of a crash
+//     between write and durability; replay keeps the intact prefix,
+//     truncates the file back to the last valid frame boundary, and
+//     continues. It never throws on a torn tail.
+//   * bit-rot — a complete frame whose CRC does not match its payload, or a
+//     length field promising more than kMaxRecordBytes. The prefix cannot
+//     be trusted; replay throws WalCorruptionError naming the path.
+//
+// Sync policy decides when appended frames are fsynced: kEveryRecord after
+// each append (safest, slowest), kEveryRound only when the owner calls
+// sync() at its own barrier, kOff never (page cache survives process death,
+// not power loss — fine for tests and throwaway runs).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/error.h"
+
+namespace cppflare::core {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320), the framing checksum.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size);
+
+/// A complete-but-wrong frame: checksum mismatch or an absurd length field.
+/// Distinct from SerializationError so callers can tell storage rot from
+/// protocol bugs.
+class WalCorruptionError : public Error {
+ public:
+  explicit WalCorruptionError(const std::string& what)
+      : Error("wal corruption: " + what) {}
+};
+
+enum class WalSyncPolicy { kOff, kEveryRound, kEveryRecord };
+
+const char* wal_sync_policy_name(WalSyncPolicy policy);
+
+/// What replay recovered. `truncated_bytes` counts the torn tail dropped
+/// from the file (0 on a clean log).
+struct [[nodiscard]] WalReplayResult {
+  std::vector<std::vector<std::uint8_t>> records;
+  std::uint64_t truncated_bytes = 0;
+};
+
+/// Single-writer append-only log. Not internally synchronized: the owner
+/// serializes access (the FederatedServer journals under its round lock).
+class Wal {
+ public:
+  /// Largest payload a frame may promise; anything larger is treated as a
+  /// corrupt length field rather than an allocation request.
+  static constexpr std::uint32_t kMaxRecordBytes = 1u << 30;
+
+  Wal(std::string path, WalSyncPolicy policy);
+  ~Wal();
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Opens (creating if absent) and replays the log, truncating any torn
+  /// tail, then positions the write cursor after the last valid frame.
+  /// Throws WalCorruptionError on bit-rot, Error on I/O failure.
+  WalReplayResult open_and_replay();
+
+  /// Appends one framed record; fsyncs it under kEveryRecord.
+  void append(const std::uint8_t* data, std::size_t size);
+  void append(const std::vector<std::uint8_t>& record);
+
+  /// Owner-driven barrier: fsyncs pending appends unless the policy is kOff.
+  void sync();
+
+  /// Compacts the log to exactly `records`, via a durable temp-file-and-
+  /// rename rewrite (crash-atomic: replay sees either the old log or the
+  /// new one, never a mix).
+  void reset(const std::vector<std::vector<std::uint8_t>>& records);
+
+  /// Drops every frame past byte offset `size`, in place (ftruncate +
+  /// fsync). Crash-atomic on frame boundaries: the file either still holds
+  /// the dropped frames or holds exactly the prefix — never a torn middle.
+  /// Far cheaper than reset() because the inode, fd and prefix bytes are
+  /// all left untouched. The caller owns picking a frame boundary.
+  void truncate(std::uint64_t size);
+
+  /// Bytes in the log up to the last valid frame: maintained across
+  /// open_and_replay/append/reset/truncate without re-stat()ing the file.
+  std::uint64_t size() const { return size_; }
+
+  const std::string& path() const { return path_; }
+  WalSyncPolicy policy() const { return policy_; }
+
+  /// Read-only replay of a log file nobody holds open — for tools and test
+  /// assertions. Tolerates a torn tail without modifying the file.
+  static WalReplayResult read(const std::string& path);
+
+ private:
+  void open_fd();
+
+  std::string path_;
+  WalSyncPolicy policy_;
+  int fd_ = -1;
+  std::uint64_t size_ = 0;
+};
+
+}  // namespace cppflare::core

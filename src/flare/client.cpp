@@ -194,7 +194,7 @@ void FederatedClient::run() {
       Dxo share;
       {
         CF_TRACE_SPAN_SITE("client.unmask", credential_.name, req.round);
-        share = unmask_provider_(req.dropped, req.round);
+        share = unmask_provider_(req.dropped, req.round, req.skeleton.data());
       }
       const SubmitAck ack =
           decode_submit_ack(call([this, &req, &share] {

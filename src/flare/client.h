@@ -78,12 +78,15 @@ class FederatedClient {
   /// Answers the server's mask-recovery question (DESIGN.md §14): given the
   /// set of dropped sites and the round, return the sum of this site's
   /// pairwise masks against them so the server can subtract them from the
-  /// masked aggregate. Installed by the secure-aggregation wiring; a client
-  /// without a provider answers UnmaskRequest with a fatal protocol error,
-  /// which is correct for unmasked runs (the server never asks).
+  /// masked aggregate. `skeleton` is the server-supplied zeros template of
+  /// the expected share, for providers restarted after a crash with no
+  /// upload-time state (DESIGN.md §15). Installed by the secure-aggregation
+  /// wiring; a client without a provider answers UnmaskRequest with a fatal
+  /// protocol error, which is correct for unmasked runs (the server never
+  /// asks).
   using UnmaskProvider =
       std::function<Dxo(const std::vector<std::string>& dropped,
-                        std::int64_t round)>;
+                        std::int64_t round, const nn::StateDict& skeleton)>;
   void set_unmask_provider(UnmaskProvider provider) {
     unmask_provider_ = std::move(provider);
   }

@@ -103,6 +103,7 @@ std::vector<std::uint8_t> pack(const UnmaskRequest& m) {
   w.write_i64(m.wave);
   w.write_u32(static_cast<std::uint32_t>(m.dropped.size()));
   for (const std::string& site : m.dropped) w.write_string(site);
+  m.skeleton.serialize(w);
   return w.take();
 }
 
@@ -207,6 +208,8 @@ UnmaskRequest decode_unmask_request(const std::vector<std::uint8_t>& frame) {
   const std::uint32_t count = r.read_u32();
   m.dropped.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) m.dropped.push_back(r.read_string());
+  // Trailing share skeleton, absent in pre-durability frames.
+  if (r.remaining() > 0) m.skeleton = Dxo::deserialize(r);
   return m;
 }
 

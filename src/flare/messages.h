@@ -130,6 +130,12 @@ struct UnmaskRequest {
   /// the remaining survivors must answer again against the enlarged set.
   std::int64_t wave = 0;
   std::vector<std::string> dropped;
+  /// Zeros template of the expected share (the global model's skeleton —
+  /// nothing the honest-but-curious server doesn't already publish). A
+  /// survivor restarted after a coordinator crash lost the skeleton its
+  /// mask filter recorded at upload time; this field lets it answer anyway
+  /// (DESIGN.md §15). Absent in pre-durability frames (lenient decode).
+  Dxo skeleton;
 };
 
 /// Survivor's answer: `share` holds the summed mask stream (same skeleton as

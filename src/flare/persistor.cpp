@@ -1,10 +1,9 @@
 #include "flare/persistor.h"
 
-#include <cstdio>
-#include <filesystem>
 #include <fstream>
 
 #include "core/bytes.h"
+#include "core/durable.h"
 #include "core/error.h"
 #include "core/sha256.h"
 
@@ -101,15 +100,9 @@ void ModelPersistor::save(const Checkpoint& checkpoint) const {
       core::Sha256::hash(w.bytes().data(), w.size());
   w.write_raw(digest.data(), digest.size());
 
-  const std::string tmp = path_ + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) throw Error("ModelPersistor: cannot open '" + tmp + "'");
-    out.write(reinterpret_cast<const char*>(w.bytes().data()),
-              static_cast<std::streamsize>(w.size()));
-    if (!out) throw Error("ModelPersistor: write failed for '" + tmp + "'");
-  }
-  std::filesystem::rename(tmp, path_);
+  // tmp + fsync + rename + parent-dir fsync: survives process death AND
+  // power loss, and embeds the persist.* crash points (DESIGN.md §15).
+  core::durable_write(path_, w.bytes().data(), w.size());
 }
 
 std::optional<Checkpoint> ModelPersistor::load() const {

@@ -108,10 +108,18 @@ void SecureAggMaskFilter::process(Dxo& dxo, const FLContext& ctx) {
 
 Dxo SecureAggMaskFilter::unmask_share(const std::vector<std::string>& dropped,
                                       std::int64_t round) const {
-  if (skeleton_.empty()) {
+  return unmask_share(dropped, round, nn::StateDict{});
+}
+
+Dxo SecureAggMaskFilter::unmask_share(
+    const std::vector<std::string>& dropped, std::int64_t round,
+    const nn::StateDict& fallback_skeleton) const {
+  if (skeleton_.empty() && fallback_skeleton.empty()) {
     throw Error("SecureAggMaskFilter: unmask_share before any masked upload");
   }
-  nn::StateDict sum = skeleton_;  // zeros, in the element order process used
+  // Zeros, in the element order process used; a restarted process that
+  // never masked this round falls back to the server-supplied template.
+  nn::StateDict sum = skeleton_.empty() ? fallback_skeleton : skeleton_;
   for (std::size_t p = 0; p < other_sites_.size(); ++p) {
     if (std::find(dropped.begin(), dropped.end(), other_sites_[p]) ==
         dropped.end()) {

@@ -82,6 +82,15 @@ class SecureAggMaskFilter : public Filter {
   Dxo unmask_share(const std::vector<std::string>& dropped,
                    std::int64_t round) const;
 
+  /// Restart-tolerant variant: when this filter never masked an upload in
+  /// this process (its skeleton died with a crash), shape the share from
+  /// `fallback_skeleton` — the zeros template the server attaches to
+  /// UnmaskRequest. Masks themselves are seed-derived from (pair key,
+  /// round), so the share is identical either way. Throws only when both
+  /// skeletons are empty.
+  Dxo unmask_share(const std::vector<std::string>& dropped, std::int64_t round,
+                   const nn::StateDict& fallback_skeleton) const;
+
   std::int64_t frac_bits() const { return frac_bits_; }
 
  private:

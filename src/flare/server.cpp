@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "core/crashpoint.h"
 #include "core/error.h"
 #include "core/logging.h"
 #include "core/rng.h"
@@ -62,10 +63,12 @@ FederatedServer::FederatedServer(ServerConfig config,
                                  nn::StateDict initial_model,
                                  std::unique_ptr<Aggregator> aggregator,
                                  std::shared_ptr<ModelPersistor> persistor,
-                                 std::optional<Checkpoint> resume)
+                                 std::optional<Checkpoint> resume,
+                                 std::shared_ptr<RoundJournal> journal)
     : config_(std::move(config)),
       registry_(std::move(registry)),
       persistor_(std::move(persistor)),
+      journal_(std::move(journal)),
       global_(std::move(initial_model)),
       aggregator_(std::move(aggregator)),
       validator_(effective_validator_config(config_)),
@@ -107,6 +110,27 @@ FederatedServer::FederatedServer(ServerConfig config,
   if (!finished_) {
     aggregator_->reset(global_, round_);
     validator_.reset(global_, round_);
+  }
+  if (journal_) {
+    // Reconcile journal against checkpoint. Only a journal whose open round
+    // IS the round we are about to run holds usable mid-round state; any
+    // other open round is stale — most commonly a crash in the window after
+    // the CPK3 checkpoint was saved but before the commit frame landed, in
+    // which case the checkpoint already owns that round's outcome.
+    const JournalReplay replay = journal_->open(config_.job_id);
+    if (replay.open_round >= 0 && !finished_ &&
+        replay.open_round == round_) {
+      core::MutexLock lock(mu_);
+      apply_journal_locked(replay);
+    } else if (replay.open_round >= 0) {
+      LOG_AS(kSag, warn)
+          .msg("Journal holds a round the checkpoint superseded (or that no "
+               "checkpoint backs); discarding it")
+          .kv("journal_round", replay.open_round)
+          .kv("next_round", round_)
+          .kv("path", journal_->path());
+      journal_->discard();
+    }
   }
   // R5-exempt: the server's ticker thread (round deadlines, park expiry)
   ticker_thread_ = std::thread([this] { ticker_loop(); });
@@ -361,8 +385,11 @@ FederatedServer::PollReply FederatedServer::build_poll_reply_locked(
     const std::string& sender) {
   if (phase_ == RoundPhase::kRecovering && !finished_ && !aborted_) {
     if (unmask_pending_.count(sender) != 0) {
+      // The skeleton lets a survivor restarted after a coordinator crash
+      // (its mask filter's upload-time state gone) still derive its share.
       return PollReply{
-          pack(UnmaskRequest{round_, recovery_wave_, recovery_dropped_}),
+          pack(UnmaskRequest{round_, recovery_wave_, recovery_dropped_,
+                             Dxo(DxoKind::kWeights, global_.zeros_like())}),
           /*parkable=*/false};
     }
     // The round is frozen: nobody else gets work until recovery resolves.
@@ -582,6 +609,11 @@ std::vector<std::uint8_t> FederatedServer::on_submit(const std::string& sender,
     // grow the site's parole streak.
     ScoredUpload scored;
     scored.verdict = validator_.score(sender, contribution, &scored.norm);
+    if (journal_) {
+      journal_->quarantine_scored(
+          sender, static_cast<std::uint8_t>(scored.verdict.reason),
+          scored.verdict.detail, scored.norm);
+    }
     scored_quarantined_[sender] = std::move(scored);
     record_rejection_locked(RejectReason::kQuarantined);
     const SubmitAck ack{false,
@@ -596,6 +628,15 @@ std::vector<std::uint8_t> FederatedServer::on_submit(const std::string& sender,
 
   const Verdict verdict = validator_.admit(*aggregator_, sender, contribution);
   if (!verdict.ok()) {
+    const SubmitAck ack{
+        false,
+        "rejected: " + std::string(reject_reason_name(verdict.reason)) +
+            (verdict.detail.empty() ? "" : " (" + verdict.detail + ")"),
+        verdict.reason};
+    if (journal_) {
+      journal_->rejected(sender, static_cast<std::uint8_t>(verdict.reason),
+                         ack.message);
+    }
     record_rejection_locked(verdict.reason);
     if (reputation_.record_rejection(sender)) {
       LOG_AS(kSag, warn)
@@ -603,16 +644,17 @@ std::vector<std::uint8_t> FederatedServer::on_submit(const std::string& sender,
           .kv("site", sender)
           .kv("strikes", config_.reputation.quarantine_after);
     }
-    const SubmitAck ack{
-        false,
-        "rejected: " + std::string(reject_reason_name(verdict.reason)) +
-            (verdict.detail.empty() ? "" : " (" + verdict.detail + ")"),
-        verdict.reason};
     rejected_acks_[sender] = ack;
     maybe_close_round_locked();
     service_parked_locked();
     return pack(ack);
   }
+  // Journal the accepted (post-filter) bytes before mutating round state:
+  // after this frame is down, a crash anywhere leaves a replayable record
+  // and the client's resend maps to kDuplicateContribution — the site is
+  // never asked to train this round again.
+  if (journal_) journal_->accepted(sender, contribution);
+  CF_CRASHPOINT("journal.append.after");
   submitted_.insert(sender);
   metrics_.counter(metric_names::kServerContribAccepted).add(1);
   maybe_close_round_locked();
@@ -660,6 +702,8 @@ std::vector<std::uint8_t> FederatedServer::on_unmask(const std::string& sender,
     return pack(SubmitAck{false, "mask share rejected (incongruent skeleton)",
                           RejectReason::kSchemaMismatch});
   }
+  if (journal_) journal_->unmask_share(sender, req.share);
+  CF_CRASHPOINT("recovery.share.after");
   unmask_pending_.erase(sender);
   metrics_.counter(metric_names::kServerUnmaskShares).add(1);
   LOG_AS(kSag, info)
@@ -686,11 +730,176 @@ FLContext FederatedServer::make_context_locked() const {
 void FederatedServer::start_round_locked() {
   round_start_ = std::chrono::steady_clock::now();
   round_start_ns_ = core::Tracer::instance().now_ns();
+  if (round_replayed_) {
+    // The round was reconstructed from the journal: it is already open (and
+    // journaled), its cohort is the journaled one, and the rejection
+    // baseline stays empty — this process's counters started at zero and
+    // replay re-incremented exactly the rejections that happened before the
+    // crash. Resampling or re-journaling here would fork the round.
+    round_replayed_ = false;
+    LOG_AS(kSag, info)
+        .msg("Round " + std::to_string(round_) +
+             " resumed mid-flight from journal replay.")
+        .kv("accepted", aggregator_->accepted_count())
+        .kv("recovering", phase_ == RoundPhase::kRecovering);
+    return;
+  }
   reject_baseline_ = metrics_.snapshot().counters_with_prefix(
       metric_names::kRejectionPrefix);
   sample_round_participants_locked();
+  if (journal_ && journal_open_round_ != round_) {
+    journal_->round_open(
+        round_, std::vector<std::string>(sampled_.begin(), sampled_.end()));
+    journal_open_round_ = round_;
+    CF_CRASHPOINT("journal.open.after");
+  }
   LOG_AS(kSag, info).msg("Round " + std::to_string(round_) + " started.");
   events_.fire(EventType::kRoundStarted, make_context_locked());
+}
+
+// Reconstructs mid-round state by re-driving each journaled event through
+// the same admission machinery the live path used: accepted DXO bytes go
+// back through validator_.admit (rebuilding the aggregator's buffers AND
+// the round's norm population), rejections re-strike reputation, and the
+// recovery events replay the freeze/share/demotion sequence against the
+// rebuilt aggregator. Runs in the constructor before the ticker exists and
+// before any client can connect; deadlines restart from "now" — wall-clock
+// budgets are per-process, only the *state* is durable.
+void FederatedServer::apply_journal_locked(const JournalReplay& replay) {
+  bool crash_pending = true;
+  for (const JournalEvent& ev : replay.events) {
+    switch (ev.type) {
+      case JournalEventType::kRoundOpen:
+        sampled_.clear();
+        for (const std::string& site : ev.names) sampled_.insert(site);
+        journal_open_round_ = ev.round;
+        break;
+      case JournalEventType::kAccepted: {
+        const Verdict verdict =
+            validator_.admit(*aggregator_, ev.site, *ev.payload);
+        if (!verdict.ok()) {
+          // Cannot happen for bytes that were admitted live unless the code
+          // changed between runs; surface it rather than silently dropping
+          // a contribution the client will never resend.
+          throw ProtocolError(
+              "journal replay: previously accepted contribution from '" +
+              ev.site + "' no longer admits (" + verdict.detail + ")");
+        }
+        submitted_.insert(ev.site);
+        metrics_.counter(metric_names::kServerContribAccepted).add(1);
+        break;
+      }
+      case JournalEventType::kRejected: {
+        const auto reason = static_cast<RejectReason>(ev.reason);
+        record_rejection_locked(reason);
+        (void)reputation_.record_rejection(ev.site);
+        rejected_acks_[ev.site] = SubmitAck{false, ev.detail, reason};
+        break;
+      }
+      case JournalEventType::kQuarantineScored: {
+        ScoredUpload scored;
+        scored.verdict.reason = static_cast<RejectReason>(ev.reason);
+        scored.verdict.detail = ev.detail;
+        scored.norm = ev.norm;
+        scored_quarantined_[ev.site] = std::move(scored);
+        record_rejection_locked(RejectReason::kQuarantined);
+        rejected_acks_[ev.site] =
+            SubmitAck{false,
+                      "quarantined: update scored but excluded from "
+                      "aggregation",
+                      RejectReason::kQuarantined};
+        break;
+      }
+      case JournalEventType::kEviction:
+        evicted_.insert(ev.site);
+        break;
+      case JournalEventType::kRecoveryBegin:
+        if (mask_recovery_ == nullptr) {
+          throw ConfigError(
+              "journal replay: log holds mask-recovery events but the "
+              "aggregator is not mask-recovery capable");
+        }
+        phase_ = RoundPhase::kRecovering;
+        recovery_wave_ = 0;
+        recovery_deadline_fired_ = ev.deadline_fired;
+        recovery_dropped_ = ev.names;
+        unmask_pending_.clear();
+        for (const std::string& site : mask_recovery_->accepted_sites()) {
+          unmask_pending_.insert(site);
+        }
+        recovery_deadline_ =
+            std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(config_.secure_agg.recovery_deadline_ms);
+        recovery_start_ns_ = core::Tracer::instance().now_ns();
+        metrics_.counter(metric_names::kServerRecoveryRounds).add(1);
+        metrics_.gauge(metric_names::kServerRecoveryDropped)
+            .set(static_cast<double>(recovery_dropped_.size()));
+        break;
+      case JournalEventType::kUnmaskShare:
+        if (mask_recovery_->set_unmask_share(ev.site, *ev.payload)) {
+          unmask_pending_.erase(ev.site);
+          metrics_.counter(metric_names::kServerUnmaskShares).add(1);
+        }
+        break;
+      case JournalEventType::kRecoveryWave: {
+        // Re-run the demotion cascade exactly as the live path did.
+        for (const std::string& site : ev.names) {
+          (void)aggregator_->revoke(site);
+          submitted_.erase(site);
+          recovery_dropped_.push_back(site);
+        }
+        metrics_.counter(metric_names::kServerRecoveryDemotions)
+            .add(static_cast<std::int64_t>(ev.names.size()));
+        std::sort(recovery_dropped_.begin(), recovery_dropped_.end());
+        mask_recovery_->clear_unmask_shares();
+        unmask_pending_.clear();
+        for (const std::string& site : mask_recovery_->accepted_sites()) {
+          unmask_pending_.insert(site);
+        }
+        metrics_.gauge(metric_names::kServerRecoveryDropped)
+            .set(static_cast<double>(recovery_dropped_.size()));
+        const std::int64_t required = min_required_locked();
+        if (static_cast<std::int64_t>(unmask_pending_.size()) < required) {
+          abort_run_locked(
+              "round " + std::to_string(round_) +
+                  " (journal replay): mask recovery demoted the surviving "
+                  "set below min_clients",
+              AbortCode::kRecoveryBelowQuorum);
+          return;
+        }
+        recovery_wave_ = ev.wave + 1;
+        if (recovery_wave_ >= config_.secure_agg.max_recovery_waves) {
+          abort_run_locked(
+              "round " + std::to_string(round_) +
+                  " (journal replay): mask recovery did not converge within " +
+                  std::to_string(config_.secure_agg.max_recovery_waves) +
+                  " wave(s)",
+              AbortCode::kRecoveryExhausted);
+          return;
+        }
+        recovery_deadline_ =
+            std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(config_.secure_agg.recovery_deadline_ms);
+        break;
+      }
+      case JournalEventType::kJobHeader:
+      case JournalEventType::kCommit:
+        break;  // structural frames; RoundJournal::open consumed them
+    }
+    if (crash_pending) {
+      crash_pending = false;
+      CF_CRASHPOINT("replay.mid");
+    }
+  }
+  round_replayed_ = true;
+  LOG_AS(kSag, info)
+      .msg("Journal replay reconstructed mid-round state")
+      .kv("round", round_)
+      .kv("events", static_cast<std::int64_t>(replay.events.size()))
+      .kv("accepted", aggregator_->accepted_count())
+      .kv("rejected", static_cast<std::int64_t>(rejected_acks_.size()))
+      .kv("recovering", phase_ == RoundPhase::kRecovering)
+      .kv("torn_bytes", static_cast<std::int64_t>(replay.torn_bytes));
 }
 
 // Round-close defense pass. The norm-outlier judgment runs here, over the
@@ -749,6 +958,8 @@ void FederatedServer::settle_round_verdicts_locked() {
 }
 
 void FederatedServer::finish_round_locked(bool deadline_fired) {
+  // However this round closes, it is no longer the replayed one.
+  round_replayed_ = false;
   events_.fire(EventType::kBeforeAggregation, make_context_locked());
   settle_round_verdicts_locked();
   if (aggregator_->accepted_count() == 0) {
@@ -805,6 +1016,16 @@ void FederatedServer::finish_round_locked(bool deadline_fired) {
                         reputation_.standings()});
     }
     LOG_AS(kSag, info).msg("End persist model on server.");
+  }
+  if (journal_) {
+    // Commit barrier: the checkpoint above now owns this round's outcome;
+    // the commit frame marks the journal's round state obsolete and the
+    // log is compacted back to its job header. A crash in this window
+    // (journal.commit.before) resolves at restart by the open-round-vs-
+    // checkpoint reconciliation — the stale journal is discarded.
+    CF_CRASHPOINT("journal.commit.before");
+    journal_->commit(round_);
+    journal_open_round_ = -1;
   }
   LOG_AS(kSag, info).msg("Round " + std::to_string(round_) + " finished.");
   events_.fire(EventType::kRoundDone, make_context_locked());
@@ -887,11 +1108,15 @@ void FederatedServer::close_round_locked(bool deadline_fired) {
 
 void FederatedServer::begin_recovery_locked(std::vector<std::string> dropped,
                                             bool deadline_fired) {
+  std::sort(dropped.begin(), dropped.end());
+  // Journal the freeze before entering it: a crash anywhere in the recovery
+  // phase replays back to a frozen round with this exact dropped set.
+  if (journal_) journal_->recovery_begin(round_, dropped, deadline_fired);
+  CF_CRASHPOINT("recovery.begin.after");
   phase_ = RoundPhase::kRecovering;
   recovery_wave_ = 0;
   recovery_deadline_fired_ = deadline_fired;
   recovery_dropped_ = std::move(dropped);
-  std::sort(recovery_dropped_.begin(), recovery_dropped_.end());
   unmask_pending_.clear();
   for (const std::string& site : mask_recovery_->accepted_sites()) {
     unmask_pending_.insert(site);
@@ -931,10 +1156,23 @@ void FederatedServer::advance_recovery_locked() {
   // remaining survivors must answer again against the enlarged set, so all
   // recorded shares are void.
   const std::set<std::string> laggards = unmask_pending_;
+  // One frame covers the whole demotion cascade: replay re-runs it
+  // atomically, so a crash mid-loop (recovery.wave.mid) cannot leave a
+  // half-demoted wave.
+  if (journal_) {
+    journal_->recovery_wave(
+        recovery_wave_,
+        std::vector<std::string>(laggards.begin(), laggards.end()));
+  }
+  bool first_demotion = true;
   for (const std::string& site : laggards) {
     (void)aggregator_->revoke(site);
     submitted_.erase(site);
     recovery_dropped_.push_back(site);
+    if (first_demotion) {
+      first_demotion = false;
+      CF_CRASHPOINT("recovery.wave.mid");
+    }
     LOG_AS(kSag, warn)
         .msg("Survivor failed to reveal its mask share in time; demoted")
         .kv("site", site)
@@ -1024,6 +1262,7 @@ void FederatedServer::evict_stragglers_locked() {
                             now - silent_since)
                             .count();
     if (silent >= config_.liveness_timeout_ms) {
+      if (journal_) journal_->evicted(site);
       evicted_.insert(site);
       LOG_AS(kClientManager, warn)
           .msg("Site unseen; evicted from the quorum")

@@ -29,6 +29,7 @@
 #include "flare/aggregator.h"
 #include "flare/filters.h"
 #include "flare/fl_context.h"
+#include "flare/journal.h"
 #include "flare/messages.h"
 #include "flare/persistor.h"
 #include "flare/provision.h"
@@ -112,11 +113,22 @@ class FederatedServer {
   /// `resume` restores a checkpointed run: the global model, metrics
   /// history, and round counter continue from `resume->round + 1` instead
   /// of round 0 (throws ConfigError on a job_id mismatch).
+  ///
+  /// `journal` adds intra-round durability (DESIGN.md §15): every round
+  /// mutation is journaled before it is applied, and construction replays a
+  /// journal left by a crashed predecessor — when its open round matches
+  /// the resume point the server resumes *within* that round (buffered
+  /// contributions, reputation strikes, recovery-wave position restored;
+  /// already-submitted sites answer kDuplicate instead of re-training); a
+  /// journal for any other round is stale (the checkpoint superseded it)
+  /// and is discarded with a warning. A journal from a different job is a
+  /// typed ConfigError.
   FederatedServer(ServerConfig config, std::map<std::string, Credential> registry,
                   nn::StateDict initial_model,
                   std::unique_ptr<Aggregator> aggregator,
                   std::shared_ptr<ModelPersistor> persistor = nullptr,
-                  std::optional<Checkpoint> resume = std::nullopt);
+                  std::optional<Checkpoint> resume = std::nullopt,
+                  std::shared_ptr<RoundJournal> journal = nullptr);
   ~FederatedServer();
 
   /// The sealed-bytes entry point for transports. The returned callable
@@ -258,6 +270,9 @@ class FederatedServer {
   void abort_run_locked(const std::string& reason,
                         AbortCode code = AbortCode::kExternal)
       CF_REQUIRES(mu_);
+  /// Re-drives journaled round events through the normal admission paths so
+  /// a restarted server resumes mid-round (ctor only; see class comment).
+  void apply_journal_locked(const JournalReplay& replay) CF_REQUIRES(mu_);
   void record_liveness(const std::string& sender);
   void sample_round_participants_locked() CF_REQUIRES(mu_);
   void settle_round_verdicts_locked() CF_REQUIRES(mu_);
@@ -282,6 +297,10 @@ class FederatedServer {
   FilterChain inbound_filters_;
   EventBus events_;
   std::shared_ptr<ModelPersistor> persistor_;
+  /// Write-ahead round journal (null = no intra-round durability). The
+  /// pointee is single-writer and every call happens with mu_ held, so mu_
+  /// is its capability just like the aggregator's.
+  std::shared_ptr<RoundJournal> journal_;
 
   mutable core::Mutex mu_;
   mutable core::CondVar finished_cv_;
@@ -321,6 +340,14 @@ class FederatedServer {
   std::set<std::string> evicted_
       CF_GUARDED_BY(mu_);                        // unseen past the timeout
   std::int64_t round_ CF_GUARDED_BY(mu_) = 0;
+  /// True between a ctor journal replay and that round's close: the next
+  /// start_round_locked must not resample or re-journal a round that is
+  /// already open in the journal.
+  bool round_replayed_ CF_GUARDED_BY(mu_) = false;
+  /// Round whose kRoundOpen frame is in the journal (-1 none) — makes the
+  /// double start_round_locked call benign (register racing a replayed
+  /// recovery finish) instead of journaling a second open frame.
+  std::int64_t journal_open_round_ CF_GUARDED_BY(mu_) = -1;
   std::chrono::steady_clock::time_point round_start_ CF_GUARDED_BY(mu_){};
   std::int64_t round_start_ns_ CF_GUARDED_BY(mu_) = 0;  // round span start
   bool started_ CF_GUARDED_BY(mu_) = false;

@@ -171,7 +171,8 @@ class SimSite : public std::enable_shared_from_this<SimSite> {
             }
             {
               CF_TRACE_SPAN_SITE("client.unmask", credential_.name, req.round);
-              unmask_share_ = masker_->unmask_share(req.dropped, req.round);
+              unmask_share_ = masker_->unmask_share(req.dropped, req.round,
+                                                    req.skeleton.data());
             }
             unmask_round_ = req.round;
             unmask_wave_ = req.wave;
@@ -358,9 +359,23 @@ SimulatorRunner::SimulatorRunner(SimulatorConfig config, nn::StateDict initial_m
       config_.secure_agg.recovery_deadline_ms;
   server_config.secure_agg.max_recovery_waves =
       config_.secure_agg.max_recovery_waves;
+  std::shared_ptr<RoundJournal> journal;
+  if (config_.journal) {
+    std::string journal_path = config_.journal_path;
+    if (journal_path.empty()) {
+      if (config_.persist_path.empty()) {
+        throw ConfigError(
+            "SimulatorRunner: journal enabled with neither journal_path nor "
+            "persist_path to derive it from");
+      }
+      journal_path = config_.persist_path + ".journal";
+    }
+    journal = std::make_shared<RoundJournal>(journal_path,
+                                             config_.journal_sync);
+  }
   server_ = std::make_unique<FederatedServer>(
       server_config, registry_, std::move(initial_model), std::move(aggregator),
-      persistor_, std::move(resume));
+      persistor_, std::move(resume), std::move(journal));
   if (config_.dp.enabled) {
     // Surface the accountant's cumulative spend as a gauge after every
     // published round (validated here so a bad delta fails at construction,
@@ -491,8 +506,9 @@ SimulationResult SimulatorRunner::run() {
     if (masker) {
       client->outbound_filters().add(masker);
       client->set_unmask_provider(
-          [masker](const std::vector<std::string>& dropped, std::int64_t round) {
-            return masker->unmask_share(dropped, round);
+          [masker](const std::vector<std::string>& dropped, std::int64_t round,
+                   const nn::StateDict& skeleton) {
+            return masker->unmask_share(dropped, round, skeleton);
           });
     }
     clients.push_back(std::move(client));

@@ -21,6 +21,7 @@
 
 #include "core/backoff.h"
 #include "core/trace.h"
+#include "core/wal.h"
 #include "flare/aggregator.h"
 #include "flare/client.h"
 #include "flare/faults.h"
@@ -84,6 +85,16 @@ struct SimulatorConfig {
   /// Resume a killed run: load the checkpoint at persist_path (when one
   /// exists) and continue from the round after the last completed one.
   bool resume = false;
+  /// Intra-round durability (DESIGN.md §15): journal every round mutation
+  /// to a write-ahead log so a killed coordinator resumes *within* the
+  /// round instead of replaying it. On start the journal is replayed and
+  /// reconciled against the checkpoint (combine with `resume`).
+  bool journal = false;
+  /// Journal location; empty derives `persist_path + ".journal"`.
+  std::string journal_path;
+  /// When the journal fsyncs (see core/wal.h): every record, once per
+  /// round (default), or never.
+  core::WalSyncPolicy journal_sync = core::WalSyncPolicy::kEveryRound;
   /// Partial participation: sample this many clients per round (0 = all).
   std::int64_t clients_per_round = 0;
   /// Graceful degradation (0 = require every client): rounds that hit

@@ -1,5 +1,5 @@
 // Drives the cflint binary (tools/cflint) over the committed fixture trees:
-// every rule R1-R12 must fire at its planted violation, the exempt-annotated
+// every rule R1-R13 must fire at its planted violation, the exempt-annotated
 // clean tree must come back spotless, and the hermetic --self-test must
 // pass. CFLINT_BINARY and CFLINT_FIXTURES are injected by the build (see
 // tests/CMakeLists.txt), so the test exercises the exact binary a plain
@@ -65,6 +65,9 @@ TEST(CflintTest, EveryRuleFiresOnViolationTree) {
       {"\"R10\"", "reactor.cpp"},
       {"\"R11\"", "status_violation.cpp"},
       {"\"R12\"", "dealer_escape_violation.cpp"},
+      // R13 is scoped by path, so its fixture must literally be named
+      // src/flare/journal.cpp inside the tree.
+      {"\"R13\"", "journal.cpp"},
   };
   for (const auto& e : expected) {
     // The finding's rule and file land in the same JSON object; with one

@@ -64,19 +64,39 @@ TEST(Messages, SubmitAckAndErrorRoundTrip) {
 }
 
 TEST(Messages, UnmaskRequestRoundTrip) {
+  nn::StateDict skel;
+  skel.insert("w", {{2}, {0.0f, 0.0f}});
   UnmaskRequest req;
   req.round = 6;
   req.wave = 2;
   req.dropped = {"site-3", "site-7"};
+  req.skeleton = Dxo(DxoKind::kWeights, skel);
   const auto frame = pack(req);
   EXPECT_EQ(peek_type(frame), MsgType::kUnmaskRequest);
   const UnmaskRequest m = decode_unmask_request(frame);
   EXPECT_EQ(m.round, 6);
   EXPECT_EQ(m.wave, 2);
   EXPECT_EQ(m.dropped, req.dropped);
+  EXPECT_EQ(m.skeleton.data().at("w").values.size(), 2u);
   // Empty dropped set survives too (a degenerate but legal wave).
-  const UnmaskRequest empty = decode_unmask_request(pack(UnmaskRequest{4, 0, {}}));
+  const UnmaskRequest empty =
+      decode_unmask_request(pack(UnmaskRequest{4, 0, {}, Dxo{}}));
   EXPECT_TRUE(empty.dropped.empty());
+}
+
+TEST(Messages, UnmaskRequestWithoutSkeletonStillDecodes) {
+  // A pre-durability frame stops after the dropped list; the decoder must
+  // accept it with an empty skeleton (lenient trailing-field decode).
+  core::ByteWriter w;
+  w.write_u8(static_cast<std::uint8_t>(MsgType::kUnmaskRequest));
+  w.write_i64(9);
+  w.write_i64(1);
+  w.write_u32(1);
+  w.write_string("site-4");
+  const UnmaskRequest m = decode_unmask_request(w.take());
+  EXPECT_EQ(m.round, 9);
+  EXPECT_EQ(m.dropped, std::vector<std::string>{"site-4"});
+  EXPECT_TRUE(m.skeleton.data().empty());
 }
 
 TEST(Messages, UnmaskResponseRoundTrip) {
@@ -99,7 +119,7 @@ TEST(Messages, UnmaskResponseRoundTrip) {
 TEST(Messages, UnmaskFramesRejectWrongTypeAndTruncation) {
   EXPECT_THROW(decode_unmask_request(pack(GetTaskRequest{"s"})), ProtocolError);
   EXPECT_THROW(decode_unmask_response(pack(GetTaskRequest{"s"})), ProtocolError);
-  auto frame = pack(UnmaskRequest{1, 0, {"site-1"}});
+  auto frame = pack(UnmaskRequest{1, 0, {"site-1"}, Dxo{}});
   frame.resize(frame.size() - 3);
   EXPECT_THROW(decode_unmask_request(frame), SerializationError);
 }

@@ -1,0 +1,300 @@
+#include "core/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/error.h"
+
+namespace cppflare::core {
+namespace {
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("cppflare_wal_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+  std::filesystem::path dir_;
+};
+
+std::vector<std::uint8_t> rec(const std::string& s) {
+  return std::vector<std::uint8_t>(s.begin(), s.end());
+}
+
+std::vector<char> slurp(const std::string& file) {
+  std::ifstream in(file, std::ios::binary);
+  return std::vector<char>(std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>());
+}
+
+void dump(const std::string& file, const std::vector<char>& bytes) {
+  std::ofstream out(file, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST_F(WalTest, Crc32KnownVector) {
+  // The canonical IEEE 802.3 check value: crc32("123456789") = 0xCBF43926.
+  const std::string s = "123456789";
+  EXPECT_EQ(crc32(reinterpret_cast<const std::uint8_t*>(s.data()), s.size()),
+            0xCBF43926u);
+  EXPECT_EQ(crc32(nullptr, 0), 0u);
+}
+
+TEST_F(WalTest, Crc32SliceAgreesWithBytewiseReference) {
+  // The production crc32 folds eight bytes per step (slice-by-8); pin it to
+  // a plain bytewise reference across every length that straddles the
+  // fast-path/tail boundary.
+  auto reference = [](const std::uint8_t* data, std::size_t size) {
+    std::uint32_t c = 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < size; ++i) {
+      c ^= data[i];
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+    }
+    return c ^ 0xFFFFFFFFu;
+  };
+  std::vector<std::uint8_t> buf(67);
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    buf[i] = static_cast<std::uint8_t>(i * 37 + 11);
+  }
+  for (std::size_t len = 0; len <= buf.size(); ++len) {
+    EXPECT_EQ(crc32(buf.data(), len), reference(buf.data(), len)) << len;
+  }
+}
+
+TEST_F(WalTest, TruncateDropsSuffixFramesInPlace) {
+  const std::string file = path("truncate.wal");
+  Wal wal(file, WalSyncPolicy::kEveryRound);
+  EXPECT_TRUE(wal.open_and_replay().records.empty());
+  EXPECT_EQ(wal.size(), 0u);
+  wal.append(rec("keep-1"));
+  wal.append(rec("keep-2"));
+  const std::uint64_t boundary = wal.size();
+  EXPECT_EQ(boundary, 2u * (8 + 6));  // two frames of 8-byte header + 6 payload
+  wal.append(rec("drop-me"));
+  wal.sync();
+
+  // Truncating past the end is a caller bug, not a silent no-op.
+  EXPECT_THROW(wal.truncate(wal.size() + 1), Error);
+
+  wal.truncate(boundary);
+  EXPECT_EQ(wal.size(), boundary);
+  EXPECT_EQ(std::filesystem::file_size(file), boundary);
+  // The handle keeps working: appends land cleanly at the new end.
+  wal.append(rec("after"));
+  wal.sync();
+  const WalReplayResult replay = Wal::read(file);
+  ASSERT_EQ(replay.records.size(), 3u);
+  EXPECT_EQ(replay.records[0], rec("keep-1"));
+  EXPECT_EQ(replay.records[1], rec("keep-2"));
+  EXPECT_EQ(replay.records[2], rec("after"));
+  EXPECT_EQ(replay.truncated_bytes, 0u);
+}
+
+TEST_F(WalTest, SyncPolicyNames) {
+  EXPECT_STREQ(wal_sync_policy_name(WalSyncPolicy::kOff), "off");
+  EXPECT_STREQ(wal_sync_policy_name(WalSyncPolicy::kEveryRound), "every_round");
+  EXPECT_STREQ(wal_sync_policy_name(WalSyncPolicy::kEveryRecord),
+               "every_record");
+}
+
+TEST_F(WalTest, AppendReplayRoundTripAcrossPolicies) {
+  for (const WalSyncPolicy policy :
+       {WalSyncPolicy::kOff, WalSyncPolicy::kEveryRound,
+        WalSyncPolicy::kEveryRecord}) {
+    const std::string file =
+        path(std::string("log_") + wal_sync_policy_name(policy));
+    {
+      Wal wal(file, policy);
+      EXPECT_TRUE(wal.open_and_replay().records.empty());
+      wal.append(rec("alpha"));
+      wal.append(rec("beta"));
+      wal.append(rec(""));  // empty payloads are legal frames
+      wal.sync();
+    }
+    Wal wal(file, policy);
+    const WalReplayResult replay = wal.open_and_replay();
+    ASSERT_EQ(replay.records.size(), 3u);
+    EXPECT_EQ(replay.records[0], rec("alpha"));
+    EXPECT_EQ(replay.records[1], rec("beta"));
+    EXPECT_TRUE(replay.records[2].empty());
+    EXPECT_EQ(replay.truncated_bytes, 0u);
+    // The cursor sits after the last frame: new appends extend, not clobber.
+    wal.append(rec("gamma"));
+    const WalReplayResult again = Wal::read(file);
+    ASSERT_EQ(again.records.size(), 4u);
+    EXPECT_EQ(again.records[3], rec("gamma"));
+  }
+}
+
+TEST_F(WalTest, TornTailTruncatedAtEveryByteOffset) {
+  // Build a reference log of three records, then for EVERY prefix length
+  // that cuts into the final frame, replay must (a) never throw, (b) keep
+  // exactly the two intact records, and (c) truncate the file back to the
+  // last valid frame boundary.
+  const std::string ref = path("ref.log");
+  {
+    Wal wal(ref, WalSyncPolicy::kOff);
+    (void)wal.open_and_replay();
+    wal.append(rec("first-record"));
+    wal.append(rec("second-record"));
+    wal.append(rec("the-final-record-that-gets-torn"));
+  }
+  const std::vector<char> bytes = slurp(ref);
+  const std::size_t frame2_end = bytes.size() - (8 + 31);  // header + payload
+  for (std::size_t cut = frame2_end + 1; cut < bytes.size(); ++cut) {
+    const std::string file = path("torn.log");
+    dump(file, std::vector<char>(bytes.begin(),
+                                 bytes.begin() + static_cast<long>(cut)));
+    Wal wal(file, WalSyncPolicy::kOff);
+    WalReplayResult replay;
+    ASSERT_NO_THROW(replay = wal.open_and_replay()) << "cut at " << cut;
+    ASSERT_EQ(replay.records.size(), 2u) << "cut at " << cut;
+    EXPECT_EQ(replay.records[0], rec("first-record"));
+    EXPECT_EQ(replay.records[1], rec("second-record"));
+    EXPECT_EQ(replay.truncated_bytes, cut - frame2_end) << "cut at " << cut;
+    // Replay repaired the file in place.
+    EXPECT_EQ(std::filesystem::file_size(file), frame2_end);
+  }
+}
+
+TEST_F(WalTest, TornTailAppendAfterRepairExtendsCleanly) {
+  const std::string file = path("repair.log");
+  {
+    Wal wal(file, WalSyncPolicy::kOff);
+    (void)wal.open_and_replay();
+    wal.append(rec("keep"));
+    wal.append(rec("will-be-torn"));
+  }
+  std::vector<char> bytes = slurp(file);
+  bytes.resize(bytes.size() - 5);
+  dump(file, bytes);
+  Wal wal(file, WalSyncPolicy::kOff);
+  const WalReplayResult replay = wal.open_and_replay();
+  ASSERT_EQ(replay.records.size(), 1u);
+  wal.append(rec("appended-after-repair"));
+  const WalReplayResult again = Wal::read(file);
+  ASSERT_EQ(again.records.size(), 2u);
+  EXPECT_EQ(again.records[1], rec("appended-after-repair"));
+}
+
+TEST_F(WalTest, BitRotThrowsTypedErrorNamingPath) {
+  const std::string file = path("rot.log");
+  {
+    Wal wal(file, WalSyncPolicy::kOff);
+    (void)wal.open_and_replay();
+    wal.append(rec("record-one"));
+    wal.append(rec("record-two"));
+  }
+  // Flip a payload byte of the FIRST (non-final) record: a complete frame
+  // whose CRC no longer matches is bit-rot, not a torn tail.
+  std::vector<char> bytes = slurp(file);
+  bytes[8 + 2] ^= 0x40;
+  dump(file, bytes);
+  Wal wal(file, WalSyncPolicy::kOff);
+  try {
+    (void)wal.open_and_replay();
+    FAIL() << "bit-rot must not replay";
+  } catch (const WalCorruptionError& e) {
+    EXPECT_NE(std::string(e.what()).find(file), std::string::npos)
+        << "corruption error must name the offending file";
+  }
+  // Static read throws the same typed error.
+  EXPECT_THROW((void)Wal::read(file), WalCorruptionError);
+}
+
+TEST_F(WalTest, OversizedLengthFieldIsCorruptionNotAllocation) {
+  const std::string file = path("huge.log");
+  {
+    Wal wal(file, WalSyncPolicy::kOff);
+    (void)wal.open_and_replay();
+    wal.append(rec("ok"));
+  }
+  std::vector<char> bytes = slurp(file);
+  // Forge a follow-up frame header promising ~4 GiB. The frame is
+  // "complete" per the length-vs-kMaxRecordBytes check, so this is typed
+  // corruption, never a 4 GiB allocation or a silent torn-tail truncation.
+  for (int i = 0; i < 8; ++i) bytes.push_back(static_cast<char>(0xff));
+  dump(file, bytes);
+  Wal wal(file, WalSyncPolicy::kOff);
+  EXPECT_THROW((void)wal.open_and_replay(), WalCorruptionError);
+}
+
+TEST_F(WalTest, ResetCompactsToExactlyGivenRecords) {
+  const std::string file = path("compact.log");
+  Wal wal(file, WalSyncPolicy::kEveryRound);
+  (void)wal.open_and_replay();
+  for (int i = 0; i < 50; ++i) wal.append(rec("bulk-" + std::to_string(i)));
+  const auto size_before = std::filesystem::file_size(file);
+  wal.reset({rec("header-only")});
+  EXPECT_LT(std::filesystem::file_size(file), size_before);
+  // The live handle keeps working after the rewrite...
+  wal.append(rec("post-compact"));
+  // ...and an independent reader sees exactly the compacted state.
+  const WalReplayResult replay = Wal::read(file);
+  ASSERT_EQ(replay.records.size(), 2u);
+  EXPECT_EQ(replay.records[0], rec("header-only"));
+  EXPECT_EQ(replay.records[1], rec("post-compact"));
+  EXPECT_FALSE(std::filesystem::exists(file + ".tmp"));
+}
+
+TEST_F(WalTest, StaticReadToleratesTornTailWithoutRepairing) {
+  const std::string file = path("ro.log");
+  {
+    Wal wal(file, WalSyncPolicy::kOff);
+    (void)wal.open_and_replay();
+    wal.append(rec("solid"));
+    wal.append(rec("torn-away"));
+  }
+  std::vector<char> bytes = slurp(file);
+  bytes.resize(bytes.size() - 3);
+  dump(file, bytes);
+  const auto size_before = std::filesystem::file_size(file);
+  const WalReplayResult replay = Wal::read(file);
+  ASSERT_EQ(replay.records.size(), 1u);
+  EXPECT_GT(replay.truncated_bytes, 0u);
+  // Read-only: the torn file was not modified.
+  EXPECT_EQ(std::filesystem::file_size(file), size_before);
+}
+
+TEST_F(WalTest, ReadMissingFileThrows) {
+  EXPECT_THROW((void)Wal::read(path("absent.log")), Error);
+}
+
+TEST_F(WalTest, UnwritableDirectoryThrows) {
+  Wal wal("/nonexistent_dir_zzz/x.log", WalSyncPolicy::kOff);
+  EXPECT_THROW((void)wal.open_and_replay(), Error);
+}
+
+TEST_F(WalTest, LargeRecordRoundTrip) {
+  const std::string file = path("large.log");
+  std::vector<std::uint8_t> big(1 << 20);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<std::uint8_t>(i * 2654435761u >> 24);
+  }
+  {
+    Wal wal(file, WalSyncPolicy::kEveryRecord);
+    (void)wal.open_and_replay();
+    wal.append(big);
+  }
+  const WalReplayResult replay = Wal::read(file);
+  ASSERT_EQ(replay.records.size(), 1u);
+  EXPECT_EQ(replay.records[0], big);
+}
+
+}  // namespace
+}  // namespace cppflare::core

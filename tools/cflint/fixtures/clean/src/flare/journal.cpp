@@ -1,0 +1,15 @@
+// R13 fixture: reads are legal, writes go through core durable-io, and the
+// exemption annotation suppresses a deliberate raw write.
+std::vector<char> read_back(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<char>(std::istreambuf_iterator<char>(in), {});
+}
+void append_record(const std::string& path, const std::vector<std::uint8_t>& bytes) {
+  core::durable_write(path, bytes);
+}
+void scratch_dump(const std::string& path, const std::vector<char>& bytes) {
+  // R13-exempt: debug-only dump behind CPPFLARE_JOURNAL_DUMP, never the log
+  std::ofstream out(path, std::ios::binary);
+  // R13-exempt: ditto
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}

@@ -1,0 +1,7 @@
+// R13 fixture: raw stream write inside the round journal, bypassing the
+// core durable-io helpers (no fsync, no atomic rename — a torn record
+// waiting to happen).
+void append_record(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}

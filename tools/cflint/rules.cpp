@@ -32,13 +32,13 @@ bool is_header(const std::string& path) { return ends_with(path, ".h"); }
 /// R9 applies only where iteration order reaches bytes, checkpoints, wire
 /// frames or aggregate arithmetic — the determinism-sensitive set.
 bool r9_in_scope(const std::string& path) {
-  static const std::array<const char*, 11> kScopes = {
+  static const std::array<const char*, 12> kScopes = {
       "src/flare/aggregator", "src/flare/robust_aggregator",
       "src/flare/persistor",  "src/flare/messages",
       "src/flare/dxo",        "src/flare/secure_agg",
       "src/flare/observability", "src/nn/state_dict",
       "src/core/bytes",       "src/data/vocab",
-      "src/train/reporting"};
+      "src/train/reporting",  "src/flare/journal"};
   for (const char* scope : kScopes) {
     if (contains(path, scope)) return true;
   }
@@ -102,6 +102,7 @@ class RuleRunner {
     r10_blocking_under_lock();
     r11_nodiscard();
     r12_secure_agg_containment();
+    r13_durable_writes_only();
   }
 
  private:
@@ -563,6 +564,43 @@ class RuleRunner {
     }
   }
 
+  // R13: the durability-critical units — the checkpoint persistor and the
+  // round journal — must never write through raw stream/stdio APIs. Every
+  // byte they put on disk goes through the core durable-io helpers
+  // (core::durable_write, core::Wal), which own the write-temp + fsync +
+  // rename dance; a stray ofstream there silently reintroduces the torn
+  // checkpoints DESIGN.md §15 exists to rule out. Reads (ifstream/fread)
+  // stay legal — only the write path must be crash-safe.
+  void r13_durable_writes_only() {
+    if (!starts_with(path_, "src/flare/persistor.") &&
+        !starts_with(path_, "src/flare/journal.")) {
+      return;
+    }
+    for (std::size_t i = 0; i < toks_.size(); ++i) {
+      const Token& t = toks_[i];
+      if (t.kind != TokKind::kIdent) continue;
+      if (t.text == "ofstream" || t.text == "FILE") {
+        flag(13, t, "raw '" + t.text + "' in durability-critical code; "
+                    "write through core::durable_write / core::Wal");
+        continue;
+      }
+      if (t.text == "fopen" || t.text == "fwrite") {
+        const Token* n = next(i);
+        if (n == nullptr || !is_punct(*n, "(")) continue;
+        flag(13, t, t.text + "() in durability-critical code; write through "
+                    "core::durable_write / core::Wal");
+        continue;
+      }
+      // Member `.write(` / `->write(`: the ostream/fd write idiom.
+      if (t.text == "write" && i >= 1 &&
+          (is_punct(toks_[i - 1], ".") || is_punct(toks_[i - 1], "->")) &&
+          i + 1 < toks_.size() && is_punct(toks_[i + 1], "(")) {
+        flag(13, t, "raw stream .write() in durability-critical code; write "
+                    "through core::durable_write / core::Wal");
+      }
+    }
+  }
+
   const std::string& path_;
   const std::vector<Token>& toks_;
   const std::map<int, std::set<int>>& exemptions_;
@@ -626,6 +664,8 @@ const char* rule_summary(int rule) {
     case 11: return "Status/Result types are [[nodiscard]] and never dropped";
     case 12: return "secure-aggregation key material (dealer/pair keys) stays "
                     "inside src/flare/secure_agg.* and provisioning";
+    case 13: return "persistor/journal write only through core durable-io "
+                    "(durable_write / Wal), never raw streams";
     default: return "";
   }
 }

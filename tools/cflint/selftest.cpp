@@ -215,6 +215,29 @@ const std::vector<Case>& cases() {
        "// R12-exempt: fixture proves the exemption path\n"
        "void f() { SecureAggregationDealer dealer(\"job\", 7); }\n",
        {}},
+
+      {"R13 raw writes in journal", "src/flare/journal.cpp",
+       "// ofstream in a comment is fine\n"
+       "const char* s = \"fwrite(\";\n"
+       "void f() { std::ofstream out(\"x.bin\", std::ios::binary); }\n"
+       "void g(std::ostream& os, const char* p, long n) { os.write(p, n); }\n"
+       "void h(const char* p) { FILE* fp = fopen(p, \"wb\"); fwrite(p, 1, 1, fp); }\n",
+       {{13, 3}, {13, 4}, {13, 5}, {13, 5}, {13, 5}}},
+      {"R13 reads and durable-io stay legal", "src/flare/persistor.cpp",
+       "void f(const std::string& p) { std::ifstream in(p, std::ios::binary); }\n"
+       "void g(const std::string& p, const std::vector<std::uint8_t>& b) {\n"
+       "  core::durable_write(p, b);\n"
+       "}\n"
+       "void h(core::ByteWriter& w) { w.write_u32(7); }\n",
+       {}},
+      {"R13 out of scope path", "src/flare/observability.cpp",
+       "void f() { std::ofstream out(\"trace.json\"); }\n",
+       {}},
+      {"R13 exempt", "src/flare/journal.h",
+       "#pragma once\n"
+       "// R13-exempt: fixture proves the exemption path\n"
+       "void f() { std::ofstream out(\"x.bin\"); }\n",
+       {}},
   };
   return kCases;
 }
