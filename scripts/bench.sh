@@ -30,6 +30,10 @@
 #       against journal-off) and fsyncing every record, plus the replay
 #       latency of a coordinator restarted over a mid-round journal holding
 #       eight accepted contributions.
+#   BENCH_jobs.json — bench_jobs aggregate rounds/s of 1 vs 4 concurrent
+#       federated jobs on one coordinator (8 sites each, in-proc transport)
+#       with the resulting scaling factor, plus mean admin-console call
+#       latency (status/metrics/list) through the sealed line protocol.
 #   BENCH_robust.json — bench_poison accuracy + rounds/s for four
 #       aggregation configs (FedAvg, FedAvg+validator+quarantine, median,
 #       trimmed mean) under every poisoning mode with 1-2 adversaries, plus
@@ -50,7 +54,7 @@ step() { echo; echo "==== $* ===="; }
 step "release: build benches"
 cmake --preset release
 cmake --build --preset release -j "${JOBS}" \
-  --target bench_micro_tensor bench_table2_models bench_faults bench_crash bench_privacy bench_poison bench_trace bench_scale
+  --target bench_micro_tensor bench_table2_models bench_faults bench_crash bench_jobs bench_privacy bench_poison bench_trace bench_scale
 
 step "tensor microbenchmarks -> BENCH_tensor.json"
 ./build-release/bench/bench_micro_tensor \
@@ -67,6 +71,9 @@ step "fault-tolerance overhead -> BENCH_faults.json"
 step "durability overhead + crash recovery -> BENCH_crash.json"
 ./build-release/bench/bench_crash --json "${REPO_ROOT}/BENCH_crash.json"
 
+step "multi-job coordinator -> BENCH_jobs.json"
+./build-release/bench/bench_jobs --json "${REPO_ROOT}/BENCH_jobs.json"
+
 step "privacy runtime -> BENCH_privacy.json"
 ./build-release/bench/bench_privacy --json "${REPO_ROOT}/BENCH_privacy.json"
 
@@ -80,4 +87,4 @@ step "coordinator scaling -> BENCH_scale.json"
 ./build-release/bench/bench_scale --json "${REPO_ROOT}/BENCH_scale.json"
 
 step "bench complete"
-echo "wrote BENCH_tensor.json, BENCH_models.json, BENCH_faults.json, BENCH_crash.json, BENCH_privacy.json, BENCH_robust.json, BENCH_obs.json and BENCH_scale.json"
+echo "wrote BENCH_tensor.json, BENCH_models.json, BENCH_faults.json, BENCH_crash.json, BENCH_jobs.json, BENCH_privacy.json, BENCH_robust.json, BENCH_obs.json and BENCH_scale.json"

@@ -70,6 +70,6 @@ cmake --build --preset tsan -j "${JOBS}"
 # preset already points at scripts/tsan.supp; export too for direct runs.
 export TSAN_OPTIONS="suppressions=${REPO_ROOT}/scripts/tsan.supp:history_size=7"
 ctest --preset tsan -j "${JOBS}" -R \
-  '^(stress_concurrency_test|parallel_test|thread_pool_test|tcp_test|simulator_test|server_client_test|integration_fl_test|cross_site_test|faults_test|secure_recovery_test|poison_test|trace_test|scale_test|journal_test|crash_recovery_test)$'
+  '^(stress_concurrency_test|parallel_test|thread_pool_test|tcp_test|simulator_test|server_client_test|integration_fl_test|cross_site_test|faults_test|secure_recovery_test|poison_test|trace_test|scale_test|journal_test|crash_recovery_test|jobs_test)$'
 
 step "ci pass complete"

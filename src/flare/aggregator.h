@@ -23,11 +23,14 @@ namespace cppflare::flare {
 /// round's fault-tolerance telemetry, filled in by the server when the
 /// round closes and exposed through round observers.
 ///
-/// Deprecation note (observability PR): this struct is now a *view*
-/// rebuilt from the server's MetricRegistry when a round closes — the
-/// registry (FederatedServer::metrics_registry(), names in
-/// flare/observability.h metric_names) is the source of truth, and new
-/// telemetry should be added there rather than as fields here.
+/// Deprecation note (observability PR; duplicated accessors deleted in the
+/// multi-job coordinator PR): this struct is now a *view* rebuilt from the
+/// server's MetricRegistry when a round closes — the registry
+/// (FederatedServer::metrics_registry(), names in flare/observability.h
+/// metric_names, per-job over the admin `metrics <job>` command) is the
+/// source of truth, and new telemetry should be added there rather than as
+/// fields here. The fields below stay only because CPK3 checkpoints
+/// persist the per-round history.
 struct RoundMetrics {
   std::int64_t round = 0;
   std::int64_t num_contributions = 0;

@@ -67,9 +67,11 @@ std::vector<std::uint8_t> FederatedClient::call_once(
     const std::vector<std::uint8_t>& frame) {
   ensure_connection();
   // Every attempt is re-sealed with a fresh sequence number, so a resend
-  // never trips the server's replay protection.
-  const std::vector<std::uint8_t> sealed =
-      seal(credential_.name, credential_.secret, seq_.next(), frame);
+  // never trips the server's replay protection. The envelope is bound to
+  // our job so the multi-job router can dispatch it (and a cross-job replay
+  // fails the MAC on the other job's channel).
+  const std::vector<std::uint8_t> sealed = seal(
+      credential_.name, credential_.secret, seq_.next(), frame, config_.job_id);
   const std::vector<std::uint8_t> sealed_response = connection_->call(sealed);
   Envelope env;
   try {
@@ -84,6 +86,11 @@ std::vector<std::uint8_t> FederatedClient::call_once(
   if (env.sender != "server") {
     throw ProtocolError("response not from server but '" + env.sender + "'");
   }
+  if (!config_.job_id.empty() && !env.job_id.empty() &&
+      env.job_id != config_.job_id) {
+    throw ProtocolError(credential_.name + ": response bound to job '" +
+                        env.job_id + "', expected '" + config_.job_id + "'");
+  }
   server_seq_.check_and_advance(env.sender, env.sequence);
   if (peek_type(env.payload) == MsgType::kError) {
     const ErrorMessage err = decode_error(env.payload);
@@ -92,6 +99,9 @@ std::vector<std::uint8_t> FederatedClient::call_once(
         throw TransportError("server (retryable): " + err.message);
       case ErrorCode::kUnknownSession:
         throw UnknownSessionSignal{err.message};
+      case ErrorCode::kWrongJob:
+        throw ProtocolError(credential_.name + " (cross-job traffic): " +
+                            err.message);
       case ErrorCode::kFatal:
         break;
     }

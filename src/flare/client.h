@@ -35,13 +35,11 @@ namespace cppflare::flare {
 using ConnectionFactory = std::function<std::unique_ptr<Connection>()>;
 
 struct ClientConfig {
-  std::string job_id = "simulator_server";
-  /// DEPRECATED (scalable-coordinator PR): the capped-backoff idle poll
-  /// loop these tuned is gone — idle clients now long-poll (`long_poll_ms`)
-  /// and the server pushes the task when the round opens. Both fields are
-  /// parsed and ignored so existing configs keep loading.
-  std::int64_t poll_interval_ms = 5;
-  std::int64_t max_poll_interval_ms = 100;
+  /// Job binding: stamped on every outbound envelope (the multi-job
+  /// coordinator routes frames by it and rejects cross-job traffic with
+  /// ErrorCode::kWrongJob) and carried into the Learner's FLContext. Empty
+  /// means unbound — accepted when the peer hosts exactly one job.
+  std::string job_id;
   /// Long-poll budget sent with every get_task: the server parks the call
   /// until a task is ready or this much time passed (it also clamps the
   /// value, kMaxGetTaskWaitMs). Must be >= 1; against a server whose

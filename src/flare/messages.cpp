@@ -193,7 +193,7 @@ ErrorMessage decode_error(const std::vector<std::uint8_t>& frame) {
   ErrorMessage m;
   m.message = r.read_string();
   const std::uint8_t code = r.read_u8();
-  if (code > static_cast<std::uint8_t>(ErrorCode::kUnknownSession)) {
+  if (code > static_cast<std::uint8_t>(ErrorCode::kWrongJob)) {
     throw ProtocolError("bad error code");
   }
   m.code = static_cast<ErrorCode>(code);

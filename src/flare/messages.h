@@ -112,6 +112,11 @@ enum class ErrorCode : std::uint8_t {
   /// The server does not know the client's session (restart or eviction):
   /// re-register, then resend.
   kUnknownSession = 2,
+  /// The frame's envelope is bound to a different job than the one it
+  /// reached (multi-job coordinator, DESIGN.md §16). Fatal: the client is
+  /// misconfigured or the frame was replayed across jobs; retrying the same
+  /// frame can never succeed.
+  kWrongJob = 3,
 };
 
 struct ErrorMessage {

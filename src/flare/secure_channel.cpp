@@ -11,10 +11,12 @@ namespace {
 constexpr std::uint32_t kEnvelopeMagic = 0x46454e56;  // "FENV"
 
 core::Digest compute_mac(const std::vector<std::uint8_t>& secret,
-                         const std::string& sender, std::uint64_t sequence,
+                         const std::string& sender, const std::string& job_id,
+                         std::uint64_t sequence,
                          const std::vector<std::uint8_t>& payload) {
   core::ByteWriter macd;
   macd.write_string(sender);
+  macd.write_string(job_id);
   macd.write_u64(sequence);
   macd.write_u64(payload.size());
   macd.write_raw(payload.data(), payload.size());
@@ -26,11 +28,14 @@ core::Digest compute_mac(const std::vector<std::uint8_t>& secret,
 std::vector<std::uint8_t> seal(const std::string& sender,
                                const std::vector<std::uint8_t>& secret,
                                std::uint64_t sequence,
-                               const std::vector<std::uint8_t>& payload) {
-  const core::Digest mac = compute_mac(secret, sender, sequence, payload);
+                               const std::vector<std::uint8_t>& payload,
+                               const std::string& job_id) {
+  const core::Digest mac =
+      compute_mac(secret, sender, job_id, sequence, payload);
   core::ByteWriter w;
   w.write_u32(kEnvelopeMagic);
   w.write_string(sender);
+  w.write_string(job_id);
   w.write_u64(sequence);
   w.write_u64(payload.size());
   w.write_raw(payload.data(), payload.size());
@@ -45,6 +50,7 @@ Envelope parse(const std::vector<std::uint8_t>& sealed, core::Digest* mac_out) {
   if (r.read_u32() != kEnvelopeMagic) throw ProtocolError("envelope: bad magic");
   Envelope env;
   env.sender = r.read_string();
+  env.job_id = r.read_string();
   env.sequence = r.read_u64();
   const std::uint64_t n = r.read_u64();
   // Written as a subtraction: `n + 32` wraps for a hostile length near
@@ -65,8 +71,8 @@ Envelope open(const std::vector<std::uint8_t>& sealed,
               const std::vector<std::uint8_t>& secret) {
   core::Digest mac;
   Envelope env = parse(sealed, &mac);
-  const core::Digest expect = compute_mac(secret, env.sender, env.sequence,
-                                          env.payload);
+  const core::Digest expect =
+      compute_mac(secret, env.sender, env.job_id, env.sequence, env.payload);
   if (!core::digests_equal(mac, expect)) {
     throw ProtocolError("envelope: MAC verification failed for sender '" +
                         env.sender + "'");
@@ -77,6 +83,13 @@ Envelope open(const std::vector<std::uint8_t>& sealed,
 std::string peek_sender(const std::vector<std::uint8_t>& sealed) {
   core::ByteReader r(sealed);
   if (r.read_u32() != kEnvelopeMagic) throw ProtocolError("envelope: bad magic");
+  return r.read_string();
+}
+
+std::string peek_job(const std::vector<std::uint8_t>& sealed) {
+  core::ByteReader r(sealed);
+  if (r.read_u32() != kEnvelopeMagic) throw ProtocolError("envelope: bad magic");
+  (void)r.read_string();  // sender
   return r.read_string();
 }
 

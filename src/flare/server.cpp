@@ -74,6 +74,11 @@ FederatedServer::FederatedServer(ServerConfig config,
       validator_(effective_validator_config(config_)),
       reputation_(config_.reputation) {
   if (!aggregator_) throw Error("FederatedServer: aggregator required");
+  if (config_.job_id.empty()) {
+    throw ConfigError(
+        "FederatedServer: job_id is required (the job registry keys servers "
+        "and routes wire frames by it)");
+  }
   if (config_.num_rounds <= 0) throw Error("FederatedServer: num_rounds must be > 0");
   mask_recovery_ = dynamic_cast<MaskRecoveryCapable*>(aggregator_.get());
   if (config_.secure_agg.enabled) {
@@ -170,12 +175,10 @@ AsyncDispatcher FederatedServer::async_dispatcher() {
 std::vector<std::uint8_t> FederatedServer::seal_as_server(
     const std::string& sender, const std::vector<std::uint8_t>& key,
     const std::vector<std::uint8_t>& body) {
-  std::uint64_t seq;
-  {
-    core::MutexLock lock(mu_);
-    seq = ++outbound_seq_[sender];
-  }
-  return seal("server", key, seq, body);
+  // The pool is internally synchronized (and possibly shared with the job
+  // router), so sealing no longer touches mu_.
+  return seal("server", key, outbound_seq_->next(sender), body,
+              config_.job_id);
 }
 
 std::vector<std::uint8_t> FederatedServer::handle_sealed(
@@ -199,6 +202,15 @@ std::vector<std::uint8_t> FederatedServer::handle_sealed(
       // misbehaving application — tell the client to re-seal and resend.
       return seal_as_server(
           sender, key, pack(ErrorMessage{e.what(), ErrorCode::kRetryable}));
+    }
+    if (!env.job_id.empty() && env.job_id != config_.job_id) {
+      // Authenticated but bound to another job: a misrouted or cross-job
+      // replayed frame. Typed so the client aborts instead of retrying.
+      return seal_as_server(
+          sender, key,
+          pack(ErrorMessage{"frame bound to job '" + env.job_id +
+                                "' reached job '" + config_.job_id + "'",
+                            ErrorCode::kWrongJob}));
     }
     record_liveness(sender);
     const std::vector<std::uint8_t> response = handle_frame(sender, env.payload);
@@ -243,6 +255,14 @@ void FederatedServer::handle_sealed_async(
     } catch (const std::exception& e) {
       respond(seal_as_server(
           sender, key, pack(ErrorMessage{e.what(), ErrorCode::kRetryable})));
+      return;
+    }
+    if (!env.job_id.empty() && env.job_id != config_.job_id) {
+      respond(seal_as_server(
+          sender, key,
+          pack(ErrorMessage{"frame bound to job '" + env.job_id +
+                                "' reached job '" + config_.job_id + "'",
+                            ErrorCode::kWrongJob})));
       return;
     }
     record_liveness(sender);

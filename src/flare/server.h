@@ -72,7 +72,10 @@ enum class AbortCode : std::uint8_t {
 const char* abort_code_name(AbortCode code);
 
 struct ServerConfig {
-  std::string job_id = "simulator_server";
+  /// Required, with no default: the job registry keys servers by job id and
+  /// routes wire frames on it (DESIGN.md §16), so a silently shared
+  /// placeholder would collide. Construction throws ConfigError when empty.
+  std::string job_id;
   std::int64_t num_rounds = 10;
   /// Graceful-degradation floor: a round that hits its deadline closes with
   /// at least this many contributions; below it the run aborts. Capped by
@@ -168,11 +171,6 @@ class FederatedServer {
     core::MutexLock lock(mu_);
     round_observers_.push_back(std::move(observer));
   }
-  /// Backwards-compatible alias for a single observer.
-  void set_round_observer(RoundObserver observer) {
-    add_round_observer(std::move(observer));
-  }
-
   /// Kills the run: polling clients receive kStop, waiters wake with false.
   /// Used when an operator (or a crash-simulation harness) tears the run
   /// down mid-flight; also taken internally when a round deadline passes
@@ -207,6 +205,15 @@ class FederatedServer {
   std::vector<std::string> quarantined_sites() const;
   /// A copy of every site's reputation standing.
   std::map<std::string, SiteStanding> reputation() const;
+
+  /// Replaces the outbound sequence counters with a pool shared across
+  /// sealers (the JobRunner installs one spanning its router and every
+  /// hosted server, so a client sees strictly increasing "server" sequences
+  /// no matter which component sealed the reply). Must be called before any
+  /// traffic is dispatched.
+  void share_outbound_sequences(std::shared_ptr<SequencePool> pool) {
+    if (pool) outbound_seq_ = std::move(pool);
+  }
 
  private:
   std::vector<std::uint8_t> handle_sealed(const std::vector<std::uint8_t>& request);
@@ -250,8 +257,8 @@ class FederatedServer {
   /// state change that can change build_task_locked's answer.
   void service_parked_locked() CF_REQUIRES(mu_);
   /// Seals and delivers everything staged on ready_replies_. Must be called
-  /// with mu_ RELEASED (sealing bumps outbound_seq_ under mu_, and respond
-  /// may wake a client that immediately calls back in).
+  /// with mu_ RELEASED (respond may wake a client that immediately calls
+  /// back in).
   void drain_ready_replies();
   void ticker_loop();
   void start_round_locked() CF_REQUIRES(mu_);
@@ -376,7 +383,10 @@ class FederatedServer {
   bool recovery_deadline_fired_ CF_GUARDED_BY(mu_) = false;
   std::vector<RoundMetrics> history_ CF_GUARDED_BY(mu_);
   SequenceTracker inbound_seq_;  // internally synchronized
-  std::map<std::string, std::uint64_t> outbound_seq_ CF_GUARDED_BY(mu_);
+  /// Outbound "server" sequences, one counter per recipient. Internally
+  /// synchronized; possibly shared with the JobRunner's router (see
+  /// share_outbound_sequences).
+  std::shared_ptr<SequencePool> outbound_seq_ = std::make_shared<SequencePool>();
   std::uint64_t session_counter_ CF_GUARDED_BY(mu_) = 0;
 
   /// A long-poll get_task waiting for its round. The RespondFn is the
@@ -386,8 +396,8 @@ class FederatedServer {
     RespondFn respond;
     std::chrono::steady_clock::time_point deadline;
   };
-  /// A reply whose state is decided but which cannot be sealed/delivered
-  /// under mu_ (seal_as_server itself takes mu_; respond may re-enter).
+  /// A reply whose state is decided but which cannot be delivered under mu_
+  /// (respond may re-enter the server).
   struct ReadyReply {
     std::string sender;
     std::vector<std::uint8_t> key;

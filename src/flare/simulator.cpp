@@ -115,8 +115,8 @@ class SimSite : public std::enable_shared_from_this<SimSite> {
                                     unmask_share_});
         break;
     }
-    const std::vector<std::uint8_t> sealed_frame =
-        seal(credential_.name, credential_.secret, seq_.next(), frame);
+    const std::vector<std::uint8_t> sealed_frame = seal(
+        credential_.name, credential_.secret, seq_.next(), frame, job_id_);
     auto self = shared_from_this();
     dispatch_(sealed_frame, [self](std::vector<std::uint8_t> response) {
       self->enqueue(std::move(response));
@@ -298,6 +298,10 @@ class SimSite : public std::enable_shared_from_this<SimSite> {
 
 }  // namespace
 
+std::map<std::string, double> SimulationResult::site_metrics() const {
+  return metrics.gauges_with_prefix(metric_names::kSitePrefix);
+}
+
 SimulatorRunner::SimulatorRunner(SimulatorConfig config, nn::StateDict initial_model,
                                  std::unique_ptr<Aggregator> aggregator,
                                  LearnerFactory factory)
@@ -325,13 +329,12 @@ SimulatorRunner::SimulatorRunner(SimulatorConfig config, nn::StateDict initial_m
           config_.secure_agg.frac_bits);
     }
   }
-  if (!config_.persist_path.empty()) {
-    persistor_ = std::make_shared<ModelPersistor>(config_.persist_path);
-  }
-  std::optional<Checkpoint> resume;
-  if (persistor_ && config_.resume) {
-    if (const std::optional<Checkpoint> cpk = persistor_->load()) {
-      resume = *cpk;
+  if (config_.resume && !config_.persist_path.empty()) {
+    // The runner's job scheduler loads the checkpoint itself when it admits
+    // the job; this peek only records where the run resumed from for the
+    // result (and logs it before any training happens).
+    if (const std::optional<Checkpoint> cpk =
+            ModelPersistor(config_.persist_path).load()) {
       resumed_from_round_ = cpk->round;
       LOG(info)
           .msg("Resuming job " + cpk->job_id)
@@ -359,36 +362,44 @@ SimulatorRunner::SimulatorRunner(SimulatorConfig config, nn::StateDict initial_m
       config_.secure_agg.recovery_deadline_ms;
   server_config.secure_agg.max_recovery_waves =
       config_.secure_agg.max_recovery_waves;
-  std::shared_ptr<RoundJournal> journal;
-  if (config_.journal) {
-    std::string journal_path = config_.journal_path;
-    if (journal_path.empty()) {
-      if (config_.persist_path.empty()) {
-        throw ConfigError(
-            "SimulatorRunner: journal enabled with neither journal_path nor "
-            "persist_path to derive it from");
-      }
-      journal_path = config_.persist_path + ".journal";
-    }
-    journal = std::make_shared<RoundJournal>(journal_path,
-                                             config_.journal_sync);
+  if (config_.journal && config_.journal_path.empty() &&
+      config_.persist_path.empty()) {
+    throw ConfigError(
+        "SimulatorRunner: journal enabled with neither journal_path nor "
+        "persist_path to derive it from");
   }
-  server_ = std::make_unique<FederatedServer>(
-      server_config, registry_, std::move(initial_model), std::move(aggregator),
-      persistor_, std::move(resume), std::move(journal));
+  // The server is hosted through the job registry (DESIGN.md §16): the
+  // runner owns construction (lint rule R14), durability wiring, and the
+  // frame router every transport below dispatches into.
+  JobSpec spec;
+  spec.server = std::move(server_config);
+  spec.initial_model = std::move(initial_model);
+  spec.aggregator = std::move(aggregator);
+  spec.persist_path = config_.persist_path;
+  spec.resume = config_.resume;
+  spec.journal = config_.journal;
+  spec.journal_path = config_.journal_path;
+  spec.journal_sync = config_.journal_sync;
   if (config_.dp.enabled) {
     // Surface the accountant's cumulative spend as a gauge after every
     // published round (validated here so a bad delta fails at construction,
     // not mid-run inside an observer).
     const DpAccountant accountant(config_.dp.noise_multiplier, config_.dp.delta);
-    core::MetricRegistry* metrics = &server_->metrics_registry();
-    server_->add_round_observer(
-        [accountant, metrics](std::int64_t round, const nn::StateDict&,
-                              const RoundMetrics&) {
-          metrics->gauge(metric_names::kDpEpsilonSpent)
-              .set(accountant.epsilon_after(round + 1));
-        });
+    spec.configure = [accountant](FederatedServer& server) {
+      core::MetricRegistry* metrics = &server.metrics_registry();
+      server.add_round_observer(
+          [accountant, metrics](std::int64_t round, const nn::StateDict&,
+                                const RoundMetrics&) {
+            metrics->gauge(metric_names::kDpEpsilonSpent)
+                .set(accountant.epsilon_after(round + 1));
+          });
+    };
   }
+  job_runner_ = std::make_unique<JobRunner>(registry_);
+  job_runner_->submit(std::move(spec));
+  // A single one-slot job always fits the compute budget, so submit admits
+  // it synchronously and the server exists from here on.
+  server_ = &job_runner_->server(config_.job_id);
 }
 
 SimulationResult SimulatorRunner::run() {
@@ -435,7 +446,7 @@ SimulationResult SimulatorRunner::run() {
 
   std::unique_ptr<TcpServer> tcp_server;
   if (config_.use_tcp) {
-    tcp_server = std::make_unique<TcpServer>(0, server_->async_dispatcher());
+    tcp_server = std::make_unique<TcpServer>(0, job_runner_->async_router());
     LOG(info)
         .msg("TCP transport listening")
         .kv("addr", "127.0.0.1")
@@ -457,8 +468,9 @@ SimulationResult SimulatorRunner::run() {
       } else {
         // Async in-process channel so the server can *park* long-polls from
         // in-process clients too, instead of answering kNone immediately.
+        // Routed through the job registry like every other transport.
         conn = std::make_unique<AsyncInProcConnection>(
-            server_->async_dispatcher());
+            job_runner_->async_router());
       }
       const std::int64_t n = incarnation->fetch_add(1);
       if (fault_planner_) {
@@ -586,7 +598,7 @@ SimulationResult SimulatorRunner::run_multiplexed(
           add_privacy_filters(config_, i, name, site_names, filters);
       if (masker) filters.add(masker);
       sites.push_back(std::make_shared<SimSite>(
-          registry_.at(name), factory_(i, name), server_->async_dispatcher(),
+          registry_.at(name), factory_(i, name), job_runner_->async_router(),
           &pool, run_state, config_.job_id, long_poll, std::move(filters),
           std::move(masker)));
     }
@@ -660,8 +672,6 @@ SimulationResult SimulatorRunner::finalize(
   // recorded before validation, so even "every contribution was rejected"
   // aborts keep each site's last reported state.
   result.metrics = server_->metrics_snapshot();
-  result.site_metrics =
-      result.metrics.gauges_with_prefix(metric_names::kSitePrefix);
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();

@@ -25,6 +25,7 @@
 #include "flare/aggregator.h"
 #include "flare/client.h"
 #include "flare/faults.h"
+#include "flare/jobs.h"
 #include "flare/learner.h"
 #include "flare/persistor.h"
 #include "flare/poison.h"
@@ -106,10 +107,6 @@ struct SimulatorConfig {
   /// Client-side retry schedule for transport failures (first retry of an
   /// exchange is immediate; repeats back off exponentially).
   core::BackoffPolicy client_retry = {10, 2000, 2.0, 5, 0.2, true};
-  /// DEPRECATED (scalable-coordinator PR): idle clients long-poll now (see
-  /// long_poll_ms); there is no timed re-poll loop left to tune. Parsed and
-  /// ignored so existing configs keep loading.
-  std::int64_t max_poll_interval_ms = 100;
   /// Long-poll budget each client sends with get_task: the server parks the
   /// poll until a task is ready or this much time passed.
   std::int64_t long_poll_ms = 10000;
@@ -154,10 +151,12 @@ struct SimulatorConfig {
   std::size_t trace_capacity = 1 << 16;
 };
 
-/// Deprecation note (observability PR): the scalar fields below are views
-/// retained for existing callers; `metrics` — the server's MetricRegistry
-/// snapshot — is the source of truth, and new telemetry should be read from
-/// it (names in flare/observability.h metric_names) rather than grown here.
+/// `metrics` — the server's MetricRegistry snapshot — is the telemetry
+/// source of truth; new telemetry is read from it (names in
+/// flare/observability.h metric_names), not grown as fields here.
+/// `history` remains as the per-round view (it is also what CPK3
+/// checkpoints persist); the legacy duplicated accessors were removed in
+/// the multi-job coordinator PR.
 struct [[nodiscard]] SimulationResult {
   nn::StateDict final_model;
   std::vector<RoundMetrics> history;
@@ -168,7 +167,9 @@ struct [[nodiscard]] SimulationResult {
   /// The "site.<name>.<metric>" gauges from `metrics`: the last state each
   /// site reported before the run ended (recorded before validation, so an
   /// abort caused by mass rejection still shows what every site sent).
-  std::map<std::string, double> site_metrics;
+  /// Derived from `metrics` on demand — replaces the stored duplicate field
+  /// the observability PR deprecated.
+  std::map<std::string, double> site_metrics() const;
   /// True when the server aborted the run (deadline below min_clients or an
   /// explicit abort); final_model/history reflect the last completed round.
   bool aborted = false;
@@ -225,6 +226,11 @@ class SimulatorRunner {
   /// events. Valid for the runner's lifetime.
   FederatedServer& server() { return *server_; }
 
+  /// The job registry hosting this run (exactly one job, named
+  /// SimulatorConfig::job_id). Exposed so harnesses can drive the admin
+  /// console against a simulated federation.
+  JobRunner& jobs() { return *job_runner_; }
+
   /// Runs the federation to completion (or abort — see
   /// SimulationResult::aborted). Throws only when the run can make no
   /// progress at all: every client failed, or the timeout expired without
@@ -247,8 +253,13 @@ class SimulatorRunner {
   FaultPlanner fault_planner_;
   PoisonPlanner poison_planner_;
   std::map<std::string, Credential> registry_;
-  std::shared_ptr<ModelPersistor> persistor_;
-  std::unique_ptr<FederatedServer> server_;
+  /// Hosts the run's single job (DESIGN.md §16) — the simulator goes
+  /// through the same job registry and frame router as a multi-job
+  /// deployment, so every simulator test also exercises the routed path.
+  std::unique_ptr<JobRunner> job_runner_;
+  /// The job's server, owned by job_runner_ (jobs are never erased, so the
+  /// pointer is stable for the runner's lifetime).
+  FederatedServer* server_ = nullptr;
   std::int64_t resumed_from_round_ = -1;
 };
 

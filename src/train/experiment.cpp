@@ -365,7 +365,7 @@ std::vector<double> run_mlm_scheme(MlmScheme scheme, const ExperimentScale& scal
   // Capture a copy of the global model after every aggregation; evaluating
   // inside the observer would stall the federation, so score them after.
   std::vector<nn::StateDict> round_models;
-  runner.server().set_round_observer(
+  runner.server().add_round_observer(
       [&round_models](std::int64_t, const nn::StateDict& model,
                       const flare::RoundMetrics&) { round_models.push_back(model); });
   const flare::SimulationResult run = runner.run();

@@ -1,11 +1,12 @@
 // Evaluation metrics (top-1 accuracy, mean loss).
 //
-// Deprecation note (observability PR): these are *computation* helpers that
-// produce values; telemetry *storage* is consolidated on core/trace.h's
-// MetricRegistry (names in flare/observability.h metric_names). Do not grow
-// new cross-run accumulator types here — record into a registry instead
-// (the trainer already publishes "train.epochs"/"train.batches"/
-// "train.epoch_ms" that way).
+// Deprecation note (observability PR; the duplicated telemetry accessors
+// were deleted in the multi-job coordinator PR): these are *computation*
+// helpers that produce values; telemetry *storage* is consolidated on
+// core/trace.h's MetricRegistry (names in flare/observability.h
+// metric_names). Do not grow new cross-run accumulator types here — record
+// into a registry instead (the trainer already publishes
+// "train.epochs"/"train.batches"/"train.epoch_ms" that way).
 #pragma once
 
 #include <cstdint>

@@ -214,7 +214,6 @@ TEST_F(DeadlineTest, RoundClosesWithoutStraggler) {
     const std::string name = "site-" + std::to_string(i + 1);
     ClientConfig cc;
     cc.job_id = "deadline_test";
-    cc.poll_interval_ms = 10;
     std::shared_ptr<Learner> learner =
         i == 2 ? std::make_shared<SlowLearner>(name)
                : std::make_shared<FastLearner>(name);

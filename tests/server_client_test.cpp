@@ -70,7 +70,6 @@ class ServerClientTest : public ::testing::Test {
       std::shared_ptr<Learner> learner) {
     ClientConfig config;
     config.job_id = "test-project";
-    config.poll_interval_ms = 1;
     config.max_idle_ms = 5000;
     return std::make_unique<FederatedClient>(
         config, registry_.at(name),

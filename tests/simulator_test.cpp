@@ -139,7 +139,7 @@ TEST_F(SimulatorTest, RoundObserverSeesEveryRound) {
                          });
   std::vector<std::int64_t> rounds;
   std::vector<float> values;
-  runner.server().set_round_observer(
+  runner.server().add_round_observer(
       [&](std::int64_t round, const nn::StateDict& model, const RoundMetrics&) {
         rounds.push_back(round);
         values.push_back(model.at("w").values[0]);

@@ -224,7 +224,7 @@ TEST_F(SimulatorStress, TracedEightSiteFederation) {
   EXPECT_FALSE(core::Tracer::instance().enabled());  // run() stopped it
   if (core::kTracingCompiledIn) {
     EXPECT_GT(core::Tracer::instance().size(), 0u);
-    EXPECT_EQ(result.site_metrics.size(), 8u * 5u);  // 5 gauges per site
+    EXPECT_EQ(result.site_metrics().size(), 8u * 5u);  // 5 gauges per site
   }
   core::Tracer::instance().clear();
 }

@@ -523,8 +523,8 @@ TEST_F(TracedFederationTest, TracedRunIsBitIdenticalToUntracedRun) {
   EXPECT_EQ(traced.metrics.counters.at(
                 flare::metric_names::kServerContribAccepted),
             config.num_rounds * config.num_clients);
-  EXPECT_EQ(traced.site_metrics.at("site.site-5.num_samples"), 10.0);
-  EXPECT_EQ(traced.site_metrics.at("site.site-5.round"),
+  EXPECT_EQ(traced.site_metrics().at("site.site-5.num_samples"), 10.0);
+  EXPECT_EQ(traced.site_metrics().at("site.site-5.round"),
             static_cast<double>(config.num_rounds - 1));
 }
 
@@ -542,9 +542,9 @@ TEST_F(TracedFederationTest, AbortedRunRetainsPerSiteMetrics) {
   ASSERT_TRUE(result.aborted);
   EXPECT_NE(result.abort_reason.find("rejected"), std::string::npos);
   for (const std::string site : {"site-1", "site-2"}) {
-    EXPECT_EQ(result.site_metrics.at("site." + site + ".num_samples"), 10.0)
+    EXPECT_EQ(result.site_metrics().at("site." + site + ".num_samples"), 10.0)
         << "abort lost " << site << "'s last reported state";
-    EXPECT_EQ(result.site_metrics.at("site." + site + ".round"), 0.0);
+    EXPECT_EQ(result.site_metrics().at("site." + site + ".round"), 0.0);
   }
   EXPECT_GE(result.metrics.counters.at("server.rejections.bad_sample_count"), 2);
 }

@@ -1,0 +1,8 @@
+// R14 fixture: exempt construction plus non-construction decoys.
+void rogue() {
+  // R14-exempt: standalone harness bring-up, audited in the multi-job PR.
+  FederatedServer server(config, registry, model, std::move(aggregator));
+}
+// References and pointers are not construction — legal everywhere.
+void observe(FederatedServer& server) { use(server); }
+FederatedServer* lookup(JobRunner& jobs) { return &jobs.server("job-a"); }

@@ -103,6 +103,7 @@ class RuleRunner {
     r11_nodiscard();
     r12_secure_agg_containment();
     r13_durable_writes_only();
+    r14_server_via_job_runner();
   }
 
  private:
@@ -601,6 +602,47 @@ class RuleRunner {
     }
   }
 
+  // R14: a FederatedServer is only ever constructed by the JobRunner
+  // registry (src/flare/jobs.*) — hosting every server behind the one
+  // registry is what keeps job ids collision-checked, frames routable by
+  // job, and the admin console complete. References and pointers
+  // (FederatedServer& / FederatedServer*) stay legal everywhere; only
+  // *construction* is confined. server.* itself is exempt (the class
+  // declares and defines its own constructors).
+  void r14_server_via_job_runner() {
+    if (starts_with(path_, "src/flare/jobs.")) return;
+    if (starts_with(path_, "src/flare/server.")) return;
+    for (std::size_t i = 0; i < toks_.size(); ++i) {
+      if (!is_ident(toks_[i], "FederatedServer")) continue;
+      const Token* p = prev(i);
+      bool construction = false;
+      // make_unique<FederatedServer>(...) / make_shared<FederatedServer>
+      if (p != nullptr && is_punct(*p, "<") && i >= 2 &&
+          (is_ident(toks_[i - 2], "make_unique") ||
+           is_ident(toks_[i - 2], "make_shared"))) {
+        construction = true;
+      }
+      // new FederatedServer(...)
+      if (p != nullptr && is_ident(*p, "new")) construction = true;
+      if (!construction && i + 1 < toks_.size()) {
+        const Token& n = toks_[i + 1];
+        // FederatedServer server(...) / FederatedServer server{...}
+        if (n.kind == TokKind::kIdent && i + 2 < toks_.size() &&
+            (is_punct(toks_[i + 2], "(") || is_punct(toks_[i + 2], "{"))) {
+          construction = true;
+        }
+        // FederatedServer(...) / FederatedServer{...} temporary
+        if (is_punct(n, "(") || is_punct(n, "{")) construction = true;
+      }
+      if (construction) {
+        flag(14, toks_[i],
+             "FederatedServer constructed outside src/flare/jobs.*; submit a "
+             "JobSpec to the JobRunner registry instead (keeps job ids "
+             "unique, frames routable, and the admin console complete)");
+      }
+    }
+  }
+
   const std::string& path_;
   const std::vector<Token>& toks_;
   const std::map<int, std::set<int>>& exemptions_;
@@ -666,6 +708,8 @@ const char* rule_summary(int rule) {
                     "inside src/flare/secure_agg.* and provisioning";
     case 13: return "persistor/journal write only through core durable-io "
                     "(durable_write / Wal), never raw streams";
+    case 14: return "FederatedServer is constructed only by the JobRunner "
+                    "registry (src/flare/jobs.*)";
     default: return "";
   }
 }

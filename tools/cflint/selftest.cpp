@@ -238,6 +238,24 @@ const std::vector<Case>& cases() {
        "// R13-exempt: fixture proves the exemption path\n"
        "void f() { std::ofstream out(\"x.bin\"); }\n",
        {}},
+
+      {"R14 server constructed outside the registry", "src/flare/sim_srv.cpp",
+       "// FederatedServer in a comment is fine\n"
+       "void f(FederatedServer& s) { s.abort(\"x\"); }\n"
+       "FederatedServer* g(JobRunner& jobs) { return &jobs.server(\"a\"); }\n"
+       "void h() { auto s = std::make_unique<FederatedServer>(cfg, reg); }\n"
+       "void i() { FederatedServer server(cfg, reg, model, agg); }\n",
+       {{14, 4}, {14, 5}}},
+      {"R14 registry sources allowed", "src/flare/jobs.cpp",
+       "void f(Job& j) { j.server = std::make_unique<FederatedServer>(c, r); }\n",
+       {}},
+      {"R14 server's own sources allowed", "src/flare/server.cpp",
+       "FederatedServer::FederatedServer(ServerConfig config) {}\n",
+       {}},
+      {"R14 exempt", "src/flare/exempt_srv.cpp",
+       "// R14-exempt: fixture proves the exemption path\n"
+       "void f() { FederatedServer server(cfg, reg, model, agg); }\n",
+       {}},
   };
   return kCases;
 }
