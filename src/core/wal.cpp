@@ -113,7 +113,9 @@ std::vector<std::uint8_t> frame_record(const std::uint8_t* data,
   std::vector<std::uint8_t> frame(kFrameHeader + size);
   put_u32le(frame.data(), static_cast<std::uint32_t>(size));
   put_u32le(frame.data() + 4, crc32(data, size));
-  std::memcpy(frame.data() + kFrameHeader, data, size);
+  // Empty payloads are legal frames; memcpy's pointer args must be non-null
+  // even for size 0, and an empty vector's data() is null.
+  if (size != 0) std::memcpy(frame.data() + kFrameHeader, data, size);
   return frame;
 }
 

@@ -91,8 +91,15 @@ std::string AdminClient::call(const std::string& line) {
 // server.mu_ -> runner.mu_. Every other runner method therefore resolves
 // what it needs under mu_ (copying the raw server pointer, which stays
 // valid because jobs are never erased), releases, and only then calls into
-// a server. Constructing a *new* server under mu_ is fine: its lock is
-// unshared until the job becomes routable.
+// a server. Constructing a *new* server under mu_ is fine — nothing else
+// can hold its lock before its ticker thread starts at the tail of the
+// ctor — and so is subscribing to its events (EventBus never holds its own
+// lock while running handlers). But once the ticker is live, anything that
+// takes the server's round lock (the configure hook's observer/filter
+// registrations) must run with mu_ released: the ticker can fire kEndRun
+// at any moment, and on_job_end wants mu_. Hence two-phase admission —
+// start_job_locked builds and subscribes under mu_, finalize_started runs
+// configure outside it, and only then does the job turn routable.
 
 JobRunner::JobRunner(std::map<std::string, Credential> site_pool)
     : site_pool_(std::move(site_pool)) {}
@@ -124,19 +131,26 @@ std::string JobRunner::submit(JobSpec spec) {
                       "' wants a journal but has neither journal_path nor "
                       "persist_path to derive one from");
   }
-  core::MutexLock lock(mu_);
-  if (find_locked(id) != nullptr) {
-    throw ConfigError("JobRunner::submit: duplicate job id '" + id +
-                      "' (job ids are registry-unique)");
+  std::vector<Job*> started;
+  {
+    core::MutexLock lock(mu_);
+    if (find_locked(id) != nullptr) {
+      throw ConfigError("JobRunner::submit: duplicate job id '" + id +
+                        "' (job ids are registry-unique)");
+    }
+    auto job = std::make_unique<Job>();
+    job->id = id;
+    job->slots = std::max<std::int64_t>(1, spec.compute_slots);
+    job->spec = std::move(spec);
+    jobs_.push_back(std::move(job));
+    LOG(info)
+        .msg("job submitted")
+        .kv("job", id)
+        .kv("slots", jobs_.back()->slots);
+    started = schedule_locked();
+    cv_.notify_all();
   }
-  auto job = std::make_unique<Job>();
-  job->id = id;
-  job->slots = std::max<std::int64_t>(1, spec.compute_slots);
-  job->spec = std::move(spec);
-  jobs_.push_back(std::move(job));
-  LOG(info).msg("job submitted").kv("job", id).kv("slots", jobs_.back()->slots);
-  schedule_locked();
-  cv_.notify_all();
+  finalize_started(started);
   return id;
 }
 
@@ -145,13 +159,14 @@ void JobRunner::register_blueprint(std::string name, Blueprint blueprint) {
   blueprints_[std::move(name)] = std::move(blueprint);
 }
 
-void JobRunner::schedule_locked() {
+std::vector<JobRunner::Job*> JobRunner::schedule_locked() {
   const std::int64_t budget =
       std::max<std::int64_t>(1, core::compute_threads());
   std::int64_t used = 0;
   for (const auto& job : jobs_) {
     if (job->phase == JobState::kRunning && !job->terminal) used += job->slots;
   }
+  std::vector<Job*> started;
   for (const auto& job : jobs_) {
     if (job->phase != JobState::kQueued) continue;
     // Clamp so a job demanding more than the machine still runs — alone.
@@ -161,8 +176,12 @@ void JobRunner::schedule_locked() {
     if (used + want > budget) break;
     job->slots = want;
     start_job_locked(*job);
-    used += want;
+    if (job->server) started.push_back(job.get());
+    // A job that failed to start, or resumed already terminal, holds no
+    // slots — don't let it shadow capacity from the jobs behind it.
+    if (job->phase == JobState::kRunning && !job->terminal) used += want;
   }
+  return started;
 }
 
 void JobRunner::start_job_locked(Job& job) {
@@ -194,23 +213,58 @@ void JobRunner::start_job_locked(Job& job) {
   }
   job.server->share_outbound_sequences(sequences_);
   const std::string id = job.id;
+  // Subscribing here — before mu_ is ever released — means kEndRun can
+  // never fire unobserved, even for a job aborted the instant it is
+  // admitted. Safe under mu_: EventBus drops its own lock before running
+  // handlers, so no path leads from the subscription back into this mutex.
+  // The configure hook is NOT safe here (it takes the server's now-shared
+  // round lock) and waits for finalize_started.
   job.server->events().subscribe(
       EventType::kEndRun, [this, id](const FLContext&) { on_job_end(id); });
-  if (job.spec.configure) job.spec.configure(*job.server);
   job.phase = JobState::kRunning;
+  // A job resumed from an already-complete checkpoint is born terminal and
+  // never fires kEndRun, so the subscription above would leave its slots
+  // counted as used forever — wedging the strict-FIFO queue and wait_all().
+  // born_terminal() is immutable and lock-free, so this never takes the
+  // server's lock inside mu_ (which would invert the documented order).
+  if (job.server->born_terminal()) {
+    job.terminal = true;
+    LOG(info)
+        .msg("job terminal at admission (resumed past its last round)")
+        .kv("job", job.id);
+    return;
+  }
   LOG(info).msg("job admitted").kv("job", job.id).kv("slots", job.slots);
 }
 
+void JobRunner::finalize_started(const std::vector<Job*>& started) {
+  for (Job* job : started) {
+    // No lock needed to touch spec/server here: both were written by this
+    // very thread inside schedule_locked, and nothing else mutates them
+    // once a job has left kQueued.
+    if (job->spec.configure) job->spec.configure(*job->server);
+    core::MutexLock lock(mu_);
+    job->routable = true;
+    cv_.notify_all();
+  }
+}
+
 void JobRunner::on_job_end(const std::string& job_id) {
-  core::MutexLock lock(mu_);
-  Job* job = find_locked(job_id);
-  if (job == nullptr || job->terminal) return;
-  job->terminal = true;
-  // We are under the finishing server's round lock here (kEndRun fires with
-  // it held): free the slots and admit successors, but never call back into
-  // that server.
-  schedule_locked();
-  cv_.notify_all();
+  std::vector<Job*> started;
+  {
+    core::MutexLock lock(mu_);
+    Job* job = find_locked(job_id);
+    if (job == nullptr || job->terminal) return;
+    job->terminal = true;
+    // We are under the finishing server's round lock here (kEndRun fires
+    // with it held): free the slots and admit successors, but never call
+    // back into that server.
+    started = schedule_locked();
+    cv_.notify_all();
+  }
+  // Still under the finishing server's round lock — but these are
+  // *different*, newly admitted servers; the finishing one is not touched.
+  finalize_started(started);
 }
 
 JobRunner::Job* JobRunner::find_locked(const std::string& job_id) const {
@@ -303,6 +357,8 @@ JobStatus JobRunner::status(const std::string& job_id) const {
 
 bool JobRunner::abort(const std::string& job_id, const std::string& reason) {
   FederatedServer* server = nullptr;
+  std::vector<Job*> started;
+  bool cancelled_queued = false;
   {
     core::MutexLock lock(mu_);
     Job* job = find_locked(job_id);
@@ -314,16 +370,21 @@ bool JobRunner::abort(const std::string& job_id, const std::string& reason) {
       LOG(info).msg("queued job cancelled").kv("job", job_id);
       // Cancelling a queued job cannot free capacity, but keep the queue
       // moving in case it was the head-of-line blocker.
-      schedule_locked();
+      started = schedule_locked();
       cv_.notify_all();
-      return true;
+      cancelled_queued = true;
+    } else {
+      if (job->terminal || job->phase != JobState::kRunning) return false;
+      server = job->server.get();
     }
-    if (job->terminal || job->phase != JobState::kRunning) return false;
-    server = job->server.get();
   }
-  if (server->finished() || server->aborted()) return false;
-  server->abort(reason.empty() ? "aborted by admin" : reason);
-  return true;
+  if (cancelled_queued) {
+    finalize_started(started);
+    return true;
+  }
+  // The server settles the race under its own lock: abort() refuses once
+  // the run is terminal, so a run finishing right here stays finished.
+  return server->abort(reason.empty() ? "aborted by admin" : reason);
 }
 
 bool JobRunner::wait_until_running(const std::string& job_id,
@@ -331,10 +392,15 @@ bool JobRunner::wait_until_running(const std::string& job_id,
   core::MutexLock lock(mu_);
   cv_.wait_for_ms(mu_, timeout_ms, [this, &job_id]() CF_REQUIRES(mu_) {
     Job* job = find_locked(job_id);
-    return job == nullptr || job->phase != JobState::kQueued;
+    if (job == nullptr || job->phase == JobState::kQueued) {
+      return job == nullptr;
+    }
+    // Admitted but mid-finalize: routing still bounces frames, so keep
+    // callers waiting until the configure hook has run.
+    return job->server == nullptr || job->routable;
   });
   Job* job = find_locked(job_id);
-  return job != nullptr && job->server != nullptr;
+  return job != nullptr && job->server != nullptr && job->routable;
 }
 
 bool JobRunner::wait_all(std::int64_t timeout_ms) {
@@ -380,9 +446,19 @@ JobRunner::Route JobRunner::resolve(const std::vector<std::uint8_t>& request) {
     return route;
   }
   const auto key_it = site_pool_.find(sender);
-  const std::vector<std::uint8_t> key =
-      key_it == site_pool_.end() ? std::vector<std::uint8_t>{}
-                                 : key_it->second.secret;
+  if (key_it == site_pool_.end()) {
+    // Unknown peer: rejected uniformly before the job registry is even
+    // consulted, mirroring the single-job server's unknown-participant
+    // reply. Answering per-job would let an unauthenticated peer — who can
+    // seal under the empty secret — tell kWrongJob apart from
+    // unknown-participant and enumerate which job ids this process hosts.
+    route.reply = seal_reply(
+        sender, {}, "",
+        pack(ErrorMessage{"unknown participant '" + sender + "'",
+                          ErrorCode::kRetryable}));
+    return route;
+  }
+  const std::vector<std::uint8_t>& key = key_it->second.secret;
   // The routing key is unauthenticated until the MAC checks out, so a
   // misroute must not be declared fatal on a frame that is merely damaged
   // in flight: verify first, and answer corruption with the same retryable
@@ -401,40 +477,58 @@ JobRunner::Route JobRunner::resolve(const std::vector<std::uint8_t>& request) {
     return seal_reply(sender, key, job_id,
                       pack(ErrorMessage{message, ErrorCode::kWrongJob}));
   };
-  core::MutexLock lock(mu_);
-  Job* job = nullptr;
-  if (job_id.empty()) {
-    // Unbound frame (pre-multi-job client): unambiguous only when this
-    // process hosts exactly one job.
-    if (jobs_.size() == 1) {
-      job = jobs_.front().get();
+  // Registry lookup under mu_; wrong_job stays outside — it re-verifies the
+  // whole frame (a MAC over the full payload) and sealing the reply is not
+  // free either, so doing it under the registry lock would serialize every
+  // concurrent frame's route resolution behind one bad frame.
+  std::string wrong_job_msg;
+  {
+    core::MutexLock lock(mu_);
+    Job* job = nullptr;
+    if (job_id.empty()) {
+      // Unbound frame (pre-multi-job client): unambiguous only when this
+      // process hosts exactly one job.
+      if (jobs_.size() == 1) {
+        job = jobs_.front().get();
+      } else {
+        wrong_job_msg = "unbound frame but " + std::to_string(jobs_.size()) +
+                        " jobs are hosted here; set ClientConfig::job_id";
+      }
     } else {
-      route.reply =
-          wrong_job("unbound frame but " + std::to_string(jobs_.size()) +
-                    " jobs are hosted here; set ClientConfig::job_id");
+      job = find_locked(job_id);
+      if (job == nullptr) {
+        wrong_job_msg = "no job '" + job_id + "' is hosted here";
+      }
+    }
+    if (job != nullptr) {
+      if (job->phase == JobState::kQueued) {
+        route.reply = seal_reply(
+            sender, key, job_id,
+            pack(ErrorMessage{"job '" + job->id +
+                                  "' is queued awaiting compute capacity",
+                              ErrorCode::kRetryable}));
+      } else if (!job->server) {
+        route.reply = seal_reply(
+            sender, key, job_id,
+            pack(ErrorMessage{"job '" + job->id + "' never started: " +
+                                  job->cancel_reason,
+                              ErrorCode::kFatal}));
+      } else if (!job->routable) {
+        // Admitted but its configure hook is still running: no frame may
+        // reach a half-configured server (filters and observers would miss
+        // this round). Momentary, so retryable.
+        route.reply = seal_reply(
+            sender, key, job_id,
+            pack(ErrorMessage{"job '" + job->id + "' is starting",
+                              ErrorCode::kRetryable}));
+      } else {
+        route.sync_dispatch = job->server->dispatcher();
+        route.async_dispatch = job->server->async_dispatcher();
+      }
       return route;
     }
-  } else {
-    job = find_locked(job_id);
   }
-  if (job == nullptr) {
-    route.reply = wrong_job("no job '" + job_id + "' is hosted here");
-  } else if (job->phase == JobState::kQueued) {
-    route.reply = seal_reply(
-        sender, key, job_id,
-        pack(ErrorMessage{"job '" + job->id +
-                              "' is queued awaiting compute capacity",
-                          ErrorCode::kRetryable}));
-  } else if (!job->server) {
-    route.reply = seal_reply(
-        sender, key, job_id,
-        pack(ErrorMessage{"job '" + job->id + "' never started: " +
-                              job->cancel_reason,
-                          ErrorCode::kFatal}));
-  } else {
-    route.sync_dispatch = job->server->dispatcher();
-    route.async_dispatch = job->server->async_dispatcher();
-  }
+  route.reply = wrong_job(wrong_job_msg);
   return route;
 }
 

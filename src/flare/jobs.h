@@ -172,13 +172,23 @@ class JobRunner {
                                          // cancelled-while-queued; a live
                                          // server owns its terminal state
     bool terminal = false;               // kEndRun observed
+    bool routable = false;               // configure hook done; frames may
+                                         // dispatch (see finalize_started)
     std::string cancel_reason;           // cancelled-while-queued
     std::unique_ptr<FederatedServer> server;
   };
 
-  /// Admits queued jobs (FIFO) while the compute budget allows.
-  void schedule_locked() CF_REQUIRES(mu_);
+  /// Admits queued jobs (FIFO) while the compute budget allows. Returns the
+  /// jobs it gave servers to; the caller must hand them to
+  /// finalize_started() once mu_ is released.
+  [[nodiscard]] std::vector<Job*> schedule_locked() CF_REQUIRES(mu_);
   void start_job_locked(Job& job) CF_REQUIRES(mu_);
+  /// Runs each started job's configure hook and marks it routable. The hook
+  /// registers observers/filters, which take the new server's lock — and by
+  /// then that server's ticker is live and can fire kEndRun (deadline
+  /// abort), whose on_job_end handler takes mu_. Holding mu_ across the
+  /// hook would therefore deadlock; this step must run outside it.
+  void finalize_started(const std::vector<Job*>& started) CF_EXCLUDES(mu_);
   /// kEndRun observer: frees the job's slots and admits successors. Runs
   /// under the finishing server's lock — must never call back into it.
   void on_job_end(const std::string& job_id);

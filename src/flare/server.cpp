@@ -137,6 +137,9 @@ FederatedServer::FederatedServer(ServerConfig config,
       journal_->discard();
     }
   }
+  // Unlocked reads are safe here: the ticker — the first other thread — has
+  // not started yet, so construction still owns all state exclusively.
+  born_terminal_ = finished_ || aborted_;
   // R5-exempt: the server's ticker thread (round deadlines, park expiry)
   ticker_thread_ = std::thread([this] { ticker_loop(); });
 }
@@ -195,22 +198,33 @@ std::vector<std::uint8_t> FederatedServer::handle_sealed(
     Envelope env;
     try {
       env = open(request, key);
-      inbound_seq_.check_and_advance(sender, env.sequence);
     } catch (const std::exception& e) {
-      // The frame failed verification *before* it was trusted: a corrupted,
-      // truncated, or replayed envelope. That is damage in flight, not a
-      // misbehaving application — tell the client to re-seal and resend.
+      // The frame failed verification *before* it was trusted: a corrupted
+      // or truncated envelope. That is damage in flight, not a misbehaving
+      // application — tell the client to re-seal and resend.
       return seal_as_server(
           sender, key, pack(ErrorMessage{e.what(), ErrorCode::kRetryable}));
     }
     if (!env.job_id.empty() && env.job_id != config_.job_id) {
       // Authenticated but bound to another job: a misrouted or cross-job
       // replayed frame. Typed so the client aborts instead of retrying.
+      // Checked BEFORE the replay tracker advances: sites share one
+      // credential across jobs, so a replayed high-sequence frame from
+      // another job must not poison this job's per-sender sequence state
+      // (it would wedge the site's legitimate client as a false replay).
       return seal_as_server(
           sender, key,
           pack(ErrorMessage{"frame bound to job '" + env.job_id +
                                 "' reached job '" + config_.job_id + "'",
                             ErrorCode::kWrongJob}));
+    }
+    try {
+      inbound_seq_.check_and_advance(sender, env.sequence);
+    } catch (const std::exception& e) {
+      // Replayed envelope: retryable, the client re-seals with a fresh
+      // sequence and resends.
+      return seal_as_server(
+          sender, key, pack(ErrorMessage{e.what(), ErrorCode::kRetryable}));
     }
     record_liveness(sender);
     const std::vector<std::uint8_t> response = handle_frame(sender, env.payload);
@@ -251,18 +265,26 @@ void FederatedServer::handle_sealed_async(
     Envelope env;
     try {
       env = open(request, key);
-      inbound_seq_.check_and_advance(sender, env.sequence);
     } catch (const std::exception& e) {
       respond(seal_as_server(
           sender, key, pack(ErrorMessage{e.what(), ErrorCode::kRetryable})));
       return;
     }
+    // Job binding before the replay tracker, for the same reason as in
+    // handle_sealed: cross-job frames must not mutate sequence state.
     if (!env.job_id.empty() && env.job_id != config_.job_id) {
       respond(seal_as_server(
           sender, key,
           pack(ErrorMessage{"frame bound to job '" + env.job_id +
                                 "' reached job '" + config_.job_id + "'",
                             ErrorCode::kWrongJob})));
+      return;
+    }
+    try {
+      inbound_seq_.check_and_advance(sender, env.sequence);
+    } catch (const std::exception& e) {
+      respond(seal_as_server(
+          sender, key, pack(ErrorMessage{e.what(), ErrorCode::kRetryable})));
       return;
     }
     record_liveness(sender);
@@ -1305,13 +1327,21 @@ void FederatedServer::abort_run_locked(const std::string& reason,
   finished_cv_.notify_all();
 }
 
-void FederatedServer::abort(const std::string& reason) {
+bool FederatedServer::abort(const std::string& reason) {
+  bool did_abort = false;
   {
     core::MutexLock lock(mu_);
-    abort_run_locked(reason);
+    // Terminal state is settled under mu_: a run that finished (or already
+    // aborted) before we got the lock stays that way — the caller learns the
+    // abort lost the race instead of a finished run flipping to aborted.
+    if (!finished_ && !aborted_) {
+      abort_run_locked(reason);
+      did_abort = true;
+    }
     service_parked_locked();  // every park now answers kStop
   }
   drain_ready_replies();
+  return did_abort;
 }
 
 void FederatedServer::sample_round_participants_locked() {

@@ -174,11 +174,19 @@ class FederatedServer {
   /// Kills the run: polling clients receive kStop, waiters wake with false.
   /// Used when an operator (or a crash-simulation harness) tears the run
   /// down mid-flight; also taken internally when a round deadline passes
-  /// below `min_clients`.
-  void abort(const std::string& reason);
+  /// below `min_clients`. Refuses (returns false) once the run is already
+  /// terminal, so an abort racing a clean finish cannot overwrite the
+  /// finished state.
+  bool abort(const std::string& reason);
 
   bool finished() const;
   bool aborted() const;
+  /// True when the run was already terminal at construction (a resume past
+  /// its last round): kEndRun never fires for such a run. Immutable after
+  /// construction and readable without the server lock — the job registry
+  /// checks it at admission while holding its own lock, where taking this
+  /// server's lock would invert the documented server→runner lock order.
+  bool born_terminal() const { return born_terminal_; }
   std::string abort_reason() const;
   AbortCode abort_code() const;
   /// Blocks until the run completes or aborts. Returns false on timeout or
@@ -360,6 +368,7 @@ class FederatedServer {
   bool started_ CF_GUARDED_BY(mu_) = false;
   bool finished_ CF_GUARDED_BY(mu_) = false;
   bool aborted_ CF_GUARDED_BY(mu_) = false;
+  bool born_terminal_ = false;  // set in the ctor, immutable after
   std::string abort_reason_ CF_GUARDED_BY(mu_);
   AbortCode abort_code_ CF_GUARDED_BY(mu_) = AbortCode::kNone;
 

@@ -33,8 +33,10 @@
 #include "core/parallel.h"
 #include "flare/client.h"
 #include "flare/jobs.h"
+#include "flare/messages.h"
 #include "flare/observability.h"
 #include "flare/provision.h"
+#include "flare/secure_channel.h"
 #include "flare/tcp.h"
 
 namespace cppflare::flare {
@@ -137,6 +139,10 @@ void drive_job(const std::map<std::string, Credential>& pool,
 /// Restart-oblivious: the same code path runs fresh and resumed.
 int run_two_jobs(const std::string& dir) {
   const std::int64_t kSites = 3;
+  // Both jobs must hold a slot at once: on a 1-core machine the second
+  // would queue, and its clients' retry budgets can expire before the
+  // first finishes (we run in a forked child, so the override is private).
+  core::set_compute_threads(2);
   const std::map<std::string, Credential> pool = make_pool(kSites);
   JobRunner runner(pool);
   const std::vector<std::string> job_ids = {"job-a", "job-b"};
@@ -493,6 +499,66 @@ TEST_F(JobsTest, UnboundFramesRouteToASingleHostedJob) {
   EXPECT_EQ(runner.status("solo").state, JobState::kFinished);
 }
 
+TEST_F(JobsTest, CrossJobReplayDoesNotPoisonTheReplayTracker) {
+  // Sites share one credential across jobs, so a captured job-a frame with a
+  // high sequence number verifies at job-b's server too. It must be rejected
+  // on its job binding BEFORE the replay tracker advances — otherwise one
+  // replayed frame wedges the site's legitimate job-b client, whose own
+  // sequences start far below, as a false replay.
+  const std::size_t old_budget = core::compute_threads();
+  core::set_compute_threads(2);  // both jobs must be admitted
+  const auto pool = make_pool(2);
+  JobRunner runner(pool);
+  runner.submit(make_spec("job-a", 1, 2));
+  runner.submit(make_spec("job-b", 1, 2));
+  const Credential& site = pool.at("site-1");
+  Dispatcher dispatch = runner.server("job-b").dispatcher();
+
+  const std::vector<std::uint8_t> replayed =
+      seal("site-1", site.secret, 1000,
+           pack(RegisterRequest{"site-1", site.token}), "job-a");
+  Envelope reply = open(dispatch(replayed), site.secret);
+  EXPECT_EQ(decode_error(reply.payload).code, ErrorCode::kWrongJob);
+
+  // The site's first legitimate job-b frame (sequence 1) still goes through.
+  const std::vector<std::uint8_t> legit =
+      seal("site-1", site.secret, 1,
+           pack(RegisterRequest{"site-1", site.token}), "job-b");
+  reply = open(dispatch(legit), site.secret);
+  EXPECT_TRUE(decode_register_ack(reply.payload).accepted);
+
+  EXPECT_TRUE(runner.abort("job-a", "test teardown"));
+  EXPECT_TRUE(runner.abort("job-b", "test teardown"));
+  core::set_compute_threads(old_budget);
+}
+
+TEST_F(JobsTest, UnknownSendersCannotEnumerateHostedJobIds) {
+  // An unprovisioned peer can seal under the empty secret. The router must
+  // answer it identically whether or not the probed job id exists — a
+  // kWrongJob-vs-unknown-participant difference would be a credential-free
+  // oracle enumerating which jobs this coordinator hosts.
+  const auto pool = make_pool(2);
+  JobRunner runner(pool);
+  runner.submit(make_spec("job-a", 1, 2));
+  runner.submit(make_spec("job-b", 1, 2));
+  Dispatcher dispatch = runner.router();
+  const std::vector<std::uint8_t> empty_key;
+  const auto probe = [&](const std::string& job_id) {
+    const std::vector<std::uint8_t> frame =
+        seal("mallory", empty_key, 1, pack(GetTaskRequest{"s", 0}), job_id);
+    const Envelope reply = open(dispatch(frame), empty_key);
+    return decode_error(reply.payload);
+  };
+  const ErrorMessage hosted = probe("job-a");     // hosted here
+  const ErrorMessage unhosted = probe("job-zz");  // not hosted anywhere
+  EXPECT_EQ(hosted.code, ErrorCode::kRetryable);
+  EXPECT_EQ(unhosted.code, hosted.code);
+  EXPECT_EQ(unhosted.message, hosted.message);
+
+  EXPECT_TRUE(runner.abort("job-a", "test teardown"));
+  EXPECT_TRUE(runner.abort("job-b", "test teardown"));
+}
+
 // ---------------------------------------------------------------------------
 // Abort while running
 // ---------------------------------------------------------------------------
@@ -533,6 +599,66 @@ TEST_F(JobsTest, AbortWhileRunningStopsClientsAndRecordsTheReason) {
   EXPECT_FALSE(runner.abort("job-a", "again"));
 }
 
+TEST_F(JobsTest, AbortAfterCleanFinishIsRefused) {
+  const auto pool = make_pool(2);
+  JobRunner runner(pool);
+  runner.submit(make_spec("job-a", 1, 2));
+  drive_job(pool, "job-a", 0, 2, [&runner] {
+    return std::make_unique<AsyncInProcConnection>(runner.async_router());
+  });
+  ASSERT_TRUE(runner.wait_all(30000));
+  FederatedServer& server = runner.server("job-a");
+  ASSERT_TRUE(server.finished());
+  // The server settles the finish-vs-abort race under its own lock: a late
+  // abort is refused rather than flipping a finished run to aborted.
+  EXPECT_FALSE(server.abort("too late"));
+  EXPECT_TRUE(server.finished());
+  EXPECT_FALSE(server.aborted());
+  EXPECT_EQ(runner.status("job-a").state, JobState::kFinished);
+  EXPECT_FALSE(runner.abort("job-a", "too late"));
+}
+
+// ---------------------------------------------------------------------------
+// Resume: a job restored past its last round is terminal at admission
+// ---------------------------------------------------------------------------
+
+TEST_F(JobsTest, ResumedCompleteJobIsTerminalAtAdmissionAndFreesItsSlots) {
+  const auto pool = make_pool(2);
+  const std::string persist = (root_ / "done.bin").string();
+  {
+    JobRunner runner(pool);
+    JobSpec spec = make_spec("job-done", 1, 2);
+    spec.persist_path = persist;
+    runner.submit(std::move(spec));
+    drive_job(pool, "job-done", 0, 2, [&runner] {
+      return std::make_unique<AsyncInProcConnection>(runner.async_router());
+    });
+    ASSERT_TRUE(runner.wait_all(30000));
+  }
+  // Restart with resume=true: the checkpoint already covers every round, so
+  // the server is born finished and never fires kEndRun. The job must still
+  // go terminal — slots freed, FIFO successors admitted, wait_all returning
+  // — or a coordinator restarted after a job finished wedges forever.
+  const std::size_t old_budget = core::compute_threads();
+  core::set_compute_threads(1);
+  {
+    JobRunner restarted(pool);
+    JobSpec resumed = make_spec("job-done", 1, 2);
+    resumed.persist_path = persist;
+    resumed.resume = true;
+    restarted.submit(std::move(resumed));
+    EXPECT_EQ(restarted.status("job-done").state, JobState::kFinished);
+    EXPECT_TRUE(restarted.wait_all(10000));
+    // The whole 1-slot budget is free again: the next job is admitted
+    // immediately instead of queueing behind the resumed-complete one.
+    restarted.submit(make_spec("job-next", 1, 2));
+    EXPECT_EQ(restarted.status("job-next").state, JobState::kRunning);
+    EXPECT_TRUE(restarted.abort("job-next", "test teardown"));
+    EXPECT_TRUE(restarted.wait_all(10000));
+  }
+  core::set_compute_threads(old_budget);
+}
+
 // ---------------------------------------------------------------------------
 // Determinism: concurrent jobs match their solo twins, both transports
 // ---------------------------------------------------------------------------
@@ -540,6 +666,11 @@ TEST_F(JobsTest, AbortWhileRunningStopsClientsAndRecordsTheReason) {
 TEST_F(JobsTest, TwoConcurrentJobsMatchSoloRuns) {
   const std::int64_t kSites = 4;
   const std::int64_t kRounds = 3;
+  // Pin the budget so both jobs genuinely run concurrently — on a 1-core
+  // machine one would queue, and its clients' retry budgets can expire
+  // before capacity frees (especially under TSan's slowdown).
+  const std::size_t old_budget = core::compute_threads();
+  core::set_compute_threads(2);
   const auto pool = make_pool(kSites);
   JobRunner runner(pool);
   runner.submit(make_spec("job-a", kRounds, kSites));
@@ -566,12 +697,16 @@ TEST_F(JobsTest, TwoConcurrentJobsMatchSoloRuns) {
     EXPECT_EQ(concurrent, solo)
         << job_ids[j] << " diverged from its solo twin";
   }
+  core::set_compute_threads(old_budget);
 }
 
 TEST_F(JobsTest, FourConcurrentJobsEightSitesMatchSoloOnBothTransports) {
   const std::int64_t kJobs = 4;
   const std::int64_t kSites = 8;
   const std::int64_t kRounds = 2;
+  // All four jobs must hold a slot at once (see TwoConcurrentJobs above).
+  const std::size_t old_budget = core::compute_threads();
+  core::set_compute_threads(static_cast<std::size_t>(kJobs));
   const auto pool = make_pool(kSites);
 
   // Solo references, one per job.
@@ -616,6 +751,7 @@ TEST_F(JobsTest, FourConcurrentJobsEightSitesMatchSoloOnBothTransports) {
           << job_id << " diverged from its solo twin";
     }
   }
+  core::set_compute_threads(old_budget);
 }
 
 // ---------------------------------------------------------------------------
